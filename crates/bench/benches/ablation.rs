@@ -1,0 +1,70 @@
+//! Ablation benches for design decisions called out in DESIGN.md:
+//!
+//! 1. **Atom index vs pairwise edge discovery** (§4.1.4): the paper's
+//!    `(Relation, Position, Value/Δ)` index against exhaustive pairwise
+//!    unification of all heads with all postconditions.
+//! 2. **Safe matching vs brute-force search** (Theorem 3.1 vs Theorem
+//!    2.1): the polynomial pipeline against the exponential generic
+//!    coordinating-set search, on a workload both can handle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::pairwise_edge_count;
+use eq_core::graph::MatchGraph;
+use eq_core::{bruteforce, coordinate};
+use eq_ir::{EntangledQuery, VarGen};
+use eq_workload::{build_database, two_way_pairs, PairStyle, SocialGraph, SocialGraphConfig};
+
+fn renamed(queries: &[EntangledQuery]) -> Vec<EntangledQuery> {
+    let gen = VarGen::new();
+    queries.iter().map(|q| q.rename_apart(&gen)).collect()
+}
+
+fn bench_index_vs_pairwise(c: &mut Criterion) {
+    let graph = SocialGraph::generate(&SocialGraphConfig {
+        users: 5_000,
+        planted_cliques: 100,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("ablation-edge-discovery");
+    group.sample_size(10);
+    for n in [200usize, 1_000] {
+        let qs = renamed(&two_way_pairs(&graph, n, PairStyle::BestCase, 7));
+        group.bench_with_input(BenchmarkId::new("indexed", n), &qs, |b, qs| {
+            b.iter(|| MatchGraph::build(qs.clone()).edges().len())
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise", n), &qs, |b, qs| {
+            b.iter(|| pairwise_edge_count(qs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching_vs_bruteforce(c: &mut Criterion) {
+    let graph = SocialGraph::generate(&SocialGraphConfig {
+        users: 2_000,
+        planted_cliques: 100,
+        ..Default::default()
+    });
+    let db = build_database(&graph);
+    let mut group = c.benchmark_group("ablation-matching-vs-bruteforce");
+    group.sample_size(10);
+    // Brute force is exponential in the query count: keep it tiny.
+    for n in [4usize, 8] {
+        let qs = two_way_pairs(&graph, n, PairStyle::BestCase, 11);
+        group.bench_with_input(BenchmarkId::new("safe matching", n), &qs, |b, qs| {
+            b.iter(|| coordinate(qs, &db).unwrap().answers.len())
+        });
+        let rn = renamed(&qs);
+        group.bench_with_input(BenchmarkId::new("brute force", n), &rn, |b, qs| {
+            b.iter(|| {
+                bruteforce::find_coordinating_set(qs, &db, false)
+                    .unwrap()
+                    .is_some()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_vs_pairwise, bench_matching_vs_bruteforce);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion version of Figure 8: matching stress — no-unification
+//! workload, bounded chains ("usual partitions"), and giant cluster in
+//! incremental versus set-at-a-time mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
+use eq_db::Database;
+use eq_ir::EntangledQuery;
+use eq_workload::{build_database, chains, giant_cluster, no_unify, SocialGraph, SocialGraphConfig};
+
+fn drive(db: Database, queries: &[EntangledQuery], config: EngineConfig, flush: bool) {
+    let mut e = CoordinationEngine::new(db, config);
+    for q in queries {
+        let _ = e.submit(q.clone());
+    }
+    if flush {
+        e.flush();
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let graph = SocialGraph::generate(&SocialGraphConfig {
+        users: 5_000,
+        planted_cliques: 100,
+        ..Default::default()
+    });
+    let incremental = EngineConfig {
+        mode: EngineMode::Incremental,
+        admission_safety_check: false,
+        ..Default::default()
+    };
+    let incremental_unbounded = EngineConfig {
+        incremental_partition_limit: usize::MAX,
+        ..incremental.clone()
+    };
+    let batch = EngineConfig {
+        mode: EngineMode::SetAtATime { batch_size: 0 },
+        admission_safety_check: false,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for n in [500usize, 2_000] {
+        let nu = no_unify(n, 102, 1);
+        let ch = chains(n, 16, 2);
+        let giant = giant_cluster(&graph, n.min(800), 3);
+
+        group.bench_with_input(BenchmarkId::new("no unification", n), &nu, |b, qs| {
+            b.iter(|| drive(Database::new(), qs, incremental.clone(), false))
+        });
+        group.bench_with_input(BenchmarkId::new("usual partitions", n), &ch, |b, qs| {
+            b.iter(|| drive(Database::new(), qs, incremental.clone(), false))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("giant incremental", giant.len()),
+            &giant,
+            |b, qs| {
+                b.iter(|| drive(build_database(&graph), qs, incremental_unbounded.clone(), false))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("giant set-at-a-time", giant.len()),
+            &giant,
+            |b, qs| b.iter(|| drive(build_database(&graph), qs, batch.clone(), true)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

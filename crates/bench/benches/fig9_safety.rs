@@ -1,0 +1,49 @@
+//! Criterion version of Figure 9: per-arrival cost of the admission
+//! safety check against a resident pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
+use eq_db::Database;
+use eq_workload::{unsafe_arrivals, unsafe_residents};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for residents in [2_000usize, 10_000] {
+        let resident_queries = unsafe_residents(residents, 8, 1);
+        let arrivals = unsafe_arrivals(500, 8, 2);
+        group.bench_with_input(
+            BenchmarkId::new("safety check (500 arrivals)", residents),
+            &arrivals,
+            |b, qs| {
+                // Engine setup (loading residents) is outside the timed
+                // closure via iter_batched.
+                b.iter_batched(
+                    || {
+                        let mut e = CoordinationEngine::new(
+                            Database::new(),
+                            EngineConfig {
+                                mode: EngineMode::SetAtATime { batch_size: 0 },
+                                ..Default::default()
+                            },
+                        );
+                        for q in &resident_queries {
+                            e.submit(q.clone()).expect("residents are safe");
+                        }
+                        e
+                    },
+                    |mut e| {
+                        for q in qs {
+                            let _ = e.submit(q.clone());
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 6 — scalability of two-way and three-way coordination.
+//!
+//! Usage: `cargo run --release -p eq-bench --bin fig6 [-- --sizes 5,1000,10000,50000,100000]`
+
+use eq_bench::{report, run_fig6, sizes_from_args, Fig6Config};
+use std::path::Path;
+
+fn main() {
+    let sizes = sizes_from_args(&[5, 1_000, 10_000, 50_000, 100_000]);
+    let rows = run_fig6(&Fig6Config {
+        sizes,
+        users: 82_168,
+        seed: 2011,
+    });
+    report(
+        "Figure 6: scalability on best-case and random workload (+ three-way)",
+        &rows,
+        Some(Path::new("results/fig6.json")),
+    );
+}

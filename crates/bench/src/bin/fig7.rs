@@ -1,0 +1,18 @@
+//! Figure 7 — scalability in the number of postconditions (1..5),
+//! 10,000 queries, matching time vs database evaluation time.
+//!
+//! Usage: `cargo run --release -p eq-bench --bin fig7 [-- --sizes 10000]`
+//! (the single size is the query count per point).
+
+use eq_bench::{report, run_fig7, sizes_from_args};
+use std::path::Path;
+
+fn main() {
+    let n = sizes_from_args(&[10_000])[0];
+    let rows = run_fig7(82_168, n, 2011);
+    report(
+        "Figure 7: scalability in the number of postconditions",
+        &rows,
+        Some(Path::new("results/fig7.json")),
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 8 — stress-testing query matching: no-unification and
+//! usual-partition workloads (near-linear), and the giant-cluster
+//! workload where set-at-a-time beats incremental.
+//!
+//! Usage: `cargo run --release -p eq-bench --bin fig8 [-- --sizes 1000,10000,50000,100000]`
+
+use eq_bench::{report, run_fig8, sizes_from_args, Fig8Config};
+use std::path::Path;
+
+fn main() {
+    let sizes = sizes_from_args(&[1_000, 10_000, 50_000, 100_000]);
+    // The incremental giant-cluster series is quadratic by design
+    // (that is the figure's point); cap its sizes.
+    let giant_sizes: Vec<usize> = sizes.iter().map(|&n| n.min(8_000)).collect();
+    let rows = run_fig8(&Fig8Config {
+        sizes,
+        giant_sizes,
+        segment_len: 16,
+        users: 82_168,
+        seed: 2011,
+    });
+    report(
+        "Figure 8: scalability when queries do not match",
+        &rows,
+        Some(Path::new("results/fig8.json")),
+    );
+}

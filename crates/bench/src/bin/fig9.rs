@@ -1,0 +1,22 @@
+//! Figure 9 — evaluation time of the safety check: 20,000 resident
+//! queries, unsafe arrival sets of growing size.
+//!
+//! Usage: `cargo run --release -p eq-bench --bin fig9 [-- --sizes 5,1000,10000,50000,100000]`
+
+use eq_bench::{report, run_fig9, sizes_from_args, Fig9Config};
+use std::path::Path;
+
+fn main() {
+    let sizes = sizes_from_args(&[5, 1_000, 10_000, 50_000, 100_000]);
+    let rows = run_fig9(&Fig9Config {
+        residents: 20_000,
+        sizes,
+        hubs: 8,
+        seed: 2011,
+    });
+    report(
+        "Figure 9: evaluation time for safety check",
+        &rows,
+        Some(Path::new("results/fig9.json")),
+    );
+}

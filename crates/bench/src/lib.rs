@@ -1,0 +1,74 @@
+//! Benchmark harness regenerating every figure of the paper's
+//! evaluation (§5.3). Each `fig*` binary prints the series the paper
+//! plots and writes machine-readable JSON under `results/`.
+//!
+//! | Figure | Runner | Paper series |
+//! |--------|--------|--------------|
+//! | 6 | [`run_fig6`] | two-way random / two-way best-case / three-way scalability |
+//! | 7 | [`run_fig7`] | matching time vs DB time as postconditions grow 1..5 |
+//! | 8 | [`run_fig8`] | no-unification / usual partitions / giant cluster (incr. vs set-at-a-time) |
+//! | 9 | [`run_fig9`] | safety-check overhead against 20k resident queries |
+//!
+//! Absolute numbers differ from the paper (different hardware, MySQL →
+//! in-memory substrate); the claims under reproduction are the *shapes*
+//! (linearity, who is faster, where evaluation blows up).
+
+mod runner;
+
+pub use runner::{
+    instrumented_batch, pairwise_edge_count, run_fig6, run_fig7, run_fig8, run_fig9,
+    standard_graph, Fig6Config, Fig8Config, Fig9Config, Row, SplitTiming,
+};
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Prints rows as an aligned table and writes them as JSON.
+pub fn report(figure: &str, rows: &[Row], json_path: Option<&Path>) {
+    println!("== {figure} ==");
+    println!("{:<28} {:>10} {:>14} {:>12}", "series", "x", "millis", "extra");
+    for r in rows {
+        println!(
+            "{:<28} {:>10} {:>14.2} {:>12}",
+            r.series,
+            r.x,
+            r.millis,
+            r.extra
+                .map(|e| format!("{e:.2}"))
+                .unwrap_or_else(|| "-".to_owned())
+        );
+    }
+    if let Some(path) = json_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::File::create(path) {
+            Ok(mut f) => {
+                let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+                let _ = f.write_all(json.as_bytes());
+                println!("(wrote {})", path.display());
+            }
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Parses `--sizes 5,100,1000`-style CLI arguments for the fig
+/// binaries; returns `default` when absent.
+pub fn sizes_from_args(default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--sizes" {
+            if let Some(spec) = args.get(i + 1) {
+                let parsed: Vec<usize> = spec
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect();
+                if !parsed.is_empty() {
+                    return parsed;
+                }
+            }
+        }
+    }
+    default.to_vec()
+}

@@ -1,0 +1,298 @@
+//! Brute-force coordinated answering — the generic semantics of §2.3.
+//!
+//! This module implements coordinated query answering directly from the
+//! definition: ground every query against the database, then search for a
+//! *coordinating set* — at most one grounding per query such that the
+//! union of the chosen groundings' head atoms contains every chosen
+//! grounding's postcondition atoms.
+//!
+//! This is the NP-hard search of Theorem 2.1 (exponential in the number
+//! of queries). It exists as:
+//!
+//! * a **correctness oracle**: on safe + UCS workloads its answer must
+//!   agree with the fast matching pipeline (property-tested);
+//! * an **ablation baseline** for the benchmarks, quantifying what the
+//!   safety condition buys.
+
+use eq_db::{Database, DbError, Tuple};
+use eq_ir::{Atom, EntangledQuery, FastSet, QueryId, Symbol, Term, Value};
+
+/// One grounding of a query: its grounded head and postcondition atoms
+/// (§2.3 — "the bodies of the groundings are no longer needed").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Grounding {
+    /// The query this grounds.
+    pub query: QueryId,
+    /// Grounded head atoms as `(relation, tuple)`.
+    pub head: Vec<(Symbol, Tuple)>,
+    /// Grounded postcondition atoms as `(relation, tuple)`.
+    pub postconditions: Vec<(Symbol, Tuple)>,
+}
+
+/// A coordinating set: for each input query, the index of its chosen
+/// grounding (or `None` if the query is left unanswered).
+pub type Choice = Vec<Option<usize>>;
+
+/// A successful search result: the grounding tables of every query plus
+/// the chosen coordinating set.
+pub type Solution = (Vec<Vec<Grounding>>, Choice);
+
+/// Enumerates all groundings of `query` on `db` (§2.3 "valuations").
+pub fn groundings(query: &EntangledQuery, db: &Database) -> Result<Vec<Grounding>, DbError> {
+    let valuations = db.evaluate_filtered(&query.body, &query.constraints, usize::MAX)?;
+    let ground = |atom: &Atom, val: &eq_db::Valuation| -> (Symbol, Tuple) {
+        (
+            atom.relation,
+            atom.terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => val[v],
+                })
+                .collect(),
+        )
+    };
+    Ok(valuations
+        .iter()
+        .map(|val| Grounding {
+            query: query.id,
+            head: query.head.iter().map(|a| ground(a, val)).collect(),
+            postconditions: query
+                .postconditions
+                .iter()
+                .map(|a| ground(a, val))
+                .collect(),
+        })
+        .collect())
+}
+
+/// Checks the defining property of a coordinating set: every chosen
+/// grounding's postconditions appear among the union of chosen heads.
+pub fn is_coordinating(all: &[Vec<Grounding>], choice: &Choice) -> bool {
+    let mut heads: FastSet<(Symbol, &[Value])> = FastSet::default();
+    for (q, c) in choice.iter().enumerate() {
+        if let Some(gi) = c {
+            for (rel, tup) in &all[q][*gi].head {
+                heads.insert((*rel, tup.as_slice()));
+            }
+        }
+    }
+    for (q, c) in choice.iter().enumerate() {
+        if let Some(gi) = c {
+            for (rel, tup) in &all[q][*gi].postconditions {
+                if !heads.contains(&(*rel, tup.as_slice())) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Searches for a coordinating set over `queries` on `db`.
+///
+/// With `require_all = true`, every query must receive a grounding (the
+/// decision problem of Theorem 2.1 restricted to total answers); with
+/// `require_all = false`, the search maximizes the number of answered
+/// queries and returns the best found (ties broken arbitrarily), which
+/// may be the empty choice.
+///
+/// Exponential; intended for small instances only.
+pub fn find_coordinating_set(
+    queries: &[EntangledQuery],
+    db: &Database,
+    require_all: bool,
+) -> Result<Option<Solution>, DbError> {
+    let all: Vec<Vec<Grounding>> = queries
+        .iter()
+        .map(|q| groundings(q, db))
+        .collect::<Result<_, _>>()?;
+
+    let n = queries.len();
+    let mut best: Option<Choice> = None;
+    let mut best_count = 0usize;
+    let mut current: Choice = vec![None; n];
+
+    fn dfs(
+        all: &[Vec<Grounding>],
+        require_all: bool,
+        q: usize,
+        current: &mut Choice,
+        best: &mut Option<Choice>,
+        best_count: &mut usize,
+    ) {
+        let n = all.len();
+        if q == n {
+            let count = current.iter().flatten().count();
+            if require_all && count < n {
+                return;
+            }
+            if is_coordinating(all, current) && (best.is_none() || count > *best_count) {
+                *best = Some(current.clone());
+                *best_count = count;
+            }
+            return;
+        }
+        // Stop early once a total solution was found in require_all mode.
+        if require_all && best.is_some() {
+            return;
+        }
+        for gi in 0..all[q].len() {
+            current[q] = Some(gi);
+            dfs(all, require_all, q + 1, current, best, best_count);
+        }
+        current[q] = None;
+        if !require_all {
+            dfs(all, require_all, q + 1, current, best, best_count);
+        } else if all[q].is_empty() {
+            // No groundings: a total solution is impossible.
+        }
+    }
+
+    dfs(&all, require_all, 0, &mut current, &mut best, &mut best_count);
+    Ok(best.map(|choice| (all, choice)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_ir::VarGen;
+    use eq_sql::parse_ir_query;
+
+    fn queries(texts: &[&str]) -> Vec<EntangledQuery> {
+        let gen = VarGen::new();
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                parse_ir_query(t)
+                    .unwrap()
+                    .rename_apart(&gen)
+                    .with_id(QueryId(i as u64))
+            })
+            .collect()
+    }
+
+    fn flight_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("F", &["fno", "dest"]).unwrap();
+        db.create_table("A", &["fno", "airline"]).unwrap();
+        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+            db.insert("F", vec![Value::int(fno), Value::str(dest)])
+                .unwrap();
+        }
+        for (fno, al) in [
+            (122, "United"),
+            (123, "United"),
+            (134, "Lufthansa"),
+            (136, "Alitalia"),
+        ] {
+            db.insert("A", vec![Value::int(fno), Value::str(al)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn kramer_has_three_groundings() {
+        // Paper §2.3: "Kramer's query has three valuations".
+        let qs = queries(&["{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"]);
+        let g = groundings(&qs[0], &flight_db()).unwrap();
+        assert_eq!(g.len(), 3);
+        let mut fnos: Vec<Value> = g.iter().map(|gr| gr.head[0].1[1]).collect();
+        fnos.sort();
+        assert_eq!(
+            fnos,
+            vec![Value::int(122), Value::int(123), Value::int(134)]
+        );
+    }
+
+    #[test]
+    fn figure_2b_coordinating_sets() {
+        // Groundings 1+4 and 2+5 of Figure 2(b) are the coordinating
+        // sets: flights 122 and 123.
+        let qs = queries(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)",
+        ]);
+        let db = flight_db();
+        let (all, choice) = find_coordinating_set(&qs, &db, true).unwrap().unwrap();
+        assert!(is_coordinating(&all, &choice));
+        let k = &all[0][choice[0].unwrap()];
+        let j = &all[1][choice[1].unwrap()];
+        // Shared flight number, and it must be a United flight.
+        assert_eq!(k.head[0].1[1], j.head[0].1[1]);
+        let fno = k.head[0].1[1];
+        assert!(fno == Value::int(122) || fno == Value::int(123));
+    }
+
+    #[test]
+    fn no_total_solution_when_constraint_unsatisfiable() {
+        let qs = queries(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Rome)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+        ]);
+        let db = flight_db();
+        assert!(find_coordinating_set(&qs, &db, true).unwrap().is_none());
+        // Without require_all, the empty choice coordinates vacuously.
+        let (_, choice) = find_coordinating_set(&qs, &db, false).unwrap().unwrap();
+        assert!(choice.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn partial_coordination_maximizes_answered() {
+        // Three queries; only the first two can coordinate.
+        let qs = queries(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+            "{R(Newman, z)} R(Frank, z) <- F(z, Paris)",
+        ]);
+        let db = flight_db();
+        let (_, choice) = find_coordinating_set(&qs, &db, false).unwrap().unwrap();
+        assert!(choice[0].is_some());
+        assert!(choice[1].is_some());
+        assert!(choice[2].is_none());
+    }
+
+    #[test]
+    fn self_satisfaction_within_one_grounding() {
+        // A query whose postcondition matches its own head is satisfied
+        // by its own grounding under the raw §2.3 semantics.
+        let qs = queries(&["{R(Kramer, x)} R(Kramer, x) <- F(x, Paris)"]);
+        let db = flight_db();
+        let (_, choice) = find_coordinating_set(&qs, &db, true).unwrap().unwrap();
+        assert!(choice[0].is_some());
+    }
+
+    #[test]
+    fn empty_query_set() {
+        let db = flight_db();
+        let res = find_coordinating_set(&[], &db, true).unwrap();
+        assert!(res.is_some());
+    }
+
+    #[test]
+    fn is_coordinating_rejects_unsatisfied_pc() {
+        let qs = queries(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+        ]);
+        let db = flight_db();
+        let all: Vec<Vec<Grounding>> = qs.iter().map(|q| groundings(q, &db).unwrap()).collect();
+        // Kramer picks flight 122 but Jerry picks 123: not coordinating.
+        let k122 = all[0]
+            .iter()
+            .position(|g| g.head[0].1[1] == Value::int(122))
+            .unwrap();
+        let j123 = all[1]
+            .iter()
+            .position(|g| g.head[0].1[1] == Value::int(123))
+            .unwrap();
+        assert!(!is_coordinating(&all, &vec![Some(k122), Some(j123)]));
+        let j122 = all[1]
+            .iter()
+            .position(|g| g.head[0].1[1] == Value::int(122))
+            .unwrap();
+        assert!(is_coordinating(&all, &vec![Some(k122), Some(j122)]));
+    }
+}

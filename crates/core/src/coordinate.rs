@@ -1,0 +1,461 @@
+//! One-shot, set-at-a-time coordination over a fixed query set — the full
+//! pipeline of §4 glued together.
+
+use crate::combine::{CombinedQuery, QueryAnswer};
+use crate::graph::MatchGraph;
+use crate::matching::{self, MatchStats};
+use crate::safety::{self, SafetyPolicy};
+use crate::ucs;
+use eq_db::{Database, DbError};
+use eq_ir::{EntangledQuery, FastMap, QueryId, ValidationError, VarGen};
+use std::fmt;
+
+/// Why a query did not receive an answer in a coordination round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Structurally invalid (empty head, not range-restricted, ...).
+    Invalid(ValidationError),
+    /// Removed by the safety enforcement of §3.1.1 (its postcondition
+    /// unified with more than one head).
+    Unsafe,
+    /// Its component violated the unique-coordination-structure
+    /// condition of §3.1.2.
+    NonUcs,
+    /// Matching removed it: some postcondition had no satisfier, or its
+    /// constraints were inconsistent (CLEANUP).
+    Unmatched,
+    /// Its component matched but the database had no tuple satisfying
+    /// the combined query.
+    NoSolution,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Invalid(e) => write!(f, "invalid query: {e}"),
+            RejectReason::Unsafe => write!(f, "removed by the safety check"),
+            RejectReason::NonUcs => write!(f, "coordination structure not unique"),
+            RejectReason::Unmatched => write!(f, "no coordination partner"),
+            RejectReason::NoSolution => write!(f, "no coordinated solution in the database"),
+        }
+    }
+}
+
+/// Configuration for one coordination round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordinateConfig {
+    /// How to react to safety violations.
+    pub safety: SafetyPolicy,
+    /// If true, components violating UCS are still evaluated as one
+    /// combined query (unsound for completeness — §3.1.2 — but useful
+    /// for experiments). Default: reject them.
+    pub evaluate_non_ucs: bool,
+}
+
+/// Outcome of a coordination round.
+#[derive(Debug, Default)]
+pub struct CoordinationOutcome {
+    /// Answers per query id.
+    pub answers: FastMap<QueryId, QueryAnswer>,
+    /// Queries that did not get an answer, with reasons. `Unmatched`
+    /// entries are the natural "keep pending and retry later" set for a
+    /// long-running engine.
+    pub rejected: Vec<(QueryId, RejectReason)>,
+    /// Aggregated matching statistics across components.
+    pub stats: MatchStats,
+    /// Number of connected components processed.
+    pub component_count: usize,
+}
+
+impl CoordinationOutcome {
+    /// All answers sorted by query id.
+    pub fn all_answers(&self) -> Vec<QueryAnswer> {
+        let mut v: Vec<QueryAnswer> = self.answers.values().cloned().collect();
+        v.sort_by_key(|a| a.query);
+        v
+    }
+
+    /// The reject reason for a query, if it was rejected.
+    pub fn reason(&self, id: QueryId) -> Option<&RejectReason> {
+        self.rejected
+            .iter()
+            .find(|(q, _)| *q == id)
+            .map(|(_, r)| r)
+    }
+}
+
+/// Errors aborting a whole round (not per-query rejections).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordinateError {
+    /// The workload was unsafe and the policy is
+    /// [`SafetyPolicy::RejectAll`].
+    UnsafeWorkload(Vec<safety::SafetyViolation>),
+    /// A combined query referenced an unknown relation or wrong arity.
+    Db(DbError),
+}
+
+impl fmt::Display for CoordinateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinateError::UnsafeWorkload(vs) => {
+                write!(f, "workload is unsafe ({} violations)", vs.len())
+            }
+            CoordinateError::Db(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinateError {}
+
+impl From<DbError> for CoordinateError {
+    fn from(e: DbError) -> Self {
+        CoordinateError::Db(e)
+    }
+}
+
+/// Coordinates `queries` against `db` with default configuration
+/// (safety violations removed per §3.1.1; non-UCS components rejected).
+pub fn coordinate(
+    queries: &[EntangledQuery],
+    db: &Database,
+) -> Result<CoordinationOutcome, CoordinateError> {
+    coordinate_with_config(queries, db, CoordinateConfig::default())
+}
+
+/// Coordinates `queries` against `db`.
+///
+/// Queries keep their ids if distinct and nonzero; otherwise they are
+/// assigned sequential ids (slot order). Variables are renamed apart
+/// internally, so callers may reuse variable numbers across queries.
+pub fn coordinate_with_config(
+    queries: &[EntangledQuery],
+    db: &Database,
+    config: CoordinateConfig,
+) -> Result<CoordinationOutcome, CoordinateError> {
+    let mut outcome = CoordinationOutcome::default();
+    let gen = VarGen::new();
+
+    // Assign ids if the caller didn't.
+    let ids_distinct = {
+        let mut ids: Vec<QueryId> = queries.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len() == queries.len()
+    };
+
+    // Validate and rename apart.
+    let mut admitted: Vec<EntangledQuery> = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let id = if ids_distinct { q.id } else { QueryId(i as u64) };
+        match q.validate() {
+            Ok(()) => admitted.push(q.rename_apart(&gen).with_id(id)),
+            Err(e) => outcome.rejected.push((id, RejectReason::Invalid(e))),
+        }
+    }
+
+    let graph = MatchGraph::build(admitted);
+
+    // Safety (§3.1.1).
+    let mut alive = vec![true; graph.len()];
+    match config.safety {
+        SafetyPolicy::RejectAll => {
+            let vs = safety::violations(&graph);
+            if !vs.is_empty() {
+                return Err(CoordinateError::UnsafeWorkload(vs));
+            }
+        }
+        SafetyPolicy::RemoveOffending => {
+            for slot in safety::enforce(&graph, &mut alive) {
+                outcome
+                    .rejected
+                    .push((graph.queries()[slot as usize].id, RejectReason::Unsafe));
+            }
+        }
+    }
+
+    // Partition (§4.1.2) and process each component.
+    for component in graph.components() {
+        let live_members: Vec<u32> = component
+            .iter()
+            .copied()
+            .filter(|&m| alive[m as usize])
+            .collect();
+        if live_members.is_empty() {
+            continue;
+        }
+        outcome.component_count += 1;
+        process_component(&graph, &live_members, db, &config, &mut outcome)?;
+    }
+    Ok(outcome)
+}
+
+fn process_component(
+    graph: &MatchGraph,
+    members: &[u32],
+    db: &Database,
+    config: &CoordinateConfig,
+    outcome: &mut CoordinationOutcome,
+) -> Result<(), CoordinateError> {
+    // UCS (§3.1.2) on the live members.
+    let mut alive_mask = vec![false; graph.len()];
+    for &m in members {
+        alive_mask[m as usize] = true;
+    }
+    if !config.evaluate_non_ucs {
+        let vs = ucs::violations(graph, &alive_mask);
+        if !vs.is_empty() {
+            for &m in members {
+                outcome
+                    .rejected
+                    .push((graph.queries()[m as usize].id, RejectReason::NonUcs));
+            }
+            return Ok(());
+        }
+    }
+
+    // Matching (§4.1.3–4.1.4).
+    let m = matching::match_component(graph, members);
+    outcome.stats.dequeues += m.stats.dequeues;
+    outcome.stats.mgu_calls += m.stats.mgu_calls;
+    outcome.stats.cleanups += m.stats.cleanups;
+    for &slot in &m.removed {
+        outcome
+            .rejected
+            .push((graph.queries()[slot as usize].id, RejectReason::Unmatched));
+    }
+    if m.survivors.is_empty() {
+        return Ok(());
+    }
+    let Some(global) = m.global else {
+        // §4.2: global unifier does not exist — reject the component.
+        for &slot in &m.survivors {
+            outcome
+                .rejected
+                .push((graph.queries()[slot as usize].id, RejectReason::Unmatched));
+        }
+        return Ok(());
+    };
+
+    // Combined query (§4.2). All survivors share one choose count of 1
+    // for the core language; the multi-answer extension goes through
+    // `ext`.
+    let combined = CombinedQuery::build(graph, &m.survivors, &global);
+    let solutions = combined.evaluate(db, 1)?;
+    match solutions.into_iter().next() {
+        Some(answers) => {
+            for a in answers {
+                outcome.answers.insert(a.query, a);
+            }
+        }
+        None => {
+            for &slot in &m.survivors {
+                outcome
+                    .rejected
+                    .push((graph.queries()[slot as usize].id, RejectReason::NoSolution));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_ir::Value;
+    use eq_sql::parse_ir_query;
+
+    fn q(text: &str) -> EntangledQuery {
+        parse_ir_query(text).unwrap()
+    }
+
+    fn flight_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("F", &["fno", "dest"]).unwrap();
+        db.create_table("A", &["fno", "airline"]).unwrap();
+        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+            db.insert("F", vec![Value::int(fno), Value::str(dest)])
+                .unwrap();
+        }
+        for (fno, al) in [
+            (122, "United"),
+            (123, "United"),
+            (134, "Lufthansa"),
+            (136, "Alitalia"),
+        ] {
+            db.insert("A", vec![Value::int(fno), Value::str(al)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn introduction_example_end_to_end() {
+        let db = flight_db();
+        let outcome = coordinate(
+            &[
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
+                q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)"),
+            ],
+            &db,
+        )
+        .unwrap();
+        assert_eq!(outcome.answers.len(), 2);
+        assert!(outcome.rejected.is_empty());
+        let answers = outcome.all_answers();
+        let fno = answers[0].tuples[0][1];
+        assert_eq!(answers[1].tuples[0][1], fno);
+        assert!(fno == Value::int(122) || fno == Value::int(123));
+    }
+
+    #[test]
+    fn lone_query_is_unmatched() {
+        let db = flight_db();
+        let outcome = coordinate(&[q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)")], &db).unwrap();
+        assert!(outcome.answers.is_empty());
+        assert_eq!(outcome.reason(QueryId(0)), Some(&RejectReason::Unmatched));
+    }
+
+    #[test]
+    fn unsafe_set_removes_offender_but_answers_rest() {
+        // Figure 3(a): Jerry's ambiguous query is removed; Kramer and
+        // Elaine then have no partners and are unmatched.
+        let db = flight_db();
+        let outcome = coordinate(
+            &[
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
+                q("{R(Jerry, y)} R(Elaine, y) <- F(y, Rome)"),
+                q("{R(f, z)} R(Jerry, z) <- F(z, w), A(z, f)"),
+            ],
+            &db,
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(QueryId(2)), Some(&RejectReason::Unsafe));
+        assert_eq!(outcome.reason(QueryId(0)), Some(&RejectReason::Unmatched));
+        assert_eq!(outcome.reason(QueryId(1)), Some(&RejectReason::Unmatched));
+    }
+
+    #[test]
+    fn reject_all_policy_errors_on_unsafe() {
+        let db = flight_db();
+        let err = coordinate_with_config(
+            &[
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
+                q("{R(Jerry, y)} R(Elaine, y) <- F(y, Rome)"),
+                q("{R(f, z)} R(Jerry, z) <- F(z, w), A(z, f)"),
+            ],
+            &db,
+            CoordinateConfig {
+                safety: SafetyPolicy::RejectAll,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoordinateError::UnsafeWorkload(_)));
+    }
+
+    #[test]
+    fn non_ucs_component_rejected_by_default() {
+        // Figure 3(b): Frank depends on Jerry but not vice versa.
+        let db = flight_db();
+        let outcome = coordinate(
+            &[
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
+                q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"),
+                q("{R(Jerry, z)} R(Frank, z) <- F(z, Paris), A(z, United)"),
+            ],
+            &db,
+        )
+        .unwrap();
+        assert!(outcome.answers.is_empty());
+        for i in 0..3 {
+            assert_eq!(outcome.reason(QueryId(i)), Some(&RejectReason::NonUcs));
+        }
+    }
+
+    #[test]
+    fn non_ucs_component_evaluated_when_configured() {
+        let db = flight_db();
+        let outcome = coordinate_with_config(
+            &[
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
+                q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"),
+                q("{R(Jerry, z)} R(Frank, z) <- F(z, Paris), A(z, United)"),
+            ],
+            &db,
+            CoordinateConfig {
+                evaluate_non_ucs: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // All three coordinate on a United Paris flight.
+        assert_eq!(outcome.answers.len(), 3);
+        let answers = outcome.all_answers();
+        let fno = answers[0].tuples[0][1];
+        assert!(answers.iter().all(|a| a.tuples[0][1] == fno));
+    }
+
+    #[test]
+    fn no_solution_rejects_component() {
+        let db = flight_db();
+        // They want Athens; no Athens flights exist.
+        let outcome = coordinate(
+            &[
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Athens)"),
+                q("{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)"),
+            ],
+            &db,
+        )
+        .unwrap();
+        assert!(outcome.answers.is_empty());
+        assert_eq!(outcome.reason(QueryId(0)), Some(&RejectReason::NoSolution));
+    }
+
+    #[test]
+    fn invalid_query_rejected_up_front() {
+        let db = flight_db();
+        let bad = EntangledQuery::new(vec![], vec![], vec![]);
+        let outcome = coordinate(&[bad], &db).unwrap();
+        assert!(matches!(
+            outcome.reason(QueryId(0)),
+            Some(&RejectReason::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn independent_components_processed_separately() {
+        let db = flight_db();
+        let outcome = coordinate(
+            &[
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
+                q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"),
+                q("{R(Frank, z)} R(Newman, z) <- F(z, Rome)"),
+                q("{R(Newman, w)} R(Frank, w) <- F(w, Rome)"),
+            ],
+            &db,
+        )
+        .unwrap();
+        assert_eq!(outcome.component_count, 2);
+        assert_eq!(outcome.answers.len(), 4);
+        // Pair 1 shares a Paris flight; pair 2 shares the Rome flight.
+        assert_eq!(outcome.answers[&QueryId(2)].tuples[0][1], Value::int(136));
+        assert_eq!(outcome.answers[&QueryId(3)].tuples[0][1], Value::int(136));
+    }
+
+    #[test]
+    fn agreement_with_bruteforce_oracle() {
+        // On this safe, UCS workload the fast path and the generic
+        // semantics must agree about answerability.
+        let db = flight_db();
+        let queries = vec![
+            q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)").with_id(QueryId(1)),
+            q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)").with_id(QueryId(2)),
+        ];
+        let fast = coordinate(&queries, &db).unwrap();
+        let gen = eq_ir::VarGen::new();
+        let renamed: Vec<EntangledQuery> =
+            queries.iter().map(|x| x.rename_apart(&gen)).collect();
+        let slow = crate::bruteforce::find_coordinating_set(&renamed, &db, true).unwrap();
+        assert_eq!(fast.answers.len() == 2, slow.is_some());
+    }
+}

@@ -1,0 +1,1131 @@
+//! The D3C engine of §5.1: a long-running coordination service.
+//!
+//! The engine accepts entangled queries asynchronously, keeps them in a
+//! pending pool, and answers them in one of two modes:
+//!
+//! * **Incremental** — on every submission, the affected partition is
+//!   re-matched from its current state and any component that has become
+//!   answerable is evaluated immediately;
+//! * **Set-at-a-time** — submissions accumulate; [`CoordinationEngine::flush`]
+//!   (called manually, or automatically every `batch_size` submissions)
+//!   matches the whole pool, processing independent components in
+//!   parallel (§4.1.2).
+//!
+//! Queries that cannot currently be matched stay pending until they
+//! succeed, fail, or exceed the configured staleness bound (§5.1: "when
+//! a query becomes stale, it is removed from the list of pending queries
+//! and its evaluation is considered to have failed").
+//!
+//! Answers are delivered through per-query handles (the middleware
+//! layer's asynchronous callback abstraction).
+
+use crate::combine::{CombinedQuery, QueryAnswer};
+use crate::coordinate::RejectReason;
+use crate::graph::MatchGraph;
+use crate::index::{AtomIndex, AtomRef};
+use crate::matching::{self, MatchStats};
+use crate::ucs;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use eq_db::Database;
+use eq_ir::{EntangledQuery, FastMap, FastSet, QueryId, ValidationError, VarGen};
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Evaluation scheduling mode (§5.1, §5.3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Match and evaluate after every submission.
+    Incremental,
+    /// Accumulate and evaluate on [`CoordinationEngine::flush`]; if
+    /// `batch_size > 0`, flush automatically every `batch_size`
+    /// submissions.
+    SetAtATime {
+        /// Auto-flush threshold; 0 disables auto-flush.
+        batch_size: usize,
+    },
+}
+
+/// What to do with a matched component whose combined query has no
+/// solution in the database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NoSolutionPolicy {
+    /// Fail the component's queries (§4.2's rejection semantics).
+    #[default]
+    Reject,
+    /// Keep them pending; they are retried when their component changes
+    /// or the database is updated (via an explicit flush).
+    KeepPending,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Scheduling mode.
+    pub mode: EngineMode,
+    /// Pending queries older than this are failed as stale. `None`
+    /// disables staleness.
+    pub staleness: Option<Duration>,
+    /// Admission-time safety enforcement: a new query is rejected when
+    /// it would make the pending set unsafe (one of its postconditions
+    /// unifies with ≥ 2 pending heads, or one of its heads gives a
+    /// pending postcondition a second satisfier). This is the check
+    /// stress-tested in Figure 9. Disable to admit everything and rely
+    /// on §3.1.1 removal at matching time.
+    pub admission_safety_check: bool,
+    /// See [`NoSolutionPolicy`].
+    pub on_no_solution: NoSolutionPolicy,
+    /// Evaluate components violating UCS instead of failing them.
+    pub evaluate_non_ucs: bool,
+    /// Number of worker threads for per-component parallelism in
+    /// set-at-a-time flushes. 1 = sequential.
+    pub flush_threads: usize,
+    /// Incremental mode only: partitions up to this size are fully
+    /// re-matched on every arrival (the paper's incremental matching,
+    /// §5.1). Larger partitions — hub destinations where a wildcard
+    /// postcondition unifies with many pending heads — fall back to
+    /// *eager pairing*: the new query is tried against its direct
+    /// unification partners one at a time, first syntactic closure wins
+    /// (the paper's nondeterministic choice), and the pair is evaluated
+    /// immediately. Set to `usize::MAX` to always re-match the whole
+    /// partition (reproduces the giant-cluster blow-up of Figure 8 that
+    /// motivates set-at-a-time mode).
+    pub incremental_partition_limit: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: EngineMode::Incremental,
+            staleness: None,
+            admission_safety_check: true,
+            on_no_solution: NoSolutionPolicy::default(),
+            evaluate_non_ucs: false,
+            flush_threads: 1,
+            incremental_partition_limit: 64,
+        }
+    }
+}
+
+/// Status of a submitted query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Waiting for coordination partners.
+    Pending,
+    /// Answered; the answer was delivered on the handle.
+    Answered,
+    /// Failed with a reason.
+    Failed(FailReason),
+}
+
+/// Why a pending query failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailReason {
+    /// Rejected/removed per a [`RejectReason`].
+    Rejected(RejectReason),
+    /// Exceeded the staleness bound without coordinating.
+    Stale,
+}
+
+/// Terminal outcome delivered on a query's handle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The coordinated answer.
+    Answered(QueryAnswer),
+    /// Failure and its reason.
+    Failed(FailReason),
+}
+
+/// Handle returned by [`CoordinationEngine::submit`]: poll or block on
+/// the receiver for the terminal outcome.
+pub struct QueryHandle {
+    /// The id assigned to the query.
+    pub id: QueryId,
+    /// Receives exactly one terminal [`QueryOutcome`].
+    pub outcome: Receiver<QueryOutcome>,
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle").field("id", &self.id).finish()
+    }
+}
+
+/// Why a submission was refused outright.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Structurally invalid.
+    Invalid(ValidationError),
+    /// The admission safety check failed (§3.1.1 / Figure 9).
+    Unsafe,
+}
+
+/// Summary of one flush (or one incremental trigger).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Components examined.
+    pub components: usize,
+    /// Queries answered.
+    pub answered: usize,
+    /// Queries failed (rejections + no-solution under the reject
+    /// policy).
+    pub failed: usize,
+    /// Queries left pending.
+    pub pending: usize,
+    /// Aggregated matching statistics.
+    pub stats: MatchStats,
+}
+
+struct PendingQuery {
+    query: EntangledQuery,
+    sender: Sender<QueryOutcome>,
+    /// Number of live pending heads unifying each postcondition
+    /// (admission-time bookkeeping for the safety check).
+    pc_satisfiers: Vec<u32>,
+}
+
+/// The coordination engine.
+///
+/// Not `Sync`: submissions mutate internal indexes, so drive it from one
+/// thread (flushes parallelize internally). The database is shared
+/// behind a read-write lock; evaluation takes read guards, so an
+/// application may update tables between rounds.
+pub struct CoordinationEngine {
+    config: EngineConfig,
+    db: Arc<RwLock<Database>>,
+    gen: VarGen,
+    next_id: u64,
+    /// Slot-addressed pending queries (slots are reused; `AtomRef.query`
+    /// is a slot).
+    slots: Vec<Option<PendingQuery>>,
+    free_slots: Vec<u32>,
+    by_id: FastMap<QueryId, u32>,
+    statuses: FastMap<QueryId, QueryStatus>,
+    head_index: AtomIndex,
+    pc_index: AtomIndex,
+    /// Undirected adjacency (slot → unifiable partner slots), kept
+    /// incrementally; used to find the affected partition.
+    adj: FastMap<u32, FastSet<u32>>,
+    /// Submission order for staleness sweeps.
+    age_queue: VecDeque<(Instant, QueryId)>,
+    submissions_since_flush: usize,
+}
+
+impl CoordinationEngine {
+    /// Creates an engine over a database.
+    pub fn new(db: Database, config: EngineConfig) -> Self {
+        CoordinationEngine {
+            config,
+            db: Arc::new(RwLock::new(db)),
+            gen: VarGen::new(),
+            next_id: 1,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            by_id: FastMap::default(),
+            statuses: FastMap::default(),
+            head_index: AtomIndex::new(),
+            pc_index: AtomIndex::new(),
+            adj: FastMap::default(),
+            age_queue: VecDeque::new(),
+            submissions_since_flush: 0,
+        }
+    }
+
+    /// Shared handle to the engine's database (write to it between
+    /// rounds to load data).
+    pub fn db(&self) -> Arc<RwLock<Database>> {
+        Arc::clone(&self.db)
+    }
+
+    /// Number of pending queries.
+    pub fn pending_count(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// The status of a query, if known.
+    pub fn status(&self, id: QueryId) -> Option<&QueryStatus> {
+        self.statuses.get(&id)
+    }
+
+    /// Submits a query. Returns a handle delivering the terminal
+    /// outcome; in incremental mode coordination is attempted before
+    /// this returns, so the handle may already hold the outcome.
+    pub fn submit(&mut self, query: EntangledQuery) -> Result<QueryHandle, SubmitError> {
+        query.validate().map_err(SubmitError::Invalid)?;
+        self.expire_stale();
+
+        let id = QueryId(self.next_id);
+        let renamed = query.rename_apart(&self.gen).with_id(id);
+
+        if self.config.admission_safety_check {
+            self.check_admission_safety(&renamed)?;
+        }
+        self.next_id += 1;
+
+        let (tx, rx) = bounded(1);
+        let slot = self.allocate_slot();
+        let now = Instant::now();
+
+        // Index atoms and discover partners.
+        let mut partners: FastSet<u32> = FastSet::default();
+        let mut pc_satisfiers = vec![0u32; renamed.pc_count()];
+        for (ai, atom) in renamed.head.iter().enumerate() {
+            let aref = AtomRef {
+                query: slot,
+                atom: ai as u32,
+            };
+            // Existing postconditions this head satisfies.
+            for cand in self.pc_index.candidates(atom) {
+                if cand.query == slot {
+                    continue;
+                }
+                let pc = self.pc_index.get(cand).expect("indexed");
+                if eq_unify::mgu_atoms(atom, pc).is_some() {
+                    partners.insert(cand.query);
+                    if let Some(p) = self.slots[cand.query as usize].as_mut() {
+                        p.pc_satisfiers[cand.atom as usize] += 1;
+                    }
+                }
+            }
+            self.head_index.insert(aref, atom);
+        }
+        for (ai, atom) in renamed.postconditions.iter().enumerate() {
+            let aref = AtomRef {
+                query: slot,
+                atom: ai as u32,
+            };
+            for cand in self.head_index.candidates(atom) {
+                if cand.query == slot {
+                    continue;
+                }
+                let head = self.head_index.get(cand).expect("indexed");
+                if eq_unify::mgu_atoms(head, atom).is_some() {
+                    partners.insert(cand.query);
+                    pc_satisfiers[ai] += 1;
+                }
+            }
+            self.pc_index.insert(aref, atom);
+        }
+        for &p in &partners {
+            self.adj.entry(slot).or_default().insert(p);
+            self.adj.entry(p).or_default().insert(slot);
+        }
+
+        self.slots[slot as usize] = Some(PendingQuery {
+            query: renamed,
+            sender: tx,
+            pc_satisfiers,
+        });
+        self.by_id.insert(id, slot);
+        self.statuses.insert(id, QueryStatus::Pending);
+        self.age_queue.push_back((now, id));
+
+        match self.config.mode {
+            EngineMode::Incremental => {
+                let limit = self.config.incremental_partition_limit;
+                match self.bounded_partition(slot, limit) {
+                    Some(members) => {
+                        self.process_slots(&members);
+                    }
+                    None => {
+                        let mut ordered: Vec<u32> = partners.into_iter().collect();
+                        ordered.sort_unstable();
+                        self.eager_pair(slot, &ordered);
+                    }
+                }
+            }
+            EngineMode::SetAtATime { batch_size } => {
+                self.submissions_since_flush += 1;
+                if batch_size > 0 && self.submissions_since_flush >= batch_size {
+                    self.flush();
+                }
+            }
+        }
+
+        Ok(QueryHandle { id, outcome: rx })
+    }
+
+    /// Admission safety check (Figure 9): reject the query if admitting
+    /// it would give any postcondition (its own or a pending query's)
+    /// two or more unifying heads.
+    fn check_admission_safety(&self, q: &EntangledQuery) -> Result<(), SubmitError> {
+        // Each of q's postconditions must unify with at most one pending
+        // head.
+        for pc in &q.postconditions {
+            let mut hits = 0u32;
+            for cand in self.head_index.candidates(pc) {
+                let head = self.head_index.get(cand).expect("indexed");
+                if eq_unify::mgu_atoms(head, pc).is_some() {
+                    hits += 1;
+                    if hits >= 2 {
+                        return Err(SubmitError::Unsafe);
+                    }
+                }
+            }
+        }
+        // Each of q's heads must not give a pending postcondition a
+        // second satisfier.
+        for head in &q.head {
+            for cand in self.pc_index.candidates(head) {
+                let pc = self.pc_index.get(cand).expect("indexed");
+                if eq_unify::mgu_atoms(head, pc).is_none() {
+                    continue;
+                }
+                let owner = self.slots[cand.query as usize]
+                    .as_ref()
+                    .expect("live slot");
+                if owner.pc_satisfiers[cand.atom as usize] >= 1 {
+                    return Err(SubmitError::Unsafe);
+                }
+            }
+        }
+        // Within-query ambiguity: two of q's own heads unifying one of
+        // its postconditions is impossible to form (self-edges are
+        // excluded), so nothing to check.
+        Ok(())
+    }
+
+    /// Fails and removes every pending query older than the staleness
+    /// bound.
+    pub fn expire_stale(&mut self) -> usize {
+        let Some(bound) = self.config.staleness else {
+            return 0;
+        };
+        let now = Instant::now();
+        let mut expired = 0;
+        while let Some(&(t, id)) = self.age_queue.front() {
+            if now.duration_since(t) < bound {
+                break;
+            }
+            self.age_queue.pop_front();
+            if let Some(&slot) = self.by_id.get(&id) {
+                self.retire(slot, Err(FailReason::Stale));
+                expired += 1;
+            }
+        }
+        expired
+    }
+
+    /// Set-at-a-time evaluation over the whole pending pool: builds the
+    /// unifiability graph, partitions it, and processes every component
+    /// (in parallel when `flush_threads > 1`). Unmatched queries remain
+    /// pending.
+    pub fn flush(&mut self) -> BatchReport {
+        self.submissions_since_flush = 0;
+        self.expire_stale();
+
+        let live: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&s| self.slots[s as usize].is_some())
+            .collect();
+        self.process_slots(&live)
+    }
+
+    /// BFS over the incremental adjacency from `slot`, stopping early
+    /// once the partition exceeds `limit`. Returns the member list, or
+    /// `None` if the partition is larger than `limit`.
+    fn bounded_partition(&self, slot: u32, limit: usize) -> Option<Vec<u32>> {
+        let mut members = vec![slot];
+        let mut seen: FastSet<u32> = FastSet::default();
+        seen.insert(slot);
+        let mut i = 0;
+        while i < members.len() {
+            let cur = members[i];
+            i += 1;
+            if let Some(next) = self.adj.get(&cur) {
+                for &n in next {
+                    if self.slots[n as usize].is_some() && seen.insert(n) {
+                        members.push(n);
+                        if members.len() > limit {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        Some(members)
+    }
+
+    /// Eager pairing for oversized partitions: try the new query against
+    /// each direct unification partner; the first pair that closes
+    /// syntactically is evaluated immediately (the paper's
+    /// nondeterministic choice among coordination options). On a database
+    /// miss the pair is failed or kept per [`NoSolutionPolicy`].
+    fn eager_pair(&mut self, slot: u32, partners: &[u32]) {
+        let query = self.slots[slot as usize]
+            .as_ref()
+            .expect("live slot")
+            .query
+            .clone();
+        // A query without postconditions coordinates alone.
+        if query.postconditions.is_empty() {
+            self.process_slots(&[slot]);
+            return;
+        }
+        for &p in partners {
+            if self.slots[p as usize].is_none() {
+                continue;
+            }
+            let partner = self.slots[p as usize]
+                .as_ref()
+                .expect("live slot")
+                .query
+                .clone();
+            let graph = MatchGraph::build(vec![query.clone(), partner]);
+            let m = matching::match_component(&graph, &[0, 1]);
+            if m.survivors.len() != 2 {
+                continue; // the pair does not close; try the next partner
+            }
+            let Some(global) = m.global else {
+                continue;
+            };
+            let combined = CombinedQuery::build(&graph, &m.survivors, &global);
+            let solutions = {
+                let db = self.db.read();
+                combined.evaluate(&db, 1)
+            };
+            let locals = [slot, p];
+            match solutions {
+                Ok(sols) => match sols.into_iter().next() {
+                    Some(answers) => {
+                        for (&local, answer) in m.survivors.iter().zip(answers) {
+                            self.retire(locals[local as usize], Ok(answer));
+                        }
+                        return;
+                    }
+                    None => {
+                        if self.config.on_no_solution == NoSolutionPolicy::Reject {
+                            for &l in &locals {
+                                self.retire(
+                                    l,
+                                    Err(FailReason::Rejected(RejectReason::NoSolution)),
+                                );
+                            }
+                            return;
+                        }
+                        // KeepPending: try the next partner.
+                    }
+                },
+                Err(_) => {
+                    for &l in &locals {
+                        self.retire(l, Err(FailReason::Rejected(RejectReason::NoSolution)));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Matches and evaluates the given live slots. Builds a fresh
+    /// `MatchGraph` over just those queries — partitions are small in
+    /// realistic workloads (§5.3.4), which is what makes this cheap; for
+    /// giant clusters, set-at-a-time mode amortizes the cost.
+    fn process_slots(&mut self, slots: &[u32]) -> BatchReport {
+        let mut report = BatchReport::default();
+        if slots.is_empty() {
+            report.pending = self.pending_count();
+            return report;
+        }
+        let queries: Vec<EntangledQuery> = slots
+            .iter()
+            .map(|&s| self.slots[s as usize].as_ref().expect("live slot").query.clone())
+            .collect();
+        let graph = MatchGraph::build(queries);
+
+        // Safety enforcement (§3.1.1) at matching time: ambiguous
+        // queries sit out this round but stay pending — their ambiguity
+        // may resolve when partners retire. (The admission-time check,
+        // when enabled, makes this a no-op.)
+        let mut live = vec![true; graph.len()];
+        crate::safety::enforce(&graph, &mut live);
+        let components = graph.components_live(&live);
+        report.components = components.len();
+
+        // Phase 1 (parallelizable, read-only): match + evaluate each
+        // component.
+        let db = self.db.read();
+        let outcomes: Vec<ComponentOutcome> = if self.config.flush_threads > 1 {
+            let threads = self.config.flush_threads;
+            let chunk = components.len().div_ceil(threads).max(1);
+            let mut results: Vec<Vec<ComponentOutcome>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = components
+                    .chunks(chunk)
+                    .map(|chunk| {
+                        let graph = &graph;
+                        let db = &*db;
+                        let config = &self.config;
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|c| process_component(graph, c, db, config))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("component worker panicked"));
+                }
+            });
+            results.into_iter().flatten().collect()
+        } else {
+            components
+                .iter()
+                .map(|c| process_component(&graph, c, &db, &self.config))
+                .collect()
+        };
+        drop(db);
+
+        // Phase 2 (sequential): deliver outcomes and retire queries.
+        for outcome in outcomes {
+            report.stats.dequeues += outcome.stats.dequeues;
+            report.stats.mgu_calls += outcome.stats.mgu_calls;
+            report.stats.cleanups += outcome.stats.cleanups;
+            for (local, answer) in outcome.answered {
+                let slot = slots[local as usize];
+                self.retire(slot, Ok(answer));
+                report.answered += 1;
+            }
+            for (local, reason) in outcome.failed {
+                let slot = slots[local as usize];
+                self.retire(slot, Err(FailReason::Rejected(reason)));
+                report.failed += 1;
+            }
+            // Unmatched stay pending.
+        }
+        report.pending = self.pending_count();
+        report
+    }
+
+    fn allocate_slot(&mut self) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            return s;
+        }
+        let s = self.slots.len() as u32;
+        self.slots.push(None);
+        s
+    }
+
+    /// Removes a query from all engine state and delivers its outcome.
+    fn retire(&mut self, slot: u32, outcome: Result<QueryAnswer, FailReason>) {
+        let Some(pending) = self.slots[slot as usize].take() else {
+            return;
+        };
+        let id = pending.query.id;
+        self.by_id.remove(&id);
+        for ai in 0..pending.query.head.len() as u32 {
+            // A head leaving the pool frees up partner postconditions.
+            let head = &pending.query.head[ai as usize];
+            for cand in self.pc_index.candidates(head) {
+                if cand.query == slot {
+                    continue;
+                }
+                let pc = self.pc_index.get(cand).expect("indexed");
+                if eq_unify::mgu_atoms(head, pc).is_some() {
+                    if let Some(p) = self.slots[cand.query as usize].as_mut() {
+                        let c = &mut p.pc_satisfiers[cand.atom as usize];
+                        *c = c.saturating_sub(1);
+                    }
+                }
+            }
+            self.head_index.remove(AtomRef {
+                query: slot,
+                atom: ai,
+            });
+        }
+        for ai in 0..pending.query.postconditions.len() as u32 {
+            self.pc_index.remove(AtomRef {
+                query: slot,
+                atom: ai,
+            });
+        }
+        if let Some(neighbors) = self.adj.remove(&slot) {
+            for n in neighbors {
+                if let Some(back) = self.adj.get_mut(&n) {
+                    back.remove(&slot);
+                }
+            }
+        }
+        self.free_slots.push(slot);
+
+        let (status, message) = match outcome {
+            Ok(answer) => (QueryStatus::Answered, QueryOutcome::Answered(answer)),
+            Err(reason) => (
+                QueryStatus::Failed(reason.clone()),
+                QueryOutcome::Failed(reason),
+            ),
+        };
+        self.statuses.insert(id, status);
+        let _ = pending.sender.try_send(message);
+    }
+}
+
+/// Result of processing one component: outcomes keyed by *local* slot
+/// (index into the `slots` array passed to `process_slots`).
+struct ComponentOutcome {
+    answered: Vec<(u32, QueryAnswer)>,
+    failed: Vec<(u32, RejectReason)>,
+    stats: MatchStats,
+}
+
+fn process_component(
+    graph: &MatchGraph,
+    members: &[u32],
+    db: &Database,
+    config: &EngineConfig,
+) -> ComponentOutcome {
+    let mut out = ComponentOutcome {
+        answered: Vec::new(),
+        failed: Vec::new(),
+        stats: MatchStats::default(),
+    };
+
+    let m = matching::match_component(graph, members);
+    out.stats = m.stats;
+    if m.survivors.is_empty() {
+        return out; // everyone stays pending
+    }
+    let Some(global) = m.global else {
+        // Inconsistent component: reject survivors (removed stay
+        // pending — their partners may still arrive).
+        for &s in &m.survivors {
+            out.failed.push((s, RejectReason::Unmatched));
+        }
+        return out;
+    };
+
+    // UCS on the survivor subgraph.
+    if !config.evaluate_non_ucs {
+        let mut alive = vec![false; graph.len()];
+        for &s in &m.survivors {
+            alive[s as usize] = true;
+        }
+        if !ucs::violations(graph, &alive).is_empty() {
+            for &s in &m.survivors {
+                out.failed.push((s, RejectReason::NonUcs));
+            }
+            return out;
+        }
+    }
+
+    let combined = CombinedQuery::build(graph, &m.survivors, &global);
+    match combined.evaluate(db, 1) {
+        Ok(solutions) => match solutions.into_iter().next() {
+            Some(answers) => {
+                // `answers` is parallel to `m.survivors`.
+                for (&slot, answer) in m.survivors.iter().zip(answers) {
+                    out.answered.push((slot, answer));
+                }
+            }
+            None => {
+                if config.on_no_solution == NoSolutionPolicy::Reject {
+                    for &s in &m.survivors {
+                        out.failed.push((s, RejectReason::NoSolution));
+                    }
+                }
+                // KeepPending: nothing to do.
+            }
+        },
+        Err(e) => {
+            // Unknown relation / arity error in some body: fail those
+            // queries rather than poisoning the component forever.
+            let _ = e;
+            for &s in &m.survivors {
+                out.failed.push((s, RejectReason::NoSolution));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_ir::Value;
+    use eq_sql::parse_ir_query;
+
+    fn q(text: &str) -> EntangledQuery {
+        parse_ir_query(text).unwrap()
+    }
+
+    fn flight_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("F", &["fno", "dest"]).unwrap();
+        db.create_table("A", &["fno", "airline"]).unwrap();
+        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+            db.insert("F", vec![Value::int(fno), Value::str(dest)])
+                .unwrap();
+        }
+        for (fno, al) in [
+            (122, "United"),
+            (123, "United"),
+            (134, "Lufthansa"),
+            (136, "Alitalia"),
+        ] {
+            db.insert("A", vec![Value::int(fno), Value::str(al)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn incremental_pair_coordinates_on_second_arrival() {
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        let h1 = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        assert_eq!(engine.status(h1.id), Some(&QueryStatus::Pending));
+        assert!(h1.outcome.try_recv().is_err());
+
+        let h2 = engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)"))
+            .unwrap();
+        // Both answered synchronously inside the second submit.
+        let o1 = h1.outcome.try_recv().unwrap();
+        let o2 = h2.outcome.try_recv().unwrap();
+        let (QueryOutcome::Answered(a1), QueryOutcome::Answered(a2)) = (o1, o2) else {
+            panic!("expected both answered");
+        };
+        assert_eq!(a1.tuples[0][1], a2.tuples[0][1]);
+        assert_eq!(engine.pending_count(), 0);
+        assert_eq!(engine.status(h1.id), Some(&QueryStatus::Answered));
+    }
+
+    #[test]
+    fn set_at_a_time_waits_for_flush() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                ..Default::default()
+            },
+        );
+        let h1 = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        let h2 = engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        assert_eq!(engine.pending_count(), 2);
+        assert!(h1.outcome.try_recv().is_err());
+        let report = engine.flush();
+        assert_eq!(report.answered, 2);
+        assert_eq!(report.pending, 0);
+        assert!(matches!(
+            h2.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+    }
+
+    #[test]
+    fn auto_flush_on_batch_size() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 2 },
+                ..Default::default()
+            },
+        );
+        let h1 = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        let _h2 = engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        // Second submission hit the batch size and flushed.
+        assert!(matches!(
+            h1.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+    }
+
+    #[test]
+    fn unmatched_queries_stay_pending_across_flushes() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                ..Default::default()
+            },
+        );
+        let h = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        let report = engine.flush();
+        assert_eq!(report.answered, 0);
+        assert_eq!(report.pending, 1);
+        assert!(h.outcome.try_recv().is_err());
+        // Partner arrives; next flush coordinates.
+        let _h2 = engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        let report = engine.flush();
+        assert_eq!(report.answered, 2);
+    }
+
+    #[test]
+    fn admission_safety_check_rejects_second_satisfier() {
+        // Two pending heads R(*, ITH); a new query whose pc unifies both
+        // is rejected (Figure 9 semantics).
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                ..Default::default()
+            },
+        );
+        engine
+            .submit(q("{R(Kramer, ITH)} R(Jerry, ITH) <- F(x, Paris)"))
+            .unwrap();
+        engine
+            .submit(q("{R(Kramer, ITH)} R(Elaine, ITH) <- F(y, Paris)"))
+            .unwrap();
+        let err = engine
+            .submit(q("{R(p, ITH)} R(Kramer, ITH) <- F(p, Paris)"))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Unsafe);
+
+        // A head that would give a pending pc its second satisfier is
+        // also rejected: both pending queries' pcs R(Kramer, ITH) already
+        // have... none; give one a satisfier first.
+        engine
+            .submit(q("{R(Jerry, ITH)} R(Kramer, ITH) <- F(z, Paris)"))
+            .unwrap();
+        // Now R(Kramer, ITH) pcs of q1/q2 each have one satisfier; a new
+        // provider of R(Kramer, ITH) would be a second one.
+        let err = engine
+            .submit(q("{} R(Kramer, ITH) <- F(w, Paris)"))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Unsafe);
+    }
+
+    #[test]
+    fn staleness_fails_old_queries() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                staleness: Some(Duration::from_millis(1)),
+                ..Default::default()
+            },
+        );
+        let h = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let expired = engine.expire_stale();
+        assert_eq!(expired, 1);
+        assert_eq!(
+            h.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(FailReason::Stale)
+        );
+        assert_eq!(engine.pending_count(), 0);
+    }
+
+    #[test]
+    fn no_solution_reject_policy() {
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        let h1 = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Athens)"))
+            .unwrap();
+        let h2 = engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)"))
+            .unwrap();
+        assert_eq!(
+            h1.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(FailReason::Rejected(RejectReason::NoSolution))
+        );
+        assert!(matches!(h2.outcome.try_recv().unwrap(), QueryOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn no_solution_keep_pending_policy_retries_after_db_update() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                on_no_solution: NoSolutionPolicy::KeepPending,
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                ..Default::default()
+            },
+        );
+        let h1 = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Athens)"))
+            .unwrap();
+        let _h2 = engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)"))
+            .unwrap();
+        let report = engine.flush();
+        assert_eq!(report.answered, 0);
+        assert_eq!(report.pending, 2);
+        // An Athens flight appears.
+        engine
+            .db()
+            .write()
+            .insert("F", vec![Value::int(200), Value::str("Athens")])
+            .unwrap();
+        let report = engine.flush();
+        assert_eq!(report.answered, 2);
+        assert!(matches!(
+            h1.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+    }
+
+    #[test]
+    fn parallel_flush_matches_sequential() {
+        let mk = |threads: usize| {
+            let mut engine = CoordinationEngine::new(
+                flight_db(),
+                EngineConfig {
+                    mode: EngineMode::SetAtATime { batch_size: 0 },
+                    flush_threads: threads,
+                    ..Default::default()
+                },
+            );
+            for i in 0..20 {
+                let a = format!("U{i}a");
+                let b = format!("U{i}b");
+                engine
+                    .submit(q(&format!("{{R({b}, ITH)}} R({a}, ITH) <- F(x{i}, Paris)")))
+                    .unwrap();
+                engine
+                    .submit(q(&format!("{{R({a}, ITH)}} R({b}, ITH) <- F(y{i}, Paris)")))
+                    .unwrap();
+            }
+            engine.flush()
+        };
+        let seq = mk(1);
+        let par = mk(4);
+        assert_eq!(seq.answered, par.answered);
+        assert_eq!(seq.answered, 40);
+        assert_eq!(seq.components, par.components);
+    }
+
+    #[test]
+    fn incremental_partition_isolation() {
+        // Submitting a new pair must not re-trigger work on unrelated
+        // pending queries (checked indirectly: unrelated pending query
+        // remains pending and unanswered).
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        let lonely = engine
+            .submit(q("{R(Newman, z)} R(Frank, z) <- F(z, Rome)"))
+            .unwrap();
+        engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        assert_eq!(engine.pending_count(), 1);
+        assert!(lonely.outcome.try_recv().is_err());
+    }
+
+    #[test]
+    fn invalid_query_rejected_at_submit() {
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        let err = engine
+            .submit(EntangledQuery::new(vec![], vec![], vec![]))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Invalid(_)));
+    }
+
+    #[test]
+    fn slots_are_reused_after_retirement() {
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        for _ in 0..5 {
+            let h1 = engine
+                .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+                .unwrap();
+            let _h2 = engine
+                .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+                .unwrap();
+            assert!(matches!(
+                h1.outcome.try_recv().unwrap(),
+                QueryOutcome::Answered(_)
+            ));
+        }
+        // Ten queries processed, but only two slots ever allocated.
+        assert!(engine.slots.len() <= 4, "slots: {}", engine.slots.len());
+    }
+
+    #[test]
+    fn eager_pairing_kicks_in_for_oversized_partitions() {
+        // Partition limit 1 forces the eager-pair path on every arrival.
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                incremental_partition_limit: 1,
+                admission_safety_check: false,
+                ..Default::default()
+            },
+        );
+        engine
+            .db()
+            .write()
+            .create_table("Buddy", &["a", "b"])
+            .unwrap();
+        for (a, b) in [("Jerry", "Kramer"), ("Kramer", "Jerry")] {
+            engine
+                .db()
+                .write()
+                .insert("Buddy", vec![Value::str(a), Value::str(b)])
+                .unwrap();
+        }
+        let h1 = engine
+            .submit(q("{R(x, ITH)} R(Jerry, ITH) <- Buddy(Jerry, x)"))
+            .unwrap();
+        // Jerry's pc R(x, ITH) unifies Kramer's head and vice versa; the
+        // pair closes and evaluates eagerly.
+        let h2 = engine
+            .submit(q("{R(y, ITH)} R(Kramer, ITH) <- Buddy(Kramer, y)"))
+            .unwrap();
+        assert!(matches!(h1.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
+        assert!(matches!(h2.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
+        assert_eq!(engine.pending_count(), 0);
+    }
+
+    #[test]
+    fn eager_pairing_rejects_both_on_database_miss() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                incremental_partition_limit: 1,
+                admission_safety_check: false,
+                ..Default::default()
+            },
+        );
+        engine
+            .db()
+            .write()
+            .create_table("Buddy", &["a", "b"])
+            .unwrap();
+        // No Buddy rows: the pair closes syntactically but the combined
+        // query finds no tuples.
+        let h1 = engine
+            .submit(q("{R(x, ITH)} R(Jerry, ITH) <- Buddy(Jerry, x)"))
+            .unwrap();
+        let h2 = engine
+            .submit(q("{R(y, ITH)} R(Kramer, ITH) <- Buddy(Kramer, y)"))
+            .unwrap();
+        assert!(matches!(h1.outcome.try_recv().unwrap(), QueryOutcome::Failed(_)));
+        assert!(matches!(h2.outcome.try_recv().unwrap(), QueryOutcome::Failed(_)));
+        assert_eq!(engine.pending_count(), 0);
+    }
+
+    #[test]
+    fn three_way_incremental() {
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        let h1 = engine
+            .submit(q("{R(Kramer, IAH)} R(Jerry, IAH) <- F(x, Paris)"))
+            .unwrap();
+        let h2 = engine
+            .submit(q("{R(Elaine, IAH)} R(Kramer, IAH) <- F(y, Paris)"))
+            .unwrap();
+        assert!(h1.outcome.try_recv().is_err());
+        let h3 = engine
+            .submit(q("{R(Jerry, IAH)} R(Elaine, IAH) <- F(z, Paris)"))
+            .unwrap();
+        assert!(matches!(h1.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
+        assert!(matches!(h2.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
+        assert!(matches!(h3.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
+    }
+}

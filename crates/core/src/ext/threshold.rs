@@ -1,0 +1,324 @@
+//! Aggregation-constrained coordination — a prototype of the §6
+//! aggregation extension.
+//!
+//! The paper's motivating example: *"Jerry wants to attend a party on
+//! Friday subject to the constraint that more than five of his friends
+//! attend this same party"*, expressed with a `COUNT(*)` subquery over
+//! the ANSWER relation.
+//!
+//! This module implements a restricted but sound semantics for such
+//! queries, as a post-pass over a coordination round:
+//!
+//! 1. the ordinary queries of the round are coordinated first (§4);
+//! 2. each [`ThresholdQuery`] then looks for a grounding of its body
+//!    under which **at least `k`** of the round's produced answer atoms
+//!    unify with its counted template.
+//!
+//! The restriction is one-directional dependence: a threshold query can
+//! depend on the round's answers, but ordinary queries cannot depend on
+//! the threshold query's head within the same round (full mutual
+//! aggregation would reintroduce the CSP of Theorem 2.1). This matches
+//! the paper's example, where the friends' attendance stands on its own
+//! and only Jerry's query aggregates over it.
+
+use crate::combine::QueryAnswer;
+use eq_db::{Database, DbError};
+use eq_ir::{Atom, EntangledQuery, FastSet, QueryId, Symbol, Term, Value, Var};
+
+/// An entangled query whose postcondition is an aggregate threshold:
+/// "my head holds if at least `threshold` answer tuples match
+/// `counted`" (`COUNT(*) ... >= threshold` in the paper's SQL sketch).
+#[derive(Clone, Debug)]
+pub struct ThresholdQuery {
+    /// Query identity.
+    pub id: QueryId,
+    /// Head atoms contributed on success (over ANSWER relations).
+    pub head: Vec<Atom>,
+    /// The counted template: answer atoms unifying with it (under the
+    /// chosen body valuation) are counted. Distinct tuples count once.
+    pub counted: Atom,
+    /// Minimum number of distinct matching answer tuples.
+    pub threshold: usize,
+    /// Body over database relations, binding the variables of `head`
+    /// and `counted`.
+    pub body: Vec<Atom>,
+}
+
+/// The outcome for one threshold query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThresholdOutcome {
+    /// A grounding satisfied the threshold; the answer is attached.
+    Satisfied(QueryAnswer),
+    /// No grounding of the body reached the threshold; the best count
+    /// seen is reported for diagnostics.
+    NotSatisfied {
+        /// Highest number of matching answer atoms over all groundings.
+        best_count: usize,
+    },
+}
+
+impl ThresholdQuery {
+    /// Builds a threshold query.
+    pub fn new(
+        id: QueryId,
+        head: Vec<Atom>,
+        counted: Atom,
+        threshold: usize,
+        body: Vec<Atom>,
+    ) -> Self {
+        ThresholdQuery {
+            id,
+            head,
+            counted,
+            threshold,
+            body,
+        }
+    }
+
+    /// Evaluates the threshold query against the answers of a finished
+    /// coordination round.
+    ///
+    /// For every valuation of the body (in database order) the counted
+    /// template is instantiated and matched against the round's answer
+    /// atoms; the first valuation reaching the threshold wins —
+    /// mirroring the `CHOOSE 1` semantics of ordinary entangled queries.
+    pub fn evaluate(
+        &self,
+        db: &Database,
+        round_answers: &[QueryAnswer],
+    ) -> Result<ThresholdOutcome, DbError> {
+        // Collect the round's answer atoms once.
+        let produced: Vec<(Symbol, &[Value])> = round_answers
+            .iter()
+            .flat_map(|a| {
+                a.relations
+                    .iter()
+                    .zip(&a.tuples)
+                    .map(|(r, t)| (*r, t.as_slice()))
+            })
+            .collect();
+
+        let valuations = db.evaluate(&self.body, usize::MAX)?;
+        let mut best = 0usize;
+        for val in &valuations {
+            let template = self.counted.apply(&|v: Var| {
+                val.get(&v).map(|c| Term::Const(*c))
+            });
+            let mut seen: FastSet<&[Value]> = FastSet::default();
+            for &(rel, tuple) in &produced {
+                if rel != template.relation || tuple.len() != template.arity() {
+                    continue;
+                }
+                let matches = template.terms.iter().zip(tuple).all(|(t, v)| match t {
+                    Term::Const(c) => c == v,
+                    // Leftover variables (not bound by the body) match
+                    // anything — but repeated leftovers must agree,
+                    // which the simple positional check cannot see;
+                    // range restriction below rules that out.
+                    Term::Var(_) => true,
+                });
+                if matches {
+                    seen.insert(tuple);
+                }
+            }
+            let count = seen.len();
+            best = best.max(count);
+            if count >= self.threshold {
+                let answer = QueryAnswer {
+                    query: self.id,
+                    relations: self.head.iter().map(|a| a.relation).collect(),
+                    tuples: self
+                        .head
+                        .iter()
+                        .map(|a| {
+                            a.terms
+                                .iter()
+                                .map(|t| match t {
+                                    Term::Const(c) => *c,
+                                    Term::Var(v) => *val
+                                        .get(v)
+                                        .expect("range restriction binds head variables"),
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                };
+                return Ok(ThresholdOutcome::Satisfied(answer));
+            }
+        }
+        Ok(ThresholdOutcome::NotSatisfied { best_count: best })
+    }
+
+    /// Validates range restriction: all head variables and all repeated
+    /// counted-template variables must occur in the body.
+    pub fn validate(&self) -> Result<(), eq_ir::ValidationError> {
+        let probe = EntangledQuery::new(self.head.clone(), vec![], self.body.clone());
+        probe.validate()?;
+        // Repeated variables in the counted template that the body does
+        // not bind would need a join over the answer relation, which the
+        // positional matcher above cannot express.
+        let body_vars: FastSet<Var> = self.body.iter().flat_map(|a| a.vars()).collect();
+        let mut seen: FastSet<Var> = FastSet::default();
+        for v in self.counted.vars() {
+            if !seen.insert(v) && !body_vars.contains(&v) {
+                return Err(eq_ir::ValidationError::NotRangeRestricted {
+                    var: v,
+                    polarity: eq_ir::Polarity::Postcondition,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinate;
+    use eq_sql::parse_ir_query;
+
+    /// The party scenario of §6: parties, friendships, and unconditional
+    /// attendees; Jerry attends only if ≥ 3 friends attend the same
+    /// party.
+    fn party_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("Parties", &["pid", "pdate"]).unwrap();
+        db.create_table("Friend", &["name1", "name2"]).unwrap();
+        db.insert("Parties", vec![Value::int(1), Value::str("Friday")])
+            .unwrap();
+        db.insert("Parties", vec![Value::int(2), Value::str("Friday")])
+            .unwrap();
+        db.insert("Parties", vec![Value::int(3), Value::str("Saturday")])
+            .unwrap();
+        for f in ["elaine", "kramer", "george", "newman"] {
+            db.insert("Friend", vec![Value::str("jerry"), Value::str(f)])
+                .unwrap();
+        }
+        db
+    }
+
+    /// Unconditional attendance queries (no postconditions): friend `f`
+    /// attends party `pid`.
+    fn attend(f: &str, pid: i64) -> EntangledQuery {
+        parse_ir_query(&format!("{{}} Attendance({pid}, \"{f}\") <-")).unwrap()
+    }
+
+    fn jerry(threshold: usize) -> ThresholdQuery {
+        // {COUNT Attendance(p, friend-of-jerry) >= threshold}
+        //   Attendance(p, jerry) <- Parties(p, Friday), Friend(jerry, x)
+        // The counted template counts rows Attendance(p, x) for friends x.
+        ThresholdQuery::new(
+            QueryId(100),
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::var(Var(0)), Term::str("jerry")],
+            )],
+            Atom::new("Attendance", vec![Term::var(Var(0)), Term::var(Var(1))]),
+            threshold,
+            vec![Atom::new(
+                "Parties",
+                vec![Term::var(Var(0)), Term::str("Friday")],
+            )],
+        )
+    }
+
+    #[test]
+    fn threshold_met_on_popular_party() {
+        let db = party_db();
+        // Three friends at party 1, one at party 2.
+        let round = coordinate(
+            &[
+                attend("elaine", 1),
+                attend("kramer", 1),
+                attend("george", 1),
+                attend("newman", 2),
+            ],
+            &db,
+        )
+        .unwrap();
+        assert_eq!(round.answers.len(), 4);
+        let q = jerry(3);
+        q.validate().unwrap();
+        let outcome = q.evaluate(&db, &round.all_answers()).unwrap();
+        match outcome {
+            ThresholdOutcome::Satisfied(answer) => {
+                assert_eq!(answer.tuples[0][0], Value::int(1), "party 1 has 3 friends");
+                assert_eq!(answer.tuples[0][1], Value::str("jerry"));
+            }
+            other => panic!("expected satisfied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_not_met_reports_best_count() {
+        let db = party_db();
+        let round = coordinate(&[attend("elaine", 1), attend("kramer", 2)], &db).unwrap();
+        let outcome = jerry(3).evaluate(&db, &round.all_answers()).unwrap();
+        assert_eq!(outcome, ThresholdOutcome::NotSatisfied { best_count: 1 });
+    }
+
+    #[test]
+    fn saturday_parties_do_not_count() {
+        let db = party_db();
+        // All friends at party 3 — but it's on Saturday, and Jerry's
+        // body restricts to Friday parties.
+        let round = coordinate(
+            &[
+                attend("elaine", 3),
+                attend("kramer", 3),
+                attend("george", 3),
+            ],
+            &db,
+        )
+        .unwrap();
+        let outcome = jerry(3).evaluate(&db, &round.all_answers()).unwrap();
+        assert_eq!(outcome, ThresholdOutcome::NotSatisfied { best_count: 0 });
+    }
+
+    #[test]
+    fn duplicate_answers_count_once() {
+        let db = party_db();
+        let round = coordinate(
+            &[attend("elaine", 1), attend("elaine", 1), attend("kramer", 1)],
+            &db,
+        )
+        .unwrap();
+        // elaine's duplicate contribution is one distinct tuple.
+        let outcome = jerry(3).evaluate(&db, &round.all_answers()).unwrap();
+        assert_eq!(outcome, ThresholdOutcome::NotSatisfied { best_count: 2 });
+    }
+
+    #[test]
+    fn zero_threshold_is_trivially_satisfied() {
+        let db = party_db();
+        let q = jerry(0);
+        let outcome = q.evaluate(&db, &[]).unwrap();
+        assert!(matches!(outcome, ThresholdOutcome::Satisfied(_)));
+    }
+
+    #[test]
+    fn validation_rejects_unbound_head_variable() {
+        let q = ThresholdQuery::new(
+            QueryId(1),
+            vec![Atom::new("A", vec![Term::var(Var(7))])],
+            Atom::new("A", vec![Term::var(Var(0))]),
+            1,
+            vec![],
+        );
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_repeated_unbound_counted_variable() {
+        // Counted template A(x, x) with x unbound: would need an
+        // answer-relation self-join the matcher cannot express.
+        let q = ThresholdQuery::new(
+            QueryId(1),
+            vec![Atom::new("H", vec![Term::int(1)])],
+            Atom::new("A", vec![Term::var(Var(5)), Term::var(Var(5))]),
+            1,
+            vec![],
+        );
+        assert!(q.validate().is_err());
+    }
+}

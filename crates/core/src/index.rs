@@ -1,0 +1,335 @@
+//! The atom index of §4.1.4.
+//!
+//! To find which head atoms a postcondition can unify with (and vice
+//! versa) without scanning all resident atoms, the paper indexes atoms
+//! under `(Relation, Position, Value)` keys, with variables replaced by a
+//! distinguished wildcard `Δ`. A lookup for an atom `R(v1..vn)`
+//! intersects, over its *constant* positions `i`, the posting lists
+//! `L(R, i, vi) ∪ L(R, i, Δ)`; an atom with no constants falls back to
+//! the per-relation list.
+//!
+//! The index over-approximates: candidates are guaranteed to contain all
+//! truly unifiable atoms, but repeated-variable patterns can slip
+//! through (`R(z,z)` vs `R(2,3)`), so callers re-check with
+//! [`eq_unify::mgu_atoms`]. The paper makes the same observation and
+//! notes the index gives no complexity guarantee but is "immensely
+//! useful" in practice.
+
+use eq_ir::{Atom, FastMap, Symbol, Term, Value};
+
+/// Reference to one atom: which query (by caller-chosen slot) and which
+/// atom position within that query's head or postcondition list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomRef {
+    /// Caller-defined query slot (index into the graph's query vector).
+    pub query: u32,
+    /// Index of the atom within the query's head or postcondition list.
+    pub atom: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyValue {
+    Wildcard,
+    Exact(Value),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    relation: Symbol,
+    position: u32,
+    value: KeyValue,
+}
+
+/// An index over a set of atoms supporting unifiability-candidate lookup
+/// and removal (queries retire from the engine when answered or stale).
+#[derive(Default)]
+pub struct AtomIndex {
+    postings: FastMap<Key, Vec<AtomRef>>,
+    by_relation: FastMap<Symbol, Vec<AtomRef>>,
+    /// Kept so that removal can locate all of an atom's postings.
+    atoms: FastMap<AtomRef, Atom>,
+}
+
+impl AtomIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        AtomIndex::default()
+    }
+
+    /// Number of atoms currently indexed.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if no atoms are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Inserts an atom under `r`.
+    pub fn insert(&mut self, r: AtomRef, atom: &Atom) {
+        for (pos, term) in atom.terms.iter().enumerate() {
+            let value = match term {
+                Term::Const(c) => KeyValue::Exact(*c),
+                Term::Var(_) => KeyValue::Wildcard,
+            };
+            self.postings
+                .entry(Key {
+                    relation: atom.relation,
+                    position: pos as u32,
+                    value,
+                })
+                .or_default()
+                .push(r);
+        }
+        self.by_relation.entry(atom.relation).or_default().push(r);
+        self.atoms.insert(r, atom.clone());
+    }
+
+    /// Removes an atom by reference. No-op if absent.
+    pub fn remove(&mut self, r: AtomRef) {
+        let Some(atom) = self.atoms.remove(&r) else {
+            return;
+        };
+        for (pos, term) in atom.terms.iter().enumerate() {
+            let value = match term {
+                Term::Const(c) => KeyValue::Exact(*c),
+                Term::Var(_) => KeyValue::Wildcard,
+            };
+            if let Some(list) = self.postings.get_mut(&Key {
+                relation: atom.relation,
+                position: pos as u32,
+                value,
+            }) {
+                list.retain(|&x| x != r);
+            }
+        }
+        if let Some(list) = self.by_relation.get_mut(&atom.relation) {
+            list.retain(|&x| x != r);
+        }
+    }
+
+    /// The stored atom for a reference, if present.
+    pub fn get(&self, r: AtomRef) -> Option<&Atom> {
+        self.atoms.get(&r)
+    }
+
+    /// Candidate atoms that may unify with `probe`:
+    /// `A ∩ ⋂_{constant positions i} (L(R,i,vi) ∪ L(R,i,Δ))`.
+    ///
+    /// The driving posting list is the most selective constant position
+    /// (smallest `L(R,i,vi) ∪ L(R,i,Δ)`); the remaining positions are
+    /// enforced by filtering the candidates positionally, which costs
+    /// `O(|smallest list| · arity)` instead of materializing every
+    /// posting list — the difference between linear and quadratic total
+    /// cost on hub-heavy workloads (every query sharing one destination
+    /// constant).
+    ///
+    /// Candidates are superset-correct; callers must confirm with a real
+    /// MGU check. Results are deduplicated and in insertion order.
+    pub fn candidates(&self, probe: &Atom) -> Vec<AtomRef> {
+        let best = probe
+            .terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_const().map(|c| (i as u32, c)))
+            .min_by_key(|&(pos, val)| self.union_len(probe.relation, pos, val));
+
+        let Some((pos, val)) = best else {
+            // All-variable probe: every atom of the relation (with equal
+            // arity) is a candidate.
+            return self
+                .by_relation
+                .get(&probe.relation)
+                .map(|refs| {
+                    refs.iter()
+                        .filter(|&&r| self.atoms[&r].arity() == probe.arity())
+                        .copied()
+                        .collect()
+                })
+                .unwrap_or_default();
+        };
+
+        let mut acc = self.lookup_union(probe.relation, pos, val);
+        acc.retain(|&r| {
+            let atom = &self.atoms[&r];
+            atom.arity() == probe.arity() && atom.positionally_compatible(probe)
+        });
+        acc
+    }
+
+    fn union_len(&self, relation: Symbol, position: u32, value: Value) -> usize {
+        let exact = self
+            .postings
+            .get(&Key {
+                relation,
+                position,
+                value: KeyValue::Exact(value),
+            })
+            .map_or(0, Vec::len);
+        let wild = self
+            .postings
+            .get(&Key {
+                relation,
+                position,
+                value: KeyValue::Wildcard,
+            })
+            .map_or(0, Vec::len);
+        exact + wild
+    }
+
+    /// `L(R, pos, v) ∪ L(R, pos, Δ)`, deduplicated (an atom appears in
+    /// only one of the two lists for a given position, so concatenation
+    /// suffices).
+    fn lookup_union(&self, relation: Symbol, position: u32, value: Value) -> Vec<AtomRef> {
+        let mut out = Vec::new();
+        if let Some(exact) = self.postings.get(&Key {
+            relation,
+            position,
+            value: KeyValue::Exact(value),
+        }) {
+            out.extend_from_slice(exact);
+        }
+        if let Some(wild) = self.postings.get(&Key {
+            relation,
+            position,
+            value: KeyValue::Wildcard,
+        }) {
+            out.extend_from_slice(wild);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_ir::{atom, FastSet, Var};
+
+    fn v(i: u32) -> Term {
+        Term::var(Var(i))
+    }
+
+    fn r(q: u32, a: u32) -> AtomRef {
+        AtomRef { query: q, atom: a }
+    }
+
+    #[test]
+    fn paper_example_lookup() {
+        // Index Reserve(Kramer, x) and Reserve(Jerry, y); probing with
+        // Reserve(Jerry, z) must return only Jerry's atom.
+        let mut idx = AtomIndex::new();
+        idx.insert(r(0, 0), &atom!("Reserve", [Term::str("Kramer"), v(0)]));
+        idx.insert(r(1, 0), &atom!("Reserve", [Term::str("Jerry"), v(1)]));
+        let probe = atom!("Reserve", [Term::str("Jerry"), v(2)]);
+        assert_eq!(idx.candidates(&probe), vec![r(1, 0)]);
+    }
+
+    #[test]
+    fn wildcard_probe_returns_relation() {
+        let mut idx = AtomIndex::new();
+        idx.insert(r(0, 0), &atom!("R", [Term::str("a"), v(0)]));
+        idx.insert(r(1, 0), &atom!("R", [Term::str("b"), v(1)]));
+        idx.insert(r(2, 0), &atom!("S", [Term::str("a"), v(2)]));
+        let probe = atom!("R", [v(3), v(4)]);
+        assert_eq!(idx.candidates(&probe), vec![r(0, 0), r(1, 0)]);
+    }
+
+    #[test]
+    fn indexed_wildcards_match_constant_probe() {
+        // Head R(x, ITH) must be a candidate for probe R(Jerry, ITH).
+        let mut idx = AtomIndex::new();
+        idx.insert(r(0, 0), &atom!("R", [v(0), Term::str("ITH")]));
+        let probe = atom!("R", [Term::str("Jerry"), Term::str("ITH")]);
+        assert_eq!(idx.candidates(&probe), vec![r(0, 0)]);
+    }
+
+    #[test]
+    fn multi_constant_intersection() {
+        let mut idx = AtomIndex::new();
+        idx.insert(r(0, 0), &atom!("R", [Term::str("a"), Term::str("x")]));
+        idx.insert(r(1, 0), &atom!("R", [Term::str("a"), Term::str("y")]));
+        idx.insert(r(2, 0), &atom!("R", [v(0), Term::str("y")]));
+        // Probe R(a, y): candidates are atoms compatible in both columns.
+        let probe = atom!("R", [Term::str("a"), Term::str("y")]);
+        assert_eq!(idx.candidates(&probe), vec![r(1, 0), r(2, 0)]);
+    }
+
+    #[test]
+    fn arity_filtered() {
+        let mut idx = AtomIndex::new();
+        idx.insert(r(0, 0), &atom!("R", [Term::str("a")]));
+        idx.insert(r(1, 0), &atom!("R", [Term::str("a"), v(0)]));
+        let probe = atom!("R", [Term::str("a")]);
+        assert_eq!(idx.candidates(&probe), vec![r(0, 0)]);
+        let wild_probe = atom!("R", [v(1)]);
+        assert_eq!(idx.candidates(&wild_probe), vec![r(0, 0)]);
+    }
+
+    #[test]
+    fn over_approximation_documented() {
+        // R(z, z) indexed; probe R(2, 3) — index returns it as a
+        // candidate even though true unification fails.
+        let mut idx = AtomIndex::new();
+        idx.insert(r(0, 0), &atom!("R", [v(0), v(0)]));
+        let probe = atom!("R", [Term::int(2), Term::int(3)]);
+        assert_eq!(idx.candidates(&probe), vec![r(0, 0)]);
+        assert!(eq_unify::mgu_atoms(idx.get(r(0, 0)).unwrap(), &probe).is_none());
+    }
+
+    #[test]
+    fn removal() {
+        let mut idx = AtomIndex::new();
+        idx.insert(r(0, 0), &atom!("R", [Term::str("a"), v(0)]));
+        idx.insert(r(1, 0), &atom!("R", [Term::str("a"), v(1)]));
+        assert_eq!(idx.len(), 2);
+        idx.remove(r(0, 0));
+        assert_eq!(idx.len(), 1);
+        let probe = atom!("R", [Term::str("a"), v(2)]);
+        assert_eq!(idx.candidates(&probe), vec![r(1, 0)]);
+        // Removing again is a no-op.
+        idx.remove(r(0, 0));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn no_false_negatives_vs_pairwise() {
+        // Exhaustive cross-check on a small universe: every truly
+        // unifiable pair must appear in the candidate list.
+        use eq_unify::mgu_atoms;
+        let consts = ["a", "b"];
+        let mut atoms = Vec::new();
+        let mut next_var = 0u32;
+        for t1 in 0..3 {
+            for t2 in 0..3 {
+                let mut mk = |sel: usize| -> Term {
+                    match sel {
+                        0 => Term::str(consts[0]),
+                        1 => Term::str(consts[1]),
+                        _ => {
+                            let t = Term::var(Var(next_var));
+                            next_var += 1;
+                            t
+                        }
+                    }
+                };
+                atoms.push(Atom::new("R", vec![mk(t1), mk(t2)]));
+            }
+        }
+        let mut idx = AtomIndex::new();
+        for (i, a) in atoms.iter().enumerate() {
+            idx.insert(r(i as u32, 0), a);
+        }
+        for probe in &atoms {
+            let cands: FastSet<AtomRef> = idx.candidates(probe).into_iter().collect();
+            for (i, a) in atoms.iter().enumerate() {
+                if mgu_atoms(a, probe).is_some() {
+                    assert!(
+                        cands.contains(&r(i as u32, 0)),
+                        "index missed unifiable pair {a} / {probe}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The entangled-query coordination engine — the paper's primary
+//! contribution.
+//!
+//! Pipeline (§4):
+//!
+//! 1. [`index::AtomIndex`] — the `(Relation, Position, Value/Δ)` index of
+//!    §4.1.4 used to discover unifiable head/postcondition pairs without
+//!    pairwise scans;
+//! 2. [`graph::MatchGraph`] — the unifiability multigraph of §4.1.1,
+//!    plus connected-component partitioning (§4.1.2);
+//! 3. [`safety`] — the safety condition of §3.1.1 (a postcondition that
+//!    unifies with two or more heads makes the set unsafe);
+//! 4. [`ucs`] — the unique-coordination-structure condition of §3.1.2
+//!    via strongly connected components;
+//! 5. [`matching`] — Algorithm 1: unifier propagation with cascading
+//!    cleanup (§4.1.3–4.1.4);
+//! 6. [`combine`] — combined-query construction and answer distribution
+//!    (§4.2);
+//! 7. [`engine`] — the D3C engine of §5.1: asynchronous submission,
+//!    set-at-a-time and incremental modes, staleness, per-component
+//!    parallelism.
+//!
+//! [`bruteforce`] implements the generic coordinating-set semantics of
+//! §2.3 directly (the NP-hard search of Theorem 2.1); it serves as a
+//! correctness oracle for the fast path and as an ablation baseline.
+//!
+//! For one-shot, set-at-a-time coordination over a fixed query set, use
+//! [`coordinate()`]; for a long-running service, use
+//! [`CoordinationEngine`].
+
+pub mod bruteforce;
+pub mod combine;
+pub mod coordinate;
+pub mod engine;
+pub mod ext;
+pub mod graph;
+pub mod index;
+pub mod matching;
+pub mod safety;
+pub mod ucs;
+
+pub use combine::{CombinedQuery, QueryAnswer};
+pub use coordinate::{coordinate, coordinate_with_config, CoordinationOutcome, RejectReason};
+pub use engine::{
+    BatchReport, CoordinationEngine, EngineConfig, EngineMode, QueryHandle, QueryStatus,
+    SubmitError,
+};
+pub use graph::{Edge, MatchGraph};
+pub use safety::{SafetyPolicy, SafetyViolation};
+pub use ucs::UcsViolation;

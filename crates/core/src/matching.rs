@@ -1,0 +1,431 @@
+//! Query matching: Algorithm 1 of §4.1.3–4.1.4 — unifier propagation
+//! with cascading cleanup.
+//!
+//! Given one connected component of a *safe* unifiability graph, matching
+//!
+//! 1. seeds each node's unifier with the MGUs of its in-edges (the local
+//!    constraint that its postconditions be satisfied by the matched
+//!    heads);
+//! 2. removes nodes with an unsatisfied postcondition (`INDEGREE(q) <
+//!    PCCOUNT(q)`), cascading the removal to all descendants (CLEANUP);
+//! 3. propagates unifiers along edges with an updates queue until
+//!    fixpoint: `U(child) := MGU(U(parent), U(child))`, enqueueing the
+//!    child when its unifier strictly grew, cleaning it up when the MGU
+//!    fails;
+//! 4. folds the survivors' unifiers into a single global unifier for the
+//!    component (§4.2); if that fails, the whole component is rejected.
+
+use crate::graph::MatchGraph;
+use eq_ir::FastMap;
+use eq_unify::Unifier;
+use std::collections::VecDeque;
+
+/// Counters for one matching run, reported by the benchmark harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Nodes dequeued from the updates queue.
+    pub dequeues: u64,
+    /// MGU merge operations performed.
+    pub mgu_calls: u64,
+    /// Nodes removed by CLEANUP (unsatisfiable queries).
+    pub cleanups: u64,
+}
+
+/// Result of matching one component.
+#[derive(Debug)]
+pub struct ComponentMatch {
+    /// Slots that survived matching: every postcondition is satisfied
+    /// and all constraints are mutually consistent along edges.
+    pub survivors: Vec<u32>,
+    /// Slots removed as unanswerable.
+    pub removed: Vec<u32>,
+    /// Final per-node unifiers (survivors only).
+    pub unifiers: FastMap<u32, Unifier>,
+    /// The component-wide unifier `U = mgu({U(qi)})` of §4.2; `None`
+    /// when no survivors remain or when the global MGU does not exist
+    /// (in which case the component must be rejected).
+    pub global: Option<Unifier>,
+    /// Run counters.
+    pub stats: MatchStats,
+}
+
+impl ComponentMatch {
+    /// True if matching produced an evaluable combined query.
+    pub fn is_answerable(&self) -> bool {
+        self.global.is_some() && !self.survivors.is_empty()
+    }
+}
+
+/// Runs matching on the component `members` of `graph`. Slots outside
+/// `members` are treated as absent; `members` must be closed under the
+/// graph's edges (i.e. be a full connected component, as produced by
+/// [`MatchGraph::components`]) — edges to non-members are ignored.
+pub fn match_component(graph: &MatchGraph, members: &[u32]) -> ComponentMatch {
+    let mut stats = MatchStats::default();
+    let mut in_component = vec![false; graph.len()];
+    for &m in members {
+        in_component[m as usize] = true;
+    }
+    let mut alive = in_component.clone();
+    let mut unifiers: FastMap<u32, Unifier> = members
+        .iter()
+        .map(|&m| (m, Unifier::new()))
+        .collect();
+    let mut removed = Vec::new();
+
+    // Step 1+2: seed unifiers from in-edge MGUs and drop nodes with an
+    // unsatisfied postcondition. A worklist handles the cascade.
+    let mut doomed: Vec<u32> = Vec::new();
+    for &m in members {
+        let q = &graph.queries()[m as usize];
+        let pc_count = q.pc_count();
+        let mut satisfied = vec![false; pc_count];
+        let mut conflict = false;
+        for &eid in graph.in_edges(m) {
+            let e = &graph.edges()[eid as usize];
+            if !in_component[e.from as usize] {
+                continue;
+            }
+            satisfied[e.pc_idx as usize] = true;
+            stats.mgu_calls += 1;
+            if unifiers.get_mut(&m).unwrap().merge_from(&e.mgu).is_err() {
+                conflict = true;
+                break;
+            }
+        }
+        if conflict || satisfied.iter().any(|&s| !s) {
+            doomed.push(m);
+        }
+    }
+    for d in doomed {
+        cleanup(graph, d, &mut alive, &mut removed, &mut stats);
+    }
+
+    // Step 3: Algorithm 1 — propagate unifiers along edges.
+    let mut queue: VecDeque<u32> = members.iter().copied().filter(|&m| alive[m as usize]).collect();
+    let mut queued = vec![false; graph.len()];
+    for &m in &queue {
+        queued[m as usize] = true;
+    }
+    while let Some(parent) = queue.pop_front() {
+        queued[parent as usize] = false;
+        if !alive[parent as usize] {
+            continue;
+        }
+        stats.dequeues += 1;
+        let parent_unifier = unifiers[&parent].clone();
+        for &eid in graph.out_edges(parent) {
+            let child = graph.edges()[eid as usize].to;
+            if !alive[child as usize] {
+                continue;
+            }
+            stats.mgu_calls += 1;
+            let child_unifier = unifiers.get_mut(&child).unwrap();
+            match child_unifier.merge_from(&parent_unifier) {
+                Ok(true) => {
+                    if !queued[child as usize] {
+                        queued[child as usize] = true;
+                        queue.push_back(child);
+                    }
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    cleanup(graph, child, &mut alive, &mut removed, &mut stats);
+                }
+            }
+        }
+    }
+
+    // Step 4: global unifier over survivors.
+    let survivors: Vec<u32> = members.iter().copied().filter(|&m| alive[m as usize]).collect();
+    let mut global = Some(Unifier::new());
+    if survivors.is_empty() {
+        global = None;
+    } else {
+        for &s in &survivors {
+            stats.mgu_calls += 1;
+            let g = global.as_mut().unwrap();
+            if g.merge_from(&unifiers[&s]).is_err() {
+                global = None;
+                break;
+            }
+        }
+    }
+
+    unifiers.retain(|slot, _| alive[*slot as usize]);
+    ComponentMatch {
+        survivors,
+        removed,
+        unifiers,
+        global,
+        stats,
+    }
+}
+
+/// CLEANUP(n) from §4.1.3: removes `n` and all its descendants (via
+/// out-edges) from the live set. Safety guarantees each postcondition has
+/// at most one satisfier, so a descendant losing its parent is
+/// unanswerable and must go too.
+fn cleanup(
+    graph: &MatchGraph,
+    start: u32,
+    alive: &mut [bool],
+    removed: &mut Vec<u32>,
+    stats: &mut MatchStats,
+) {
+    if !alive[start as usize] {
+        return;
+    }
+    let mut stack = vec![start];
+    alive[start as usize] = false;
+    while let Some(v) = stack.pop() {
+        removed.push(v);
+        stats.cleanups += 1;
+        for &eid in graph.out_edges(v) {
+            let w = graph.edges()[eid as usize].to;
+            if alive[w as usize] {
+                alive[w as usize] = false;
+                stack.push(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_ir::{EntangledQuery, QueryId, Value, VarGen};
+    use eq_sql::parse_ir_query;
+
+    fn build(texts: &[&str]) -> MatchGraph {
+        let gen = VarGen::new();
+        let queries: Vec<EntangledQuery> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                parse_ir_query(t)
+                    .unwrap()
+                    .rename_apart(&gen)
+                    .with_id(QueryId(i as u64))
+            })
+            .collect();
+        MatchGraph::build(queries)
+    }
+
+    fn run_all(graph: &MatchGraph) -> ComponentMatch {
+        let members: Vec<u32> = (0..graph.len() as u32).collect();
+        match_component(graph, &members)
+    }
+
+    #[test]
+    fn kramer_jerry_match() {
+        let g = build(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.is_answerable());
+        assert_eq!(m.survivors, vec![0, 1]);
+        // The global unifier forces x = y.
+        let global = m.global.unwrap();
+        let x = g.queries()[0].head[0].terms[1].as_var().unwrap();
+        let y = g.queries()[1].head[0].terms[1].as_var().unwrap();
+        assert!(global.same_class(x, y));
+    }
+
+    #[test]
+    fn running_example_figure_4_full_run() {
+        // §4.1.4 running example. Expected final unifier:
+        // {{x1, y1}, {x2, z2}, {x3, z1, 1}}.
+        let g = build(&[
+            "{R(x1) & S(x2)} T(x3) <- D1(x1, x2, x3)",
+            "{T(1)} R(y1) <- D2(y1)",
+            "{T(z1)} S(z2) <- D3(z1, z2)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.is_answerable());
+        assert_eq!(m.survivors, vec![0, 1, 2]);
+
+        // Identify the renamed variables by structural position.
+        let q = g.queries();
+        let x1 = q[0].postconditions[0].terms[0].as_var().unwrap();
+        let x2 = q[0].postconditions[1].terms[0].as_var().unwrap();
+        let x3 = q[0].head[0].terms[0].as_var().unwrap();
+        let y1 = q[1].head[0].terms[0].as_var().unwrap();
+        let z1 = q[2].postconditions[0].terms[0].as_var().unwrap();
+        let z2 = q[2].head[0].terms[0].as_var().unwrap();
+
+        let u = m.global.unwrap();
+        assert!(u.same_class(x1, y1));
+        assert!(u.same_class(x2, z2));
+        assert!(u.same_class(x3, z1));
+        assert_eq!(u.constant_of(x3), Some(Value::int(1)));
+        // And the classes are distinct.
+        assert!(!u.same_class(x1, x2));
+        assert!(!u.same_class(x1, x3));
+    }
+
+    #[test]
+    fn figure_4_variant_with_conflicting_constant_fails() {
+        // §4.1.4: if q3's postcondition is T(2) rather than T(z1), x3
+        // would need to equal 1 and 2 simultaneously; matching eliminates
+        // q1 and its children q2 and q3.
+        let g = build(&[
+            "{R(x1) & S(x2)} T(x3) <- D1(x1, x2, x3)",
+            "{T(1)} R(y1) <- D2(y1)",
+            "{T(2)} S(z2) <- D3(z2)",
+        ]);
+        let m = run_all(&g);
+        assert!(!m.is_answerable());
+        assert!(m.survivors.is_empty());
+        assert_eq!(m.removed.len(), 3);
+    }
+
+    #[test]
+    fn unmatched_postcondition_cascades() {
+        // q0 needs X(v) but nothing provides X; q1 depends on q0's head.
+        let g = build(&[
+            "{X(v)} Y(v) <- T(v)",
+            "{Y(w)} Z(w) <- T(w)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.survivors.is_empty());
+        assert_eq!(m.removed, vec![0, 1]);
+        assert_eq!(m.stats.cleanups, 2);
+    }
+
+    #[test]
+    fn independent_provider_survives_dependent_removal() {
+        // q0 is a pure provider (no postconditions); q1 consumes q0's
+        // head; q2 needs a head nobody provides. Removing q2 must not
+        // remove q0 or q1.
+        let g = build(&[
+            "{} A(C1) <- T(C1)",
+            "{A(v)} B(v) <- T(v)",
+            "{Missing(w)} D(w) <- T(w)",
+        ]);
+        let m = run_all(&g);
+        assert_eq!(m.survivors, vec![0, 1]);
+        assert_eq!(m.removed, vec![2]);
+    }
+
+    #[test]
+    fn ground_pairs_need_no_propagation_rounds() {
+        // Fully specified pair (best-case workload §5.3.1): unifiers stay
+        // empty, matching is pure graph work.
+        let g = build(&[
+            "{R(Kramer, ITH)} R(Jerry, ITH) <- F(Jerry, Kramer)",
+            "{R(Jerry, ITH)} R(Kramer, ITH) <- F(Kramer, Jerry)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.is_answerable());
+        assert!(m.global.unwrap().is_empty());
+    }
+
+    #[test]
+    fn three_way_cycle_matches() {
+        let g = build(&[
+            "{R(Kramer, IAH)} R(Jerry, IAH) <- F(Jerry, Kramer)",
+            "{R(Elaine, IAH)} R(Kramer, IAH) <- F(Kramer, Elaine)",
+            "{R(Jerry, IAH)} R(Elaine, IAH) <- F(Elaine, Jerry)",
+        ]);
+        let m = run_all(&g);
+        assert_eq!(m.survivors, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn variable_pair_unifier_binds_partner_names() {
+        // Random workload of §5.3.1: {R(x, ITH)} R(Jerry, ITH) and the
+        // symmetric query; matching must bind x = Kramer and y = Jerry.
+        let g = build(&[
+            "{R(x, ITH)} R(Jerry, ITH) <- F(Jerry, x)",
+            "{R(y, ITH)} R(Kramer, ITH) <- F(Kramer, y)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.is_answerable());
+        let u = m.global.unwrap();
+        let x = g.queries()[0].postconditions[0].terms[0].as_var().unwrap();
+        let y = g.queries()[1].postconditions[0].terms[0].as_var().unwrap();
+        assert_eq!(u.constant_of(x), Some(Value::str("Kramer")));
+        assert_eq!(u.constant_of(y), Some(Value::str("Jerry")));
+    }
+
+    #[test]
+    fn per_component_isolation() {
+        // Two disjoint pairs; matching one component must not touch the
+        // other.
+        let g = build(&[
+            "{R(Jerry, ITH)} R(Kramer, ITH) <- F(Kramer, Jerry)",
+            "{R(Kramer, ITH)} R(Jerry, ITH) <- F(Jerry, Kramer)",
+            "{R(Frank, SBN)} R(Elaine, SBN) <- F(Elaine, Frank)",
+            "{R(Elaine, SBN)} R(Frank, SBN) <- F(Frank, Elaine)",
+        ]);
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        let m0 = match_component(&g, &comps[0]);
+        assert_eq!(m0.survivors, comps[0]);
+        let m1 = match_component(&g, &comps[1]);
+        assert_eq!(m1.survivors, comps[1]);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = build(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.stats.dequeues >= 2);
+        assert!(m.stats.mgu_calls >= 2);
+        assert_eq!(m.stats.cleanups, 0);
+    }
+
+    #[test]
+    fn multi_postcondition_clique() {
+        // §5.3.3 clique workload with two postconditions per query.
+        let g = build(&[
+            "{R(Jerry, SBN) & R(Kramer, SBN)} R(Elaine, SBN) <- F(Elaine, Jerry) & F(Elaine, Kramer)",
+            "{R(Elaine, SBN) & R(Kramer, SBN)} R(Jerry, SBN) <- F(Jerry, Elaine) & F(Jerry, Kramer)",
+            "{R(Elaine, SBN) & R(Jerry, SBN)} R(Kramer, SBN) <- F(Kramer, Elaine) & F(Kramer, Jerry)",
+        ]);
+        let m = run_all(&g);
+        assert_eq!(m.survivors, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partial_clique_fails() {
+        // Only two of the three clique queries arrive: each is missing
+        // one postcondition satisfier, so nothing survives.
+        let g = build(&[
+            "{R(Jerry, SBN) & R(Kramer, SBN)} R(Elaine, SBN) <- F(Elaine, Jerry) & F(Elaine, Kramer)",
+            "{R(Elaine, SBN) & R(Kramer, SBN)} R(Jerry, SBN) <- F(Jerry, Elaine) & F(Jerry, Kramer)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.survivors.is_empty());
+    }
+
+    #[test]
+    fn empty_component() {
+        let g = build(&["{} A(C) <- T(C)"]);
+        let m = match_component(&g, &[]);
+        assert!(m.survivors.is_empty());
+        assert!(m.global.is_none());
+    }
+
+    #[test]
+    fn var_to_var_chain_collapses_classes() {
+        // Heads and postconditions chain variables across three queries
+        // in a cycle; all flight variables must end up in one class.
+        let g = build(&[
+            "{R(B, x)} R(A, x) <- F(x)",
+            "{R(C, y)} R(B, y) <- F(y)",
+            "{R(A, z)} R(C, z) <- F(z)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.is_answerable());
+        let u = m.global.unwrap();
+        let x = g.queries()[0].head[0].terms[1].as_var().unwrap();
+        let z = g.queries()[2].head[0].terms[1].as_var().unwrap();
+        assert!(u.same_class(x, z));
+    }
+}

@@ -1,0 +1,225 @@
+//! Engine edge cases beyond the happy paths covered in `engine.rs`'s
+//! unit tests: empty flushes, status transitions, re-submission,
+//! multi-edge matching, and interaction of staleness with batching.
+
+use eq_core::engine::{FailReason, NoSolutionPolicy, QueryOutcome};
+use eq_core::{CoordinationEngine, EngineConfig, EngineMode, QueryStatus};
+use eq_db::Database;
+use eq_ir::{EntangledQuery, Value};
+use eq_sql::parse_ir_query;
+use std::time::Duration;
+
+fn q(text: &str) -> EntangledQuery {
+    parse_ir_query(text).unwrap()
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.create_table("F", &["fno", "dest"]).unwrap();
+    db.insert("F", vec![Value::int(122), Value::str("Paris")])
+        .unwrap();
+    db.insert("F", vec![Value::int(136), Value::str("Rome")])
+        .unwrap();
+    db
+}
+
+#[test]
+fn empty_flush_reports_zeroes() {
+    let mut engine = CoordinationEngine::new(
+        db(),
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            ..Default::default()
+        },
+    );
+    let report = engine.flush();
+    assert_eq!(report.answered, 0);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.pending, 0);
+    assert_eq!(report.components, 0);
+}
+
+#[test]
+fn parallel_flush_on_empty_pool_is_fine() {
+    let mut engine = CoordinationEngine::new(
+        db(),
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            flush_threads: 8,
+            ..Default::default()
+        },
+    );
+    let report = engine.flush();
+    assert_eq!(report.components, 0);
+}
+
+#[test]
+fn status_transitions_pending_to_answered() {
+    let mut engine = CoordinationEngine::new(db(), EngineConfig::default());
+    let h1 = engine
+        .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+        .unwrap();
+    assert_eq!(engine.status(h1.id), Some(&QueryStatus::Pending));
+    let h2 = engine
+        .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+        .unwrap();
+    assert_eq!(engine.status(h1.id), Some(&QueryStatus::Answered));
+    assert_eq!(engine.status(h2.id), Some(&QueryStatus::Answered));
+    // Unknown ids report nothing.
+    assert_eq!(engine.status(eq_ir::QueryId(9999)), None);
+}
+
+#[test]
+fn same_query_text_can_be_resubmitted_after_failure() {
+    let mut engine = CoordinationEngine::new(db(), EngineConfig::default());
+    // Athens has no flights: the pair fails with NoSolution.
+    let h1 = engine
+        .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Athens)"))
+        .unwrap();
+    let _h2 = engine
+        .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)"))
+        .unwrap();
+    assert!(matches!(
+        h1.outcome.try_recv().unwrap(),
+        QueryOutcome::Failed(_)
+    ));
+    // A flight appears; resubmission coordinates.
+    engine
+        .db()
+        .write()
+        .insert("F", vec![Value::int(200), Value::str("Athens")])
+        .unwrap();
+    let h3 = engine
+        .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Athens)"))
+        .unwrap();
+    let h4 = engine
+        .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)"))
+        .unwrap();
+    assert!(matches!(
+        h3.outcome.try_recv().unwrap(),
+        QueryOutcome::Answered(_)
+    ));
+    assert!(matches!(
+        h4.outcome.try_recv().unwrap(),
+        QueryOutcome::Answered(_)
+    ));
+}
+
+#[test]
+fn multi_edge_pair_coordinates() {
+    // Two queries connected by *two* head/postcondition pairs each way:
+    // both travellers mirror two answer relations.
+    let mut engine = CoordinationEngine::new(db(), EngineConfig::default());
+    let h1 = engine
+        .submit(q(
+            "{R(Jerry, x) & S(Jerry, x)} R(Kramer, x) & S(Kramer, x) <- F(x, Paris)",
+        ))
+        .unwrap();
+    let h2 = engine
+        .submit(q(
+            "{R(Kramer, y) & S(Kramer, y)} R(Jerry, y) & S(Jerry, y) <- F(y, Paris)",
+        ))
+        .unwrap();
+    let (QueryOutcome::Answered(a1), QueryOutcome::Answered(a2)) = (
+        h1.outcome.try_recv().unwrap(),
+        h2.outcome.try_recv().unwrap(),
+    ) else {
+        panic!("expected both answered");
+    };
+    // Each answer carries two head tuples (R and S), on the same flight.
+    assert_eq!(a1.tuples.len(), 2);
+    assert_eq!(a2.tuples.len(), 2);
+    assert_eq!(a1.tuples[0][1], a2.tuples[0][1]);
+    assert_eq!(a1.tuples[1][1], a1.tuples[0][1]);
+}
+
+#[test]
+fn staleness_zero_expires_everything_on_next_submit() {
+    let mut engine = CoordinationEngine::new(
+        db(),
+        EngineConfig {
+            staleness: Some(Duration::from_millis(0)),
+            ..Default::default()
+        },
+    );
+    let h1 = engine
+        .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+        .unwrap();
+    // The next submission sweeps the (instantly stale) first query, so
+    // the pair never forms.
+    let h2 = engine
+        .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+        .unwrap();
+    assert_eq!(
+        h1.outcome.try_recv().unwrap(),
+        QueryOutcome::Failed(FailReason::Stale)
+    );
+    // The second query is alone now (it will expire on the next sweep).
+    assert!(h2.outcome.try_recv().is_err());
+    assert_eq!(engine.pending_count(), 1);
+}
+
+#[test]
+fn keep_pending_policy_in_incremental_mode() {
+    let mut engine = CoordinationEngine::new(
+        db(),
+        EngineConfig {
+            on_no_solution: NoSolutionPolicy::KeepPending,
+            ..Default::default()
+        },
+    );
+    let h1 = engine
+        .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Athens)"))
+        .unwrap();
+    let h2 = engine
+        .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)"))
+        .unwrap();
+    // Component closed but no DB solution: both remain pending.
+    assert!(h1.outcome.try_recv().is_err());
+    assert!(h2.outcome.try_recv().is_err());
+    assert_eq!(engine.pending_count(), 2);
+    // Database gains the flight; a flush retries the still-pending
+    // component.
+    engine
+        .db()
+        .write()
+        .insert("F", vec![Value::int(300), Value::str("Athens")])
+        .unwrap();
+    let report = engine.flush();
+    assert_eq!(report.answered, 2);
+}
+
+#[test]
+fn handles_survive_engine_drop() {
+    let handle = {
+        let mut engine = CoordinationEngine::new(db(), EngineConfig::default());
+        engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap()
+        // Engine dropped here with the query still pending.
+    };
+    // The channel reports disconnection rather than blocking.
+    assert!(handle.outcome.try_recv().is_err());
+}
+
+#[test]
+fn choose_k_queries_accepted_by_engine_with_one_solution() {
+    // The engine's core path answers with one coordinated solution even
+    // for CHOOSE k queries (multi-answer goes through ext); the query
+    // must still round-trip fine.
+    let mut engine = CoordinationEngine::new(db(), EngineConfig::default());
+    let h1 = engine
+        .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris) choose 2"))
+        .unwrap();
+    let h2 = engine
+        .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris) choose 2"))
+        .unwrap();
+    assert!(matches!(
+        h1.outcome.try_recv().unwrap(),
+        QueryOutcome::Answered(_)
+    ));
+    assert!(matches!(
+        h2.outcome.try_recv().unwrap(),
+        QueryOutcome::Answered(_)
+    ));
+}

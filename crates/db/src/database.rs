@@ -1,0 +1,347 @@
+//! The database: a catalog of tables plus the public evaluation API.
+
+use crate::eval::{self, EvalStats, Valuation};
+use crate::table::{Table, TableSchema, Tuple};
+use eq_ir::{Atom, Constraint, FastMap, Symbol, Value};
+use std::fmt;
+
+/// Errors raised by the database layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbError {
+    /// A relation name was not found in the catalog.
+    UnknownRelation(Symbol),
+    /// A relation with this name already exists.
+    DuplicateRelation(Symbol),
+    /// A tuple or atom had the wrong number of columns for its relation.
+    ArityMismatch {
+        /// The relation involved.
+        relation: Symbol,
+        /// Arity declared in the catalog.
+        expected: usize,
+        /// Arity supplied by the caller.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            DbError::DuplicateRelation(r) => write!(f, "relation {r} already exists"),
+            DbError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for {relation}: schema has {expected} columns, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// An in-memory relational database.
+///
+/// Evaluation operates on `&self`; the coordination engine wraps the
+/// database in a read-write lock and evaluates combined queries under a
+/// read guard, which realises the paper's requirement that "the
+/// underlying database is not changed during the answering process"
+/// (§2.3).
+#[derive(Default)]
+pub struct Database {
+    tables: FastMap<Symbol, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a table. Fails if the name is taken.
+    pub fn create_table(&mut self, name: &str, columns: &[&str]) -> Result<(), DbError> {
+        let schema = TableSchema::new(name, columns);
+        let name = schema.name;
+        if self.tables.contains_key(&name) {
+            return Err(DbError::DuplicateRelation(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Inserts a tuple, maintaining all column indexes.
+    pub fn insert(&mut self, relation: &str, row: Tuple) -> Result<(), DbError> {
+        let name = Symbol::new(relation);
+        let table = self
+            .tables
+            .get_mut(&name)
+            .ok_or(DbError::UnknownRelation(name))?;
+        let expected = table.schema().arity();
+        if row.len() != expected {
+            return Err(DbError::ArityMismatch {
+                relation: name,
+                expected,
+                got: row.len(),
+            });
+        }
+        table.push(row);
+        Ok(())
+    }
+
+    /// Bulk insert.
+    pub fn insert_all(
+        &mut self,
+        relation: &str,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<(), DbError> {
+        for row in rows {
+            self.insert(relation, row)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes one occurrence of an exact tuple. Returns true if a row
+    /// was removed. Row ids stay stable (tombstoned internally).
+    pub fn delete(&mut self, relation: &str, row: &[Value]) -> Result<bool, DbError> {
+        let name = Symbol::new(relation);
+        let table = self
+            .tables
+            .get_mut(&name)
+            .ok_or(DbError::UnknownRelation(name))?;
+        if row.len() != table.schema().arity() {
+            return Err(DbError::ArityMismatch {
+                relation: name,
+                expected: table.schema().arity(),
+                got: row.len(),
+            });
+        }
+        Ok(table.delete(row))
+    }
+
+    /// Replaces one occurrence of `old` with `new` (delete + insert).
+    /// Returns true if `old` existed.
+    pub fn update(&mut self, relation: &str, old: &[Value], new: Tuple) -> Result<bool, DbError> {
+        if !self.delete(relation, old)? {
+            return Ok(false);
+        }
+        self.insert(relation, new)?;
+        Ok(true)
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: Symbol) -> Option<&Table> {
+        self.tables.get(&name)
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.tables.keys().copied()
+    }
+
+    /// True if the exact tuple is present in `relation`.
+    pub fn contains(&self, relation: &str, row: &[Value]) -> bool {
+        self.tables
+            .get(&Symbol::new(relation))
+            .is_some_and(|t| t.contains(row))
+    }
+
+    /// All rows of a relation, for tests and exports.
+    pub fn scan(&self, relation: &str) -> Result<Vec<Tuple>, DbError> {
+        let name = Symbol::new(relation);
+        let table = self
+            .tables
+            .get(&name)
+            .ok_or(DbError::UnknownRelation(name))?;
+        Ok(table.rows().cloned().collect())
+    }
+
+    /// Evaluates a conjunction of atoms over database relations, returning
+    /// up to `limit` valuations of the atoms' variables (a `LIMIT k`
+    /// select-project-join query). `usize::MAX` means "all".
+    ///
+    /// Fails fast if an atom names an unknown relation or has the wrong
+    /// arity — those are programming errors in query generation, not
+    /// coordination failures.
+    pub fn evaluate(&self, atoms: &[Atom], limit: usize) -> Result<Vec<Valuation>, DbError> {
+        self.evaluate_with_stats(atoms, limit).map(|(v, _)| v)
+    }
+
+    /// [`Database::evaluate`] with additional comparison constraints on
+    /// the valuations (`x < 5`, `level >= min`). Constraints are checked
+    /// as soon as their variables bind, pruning the join search.
+    pub fn evaluate_filtered(
+        &self,
+        atoms: &[Atom],
+        constraints: &[Constraint],
+        limit: usize,
+    ) -> Result<Vec<Valuation>, DbError> {
+        self.check_atoms(atoms)?;
+        Ok(eval::evaluate(self, atoms, constraints, limit).0)
+    }
+
+    /// [`Database::evaluate`] plus evaluator statistics (rows touched,
+    /// index probes), used by the Figure 7 harness to report DB time
+    /// drivers.
+    pub fn evaluate_with_stats(
+        &self,
+        atoms: &[Atom],
+        limit: usize,
+    ) -> Result<(Vec<Valuation>, EvalStats), DbError> {
+        self.check_atoms(atoms)?;
+        Ok(eval::evaluate(self, atoms, &[], limit))
+    }
+
+    fn check_atoms(&self, atoms: &[Atom]) -> Result<(), DbError> {
+        for atom in atoms {
+            let table = self
+                .tables
+                .get(&atom.relation)
+                .ok_or(DbError::UnknownRelation(atom.relation))?;
+            let expected = table.schema().arity();
+            if atom.arity() != expected {
+                return Err(DbError::ArityMismatch {
+                    relation: atom.relation,
+                    expected,
+                    got: atom.arity(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<_> = self.tables.values().map(|t| format!("{t:?}")).collect();
+        names.sort();
+        write!(f, "Database[{}]", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_insert_scan() {
+        let mut db = Database::new();
+        db.create_table("User", &["name", "home"]).unwrap();
+        db.insert("User", vec![Value::str("Jerry"), Value::str("ITH")])
+            .unwrap();
+        let rows = db.scan("User").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(db.contains("User", &[Value::str("Jerry"), Value::str("ITH")]));
+        assert!(!db.contains("User", &[Value::str("Jerry"), Value::str("JFK")]));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new();
+        db.create_table("T", &["a"]).unwrap();
+        assert_eq!(
+            db.create_table("T", &["a", "b"]),
+            Err(DbError::DuplicateRelation(Symbol::new("T")))
+        );
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut db = Database::new();
+        assert_eq!(
+            db.insert("Nope", vec![]),
+            Err(DbError::UnknownRelation(Symbol::new("Nope")))
+        );
+        assert!(db.scan("Nope").is_err());
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let mut db = Database::new();
+        db.create_table("T", &["a", "b"]).unwrap();
+        assert_eq!(
+            db.insert("T", vec![Value::int(1)]),
+            Err(DbError::ArityMismatch {
+                relation: Symbol::new("T"),
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn delete_removes_tuple_and_index_entries() {
+        let mut db = Database::new();
+        db.create_table("T", &["a", "b"]).unwrap();
+        db.insert("T", vec![Value::int(1), Value::str("x")]).unwrap();
+        db.insert("T", vec![Value::int(2), Value::str("y")]).unwrap();
+        assert!(db.delete("T", &[Value::int(1), Value::str("x")]).unwrap());
+        assert!(!db.contains("T", &[Value::int(1), Value::str("x")]));
+        assert!(db.contains("T", &[Value::int(2), Value::str("y")]));
+        // Deleting again is a no-op.
+        assert!(!db.delete("T", &[Value::int(1), Value::str("x")]).unwrap());
+        // Scans skip the tombstone.
+        assert_eq!(db.scan("T").unwrap().len(), 1);
+        // Evaluation no longer sees the deleted row.
+        use eq_ir::{atom, Term, Var};
+        let rows = db
+            .evaluate(&[atom!("T", [Term::var(Var(0)), Term::var(Var(1))])], usize::MAX)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn delete_only_first_duplicate() {
+        let mut db = Database::new();
+        db.create_table("D", &["a"]).unwrap();
+        db.insert("D", vec![Value::int(7)]).unwrap();
+        db.insert("D", vec![Value::int(7)]).unwrap();
+        assert!(db.delete("D", &[Value::int(7)]).unwrap());
+        assert!(db.contains("D", &[Value::int(7)]));
+        assert_eq!(db.scan("D").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_replaces_tuple() {
+        let mut db = Database::new();
+        db.create_table("Seats", &["fno", "left"]).unwrap();
+        db.insert("Seats", vec![Value::int(122), Value::int(3)])
+            .unwrap();
+        assert!(db
+            .update(
+                "Seats",
+                &[Value::int(122), Value::int(3)],
+                vec![Value::int(122), Value::int(2)],
+            )
+            .unwrap());
+        assert!(db.contains("Seats", &[Value::int(122), Value::int(2)]));
+        assert!(!db.contains("Seats", &[Value::int(122), Value::int(3)]));
+        // Updating a missing row reports false and inserts nothing.
+        assert!(!db
+            .update(
+                "Seats",
+                &[Value::int(999), Value::int(1)],
+                vec![Value::int(999), Value::int(0)],
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn delete_arity_checked() {
+        let mut db = Database::new();
+        db.create_table("T", &["a", "b"]).unwrap();
+        assert!(db.delete("T", &[Value::int(1)]).is_err());
+        assert!(db.delete("Nope", &[Value::int(1)]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DbError::ArityMismatch {
+            relation: Symbol::new("T"),
+            expected: 2,
+            got: 1,
+        };
+        assert!(e.to_string().contains("arity mismatch"));
+    }
+}

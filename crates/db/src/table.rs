@@ -1,0 +1,252 @@
+//! Tables: schema, row storage, per-column hash indexes.
+
+use eq_ir::{FastMap, Symbol, Value};
+use std::fmt;
+
+/// A database tuple.
+pub type Tuple = Vec<Value>;
+
+/// Schema of one relation: a name and ordered column names.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Relation name.
+    pub name: Symbol,
+    /// Column names, in position order.
+    pub columns: Vec<Symbol>,
+}
+
+impl TableSchema {
+    /// Builds a schema.
+    pub fn new(name: impl Into<Symbol>, columns: &[&str]) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: columns.iter().map(|c| Symbol::new(c)).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a named column.
+    pub fn column_index(&self, name: Symbol) -> Option<usize> {
+        self.columns.iter().position(|&c| c == name)
+    }
+}
+
+impl fmt::Debug for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One relation: rows plus a hash index per column.
+///
+/// Indexes are maintained eagerly on insert. Workload relations are
+/// narrow (arity ≤ 3 in the paper's schema) and read-dominated — the
+/// coordination engine evaluates many combined queries against a
+/// database that changes rarely — so eager maintenance is the right
+/// trade. The evaluator probes the index of whichever bound column has
+/// the shortest posting list.
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Tuple>,
+    /// `indexes[col][value]` = row ids having `value` in column `col`.
+    indexes: Vec<FastMap<Value, Vec<u32>>>,
+    /// Deleted rows left in place as tombstones so row ids stay stable.
+    tombstones: usize,
+}
+
+impl Table {
+    /// Creates an empty table with an index per column.
+    pub fn new(schema: TableSchema) -> Self {
+        let arity = schema.arity();
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes: (0..arity).map(|_| FastMap::default()).collect(),
+            tombstones: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows (tombstones excluded).
+    pub fn len(&self) -> usize {
+        self.rows.len() - self.tombstones
+    }
+
+    /// Upper bound (exclusive) on row ids; ids below it may be
+    /// tombstones. Scans iterate this range and skip dead rows.
+    pub fn row_id_bound(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    /// True if the row id refers to a live (non-tombstoned) row.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.schema.arity() == 0 || !self.rows[id as usize].is_empty()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row (arity already checked by the database layer).
+    pub(crate) fn push(&mut self, row: Tuple) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        let id = u32::try_from(self.rows.len()).expect("table too large");
+        for (col, value) in row.iter().enumerate() {
+            self.indexes[col].entry(*value).or_default().push(id);
+        }
+        self.rows.push(row);
+    }
+
+    /// The row with a given id.
+    pub fn row(&self, id: u32) -> &Tuple {
+        &self.rows[id as usize]
+    }
+
+    /// Iterates over all live rows.
+    pub fn rows(&self) -> impl Iterator<Item = &Tuple> {
+        let arity = self.schema.arity();
+        self.rows.iter().filter(move |r| arity == 0 || !r.is_empty())
+    }
+
+    /// Row ids whose column `col` equals `value`; empty slice if none.
+    pub fn probe(&self, col: usize, value: Value) -> &[u32] {
+        self.indexes[col]
+            .get(&value)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Posting-list length for a probe — the evaluator's cardinality
+    /// estimate when choosing which bound column to drive the lookup.
+    pub fn probe_len(&self, col: usize, value: Value) -> usize {
+        self.indexes[col].get(&value).map_or(0, Vec::len)
+    }
+
+    /// Deletes the first occurrence of an exact tuple, updating all
+    /// indexes. Returns true if a row was removed.
+    ///
+    /// Deletion marks the row as a tombstone (empty tuple) rather than
+    /// shifting ids, so existing row ids stay stable; tombstones are
+    /// skipped by scans and never referenced by indexes.
+    pub(crate) fn delete(&mut self, row: &[Value]) -> bool {
+        if row.len() != self.schema.arity() {
+            return false;
+        }
+        let id = if row.is_empty() {
+            return false;
+        } else {
+            self.probe(0, row[0])
+                .iter()
+                .copied()
+                .find(|&id| self.rows[id as usize] == row)
+        };
+        let Some(id) = id else {
+            return false;
+        };
+        for (col, value) in row.iter().enumerate() {
+            if let Some(list) = self.indexes[col].get_mut(value) {
+                list.retain(|&x| x != id);
+            }
+        }
+        self.rows[id as usize] = Tuple::new();
+        self.tombstones += 1;
+        true
+    }
+
+    /// Number of tombstoned (deleted) rows still occupying ids.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// True if an exact tuple is present.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        if row.len() != self.schema.arity() {
+            return false;
+        }
+        if row.is_empty() {
+            return !self.rows.is_empty();
+        }
+        self.probe(0, row[0])
+            .iter()
+            .any(|&id| self.rows[id as usize] == row)
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Table({:?}, {} rows)", self.schema, self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flights() -> Table {
+        let mut t = Table::new(TableSchema::new("Flights", &["fno", "dest"]));
+        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (136, "Rome")] {
+            t.push(vec![Value::int(fno), Value::str(dest)]);
+        }
+        t
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = TableSchema::new("Flights", &["fno", "dest"]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column_index(Symbol::new("dest")), Some(1));
+        assert_eq!(s.column_index(Symbol::new("nope")), None);
+        assert_eq!(format!("{s:?}"), "Flights(fno, dest)");
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let t = flights();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let rows: Vec<_> = t.rows().collect();
+        assert_eq!(rows[0][0], Value::int(122));
+    }
+
+    #[test]
+    fn index_probe() {
+        let t = flights();
+        let paris = t.probe(1, Value::str("Paris"));
+        assert_eq!(paris.len(), 2);
+        assert_eq!(t.probe_len(1, Value::str("Paris")), 2);
+        assert_eq!(t.probe(1, Value::str("Athens")), &[] as &[u32]);
+        assert_eq!(t.probe(0, Value::int(136)), &[2]);
+    }
+
+    #[test]
+    fn contains_exact_tuple() {
+        let t = flights();
+        assert!(t.contains(&[Value::int(122), Value::str("Paris")]));
+        assert!(!t.contains(&[Value::int(122), Value::str("Rome")]));
+        assert!(!t.contains(&[Value::int(122)]));
+    }
+
+    #[test]
+    fn duplicate_rows_both_indexed() {
+        let mut t = Table::new(TableSchema::new("D", &["a"]));
+        t.push(vec![Value::int(1)]);
+        t.push(vec![Value::int(1)]);
+        assert_eq!(t.probe(0, Value::int(1)).len(), 2);
+    }
+}

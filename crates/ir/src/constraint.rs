@@ -1,0 +1,186 @@
+//! Comparison constraints on body valuations.
+//!
+//! The paper restricts the *coordination* part of a query (heads and
+//! postconditions) to conjunctive atoms, but the body `B` is "a query
+//! over database relations" in general (§2.2). Comparisons such as
+//! `level >= min_level` belong to the body: they filter valuations
+//! without participating in unification or matching.
+
+use crate::{Term, Value, Var};
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Evaluates the comparison on two values.
+    ///
+    /// Integers compare numerically; strings compare lexicographically
+    /// on their text. Values of different kinds are incomparable: every
+    /// ordering comparison on them is false, while `!=` is true.
+    pub fn eval(self, lhs: Value, rhs: Value) -> bool {
+        match self {
+            CmpOp::Ne => lhs != rhs,
+            op => {
+                let ord = match (lhs, rhs) {
+                    (Value::Int(a), Value::Int(b)) => a.cmp(&b),
+                    (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+                    _ => return false,
+                };
+                match op {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    CmpOp::Ne => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A body constraint `lhs op rhs` over terms. Variables must be bound by
+/// the body's relational atoms (checked by query validation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Left operand.
+    pub lhs: Term,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Term,
+}
+
+impl Constraint {
+    /// Builds a constraint.
+    pub fn new(lhs: Term, op: CmpOp, rhs: Term) -> Self {
+        Constraint { lhs, op, rhs }
+    }
+
+    /// Variables mentioned (0, 1, or 2).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        [self.lhs, self.rhs].into_iter().filter_map(|t| t.as_var())
+    }
+
+    /// Evaluates under a lookup for variable values; `None` lookups mean
+    /// the constraint is not yet decidable and is treated as satisfied
+    /// (callers re-check once all variables are bound).
+    pub fn check(&self, lookup: &impl Fn(Var) -> Option<Value>) -> bool {
+        let resolve = |t: Term| -> Option<Value> {
+            match t {
+                Term::Const(c) => Some(c),
+                Term::Var(v) => lookup(v),
+            }
+        };
+        match (resolve(self.lhs), resolve(self.rhs)) {
+            (Some(a), Some(b)) => self.op.eval(a, b),
+            _ => true,
+        }
+    }
+
+    /// Applies a substitution to both operands.
+    pub fn apply(&self, subst: &impl Fn(Var) -> Option<Term>) -> Constraint {
+        let map = |t: Term| match t {
+            Term::Var(v) => subst(v).unwrap_or(t),
+            Term::Const(_) => t,
+        };
+        Constraint {
+            lhs: map(self.lhs),
+            op: self.op,
+            rhs: map(self.rhs),
+        }
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_comparisons() {
+        assert!(CmpOp::Lt.eval(Value::int(1), Value::int(2)));
+        assert!(!CmpOp::Lt.eval(Value::int(2), Value::int(2)));
+        assert!(CmpOp::Le.eval(Value::int(2), Value::int(2)));
+        assert!(CmpOp::Gt.eval(Value::int(3), Value::int(2)));
+        assert!(CmpOp::Ge.eval(Value::int(2), Value::int(2)));
+        assert!(CmpOp::Ne.eval(Value::int(1), Value::int(2)));
+        assert!(!CmpOp::Ne.eval(Value::int(2), Value::int(2)));
+    }
+
+    #[test]
+    fn string_comparisons_lexicographic() {
+        assert!(CmpOp::Lt.eval(Value::str("AAB"), Value::str("AAC")));
+        assert!(CmpOp::Ge.eval(Value::str("b"), Value::str("a")));
+    }
+
+    #[test]
+    fn mixed_kinds_incomparable_but_unequal() {
+        assert!(!CmpOp::Lt.eval(Value::int(1), Value::str("1")));
+        assert!(!CmpOp::Ge.eval(Value::int(1), Value::str("1")));
+        assert!(CmpOp::Ne.eval(Value::int(1), Value::str("1")));
+    }
+
+    #[test]
+    fn check_with_partial_bindings() {
+        let c = Constraint::new(Term::var(Var(0)), CmpOp::Lt, Term::int(5));
+        // Unbound: provisionally satisfied.
+        assert!(c.check(&|_| None));
+        assert!(c.check(&|_| Some(Value::int(3))));
+        assert!(!c.check(&|_| Some(Value::int(7))));
+    }
+
+    #[test]
+    fn apply_substitution() {
+        let c = Constraint::new(Term::var(Var(0)), CmpOp::Ge, Term::var(Var(1)));
+        let out = c.apply(&|v| (v == Var(0)).then_some(Term::int(9)));
+        assert_eq!(out.lhs, Term::int(9));
+        assert_eq!(out.rhs, Term::var(Var(1)));
+    }
+
+    #[test]
+    fn display_form() {
+        let c = Constraint::new(Term::var(Var(2)), CmpOp::Ne, Term::str("x"));
+        assert_eq!(c.to_string(), "?2 != x");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fast hashing for interned keys.
+//!
+//! Matching touches hash maps keyed by `Var`, `Symbol` and small tuples on
+//! every unification step; SipHash dominates profiles there. Keys are
+//! either interner indices or engine-assigned ids — not attacker
+//! controlled — so a multiplicative mixer (the `FxHash` construction used
+//! by rustc) is safe and measurably faster.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the fast mixer. Drop-in for `std::collections::HashMap`.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast mixer.
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style multiplicative hasher (public-domain construction from
+/// Firefox/rustc). Not DoS-resistant; only use for trusted keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_usually_distinct_hashes() {
+        let hashes: FastSet<u64> = (0u32..1000)
+            .map(|i| {
+                let mut h = FxHasher::default();
+                h.write_u32(i);
+                h.finish()
+            })
+            .collect();
+        assert!(hashes.len() > 990, "unexpected collision rate");
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u32, &str> = FastMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&2), Some(&"two"));
+        assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn byte_writes_cover_tail() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world!!");
+        let mut b = FxHasher::default();
+        b.write(b"hello world!?");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

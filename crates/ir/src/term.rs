@@ -1,0 +1,221 @@
+//! Variables and terms.
+
+use crate::Value;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A query variable.
+///
+/// §4.1.3 of the paper requires that "no variable can appear in more than
+/// one query"; the engine enforces this by renaming queries apart on
+/// admission using a [`VarGen`]. A `Var` is therefore globally unique
+/// within one engine / one matching run, and can be used directly as a
+/// dense union-find key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A term of a relational atom: either a constant or a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant value.
+    Const(Value),
+    /// A variable.
+    Var(Var),
+}
+
+impl Term {
+    /// Convenience constructor for an interned string constant term.
+    pub fn str(s: &str) -> Self {
+        Term::Const(Value::str(s))
+    }
+
+    /// Convenience constructor for an integer constant term.
+    pub fn int(i: i64) -> Self {
+        Term::Const(Value::int(i))
+    }
+
+    /// Convenience constructor for a variable term.
+    pub fn var(v: Var) -> Self {
+        Term::Var(v)
+    }
+
+    /// Returns the constant if this term is one.
+    pub fn as_const(self) -> Option<Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Returns the variable if this term is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// True if the term is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// True if the term is a variable.
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v:?}"),
+            Term::Var(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+/// Generator of process-unique variables.
+///
+/// Every admitted query gets its variables renamed apart through one of
+/// these, satisfying the matching algorithm's precondition. The generator
+/// is lock-free; cloning it shares the counter.
+#[derive(Debug, Default)]
+pub struct VarGen {
+    next: AtomicU32,
+}
+
+impl VarGen {
+    /// A fresh generator starting at variable 0.
+    pub fn new() -> Self {
+        VarGen::default()
+    }
+
+    /// A generator starting at `start`; useful when re-admitting queries
+    /// whose variables must not collide with existing ones.
+    pub fn starting_at(start: u32) -> Self {
+        VarGen {
+            next: AtomicU32::new(start),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh(&self) -> Var {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(idx != u32::MAX, "variable space exhausted");
+        Var(idx)
+    }
+
+    /// Allocates `n` fresh variables as a contiguous block.
+    pub fn fresh_block(&self, n: u32) -> Vec<Var> {
+        let base = self.next.fetch_add(n, Ordering::Relaxed);
+        (base..base + n).map(Var).collect()
+    }
+
+    /// Number of variables allocated so far.
+    pub fn allocated(&self) -> u32 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::int(122);
+        assert!(t.is_const());
+        assert_eq!(t.as_const(), Some(Value::int(122)));
+        assert_eq!(t.as_var(), None);
+
+        let v = Term::var(Var(3));
+        assert!(v.is_var());
+        assert_eq!(v.as_var(), Some(Var(3)));
+        assert_eq!(v.as_const(), None);
+    }
+
+    #[test]
+    fn vargen_is_monotonic_and_unique() {
+        let g = VarGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+        assert_eq!(a, Var(0));
+        assert_eq!(b, Var(1));
+        assert_eq!(g.allocated(), 2);
+    }
+
+    #[test]
+    fn vargen_block_is_contiguous() {
+        let g = VarGen::starting_at(10);
+        let block = g.fresh_block(3);
+        assert_eq!(block, vec![Var(10), Var(11), Var(12)]);
+        assert_eq!(g.fresh(), Var(13));
+    }
+
+    #[test]
+    fn vargen_concurrent_freshness() {
+        let g = std::sync::Arc::new(VarGen::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || (0..100).map(|_| g.fresh()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<Var> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 400);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::var(Var(7)).to_string(), "?7");
+        assert_eq!(Term::str("Jerry").to_string(), "Jerry");
+        assert_eq!(Term::int(5).to_string(), "5");
+    }
+}

@@ -1,0 +1,128 @@
+//! Constant values.
+
+use crate::Symbol;
+use std::fmt;
+
+/// A constant value appearing in database tuples and query atoms.
+///
+/// The paper's example schemas use strings (user names, airports, airline
+/// names) and integers (flight numbers); both are supported. Strings are
+/// interned, so `Value` is `Copy` and comparisons are integer comparisons.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer constant.
+    Int(i64),
+    /// Interned string constant.
+    Str(Symbol),
+}
+
+impl Value {
+    /// Convenience constructor interning a string constant.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Symbol::new(s))
+    }
+
+    /// Convenience constructor for an integer constant.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the string if this is a string constant.
+    pub fn as_str(self) -> Option<&'static str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer if this is an integer constant.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{:?}", s.as_str()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => f.write_str(s.as_str()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_across_kinds() {
+        assert_eq!(Value::int(122), Value::Int(122));
+        assert_eq!(Value::str("Paris"), Value::str("Paris"));
+        assert_ne!(Value::str("Paris"), Value::str("Rome"));
+        assert_ne!(Value::int(122), Value::str("122"));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::int(7).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::str("United").to_string(), "United");
+        assert_eq!(format!("{:?}", Value::str("United")), "\"United\"");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = 42i64.into();
+        assert_eq!(v, Value::int(42));
+        let v: Value = "JFK".into();
+        assert_eq!(v, Value::str("JFK"));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        // Ints order before strings by enum discriminant; within a kind the
+        // natural order applies. We only rely on *some* total order existing
+        // (for BTree keys and deterministic output), not its exact shape.
+        let mut vs = [Value::str("b"), Value::int(2), Value::int(1)];
+        vs.sort();
+        assert_eq!(vs[0], Value::int(1));
+        assert_eq!(vs[1], Value::int(2));
+    }
+}

@@ -1,0 +1,146 @@
+//! AST for the entangled-SQL dialect (§2.1).
+
+use eq_ir::Value;
+
+/// A literal constant in SQL surface syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Literal {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+}
+
+impl Literal {
+    /// Converts to an interned IR value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Str(s) => Value::str(s),
+            Literal::Int(i) => Value::int(*i),
+        }
+    }
+}
+
+/// A scalar expression: a literal or a named scalar (an implicitly
+/// existentially quantified variable shared across the whole statement,
+/// like `fno` in the paper's examples).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScalarExpr {
+    /// Literal constant.
+    Lit(Literal),
+    /// A name; every occurrence of the same name in one statement denotes
+    /// the same value.
+    Name(String),
+}
+
+/// A table reference in a subquery's FROM list: `Flights F` or `Flights`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRef {
+    /// Relation name.
+    pub table: String,
+    /// Alias; defaults to the table name.
+    pub alias: String,
+}
+
+/// A condition inside a subquery's WHERE clause. Only conjunctive
+/// equality conditions are supported, per the paper's restriction to
+/// select-project-join subqueries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimpleCondition {
+    /// `alias.col = literal` (or reversed).
+    ColEqLit {
+        /// Column reference `(alias, column)`; alias may be empty when the
+        /// FROM list has a single table.
+        col: (String, String),
+        /// The literal.
+        lit: Literal,
+    },
+    /// `alias1.col1 = alias2.col2` — a join condition.
+    ColEqCol {
+        /// Left column reference.
+        left: (String, String),
+        /// Right column reference.
+        right: (String, String),
+    },
+    /// `alias.col = name` — binds an outer scalar name.
+    ColEqName {
+        /// Column reference.
+        col: (String, String),
+        /// The outer name.
+        name: String,
+    },
+}
+
+/// `SELECT col FROM tables WHERE conds` — the database subquery shape
+/// allowed inside `IN (...)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubSelect {
+    /// The single projected column, as `(alias, column)`; alias may be
+    /// empty.
+    pub column: (String, String),
+    /// FROM list.
+    pub tables: Vec<TableRef>,
+    /// Conjunctive WHERE conditions (possibly empty).
+    pub conditions: Vec<SimpleCondition>,
+}
+
+/// `(e1, ..., en) IN ANSWER R` — a postcondition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnswerMembership {
+    /// The tuple of scalar expressions.
+    pub tuple: Vec<ScalarExpr>,
+    /// The ANSWER relation name.
+    pub answer: String,
+}
+
+/// One conjunct of the outer WHERE clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Condition {
+    /// `name IN (SELECT ...)` — binds `name` through a database subquery;
+    /// lowers to body atoms.
+    InSubquery {
+        /// The bound name.
+        name: String,
+        /// The subquery.
+        sub: SubSelect,
+    },
+    /// `(e, ...) IN ANSWER R` — lowers to a postcondition atom.
+    InAnswer(AnswerMembership),
+    /// `e1 = e2` — an equality constraint between scalars.
+    Equality(ScalarExpr, ScalarExpr),
+    /// `R(e, ...)` — direct membership of a tuple in a database relation;
+    /// shorthand lowering to one body atom (used heavily by workloads:
+    /// `Friends('Jerry', x)`).
+    DbAtom {
+        /// Relation name.
+        relation: String,
+        /// Argument tuple.
+        tuple: Vec<ScalarExpr>,
+    },
+}
+
+/// A full entangled-SQL statement:
+/// `SELECT items INTO ANSWER r1 [, ANSWER r2 ...] [WHERE conds] CHOOSE k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntangledSelect {
+    /// The SELECT list.
+    pub items: Vec<ScalarExpr>,
+    /// Target ANSWER relations (≥ 1); the same tuple is contributed to
+    /// each.
+    pub into: Vec<String>,
+    /// WHERE conjuncts.
+    pub conditions: Vec<Condition>,
+    /// `CHOOSE k`.
+    pub choose: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_to_value() {
+        assert_eq!(Literal::Str("Paris".into()).to_value(), Value::str("Paris"));
+        assert_eq!(Literal::Int(5).to_value(), Value::int(5));
+    }
+}

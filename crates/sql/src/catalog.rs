@@ -1,0 +1,60 @@
+//! Schema catalog used to resolve column names during lowering.
+
+use eq_ir::{FastMap, Symbol};
+
+/// A lightweight relation → column-names map.
+///
+/// The SQL crate deliberately does not depend on the database crate; the
+/// facade provides `Catalog::from` adapters, and callers can also build
+/// one by hand for parsing without a live database.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: FastMap<Symbol, Vec<Symbol>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table's columns.
+    pub fn add_table(&mut self, name: &str, columns: &[&str]) -> &mut Self {
+        self.tables.insert(
+            Symbol::new(name),
+            columns.iter().map(|c| Symbol::new(c)).collect(),
+        );
+        self
+    }
+
+    /// The columns of a table, if registered.
+    pub fn columns(&self, name: Symbol) -> Option<&[Symbol]> {
+        self.tables.get(&name).map(Vec::as_slice)
+    }
+
+    /// Position of `column` within `table`.
+    pub fn column_index(&self, table: Symbol, column: Symbol) -> Option<usize> {
+        self.columns(table)?.iter().position(|&c| c == column)
+    }
+
+    /// Arity of a table.
+    pub fn arity(&self, table: Symbol) -> Option<usize> {
+        self.columns(table).map(<[Symbol]>::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut c = Catalog::new();
+        c.add_table("Flights", &["fno", "dest"]);
+        let t = Symbol::new("Flights");
+        assert_eq!(c.arity(t), Some(2));
+        assert_eq!(c.column_index(t, Symbol::new("dest")), Some(1));
+        assert_eq!(c.column_index(t, Symbol::new("bogus")), None);
+        assert_eq!(c.columns(Symbol::new("Nope")), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! Parse and lowering errors.
+
+use std::fmt;
+
+/// An error produced while parsing or lowering surface syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input where the error was detected, if known.
+    pub offset: Option<usize>,
+}
+
+impl ParseError {
+    /// An error at a byte offset.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// An error with no specific location (e.g. raised during lowering).
+    pub fn general(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "parse error at byte {o}: {}", self.message),
+            None => write!(f, "parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_offset() {
+        assert_eq!(
+            ParseError::at(5, "unexpected ','").to_string(),
+            "parse error at byte 5: unexpected ','"
+        );
+        assert_eq!(
+            ParseError::general("unknown column").to_string(),
+            "parse error: unknown column"
+        );
+    }
+}

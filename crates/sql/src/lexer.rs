@@ -1,0 +1,323 @@
+//! Shared lexer for the entangled-SQL dialect and the IR text format.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character in the input.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively by the SQL
+/// parser on top of `Ident`; the lexer itself keeps them as identifiers so
+/// the IR text format can use e.g. `Select` as a constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`SELECT`, `Reservation`, `fno`, `x`).
+    Ident(String),
+    /// Single-quoted or double-quoted string literal, unescaped.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<-` (the IR text format's "is derived from")
+    Arrow,
+    /// `&` (IR text conjunction; `,` also works)
+    Amp,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `!=`
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Arrow => write!(f, "'<-'"),
+            TokenKind::Amp => write!(f, "'&'"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Le => write!(f, "'<='"),
+            TokenKind::Ge => write!(f, "'>='"),
+            TokenKind::Ne => write!(f, "'!='"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexer over a string input. Produces the full token vector up front —
+/// inputs are single statements, so there is no need to stream.
+pub struct Lexer;
+
+impl Lexer {
+    /// Tokenizes `input`, appending an [`TokenKind::Eof`] sentinel.
+    pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+        let bytes = input.as_bytes();
+        let mut tokens = Vec::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    i += 1;
+                }
+                '-' if bytes.get(i + 1) == Some(&b'-') => {
+                    // SQL line comment.
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                }
+                '(' => {
+                    tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                    i += 1;
+                }
+                ')' => {
+                    tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                    i += 1;
+                }
+                '{' => {
+                    tokens.push(Token { kind: TokenKind::LBrace, offset: i });
+                    i += 1;
+                }
+                '}' => {
+                    tokens.push(Token { kind: TokenKind::RBrace, offset: i });
+                    i += 1;
+                }
+                ',' => {
+                    tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                    i += 1;
+                }
+                '.' => {
+                    tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                    i += 1;
+                }
+                '=' => {
+                    tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                    i += 1;
+                }
+                '&' => {
+                    tokens.push(Token { kind: TokenKind::Amp, offset: i });
+                    i += 1;
+                }
+                '>' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                        i += 2;
+                    } else {
+                        tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                        i += 1;
+                    }
+                }
+                '<' => match bytes.get(i + 1) {
+                    Some(&b'-') => {
+                        tokens.push(Token { kind: TokenKind::Arrow, offset: i });
+                        i += 2;
+                    }
+                    Some(&b'=') => {
+                        tokens.push(Token { kind: TokenKind::Le, offset: i });
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                        i += 1;
+                    }
+                },
+                '!' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                        i += 2;
+                    } else {
+                        return Err(ParseError::at(i, "expected '!='"));
+                    }
+                }
+                '\'' | '"' => {
+                    let quote = bytes[i];
+                    let start = i;
+                    i += 1;
+                    let mut s = String::new();
+                    loop {
+                        match bytes.get(i) {
+                            None => {
+                                return Err(ParseError::at(start, "unterminated string literal"))
+                            }
+                            Some(&b) if b == quote => {
+                                i += 1;
+                                break;
+                            }
+                            Some(&b) => {
+                                s.push(b as char);
+                                i += 1;
+                            }
+                        }
+                    }
+                    tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                }
+                '0'..='9' => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    let value: i64 = text
+                        .parse()
+                        .map_err(|_| ParseError::at(start, "integer literal out of range"))?;
+                    tokens.push(Token { kind: TokenKind::Int(value), offset: start });
+                }
+                '-' if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    let value: i64 = text
+                        .parse()
+                        .map_err(|_| ParseError::at(start, "integer literal out of range"))?;
+                    tokens.push(Token { kind: TokenKind::Int(value), offset: start });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(input[start..i].to_owned()),
+                        offset: start,
+                    });
+                }
+                other => {
+                    return Err(ParseError::at(i, format!("unexpected character '{other}'")));
+                }
+            }
+        }
+        tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+        Ok(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_sql_fragment() {
+        let ks = kinds("SELECT 'Kramer', fno INTO ANSWER R CHOOSE 1");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Str("Kramer".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("fno".into()),
+                TokenKind::Ident("INTO".into()),
+                TokenKind::Ident("ANSWER".into()),
+                TokenKind::Ident("R".into()),
+                TokenKind::Ident("CHOOSE".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_ir_fragment() {
+        let ks = kinds("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)");
+        assert!(ks.contains(&TokenKind::LBrace));
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Ident("Jerry".into())));
+    }
+
+    #[test]
+    fn double_quoted_strings() {
+        assert_eq!(
+            kinds("\"Paris\""),
+            vec![TokenKind::Str("Paris".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(
+            kinds("-42"),
+            vec![TokenKind::Int(-42), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        let ks = kinds("a -- comment here\n b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = Lexer::tokenize("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, Some(0));
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        assert!(Lexer::tokenize("a @ b").is_err());
+        assert!(Lexer::tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = Lexer::tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

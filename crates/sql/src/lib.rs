@@ -1,0 +1,46 @@
+//! Surface syntax for entangled queries.
+//!
+//! Two parsers, both lowering to [`eq_ir::EntangledQuery`]:
+//!
+//! * **Entangled SQL** (§2.1 of the paper): the `SELECT ... INTO ANSWER
+//!   ... WHERE ... CHOOSE k` dialect. Lowering subqueries over database
+//!   relations to body atoms requires column-name → position resolution,
+//!   so [`parse_entangled_sql`] takes a [`Catalog`].
+//!
+//! * **IR text format** (§2.2): the Datalog-like notation used throughout
+//!   the paper's figures, e.g.
+//!   `{R(Jerry, x)} R(Kramer, x) <- Flights(x, Paris)`.
+//!   Identifiers starting with an uppercase letter (or quoted strings,
+//!   or integers) are constants; lowercase identifiers are variables —
+//!   matching the paper's typography. Parsed by [`parse_ir_query`].
+//!
+//! Both parsers produce queries with locally-numbered variables starting
+//! at `?0`; the engine renames queries apart at admission.
+
+mod ast;
+mod catalog;
+mod error;
+mod ir_text;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{
+    AnswerMembership, Condition, EntangledSelect, Literal, ScalarExpr, SimpleCondition, SubSelect,
+    TableRef,
+};
+pub use catalog::Catalog;
+pub use error::ParseError;
+pub use ir_text::{parse_ir_query, render_ir_query};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::lower_select;
+pub use parser::parse_select;
+
+use eq_ir::EntangledQuery;
+
+/// Parses an entangled-SQL statement and lowers it to the intermediate
+/// representation, resolving column names through `catalog`.
+pub fn parse_entangled_sql(sql: &str, catalog: &Catalog) -> Result<EntangledQuery, ParseError> {
+    let ast = parse_select(sql)?;
+    lower_select(&ast, catalog)
+}

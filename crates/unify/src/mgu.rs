@@ -1,0 +1,110 @@
+//! Most general unifiers of atoms and term sequences.
+
+use crate::Unifier;
+use eq_ir::{Atom, Term};
+
+/// Most general unifier of two flat relational atoms, or `None` if they do
+/// not unify (different relation, different arity, or clashing constants —
+/// including clashes induced by repeated variables, which the positional
+/// check of [`Atom::positionally_compatible`] cannot see).
+///
+/// The result records exactly the constraints a coordinating set must
+/// satisfy for the head atom `h` to discharge the postcondition atom `p`
+/// (§4.1.4: "the most general unifier of p and h").
+pub fn mgu_atoms(h: &Atom, p: &Atom) -> Option<Unifier> {
+    if h.relation != p.relation || h.terms.len() != p.terms.len() {
+        return None;
+    }
+    mgu_terms(&h.terms, &p.terms)
+}
+
+/// Most general unifier of two equal-length term sequences.
+pub fn mgu_terms(a: &[Term], b: &[Term]) -> Option<Unifier> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut u = Unifier::new();
+    for (&x, &y) in a.iter().zip(b) {
+        u.unify_terms(x, y).ok()?;
+    }
+    Some(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_ir::{atom, Value, Var};
+
+    fn v(i: u32) -> Term {
+        Term::var(Var(i))
+    }
+
+    #[test]
+    fn kramer_jerry_heads_and_postconditions() {
+        // Head of Jerry's query R(Jerry, y) unifies with postcondition of
+        // Kramer's query R(Jerry, x), forcing x = y.
+        let h = atom!("R", [Term::str("Jerry"), v(1)]);
+        let p = atom!("R", [Term::str("Jerry"), v(0)]);
+        let u = mgu_atoms(&h, &p).unwrap();
+        assert!(u.same_class(Var(0), Var(1)));
+    }
+
+    #[test]
+    fn mismatched_constants_fail() {
+        let h = atom!("R", [Term::str("Kramer"), v(1)]);
+        let p = atom!("R", [Term::str("Jerry"), v(0)]);
+        assert!(mgu_atoms(&h, &p).is_none());
+    }
+
+    #[test]
+    fn relation_and_arity_mismatch() {
+        let a = atom!("R", [v(0)]);
+        let b = atom!("S", [v(1)]);
+        assert!(mgu_atoms(&a, &b).is_none());
+        let c = atom!("R", [v(0), v(1)]);
+        assert!(mgu_atoms(&a, &c).is_none());
+    }
+
+    #[test]
+    fn repeated_variable_conflict() {
+        // R(z, z) vs R(2, 3): positionally compatible, not unifiable.
+        let a = atom!("R", [v(0), v(0)]);
+        let b = atom!("R", [Term::int(2), Term::int(3)]);
+        assert!(a.positionally_compatible(&b));
+        assert!(mgu_atoms(&a, &b).is_none());
+    }
+
+    #[test]
+    fn repeated_variable_success() {
+        let a = atom!("R", [v(0), v(0)]);
+        let b = atom!("R", [Term::int(2), v(1)]);
+        let u = mgu_atoms(&a, &b).unwrap();
+        assert_eq!(u.constant_of(Var(1)), Some(Value::int(2)));
+    }
+
+    #[test]
+    fn variable_to_variable_binding() {
+        let a = atom!("R", [v(0), v(1)]);
+        let b = atom!("R", [v(2), v(2)]);
+        let u = mgu_atoms(&a, &b).unwrap();
+        // All three classes collapse: x~z, y~z => x~y.
+        assert!(u.same_class(Var(0), Var(1)));
+    }
+
+    #[test]
+    fn ground_atoms_unify_iff_equal() {
+        let a = atom!("R", [Term::str("Kramer"), Term::int(122)]);
+        let b = atom!("R", [Term::str("Kramer"), Term::int(122)]);
+        let c = atom!("R", [Term::str("Kramer"), Term::int(123)]);
+        assert!(mgu_atoms(&a, &b).is_some());
+        assert!(mgu_atoms(&a, &c).is_none());
+    }
+
+    #[test]
+    fn mgu_applied_makes_atoms_equal() {
+        let a = atom!("R", [v(0), Term::int(7), v(1)]);
+        let b = atom!("R", [Term::str("u"), v(2), v(2)]);
+        let u = mgu_atoms(&a, &b).unwrap();
+        let ra = a.apply(&|var| Some(u.resolve(Term::var(var))));
+        let rb = b.apply(&|var| Some(u.resolve(Term::var(var))));
+        assert_eq!(ra, rb);
+    }
+}

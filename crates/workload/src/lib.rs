@@ -1,0 +1,84 @@
+//! Workload generators reproducing the paper's evaluation setup (§5.2):
+//! a social network of 82,168 users over 102 airports, and the query
+//! generators behind Figures 6–9.
+//!
+//! The paper used the Slashdot February 2009 trace from SNAP; that trace
+//! is not redistributable here, so [`SocialGraph::generate`] builds a
+//! synthetic scale-free graph (preferential attachment) of the same
+//! size, symmetrized, with explicit triangle closure and planted cliques
+//! so that the three-way (§5.3.2) and multi-postcondition (§5.3.3)
+//! workloads have the structures they require. Hometowns are assigned so
+//! that, as far as possible, at least half of each user's friends share
+//! their city — the paper's stated property.
+//!
+//! Workload schema (§5.2):
+//!
+//! ```text
+//! Reserve(UserName, Destination)   -- the ANSWER relation
+//! Friends(UserName1, UserName2)
+//! User(UserName, HomeTown)
+//! ```
+
+mod queries;
+mod social;
+
+pub use queries::{
+    chains, clique_groups, giant_cluster, no_unify, three_way_triangles, two_way_pairs,
+    unsafe_arrivals, unsafe_residents, PairStyle,
+};
+pub use social::{SocialGraph, SocialGraphConfig};
+
+use eq_db::Database;
+
+/// Builds the experiment database (`Friends` + `User` tables) from a
+/// social graph. The `Reserve` relation is virtual (an ANSWER relation)
+/// and is *not* a database table.
+pub fn build_database(graph: &SocialGraph) -> Database {
+    let mut db = Database::new();
+    db.create_table("Friends", &["name1", "name2"])
+        .expect("fresh database");
+    db.create_table("User", &["name", "home"])
+        .expect("fresh database");
+    for u in 0..graph.num_users() {
+        db.insert(
+            "User",
+            vec![graph.user_value(u), graph.hometown_value(u)],
+        )
+        .expect("schema arity");
+        for &v in graph.friends(u) {
+            db.insert(
+                "Friends",
+                vec![graph.user_value(u), graph.user_value(v as usize)],
+            )
+                .expect("schema arity");
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_matches_graph() {
+        let g = SocialGraph::generate(&SocialGraphConfig {
+            users: 500,
+            ..Default::default()
+        });
+        let db = build_database(&g);
+        let users = db.scan("User").unwrap();
+        assert_eq!(users.len(), 500);
+        let friends = db.scan("Friends").unwrap();
+        // Friendship is symmetric: every edge appears in both directions.
+        assert_eq!(friends.len() % 2, 0);
+        assert!(db.contains(
+            "Friends",
+            &[friends[0][0], friends[0][1]]
+        ));
+        assert!(db.contains(
+            "Friends",
+            &[friends[0][1], friends[0][0]]
+        ));
+    }
+}

@@ -1,0 +1,469 @@
+//! Synthetic social graph: scale-free, clustered, with planted cliques.
+
+use eq_ir::{FastSet, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic graph. Defaults reproduce the paper's
+/// scale: 82,168 users, 102 airports.
+#[derive(Clone, Debug)]
+pub struct SocialGraphConfig {
+    /// Number of users (Slashdot Feb-2009 has 82,168).
+    pub users: usize,
+    /// Number of airports/cities (paper: 102).
+    pub airports: usize,
+    /// Edges attached per new node (preferential attachment parameter;
+    /// Slashdot's mean degree is ≈ 11, so ~5–6 undirected edges).
+    pub attach: usize,
+    /// Probability of closing a triangle per new edge (clustering knob).
+    pub closure_prob: f64,
+    /// Number of planted 6-cliques (guarantees the §5.3.3 clique
+    /// workload has matching structures at any requested size ≤ 6).
+    pub planted_cliques: usize,
+    /// RNG seed; experiments are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for SocialGraphConfig {
+    fn default() -> Self {
+        SocialGraphConfig {
+            users: 82_168,
+            airports: 102,
+            attach: 5,
+            closure_prob: 0.3,
+            planted_cliques: 2_000,
+            seed: 0x2011_0612, // SIGMOD 2011, Athens
+        }
+    }
+}
+
+/// The social network: symmetric friendship lists, hometown per user,
+/// airport codes, and the planted cliques.
+pub struct SocialGraph {
+    config: SocialGraphConfig,
+    adjacency: Vec<Vec<u32>>,
+    hometown: Vec<u16>,
+    cliques: Vec<Vec<u32>>,
+    user_values: Vec<Value>,
+    airport_values: Vec<Value>,
+}
+
+impl SocialGraph {
+    /// Generates the graph. Deterministic in `config.seed`.
+    pub fn generate(config: &SocialGraphConfig) -> Self {
+        assert!(config.users >= 2, "need at least two users");
+        assert!(config.airports >= 1, "need at least one airport");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.users;
+        let mut adjacency: Vec<FastSet<u32>> = vec![FastSet::default(); n];
+        // Repeated-endpoint pool for preferential attachment: nodes
+        // appear once per incident edge.
+        let mut pool: Vec<u32> = Vec::with_capacity(n * config.attach * 2);
+
+        // Seed clique of attach+1 nodes.
+        let seed_size = (config.attach + 1).min(n);
+        for a in 0..seed_size {
+            for b in (a + 1)..seed_size {
+                if adjacency[a].insert(b as u32) {
+                    adjacency[b].insert(a as u32);
+                    pool.push(a as u32);
+                    pool.push(b as u32);
+                }
+            }
+        }
+
+        for v in seed_size..n {
+            let mut added = 0usize;
+            let mut guard = 0usize;
+            while added < config.attach && guard < config.attach * 20 {
+                guard += 1;
+                let target = if pool.is_empty() {
+                    rng.gen_range(0..v) as u32
+                } else {
+                    pool[rng.gen_range(0..pool.len())]
+                };
+                if target as usize == v || adjacency[v].contains(&target) {
+                    continue;
+                }
+                adjacency[v].insert(target);
+                adjacency[target as usize].insert(v as u32);
+                pool.push(v as u32);
+                pool.push(target);
+                added += 1;
+
+                // Triangle closure: with probability closure_prob,
+                // befriend one of the target's neighbors too.
+                if rng.gen_bool(config.closure_prob) {
+                    let nbrs: Vec<u32> = adjacency[target as usize]
+                        .iter()
+                        .copied()
+                        .filter(|&w| w as usize != v && !adjacency[v].contains(&w))
+                        .collect();
+                    if let Some(&w) = nbrs.as_slice().choose(&mut rng) {
+                        adjacency[v].insert(w);
+                        adjacency[w as usize].insert(v as u32);
+                        pool.push(v as u32);
+                        pool.push(w);
+                    }
+                }
+            }
+        }
+
+        // Plant cliques of size 6 over random node groups.
+        let mut cliques = Vec::with_capacity(config.planted_cliques);
+        for _ in 0..config.planted_cliques {
+            let mut members: Vec<u32> = (0..6)
+                .map(|_| rng.gen_range(0..n) as u32)
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+            if members.len() < 3 {
+                continue;
+            }
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    let (a, b) = (members[i] as usize, members[j] as usize);
+                    if adjacency[a].insert(members[j]) {
+                        adjacency[b].insert(members[i]);
+                    }
+                }
+            }
+            cliques.push(members);
+        }
+
+        // Hometowns ("as far as possible at least half of each user's
+        // friends in the same city", §5.2): seed one BFS region per
+        // airport, grow regions breadth-first (graph Voronoi), then run
+        // label-propagation sweeps so each user adopts the majority city
+        // among their friends.
+        let hometown = assign_hometowns(&adjacency, config.airports, &mut rng);
+
+        let user_values: Vec<Value> = (0..n).map(|u| Value::str(&format!("u{u}"))).collect();
+        let airport_values: Vec<Value> = (0..config.airports)
+            .map(|a| Value::str(&airport_code(a)))
+            .collect();
+
+        let mut sorted_adjacency: Vec<Vec<u32>> = adjacency
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        sorted_adjacency.shrink_to_fit();
+
+        SocialGraph {
+            config: config.clone(),
+            adjacency: sorted_adjacency,
+            hometown,
+            cliques,
+            user_values,
+            airport_values,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of airports.
+    pub fn num_airports(&self) -> usize {
+        self.config.airports
+    }
+
+    /// Friend list of user `u`, sorted.
+    pub fn friends(&self, u: usize) -> &[u32] {
+        &self.adjacency[u]
+    }
+
+    /// Hometown airport index of user `u`.
+    pub fn hometown(&self, u: usize) -> usize {
+        self.hometown[u] as usize
+    }
+
+    /// The interned name of user `u` (`"u{n}"`).
+    pub fn user_value(&self, u: usize) -> Value {
+        self.user_values[u]
+    }
+
+    /// The interned airport code of airport `a`.
+    pub fn airport_value(&self, a: usize) -> Value {
+        self.airport_values[a]
+    }
+
+    /// The interned hometown code of user `u`.
+    pub fn hometown_value(&self, u: usize) -> Value {
+        self.airport_values[self.hometown[u] as usize]
+    }
+
+    /// The planted cliques (each 3–6 mutually-befriended users).
+    pub fn cliques(&self) -> &[Vec<u32>] {
+        &self.cliques
+    }
+
+    /// Samples a random friendship edge `(u, v)`.
+    pub fn random_edge(&self, rng: &mut impl Rng) -> (u32, u32) {
+        loop {
+            let u = rng.gen_range(0..self.num_users());
+            if let Some(&v) = self.adjacency[u].as_slice().choose(rng) {
+                return (u as u32, v);
+            }
+        }
+    }
+
+    /// Samples a random triangle (three mutually-befriended users), or
+    /// `None` after bounded attempts.
+    pub fn random_triangle(&self, rng: &mut impl Rng) -> Option<(u32, u32, u32)> {
+        for _ in 0..200 {
+            let (u, v) = self.random_edge(rng);
+            let nu = &self.adjacency[u as usize];
+            let nv = &self.adjacency[v as usize];
+            // Random common neighbor via the smaller list.
+            let (small, big) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+            let common: Vec<u32> = small
+                .iter()
+                .copied()
+                .filter(|w| *w != u && *w != v && big.binary_search(w).is_ok())
+                .collect();
+            if let Some(&w) = common.as_slice().choose(rng) {
+                return Some((u, v, w));
+            }
+        }
+        None
+    }
+
+    /// Samples a random clique of exactly `size` users (3 ≤ size ≤ 6)
+    /// from the planted cliques.
+    pub fn random_clique(&self, size: usize, rng: &mut impl Rng) -> Option<Vec<u32>> {
+        if size < 2 {
+            return None;
+        }
+        for _ in 0..200 {
+            let c = self.cliques.as_slice().choose(rng)?;
+            if c.len() >= size {
+                let mut members = c.clone();
+                members.shuffle(rng);
+                members.truncate(size);
+                return Some(members);
+            }
+        }
+        None
+    }
+
+    /// Mean degree — sanity metric for tests and EXPERIMENTS.md.
+    pub fn mean_degree(&self) -> f64 {
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        total as f64 / self.num_users() as f64
+    }
+
+    /// Fraction of users whose hometown matches at least half of their
+    /// friends' hometowns (the paper's assignment goal).
+    pub fn hometown_cohesion(&self) -> f64 {
+        let mut ok = 0usize;
+        let mut counted = 0usize;
+        for u in 0..self.num_users() {
+            let friends = &self.adjacency[u];
+            if friends.is_empty() {
+                continue;
+            }
+            counted += 1;
+            let same = friends
+                .iter()
+                .filter(|&&f| self.hometown[f as usize] == self.hometown[u])
+                .count();
+            if same * 2 >= friends.len() {
+                ok += 1;
+            }
+        }
+        ok as f64 / counted.max(1) as f64
+    }
+}
+
+/// Multi-source BFS city regions followed by majority label propagation.
+fn assign_hometowns(
+    adjacency: &[FastSet<u32>],
+    airports: usize,
+    rng: &mut StdRng,
+) -> Vec<u16> {
+    let n = adjacency.len();
+    let mut hometown: Vec<Option<u16>> = vec![None; n];
+
+    // Phase 1: one seed per airport, round-robin BFS growth so regions
+    // stay comparably sized.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.shuffle(rng);
+    seeds.truncate(airports.min(n));
+    let mut frontiers: Vec<std::collections::VecDeque<u32>> = Vec::with_capacity(seeds.len());
+    for (city, &s) in seeds.iter().enumerate() {
+        hometown[s] = Some(city as u16);
+        frontiers.push([s as u32].into_iter().collect());
+    }
+    let mut remaining = n - seeds.len();
+    #[allow(clippy::needless_range_loop)] // frontiers[city] is mutated while hometown is indexed
+    while remaining > 0 {
+        let mut progressed = false;
+        for city in 0..frontiers.len() {
+            if let Some(u) = frontiers[city].pop_front() {
+                for &v in &adjacency[u as usize] {
+                    if hometown[v as usize].is_none() {
+                        hometown[v as usize] = Some(city as u16);
+                        frontiers[city].push_back(v);
+                        remaining -= 1;
+                    }
+                }
+                progressed = progressed || !frontiers[city].is_empty();
+            }
+        }
+        if !progressed && frontiers.iter().all(std::collections::VecDeque::is_empty) {
+            // Isolated leftovers: assign uniformly.
+            for h in hometown.iter_mut().filter(|h| h.is_none()) {
+                *h = Some(rng.gen_range(0..airports) as u16);
+                remaining -= 1;
+            }
+        }
+    }
+    let mut hometown: Vec<u16> = hometown.into_iter().map(Option::unwrap).collect();
+
+    // Phase 2: label-propagation sweeps — adopt the friend-majority
+    // city. Increases local cohesion monotonically in practice.
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..6 {
+        order.shuffle(rng);
+        let mut counts: Vec<u32> = vec![0; airports];
+        for &u in &order {
+            if adjacency[u].is_empty() {
+                continue;
+            }
+            for &f in &adjacency[u] {
+                counts[hometown[f as usize] as usize] += 1;
+            }
+            let current = hometown[u] as usize;
+            let mut best = current;
+            for &f in &adjacency[u] {
+                let c = hometown[f as usize] as usize;
+                if counts[c] > counts[best] {
+                    best = c;
+                }
+            }
+            hometown[u] = best as u16;
+            for &f in &adjacency[u] {
+                counts[hometown[f as usize] as usize] = 0;
+            }
+            counts[current] = 0;
+            counts[best] = 0;
+        }
+    }
+    hometown
+}
+
+/// Three-letter airport code for airport index `a`: AAA, AAB, ...
+fn airport_code(a: usize) -> String {
+    let c = |i: usize| (b'A' + (i % 26) as u8) as char;
+    format!("{}{}{}", c(a / 676), c(a / 26), c(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SocialGraph {
+        SocialGraph::generate(&SocialGraphConfig {
+            users: 2_000,
+            airports: 20,
+            planted_cliques: 50,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.friends(10), b.friends(10));
+        assert_eq!(a.hometown(10), b.hometown(10));
+    }
+
+    #[test]
+    fn friendship_is_symmetric() {
+        let g = small();
+        for u in 0..g.num_users() {
+            for &v in g.friends(u) {
+                assert!(
+                    g.friends(v as usize).binary_search(&(u as u32)).is_ok(),
+                    "asymmetric edge {u} -> {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = small();
+        for u in 0..g.num_users() {
+            assert!(g.friends(u).binary_search(&(u as u32)).is_err());
+        }
+    }
+
+    #[test]
+    fn degree_in_plausible_range() {
+        let g = small();
+        let d = g.mean_degree();
+        assert!(d > 6.0 && d < 30.0, "mean degree {d}");
+    }
+
+    #[test]
+    fn hometowns_are_cohesive() {
+        let g = small();
+        let cohesion = g.hometown_cohesion();
+        assert!(
+            cohesion > 0.5,
+            "expected most users to share a city with half their friends, got {cohesion}"
+        );
+    }
+
+    #[test]
+    fn triangles_exist_and_are_mutual() {
+        let g = small();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (u, v, w) = g.random_triangle(&mut rng).expect("triangle");
+        for (a, b) in [(u, v), (v, w), (u, w)] {
+            assert!(g.friends(a as usize).binary_search(&b).is_ok());
+        }
+    }
+
+    #[test]
+    fn planted_cliques_are_cliques() {
+        let g = small();
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = g.random_clique(4, &mut rng).expect("clique");
+        assert_eq!(c.len(), 4);
+        for i in 0..c.len() {
+            for j in (i + 1)..c.len() {
+                assert!(g
+                    .friends(c[i] as usize)
+                    .binary_search(&c[j])
+                    .is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn airport_codes_unique() {
+        let codes: std::collections::HashSet<String> = (0..102).map(airport_code).collect();
+        assert_eq!(codes.len(), 102);
+    }
+
+    #[test]
+    fn paper_scale_constructs() {
+        // Full 82k-user graph builds quickly enough for benches.
+        let g = SocialGraph::generate(&SocialGraphConfig {
+            planted_cliques: 100,
+            ..Default::default()
+        });
+        assert_eq!(g.num_users(), 82_168);
+        assert_eq!(g.num_airports(), 102);
+    }
+}

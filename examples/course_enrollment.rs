@@ -1,0 +1,75 @@
+//! Coordination-aware course enrollment (§1.1 and §6): two students
+//! want to take a course together. Demonstrates the future-work
+//! extensions implemented in `eq_core::ext`:
+//!
+//! * `CHOOSE k` multi-answer semantics — list up to `k` alternative
+//!   coordinated schedules instead of one;
+//! * preference ranking — among all coordinated options, prefer
+//!   afternoon sections (soft constraint: morning still works if no
+//!   afternoon section exists).
+//!
+//! Run with: `cargo run --example course_enrollment`
+
+use entangled_queries::core::ext::{coordinate_choose_k, coordinate_with_preference};
+use entangled_queries::prelude::*;
+
+fn main() {
+    // Course sections: Section(course, slot) where slot is an hour.
+    let mut db = Database::new();
+    db.create_table("Section", &["course", "slot"]).unwrap();
+    for (course, slot) in [
+        ("Databases", 9),
+        ("Databases", 14),
+        ("Compilers", 10),
+        ("Compilers", 16),
+        ("Ethics", 11),
+    ] {
+        db.insert("Section", vec![Value::str(course), Value::int(slot)])
+            .unwrap();
+    }
+
+    // Ann and Ben enroll in the same Databases section; the ANSWER
+    // relation is Enroll(student, course, slot).
+    let ann = parse_ir_query(
+        "{Enroll(\"Ben\", \"Databases\", s)} Enroll(\"Ann\", \"Databases\", s) \
+         <- Section(\"Databases\", s)",
+    )
+    .unwrap();
+    let ben = parse_ir_query(
+        "{Enroll(\"Ann\", \"Databases\", s)} Enroll(\"Ben\", \"Databases\", s) \
+         <- Section(\"Databases\", s)",
+    )
+    .unwrap();
+
+    // -- CHOOSE 2: show both coordinated options. -----------------------
+    let multi = coordinate_choose_k(&[ann.clone(), ben.clone()], &db, 2).unwrap();
+    println!("alternative coordinated schedules:");
+    let ann_options = &multi.answers[&QueryId(0)];
+    for (i, option) in ann_options.iter().enumerate() {
+        println!("  option {}: slot {}", i + 1, option.tuples[0][2]);
+    }
+    assert_eq!(ann_options.len(), 2, "two Databases sections exist");
+
+    // -- Preference: prefer afternoon sections (slot >= 12). ------------
+    let prefer_afternoon = |answers: &[QueryAnswer]| -> f64 {
+        let slot = answers[0].tuples[0][2].as_int().unwrap_or(0);
+        if slot >= 12 {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    let ranked =
+        coordinate_with_preference(&[ann, ben], &db, 10, &prefer_afternoon).unwrap();
+    let chosen = &ranked.answers[&QueryId(0)][0];
+    println!(
+        "preferred section: {} at {}:00 for both students",
+        chosen.tuples[0][1], chosen.tuples[0][2]
+    );
+    assert_eq!(chosen.tuples[0][2], Value::int(14), "afternoon preferred");
+
+    // Both students always land in the same section.
+    let ben_chosen = &ranked.answers[&QueryId(1)][0];
+    assert_eq!(chosen.tuples[0][2], ben_chosen.tuples[0][2]);
+    println!("Ann and Ben are enrolled together ✓");
+}

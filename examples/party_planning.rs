@@ -1,0 +1,90 @@
+//! Aggregation-constrained coordination (§6): Jerry attends a Friday
+//! party only if more than five of his friends attend the *same* party.
+//!
+//! The paper sketches this as a `COUNT(*)` subquery over the ANSWER
+//! relation; `eq_core::ext::ThresholdQuery` implements the restricted
+//! semantics (threshold over a finished round's answers).
+//!
+//! Run with: `cargo run --example party_planning`
+
+use entangled_queries::core::ext::{ThresholdOutcome, ThresholdQuery};
+use entangled_queries::core::coordinate;
+use entangled_queries::prelude::*;
+
+fn main() {
+    // Parties(pid, pdate), Friend(name1, name2) — the §6 schema.
+    let mut db = Database::new();
+    db.create_table("Parties", &["pid", "pdate"]).unwrap();
+    db.create_table("Friend", &["name1", "name2"]).unwrap();
+    db.insert("Parties", vec![Value::int(1), Value::str("Friday")])
+        .unwrap();
+    db.insert("Parties", vec![Value::int(2), Value::str("Friday")])
+        .unwrap();
+    let friends = ["elaine", "kramer", "george", "newman", "bania", "puddy"];
+    for f in friends {
+        db.insert("Friend", vec![Value::str("jerry"), Value::str(f)])
+            .unwrap();
+    }
+
+    // Round 1: six friends RSVP. Four pick party 1, two pick party 2.
+    let rsvps: Vec<EntangledQuery> = friends
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let pid = if i < 4 { 1 } else { 2 };
+            parse_ir_query(&format!("{{}} Attendance({pid}, \"{f}\") <-")).unwrap()
+        })
+        .collect();
+    let round = coordinate(&rsvps, &db).unwrap();
+    println!("{} friends RSVP'd", round.answers.len());
+
+    // Jerry's aggregate query: attend a Friday party p if COUNT of
+    // Attendance(p, _) among the round's answers is more than five.
+    let jerry_strict = ThresholdQuery::new(
+        QueryId(100),
+        vec![Atom::new(
+            "Attendance",
+            vec![Term::var(Var(0)), Term::str("jerry")],
+        )],
+        Atom::new("Attendance", vec![Term::var(Var(0)), Term::var(Var(1))]),
+        6, // "> 5"
+        vec![Atom::new(
+            "Parties",
+            vec![Term::var(Var(0)), Term::str("Friday")],
+        )],
+    );
+    jerry_strict.validate().unwrap();
+    let answers = round.all_answers();
+    match jerry_strict.evaluate(&db, &answers).unwrap() {
+        ThresholdOutcome::NotSatisfied { best_count } => {
+            println!("strict Jerry stays home: best party had only {best_count} friends");
+            assert_eq!(best_count, 4);
+        }
+        other => panic!("expected not satisfied, got {other:?}"),
+    }
+
+    // A more relaxed Jerry: at least three friends will do.
+    let jerry_relaxed = ThresholdQuery::new(
+        QueryId(101),
+        vec![Atom::new(
+            "Attendance",
+            vec![Term::var(Var(0)), Term::str("jerry")],
+        )],
+        Atom::new("Attendance", vec![Term::var(Var(0)), Term::var(Var(1))]),
+        3,
+        vec![Atom::new(
+            "Parties",
+            vec![Term::var(Var(0)), Term::str("Friday")],
+        )],
+    );
+    match jerry_relaxed.evaluate(&db, &answers).unwrap() {
+        ThresholdOutcome::Satisfied(answer) => {
+            println!(
+                "relaxed Jerry attends party {} with 4 friends ✓",
+                answer.tuples[0][0]
+            );
+            assert_eq!(answer.tuples[0][0], Value::int(1));
+        }
+        other => panic!("expected satisfied, got {other:?}"),
+    }
+}

@@ -1,0 +1,201 @@
+//! An interactive entangled-query shell over the D3C engine — the kind
+//! of front end the paper's Figure 5 puts above the coordination
+//! middleware.
+//!
+//! Commands (one per line):
+//!
+//! ```text
+//! .table <name> <col> [<col> ...]     create a database table
+//! .insert <name> <v1> [<v2> ...]      insert a row (ints parsed, rest strings)
+//! .mode incremental | batch           switch engine mode
+//! .flush                              set-at-a-time evaluation round
+//! .pending                            number of pending queries
+//! .help                               this text
+//! .quit                               exit
+//! {C} H <- B                          submit a query in IR text form
+//! SELECT ... INTO ANSWER ... CHOOSE 1 submit a query in entangled SQL
+//! ```
+//!
+//! Try: `cargo run --example repl` and paste the quickstart script
+//! printed by `.help`, or pipe a script:
+//! `printf '...' | cargo run --example repl`.
+
+use entangled_queries::core::engine::QueryOutcome;
+use entangled_queries::prelude::*;
+use entangled_queries::sql::Catalog;
+use std::io::{BufRead, Write};
+
+struct Shell {
+    engine: CoordinationEngine,
+    catalog: Catalog,
+    handles: Vec<QueryHandle>,
+    incremental: bool,
+}
+
+const DEMO: &str = r#"  .table Flights fno dest
+  .insert Flights 122 Paris
+  .insert Flights 136 Rome
+  {R(Jerry, x)} R(Kramer, x) <- Flights(x, Paris)
+  {R(Kramer, y)} R(Jerry, y) <- Flights(y, Paris)
+"#;
+
+fn main() {
+    let mut shell = Shell {
+        engine: CoordinationEngine::new(Database::new(), EngineConfig::default()),
+        catalog: Catalog::new(),
+        handles: Vec::new(),
+        incremental: true,
+    };
+    println!("entangled-queries shell — .help for commands");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        println!("> {line}");
+        if line == ".quit" {
+            break;
+        }
+        if let Err(msg) = shell.dispatch(line) {
+            println!("error: {msg}");
+        }
+        shell.drain_outcomes();
+        std::io::stdout().flush().ok();
+    }
+    // Final drain for batch users who forgot to flush.
+    if !shell.incremental {
+        shell.engine.flush();
+        shell.drain_outcomes();
+    }
+}
+
+impl Shell {
+    fn dispatch(&mut self, line: &str) -> Result<(), String> {
+        if let Some(rest) = line.strip_prefix('.') {
+            return self.command(rest);
+        }
+        // A query: SQL if it starts with SELECT, IR text otherwise.
+        let query = if line.to_ascii_lowercase().starts_with("select") {
+            parse_entangled_sql(line, &self.catalog).map_err(|e| e.to_string())?
+        } else {
+            parse_ir_query(line).map_err(|e| e.to_string())?
+        };
+        let handle = self
+            .engine
+            .submit(query)
+            .map_err(|e| format!("{e:?}"))?;
+        println!("submitted as {}", handle.id);
+        self.handles.push(handle);
+        Ok(())
+    }
+
+    fn command(&mut self, rest: &str) -> Result<(), String> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.as_slice() {
+            ["help"] => {
+                println!("commands: .table .insert .mode .flush .pending .help .quit");
+                println!("demo script:\n{DEMO}");
+                Ok(())
+            }
+            ["table", name, cols @ ..] if !cols.is_empty() => {
+                self.engine
+                    .db()
+                    .write()
+                    .create_table(name, cols)
+                    .map_err(|e| e.to_string())?;
+                self.catalog.add_table(name, cols);
+                println!("created {name}({})", cols.join(", "));
+                Ok(())
+            }
+            ["insert", name, values @ ..] if !values.is_empty() => {
+                let row: Vec<Value> = values
+                    .iter()
+                    .map(|v| match v.parse::<i64>() {
+                        Ok(i) => Value::int(i),
+                        Err(_) => Value::str(v),
+                    })
+                    .collect();
+                self.engine
+                    .db()
+                    .write()
+                    .insert(name, row)
+                    .map_err(|e| e.to_string())?;
+                println!("ok");
+                Ok(())
+            }
+            ["mode", "incremental"] => {
+                self.incremental = true;
+                self.rebuild_engine(EngineMode::Incremental);
+                println!("mode: incremental");
+                Ok(())
+            }
+            ["mode", "batch"] => {
+                self.incremental = false;
+                self.rebuild_engine(EngineMode::SetAtATime { batch_size: 0 });
+                println!("mode: set-at-a-time (use .flush)");
+                Ok(())
+            }
+            ["flush"] => {
+                let report = self.engine.flush();
+                println!(
+                    "flush: {} answered, {} failed, {} pending",
+                    report.answered, report.failed, report.pending
+                );
+                Ok(())
+            }
+            ["pending"] => {
+                println!("{} pending", self.engine.pending_count());
+                Ok(())
+            }
+            other => Err(format!("unknown command {other:?} — try .help")),
+        }
+    }
+
+    /// Mode changes rebuild the engine over the same database (pending
+    /// queries do not survive a mode switch; a production system would
+    /// migrate them).
+    fn rebuild_engine(&mut self, mode: EngineMode) {
+        let db = self.engine.db();
+        let snapshot = {
+            let guard = db.read();
+            let mut copy = Database::new();
+            for name in guard.table_names() {
+                let table = guard.table(name).expect("listed");
+                let cols: Vec<&str> =
+                    table.schema().columns.iter().map(|c| c.as_str()).collect();
+                copy.create_table(name.as_str(), &cols).ok();
+                for row in table.rows() {
+                    copy.insert(name.as_str(), row.clone()).ok();
+                }
+            }
+            copy
+        };
+        self.engine = CoordinationEngine::new(
+            snapshot,
+            EngineConfig {
+                mode,
+                ..Default::default()
+            },
+        );
+        self.handles.clear();
+    }
+
+    fn drain_outcomes(&mut self) {
+        self.handles.retain(|h| match h.outcome.try_recv() {
+            Ok(QueryOutcome::Answered(a)) => {
+                for (rel, tup) in a.relations.iter().zip(&a.tuples) {
+                    let rendered: Vec<String> = tup.iter().map(ToString::to_string).collect();
+                    println!("{} answered: {rel}({})", a.query, rendered.join(", "));
+                }
+                false
+            }
+            Ok(QueryOutcome::Failed(reason)) => {
+                println!("{} failed: {reason:?}", h.id);
+                false
+            }
+            Err(_) => true,
+        });
+    }
+}

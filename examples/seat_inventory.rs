@@ -1,0 +1,76 @@
+//! Seat-aware booking: the paper notes (§1.1) that real travel queries
+//! "would include checks for seat availability and other factors". This
+//! example models seat inventory as data: a flight is only a valid
+//! coordination target while it has unassigned seats, and the
+//! application consumes seats after each successful round (the paper's
+//! transaction-integration story, §5.1, approximated by database updates
+//! between rounds).
+//!
+//! Run with: `cargo run --example seat_inventory`
+
+use entangled_queries::core::coordinate;
+use entangled_queries::prelude::*;
+
+/// Books a pair of friends onto a shared flight with two free seats.
+fn book_pair(db: &mut Database, a: &str, b: &str) -> Option<i64> {
+    // Each traveller needs their own seat: the combined query joins two
+    // distinct Seat rows on the same flight. Seat(fno, seatno).
+    let qa = parse_ir_query(&format!(
+        "{{R(\"{b}\", f)}} R(\"{a}\", f) <- Seat(f, s1)"
+    ))
+    .unwrap();
+    let qb = parse_ir_query(&format!(
+        "{{R(\"{a}\", g)}} R(\"{b}\", g) <- Seat(g, s2)"
+    ))
+    .unwrap();
+    let outcome = coordinate(&[qa, qb], db).unwrap();
+    let answers = outcome.all_answers();
+    if answers.len() != 2 {
+        return None;
+    }
+    let fno = answers[0].tuples[0][1].as_int().unwrap();
+
+    // The application books the seats: consume two Seat rows for fno.
+    let seats: Vec<Tuple> = db
+        .scan("Seat")
+        .unwrap()
+        .into_iter()
+        .filter(|row| row[0] == Value::int(fno))
+        .take(2)
+        .collect();
+    assert!(seats.len() >= 2, "coordination picked a flight with seats");
+    for seat in seats {
+        db.delete("Seat", &seat).unwrap();
+    }
+    Some(fno)
+}
+
+fn main() {
+    let mut db = Database::new();
+    db.create_table("Seat", &["fno", "seatno"]).unwrap();
+    // Flight 122 has 2 seats, flight 123 has 4.
+    for (fno, seat) in [(122, 1), (122, 2), (123, 1), (123, 2), (123, 3), (123, 4)] {
+        db.insert("Seat", vec![Value::int(fno), Value::int(seat)])
+            .unwrap();
+    }
+
+    let f1 = book_pair(&mut db, "jerry", "kramer").expect("seats available");
+    println!("jerry & kramer booked flight {f1}");
+
+    let f2 = book_pair(&mut db, "elaine", "george").expect("seats available");
+    println!("elaine & george booked flight {f2}");
+
+    let f3 = book_pair(&mut db, "newman", "bania").expect("seats available");
+    println!("newman & bania booked flight {f3}");
+
+    // Six seats existed, six were consumed: the fourth pair fails.
+    assert_eq!(db.scan("Seat").unwrap().len(), 0);
+    assert!(book_pair(&mut db, "puddy", "jackie").is_none());
+    println!("puddy & jackie could not book: no seats left ✓");
+
+    // Across the three bookings, both 2-seat and 4-seat flights were
+    // used; each successful pair shared one flight.
+    let mut flights = vec![f1, f2, f3];
+    flights.sort_unstable();
+    println!("flights used: {flights:?}");
+}

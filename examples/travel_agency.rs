@@ -1,0 +1,126 @@
+//! A travel-agency coordination service built on the D3C engine (§5.1):
+//! asynchronous submissions, set-at-a-time batching, coordination
+//! failure, and staleness.
+//!
+//! The scenario follows the paper's evaluation schema —
+//! `Reserve(user, dest)` as the ANSWER relation over a `Friends`/`User`
+//! database — at toy scale.
+//!
+//! Run with: `cargo run --example travel_agency`
+
+use entangled_queries::core::engine::{FailReason, QueryOutcome};
+use entangled_queries::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // -- The social database. ------------------------------------------
+    let mut db = Database::new();
+    db.create_table("Friends", &["name1", "name2"]).unwrap();
+    db.create_table("User", &["name", "home"]).unwrap();
+    for (a, b) in [
+        ("jerry", "kramer"),
+        ("kramer", "jerry"),
+        ("elaine", "george"),
+        ("george", "elaine"),
+    ] {
+        db.insert("Friends", vec![Value::str(a), Value::str(b)])
+            .unwrap();
+    }
+    for (name, home) in [
+        ("jerry", "NYC"),
+        ("kramer", "NYC"),
+        ("elaine", "NYC"),
+        ("george", "LAX"), // George moved away: they cannot co-book.
+        ("newman", "NYC"),
+    ] {
+        db.insert("User", vec![Value::str(name), Value::str(home)])
+            .unwrap();
+    }
+
+    // -- A set-at-a-time engine with a staleness bound. -----------------
+    let mut engine = CoordinationEngine::new(
+        db,
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            staleness: Some(Duration::from_millis(50)),
+            ..Default::default()
+        },
+    );
+
+    // Jerry & Kramer: same-city friends — will coordinate.
+    let jerry = parse_ir_query(
+        "{Reserve(x, \"PAR\")} Reserve(\"jerry\", \"PAR\") <- \
+         Friends(\"jerry\", x), User(\"jerry\", c), User(x, c)",
+    )
+    .unwrap();
+    let kramer = parse_ir_query(
+        "{Reserve(y, \"PAR\")} Reserve(\"kramer\", \"PAR\") <- \
+         Friends(\"kramer\", y), User(\"kramer\", c), User(y, c)",
+    )
+    .unwrap();
+    // Elaine & George: friends in different cities — combined query has
+    // no solution, both are rejected.
+    let elaine = parse_ir_query(
+        "{Reserve(x, \"ROM\")} Reserve(\"elaine\", \"ROM\") <- \
+         Friends(\"elaine\", x), User(\"elaine\", c), User(x, c)",
+    )
+    .unwrap();
+    let george = parse_ir_query(
+        "{Reserve(y, \"ROM\")} Reserve(\"george\", \"ROM\") <- \
+         Friends(\"george\", y), User(\"george\", c), User(y, c)",
+    )
+    .unwrap();
+    // Newman waits for a partner who never submits — goes stale.
+    let newman = parse_ir_query(
+        "{Reserve(\"ghost\", \"BOS\")} Reserve(\"newman\", \"BOS\") <- \
+         User(\"newman\", c)",
+    )
+    .unwrap();
+
+    let h_jerry = engine.submit(jerry).unwrap();
+    let h_kramer = engine.submit(kramer).unwrap();
+    let h_elaine = engine.submit(elaine).unwrap();
+    let h_george = engine.submit(george).unwrap();
+    let h_newman = engine.submit(newman).unwrap();
+
+    // Nothing is answered until the batch is flushed.
+    assert!(h_jerry.outcome.try_recv().is_err());
+    let report = engine.flush();
+    println!(
+        "flush #1: {} answered, {} failed, {} pending across {} components",
+        report.answered, report.failed, report.pending, report.components
+    );
+
+    match h_jerry.outcome.try_recv().unwrap() {
+        QueryOutcome::Answered(a) => {
+            println!("jerry booked: {:?} -> {:?}", a.tuples[0][0], a.tuples[0][1]);
+        }
+        other => panic!("jerry should coordinate, got {other:?}"),
+    }
+    assert!(matches!(
+        h_kramer.outcome.try_recv().unwrap(),
+        QueryOutcome::Answered(_)
+    ));
+    // Elaine/George matched syntactically but the database disagrees.
+    assert!(matches!(
+        h_elaine.outcome.try_recv().unwrap(),
+        QueryOutcome::Failed(_)
+    ));
+    assert!(matches!(
+        h_george.outcome.try_recv().unwrap(),
+        QueryOutcome::Failed(_)
+    ));
+    println!("elaine & george rejected: no coordinated solution (different cities)");
+
+    // Newman's partner never arrives; after the staleness bound he is
+    // failed out of the pending pool.
+    std::thread::sleep(Duration::from_millis(60));
+    let expired = engine.expire_stale();
+    assert_eq!(expired, 1);
+    assert_eq!(
+        h_newman.outcome.try_recv().unwrap(),
+        QueryOutcome::Failed(FailReason::Stale)
+    );
+    println!("newman went stale after waiting alone ✓");
+    assert_eq!(engine.pending_count(), 0);
+}

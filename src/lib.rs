@@ -1,0 +1,97 @@
+//! # Entangled Queries
+//!
+//! A full Rust implementation of *"Entangled Queries: Enabling Declarative
+//! Data-Driven Coordination"* (SIGMOD 2011). This facade crate re-exports
+//! the public API of the workspace crates:
+//!
+//! * [`ir`] — the intermediate representation (`{C} H ⊣ B`);
+//! * [`sql`] — the entangled-SQL dialect and the Datalog-style text format;
+//! * [`unify`] — unifiers and most-general-unifier computation;
+//! * [`db`] — the in-memory relational database substrate;
+//! * [`core`] — safety/UCS checks, the matching algorithm, combined-query
+//!   construction, and the D3C coordination engine;
+//! * [`workload`] — the paper's evaluation workload generators.
+//!
+//! ## Quickstart
+//!
+//! The Kramer/Jerry example from the paper's introduction:
+//!
+//! ```
+//! use entangled_queries::prelude::*;
+//!
+//! // A flight database (paper Figure 1a).
+//! let mut db = Database::new();
+//! db.create_table("Flights", &["fno", "dest"]).unwrap();
+//! db.create_table("Airlines", &["fno", "airline"]).unwrap();
+//! for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+//!     db.insert("Flights", vec![Value::int(fno), Value::str(dest)]).unwrap();
+//! }
+//! for (fno, al) in [(122, "United"), (123, "United"), (134, "Lufthansa"), (136, "Alitalia")] {
+//!     db.insert("Airlines", vec![Value::int(fno), Value::str(al)]).unwrap();
+//! }
+//!
+//! // Kramer: fly to Paris on the same flight as Jerry.
+//! let kramer = parse_ir_query(
+//!     "{R(\"Jerry\", x)} R(\"Kramer\", x) <- Flights(x, \"Paris\")").unwrap();
+//! // Jerry: fly to Paris with Kramer, United only.
+//! let jerry = parse_ir_query(
+//!     "{R(\"Kramer\", y)} R(\"Jerry\", y) <- Flights(y, \"Paris\"), Airlines(y, \"United\")"
+//! ).unwrap();
+//!
+//! let outcome = coordinate(&[kramer, jerry], &db).unwrap();
+//! let answers = outcome.all_answers();
+//! assert_eq!(answers.len(), 2);
+//! // Both got the same United flight to Paris (122 or 123).
+//! let fno = answers[0].tuples[0][1];
+//! assert!(fno == Value::int(122) || fno == Value::int(123));
+//! assert_eq!(answers[1].tuples[0][1], fno);
+//! ```
+
+pub use eq_core as core;
+pub use eq_db as db;
+pub use eq_ir as ir;
+pub use eq_sql as sql;
+pub use eq_unify as unify;
+pub use eq_workload as workload;
+
+/// Builds a SQL-lowering [`sql::Catalog`] from a live database's
+/// catalog, so entangled SQL can be parsed against the schema that will
+/// evaluate it.
+///
+/// ```
+/// use entangled_queries::{catalog_for, prelude::*};
+/// let mut db = Database::new();
+/// db.create_table("Flights", &["fno", "dest"]).unwrap();
+/// let catalog = catalog_for(&db);
+/// let q = parse_entangled_sql(
+///     "SELECT 'K', fno INTO ANSWER R \
+///      WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')",
+///     &catalog,
+/// ).unwrap();
+/// assert_eq!(q.body.len(), 1);
+/// ```
+pub fn catalog_for(db: &eq_db::Database) -> eq_sql::Catalog {
+    let mut catalog = eq_sql::Catalog::new();
+    for name in db.table_names() {
+        let table = db.table(name).expect("listed table");
+        let cols: Vec<&str> = table
+            .schema()
+            .columns
+            .iter()
+            .map(|c| c.as_str())
+            .collect();
+        catalog.add_table(name.as_str(), &cols);
+    }
+    catalog
+}
+
+/// Commonly used items, for `use entangled_queries::prelude::*`.
+pub mod prelude {
+    pub use eq_core::{
+        coordinate, BatchReport, CoordinationEngine, CoordinationOutcome, EngineConfig,
+        EngineMode, QueryAnswer, QueryHandle, QueryStatus, SafetyViolation,
+    };
+    pub use eq_db::{Database, Tuple};
+    pub use eq_ir::{Atom, EntangledQuery, QueryId, Symbol, Term, Value, Var, VarGen};
+    pub use eq_sql::{parse_entangled_sql, parse_ir_query};
+}
