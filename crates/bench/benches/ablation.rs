@@ -7,7 +7,7 @@
 //!    2.1): the polynomial pipeline against the exponential generic
 //!    coordinating-set search, on a workload both can handle.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::harness::{smoke_mode, BenchGroup};
 use eq_bench::pairwise_edge_count;
 use eq_core::graph::MatchGraph;
 use eq_core::{bruteforce, coordinate};
@@ -19,52 +19,43 @@ fn renamed(queries: &[EntangledQuery]) -> Vec<EntangledQuery> {
     queries.iter().map(|q| q.rename_apart(&gen)).collect()
 }
 
-fn bench_index_vs_pairwise(c: &mut Criterion) {
+fn main() {
+    let smoke = smoke_mode();
     let graph = SocialGraph::generate(&SocialGraphConfig {
-        users: 5_000,
+        users: if smoke { 1_000 } else { 5_000 },
         planted_cliques: 100,
         ..Default::default()
     });
-    let mut group = c.benchmark_group("ablation-edge-discovery");
-    group.sample_size(10);
-    for n in [200usize, 1_000] {
-        let qs = renamed(&two_way_pairs(&graph, n, PairStyle::BestCase, 7));
-        group.bench_with_input(BenchmarkId::new("indexed", n), &qs, |b, qs| {
-            b.iter(|| MatchGraph::build(qs.clone()).edges().len())
-        });
-        group.bench_with_input(BenchmarkId::new("pairwise", n), &qs, |b, qs| {
-            b.iter(|| pairwise_edge_count(qs))
-        });
-    }
-    group.finish();
-}
 
-fn bench_matching_vs_bruteforce(c: &mut Criterion) {
+    let mut group = BenchGroup::new("ablation-edge-discovery");
+    group.sample_size(10);
+    let sizes: &[usize] = if smoke { &[100] } else { &[200, 1_000] };
+    for &n in sizes {
+        let qs = renamed(&two_way_pairs(&graph, n, PairStyle::BestCase, 7));
+        group.bench("indexed", n as u64, || MatchGraph::build(qs.clone()).edges().len());
+        group.bench("pairwise", n as u64, || pairwise_edge_count(&qs));
+    }
+
     let graph = SocialGraph::generate(&SocialGraphConfig {
-        users: 2_000,
+        users: if smoke { 500 } else { 2_000 },
         planted_cliques: 100,
         ..Default::default()
     });
     let db = build_database(&graph);
-    let mut group = c.benchmark_group("ablation-matching-vs-bruteforce");
+    let mut group = BenchGroup::new("ablation-matching-vs-bruteforce");
     group.sample_size(10);
     // Brute force is exponential in the query count: keep it tiny.
-    for n in [4usize, 8] {
+    let sizes: &[usize] = if smoke { &[4] } else { &[4, 8] };
+    for &n in sizes {
         let qs = two_way_pairs(&graph, n, PairStyle::BestCase, 11);
-        group.bench_with_input(BenchmarkId::new("safe matching", n), &qs, |b, qs| {
-            b.iter(|| coordinate(qs, &db).unwrap().answers.len())
+        group.bench("safe matching", n as u64, || {
+            coordinate(&qs, &db).unwrap().answers.len()
         });
         let rn = renamed(&qs);
-        group.bench_with_input(BenchmarkId::new("brute force", n), &rn, |b, qs| {
-            b.iter(|| {
-                bruteforce::find_coordinating_set(qs, &db, false)
-                    .unwrap()
-                    .is_some()
-            })
+        group.bench("brute force", n as u64, || {
+            bruteforce::find_coordinating_set(&rn, &db, false)
+                .unwrap()
+                .is_some()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_index_vs_pairwise, bench_matching_vs_bruteforce);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion version of Figure 6: incremental coordination throughput
-//! on the two-way (random + best-case) and three-way workloads, at
-//! reduced scale so `cargo bench` stays fast. Run the `fig6` binary for
-//! the paper-scale sweep.
+//! Harness version of Figure 6: incremental coordination throughput on
+//! the two-way (random + best-case) and three-way workloads, at reduced
+//! scale so `cargo bench` stays fast. Run the `fig6` binary for the
+//! paper-scale sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::harness::{smoke_mode, BenchGroup};
 use eq_core::engine::NoSolutionPolicy;
 use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
 use eq_workload::{
@@ -23,45 +23,32 @@ fn engine(graph: &SocialGraph) -> CoordinationEngine {
     )
 }
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
+    let (users, cliques, sizes): (usize, usize, &[usize]) = if smoke_mode() {
+        (1_000, 60, &[100])
+    } else {
+        (5_000, 300, &[200, 1_000])
+    };
     let graph = SocialGraph::generate(&SocialGraphConfig {
-        users: 5_000,
-        planted_cliques: 300,
+        users,
+        planted_cliques: cliques,
         ..Default::default()
     });
-    let mut group = c.benchmark_group("fig6");
+    let mut group = BenchGroup::new("fig6");
     group.sample_size(10);
-    for n in [200usize, 1_000] {
-        let random = two_way_pairs(&graph, n, PairStyle::Random, 1);
-        let best = two_way_pairs(&graph, n, PairStyle::BestCase, 2);
-        let three = three_way_triangles(&graph, n, 3);
-        group.bench_with_input(BenchmarkId::new("two-way random", n), &random, |b, qs| {
-            b.iter(|| {
+    for &n in sizes {
+        let workloads = [
+            ("two-way random", two_way_pairs(&graph, n, PairStyle::Random, 1)),
+            ("two-way best-case", two_way_pairs(&graph, n, PairStyle::BestCase, 2)),
+            ("three-way", three_way_triangles(&graph, n, 3)),
+        ];
+        for (series, qs) in &workloads {
+            group.bench(series, n as u64, || {
                 let mut e = engine(&graph);
                 for q in qs {
                     let _ = e.submit(q.clone());
                 }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("two-way best-case", n), &best, |b, qs| {
-            b.iter(|| {
-                let mut e = engine(&graph);
-                for q in qs {
-                    let _ = e.submit(q.clone());
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("three-way", n), &three, |b, qs| {
-            b.iter(|| {
-                let mut e = engine(&graph);
-                for q in qs {
-                    let _ = e.submit(q.clone());
-                }
-            })
-        });
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

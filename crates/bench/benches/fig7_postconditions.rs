@@ -1,29 +1,28 @@
-//! Criterion version of Figure 7: matching and database-evaluation cost
+//! Harness version of Figure 7: matching and database-evaluation cost
 //! as the number of postconditions per query grows from 1 to 5.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::harness::{smoke_mode, BenchGroup};
 use eq_bench::instrumented_batch;
 use eq_workload::{build_database, clique_groups, SocialGraph, SocialGraphConfig};
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
+    let (users, cliques, n) = if smoke_mode() {
+        (1_000, 120, 120)
+    } else {
+        (5_000, 500, 600)
+    };
     let graph = SocialGraph::generate(&SocialGraphConfig {
-        users: 5_000,
-        planted_cliques: 500,
+        users,
+        planted_cliques: cliques,
         ..Default::default()
     });
     let db = build_database(&graph);
-    let mut group = c.benchmark_group("fig7");
+    let mut group = BenchGroup::new("fig7");
     group.sample_size(10);
     for pc in 1..=5usize {
-        let queries = clique_groups(&graph, 600, pc, pc as u64);
-        group.bench_with_input(
-            BenchmarkId::new("batch (match + db)", pc),
-            &queries,
-            |b, qs| b.iter(|| instrumented_batch(qs, &db)),
-        );
+        let queries = clique_groups(&graph, n, pc, pc as u64);
+        group.bench("batch (match + db)", pc as u64, || {
+            instrumented_batch(&queries, &db)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

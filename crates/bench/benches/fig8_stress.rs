@@ -1,8 +1,9 @@
-//! Criterion version of Figure 8: matching stress — no-unification
+//! Harness version of Figure 8: matching stress — no-unification
 //! workload, bounded chains ("usual partitions"), and giant cluster in
-//! incremental versus set-at-a-time mode.
+//! incremental versus set-at-a-time mode (sequential and parallel
+//! flush).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::harness::{smoke_mode, BenchGroup};
 use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
 use eq_db::Database;
 use eq_ir::EntangledQuery;
@@ -18,9 +19,14 @@ fn drive(db: Database, queries: &[EntangledQuery], config: EngineConfig, flush: 
     }
 }
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
+    let (users, sizes, giant_cap): (usize, &[usize], usize) = if smoke_mode() {
+        (1_000, &[200], 150)
+    } else {
+        (5_000, &[500, 2_000], 800)
+    };
     let graph = SocialGraph::generate(&SocialGraphConfig {
-        users: 5_000,
+        users,
         planted_cliques: 100,
         ..Default::default()
     });
@@ -38,35 +44,34 @@ fn bench_fig8(c: &mut Criterion) {
         admission_safety_check: false,
         ..Default::default()
     };
+    // The sharded flush: one worker per hardware thread over the
+    // match-graph components (§4.1.2).
+    let batch_parallel = EngineConfig {
+        flush_threads: 0,
+        ..batch.clone()
+    };
 
-    let mut group = c.benchmark_group("fig8");
+    let mut group = BenchGroup::new("fig8");
     group.sample_size(10);
-    for n in [500usize, 2_000] {
+    for &n in sizes {
         let nu = no_unify(n, 102, 1);
         let ch = chains(n, 16, 2);
-        let giant = giant_cluster(&graph, n.min(800), 3);
+        let giant = giant_cluster(&graph, n.min(giant_cap), 3);
 
-        group.bench_with_input(BenchmarkId::new("no unification", n), &nu, |b, qs| {
-            b.iter(|| drive(Database::new(), qs, incremental.clone(), false))
+        group.bench("no unification", n as u64, || {
+            drive(Database::new(), &nu, incremental.clone(), false)
         });
-        group.bench_with_input(BenchmarkId::new("usual partitions", n), &ch, |b, qs| {
-            b.iter(|| drive(Database::new(), qs, incremental.clone(), false))
+        group.bench("usual partitions", n as u64, || {
+            drive(Database::new(), &ch, incremental.clone(), false)
         });
-        group.bench_with_input(
-            BenchmarkId::new("giant incremental", giant.len()),
-            &giant,
-            |b, qs| {
-                b.iter(|| drive(build_database(&graph), qs, incremental_unbounded.clone(), false))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("giant set-at-a-time", giant.len()),
-            &giant,
-            |b, qs| b.iter(|| drive(build_database(&graph), qs, batch.clone(), true)),
-        );
+        group.bench("usual partitions (parallel flush)", n as u64, || {
+            drive(Database::new(), &ch, batch_parallel.clone(), true)
+        });
+        group.bench("giant incremental", giant.len() as u64, || {
+            drive(build_database(&graph), &giant, incremental_unbounded.clone(), false)
+        });
+        group.bench("giant set-at-a-time", giant.len() as u64, || {
+            drive(build_database(&graph), &giant, batch.clone(), true)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

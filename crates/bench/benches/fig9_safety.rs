@@ -1,49 +1,45 @@
-//! Criterion version of Figure 9: per-arrival cost of the admission
+//! Harness version of Figure 9: per-arrival cost of the admission
 //! safety check against a resident pool.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::harness::{smoke_mode, BenchGroup};
 use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
 use eq_db::Database;
 use eq_workload::{unsafe_arrivals, unsafe_residents};
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9");
+fn main() {
+    let (resident_sizes, arrivals_n): (&[usize], usize) = if smoke_mode() {
+        (&[500], 100)
+    } else {
+        (&[2_000, 10_000], 500)
+    };
+    let mut group = BenchGroup::new("fig9");
     group.sample_size(10);
-    for residents in [2_000usize, 10_000] {
+    for &residents in resident_sizes {
         let resident_queries = unsafe_residents(residents, 8, 1);
-        let arrivals = unsafe_arrivals(500, 8, 2);
-        group.bench_with_input(
-            BenchmarkId::new("safety check (500 arrivals)", residents),
-            &arrivals,
-            |b, qs| {
-                // Engine setup (loading residents) is outside the timed
-                // closure via iter_batched.
-                b.iter_batched(
-                    || {
-                        let mut e = CoordinationEngine::new(
-                            Database::new(),
-                            EngineConfig {
-                                mode: EngineMode::SetAtATime { batch_size: 0 },
-                                ..Default::default()
-                            },
-                        );
-                        for q in &resident_queries {
-                            e.submit(q.clone()).expect("residents are safe");
-                        }
-                        e
+        let arrivals = unsafe_arrivals(arrivals_n, 8, 2);
+        group.bench_with_setup(
+            &format!("safety check ({arrivals_n} arrivals)"),
+            residents as u64,
+            // Engine setup (loading residents) stays outside the timed
+            // section.
+            || {
+                let mut e = CoordinationEngine::new(
+                    Database::new(),
+                    EngineConfig {
+                        mode: EngineMode::SetAtATime { batch_size: 0 },
+                        ..Default::default()
                     },
-                    |mut e| {
-                        for q in qs {
-                            let _ = e.submit(q.clone());
-                        }
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
+                );
+                for q in &resident_queries {
+                    e.submit(q.clone()).expect("residents are safe");
+                }
+                e
+            },
+            |mut e| {
+                for q in &arrivals {
+                    let _ = e.submit(q.clone());
+                }
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

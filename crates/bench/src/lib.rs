@@ -13,8 +13,10 @@
 //! in-memory substrate); the claims under reproduction are the *shapes*
 //! (linearity, who is faster, where evaluation blows up).
 
+pub mod harness;
 mod runner;
 
+pub use harness::BenchGroup;
 pub use runner::{
     instrumented_batch, pairwise_edge_count, run_fig6, run_fig7, run_fig8, run_fig9,
     standard_graph, Fig6Config, Fig8Config, Fig9Config, Row, SplitTiming,
@@ -44,12 +46,52 @@ pub fn report(figure: &str, rows: &[Row], json_path: Option<&Path>) {
         }
         match std::fs::File::create(path) {
             Ok(mut f) => {
-                let json = serde_json::to_string_pretty(rows).expect("rows serialize");
-                let _ = f.write_all(json.as_bytes());
+                let _ = f.write_all(rows_to_json(rows).as_bytes());
                 println!("(wrote {})", path.display());
             }
             Err(e) => eprintln!("could not write {}: {e}", path.display()),
         }
+    }
+}
+
+/// Serializes rows as a JSON array (hand-rolled: the offline-dependency
+/// policy rules out serde, and `Row` is flat).
+pub fn rows_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"figure\": \"{}\", \"series\": \"{}\", \"x\": {}, \"millis\": {}, \
+             \"extra\": {}}}",
+            json_escape(r.figure),
+            json_escape(&r.series),
+            r.x,
+            json_number(r.millis),
+            r.extra.map_or_else(|| "null".to_owned(), json_number),
+        ));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned() // JSON has no NaN/Infinity
     }
 }
 

@@ -9,11 +9,10 @@ use eq_workload::{
     build_database, chains, clique_groups, giant_cluster, no_unify, three_way_triangles,
     two_way_pairs, unsafe_arrivals, unsafe_residents, PairStyle, SocialGraph, SocialGraphConfig,
 };
-use serde::Serialize;
 use std::time::Instant;
 
 /// One data point of a figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Figure id, e.g. `"fig6"`.
     pub figure: &'static str,

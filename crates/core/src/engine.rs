@@ -25,11 +25,12 @@ use crate::graph::MatchGraph;
 use crate::index::{AtomIndex, AtomRef};
 use crate::matching::{self, MatchStats};
 use crate::ucs;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use eq_db::Database;
 use eq_ir::{EntangledQuery, FastMap, FastSet, QueryId, ValidationError, VarGen};
 use parking_lot::RwLock;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -79,7 +80,8 @@ pub struct EngineConfig {
     /// Evaluate components violating UCS instead of failing them.
     pub evaluate_non_ucs: bool,
     /// Number of worker threads for per-component parallelism in
-    /// set-at-a-time flushes. 1 = sequential.
+    /// set-at-a-time flushes (§4.1.2). 1 = sequential; 0 = one worker
+    /// per available hardware thread.
     pub flush_threads: usize,
     /// Incremental mode only: partitions up to this size are fully
     /// re-matched on every arrival (the paper's incremental matching,
@@ -179,7 +181,7 @@ pub struct BatchReport {
 
 struct PendingQuery {
     query: EntangledQuery,
-    sender: Sender<QueryOutcome>,
+    sender: SyncSender<QueryOutcome>,
     /// Number of live pending heads unifying each postcondition
     /// (admission-time bookkeeping for the safety check).
     pc_satisfiers: Vec<u32>,
@@ -263,7 +265,7 @@ impl CoordinationEngine {
         }
         self.next_id += 1;
 
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = sync_channel(1);
         let slot = self.allocate_slot();
         let now = Instant::now();
 
@@ -409,7 +411,8 @@ impl CoordinationEngine {
 
     /// Set-at-a-time evaluation over the whole pending pool: builds the
     /// unifiability graph, partitions it, and processes every component
-    /// (in parallel when `flush_threads > 1`). Unmatched queries remain
+    /// on the sharded worker pool (`flush_threads` workers; `0` = one
+    /// per hardware thread; `1` = sequential). Unmatched queries remain
     /// pending.
     pub fn flush(&mut self) -> BatchReport {
         self.submissions_since_flush = 0;
@@ -542,32 +545,14 @@ impl CoordinationEngine {
         report.components = components.len();
 
         // Phase 1 (parallelizable, read-only): match + evaluate each
-        // component.
+        // component on the sharded worker pool.
         let db = self.db.read();
-        let outcomes: Vec<ComponentOutcome> = if self.config.flush_threads > 1 {
-            let threads = self.config.flush_threads;
-            let chunk = components.len().div_ceil(threads).max(1);
-            let mut results: Vec<Vec<ComponentOutcome>> = Vec::new();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = components
-                    .chunks(chunk)
-                    .map(|chunk| {
-                        let graph = &graph;
-                        let db = &*db;
-                        let config = &self.config;
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .map(|c| process_component(graph, c, db, config))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    results.push(h.join().expect("component worker panicked"));
-                }
-            });
-            results.into_iter().flatten().collect()
+        let threads = self
+            .config
+            .effective_flush_threads()
+            .min(components.len().max(1));
+        let outcomes: Vec<ComponentOutcome> = if threads > 1 {
+            sharded_process(&graph, &components, &db, &self.config, threads)
         } else {
             components
                 .iter()
@@ -658,6 +643,71 @@ impl CoordinationEngine {
         self.statuses.insert(id, status);
         let _ = pending.sender.try_send(message);
     }
+}
+
+impl EngineConfig {
+    /// Resolves `flush_threads`: 0 means one worker per available
+    /// hardware thread.
+    pub fn effective_flush_threads(&self) -> usize {
+        match self.flush_threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Evaluates independent match-graph components (§4.1.2) on a sharded
+/// `std::thread` worker pool. Workers claim components largest-first
+/// from a shared atomic queue — dynamic load balancing matters because
+/// component sizes are heavy-tailed (a giant cluster next to thousands
+/// of pairs under the Figure 8 workloads would starve a static
+/// chunking). Results are merged back in component order, so outcome
+/// delivery is byte-for-byte identical to the sequential path.
+fn sharded_process(
+    graph: &MatchGraph,
+    components: &[Vec<u32>],
+    db: &Database,
+    config: &EngineConfig,
+    threads: usize,
+) -> Vec<ComponentOutcome> {
+    // Claim order: largest components first.
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(components[i].len()));
+    let next = AtomicUsize::new(0);
+
+    let mut merged: Vec<Option<ComponentOutcome>> = Vec::with_capacity(components.len());
+    merged.resize_with(components.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let order = &order;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&idx) = order.get(k) else {
+                            break;
+                        };
+                        produced
+                            .push((idx, process_component(graph, &components[idx], db, config)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (idx, outcome) in h.join().expect("flush worker panicked") {
+                merged[idx] = Some(outcome);
+            }
+        }
+    });
+    merged
+        .into_iter()
+        .map(|o| o.expect("every claimed component produced an outcome"))
+        .collect()
 }
 
 /// Result of processing one component: outcomes keyed by *local* slot

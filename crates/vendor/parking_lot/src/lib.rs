@@ -1,0 +1,74 @@
+//! Offline shim for the `parking_lot` crate, backed by `std::sync`.
+//!
+//! This workspace builds in environments with no network access, so
+//! external crates are replaced by minimal vendored equivalents (see the
+//! "offline-dependency policy" section of the README). This shim covers
+//! exactly the subset of the `parking_lot` 0.12 API the workspace uses
+//! (`RwLock`): lock acquisition never returns a poison `Result` — a
+//! panicked holder propagates the poison as a panic at the next
+//! acquisition, matching `parking_lot`'s abort-on-poison spirit closely
+//! enough for our use. Extend it only alongside a new call site.
+
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(t: T) -> Self {
+        Self(std::sync::RwLock::new(t))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("RwLock poisoned")
+    }
+
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("RwLock poisoned")
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let lock = RwLock::new(1);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let lock = std::sync::Arc::new(RwLock::new(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lock = std::sync::Arc::clone(&lock);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        *lock.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), 400);
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline shim for the `proptest` crate: a shrink-free,
+//! source-compatible subset of its API, vendored so property suites run
+//! in environments with no network access (see the README's
+//! offline-dependency policy).
+//!
+//! Covered surface:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`;
+//! * strategies for integer ranges, tuples (arity 1–5), [`Just`],
+//!   [`collection::vec`], and [`option::of`];
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` attribute;
+//! * `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   and `prop_assume!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports the generated value as-is;
+//! * **deterministic seeding** — every test function derives its seed
+//!   from the `PROPTEST_SEED` environment variable (default `0`) so CI
+//!   failures reproduce exactly;
+//! * generation is a plain function of an RNG (no rejection-tree state).
+//!
+//! [`Just`]: strategy::Just
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+
+/// Declares property tests. Source-compatible with proptest's macro for
+/// the common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in proptest::collection::vec(0i64..4, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            let mut runner =
+                $crate::test_runner::TestRunner::new_for_test(config, stringify!($name));
+            let result = runner.run(&strategy, |($($arg),+ ,)| {
+                $body
+                Ok(())
+            });
+            if let Err(message) = result {
+                panic!("{}", message);
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Picks one of several strategies (all producing the same value type)
+/// uniformly at random per generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case (without panicking) when the condition is
+/// false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left), stringify!($right), left, right, format!($($fmt)*),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), left,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current test case (not counted as a pass or a failure)
+/// when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}

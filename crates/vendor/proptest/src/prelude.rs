@@ -1,0 +1,13 @@
+//! The usual `use proptest::prelude::*;` imports.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+};
+
+/// Alias module so `prop::collection::vec(...)`-style paths work.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}

@@ -1,0 +1,215 @@
+//! Case runner, configuration, and RNG.
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// SplitMix64 — tiny, fast, and good enough for test-case generation.
+/// Intentionally a twin of `eq_workload::rng::StdRng`: vendored shims
+/// stay dependency-free (and depending on eq_workload would cycle
+/// through eq_db's dev-dependency on this crate).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runner configuration. Only `cases` is honored; the other knobs exist
+/// for source compatibility.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` discards tolerated before the
+    /// run errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// A genuine failure — fails the whole test.
+    Fail(String),
+    /// A discarded case (`prop_assume!`) — generates a replacement.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Result type the bodies of [`proptest!`](crate::proptest) tests
+/// evaluate to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives a strategy through the configured number of cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        Self::with_seed(config, base_seed())
+    }
+
+    /// Used by the `proptest!` macro: derives the RNG seed from the test
+    /// name so distinct tests explore distinct streams, deterministically.
+    pub fn new_for_test(config: ProptestConfig, test_name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::with_seed(config, base_seed() ^ h)
+    }
+
+    pub fn with_seed(config: ProptestConfig, seed: u64) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::new(seed),
+        }
+    }
+
+    /// Runs `test` on `config.cases` generated values. Returns a report
+    /// of the first failing case, if any (no shrinking).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let rendered = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many prop_assume! rejections ({rejected}) after {passed} \
+                             passing cases"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "property failed after {passed} passing case(s)\n{message}\n\
+                         input: {rendered}\n(set PROPTEST_SEED to vary the case stream)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let strat = -5i64..100;
+        for _ in 0..1000 {
+            let v = strat.generate(&mut rng);
+            assert!((-5..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn runner_reports_failure_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(50));
+        let err = runner
+            .run(&(0u32..10), |v| {
+                if v >= 5 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(err.contains("too big"), "{err}");
+        assert!(err.contains("input:"), "{err}");
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(20));
+        let mut ran = 0u32;
+        runner
+            .run(&(0u32..10), |v| {
+                if v < 5 {
+                    Err(TestCaseError::reject("skip"))
+                } else {
+                    ran += 1;
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert_eq!(ran, 20);
+    }
+}

@@ -20,6 +20,7 @@
 //! ```
 
 mod queries;
+pub mod rng;
 mod social;
 
 pub use queries::{

@@ -4,11 +4,9 @@
 //! variables; the engine renames queries apart at admission. The ANSWER
 //! relation is `Reserve` (abbreviated `R` in the paper's figures).
 
+use crate::rng::{Rng, SliceRandom, StdRng};
 use crate::social::SocialGraph;
 use eq_ir::{Atom, EntangledQuery, QueryId, Term, Value, Var};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 const RESERVE: &str = "Reserve";
 const FRIENDS: &str = "Friends";

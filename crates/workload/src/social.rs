@@ -1,9 +1,7 @@
 //! Synthetic social graph: scale-free, clustered, with planted cliques.
 
+use crate::rng::{Rng, SliceRandom, StdRng};
 use eq_ir::{FastSet, Value};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the synthetic graph. Defaults reproduce the paper's
 /// scale: 82,168 users, 102 airports.

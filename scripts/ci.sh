@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full-workspace CI: build, test, lint, workspace-membership assertion,
+# and a fig8 stress smoke run. Everything runs offline (vendored shims
+# only — see README "Offline-dependency policy").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/5 workspace membership (cargo metadata) =="
+# Parse real package names only (a grep over the raw JSON would also
+# match "name" fields inside dependency tables and pass vacuously).
+names=$(cargo metadata --no-deps --format-version 1 --offline |
+    python3 -c 'import json,sys; print("\n".join(sorted(p["name"] for p in json.load(sys.stdin)["packages"])))')
+for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
+    entangled_queries parking_lot proptest; do
+    if ! grep -qx "$pkg" <<<"$names"; then
+        echo "FATAL: package '$pkg' missing from the workspace" >&2
+        echo "cargo metadata reported:" >&2
+        echo "$names" >&2
+        exit 1
+    fi
+done
+echo "all $(wc -w <<<"$names" | tr -d ' ') packages present"
+
+echo "== 2/5 cargo build --release =="
+cargo build --release --offline
+
+echo "== 3/5 cargo test -q =="
+cargo test -q --offline
+
+echo "== 4/5 cargo clippy --workspace --all-targets =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== 5/5 fig8 stress smoke =="
+cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
+
+echo "CI green."

@@ -6,8 +6,7 @@
 
 use entangled_queries::core::{bruteforce, coordinate, graph::MatchGraph};
 use entangled_queries::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use entangled_queries::workload::rng::{Rng, StdRng};
 
 /// A random "micro-travel" instance: a handful of users, flights, and
 /// friend pairs submitting mutually-referencing ground queries.
@@ -23,7 +22,7 @@ fn random_instance(seed: u64) -> Instance {
     let dests = ["P", "Q"];
     for fno in 0..rng.gen_range(1..5) {
         let dest = dests[rng.gen_range(0..dests.len())];
-        db.insert("F", vec![Value::int(fno), Value::str(dest)])
+        db.insert("F", vec![Value::int(fno as i64), Value::str(dest)])
             .unwrap();
     }
 
