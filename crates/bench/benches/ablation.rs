@@ -32,7 +32,9 @@ fn main() {
     let sizes: &[usize] = if smoke { &[100] } else { &[200, 1_000] };
     for &n in sizes {
         let qs = renamed(&two_way_pairs(&graph, n, PairStyle::BestCase, 7));
-        group.bench("indexed", n as u64, || MatchGraph::build(qs.clone()).edges().len());
+        group.bench("indexed", n as u64, || {
+            MatchGraph::build(qs.clone()).edges().len()
+        });
         group.bench("pairwise", n as u64, || pairwise_edge_count(&qs));
     }
 

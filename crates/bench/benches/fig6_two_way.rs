@@ -7,8 +7,7 @@ use eq_bench::harness::{smoke_mode, BenchGroup};
 use eq_core::engine::NoSolutionPolicy;
 use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
 use eq_workload::{
-    build_database, three_way_triangles, two_way_pairs, PairStyle, SocialGraph,
-    SocialGraphConfig,
+    build_database, three_way_triangles, two_way_pairs, PairStyle, SocialGraph, SocialGraphConfig,
 };
 
 fn engine(graph: &SocialGraph) -> CoordinationEngine {
@@ -38,8 +37,14 @@ fn main() {
     group.sample_size(10);
     for &n in sizes {
         let workloads = [
-            ("two-way random", two_way_pairs(&graph, n, PairStyle::Random, 1)),
-            ("two-way best-case", two_way_pairs(&graph, n, PairStyle::BestCase, 2)),
+            (
+                "two-way random",
+                two_way_pairs(&graph, n, PairStyle::Random, 1),
+            ),
+            (
+                "two-way best-case",
+                two_way_pairs(&graph, n, PairStyle::BestCase, 2),
+            ),
             ("three-way", three_way_triangles(&graph, n, 3)),
         ];
         for (series, qs) in &workloads {

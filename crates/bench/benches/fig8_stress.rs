@@ -7,7 +7,9 @@ use eq_bench::harness::{smoke_mode, BenchGroup};
 use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
 use eq_db::Database;
 use eq_ir::EntangledQuery;
-use eq_workload::{build_database, chains, giant_cluster, no_unify, SocialGraph, SocialGraphConfig};
+use eq_workload::{
+    build_database, chains, giant_cluster, no_unify, SocialGraph, SocialGraphConfig,
+};
 
 fn drive(db: Database, queries: &[EntangledQuery], config: EngineConfig, flush: bool) {
     let mut e = CoordinationEngine::new(db, config);
@@ -68,7 +70,12 @@ fn main() {
             drive(Database::new(), &ch, batch_parallel.clone(), true)
         });
         group.bench("giant incremental", giant.len() as u64, || {
-            drive(build_database(&graph), &giant, incremental_unbounded.clone(), false)
+            drive(
+                build_database(&graph),
+                &giant,
+                incremental_unbounded.clone(),
+                false,
+            )
         });
         group.bench("giant set-at-a-time", giant.len() as u64, || {
             drive(build_database(&graph), &giant, batch.clone(), true)

@@ -1,0 +1,67 @@
+//! Resident match-graph throughput under churn: the same interleaved
+//! submit/flush/cancel script driven through the resident engine
+//! (dirty-component flushes, sequential and parallel) and through a
+//! rebuild-per-flush baseline that reconstructs the match graph from
+//! the whole pending pool on every flush (the pre-resident engine's
+//! strategy). The resident rows also print how many components each
+//! strategy actually evaluated versus skipped clean.
+
+use eq_bench::harness::{smoke_mode, BenchGroup};
+use eq_bench::{drive_churn_rebuild, drive_churn_resident};
+use eq_workload::{build_database, churn_script, ChurnConfig, SocialGraph, SocialGraphConfig};
+
+fn main() {
+    let (users, sizes, flush_every): (usize, &[usize], usize) = if smoke_mode() {
+        (1_000, &[400], 50)
+    } else {
+        (5_000, &[2_000, 10_000], 250)
+    };
+    let graph = SocialGraph::generate(&SocialGraphConfig {
+        users,
+        planted_cliques: 100,
+        ..Default::default()
+    });
+    let db = build_database(&graph);
+
+    let mut group = BenchGroup::new("fig_resident");
+    group.sample_size(if smoke_mode() { 3 } else { 10 });
+    for &n in sizes {
+        let ops = churn_script(
+            &graph,
+            &ChurnConfig {
+                queries: n,
+                flush_every,
+                solo_permille: 300,
+                seed: 7,
+            },
+        );
+        group.bench_with_setup(
+            "resident (dirty flush)",
+            n as u64,
+            || eq_bench::clone_db(&db),
+            |db| drive_churn_resident(db, &ops, 1),
+        );
+        group.bench_with_setup(
+            "resident (parallel dirty flush)",
+            n as u64,
+            || eq_bench::clone_db(&db),
+            |db| drive_churn_resident(db, &ops, 0),
+        );
+        group.bench("rebuild per flush", n as u64, || {
+            drive_churn_rebuild(&db, &ops)
+        });
+
+        // One instrumented pass outside the timing loop: how much match
+        // state was reused.
+        let (_, counters) = drive_churn_resident(eq_bench::clone_db(&db), &ops, 1);
+        println!(
+            "  [counters n={n}] flushes={} components_evaluated={} skipped_clean={} \
+             mgu_calls={} answered={}",
+            counters.flushes,
+            counters.components,
+            counters.skipped_clean,
+            counters.mgu_calls,
+            counters.answered
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Resident match-graph churn sweep: resident dirty flushes (sequential
+//! and parallel) versus the rebuild-per-flush baseline, on interleaved
+//! submit/flush/cancel scripts. Rows carry the aggregated per-flush
+//! `BatchReport` counters (components evaluated, clean skips, MGU
+//! calls) in the JSON output.
+//!
+//! Usage: `cargo run --release -p eq_bench --bin fig_resident [-- --sizes 2000,10000,50000]`
+
+use eq_bench::{report, run_fig_resident, sizes_from_args, FigResidentConfig};
+use std::path::Path;
+
+fn main() {
+    let sizes = sizes_from_args(&[2_000, 10_000]);
+    let rows = run_fig_resident(&FigResidentConfig {
+        sizes,
+        flush_every: 250,
+        users: 10_000,
+        seed: 2011,
+    });
+    report(
+        "Resident match graph: dirty-component flushes vs rebuild per flush",
+        &rows,
+        Some(Path::new("results/fig_resident.json")),
+    );
+}

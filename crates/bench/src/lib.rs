@@ -18,8 +18,9 @@ mod runner;
 
 pub use harness::BenchGroup;
 pub use runner::{
-    instrumented_batch, pairwise_edge_count, run_fig6, run_fig7, run_fig8, run_fig9,
-    standard_graph, Fig6Config, Fig8Config, Fig9Config, Row, SplitTiming,
+    clone_db, drive_churn_rebuild, drive_churn_resident, instrumented_batch, pairwise_edge_count,
+    run_fig6, run_fig7, run_fig8, run_fig9, run_fig_resident, standard_graph, ChurnCounters,
+    Fig6Config, Fig8Config, Fig9Config, FigResidentConfig, Row, SplitTiming,
 };
 
 use std::io::Write as _;
@@ -28,7 +29,10 @@ use std::path::Path;
 /// Prints rows as an aligned table and writes them as JSON.
 pub fn report(figure: &str, rows: &[Row], json_path: Option<&Path>) {
     println!("== {figure} ==");
-    println!("{:<28} {:>10} {:>14} {:>12}", "series", "x", "millis", "extra");
+    println!(
+        "{:<28} {:>10} {:>14} {:>12}",
+        "series", "x", "millis", "extra"
+    );
     for r in rows {
         println!(
             "{:<28} {:>10} {:>14.2} {:>12}",
@@ -55,19 +59,37 @@ pub fn report(figure: &str, rows: &[Row], json_path: Option<&Path>) {
 }
 
 /// Serializes rows as a JSON array (hand-rolled: the offline-dependency
-/// policy rules out serde, and `Row` is flat).
+/// policy rules out serde, and `Row` is flat). Engine counters, when
+/// present, become a nested `"counters"` object so bench runs record
+/// match-state reuse (components evaluated, clean skips, MGU calls)
+/// alongside wall-clock numbers.
 pub fn rows_to_json(rows: &[Row]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"figure\": \"{}\", \"series\": \"{}\", \"x\": {}, \"millis\": {}, \
-             \"extra\": {}}}",
+             \"extra\": {}",
             json_escape(r.figure),
             json_escape(&r.series),
             r.x,
             json_number(r.millis),
             r.extra.map_or_else(|| "null".to_owned(), json_number),
         ));
+        if !r.counters.is_empty() {
+            out.push_str(", \"counters\": {");
+            for (j, (name, value)) in r.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "\"{}\": {}",
+                    json_escape(name),
+                    json_number(*value)
+                ));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push(']');

@@ -6,8 +6,9 @@ use eq_core::{matching, safety, CombinedQuery, CoordinationEngine, EngineConfig,
 use eq_db::Database;
 use eq_ir::{EntangledQuery, VarGen};
 use eq_workload::{
-    build_database, chains, clique_groups, giant_cluster, no_unify, three_way_triangles,
-    two_way_pairs, unsafe_arrivals, unsafe_residents, PairStyle, SocialGraph, SocialGraphConfig,
+    build_database, chains, churn_script, clique_groups, giant_cluster, no_unify,
+    three_way_triangles, two_way_pairs, unsafe_arrivals, unsafe_residents, ChurnConfig, ChurnOp,
+    PairStyle, SocialGraph, SocialGraphConfig,
 };
 use std::time::Instant;
 
@@ -24,6 +25,25 @@ pub struct Row {
     pub millis: f64,
     /// Optional second metric (e.g. answered queries).
     pub extra: Option<f64>,
+    /// Named engine counters recorded with the point (per-flush
+    /// [`eq_core::BatchReport`] aggregates: components evaluated, clean
+    /// components skipped, MGU calls, ...). Serialized as a JSON object
+    /// so bench runs record match-state reuse, not just wall-clock.
+    pub counters: Vec<(&'static str, f64)>,
+}
+
+impl Row {
+    /// A row with no extra metric and no counters.
+    pub fn new(figure: &'static str, series: impl Into<String>, x: u64, millis: f64) -> Self {
+        Row {
+            figure,
+            series: series.into(),
+            x,
+            millis,
+            extra: None,
+            counters: Vec::new(),
+        }
+    }
 }
 
 /// The experiment graph at a given scale (default: the paper's 82,168
@@ -73,16 +93,11 @@ fn drive_incremental(db: &Database, queries: &[EntangledQuery]) -> (f64, usize) 
 
 /// The database substrate has no cheap snapshot/clone; experiments
 /// rebuild the workload tables per run to keep runs independent.
-fn clone_db(db: &Database) -> Database {
+pub fn clone_db(db: &Database) -> Database {
     let mut out = Database::new();
     for name in db.table_names() {
         let table = db.table(name).expect("listed table");
-        let columns: Vec<&str> = table
-            .schema()
-            .columns
-            .iter()
-            .map(|c| c.as_str())
-            .collect();
+        let columns: Vec<&str> = table.schema().columns.iter().map(|c| c.as_str()).collect();
         out.create_table(name.as_str(), &columns).expect("fresh db");
         for row in table.rows() {
             out.insert(name.as_str(), row.clone()).expect("same arity");
@@ -117,10 +132,7 @@ pub fn run_fig6(cfg: &Fig6Config) -> Vec<Row> {
                 "two-way best-case",
                 two_way_pairs(&graph, n, PairStyle::BestCase, cfg.seed + 1),
             ),
-            (
-                "three-way",
-                three_way_triangles(&graph, n, cfg.seed + 2),
-            ),
+            ("three-way", three_way_triangles(&graph, n, cfg.seed + 2)),
         ] {
             let (millis, answered) = drive_incremental(&db, &queries);
             rows.push(Row {
@@ -129,6 +141,7 @@ pub fn run_fig6(cfg: &Fig6Config) -> Vec<Row> {
                 x: n as u64,
                 millis,
                 extra: Some(answered as f64),
+                counters: Vec::new(),
             });
         }
     }
@@ -202,6 +215,7 @@ pub fn run_fig7(users: usize, n: usize, seed: u64) -> Vec<Row> {
             x: pc as u64,
             millis: t.match_ms,
             extra: Some(queries.len() as f64),
+            counters: Vec::new(),
         });
         rows.push(Row {
             figure: "fig7",
@@ -209,6 +223,7 @@ pub fn run_fig7(users: usize, n: usize, seed: u64) -> Vec<Row> {
             x: pc as u64,
             millis: t.db_ms,
             extra: Some(t.answered as f64),
+            counters: Vec::new(),
         });
     }
     rows
@@ -246,6 +261,7 @@ pub fn run_fig8(cfg: &Fig8Config) -> Vec<Row> {
             x: n as u64,
             millis,
             extra: None,
+            counters: Vec::new(),
         });
 
         // (b) Usual partitions: unification without coordination,
@@ -258,6 +274,7 @@ pub fn run_fig8(cfg: &Fig8Config) -> Vec<Row> {
             x: n as u64,
             millis,
             extra: None,
+            counters: Vec::new(),
         });
     }
 
@@ -285,6 +302,7 @@ pub fn run_fig8(cfg: &Fig8Config) -> Vec<Row> {
             x: n as u64,
             millis: start.elapsed().as_secs_f64() * 1e3,
             extra: None,
+            counters: Vec::new(),
         });
 
         // (d) Giant cluster, set-at-a-time: one matching pass at flush.
@@ -307,6 +325,7 @@ pub fn run_fig8(cfg: &Fig8Config) -> Vec<Row> {
             x: n as u64,
             millis: start.elapsed().as_secs_f64() * 1e3,
             extra: None,
+            counters: Vec::new(),
         });
     }
     rows
@@ -354,6 +373,198 @@ pub fn run_fig9(cfg: &Fig9Config) -> Vec<Row> {
             x: m as u64,
             millis: start.elapsed().as_secs_f64() * 1e3,
             extra: Some(rejected as f64),
+            counters: Vec::new(),
+        });
+    }
+    rows
+}
+
+/// Aggregated engine counters over one churn drive (sums of the
+/// per-flush [`eq_core::BatchReport`]s).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChurnCounters {
+    /// Components evaluated across all flushes.
+    pub components: f64,
+    /// Clean components skipped across all flushes (resident reuse).
+    pub skipped_clean: f64,
+    /// MGU merge operations performed by matching.
+    pub mgu_calls: f64,
+    /// Flushes executed.
+    pub flushes: f64,
+    /// Queries answered.
+    pub answered: f64,
+}
+
+impl ChurnCounters {
+    /// The counters as named JSON-able pairs for [`Row::counters`].
+    pub fn as_row_counters(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("components", self.components),
+            ("skipped_clean", self.skipped_clean),
+            ("mgu_calls", self.mgu_calls),
+            ("flushes", self.flushes),
+            ("answered", self.answered),
+        ]
+    }
+}
+
+/// Drives a churn script through a resident-graph engine (set-at-a-time
+/// mode, flushing at every `Flush` op) and returns wall-clock
+/// milliseconds plus the aggregated per-flush counters.
+pub fn drive_churn_resident(
+    db: Database,
+    ops: &[ChurnOp],
+    flush_threads: usize,
+) -> (f64, ChurnCounters) {
+    let mut engine = CoordinationEngine::new(
+        db,
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            admission_safety_check: false,
+            on_no_solution: NoSolutionPolicy::Reject,
+            flush_threads,
+            ..Default::default()
+        },
+    );
+    let mut ids = Vec::new();
+    let mut handles = Vec::new();
+    let mut counters = ChurnCounters::default();
+    let start = Instant::now();
+    for op in ops {
+        match op {
+            ChurnOp::Submit(q) => {
+                let h = engine.submit(q.clone()).expect("valid churn query");
+                ids.push(h.id);
+                handles.push(h);
+            }
+            ChurnOp::Cancel(idx) => {
+                engine.cancel(ids[*idx]);
+            }
+            ChurnOp::Flush => {
+                let report = engine.flush();
+                counters.components += report.components as f64;
+                counters.skipped_clean += report.skipped_clean as f64;
+                counters.mgu_calls += report.stats.mgu_calls as f64;
+                counters.flushes += 1.0;
+            }
+        }
+    }
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    counters.answered = handles
+        .iter()
+        .filter(|h| {
+            matches!(
+                h.outcome.try_recv(),
+                Ok(eq_core::engine::QueryOutcome::Answered(_))
+            )
+        })
+        .count() as f64;
+    (millis, counters)
+}
+
+/// Rebuild-per-flush baseline: the pre-resident engine's flush strategy,
+/// reconstructed over the public one-shot pipeline. Every `Flush` op
+/// clones the entire pending pool into [`eq_core::coordinate`] (which
+/// builds a fresh match graph, exactly like the old
+/// `MatchGraph::build`-per-flush engine); answered and terminally
+/// rejected queries leave the pool, unmatched ones stay.
+pub fn drive_churn_rebuild(db: &Database, ops: &[ChurnOp]) -> (f64, f64) {
+    use eq_core::RejectReason;
+    let mut pending: Vec<Option<EntangledQuery>> = Vec::new();
+    let mut answered = 0usize;
+    let start = Instant::now();
+    for op in ops {
+        match op {
+            ChurnOp::Submit(q) => {
+                let idx = pending.len();
+                pending.push(Some(q.clone().with_id(eq_ir::QueryId(idx as u64 + 1))));
+            }
+            ChurnOp::Cancel(idx) => {
+                pending[*idx] = None;
+            }
+            ChurnOp::Flush => {
+                let live: Vec<EntangledQuery> = pending.iter().flatten().cloned().collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let outcome = eq_core::coordinate(&live, db).expect("valid churn queries");
+                answered += outcome.answers.len();
+                for (id, _) in outcome.answers.iter() {
+                    pending[id.0 as usize - 1] = None;
+                }
+                for (id, reason) in &outcome.rejected {
+                    // Unmatched (and safety-sidelined) queries stay
+                    // pending, like the engine's flush; terminal
+                    // rejections leave the pool.
+                    if matches!(
+                        reason,
+                        RejectReason::NoSolution | RejectReason::NonUcs | RejectReason::Invalid(_)
+                    ) {
+                        pending[id.0 as usize - 1] = None;
+                    }
+                }
+            }
+        }
+    }
+    (start.elapsed().as_secs_f64() * 1e3, answered as f64)
+}
+
+/// Configuration for the resident-vs-rebuild churn sweep.
+pub struct FigResidentConfig {
+    /// Total queries per point.
+    pub sizes: Vec<usize>,
+    /// Flush cadence (submissions between flushes).
+    pub flush_every: usize,
+    /// Social graph scale.
+    pub users: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Resident-graph throughput sweep: the same churn script (interleaved
+/// submit/flush/cancel) driven through the resident engine
+/// (sequential + parallel flush) and through the rebuild-per-flush
+/// baseline. The resident rows carry the aggregated per-flush counters
+/// (components evaluated, clean skips, MGU calls) so runs record how
+/// much match state was reused.
+pub fn run_fig_resident(cfg: &FigResidentConfig) -> Vec<Row> {
+    let graph = standard_graph(cfg.users);
+    let db = build_database(&graph);
+    let mut rows = Vec::new();
+    for &n in &cfg.sizes {
+        let ops = churn_script(
+            &graph,
+            &ChurnConfig {
+                queries: n,
+                flush_every: cfg.flush_every,
+                solo_permille: 300,
+                seed: cfg.seed,
+            },
+        );
+
+        let (millis, counters) = drive_churn_resident(clone_db(&db), &ops, 1);
+        rows.push(Row {
+            extra: Some(counters.answered),
+            counters: counters.as_row_counters(),
+            ..Row::new("fig_resident", "resident (dirty flush)", n as u64, millis)
+        });
+
+        let (millis, counters) = drive_churn_resident(clone_db(&db), &ops, 0);
+        rows.push(Row {
+            extra: Some(counters.answered),
+            counters: counters.as_row_counters(),
+            ..Row::new(
+                "fig_resident",
+                "resident (parallel dirty flush)",
+                n as u64,
+                millis,
+            )
+        });
+
+        let (millis, answered) = drive_churn_rebuild(&db, &ops);
+        rows.push(Row {
+            extra: Some(answered),
+            ..Row::new("fig_resident", "rebuild per flush", n as u64, millis)
         });
     }
     rows
@@ -439,12 +650,58 @@ mod tests {
     }
 
     #[test]
+    fn churn_resident_and_rebuild_agree_and_resident_reuses_state() {
+        let graph = tiny_graph();
+        let db = build_database(&graph);
+        let ops = churn_script(
+            &graph,
+            &ChurnConfig {
+                queries: 300,
+                flush_every: 40,
+                solo_permille: 300,
+                seed: 13,
+            },
+        );
+        let (_, seq) = drive_churn_resident(clone_db(&db), &ops, 1);
+        let (_, par) = drive_churn_resident(clone_db(&db), &ops, 4);
+        let (_, rebuild_answered) = drive_churn_rebuild(&db, &ops);
+        // Sequential and parallel resident flushes are observationally
+        // identical, and both agree with the rebuild-per-flush baseline
+        // on which queries coordinated.
+        assert_eq!(seq.answered, par.answered);
+        assert_eq!(seq.components, par.components);
+        assert_eq!(seq.answered, rebuild_answered);
+        // The dirty set actually skips work: across the run, clean
+        // components outnumber zero.
+        assert!(seq.skipped_clean > 0.0, "no match-state reuse recorded");
+        assert!(seq.answered > 0.0, "churn script should coordinate pairs");
+    }
+
+    #[test]
+    fn fig_resident_rows_carry_counters() {
+        let rows = run_fig_resident(&FigResidentConfig {
+            sizes: vec![120],
+            flush_every: 30,
+            users: 400,
+            seed: 5,
+        });
+        assert_eq!(rows.len(), 3);
+        let resident = &rows[0];
+        assert!(resident
+            .counters
+            .iter()
+            .any(|(name, _)| *name == "skipped_clean"));
+        let json = crate::rows_to_json(&rows);
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"skipped_clean\""));
+    }
+
+    #[test]
     fn pairwise_discovery_agrees_with_index() {
         let graph = tiny_graph();
         let queries = two_way_pairs(&graph, 40, PairStyle::BestCase, 5);
         let gen = VarGen::new();
-        let renamed: Vec<EntangledQuery> =
-            queries.iter().map(|q| q.rename_apart(&gen)).collect();
+        let renamed: Vec<EntangledQuery> = queries.iter().map(|q| q.rename_apart(&gen)).collect();
         let indexed = MatchGraph::build(renamed.clone());
         assert_eq!(pairwise_edge_count(&renamed), indexed.edges().len());
     }

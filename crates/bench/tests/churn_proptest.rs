@@ -1,0 +1,147 @@
+//! Property checks for the resident match graph under churn: heavy
+//! interleavings of submit / flush / cancel / expire must leave the
+//! engine's resident state internally consistent (no dangling
+//! `AtomRef`s in the sharded indexes, satisfier counters equal to
+//! resident in-edges, component registry in sync), must reuse freed
+//! slots instead of growing the slot table, and must stay
+//! observationally identical between sequential and parallel flushes.
+
+use eq_core::engine::QueryOutcome;
+use eq_core::{CoordinationEngine, EngineConfig, EngineMode, FailReason};
+use eq_workload::{churn_script, ChurnConfig, ChurnOp, SocialGraph, SocialGraphConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn graph() -> &'static SocialGraph {
+    static GRAPH: OnceLock<SocialGraph> = OnceLock::new();
+    GRAPH.get_or_init(|| {
+        SocialGraph::generate(&SocialGraphConfig {
+            users: 400,
+            airports: 6,
+            planted_cliques: 60,
+            ..Default::default()
+        })
+    })
+}
+
+fn engine(threads: usize, staleness: Option<Duration>) -> CoordinationEngine {
+    CoordinationEngine::new(
+        eq_workload::build_database(graph()),
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            admission_safety_check: false,
+            flush_threads: threads,
+            staleness,
+            ..Default::default()
+        },
+    )
+}
+
+/// Runs a churn script, checking engine invariants at every flush.
+/// Returns per-submission terminal outcomes (None = still pending) and
+/// the final slot capacity.
+fn drive(mut engine: CoordinationEngine, ops: &[ChurnOp]) -> (Vec<Option<QueryOutcome>>, usize) {
+    let mut handles = Vec::new();
+    for op in ops {
+        match op {
+            ChurnOp::Submit(q) => handles.push(engine.submit(q.clone()).unwrap()),
+            ChurnOp::Cancel(idx) => {
+                engine.cancel(handles[*idx].id);
+            }
+            ChurnOp::Flush => {
+                engine.flush();
+                engine
+                    .check_invariants()
+                    .expect("resident invariants after flush");
+            }
+        }
+    }
+    engine
+        .check_invariants()
+        .expect("final resident invariants");
+    let capacity = engine.slot_capacity();
+    (
+        handles
+            .into_iter()
+            .map(|h| h.outcome.try_recv().ok())
+            .collect(),
+        capacity,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn churn_preserves_invariants_and_reuses_slots(
+        queries in 40usize..160,
+        flush_every in 10usize..40,
+        solo_permille in 100u32..600,
+        seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let ops = churn_script(
+            graph(),
+            &ChurnConfig { queries, flush_every, solo_permille, seed },
+        );
+        let (outcomes, capacity) = drive(engine(threads, None), &ops);
+        prop_assert_eq!(outcomes.len(), queries);
+        // Cancel + answer churn retires queries throughout the run, so
+        // the slot table must stay well below one slot per submission.
+        prop_assert!(
+            capacity <= queries,
+            "slot table never shrank: capacity {} for {} submissions",
+            capacity, queries
+        );
+        // Every cancelled query reports Cancelled.
+        for (op_idx, op) in ops.iter().enumerate() {
+            if let ChurnOp::Cancel(idx) = op {
+                prop_assert_eq!(
+                    outcomes[*idx].as_ref(),
+                    Some(&QueryOutcome::Failed(FailReason::Cancelled)),
+                    "cancel op {} (submission {}) not honored", op_idx, idx
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_churn_flushes_agree(
+        queries in 40usize..120,
+        flush_every in 10usize..30,
+        seed in 0u64..1_000,
+        threads in 2usize..7,
+    ) {
+        let ops = churn_script(
+            graph(),
+            &ChurnConfig { queries, flush_every, solo_permille: 300, seed },
+        );
+        let (seq, _) = drive(engine(1, None), &ops);
+        let (par, _) = drive(engine(threads, None), &ops);
+        prop_assert_eq!(seq, par, "threads={}", threads);
+    }
+
+    #[test]
+    fn zero_staleness_expires_everything_and_reuses_all_slots(
+        queries in 30usize..100,
+        flush_every in 5usize..25,
+        seed in 0u64..1_000,
+    ) {
+        // With a zero staleness bound, every pending query expires at
+        // the next submission or flush — maximal slot churn.
+        let ops = churn_script(
+            graph(),
+            &ChurnConfig { queries, flush_every, solo_permille: 400, seed },
+        );
+        let (outcomes, capacity) = drive(engine(1, Some(Duration::ZERO)), &ops);
+        // Everything reaches a terminal state (stale, cancelled, or an
+        // answer in the same-submit window), nothing stays pending.
+        for (i, o) in outcomes.iter().enumerate() {
+            prop_assert!(o.is_some(), "submission {} still pending", i);
+        }
+        // The pool never holds more than one query (each submission
+        // expires its predecessor), so the slot table stays tiny.
+        prop_assert!(capacity <= 2, "capacity {}", capacity);
+    }
+}

@@ -149,7 +149,14 @@ pub fn find_coordinating_set(
         }
     }
 
-    dfs(&all, require_all, 0, &mut current, &mut best, &mut best_count);
+    dfs(
+        &all,
+        require_all,
+        0,
+        &mut current,
+        &mut best,
+        &mut best_count,
+    );
     Ok(best.map(|choice| (all, choice)))
 }
 
@@ -177,7 +184,12 @@ mod tests {
         let mut db = Database::new();
         db.create_table("F", &["fno", "dest"]).unwrap();
         db.create_table("A", &["fno", "airline"]).unwrap();
-        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+        for (fno, dest) in [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ] {
             db.insert("F", vec![Value::int(fno), Value::str(dest)])
                 .unwrap();
         }

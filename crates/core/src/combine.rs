@@ -15,7 +15,7 @@
 //! database; each returned valuation grounds every survivor's head atoms
 //! and yields one answer per entangled query.
 
-use crate::graph::MatchGraph;
+use crate::graph::MatchView;
 use eq_db::{Database, DbError, Tuple, Valuation};
 use eq_ir::{Atom, Constraint, QueryId, Symbol, Term, Value};
 use eq_unify::Unifier;
@@ -48,8 +48,10 @@ pub struct QueryAnswer {
 
 impl CombinedQuery {
     /// Builds the combined query from a matched component's `survivors`
-    /// (graph slots) and `global` unifier.
-    pub fn build(graph: &MatchGraph, survivors: &[u32], global: &Unifier) -> Self {
+    /// (graph slots) and `global` unifier. Works over any
+    /// [`MatchView`] — a batch-built graph or the engine's resident
+    /// graph — borrowing the survivor queries in place.
+    pub fn build<V: MatchView>(graph: &V, survivors: &[u32], global: &Unifier) -> Self {
         let simplify = |atom: &Atom| -> Atom {
             Atom {
                 relation: atom.relation,
@@ -60,7 +62,7 @@ impl CombinedQuery {
         let mut constraints = Vec::new();
         let mut heads = Vec::new();
         for &slot in survivors {
-            let q = &graph.queries()[slot as usize];
+            let q = graph.query(slot);
             body.extend(q.body.iter().map(&simplify));
             constraints.extend(
                 q.constraints
@@ -83,16 +85,9 @@ impl CombinedQuery {
     /// Returns one `Vec<QueryAnswer>` per solution found (at most
     /// `limit`); the empty outer vector means the component found no
     /// coordinated solution in the current database.
-    pub fn evaluate(
-        &self,
-        db: &Database,
-        limit: usize,
-    ) -> Result<Vec<Vec<QueryAnswer>>, DbError> {
+    pub fn evaluate(&self, db: &Database, limit: usize) -> Result<Vec<Vec<QueryAnswer>>, DbError> {
         let valuations = db.evaluate_filtered(&self.body, &self.constraints, limit)?;
-        Ok(valuations
-            .iter()
-            .map(|val| self.distribute(val))
-            .collect())
+        Ok(valuations.iter().map(|val| self.distribute(val)).collect())
     }
 
     /// Grounds every survivor's head atoms under one valuation.
@@ -148,6 +143,7 @@ pub fn answer_atoms(answers: &[QueryAnswer]) -> Vec<(Symbol, Vec<Value>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::MatchGraph;
     use crate::matching::match_component;
     use eq_ir::{EntangledQuery, VarGen};
     use eq_sql::parse_ir_query;
@@ -171,7 +167,12 @@ mod tests {
         let mut db = Database::new();
         db.create_table("F", &["fno", "dest"]).unwrap();
         db.create_table("A", &["fno", "airline"]).unwrap();
-        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+        for (fno, dest) in [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ] {
             db.insert("F", vec![Value::int(fno), Value::str(dest)])
                 .unwrap();
         }
@@ -276,7 +277,7 @@ mod tests {
         let cq = CombinedQuery::build(&g, &m.survivors, m.global.as_ref().unwrap());
         let sols = cq.evaluate(&flight_db(), 3).unwrap();
         assert_eq!(sols.len(), 3); // flights 122, 123, 134
-        // Solutions are distinct flights.
+                                   // Solutions are distinct flights.
         let fnos: Vec<Value> = sols.iter().map(|s| s[0].tuples[0][1]).collect();
         let mut dedup = fnos.clone();
         dedup.sort();
@@ -288,16 +289,10 @@ mod tests {
     fn ground_queries_check_membership_only() {
         let mut db = Database::new();
         db.create_table("Friends", &["a", "b"]).unwrap();
-        db.insert(
-            "Friends",
-            vec![Value::str("Jerry"), Value::str("Kramer")],
-        )
-        .unwrap();
-        db.insert(
-            "Friends",
-            vec![Value::str("Kramer"), Value::str("Jerry")],
-        )
-        .unwrap();
+        db.insert("Friends", vec![Value::str("Jerry"), Value::str("Kramer")])
+            .unwrap();
+        db.insert("Friends", vec![Value::str("Kramer"), Value::str("Jerry")])
+            .unwrap();
         let g = build(&[
             "{R(Kramer, ITH)} R(Jerry, ITH) <- Friends(Jerry, Kramer)",
             "{R(Jerry, ITH)} R(Kramer, ITH) <- Friends(Kramer, Jerry)",
@@ -306,7 +301,10 @@ mod tests {
         let cq = CombinedQuery::build(&g, &m.survivors, m.global.as_ref().unwrap());
         let sols = cq.evaluate(&db, 1).unwrap();
         assert_eq!(sols.len(), 1);
-        assert_eq!(sols[0][0].tuples[0], vec![Value::str("Jerry"), Value::str("ITH")]);
+        assert_eq!(
+            sols[0][0].tuples[0],
+            vec![Value::str("Jerry"), Value::str("ITH")]
+        );
     }
 
     #[test]
@@ -324,14 +322,26 @@ mod tests {
         let t_head = &cq.heads[0].1[0];
         assert_eq!(t_head.terms[0], Term::int(1));
         // D1's third column is the constant 1 after simplification.
-        let d1 = cq.body.iter().find(|a| a.relation == Symbol::new("D1")).unwrap();
+        let d1 = cq
+            .body
+            .iter()
+            .find(|a| a.relation == Symbol::new("D1"))
+            .unwrap();
         assert_eq!(d1.terms[2], Term::int(1));
         // D3's first column likewise.
-        let d3 = cq.body.iter().find(|a| a.relation == Symbol::new("D3")).unwrap();
+        let d3 = cq
+            .body
+            .iter()
+            .find(|a| a.relation == Symbol::new("D3"))
+            .unwrap();
         assert_eq!(d3.terms[0], Term::int(1));
         // R's head variable and D2's variable are the same class rep.
         let r_head = &cq.heads[1].1[0];
-        let d2 = cq.body.iter().find(|a| a.relation == Symbol::new("D2")).unwrap();
+        let d2 = cq
+            .body
+            .iter()
+            .find(|a| a.relation == Symbol::new("D2"))
+            .unwrap();
         assert_eq!(r_head.terms[0], d2.terms[0]);
     }
 }

@@ -77,10 +77,7 @@ impl CoordinationOutcome {
 
     /// The reject reason for a query, if it was rejected.
     pub fn reason(&self, id: QueryId) -> Option<&RejectReason> {
-        self.rejected
-            .iter()
-            .find(|(q, _)| *q == id)
-            .map(|(_, r)| r)
+        self.rejected.iter().find(|(q, _)| *q == id).map(|(_, r)| r)
     }
 }
 
@@ -146,7 +143,11 @@ pub fn coordinate_with_config(
     // Validate and rename apart.
     let mut admitted: Vec<EntangledQuery> = Vec::with_capacity(queries.len());
     for (i, q) in queries.iter().enumerate() {
-        let id = if ids_distinct { q.id } else { QueryId(i as u64) };
+        let id = if ids_distinct {
+            q.id
+        } else {
+            QueryId(i as u64)
+        };
         match q.validate() {
             Ok(()) => admitted.push(q.rename_apart(&gen).with_id(id)),
             Err(e) => outcome.rejected.push((id, RejectReason::Invalid(e))),
@@ -272,7 +273,12 @@ mod tests {
         let mut db = Database::new();
         db.create_table("F", &["fno", "dest"]).unwrap();
         db.create_table("A", &["fno", "airline"]).unwrap();
-        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+        for (fno, dest) in [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ] {
             db.insert("F", vec![Value::int(fno), Value::str(dest)])
                 .unwrap();
         }
@@ -453,8 +459,7 @@ mod tests {
         ];
         let fast = coordinate(&queries, &db).unwrap();
         let gen = eq_ir::VarGen::new();
-        let renamed: Vec<EntangledQuery> =
-            queries.iter().map(|x| x.rename_apart(&gen)).collect();
+        let renamed: Vec<EntangledQuery> = queries.iter().map(|x| x.rename_apart(&gen)).collect();
         let slow = crate::bruteforce::find_coordinating_set(&renamed, &db, true).unwrap();
         assert_eq!(fast.answers.len() == 2, slow.is_some());
     }

@@ -8,8 +8,19 @@
 //!   answerable is evaluated immediately;
 //! * **Set-at-a-time** — submissions accumulate; [`CoordinationEngine::flush`]
 //!   (called manually, or automatically every `batch_size` submissions)
-//!   matches the whole pool, processing independent components in
-//!   parallel (§4.1.2).
+//!   evaluates the *dirty* components of the resident match graph,
+//!   processing independent components in parallel (§4.1.2).
+//!
+//! Match state is **resident**: one persistent unifiability graph
+//! ([`ResidentGraph`]) keyed by engine slots is updated incrementally at
+//! submission (edges discovered through the sharded atom indexes, MGUs
+//! computed once and kept) and at retirement (edge removal with lazy
+//! component-split resolution). Both modes — and the eager-pairing
+//! fallback for oversized partitions — evaluate straight off this
+//! resident state through [`crate::graph::MatchView`], borrowing pending
+//! queries in place; nothing is cloned into a per-flush throwaway graph,
+//! and a flush with no changes since the previous one evaluates zero
+//! components.
 //!
 //! Queries that cannot currently be matched stay pending until they
 //! succeed, fail, or exceed the configured staleness bound (§5.1: "when
@@ -21,9 +32,11 @@
 
 use crate::combine::{CombinedQuery, QueryAnswer};
 use crate::coordinate::RejectReason;
-use crate::graph::MatchGraph;
-use crate::index::{AtomIndex, AtomRef};
+use crate::graph::{Edge, MatchView};
+use crate::index::{AtomRef, ShardedAtomIndex};
 use crate::matching::{self, MatchStats};
+use crate::resident::ResidentGraph;
+use crate::safety;
 use crate::ucs;
 use eq_db::Database;
 use eq_ir::{EntangledQuery, FastMap, FastSet, QueryId, ValidationError, VarGen};
@@ -128,6 +141,9 @@ pub enum FailReason {
     Rejected(RejectReason),
     /// Exceeded the staleness bound without coordinating.
     Stale,
+    /// Withdrawn by the application via
+    /// [`CoordinationEngine::cancel`].
+    Cancelled,
 }
 
 /// Terminal outcome delivered on a query's handle.
@@ -166,8 +182,12 @@ pub enum SubmitError {
 /// Summary of one flush (or one incremental trigger).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchReport {
-    /// Components examined.
+    /// Components examined (after safety masking and split resolution).
     pub components: usize,
+    /// Resident components skipped because nothing in them changed
+    /// since they were last evaluated (the dirty-set payoff; always 0
+    /// for incremental triggers).
+    pub skipped_clean: usize,
     /// Queries answered.
     pub answered: usize,
     /// Queries failed (rejections + no-solution under the reject
@@ -183,8 +203,41 @@ struct PendingQuery {
     query: EntangledQuery,
     sender: SyncSender<QueryOutcome>,
     /// Number of live pending heads unifying each postcondition
-    /// (admission-time bookkeeping for the safety check).
+    /// (admission-time bookkeeping for the safety check; equals the
+    /// resident graph's in-edge count per postcondition).
     pc_satisfiers: Vec<u32>,
+}
+
+/// Immutable view over the engine's resident match state: the slot
+/// table provides the queries, the [`ResidentGraph`] the topology.
+/// Matching, safety, UCS, and combined-query construction all run
+/// against this — the same code path for batch flushes, incremental
+/// triggers, and eager pairing — borrowing pending queries in place.
+struct ResidentView<'a> {
+    slots: &'a [Option<PendingQuery>],
+    graph: &'a ResidentGraph,
+}
+
+impl MatchView for ResidentView<'_> {
+    fn slot_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn query(&self, slot: u32) -> &EntangledQuery {
+        &self.slots[slot as usize].as_ref().expect("live slot").query
+    }
+
+    fn edge(&self, eid: u32) -> &Edge {
+        self.graph.edge(eid)
+    }
+
+    fn out_edges(&self, slot: u32) -> &[u32] {
+        self.graph.out_edges(slot)
+    }
+
+    fn in_edges(&self, slot: u32) -> &[u32] {
+        self.graph.in_edges(slot)
+    }
 }
 
 /// The coordination engine.
@@ -204,19 +257,23 @@ pub struct CoordinationEngine {
     free_slots: Vec<u32>,
     by_id: FastMap<QueryId, u32>,
     statuses: FastMap<QueryId, QueryStatus>,
-    head_index: AtomIndex,
-    pc_index: AtomIndex,
-    /// Undirected adjacency (slot → unifiable partner slots), kept
-    /// incrementally; used to find the affected partition.
-    adj: FastMap<u32, FastSet<u32>>,
+    /// Resident atom indexes, sharded by `(relation, arity)` (§4.1.4).
+    head_index: ShardedAtomIndex,
+    pc_index: ShardedAtomIndex,
+    /// The persistent match graph: edges + components + dirty tracking.
+    resident: ResidentGraph,
     /// Submission order for staleness sweeps.
     age_queue: VecDeque<(Instant, QueryId)>,
     submissions_since_flush: usize,
+    /// Database revision seen by the last flush; a change marks every
+    /// component dirty (kept-pending components may now be answerable).
+    flushed_db_revision: u64,
 }
 
 impl CoordinationEngine {
     /// Creates an engine over a database.
     pub fn new(db: Database, config: EngineConfig) -> Self {
+        let revision = db.revision();
         CoordinationEngine {
             config,
             db: Arc::new(RwLock::new(db)),
@@ -226,11 +283,12 @@ impl CoordinationEngine {
             free_slots: Vec::new(),
             by_id: FastMap::default(),
             statuses: FastMap::default(),
-            head_index: AtomIndex::new(),
-            pc_index: AtomIndex::new(),
-            adj: FastMap::default(),
+            head_index: ShardedAtomIndex::default(),
+            pc_index: ShardedAtomIndex::default(),
+            resident: ResidentGraph::new(),
             age_queue: VecDeque::new(),
             submissions_since_flush: 0,
+            flushed_db_revision: revision,
         }
     }
 
@@ -269,56 +327,87 @@ impl CoordinationEngine {
         let slot = self.allocate_slot();
         let now = Instant::now();
 
-        // Index atoms and discover partners.
-        let mut partners: FastSet<u32> = FastSet::default();
-        let mut pc_satisfiers = vec![0u32; renamed.pc_count()];
+        // Discover unifiability edges through the sharded atom indexes,
+        // computing each MGU exactly once — the unifier is kept on the
+        // resident edge and reused by every future matching run over
+        // this component.
+        let mut edges: Vec<Edge> = Vec::new();
         for (ai, atom) in renamed.head.iter().enumerate() {
-            let aref = AtomRef {
-                query: slot,
-                atom: ai as u32,
-            };
             // Existing postconditions this head satisfies.
-            for cand in self.pc_index.candidates(atom) {
+            self.pc_index.for_each_candidate(atom, |cand, pc| {
                 if cand.query == slot {
-                    continue;
+                    return;
                 }
-                let pc = self.pc_index.get(cand).expect("indexed");
-                if eq_unify::mgu_atoms(atom, pc).is_some() {
-                    partners.insert(cand.query);
-                    if let Some(p) = self.slots[cand.query as usize].as_mut() {
-                        p.pc_satisfiers[cand.atom as usize] += 1;
-                    }
+                if let Some(mgu) = eq_unify::mgu_atoms(atom, pc) {
+                    edges.push(Edge {
+                        from: slot,
+                        head_idx: ai as u32,
+                        to: cand.query,
+                        pc_idx: cand.atom,
+                        mgu,
+                    });
                 }
-            }
-            self.head_index.insert(aref, atom);
+            });
         }
         for (ai, atom) in renamed.postconditions.iter().enumerate() {
-            let aref = AtomRef {
-                query: slot,
-                atom: ai as u32,
-            };
-            for cand in self.head_index.candidates(atom) {
+            // Existing heads satisfying this postcondition.
+            self.head_index.for_each_candidate(atom, |cand, head| {
                 if cand.query == slot {
-                    continue;
+                    return;
                 }
-                let head = self.head_index.get(cand).expect("indexed");
-                if eq_unify::mgu_atoms(head, atom).is_some() {
-                    partners.insert(cand.query);
-                    pc_satisfiers[ai] += 1;
+                if let Some(mgu) = eq_unify::mgu_atoms(head, atom) {
+                    edges.push(Edge {
+                        from: cand.query,
+                        head_idx: cand.atom,
+                        to: slot,
+                        pc_idx: ai as u32,
+                        mgu,
+                    });
                 }
-            }
-            self.pc_index.insert(aref, atom);
-        }
-        for &p in &partners {
-            self.adj.entry(slot).or_default().insert(p);
-            self.adj.entry(p).or_default().insert(slot);
+            });
         }
 
+        // Satisfier counters follow the discovered edges.
+        let mut pc_satisfiers = vec![0u32; renamed.pc_count()];
+        let mut partners: FastSet<u32> = FastSet::default();
+        for e in &edges {
+            if e.from == slot {
+                partners.insert(e.to);
+                if let Some(p) = self.slots[e.to as usize].as_mut() {
+                    p.pc_satisfiers[e.pc_idx as usize] += 1;
+                }
+            } else {
+                partners.insert(e.from);
+                pc_satisfiers[e.pc_idx as usize] += 1;
+            }
+        }
+
+        // Index the new query's atoms and link it into the resident
+        // graph (merging partner components, marking the result dirty).
+        for (ai, atom) in renamed.head.iter().enumerate() {
+            self.head_index.insert(
+                AtomRef {
+                    query: slot,
+                    atom: ai as u32,
+                },
+                atom,
+            );
+        }
+        for (ai, atom) in renamed.postconditions.iter().enumerate() {
+            self.pc_index.insert(
+                AtomRef {
+                    query: slot,
+                    atom: ai as u32,
+                },
+                atom,
+            );
+        }
         self.slots[slot as usize] = Some(PendingQuery {
             query: renamed,
             sender: tx,
             pc_satisfiers,
         });
+        self.resident.link(slot, edges);
         self.by_id.insert(id, slot);
         self.statuses.insert(id, QueryStatus::Pending);
         self.age_queue.push_back((now, id));
@@ -326,9 +415,17 @@ impl CoordinationEngine {
         match self.config.mode {
             EngineMode::Incremental => {
                 let limit = self.config.incremental_partition_limit;
-                match self.bounded_partition(slot, limit) {
+                match self.resident.bounded_component(slot, limit) {
                     Some(members) => {
-                        self.process_slots(&members);
+                        // The registry component may still be coarser
+                        // than the true piece (pending split); only
+                        // mark it clean when the piece covers it —
+                        // otherwise other pieces would lose their
+                        // dirtiness.
+                        if members.len() == self.resident.component_len(slot) {
+                            self.resident.mark_clean(slot);
+                        }
+                        self.process_groups(&[members]);
                     }
                     None => {
                         let mut ordered: Vec<u32> = partners.into_iter().collect();
@@ -350,36 +447,38 @@ impl CoordinationEngine {
 
     /// Admission safety check (Figure 9): reject the query if admitting
     /// it would give any postcondition (its own or a pending query's)
-    /// two or more unifying heads.
+    /// two or more unifying heads. Probes visit index candidates in
+    /// place ([`ShardedAtomIndex::for_each_candidate`]) — no per-probe
+    /// allocation on this hot path.
     fn check_admission_safety(&self, q: &EntangledQuery) -> Result<(), SubmitError> {
         // Each of q's postconditions must unify with at most one pending
         // head.
         for pc in &q.postconditions {
             let mut hits = 0u32;
-            for cand in self.head_index.candidates(pc) {
-                let head = self.head_index.get(cand).expect("indexed");
-                if eq_unify::mgu_atoms(head, pc).is_some() {
+            self.head_index.for_each_candidate(pc, |_, head| {
+                if hits < 2 && eq_unify::mgu_atoms(head, pc).is_some() {
                     hits += 1;
-                    if hits >= 2 {
-                        return Err(SubmitError::Unsafe);
-                    }
                 }
+            });
+            if hits >= 2 {
+                return Err(SubmitError::Unsafe);
             }
         }
         // Each of q's heads must not give a pending postcondition a
         // second satisfier.
         for head in &q.head {
-            for cand in self.pc_index.candidates(head) {
-                let pc = self.pc_index.get(cand).expect("indexed");
-                if eq_unify::mgu_atoms(head, pc).is_none() {
-                    continue;
+            let mut second_satisfier = false;
+            self.pc_index.for_each_candidate(head, |cand, pc| {
+                if second_satisfier || eq_unify::mgu_atoms(head, pc).is_none() {
+                    return;
                 }
-                let owner = self.slots[cand.query as usize]
-                    .as_ref()
-                    .expect("live slot");
+                let owner = self.slots[cand.query as usize].as_ref().expect("live slot");
                 if owner.pc_satisfiers[cand.atom as usize] >= 1 {
-                    return Err(SubmitError::Unsafe);
+                    second_satisfier = true;
                 }
+            });
+            if second_satisfier {
+                return Err(SubmitError::Unsafe);
             }
         }
         // Within-query ambiguity: two of q's own heads unifying one of
@@ -409,44 +508,44 @@ impl CoordinationEngine {
         expired
     }
 
-    /// Set-at-a-time evaluation over the whole pending pool: builds the
-    /// unifiability graph, partitions it, and processes every component
-    /// on the sharded worker pool (`flush_threads` workers; `0` = one
-    /// per hardware thread; `1` = sequential). Unmatched queries remain
-    /// pending.
+    /// Set-at-a-time evaluation: takes the *dirty* components of the
+    /// resident match graph — those whose membership changed since they
+    /// were last evaluated, or all of them if the database was written
+    /// in between — and processes them on the sharded worker pool
+    /// (`flush_threads` workers; `0` = one per hardware thread; `1` =
+    /// sequential). Clean components are skipped entirely (reported in
+    /// [`BatchReport::skipped_clean`]): a flush with no changes since
+    /// the previous one evaluates zero components. Unmatched queries
+    /// remain pending.
     pub fn flush(&mut self) -> BatchReport {
         self.submissions_since_flush = 0;
         self.expire_stale();
 
-        let live: Vec<u32> = (0..self.slots.len() as u32)
-            .filter(|&s| self.slots[s as usize].is_some())
-            .collect();
-        self.process_slots(&live)
+        let revision = self.db.read().revision();
+        if revision != self.flushed_db_revision {
+            self.flushed_db_revision = revision;
+            self.resident.mark_all_dirty();
+        }
+        // Count skips before splits resolve: a split-pending dirty
+        // component may become several groups, which must not eat into
+        // the clean-skip count.
+        let skipped = self.resident.component_count() - self.resident.dirty_count();
+        let groups = self.resident.take_dirty();
+        let mut report = self.process_groups(&groups);
+        report.skipped_clean = skipped;
+        report
     }
 
-    /// BFS over the incremental adjacency from `slot`, stopping early
-    /// once the partition exceeds `limit`. Returns the member list, or
-    /// `None` if the partition is larger than `limit`.
-    fn bounded_partition(&self, slot: u32, limit: usize) -> Option<Vec<u32>> {
-        let mut members = vec![slot];
-        let mut seen: FastSet<u32> = FastSet::default();
-        seen.insert(slot);
-        let mut i = 0;
-        while i < members.len() {
-            let cur = members[i];
-            i += 1;
-            if let Some(next) = self.adj.get(&cur) {
-                for &n in next {
-                    if self.slots[n as usize].is_some() && seen.insert(n) {
-                        members.push(n);
-                        if members.len() > limit {
-                            return None;
-                        }
-                    }
-                }
-            }
-        }
-        Some(members)
+    /// Withdraws a pending query, failing it with
+    /// [`FailReason::Cancelled`]. Returns false if the id is unknown or
+    /// already terminal. Used by churn workloads and applications whose
+    /// users abandon a coordination request.
+    pub fn cancel(&mut self, id: QueryId) -> bool {
+        let Some(&slot) = self.by_id.get(&id) else {
+            return false;
+        };
+        self.retire(slot, Err(FailReason::Cancelled));
+        true
     }
 
     /// Eager pairing for oversized partitions: try the new query against
@@ -454,55 +553,56 @@ impl CoordinationEngine {
     /// syntactically is evaluated immediately (the paper's
     /// nondeterministic choice among coordination options). On a database
     /// miss the pair is failed or kept per [`NoSolutionPolicy`].
+    ///
+    /// Pairs are matched directly on the resident graph (the member set
+    /// `{new, partner}` hides the rest of the partition), so nothing is
+    /// cloned — the pre-resident implementation cloned the candidate
+    /// query once per partner attempt.
     fn eager_pair(&mut self, slot: u32, partners: &[u32]) {
-        let query = self.slots[slot as usize]
+        // A query without postconditions coordinates alone.
+        if self.slots[slot as usize]
             .as_ref()
             .expect("live slot")
             .query
-            .clone();
-        // A query without postconditions coordinates alone.
-        if query.postconditions.is_empty() {
-            self.process_slots(&[slot]);
+            .postconditions
+            .is_empty()
+        {
+            self.process_groups(&[vec![slot]]);
             return;
         }
         for &p in partners {
             if self.slots[p as usize].is_none() {
                 continue;
             }
-            let partner = self.slots[p as usize]
-                .as_ref()
-                .expect("live slot")
-                .query
-                .clone();
-            let graph = MatchGraph::build(vec![query.clone(), partner]);
-            let m = matching::match_component(&graph, &[0, 1]);
-            if m.survivors.len() != 2 {
-                continue; // the pair does not close; try the next partner
-            }
-            let Some(global) = m.global else {
-                continue;
-            };
-            let combined = CombinedQuery::build(&graph, &m.survivors, &global);
-            let solutions = {
+            let members = [slot.min(p), slot.max(p)];
+            let (survivors, solutions) = {
+                let view = ResidentView {
+                    slots: &self.slots,
+                    graph: &self.resident,
+                };
+                let m = matching::match_component(&view, &members);
+                if m.survivors.len() != 2 {
+                    continue; // the pair does not close; try the next partner
+                }
+                let Some(global) = m.global else {
+                    continue;
+                };
+                let combined = CombinedQuery::build(&view, &m.survivors, &global);
                 let db = self.db.read();
-                combined.evaluate(&db, 1)
+                (m.survivors, combined.evaluate(&db, 1))
             };
-            let locals = [slot, p];
             match solutions {
                 Ok(sols) => match sols.into_iter().next() {
                     Some(answers) => {
-                        for (&local, answer) in m.survivors.iter().zip(answers) {
-                            self.retire(locals[local as usize], Ok(answer));
+                        for (&s, answer) in survivors.iter().zip(answers) {
+                            self.retire(s, Ok(answer));
                         }
                         return;
                     }
                     None => {
                         if self.config.on_no_solution == NoSolutionPolicy::Reject {
-                            for &l in &locals {
-                                self.retire(
-                                    l,
-                                    Err(FailReason::Rejected(RejectReason::NoSolution)),
-                                );
+                            for &s in &members {
+                                self.retire(s, Err(FailReason::Rejected(RejectReason::NoSolution)));
                             }
                             return;
                         }
@@ -510,8 +610,8 @@ impl CoordinationEngine {
                     }
                 },
                 Err(_) => {
-                    for &l in &locals {
-                        self.retire(l, Err(FailReason::Rejected(RejectReason::NoSolution)));
+                    for &s in &members {
+                        self.retire(s, Err(FailReason::Rejected(RejectReason::NoSolution)));
                     }
                     return;
                 }
@@ -519,60 +619,71 @@ impl CoordinationEngine {
         }
     }
 
-    /// Matches and evaluates the given live slots. Builds a fresh
-    /// `MatchGraph` over just those queries — partitions are small in
-    /// realistic workloads (§5.3.4), which is what makes this cheap; for
-    /// giant clusters, set-at-a-time mode amortizes the cost.
-    fn process_slots(&mut self, slots: &[u32]) -> BatchReport {
+    /// Matches and evaluates component member groups straight off the
+    /// resident graph. Each group must be one weakly connected resident
+    /// component (as produced by [`ResidentGraph::take_dirty`] or
+    /// [`ResidentGraph::component_members`]). Per group: §3.1.1 safety
+    /// enforcement sidelines ambiguous members (they stay pending), the
+    /// survivors are re-partitioned (removals may disconnect them), and
+    /// every piece is matched + evaluated on the sharded worker pool.
+    fn process_groups(&mut self, groups: &[Vec<u32>]) -> BatchReport {
         let mut report = BatchReport::default();
-        if slots.is_empty() {
+        if groups.is_empty() {
             report.pending = self.pending_count();
             return report;
         }
-        let queries: Vec<EntangledQuery> = slots
-            .iter()
-            .map(|&s| self.slots[s as usize].as_ref().expect("live slot").query.clone())
-            .collect();
-        let graph = MatchGraph::build(queries);
 
-        // Safety enforcement (§3.1.1) at matching time: ambiguous
-        // queries sit out this round but stay pending — their ambiguity
-        // may resolve when partners retire. (The admission-time check,
-        // when enabled, makes this a no-op.)
-        let mut live = vec![true; graph.len()];
-        crate::safety::enforce(&graph, &mut live);
-        let components = graph.components_live(&live);
-        report.components = components.len();
-
-        // Phase 1 (parallelizable, read-only): match + evaluate each
-        // component on the sharded worker pool.
-        let db = self.db.read();
-        let threads = self
-            .config
-            .effective_flush_threads()
-            .min(components.len().max(1));
-        let outcomes: Vec<ComponentOutcome> = if threads > 1 {
-            sharded_process(&graph, &components, &db, &self.config, threads)
-        } else {
-            components
+        // Phase 1 (read-only): safety, partition, match, evaluate.
+        let pieces: Vec<Vec<u32>>;
+        let outcomes: Vec<ComponentOutcome>;
+        {
+            let view = ResidentView {
+                slots: &self.slots,
+                graph: &self.resident,
+            };
+            pieces = groups
                 .iter()
-                .map(|c| process_component(&graph, c, &db, &self.config))
-                .collect()
-        };
-        drop(db);
+                .flat_map(|group| {
+                    // Safety enforcement (§3.1.1) at matching time:
+                    // ambiguous queries sit out this round but stay
+                    // pending — their ambiguity may resolve when
+                    // partners retire. (The admission-time check, when
+                    // enabled, makes this a no-op.)
+                    let removed = safety::enforce_members(&view, group);
+                    let dead: FastSet<u32> = removed.into_iter().collect();
+                    self.resident.connected_pieces(group, &dead)
+                })
+                .collect();
+            report.components = pieces.len();
+
+            let db = self.db.read();
+            let threads = self
+                .config
+                .effective_flush_threads()
+                .min(pieces.len().max(1));
+            outcomes = if threads > 1 {
+                sharded_process(&view, &pieces, &db, &self.config, threads)
+            } else {
+                pieces
+                    .iter()
+                    .map(|c| process_component(&view, c, &db, &self.config))
+                    .collect()
+            };
+        }
 
         // Phase 2 (sequential): deliver outcomes and retire queries.
+        // Retirement unlinks slots from the resident graph, re-marking
+        // partially-retired components dirty — the next flush re-checks
+        // whatever remains pending in them.
         for outcome in outcomes {
             report.stats.dequeues += outcome.stats.dequeues;
             report.stats.mgu_calls += outcome.stats.mgu_calls;
             report.stats.cleanups += outcome.stats.cleanups;
-            for (local, answer) in outcome.answered {
-                let slot = slots[local as usize];
+            for (slot, answer) in outcome.answered {
                 self.retire(slot, Ok(answer));
                 report.answered += 1;
             }
-            for (local, reason) in outcome.failed {
-                let slot = slots[local as usize];
+            for (slot, reason) in outcome.failed {
                 self.retire(slot, Err(FailReason::Rejected(reason)));
                 report.failed += 1;
             }
@@ -598,39 +709,35 @@ impl CoordinationEngine {
         };
         let id = pending.query.id;
         self.by_id.remove(&id);
-        for ai in 0..pending.query.head.len() as u32 {
-            // A head leaving the pool frees up partner postconditions.
-            let head = &pending.query.head[ai as usize];
-            for cand in self.pc_index.candidates(head) {
-                if cand.query == slot {
-                    continue;
-                }
-                let pc = self.pc_index.get(cand).expect("indexed");
-                if eq_unify::mgu_atoms(head, pc).is_some() {
-                    if let Some(p) = self.slots[cand.query as usize].as_mut() {
-                        let c = &mut p.pc_satisfiers[cand.atom as usize];
-                        *c = c.saturating_sub(1);
-                    }
-                }
-            }
-            self.head_index.remove(AtomRef {
-                query: slot,
-                atom: ai,
-            });
-        }
-        for ai in 0..pending.query.postconditions.len() as u32 {
-            self.pc_index.remove(AtomRef {
-                query: slot,
-                atom: ai,
-            });
-        }
-        if let Some(neighbors) = self.adj.remove(&slot) {
-            for n in neighbors {
-                if let Some(back) = self.adj.get_mut(&n) {
-                    back.remove(&slot);
-                }
+        // A head leaving the pool frees up partner postconditions; the
+        // resident out-edges name exactly the affected (partner, pc)
+        // pairs — no index probing or re-unification needed.
+        for &eid in self.resident.out_edges(slot) {
+            let e = self.resident.edge(eid);
+            if let Some(p) = self.slots[e.to as usize].as_mut() {
+                let c = &mut p.pc_satisfiers[e.pc_idx as usize];
+                *c = c.saturating_sub(1);
             }
         }
+        for (ai, atom) in pending.query.head.iter().enumerate() {
+            self.head_index.remove(
+                AtomRef {
+                    query: slot,
+                    atom: ai as u32,
+                },
+                atom,
+            );
+        }
+        for (ai, atom) in pending.query.postconditions.iter().enumerate() {
+            self.pc_index.remove(
+                AtomRef {
+                    query: slot,
+                    atom: ai as u32,
+                },
+                atom,
+            );
+        }
+        self.resident.unlink(slot);
         self.free_slots.push(slot);
 
         let (status, message) = match outcome {
@@ -642,6 +749,88 @@ impl CoordinationEngine {
         };
         self.statuses.insert(id, status);
         let _ = pending.sender.try_send(message);
+    }
+
+    /// Structural invariant check over the whole engine, for tests and
+    /// debugging: the resident graph is internally consistent, the atom
+    /// indexes hold exactly the live slots' atoms (no dangling
+    /// [`AtomRef`]s after slot reuse), satisfier counters agree with the
+    /// resident in-edges, and id/slot maps line up.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.resident.check_invariants()?;
+        let mut live_heads = 0usize;
+        let mut live_pcs = 0usize;
+        for (slot, entry) in self.slots.iter().enumerate() {
+            let Some(p) = entry else { continue };
+            if self.by_id.get(&p.query.id) != Some(&(slot as u32)) {
+                return Err(format!("by_id out of sync for slot {slot}"));
+            }
+            live_heads += p.query.head.len();
+            live_pcs += p.query.postconditions.len();
+            for (ai, atom) in p.query.head.iter().enumerate() {
+                let r = AtomRef {
+                    query: slot as u32,
+                    atom: ai as u32,
+                };
+                if self.head_index.get(r) != Some(atom) {
+                    return Err(format!("head {slot}/{ai} missing from index"));
+                }
+            }
+            for (ai, atom) in p.query.postconditions.iter().enumerate() {
+                let r = AtomRef {
+                    query: slot as u32,
+                    atom: ai as u32,
+                };
+                if self.pc_index.get(r) != Some(atom) {
+                    return Err(format!("pc {slot}/{ai} missing from index"));
+                }
+            }
+            // Satisfier counters equal resident in-edge counts per pc.
+            let mut counts = vec![0u32; p.query.pc_count()];
+            if (slot) < self.resident.slot_bound() {
+                for &eid in self.resident.in_edges(slot as u32) {
+                    counts[self.resident.edge(eid).pc_idx as usize] += 1;
+                }
+            }
+            if counts != p.pc_satisfiers {
+                return Err(format!(
+                    "pc_satisfiers out of sync for slot {slot}: {:?} vs in-edges {:?}",
+                    p.pc_satisfiers, counts
+                ));
+            }
+        }
+        if self.head_index.len() != live_heads {
+            return Err(format!(
+                "head index holds {} atoms, live slots have {live_heads}",
+                self.head_index.len()
+            ));
+        }
+        if self.pc_index.len() != live_pcs {
+            return Err(format!(
+                "pc index holds {} atoms, live slots have {live_pcs}",
+                self.pc_index.len()
+            ));
+        }
+        if self.by_id.len() != self.slots.iter().filter(|s| s.is_some()).count() {
+            return Err("by_id size != live slot count".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Number of slot positions ever allocated (reuse means this stays
+    /// near the peak pending count, not the total submission count).
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live edges in the resident match graph.
+    pub fn resident_edge_count(&self) -> usize {
+        self.resident.edge_count()
+    }
+
+    /// Number of live components in the resident match graph.
+    pub fn resident_component_count(&self) -> usize {
+        self.resident.component_count()
     }
 }
 
@@ -665,8 +854,8 @@ impl EngineConfig {
 /// of pairs under the Figure 8 workloads would starve a static
 /// chunking). Results are merged back in component order, so outcome
 /// delivery is byte-for-byte identical to the sequential path.
-fn sharded_process(
-    graph: &MatchGraph,
+fn sharded_process<V: MatchView + Sync>(
+    graph: &V,
     components: &[Vec<u32>],
     db: &Database,
     config: &EngineConfig,
@@ -710,16 +899,15 @@ fn sharded_process(
         .collect()
 }
 
-/// Result of processing one component: outcomes keyed by *local* slot
-/// (index into the `slots` array passed to `process_slots`).
+/// Result of processing one component: outcomes keyed by engine slot.
 struct ComponentOutcome {
     answered: Vec<(u32, QueryAnswer)>,
     failed: Vec<(u32, RejectReason)>,
     stats: MatchStats,
 }
 
-fn process_component(
-    graph: &MatchGraph,
+fn process_component<V: MatchView>(
+    graph: &V,
     members: &[u32],
     db: &Database,
     config: &EngineConfig,
@@ -744,18 +932,13 @@ fn process_component(
         return out;
     };
 
-    // UCS on the survivor subgraph.
-    if !config.evaluate_non_ucs {
-        let mut alive = vec![false; graph.len()];
+    // UCS on the survivor subgraph (member-scoped: no allocation over
+    // the whole slot space).
+    if !config.evaluate_non_ucs && !ucs::violations_members(graph, &m.survivors).is_empty() {
         for &s in &m.survivors {
-            alive[s as usize] = true;
+            out.failed.push((s, RejectReason::NonUcs));
         }
-        if !ucs::violations(graph, &alive).is_empty() {
-            for &s in &m.survivors {
-                out.failed.push((s, RejectReason::NonUcs));
-            }
-            return out;
-        }
+        return out;
     }
 
     let combined = CombinedQuery::build(graph, &m.survivors, &global);
@@ -802,7 +985,12 @@ mod tests {
         let mut db = Database::new();
         db.create_table("F", &["fno", "dest"]).unwrap();
         db.create_table("A", &["fno", "airline"]).unwrap();
-        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+        for (fno, dest) in [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ] {
             db.insert("F", vec![Value::int(fno), Value::str(dest)])
                 .unwrap();
         }
@@ -984,7 +1172,10 @@ mod tests {
             h1.outcome.try_recv().unwrap(),
             QueryOutcome::Failed(FailReason::Rejected(RejectReason::NoSolution))
         );
-        assert!(matches!(h2.outcome.try_recv().unwrap(), QueryOutcome::Failed(_)));
+        assert!(matches!(
+            h2.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(_)
+        ));
     }
 
     #[test]
@@ -1128,8 +1319,14 @@ mod tests {
         let h2 = engine
             .submit(q("{R(y, ITH)} R(Kramer, ITH) <- Buddy(Kramer, y)"))
             .unwrap();
-        assert!(matches!(h1.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
-        assert!(matches!(h2.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
+        assert!(matches!(
+            h1.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+        assert!(matches!(
+            h2.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
         assert_eq!(engine.pending_count(), 0);
     }
 
@@ -1156,9 +1353,135 @@ mod tests {
         let h2 = engine
             .submit(q("{R(y, ITH)} R(Kramer, ITH) <- Buddy(Kramer, y)"))
             .unwrap();
-        assert!(matches!(h1.outcome.try_recv().unwrap(), QueryOutcome::Failed(_)));
-        assert!(matches!(h2.outcome.try_recv().unwrap(), QueryOutcome::Failed(_)));
+        assert!(matches!(
+            h1.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(_)
+        ));
+        assert!(matches!(
+            h2.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(_)
+        ));
         assert_eq!(engine.pending_count(), 0);
+    }
+
+    #[test]
+    fn flush_with_no_changes_evaluates_zero_components() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                ..Default::default()
+            },
+        );
+        // Two queries that never coordinate (different destinations).
+        engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        engine
+            .submit(q("{R(Newman, z)} R(Frank, z) <- F(z, Rome)"))
+            .unwrap();
+        let first = engine.flush();
+        assert_eq!(first.components, 2);
+        assert_eq!(first.pending, 2);
+        // Nothing changed: the dirty set is empty, both resident
+        // components are skipped, and no matching work happens.
+        let second = engine.flush();
+        assert_eq!(second.components, 0);
+        assert_eq!(second.skipped_clean, 2);
+        assert_eq!(second.stats.mgu_calls, 0);
+        assert_eq!(second.pending, 2);
+        // A new submission dirties exactly the component it joins.
+        engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        let third = engine.flush();
+        assert_eq!(third.components, 1);
+        assert_eq!(third.skipped_clean, 1);
+        assert_eq!(third.answered, 2);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn db_write_re_dirties_kept_pending_components() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                on_no_solution: NoSolutionPolicy::KeepPending,
+                ..Default::default()
+            },
+        );
+        engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Athens)"))
+            .unwrap();
+        engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)"))
+            .unwrap();
+        assert_eq!(engine.flush().components, 1);
+        // Clean now; an unrelated flush skips it.
+        assert_eq!(engine.flush().components, 0);
+        // A database write invalidates every kept-pending component.
+        engine
+            .db()
+            .write()
+            .insert("F", vec![Value::int(900), Value::str("Athens")])
+            .unwrap();
+        let report = engine.flush();
+        assert_eq!(report.components, 1);
+        assert_eq!(report.answered, 2);
+    }
+
+    #[test]
+    fn cancel_fails_pending_query_and_cleans_state() {
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        let h = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        assert!(engine.cancel(h.id));
+        assert_eq!(
+            h.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(FailReason::Cancelled)
+        );
+        assert_eq!(engine.pending_count(), 0);
+        assert!(!engine.cancel(h.id), "already terminal");
+        engine.check_invariants().unwrap();
+        // The cancelled partner is gone: the arriving partner finds
+        // nobody and stays pending.
+        let h2 = engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        assert!(h2.outcome.try_recv().is_err());
+    }
+
+    #[test]
+    fn resident_state_shrinks_back_after_churn() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                ..Default::default()
+            },
+        );
+        for round in 0..10 {
+            let a = format!("A{round}");
+            let b = format!("B{round}");
+            engine
+                .submit(q(&format!("{{R({b}, x)}} R({a}, x) <- F(x, Paris)")))
+                .unwrap();
+            engine
+                .submit(q(&format!("{{R({a}, y)}} R({b}, y) <- F(y, Paris)")))
+                .unwrap();
+            let report = engine.flush();
+            assert_eq!(report.answered, 2);
+            engine.check_invariants().unwrap();
+        }
+        assert_eq!(engine.resident_edge_count(), 0);
+        assert_eq!(engine.resident_component_count(), 0);
+        assert!(
+            engine.slot_capacity() <= 4,
+            "slots: {}",
+            engine.slot_capacity()
+        );
     }
 
     #[test]
@@ -1174,8 +1497,17 @@ mod tests {
         let h3 = engine
             .submit(q("{R(Jerry, IAH)} R(Elaine, IAH) <- F(z, Paris)"))
             .unwrap();
-        assert!(matches!(h1.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
-        assert!(matches!(h2.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
-        assert!(matches!(h3.outcome.try_recv().unwrap(), QueryOutcome::Answered(_)));
+        assert!(matches!(
+            h1.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+        assert!(matches!(
+            h2.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+        assert!(matches!(
+            h3.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
     }
 }

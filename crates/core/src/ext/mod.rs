@@ -40,21 +40,26 @@ pub fn coordinate_choose_k(
     k: usize,
 ) -> Result<MultiOutcome, CoordinateError> {
     let mut outcome = MultiOutcome::default();
-    run_components(queries, db, |survivor_ids, combined, outcome| {
-        let solutions = combined.evaluate(db, k)?;
-        if solutions.is_empty() {
-            for id in survivor_ids {
-                outcome.rejected.push((*id, RejectReason::NoSolution));
-            }
-        } else {
-            for answers in solutions {
-                for a in answers {
-                    outcome.answers.entry(a.query).or_default().push(a);
+    run_components(
+        queries,
+        db,
+        |survivor_ids, combined, outcome| {
+            let solutions = combined.evaluate(db, k)?;
+            if solutions.is_empty() {
+                for id in survivor_ids {
+                    outcome.rejected.push((*id, RejectReason::NoSolution));
+                }
+            } else {
+                for answers in solutions {
+                    for a in answers {
+                        outcome.answers.entry(a.query).or_default().push(a);
+                    }
                 }
             }
-        }
-        Ok(())
-    }, &mut outcome)?;
+            Ok(())
+        },
+        &mut outcome,
+    )?;
     Ok(outcome)
 }
 
@@ -73,25 +78,30 @@ pub fn coordinate_with_preference(
     ranker: &Ranker<'_>,
 ) -> Result<MultiOutcome, CoordinateError> {
     let mut outcome = MultiOutcome::default();
-    run_components(queries, db, |survivor_ids, combined, outcome| {
-        let solutions = combined.evaluate(db, sample_limit)?;
-        match solutions
-            .into_iter()
-            .max_by(|a, b| ranker(a).total_cmp(&ranker(b)))
-        {
-            Some(best) => {
-                for a in best {
-                    outcome.answers.entry(a.query).or_default().push(a);
+    run_components(
+        queries,
+        db,
+        |survivor_ids, combined, outcome| {
+            let solutions = combined.evaluate(db, sample_limit)?;
+            match solutions
+                .into_iter()
+                .max_by(|a, b| ranker(a).total_cmp(&ranker(b)))
+            {
+                Some(best) => {
+                    for a in best {
+                        outcome.answers.entry(a.query).or_default().push(a);
+                    }
+                }
+                None => {
+                    for id in survivor_ids {
+                        outcome.rejected.push((*id, RejectReason::NoSolution));
+                    }
                 }
             }
-            None => {
-                for id in survivor_ids {
-                    outcome.rejected.push((*id, RejectReason::NoSolution));
-                }
-            }
-        }
-        Ok(())
-    }, &mut outcome)?;
+            Ok(())
+        },
+        &mut outcome,
+    )?;
     Ok(outcome)
 }
 
@@ -186,7 +196,12 @@ mod tests {
         let mut db = Database::new();
         db.create_table("F", &["fno", "dest"]).unwrap();
         db.create_table("A", &["fno", "airline"]).unwrap();
-        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+        for (fno, dest) in [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ] {
             db.insert("F", vec![Value::int(fno), Value::str(dest)])
                 .unwrap();
         }
@@ -259,8 +274,14 @@ mod tests {
         )
         .unwrap();
         // Flights to Paris: 122, 123, 134 → prefer 134.
-        assert_eq!(outcome.answers[&QueryId(0)][0].tuples[0][1], Value::int(134));
-        assert_eq!(outcome.answers[&QueryId(1)][0].tuples[0][1], Value::int(134));
+        assert_eq!(
+            outcome.answers[&QueryId(0)][0].tuples[0][1],
+            Value::int(134)
+        );
+        assert_eq!(
+            outcome.answers[&QueryId(1)][0].tuples[0][1],
+            Value::int(134)
+        );
     }
 
     #[test]

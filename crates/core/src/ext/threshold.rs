@@ -101,9 +101,9 @@ impl ThresholdQuery {
         let valuations = db.evaluate(&self.body, usize::MAX)?;
         let mut best = 0usize;
         for val in &valuations {
-            let template = self.counted.apply(&|v: Var| {
-                val.get(&v).map(|c| Term::Const(*c))
-            });
+            let template = self
+                .counted
+                .apply(&|v: Var| val.get(&v).map(|c| Term::Const(*c)));
             let mut seen: FastSet<&[Value]> = FastSet::default();
             for &(rel, tuple) in &produced {
                 if rel != template.relation || tuple.len() != template.arity() {
@@ -135,9 +135,9 @@ impl ThresholdQuery {
                                 .iter()
                                 .map(|t| match t {
                                     Term::Const(c) => *c,
-                                    Term::Var(v) => *val
-                                        .get(v)
-                                        .expect("range restriction binds head variables"),
+                                    Term::Var(v) => {
+                                        *val.get(v).expect("range restriction binds head variables")
+                                    }
                                 })
                                 .collect()
                         })
@@ -279,7 +279,11 @@ mod tests {
     fn duplicate_answers_count_once() {
         let db = party_db();
         let round = coordinate(
-            &[attend("elaine", 1), attend("elaine", 1), attend("kramer", 1)],
+            &[
+                attend("elaine", 1),
+                attend("elaine", 1),
+                attend("kramer", 1),
+            ],
             &db,
         )
         .unwrap();

@@ -21,6 +21,33 @@ pub struct Edge {
     pub mgu: Unifier,
 }
 
+/// Slot-addressed read access to a unifiability graph.
+///
+/// Matching (§4.1.3), safety (§3.1.1), UCS (§3.1.2), and combined-query
+/// construction (§4.2) are all written against this trait, so they run
+/// identically over a batch-built [`MatchGraph`] and over the engine's
+/// persistent resident graph ([`crate::resident::ResidentGraph`]) without
+/// cloning queries into a throwaway graph first.
+///
+/// Slot ids live in `0..slot_bound()` but need not be dense: a view may
+/// have holes (retired engine slots). Callers only ever dereference
+/// slots they were handed as component members, and edge ids they read
+/// from `out_edges`/`in_edges` of live slots.
+pub trait MatchView {
+    /// Exclusive upper bound on slot ids (dense array sizing).
+    fn slot_bound(&self) -> usize;
+    /// The query at `slot`. Panics if the slot is not live.
+    fn query(&self, slot: u32) -> &EntangledQuery;
+    /// The edge with id `eid`. Panics if the edge was removed.
+    fn edge(&self, eid: u32) -> &Edge;
+    /// Edge ids leaving `slot` (its head atoms feeding other queries'
+    /// postconditions).
+    fn out_edges(&self, slot: u32) -> &[u32];
+    /// Edge ids entering `slot` (other queries' heads feeding its
+    /// postconditions).
+    fn in_edges(&self, slot: u32) -> &[u32];
+}
+
 /// The unifiability graph over a fixed set of queries.
 ///
 /// Queries must already be renamed apart (no shared variables); the
@@ -192,6 +219,28 @@ impl MatchGraph {
         let mut components: Vec<Vec<u32>> = groups.into_values().collect();
         components.sort_by_key(|c| c[0]);
         components
+    }
+}
+
+impl MatchView for MatchGraph {
+    fn slot_bound(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn query(&self, slot: u32) -> &EntangledQuery {
+        &self.queries[slot as usize]
+    }
+
+    fn edge(&self, eid: u32) -> &Edge {
+        &self.edges[eid as usize]
+    }
+
+    fn out_edges(&self, slot: u32) -> &[u32] {
+        &self.out[slot as usize]
+    }
+
+    fn in_edges(&self, slot: u32) -> &[u32] {
+        &self.inc[slot as usize]
     }
 }
 

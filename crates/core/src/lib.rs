@@ -16,9 +16,16 @@
 //!    cleanup (§4.1.3–4.1.4);
 //! 6. [`combine`] — combined-query construction and answer distribution
 //!    (§4.2);
-//! 7. [`engine`] — the D3C engine of §5.1: asynchronous submission,
-//!    set-at-a-time and incremental modes, staleness, per-component
-//!    parallelism.
+//! 7. [`resident`] — the persistent match graph that survives across
+//!    flushes: slot-keyed edges, incremental component tracking, dirty
+//!    sets;
+//! 8. [`engine`] — the D3C engine of §5.1: asynchronous submission,
+//!    set-at-a-time and incremental modes over resident match state,
+//!    staleness, per-component parallelism.
+//!
+//! Steps 3–6 are written against [`graph::MatchView`], so they run over
+//! a batch-built [`graph::MatchGraph`] and over the engine's resident
+//! state with the same code.
 //!
 //! [`bruteforce`] implements the generic coordinating-set semantics of
 //! §2.3 directly (the NP-hard search of Theorem 2.1); it serves as a
@@ -36,15 +43,18 @@ pub mod ext;
 pub mod graph;
 pub mod index;
 pub mod matching;
+pub mod resident;
 pub mod safety;
 pub mod ucs;
 
 pub use combine::{CombinedQuery, QueryAnswer};
 pub use coordinate::{coordinate, coordinate_with_config, CoordinationOutcome, RejectReason};
 pub use engine::{
-    BatchReport, CoordinationEngine, EngineConfig, EngineMode, QueryHandle, QueryStatus,
-    SubmitError,
+    BatchReport, CoordinationEngine, EngineConfig, EngineMode, FailReason, QueryHandle,
+    QueryOutcome, QueryStatus, SubmitError,
 };
-pub use graph::{Edge, MatchGraph};
+pub use graph::{Edge, MatchGraph, MatchView};
+pub use index::{AtomIndex, AtomRef, ShardedAtomIndex};
+pub use resident::ResidentGraph;
 pub use safety::{SafetyPolicy, SafetyViolation};
 pub use ucs::UcsViolation;

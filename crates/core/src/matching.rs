@@ -15,8 +15,8 @@
 //! 4. folds the survivors' unifiers into a single global unifier for the
 //!    component (§4.2); if that fails, the whole component is rejected.
 
-use crate::graph::MatchGraph;
-use eq_ir::FastMap;
+use crate::graph::MatchView;
+use eq_ir::{FastMap, FastSet};
 use eq_unify::Unifier;
 use std::collections::VecDeque;
 
@@ -59,31 +59,32 @@ impl ComponentMatch {
 /// Runs matching on the component `members` of `graph`. Slots outside
 /// `members` are treated as absent; `members` must be closed under the
 /// graph's edges (i.e. be a full connected component, as produced by
-/// [`MatchGraph::components`]) — edges to non-members are ignored.
-pub fn match_component(graph: &MatchGraph, members: &[u32]) -> ComponentMatch {
+/// [`crate::graph::MatchGraph::components`] or taken from the engine's
+/// resident graph) — edges to non-members are ignored.
+///
+/// State is keyed by member slot (not dense over `slot_bound`), so the
+/// cost of matching a component depends on the component's size alone —
+/// the property that makes dirty-component-only flushes O(dirty), not
+/// O(pending).
+pub fn match_component<V: MatchView>(graph: &V, members: &[u32]) -> ComponentMatch {
     let mut stats = MatchStats::default();
-    let mut in_component = vec![false; graph.len()];
-    for &m in members {
-        in_component[m as usize] = true;
-    }
+    let in_component: FastSet<u32> = members.iter().copied().collect();
     let mut alive = in_component.clone();
-    let mut unifiers: FastMap<u32, Unifier> = members
-        .iter()
-        .map(|&m| (m, Unifier::new()))
-        .collect();
+    let mut unifiers: FastMap<u32, Unifier> =
+        members.iter().map(|&m| (m, Unifier::new())).collect();
     let mut removed = Vec::new();
 
     // Step 1+2: seed unifiers from in-edge MGUs and drop nodes with an
     // unsatisfied postcondition. A worklist handles the cascade.
     let mut doomed: Vec<u32> = Vec::new();
     for &m in members {
-        let q = &graph.queries()[m as usize];
+        let q = graph.query(m);
         let pc_count = q.pc_count();
         let mut satisfied = vec![false; pc_count];
         let mut conflict = false;
         for &eid in graph.in_edges(m) {
-            let e = &graph.edges()[eid as usize];
-            if !in_component[e.from as usize] {
+            let e = graph.edge(eid);
+            if !in_component.contains(&e.from) {
                 continue;
             }
             satisfied[e.pc_idx as usize] = true;
@@ -102,29 +103,29 @@ pub fn match_component(graph: &MatchGraph, members: &[u32]) -> ComponentMatch {
     }
 
     // Step 3: Algorithm 1 — propagate unifiers along edges.
-    let mut queue: VecDeque<u32> = members.iter().copied().filter(|&m| alive[m as usize]).collect();
-    let mut queued = vec![false; graph.len()];
-    for &m in &queue {
-        queued[m as usize] = true;
-    }
+    let mut queue: VecDeque<u32> = members
+        .iter()
+        .copied()
+        .filter(|m| alive.contains(m))
+        .collect();
+    let mut queued: FastSet<u32> = queue.iter().copied().collect();
     while let Some(parent) = queue.pop_front() {
-        queued[parent as usize] = false;
-        if !alive[parent as usize] {
+        queued.remove(&parent);
+        if !alive.contains(&parent) {
             continue;
         }
         stats.dequeues += 1;
         let parent_unifier = unifiers[&parent].clone();
         for &eid in graph.out_edges(parent) {
-            let child = graph.edges()[eid as usize].to;
-            if !alive[child as usize] {
+            let child = graph.edge(eid).to;
+            if !alive.contains(&child) {
                 continue;
             }
             stats.mgu_calls += 1;
             let child_unifier = unifiers.get_mut(&child).unwrap();
             match child_unifier.merge_from(&parent_unifier) {
                 Ok(true) => {
-                    if !queued[child as usize] {
-                        queued[child as usize] = true;
+                    if queued.insert(child) {
                         queue.push_back(child);
                     }
                 }
@@ -137,7 +138,11 @@ pub fn match_component(graph: &MatchGraph, members: &[u32]) -> ComponentMatch {
     }
 
     // Step 4: global unifier over survivors.
-    let survivors: Vec<u32> = members.iter().copied().filter(|&m| alive[m as usize]).collect();
+    let survivors: Vec<u32> = members
+        .iter()
+        .copied()
+        .filter(|m| alive.contains(m))
+        .collect();
     let mut global = Some(Unifier::new());
     if survivors.is_empty() {
         global = None;
@@ -152,7 +157,7 @@ pub fn match_component(graph: &MatchGraph, members: &[u32]) -> ComponentMatch {
         }
     }
 
-    unifiers.retain(|slot, _| alive[*slot as usize]);
+    unifiers.retain(|slot, _| alive.contains(slot));
     ComponentMatch {
         survivors,
         removed,
@@ -165,26 +170,25 @@ pub fn match_component(graph: &MatchGraph, members: &[u32]) -> ComponentMatch {
 /// CLEANUP(n) from §4.1.3: removes `n` and all its descendants (via
 /// out-edges) from the live set. Safety guarantees each postcondition has
 /// at most one satisfier, so a descendant losing its parent is
-/// unanswerable and must go too.
-fn cleanup(
-    graph: &MatchGraph,
+/// unanswerable and must go too. Since `alive` is a subset of the
+/// component's members, nodes outside the component are never touched.
+fn cleanup<V: MatchView>(
+    graph: &V,
     start: u32,
-    alive: &mut [bool],
+    alive: &mut FastSet<u32>,
     removed: &mut Vec<u32>,
     stats: &mut MatchStats,
 ) {
-    if !alive[start as usize] {
+    if !alive.remove(&start) {
         return;
     }
     let mut stack = vec![start];
-    alive[start as usize] = false;
     while let Some(v) = stack.pop() {
         removed.push(v);
         stats.cleanups += 1;
         for &eid in graph.out_edges(v) {
-            let w = graph.edges()[eid as usize].to;
-            if alive[w as usize] {
-                alive[w as usize] = false;
+            let w = graph.edge(eid).to;
+            if alive.remove(&w) {
                 stack.push(w);
             }
         }
@@ -194,6 +198,7 @@ fn cleanup(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::MatchGraph;
     use eq_ir::{EntangledQuery, QueryId, Value, VarGen};
     use eq_sql::parse_ir_query;
 
@@ -284,10 +289,7 @@ mod tests {
     #[test]
     fn unmatched_postcondition_cascades() {
         // q0 needs X(v) but nothing provides X; q1 depends on q0's head.
-        let g = build(&[
-            "{X(v)} Y(v) <- T(v)",
-            "{Y(w)} Z(w) <- T(w)",
-        ]);
+        let g = build(&["{X(v)} Y(v) <- T(v)", "{Y(w)} Z(w) <- T(w)"]);
         let m = run_all(&g);
         assert!(m.survivors.is_empty());
         assert_eq!(m.removed, vec![0, 1]);

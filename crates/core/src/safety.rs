@@ -6,8 +6,8 @@
 //! Safety guarantees that the way queries can match is unique, which is
 //! what makes matching tractable (Theorem 3.1).
 
-use crate::graph::MatchGraph;
-use eq_ir::QueryId;
+use crate::graph::{MatchGraph, MatchView};
+use eq_ir::{FastSet, QueryId};
 
 /// A detected safety violation: the postcondition `pc_idx` of `query`
 /// unifies with more than one head atom.
@@ -70,28 +70,51 @@ pub fn violations(graph: &MatchGraph) -> Vec<SafetyViolation> {
 /// until the remaining set is safe. Returns the removed slots.
 ///
 /// Removal is implemented on a liveness mask rather than by mutating the
-/// graph; downstream phases (matching, UCS) accept the mask.
-pub fn enforce(graph: &MatchGraph, alive: &mut [bool]) -> Vec<u32> {
+/// graph; downstream phases (matching, UCS) accept the mask. For
+/// component-scoped enforcement that does not allocate over the whole
+/// slot space, use [`enforce_members`].
+pub fn enforce<V: MatchView>(graph: &V, alive: &mut [bool]) -> Vec<u32> {
+    let members: Vec<u32> = (0..graph.slot_bound() as u32)
+        .filter(|&s| alive[s as usize])
+        .collect();
+    let removed = enforce_members(graph, &members);
+    for &slot in &removed {
+        alive[slot as usize] = false;
+    }
+    removed
+}
+
+/// Member-scoped §3.1.1 enforcement: removes queries from `members`
+/// whose postconditions unify with more than one live member head,
+/// iterating until the remainder is safe. Returns the removed slots.
+///
+/// Safety is a per-component property (all of a postcondition's
+/// satisfying heads are its in-edge sources, which lie in the same
+/// unifiability component), so enforcing it component by component is
+/// equivalent to a whole-pool pass — and costs O(|component|) instead of
+/// O(|pool|).
+pub fn enforce_members<V: MatchView>(graph: &V, members: &[u32]) -> Vec<u32> {
+    let mut live: FastSet<u32> = members.iter().copied().collect();
     let mut removed = Vec::new();
     loop {
         let mut changed = false;
-        for slot in 0..graph.len() as u32 {
-            if !alive[slot as usize] {
+        for &slot in members {
+            if !live.contains(&slot) {
                 continue;
             }
-            let pc_count = graph.queries()[slot as usize].pc_count();
+            let pc_count = graph.query(slot).pc_count();
             if pc_count == 0 {
                 continue;
             }
             let mut per_pc = vec![0usize; pc_count];
             for &eid in graph.in_edges(slot) {
-                let e = &graph.edges()[eid as usize];
-                if alive[e.from as usize] {
+                let e = graph.edge(eid);
+                if live.contains(&e.from) {
                     per_pc[e.pc_idx as usize] += 1;
                 }
             }
             if per_pc.iter().any(|&c| c >= 2) {
-                alive[slot as usize] = false;
+                live.remove(&slot);
                 removed.push(slot);
                 changed = true;
             }
@@ -175,11 +198,7 @@ mod tests {
     fn enforce_cascades_until_safe() {
         // Two providers of X(_) and one consumer whose single
         // postcondition unifies with both heads: the consumer goes.
-        let g = build(&[
-            "{} X(a) <- T(a)",
-            "{} X(b) <- T(b)",
-            "{X(v)} Y(v) <- T(v)",
-        ]);
+        let g = build(&["{} X(a) <- T(a)", "{} X(b) <- T(b)", "{X(v)} Y(v) <- T(v)"]);
         let mut alive = vec![true; 3];
         let removed = enforce(&g, &mut alive);
         assert_eq!(removed, vec![2]);

@@ -9,10 +9,13 @@
 //! but nothing depends on Frank — so a proper subset (Jerry, Kramer)
 //! could coordinate "locally" and the structure is not unique.
 //!
-//! The check runs Tarjan's algorithm over the live subgraph.
+//! The check runs Tarjan's algorithm over the live subgraph. All entry
+//! points are member-scoped internally (state is sized by the member
+//! set, not the slot space), so per-component checks on the engine's
+//! resident graph cost O(|component|).
 
-use crate::graph::MatchGraph;
-use eq_ir::QueryId;
+use crate::graph::MatchView;
+use eq_ir::{FastMap, QueryId};
 
 /// A UCS violation: an edge whose endpoints fall into different strongly
 /// connected components, meaning the coordination structure is not
@@ -31,11 +34,40 @@ pub struct UcsViolation {
 
 /// Computes SCC ids for the live slots of the graph (dead slots get
 /// `None`). Ids are arbitrary but equal within an SCC.
-pub fn scc_ids(graph: &MatchGraph, alive: &[bool]) -> Vec<Option<u32>> {
-    let n = graph.len();
+pub fn scc_ids<V: MatchView>(graph: &V, alive: &[bool]) -> Vec<Option<u32>> {
+    let members: Vec<u32> = (0..graph.slot_bound() as u32)
+        .filter(|&s| alive[s as usize])
+        .collect();
+    let by_member = scc_ids_members(graph, &members);
+    let mut out = vec![None; graph.slot_bound()];
+    for (slot, id) in by_member {
+        out[slot as usize] = Some(id);
+    }
+    out
+}
+
+/// Checks the UCS property on the live subgraph; returns all violating
+/// edges (empty means UCS holds).
+pub fn violations<V: MatchView>(graph: &V, alive: &[bool]) -> Vec<UcsViolation> {
+    let members: Vec<u32> = (0..graph.slot_bound() as u32)
+        .filter(|&s| alive[s as usize])
+        .collect();
+    violations_members(graph, &members)
+}
+
+/// Member-scoped SCC ids: a map from each member slot to its SCC id
+/// (arbitrary, equal within an SCC). Edges to non-members are ignored.
+pub fn scc_ids_members<V: MatchView>(graph: &V, members: &[u32]) -> FastMap<u32, u32> {
+    let local: FastMap<u32, u32> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    let n = members.len();
     let mut state = Tarjan {
         graph,
-        alive,
+        members,
+        local: &local,
         index: vec![None; n],
         low: vec![0; n],
         on_stack: vec![false; n],
@@ -44,30 +76,38 @@ pub fn scc_ids(graph: &MatchGraph, alive: &[bool]) -> Vec<Option<u32>> {
         scc: vec![None; n],
         next_scc: 0,
     };
-    for (v, &live) in alive.iter().enumerate().take(n) {
-        if live && state.index[v].is_none() {
+    for v in 0..n {
+        if state.index[v].is_none() {
             state.strongconnect(v);
         }
     }
-    state.scc
+    members
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, state.scc[i].expect("visited")))
+        .collect()
 }
 
-/// Checks the UCS property on the live subgraph; returns all violating
-/// edges (empty means UCS holds).
-pub fn violations(graph: &MatchGraph, alive: &[bool]) -> Vec<UcsViolation> {
-    let scc = scc_ids(graph, alive);
+/// Member-scoped UCS check: returns every edge between `members` whose
+/// endpoints fall into different SCCs (empty means UCS holds for the
+/// member set).
+pub fn violations_members<V: MatchView>(graph: &V, members: &[u32]) -> Vec<UcsViolation> {
+    let scc = scc_ids_members(graph, members);
     let mut out = Vec::new();
-    for e in graph.edges() {
-        if !alive[e.from as usize] || !alive[e.to as usize] {
-            continue;
-        }
-        if scc[e.from as usize] != scc[e.to as usize] {
-            out.push(UcsViolation {
-                from_slot: e.from,
-                from: graph.queries()[e.from as usize].id,
-                to_slot: e.to,
-                to: graph.queries()[e.to as usize].id,
-            });
+    for &m in members {
+        for &eid in graph.out_edges(m) {
+            let e = graph.edge(eid);
+            let (Some(from_scc), Some(to_scc)) = (scc.get(&e.from), scc.get(&e.to)) else {
+                continue;
+            };
+            if from_scc != to_scc {
+                out.push(UcsViolation {
+                    from_slot: e.from,
+                    from: graph.query(e.from).id,
+                    to_slot: e.to,
+                    to: graph.query(e.to).id,
+                });
+            }
         }
     }
     out.sort_by_key(|v| (v.from_slot, v.to_slot));
@@ -75,9 +115,10 @@ pub fn violations(graph: &MatchGraph, alive: &[bool]) -> Vec<UcsViolation> {
     out
 }
 
-struct Tarjan<'a> {
-    graph: &'a MatchGraph,
-    alive: &'a [bool],
+struct Tarjan<'a, V: MatchView> {
+    graph: &'a V,
+    members: &'a [u32],
+    local: &'a FastMap<u32, u32>,
     index: Vec<Option<u32>>,
     low: Vec<u32>,
     on_stack: Vec<bool>,
@@ -87,11 +128,12 @@ struct Tarjan<'a> {
     next_scc: u32,
 }
 
-impl Tarjan<'_> {
-    /// Iterative Tarjan (explicit stack) so giant-cluster workloads don't
-    /// overflow the call stack.
+impl<V: MatchView> Tarjan<'_, V> {
+    /// Iterative Tarjan (explicit stack) over *local* member indices, so
+    /// giant-cluster workloads don't overflow the call stack and state
+    /// stays proportional to the member set.
     fn strongconnect(&mut self, root: usize) {
-        // Each frame: (node, next out-edge cursor).
+        // Each frame: (local node, next out-edge cursor).
         let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
         self.index[root] = Some(self.next_index);
         self.low[root] = self.next_index;
@@ -100,14 +142,15 @@ impl Tarjan<'_> {
         self.on_stack[root] = true;
 
         while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
-            let out = self.graph.out_edges(v as u32);
+            let out = self.graph.out_edges(self.members[v]);
             if *cursor < out.len() {
                 let eid = out[*cursor];
                 *cursor += 1;
-                let w = self.graph.edges()[eid as usize].to as usize;
-                if !self.alive[w] {
-                    continue;
-                }
+                let to_slot = self.graph.edge(eid).to;
+                let Some(&w) = self.local.get(&to_slot) else {
+                    continue; // edge leaves the member set
+                };
+                let w = w as usize;
                 match self.index[w] {
                     None => {
                         self.index[w] = Some(self.next_index);
@@ -148,6 +191,7 @@ impl Tarjan<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::MatchGraph;
     use eq_ir::{EntangledQuery, VarGen};
     use eq_sql::parse_ir_query;
 
@@ -248,5 +292,18 @@ mod tests {
         ]);
         let vs = violations(&g, &[true, true, true]);
         assert_eq!(vs.len(), 2);
+    }
+
+    #[test]
+    fn member_scoped_check_ignores_edges_leaving_the_member_set() {
+        // Restricted to the two-cycle, the Frank edge is invisible.
+        let g = build(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+            "{R(Jerry, z)} R(Frank, z) <- F(z, Paris), A(z, United)",
+        ]);
+        assert!(violations_members(&g, &[0, 1]).is_empty());
+        let scc = scc_ids_members(&g, &[0, 1]);
+        assert_eq!(scc[&0], scc[&1]);
     }
 }

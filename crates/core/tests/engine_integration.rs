@@ -50,11 +50,7 @@ fn flight_db() -> Database {
 
 /// Drives the pair through an engine in the given mode; returns the
 /// terminal outcome of each query (None = still pending).
-fn drive(
-    db: Database,
-    mode: EngineMode,
-    queries: &[EntangledQuery],
-) -> Vec<Option<QueryOutcome>> {
+fn drive(db: Database, mode: EngineMode, queries: &[EntangledQuery]) -> Vec<Option<QueryOutcome>> {
     let mut engine = CoordinationEngine::new(
         db,
         EngineConfig {
@@ -129,7 +125,10 @@ fn flight_choice_coordinates_and_oracle_agrees_on_failure_too() {
         q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
         q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)"),
     ];
-    for mode in [EngineMode::Incremental, EngineMode::SetAtATime { batch_size: 0 }] {
+    for mode in [
+        EngineMode::Incremental,
+        EngineMode::SetAtATime { batch_size: 0 },
+    ] {
         let outcomes = drive(flight_db(), mode, &ok);
         let k = answered_tuple(&outcomes[0]);
         let j = answered_tuple(&outcomes[1]);
@@ -138,9 +137,11 @@ fn flight_choice_coordinates_and_oracle_agrees_on_failure_too() {
     }
     let gen = eq_ir::VarGen::new();
     let renamed: Vec<EntangledQuery> = ok.iter().map(|x| x.rename_apart(&gen)).collect();
-    assert!(bruteforce::find_coordinating_set(&renamed, &flight_db(), true)
-        .unwrap()
-        .is_some());
+    assert!(
+        bruteforce::find_coordinating_set(&renamed, &flight_db(), true)
+            .unwrap()
+            .is_some()
+    );
 
     // Newman wants Rome on United — no such flight: both fail, and the
     // oracle agrees there is no total coordinating set.
@@ -148,7 +149,10 @@ fn flight_choice_coordinates_and_oracle_agrees_on_failure_too() {
         q("{R(Newman, x)} R(Kramer, x) <- F(x, Rome), A(x, United)"),
         q("{R(Kramer, y)} R(Newman, y) <- F(y, Rome), A(y, United)"),
     ];
-    for mode in [EngineMode::Incremental, EngineMode::SetAtATime { batch_size: 0 }] {
+    for mode in [
+        EngineMode::Incremental,
+        EngineMode::SetAtATime { batch_size: 0 },
+    ] {
         let outcomes = drive(flight_db(), mode, &bad);
         for o in &outcomes {
             assert!(
@@ -158,9 +162,11 @@ fn flight_choice_coordinates_and_oracle_agrees_on_failure_too() {
         }
     }
     let renamed: Vec<EntangledQuery> = bad.iter().map(|x| x.rename_apart(&gen)).collect();
-    assert!(bruteforce::find_coordinating_set(&renamed, &flight_db(), true)
-        .unwrap()
-        .is_none());
+    assert!(
+        bruteforce::find_coordinating_set(&renamed, &flight_db(), true)
+            .unwrap()
+            .is_none()
+    );
 }
 
 #[test]
@@ -182,12 +188,16 @@ fn sharded_flush_is_indistinguishable_from_sequential() {
             let (a, b) = (format!("P{i}a"), format!("P{i}b"));
             handles.push(
                 engine
-                    .submit(q(&format!("{{R({b}, x{i})}} R({a}, x{i}) <- F(x{i}, Paris)")))
+                    .submit(q(&format!(
+                        "{{R({b}, x{i})}} R({a}, x{i}) <- F(x{i}, Paris)"
+                    )))
                     .unwrap(),
             );
             handles.push(
                 engine
-                    .submit(q(&format!("{{R({a}, y{i})}} R({b}, y{i}) <- F(y{i}, Paris)")))
+                    .submit(q(&format!(
+                        "{{R({a}, y{i})}} R({b}, y{i}) <- F(y{i}, Paris)"
+                    )))
                     .unwrap(),
             );
         }

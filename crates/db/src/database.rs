@@ -52,6 +52,8 @@ impl std::error::Error for DbError {}
 #[derive(Default)]
 pub struct Database {
     tables: FastMap<Symbol, Table>,
+    /// Monotone mutation counter; see [`Database::revision`].
+    revision: u64,
 }
 
 impl Database {
@@ -68,7 +70,17 @@ impl Database {
             return Err(DbError::DuplicateRelation(name));
         }
         self.tables.insert(name, Table::new(schema));
+        self.revision += 1;
         Ok(())
+    }
+
+    /// A counter bumped by every successful mutation (`create_table`,
+    /// `insert`, `delete`, `update`). Readers that cache derived state —
+    /// the coordination engine's dirty-component tracking uses this to
+    /// decide whether kept-pending components must be re-evaluated —
+    /// compare revisions instead of diffing tables.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Inserts a tuple, maintaining all column indexes.
@@ -87,6 +99,7 @@ impl Database {
             });
         }
         table.push(row);
+        self.revision += 1;
         Ok(())
     }
 
@@ -117,7 +130,11 @@ impl Database {
                 got: row.len(),
             });
         }
-        Ok(table.delete(row))
+        let deleted = table.delete(row);
+        if deleted {
+            self.revision += 1;
+        }
+        Ok(deleted)
     }
 
     /// Replaces one occurrence of `old` with `new` (delete + insert).
@@ -274,8 +291,10 @@ mod tests {
     fn delete_removes_tuple_and_index_entries() {
         let mut db = Database::new();
         db.create_table("T", &["a", "b"]).unwrap();
-        db.insert("T", vec![Value::int(1), Value::str("x")]).unwrap();
-        db.insert("T", vec![Value::int(2), Value::str("y")]).unwrap();
+        db.insert("T", vec![Value::int(1), Value::str("x")])
+            .unwrap();
+        db.insert("T", vec![Value::int(2), Value::str("y")])
+            .unwrap();
         assert!(db.delete("T", &[Value::int(1), Value::str("x")]).unwrap());
         assert!(!db.contains("T", &[Value::int(1), Value::str("x")]));
         assert!(db.contains("T", &[Value::int(2), Value::str("y")]));
@@ -286,7 +305,10 @@ mod tests {
         // Evaluation no longer sees the deleted row.
         use eq_ir::{atom, Term, Var};
         let rows = db
-            .evaluate(&[atom!("T", [Term::var(Var(0)), Term::var(Var(1))])], usize::MAX)
+            .evaluate(
+                &[atom!("T", [Term::var(Var(0)), Term::var(Var(1))])],
+                usize::MAX,
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
     }

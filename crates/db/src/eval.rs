@@ -116,7 +116,15 @@ fn search(
                     break;
                 }
                 try_row(
-                    db, table, atom, id, remaining, constraints, bindings, limit, results,
+                    db,
+                    table,
+                    atom,
+                    id,
+                    remaining,
+                    constraints,
+                    bindings,
+                    limit,
+                    results,
                     stats,
                 );
             }
@@ -128,7 +136,15 @@ fn search(
                     break;
                 }
                 try_row(
-                    db, table, atom, id, remaining, constraints, bindings, limit, results,
+                    db,
+                    table,
+                    atom,
+                    id,
+                    remaining,
+                    constraints,
+                    bindings,
+                    limit,
+                    results,
                     stats,
                 );
             }
@@ -229,7 +245,12 @@ mod tests {
         let mut db = Database::new();
         db.create_table("Flights", &["fno", "dest"]).unwrap();
         db.create_table("Airlines", &["fno", "airline"]).unwrap();
-        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+        for (fno, dest) in [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ] {
             db.insert("Flights", vec![Value::int(fno), Value::str(dest)])
                 .unwrap();
         }
@@ -303,9 +324,7 @@ mod tests {
     #[test]
     fn limit_respected() {
         let db = flight_db();
-        let rows = db
-            .evaluate(&[atom!("Flights", [v(0), v(1)])], 2)
-            .unwrap();
+        let rows = db.evaluate(&[atom!("Flights", [v(0), v(1)])], 2).unwrap();
         assert_eq!(rows.len(), 2);
     }
 
@@ -340,7 +359,9 @@ mod tests {
         db.insert("E", vec![Value::int(1), Value::int(1)]).unwrap();
         db.insert("E", vec![Value::int(1), Value::int(2)]).unwrap();
         // E(x, x) matches only the reflexive row.
-        let rows = db.evaluate(&[atom!("E", [v(0), v(0)])], usize::MAX).unwrap();
+        let rows = db
+            .evaluate(&[atom!("E", [v(0), v(0)])], usize::MAX)
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][&Var(0)], Value::int(1));
     }
@@ -384,10 +405,7 @@ mod tests {
     fn stats_reflect_index_use() {
         let db = flight_db();
         let (_, stats) = db
-            .evaluate_with_stats(
-                &[atom!("Flights", [v(0), Term::str("Paris")])],
-                usize::MAX,
-            )
+            .evaluate_with_stats(&[atom!("Flights", [v(0), Term::str("Paris")])], usize::MAX)
             .unwrap();
         assert!(stats.index_probes >= 1);
         assert_eq!(stats.full_scans, 0);

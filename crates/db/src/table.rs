@@ -121,7 +121,9 @@ impl Table {
     /// Iterates over all live rows.
     pub fn rows(&self) -> impl Iterator<Item = &Tuple> {
         let arity = self.schema.arity();
-        self.rows.iter().filter(move |r| arity == 0 || !r.is_empty())
+        self.rows
+            .iter()
+            .filter(move |r| arity == 0 || !r.is_empty())
     }
 
     /// Row ids whose column `col` equals `value`; empty slice if none.

@@ -195,18 +195,16 @@ impl EntangledQuery {
     /// between queries (§4.1.3).
     pub fn rename_apart(&self, gen: &VarGen) -> EntangledQuery {
         let mut mapping: HashMap<Var, Var> = HashMap::new();
-        let rename = |atom: &Atom, mapping: &mut HashMap<Var, Var>| {
-            Atom {
-                relation: atom.relation,
-                terms: atom
-                    .terms
-                    .iter()
-                    .map(|t| match t {
-                        Term::Var(v) => Term::Var(*mapping.entry(*v).or_insert_with(|| gen.fresh())),
-                        Term::Const(_) => *t,
-                    })
-                    .collect(),
-            }
+        let rename = |atom: &Atom, mapping: &mut HashMap<Var, Var>| Atom {
+            relation: atom.relation,
+            terms: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Term::Var(*mapping.entry(*v).or_insert_with(|| gen.fresh())),
+                    Term::Const(_) => *t,
+                })
+                .collect(),
         };
         let head = self.head.iter().map(|a| rename(a, &mut mapping)).collect();
         let postconditions = self
@@ -218,9 +216,7 @@ impl EntangledQuery {
         let mut constraints = Vec::with_capacity(self.constraints.len());
         for c in &self.constraints {
             let mut map_term = |t: Term| match t {
-                Term::Var(v) => {
-                    Term::Var(*mapping.entry(v).or_insert_with(|| gen.fresh()))
-                }
+                Term::Var(v) => Term::Var(*mapping.entry(v).or_insert_with(|| gen.fresh())),
                 Term::Const(_) => t,
             };
             constraints.push(Constraint::new(map_term(c.lhs), c.op, map_term(c.rhs)));
@@ -315,11 +311,7 @@ mod tests {
     #[test]
     fn range_restriction_head() {
         // Head uses ?1 which is not bound in the body.
-        let q = EntangledQuery::new(
-            vec![atom!("R", [v(1)])],
-            vec![],
-            vec![atom!("F", [v(0)])],
-        );
+        let q = EntangledQuery::new(vec![atom!("R", [v(1)])], vec![], vec![atom!("F", [v(0)])]);
         assert_eq!(
             q.validate(),
             Err(ValidationError::NotRangeRestricted {

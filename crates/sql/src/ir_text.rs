@@ -195,8 +195,9 @@ impl IrParser {
                     TokenKind::Ge => CmpOp::Ge,
                     TokenKind::Ne => CmpOp::Ne,
                     other => {
-                        return Err(self
-                            .error_here(format!("expected comparison operator, found {other}")))
+                        return Err(
+                            self.error_here(format!("expected comparison operator, found {other}"))
+                        )
                     }
                 };
                 let rhs = self.term()?;
@@ -221,10 +222,7 @@ impl IrParser {
 
     /// Parses `atom ((',' | '&') atom)*`, stopping before `stop` tokens or
     /// a `choose` keyword.
-    fn atom_list(
-        &mut self,
-        stop: impl Fn(&TokenKind) -> bool,
-    ) -> Result<Vec<Atom>, ParseError> {
+    fn atom_list(&mut self, stop: impl Fn(&TokenKind) -> bool) -> Result<Vec<Atom>, ParseError> {
         let mut atoms = vec![self.atom()?];
         loop {
             match &self.peek().kind {
@@ -299,20 +297,14 @@ mod tests {
 
     #[test]
     fn jerry_with_conjunctive_body() {
-        let q = parse_ir_query(
-            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris) & A(y, United)",
-        )
-        .unwrap();
+        let q = parse_ir_query("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris) & A(y, United)").unwrap();
         assert_eq!(q.body.len(), 2);
         assert_eq!(q.body[1].relation, Symbol::new("A"));
     }
 
     #[test]
     fn comma_conjunction_also_accepted() {
-        let q = parse_ir_query(
-            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)",
-        )
-        .unwrap();
+        let q = parse_ir_query("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)").unwrap();
         assert_eq!(q.body.len(), 2);
     }
 

@@ -103,63 +103,105 @@ impl Lexer {
                     }
                 }
                 '(' => {
-                    tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::LParen,
+                        offset: i,
+                    });
                     i += 1;
                 }
                 ')' => {
-                    tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::RParen,
+                        offset: i,
+                    });
                     i += 1;
                 }
                 '{' => {
-                    tokens.push(Token { kind: TokenKind::LBrace, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::LBrace,
+                        offset: i,
+                    });
                     i += 1;
                 }
                 '}' => {
-                    tokens.push(Token { kind: TokenKind::RBrace, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::RBrace,
+                        offset: i,
+                    });
                     i += 1;
                 }
                 ',' => {
-                    tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Comma,
+                        offset: i,
+                    });
                     i += 1;
                 }
                 '.' => {
-                    tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        offset: i,
+                    });
                     i += 1;
                 }
                 '=' => {
-                    tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Eq,
+                        offset: i,
+                    });
                     i += 1;
                 }
                 '&' => {
-                    tokens.push(Token { kind: TokenKind::Amp, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Amp,
+                        offset: i,
+                    });
                     i += 1;
                 }
                 '>' => {
                     if bytes.get(i + 1) == Some(&b'=') {
-                        tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                        tokens.push(Token {
+                            kind: TokenKind::Ge,
+                            offset: i,
+                        });
                         i += 2;
                     } else {
-                        tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                        tokens.push(Token {
+                            kind: TokenKind::Gt,
+                            offset: i,
+                        });
                         i += 1;
                     }
                 }
                 '<' => match bytes.get(i + 1) {
                     Some(&b'-') => {
-                        tokens.push(Token { kind: TokenKind::Arrow, offset: i });
+                        tokens.push(Token {
+                            kind: TokenKind::Arrow,
+                            offset: i,
+                        });
                         i += 2;
                     }
                     Some(&b'=') => {
-                        tokens.push(Token { kind: TokenKind::Le, offset: i });
+                        tokens.push(Token {
+                            kind: TokenKind::Le,
+                            offset: i,
+                        });
                         i += 2;
                     }
                     _ => {
-                        tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                        tokens.push(Token {
+                            kind: TokenKind::Lt,
+                            offset: i,
+                        });
                         i += 1;
                     }
                 },
                 '!' => {
                     if bytes.get(i + 1) == Some(&b'=') {
-                        tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                        tokens.push(Token {
+                            kind: TokenKind::Ne,
+                            offset: i,
+                        });
                         i += 2;
                     } else {
                         return Err(ParseError::at(i, "expected '!='"));
@@ -185,7 +227,10 @@ impl Lexer {
                             }
                         }
                     }
-                    tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Str(s),
+                        offset: start,
+                    });
                 }
                 '0'..='9' => {
                     let start = i;
@@ -196,7 +241,10 @@ impl Lexer {
                     let value: i64 = text
                         .parse()
                         .map_err(|_| ParseError::at(start, "integer literal out of range"))?;
-                    tokens.push(Token { kind: TokenKind::Int(value), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(value),
+                        offset: start,
+                    });
                 }
                 '-' if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
                     let start = i;
@@ -208,7 +256,10 @@ impl Lexer {
                     let value: i64 = text
                         .parse()
                         .map_err(|_| ParseError::at(start, "integer literal out of range"))?;
-                    tokens.push(Token { kind: TokenKind::Int(value), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(value),
+                        offset: start,
+                    });
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let start = i;
@@ -227,7 +278,10 @@ impl Lexer {
                 }
             }
         }
-        tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+        tokens.push(Token {
+            kind: TokenKind::Eof,
+            offset: input.len(),
+        });
         Ok(tokens)
     }
 }
@@ -282,10 +336,7 @@ mod tests {
 
     #[test]
     fn negative_integers() {
-        assert_eq!(
-            kinds("-42"),
-            vec![TokenKind::Int(-42), TokenKind::Eof]
-        );
+        assert_eq!(kinds("-42"), vec![TokenKind::Int(-42), TokenKind::Eof]);
     }
 
     #[test]

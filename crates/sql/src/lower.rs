@@ -16,7 +16,10 @@ use eq_ir::{Atom, EntangledQuery, FastMap, Symbol, Term, Var};
 /// the outer name by the `IN` binding. Equalities are applied as
 /// substitutions, so the output query contains no explicit equality atoms
 /// — mirroring the simplification step of §4.2.
-pub fn lower_select(stmt: &EntangledSelect, catalog: &Catalog) -> Result<EntangledQuery, ParseError> {
+pub fn lower_select(
+    stmt: &EntangledSelect,
+    catalog: &Catalog,
+) -> Result<EntangledQuery, ParseError> {
     let mut cx = Lowering::default();
 
     // Head atoms: one per ANSWER target, sharing the SELECT tuple.
@@ -166,9 +169,9 @@ impl Lowering {
         let mut cols: FastMap<(String, String), Var> = FastMap::default();
         for tref in &sub.tables {
             let rel = Symbol::new(&tref.table);
-            let columns = catalog.columns(rel).ok_or_else(|| {
-                ParseError::general(format!("unknown relation {}", tref.table))
-            })?;
+            let columns = catalog
+                .columns(rel)
+                .ok_or_else(|| ParseError::general(format!("unknown relation {}", tref.table)))?;
             let mut terms = Vec::with_capacity(columns.len());
             for &col in columns {
                 let v = self.fresh();
@@ -198,9 +201,7 @@ impl Lowering {
             } else {
                 cols.get(&(alias.clone(), column.clone()))
                     .copied()
-                    .ok_or_else(|| {
-                        ParseError::general(format!("unknown column {alias}.{column}"))
-                    })
+                    .ok_or_else(|| ParseError::general(format!("unknown column {alias}.{column}")))
             }
         };
 
@@ -250,13 +251,21 @@ fn renumber(q: EntangledQuery) -> EntangledQuery {
             })
             .collect(),
     };
-    let head = q.head.iter().map(|a| rename(a, &mut map, &mut next)).collect();
+    let head = q
+        .head
+        .iter()
+        .map(|a| rename(a, &mut map, &mut next))
+        .collect();
     let postconditions = q
         .postconditions
         .iter()
         .map(|a| rename(a, &mut map, &mut next))
         .collect();
-    let body = q.body.iter().map(|a| rename(a, &mut map, &mut next)).collect();
+    let body = q
+        .body
+        .iter()
+        .map(|a| rename(a, &mut map, &mut next))
+        .collect();
     EntangledQuery {
         id: q.id,
         head,
@@ -381,11 +390,8 @@ mod tests {
     #[test]
     fn range_restriction_enforced_after_lowering() {
         // `x` appears in the head but nothing binds it.
-        let err = lower_select(
-            &parse_select("SELECT x INTO ANSWER R").unwrap(),
-            &catalog(),
-        )
-        .unwrap_err();
+        let err =
+            lower_select(&parse_select("SELECT x INTO ANSWER R").unwrap(), &catalog()).unwrap_err();
         assert!(err.message.contains("range restriction"), "{err}");
     }
 

@@ -43,10 +43,7 @@ fn arb_query() -> impl Strategy<Value = EntangledQuery> {
             vars.sort_unstable();
             vars.dedup();
             if !vars.is_empty() {
-                body.push(Atom::new(
-                    "Bind",
-                    vars.into_iter().map(Term::var).collect(),
-                ));
+                body.push(Atom::new("Bind", vars.into_iter().map(Term::var).collect()));
             }
             EntangledQuery::new(head, pcs, body).with_choose(choose)
         })

@@ -380,10 +380,7 @@ mod tests {
     fn unify_terms_all_cases() {
         let mut u = Unifier::new();
         // const/const equal and unequal
-        assert_eq!(
-            u.unify_terms(Term::int(1), Term::int(1)),
-            Ok(false)
-        );
+        assert_eq!(u.unify_terms(Term::int(1), Term::int(1)), Ok(false));
         assert!(u.unify_terms(Term::int(1), Term::int(2)).is_err());
         // var/const both directions
         assert_eq!(u.unify_terms(Term::var(v(0)), Term::int(9)), Ok(true));

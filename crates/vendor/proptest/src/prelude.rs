@@ -2,9 +2,7 @@
 
 pub use crate::strategy::{BoxedStrategy, Just, Strategy};
 pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-pub use crate::{
-    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 
 /// Alias module so `prop::collection::vec(...)`-style paths work.
 pub mod prop {

@@ -19,10 +19,12 @@
 //! User(UserName, HomeTown)
 //! ```
 
+mod churn;
 mod queries;
 pub mod rng;
 mod social;
 
+pub use churn::{churn_script, ChurnConfig, ChurnOp};
 pub use queries::{
     chains, clique_groups, giant_cluster, no_unify, three_way_triangles, two_way_pairs,
     unsafe_arrivals, unsafe_residents, PairStyle,
@@ -41,17 +43,14 @@ pub fn build_database(graph: &SocialGraph) -> Database {
     db.create_table("User", &["name", "home"])
         .expect("fresh database");
     for u in 0..graph.num_users() {
-        db.insert(
-            "User",
-            vec![graph.user_value(u), graph.hometown_value(u)],
-        )
-        .expect("schema arity");
+        db.insert("User", vec![graph.user_value(u), graph.hometown_value(u)])
+            .expect("schema arity");
         for &v in graph.friends(u) {
             db.insert(
                 "Friends",
                 vec![graph.user_value(u), graph.user_value(v as usize)],
             )
-                .expect("schema arity");
+            .expect("schema arity");
         }
     }
     db
@@ -73,13 +72,7 @@ mod tests {
         let friends = db.scan("Friends").unwrap();
         // Friendship is symmetric: every edge appears in both directions.
         assert_eq!(friends.len() % 2, 0);
-        assert!(db.contains(
-            "Friends",
-            &[friends[0][0], friends[0][1]]
-        ));
-        assert!(db.contains(
-            "Friends",
-            &[friends[0][1], friends[0][0]]
-        ));
+        assert!(db.contains("Friends", &[friends[0][0], friends[0][1]]));
+        assert!(db.contains("Friends", &[friends[0][1], friends[0][0]]));
     }
 }

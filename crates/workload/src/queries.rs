@@ -112,9 +112,7 @@ pub fn three_way_triangles(graph: &SocialGraph, n: usize, seed: u64) -> Vec<Enta
         let dest = graph.airport_value(rng.gen_range(0..graph.num_airports()));
         // a needs b, b needs c, c needs a.
         for (me, need) in [(a, b), (b, c), (c, a)] {
-            out.push(
-                triangle_query(graph, me, need, dest).with_id(QueryId(next_id)),
-            );
+            out.push(triangle_query(graph, me, need, dest).with_id(QueryId(next_id)));
             next_id += 1;
         }
     }
@@ -173,9 +171,7 @@ pub fn clique_groups(
             for &mm in &members {
                 body.push(user(Term::Const(graph.user_value(mm as usize)), c));
             }
-            out.push(
-                EntangledQuery::new(vec![reserve(m, d)], pcs, body).with_id(QueryId(next_id)),
-            );
+            out.push(EntangledQuery::new(vec![reserve(m, d)], pcs, body).with_id(QueryId(next_id)));
             next_id += 1;
         }
     }
@@ -265,12 +261,8 @@ pub fn unsafe_residents(n: usize, hubs: usize, seed: u64) -> Vec<EntangledQuery>
             let me = Term::str(&format!("res{i}"));
             let ghost = Term::str(&format!("resghost{i}"));
             let hub = Term::str(&format!("HUB{}", i % hubs.max(1)));
-            EntangledQuery::new(
-                vec![reserve(me, hub)],
-                vec![reserve(ghost, hub)],
-                vec![],
-            )
-            .with_id(QueryId(i as u64))
+            EntangledQuery::new(vec![reserve(me, hub)], vec![reserve(ghost, hub)], vec![])
+                .with_id(QueryId(i as u64))
         })
         .collect()
 }

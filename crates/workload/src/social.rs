@@ -111,9 +111,7 @@ impl SocialGraph {
         // Plant cliques of size 6 over random node groups.
         let mut cliques = Vec::with_capacity(config.planted_cliques);
         for _ in 0..config.planted_cliques {
-            let mut members: Vec<u32> = (0..6)
-                .map(|_| rng.gen_range(0..n) as u32)
-                .collect();
+            let mut members: Vec<u32> = (0..6).map(|_| rng.gen_range(0..n) as u32).collect();
             members.sort_unstable();
             members.dedup();
             if members.len() < 3 {
@@ -220,7 +218,11 @@ impl SocialGraph {
             let nu = &self.adjacency[u as usize];
             let nv = &self.adjacency[v as usize];
             // Random common neighbor via the smaller list.
-            let (small, big) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+            let (small, big) = if nu.len() <= nv.len() {
+                (nu, nv)
+            } else {
+                (nv, nu)
+            };
             let common: Vec<u32> = small
                 .iter()
                 .copied()
@@ -281,11 +283,7 @@ impl SocialGraph {
 }
 
 /// Multi-source BFS city regions followed by majority label propagation.
-fn assign_hometowns(
-    adjacency: &[FastSet<u32>],
-    airports: usize,
-    rng: &mut StdRng,
-) -> Vec<u16> {
+fn assign_hometowns(adjacency: &[FastSet<u32>], airports: usize, rng: &mut StdRng) -> Vec<u16> {
     let n = adjacency.len();
     let mut hometown: Vec<Option<u16>> = vec![None; n];
 
@@ -440,10 +438,7 @@ mod tests {
         assert_eq!(c.len(), 4);
         for i in 0..c.len() {
             for j in (i + 1)..c.len() {
-                assert!(g
-                    .friends(c[i] as usize)
-                    .binary_search(&c[j])
-                    .is_ok());
+                assert!(g.friends(c[i] as usize).binary_search(&c[j]).is_ok());
             }
         }
     }

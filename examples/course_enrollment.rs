@@ -59,8 +59,7 @@ fn main() {
             0.0
         }
     };
-    let ranked =
-        coordinate_with_preference(&[ann, ben], &db, 10, &prefer_afternoon).unwrap();
+    let ranked = coordinate_with_preference(&[ann, ben], &db, 10, &prefer_afternoon).unwrap();
     let chosen = &ranked.answers[&QueryId(0)][0];
     println!(
         "preferred section: {} at {}:00 for both students",

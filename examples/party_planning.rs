@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example party_planning`
 
-use entangled_queries::core::ext::{ThresholdOutcome, ThresholdQuery};
 use entangled_queries::core::coordinate;
+use entangled_queries::core::ext::{ThresholdOutcome, ThresholdQuery};
 use entangled_queries::prelude::*;
 
 fn main() {

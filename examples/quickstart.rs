@@ -15,7 +15,12 @@ fn main() {
     let mut db = Database::new();
     db.create_table("Flights", &["fno", "dest"]).unwrap();
     db.create_table("Airlines", &["fno", "airline"]).unwrap();
-    for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+    for (fno, dest) in [
+        (122, "Paris"),
+        (123, "Paris"),
+        (134, "Paris"),
+        (136, "Rome"),
+    ] {
         db.insert("Flights", vec![Value::int(fno), Value::str(dest)])
             .unwrap();
     }

@@ -82,10 +82,7 @@ impl Shell {
         } else {
             parse_ir_query(line).map_err(|e| e.to_string())?
         };
-        let handle = self
-            .engine
-            .submit(query)
-            .map_err(|e| format!("{e:?}"))?;
+        let handle = self.engine.submit(query).map_err(|e| format!("{e:?}"))?;
         println!("submitted as {}", handle.id);
         self.handles.push(handle);
         Ok(())
@@ -163,8 +160,7 @@ impl Shell {
             let mut copy = Database::new();
             for name in guard.table_names() {
                 let table = guard.table(name).expect("listed");
-                let cols: Vec<&str> =
-                    table.schema().columns.iter().map(|c| c.as_str()).collect();
+                let cols: Vec<&str> = table.schema().columns.iter().map(|c| c.as_str()).collect();
                 copy.create_table(name.as_str(), &cols).ok();
                 for row in table.rows() {
                     copy.insert(name.as_str(), row.clone()).ok();

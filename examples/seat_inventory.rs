@@ -15,14 +15,8 @@ use entangled_queries::prelude::*;
 fn book_pair(db: &mut Database, a: &str, b: &str) -> Option<i64> {
     // Each traveller needs their own seat: the combined query joins two
     // distinct Seat rows on the same flight. Seat(fno, seatno).
-    let qa = parse_ir_query(&format!(
-        "{{R(\"{b}\", f)}} R(\"{a}\", f) <- Seat(f, s1)"
-    ))
-    .unwrap();
-    let qb = parse_ir_query(&format!(
-        "{{R(\"{a}\", g)}} R(\"{b}\", g) <- Seat(g, s2)"
-    ))
-    .unwrap();
+    let qa = parse_ir_query(&format!("{{R(\"{b}\", f)}} R(\"{a}\", f) <- Seat(f, s1)")).unwrap();
+    let qb = parse_ir_query(&format!("{{R(\"{a}\", g)}} R(\"{b}\", g) <- Seat(g, s2)")).unwrap();
     let outcome = coordinate(&[qa, qb], db).unwrap();
     let answers = outcome.all_answers();
     if answers.len() != 2 {

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Full-workspace CI: build, test, lint, workspace-membership assertion,
-# and a fig8 stress smoke run. Everything runs offline (vendored shims
-# only — see README "Offline-dependency policy").
+# Full-workspace CI: format check, build, test, lint,
+# workspace-membership assertion, and bench smoke runs (fig6 throughput,
+# fig8 stress, fig_resident churn). Everything runs offline (vendored
+# shims only — see README "Offline-dependency policy").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/5 workspace membership (cargo metadata) =="
+echo "== 1/7 cargo fmt --check =="
+cargo fmt --check
+
+echo "== 2/7 workspace membership (cargo metadata) =="
 # Parse real package names only (a grep over the raw JSON would also
 # match "name" fields inside dependency tables and pass vacuously).
 names=$(cargo metadata --no-deps --format-version 1 --offline |
@@ -21,16 +25,20 @@ for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
 done
 echo "all $(wc -w <<<"$names" | tr -d ' ') packages present"
 
-echo "== 2/5 cargo build --release =="
+echo "== 3/7 cargo build --release =="
 cargo build --release --offline
 
-echo "== 3/5 cargo test -q =="
+echo "== 4/7 cargo test -q =="
 cargo test -q --offline
 
-echo "== 4/5 cargo clippy --workspace --all-targets =="
+echo "== 5/7 cargo clippy --workspace --all-targets =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== 5/5 fig8 stress smoke =="
+echo "== 6/7 fig6 + fig8 bench smoke =="
+cargo bench -q --offline -p eq_bench --bench fig6_two_way -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
+
+echo "== 7/7 fig_resident churn smoke =="
+cargo bench -q --offline -p eq_bench --bench fig_resident -- --smoke
 
 echo "CI green."

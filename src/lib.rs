@@ -9,8 +9,10 @@
 //! * [`unify`] — unifiers and most-general-unifier computation;
 //! * [`db`] — the in-memory relational database substrate;
 //! * [`core`] — safety/UCS checks, the matching algorithm, combined-query
-//!   construction, and the D3C coordination engine;
-//! * [`workload`] — the paper's evaluation workload generators.
+//!   construction, the resident match graph, and the D3C coordination
+//!   engine (dirty-component flushes over persistent match state);
+//! * [`workload`] — the paper's evaluation workload generators plus the
+//!   churn scenario scripts (interleaved submit/flush/cancel).
 //!
 //! ## Quickstart
 //!
@@ -74,12 +76,7 @@ pub fn catalog_for(db: &eq_db::Database) -> eq_sql::Catalog {
     let mut catalog = eq_sql::Catalog::new();
     for name in db.table_names() {
         let table = db.table(name).expect("listed table");
-        let cols: Vec<&str> = table
-            .schema()
-            .columns
-            .iter()
-            .map(|c| c.as_str())
-            .collect();
+        let cols: Vec<&str> = table.schema().columns.iter().map(|c| c.as_str()).collect();
         catalog.add_table(name.as_str(), &cols);
     }
     catalog
@@ -88,8 +85,9 @@ pub fn catalog_for(db: &eq_db::Database) -> eq_sql::Catalog {
 /// Commonly used items, for `use entangled_queries::prelude::*`.
 pub mod prelude {
     pub use eq_core::{
-        coordinate, BatchReport, CoordinationEngine, CoordinationOutcome, EngineConfig,
-        EngineMode, QueryAnswer, QueryHandle, QueryStatus, SafetyViolation,
+        coordinate, BatchReport, CoordinationEngine, CoordinationOutcome, EngineConfig, EngineMode,
+        FailReason, QueryAnswer, QueryHandle, QueryOutcome, QueryStatus, ResidentGraph,
+        SafetyViolation,
     };
     pub use eq_db::{Database, Tuple};
     pub use eq_ir::{Atom, EntangledQuery, QueryId, Symbol, Term, Value, Var, VarGen};

@@ -30,8 +30,8 @@ fn ir_text_parses_constraints() {
 
 #[test]
 fn constraints_render_and_roundtrip() {
-    let q = parse_ir_query("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris) & x < 130 & x != 122")
-        .unwrap();
+    let q =
+        parse_ir_query("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris) & x < 130 & x != 122").unwrap();
     let text = render_ir_query(&q);
     let q2 = parse_ir_query(&text).unwrap();
     assert_eq!(q.constraints, q2.constraints);
@@ -108,10 +108,8 @@ fn variable_to_variable_constraints() {
         db.insert("Char", vec![Value::str(n), Value::int(l)])
             .unwrap();
     }
-    let q = parse_ir_query(
-        "{} Pair(t, s) <- Char(t, tl) & Char(s, sl) & tl >= sl & t != s",
-    )
-    .unwrap();
+    let q =
+        parse_ir_query("{} Pair(t, s) <- Char(t, tl) & Char(s, sl) & tl >= sl & t != s").unwrap();
     let outcome = coordinate(&[q], &db).unwrap();
     let answers = outcome.all_answers();
     assert_eq!(answers.len(), 1);

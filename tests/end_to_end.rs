@@ -10,7 +10,12 @@ fn flight_db() -> Database {
     let mut db = Database::new();
     db.create_table("Flights", &["fno", "dest"]).unwrap();
     db.create_table("Airlines", &["fno", "airline"]).unwrap();
-    for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+    for (fno, dest) in [
+        (122, "Paris"),
+        (123, "Paris"),
+        (134, "Paris"),
+        (136, "Rome"),
+    ] {
         db.insert("Flights", vec![Value::int(fno), Value::str(dest)])
             .unwrap();
     }
@@ -82,8 +87,7 @@ fn sql_and_ir_text_forms_agree() {
     assert_eq!(from_sql.body, from_text.body);
 
     // And both coordinate identically against the same partner.
-    let partner =
-        parse_ir_query("{R(Kramer, y)} R(Jerry, y) <- Flights(y, Paris)").unwrap();
+    let partner = parse_ir_query("{R(Kramer, y)} R(Jerry, y) <- Flights(y, Paris)").unwrap();
     let o1 = coordinate(&[from_sql, partner.clone()], &db).unwrap();
     let o2 = coordinate(&[from_text, partner], &db).unwrap();
     assert_eq!(o1.answers.len(), o2.answers.len());
@@ -97,10 +101,7 @@ fn figure_3a_unsafe_set_is_handled() {
     let queries = vec![
         parse_ir_query("{R(Jerry, x)} R(Kramer, x) <- Flights(x, Paris)").unwrap(),
         parse_ir_query("{R(Jerry, y)} R(Elaine, y) <- Flights(y, Rome)").unwrap(),
-        parse_ir_query(
-            "{R(f, z)} R(Jerry, z) <- Flights(z, w), Airlines(z, f)",
-        )
-        .unwrap(),
+        parse_ir_query("{R(f, z)} R(Jerry, z) <- Flights(z, w), Airlines(z, f)").unwrap(),
     ];
     let outcome = coordinate(&queries, &db).unwrap();
     assert!(outcome.answers.is_empty());
@@ -113,10 +114,8 @@ fn figure_3b_non_ucs_detected() {
     let queries = vec![
         parse_ir_query("{R(Jerry, x)} R(Kramer, x) <- Flights(x, Paris)").unwrap(),
         parse_ir_query("{R(Kramer, y)} R(Jerry, y) <- Flights(y, Paris)").unwrap(),
-        parse_ir_query(
-            "{R(Jerry, z)} R(Frank, z) <- Flights(z, Paris), Airlines(z, United)",
-        )
-        .unwrap(),
+        parse_ir_query("{R(Jerry, z)} R(Frank, z) <- Flights(z, Paris), Airlines(z, United)")
+            .unwrap(),
     ];
     let outcome = coordinate(&queries, &db).unwrap();
     assert!(outcome.answers.is_empty());

@@ -6,8 +6,8 @@
 use entangled_queries::core::engine::{NoSolutionPolicy, QueryOutcome};
 use entangled_queries::prelude::*;
 use entangled_queries::workload::{
-    build_database, chains, clique_groups, no_unify, three_way_triangles, two_way_pairs,
-    PairStyle, SocialGraph, SocialGraphConfig,
+    build_database, chains, clique_groups, no_unify, three_way_triangles, two_way_pairs, PairStyle,
+    SocialGraph, SocialGraphConfig,
 };
 
 fn graph() -> SocialGraph {
@@ -19,11 +19,7 @@ fn graph() -> SocialGraph {
     })
 }
 
-fn run_engine(
-    mode: EngineMode,
-    queries: &[EntangledQuery],
-    db: Database,
-) -> (usize, usize, usize) {
+fn run_engine(mode: EngineMode, queries: &[EntangledQuery], db: Database) -> (usize, usize, usize) {
     let mut engine = CoordinationEngine::new(
         db,
         EngineConfig {
@@ -131,8 +127,11 @@ fn no_unify_workload_stays_pending_forever() {
 #[test]
 fn chain_workload_unifies_without_coordinating() {
     let queries = chains(64, 8, 11);
-    let (answered, failed, pending) =
-        run_engine(EngineMode::SetAtATime { batch_size: 0 }, &queries, Database::new());
+    let (answered, failed, pending) = run_engine(
+        EngineMode::SetAtATime { batch_size: 0 },
+        &queries,
+        Database::new(),
+    );
     assert_eq!(answered, 0);
     assert_eq!(failed, 0);
     assert_eq!(pending, 64);

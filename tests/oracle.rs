@@ -34,14 +34,10 @@ fn random_instance(seed: u64) -> Instance {
         let a = format!("UA{p}");
         let b = format!("UB{p}");
         let dest = dests[rng.gen_range(0..dests.len())];
-        let qa = eq_sql::parse_ir_query(&format!(
-            "{{R({b}, x)}} R({a}, x) <- F(x, {dest})"
-        ))
-        .unwrap();
-        let qb = eq_sql::parse_ir_query(&format!(
-            "{{R({a}, y)}} R({b}, y) <- F(y, {dest})"
-        ))
-        .unwrap();
+        let qa =
+            eq_sql::parse_ir_query(&format!("{{R({b}, x)}} R({a}, x) <- F(x, {dest})")).unwrap();
+        let qb =
+            eq_sql::parse_ir_query(&format!("{{R({a}, y)}} R({b}, y) <- F(y, {dest})")).unwrap();
         queries.push(qa.with_id(QueryId(2 * p as u64)));
         queries.push(qb.with_id(QueryId(2 * p as u64 + 1)));
     }
