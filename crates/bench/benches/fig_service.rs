@@ -1,0 +1,97 @@
+//! Coordinator service throughput: sequential `submit` versus batched
+//! parallel admission (`submit_batch`) on an admission-heavy hub-mix
+//! workload, plus the long-running service-script harness driven
+//! sequentially and batched. The non-timing sweep (with JSON output)
+//! lives in the `fig_service` bin; this bench target gives CI a smoke
+//! run and developers a stable A/B timer.
+
+use eq_bench::harness::{smoke_mode, BenchGroup};
+use eq_bench::{clone_db, drive_service_harness};
+use eq_core::{Coordinator, EngineConfig, EngineMode, NoSolutionPolicy, SubmitRequest};
+use eq_workload::{
+    build_database, grid_pairs, service_script, ServiceConfig, SocialGraph, SocialGraphConfig,
+};
+
+fn coordinator(db: eq_db::Database, flush_threads: usize) -> Coordinator {
+    Coordinator::new(
+        db,
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            // The Figure 9 service posture: every admission is
+            // safety-checked. Sequential submits scan the indexes for
+            // the check and again for edge discovery; submit_batch
+            // decides safety from the edge probes.
+            admission_safety_check: true,
+            on_no_solution: NoSolutionPolicy::Reject,
+            flush_threads,
+            ..Default::default()
+        },
+    )
+}
+
+fn main() {
+    let (users, sizes): (usize, &[usize]) = if smoke_mode() {
+        (1_000, &[600])
+    } else {
+        (10_000, &[2_000, 10_000])
+    };
+    let graph = SocialGraph::generate(&SocialGraphConfig {
+        users,
+        ..Default::default()
+    });
+    let db = build_database(&graph);
+
+    let mut group = BenchGroup::new("fig_service");
+    group.sample_size(if smoke_mode() { 3 } else { 10 });
+    for &n in sizes {
+        let queries = grid_pairs(n, 7);
+
+        group.bench_with_setup(
+            "sequential submit",
+            n as u64,
+            || coordinator(clone_db(&db), 1),
+            |coordinator| {
+                let mut session = coordinator.session();
+                for q in &queries {
+                    session
+                        .submit(SubmitRequest::new(q.clone()))
+                        .expect("valid query");
+                }
+                coordinator.pending_count()
+            },
+        );
+        group.bench_with_setup(
+            "submit_batch (parallel)",
+            n as u64,
+            || coordinator(clone_db(&db), 0),
+            |coordinator| {
+                let mut session = coordinator.session();
+                let results = session.submit_batch(
+                    queries
+                        .iter()
+                        .map(|q| SubmitRequest::new(q.clone()))
+                        .collect(),
+                );
+                results.iter().filter(|r| r.is_ok()).count()
+            },
+        );
+
+        // One instrumented harness pass outside the timing loop: events
+        // delivered and answers pushed over the stream.
+        let script = service_script(
+            &graph,
+            &ServiceConfig {
+                queries: n,
+                burst: (n / 16).max(1),
+                flush_every_bursts: 4,
+                solo_permille: 300,
+                seed: 7,
+            },
+        );
+        let (millis, counters) = drive_service_harness(clone_db(&db), &script, true, 0);
+        println!(
+            "  [harness n={n}] {millis:.1} ms, answered={} events={} flushes={}",
+            counters.answered, counters.events, counters.flushes
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Service-API sweep: batched parallel admission (`submit_batch`)
+//! versus sequential `submit` over the `Coordinator`, plus
+//! event-stream throughput and a long-running service-script harness.
+//! Rows carry `answered`/`events`/`flushes` counters in the JSON
+//! output; the headline comparison is `submit_batch (parallel)` versus
+//! `sequential submit` at the ≥10k batch sizes.
+//!
+//! Usage: `cargo run --release -p eq_bench --bin fig_service [-- --sizes 1000,10000]`
+
+use eq_bench::{report, run_fig_service, sizes_from_args, FigServiceConfig};
+use std::path::Path;
+
+fn main() {
+    let sizes = sizes_from_args(&[1_000, 10_000, 20_000]);
+    let rows = run_fig_service(&FigServiceConfig {
+        sizes,
+        users: 10_000,
+        harness_burst: 500,
+        seed: 2011,
+    });
+    report(
+        "Coordinator service: batched parallel admission vs sequential submit",
+        &rows,
+        Some(Path::new("results/fig_service.json")),
+    );
+}

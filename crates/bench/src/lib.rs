@@ -9,6 +9,12 @@
 //! | 8 | [`run_fig8`] | no-unification / usual partitions / giant cluster (incr. vs set-at-a-time) |
 //! | 9 | [`run_fig9`] | safety-check overhead against 20k resident queries |
 //!
+//! Beyond the paper's figures, [`run_fig_resident`] measures the
+//! resident match graph against a rebuild-per-flush baseline, and
+//! [`run_fig_service`] measures the `Coordinator` service API —
+//! batched parallel admission versus sequential submission, and
+//! event-stream throughput.
+//!
 //! Absolute numbers differ from the paper (different hardware, MySQL →
 //! in-memory substrate); the claims under reproduction are the *shapes*
 //! (linearity, who is faster, where evaluation blows up).
@@ -18,9 +24,10 @@ mod runner;
 
 pub use harness::BenchGroup;
 pub use runner::{
-    clone_db, drive_churn_rebuild, drive_churn_resident, instrumented_batch, pairwise_edge_count,
-    run_fig6, run_fig7, run_fig8, run_fig9, run_fig_resident, standard_graph, ChurnCounters,
-    Fig6Config, Fig8Config, Fig9Config, FigResidentConfig, Row, SplitTiming,
+    clone_db, drive_churn_rebuild, drive_churn_resident, drive_service_harness, instrumented_batch,
+    pairwise_edge_count, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_resident, run_fig_service,
+    standard_graph, ChurnCounters, Fig6Config, Fig8Config, Fig9Config, FigResidentConfig,
+    FigServiceConfig, Row, ServiceCounters, SplitTiming,
 };
 
 use std::io::Write as _;

@@ -2,13 +2,16 @@
 
 use eq_core::engine::NoSolutionPolicy;
 use eq_core::graph::MatchGraph;
-use eq_core::{matching, safety, CombinedQuery, CoordinationEngine, EngineConfig, EngineMode};
+use eq_core::{
+    matching, safety, CombinedQuery, CoordinationEngine, Coordinator, EngineConfig, EngineMode,
+    FailReason, QueryStatus, SubmitRequest,
+};
 use eq_db::Database;
 use eq_ir::{EntangledQuery, VarGen};
 use eq_workload::{
-    build_database, chains, churn_script, clique_groups, giant_cluster, no_unify,
-    three_way_triangles, two_way_pairs, unsafe_arrivals, unsafe_residents, ChurnConfig, ChurnOp,
-    PairStyle, SocialGraph, SocialGraphConfig,
+    build_database, chains, churn_script, clique_groups, giant_cluster, grid_pairs, no_unify,
+    service_script, three_way_triangles, two_way_pairs, unsafe_arrivals, unsafe_residents,
+    ChurnConfig, ChurnOp, PairStyle, ServiceConfig, ServiceOp, SocialGraph, SocialGraphConfig,
 };
 use std::time::Instant;
 
@@ -91,19 +94,10 @@ fn drive_incremental(db: &Database, queries: &[EntangledQuery]) -> (f64, usize) 
     (millis, answered)
 }
 
-/// The database substrate has no cheap snapshot/clone; experiments
-/// rebuild the workload tables per run to keep runs independent.
+/// Deep-copies the workload database so runs stay independent
+/// (delegates to [`Database::snapshot`]).
 pub fn clone_db(db: &Database) -> Database {
-    let mut out = Database::new();
-    for name in db.table_names() {
-        let table = db.table(name).expect("listed table");
-        let columns: Vec<&str> = table.schema().columns.iter().map(|c| c.as_str()).collect();
-        out.create_table(name.as_str(), &columns).expect("fresh db");
-        for row in table.rows() {
-            out.insert(name.as_str(), row.clone()).expect("same arity");
-        }
-    }
-    out
+    db.snapshot()
 }
 
 /// Configuration for the Figure 6 run.
@@ -462,47 +456,69 @@ pub fn drive_churn_resident(
     (millis, counters)
 }
 
-/// Rebuild-per-flush baseline: the pre-resident engine's flush strategy,
-/// reconstructed over the public one-shot pipeline. Every `Flush` op
-/// clones the entire pending pool into [`eq_core::coordinate`] (which
-/// builds a fresh match graph, exactly like the old
-/// `MatchGraph::build`-per-flush engine); answered and terminally
-/// rejected queries leave the pool, unmatched ones stay.
+/// Rebuild-per-flush baseline: the pre-resident engine's flush
+/// strategy, reconstructed over the `Coordinator` service. Every
+/// `Flush` op re-admits the entire live pool through a fresh
+/// [`eq_core::Session`] (rebuilding all match state from scratch,
+/// exactly like the old `MatchGraph::build`-per-flush engine), flushes
+/// once, and withdraws the survivors again (session close). Answered
+/// and terminally rejected queries leave the pool, still-pending ones
+/// stay for the next rebuild.
 pub fn drive_churn_rebuild(db: &Database, ops: &[ChurnOp]) -> (f64, f64) {
-    use eq_core::RejectReason;
+    let coordinator = Coordinator::new(
+        db.snapshot(),
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            admission_safety_check: false,
+            on_no_solution: NoSolutionPolicy::Reject,
+            flush_threads: 1,
+            ..Default::default()
+        },
+    );
     let mut pending: Vec<Option<EntangledQuery>> = Vec::new();
     let mut answered = 0usize;
     let start = Instant::now();
     for op in ops {
         match op {
             ChurnOp::Submit(q) => {
-                let idx = pending.len();
-                pending.push(Some(q.clone().with_id(eq_ir::QueryId(idx as u64 + 1))));
+                pending.push(Some(q.clone()));
             }
             ChurnOp::Cancel(idx) => {
                 pending[*idx] = None;
             }
             ChurnOp::Flush => {
-                let live: Vec<EntangledQuery> = pending.iter().flatten().cloned().collect();
+                let live: Vec<usize> = (0..pending.len())
+                    .filter(|&i| pending[i].is_some())
+                    .collect();
                 if live.is_empty() {
                     continue;
                 }
-                let outcome = eq_core::coordinate(&live, db).expect("valid churn queries");
-                answered += outcome.answers.len();
-                for (id, _) in outcome.answers.iter() {
-                    pending[id.0 as usize - 1] = None;
-                }
-                for (id, reason) in &outcome.rejected {
-                    // Unmatched (and safety-sidelined) queries stay
-                    // pending, like the engine's flush; terminal
-                    // rejections leave the pool.
-                    if matches!(
-                        reason,
-                        RejectReason::NoSolution | RejectReason::NonUcs | RejectReason::Invalid(_)
-                    ) {
-                        pending[id.0 as usize - 1] = None;
+                let mut session = coordinator.session();
+                let handles = session.submit_batch(
+                    live.iter()
+                        .map(|&i| SubmitRequest::new(pending[i].clone().expect("live")))
+                        .collect(),
+                );
+                coordinator.flush();
+                for (&i, handle) in live.iter().zip(&handles) {
+                    let Ok(handle) = handle else {
+                        pending[i] = None;
+                        continue;
+                    };
+                    match coordinator.status(handle.id) {
+                        Some(QueryStatus::Answered) => {
+                            answered += 1;
+                            pending[i] = None;
+                        }
+                        Some(QueryStatus::Failed(FailReason::Rejected(_))) => {
+                            pending[i] = None;
+                        }
+                        // Still pending (or withdrawn below): stays in
+                        // the pool and is re-admitted next flush.
+                        _ => {}
                     }
                 }
+                session.close();
             }
         }
     }
@@ -566,6 +582,242 @@ pub fn run_fig_resident(cfg: &FigResidentConfig) -> Vec<Row> {
             extra: Some(answered),
             ..Row::new("fig_resident", "rebuild per flush", n as u64, millis)
         });
+    }
+    rows
+}
+
+/// Configuration for the `fig_service` service-API sweep.
+pub struct FigServiceConfig {
+    /// Batch sizes to sweep (total queries per point).
+    pub sizes: Vec<usize>,
+    /// Social graph scale (the harness series references its edges).
+    pub users: usize,
+    /// Queries per burst in the long-running harness series.
+    pub harness_burst: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Counters from one service-harness drive.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceCounters {
+    /// Queries answered.
+    pub answered: f64,
+    /// Events received by the subscriber (terminals + flush reports).
+    pub events: f64,
+    /// Flushes executed.
+    pub flushes: f64,
+}
+
+impl ServiceCounters {
+    /// The counters as named JSON-able pairs for [`Row::counters`].
+    pub fn as_row_counters(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("answered", self.answered),
+            ("events", self.events),
+            ("flushes", self.flushes),
+        ]
+    }
+}
+
+fn service_coordinator(db: Database, flush_threads: usize, safety: bool) -> Coordinator {
+    Coordinator::new(
+        db,
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            admission_safety_check: safety,
+            on_no_solution: NoSolutionPolicy::Reject,
+            flush_threads,
+            ..Default::default()
+        },
+    )
+}
+
+/// Drives a [`service_script`] through a `Coordinator` with a live
+/// event subscription: bursts are submitted via
+/// [`eq_core::Session::submit_batch`] when `batched` (individual
+/// submits otherwise), cancels go through the session, flushes through
+/// the coordinator, and the subscriber drains the stream as it goes.
+/// Returns wall-clock milliseconds and the drive's counters.
+pub fn drive_service_harness(
+    db: Database,
+    ops: &[ServiceOp],
+    batched: bool,
+    flush_threads: usize,
+) -> (f64, ServiceCounters) {
+    let coordinator = service_coordinator(db, flush_threads, false);
+    let events = coordinator.subscribe();
+    let mut session = coordinator.session();
+    let mut ids = Vec::new();
+    let mut counters = ServiceCounters::default();
+    let start = Instant::now();
+    for op in ops {
+        match op {
+            ServiceOp::SubmitBatch(queries) => {
+                if batched {
+                    let results = session.submit_batch(
+                        queries
+                            .iter()
+                            .map(|q| SubmitRequest::new(q.clone()))
+                            .collect(),
+                    );
+                    for r in results {
+                        ids.push(r.expect("valid service query").id);
+                    }
+                } else {
+                    for q in queries {
+                        let handle = session
+                            .submit(SubmitRequest::new(q.clone()))
+                            .expect("valid service query");
+                        ids.push(handle.id);
+                    }
+                }
+            }
+            ServiceOp::Cancel(idx) => {
+                session.cancel(ids[*idx]).expect("pending solo query");
+            }
+            ServiceOp::Flush => {
+                coordinator.flush();
+                counters.flushes += 1.0;
+            }
+        }
+        for event in events.drain() {
+            counters.events += 1.0;
+            if matches!(event, eq_core::Event::Answered { .. }) {
+                counters.answered += 1.0;
+            }
+        }
+    }
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    (millis, counters)
+}
+
+/// The `fig_service` sweep: batched parallel admission versus
+/// sequential submission over the service API, plus event-stream
+/// throughput.
+///
+/// Per batch size `n` (the collision-heavy [`grid_pairs`] workload,
+/// admission safety check **on** — the Figure 9 service posture):
+///
+/// * `sequential submit` — one [`eq_core::Session::submit`] per query;
+///   every admission scans the hot posting lists twice (safety check,
+///   then edge discovery);
+/// * `submit_batch (1 thread)` — batched admission with a sequential
+///   probe phase: safety decisions ride the edge-discovery probes, so
+///   the index is scanned once per query even without parallelism;
+/// * `submit_batch (parallel)` — the same with one probe worker per
+///   hardware thread: the headline series, expected to beat sequential
+///   submission at ≥10k-query batches (on a single-core host it falls
+///   back to the 1-thread path, which already wins on probe reuse);
+/// * `event stream (batch+flush+drain)` — batched admission, one
+///   flush, and a subscriber draining every event, with the event
+///   count in `extra`.
+///
+/// A final pair of rows drives the long-running [`service_script`]
+/// harness (bursts, cancels, periodic flushes) end to end, sequential
+/// versus batched.
+pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
+    let graph = standard_graph(cfg.users);
+    let db = build_database(&graph);
+    let mut rows = Vec::new();
+
+    for &n in &cfg.sizes {
+        let queries = grid_pairs(n, cfg.seed);
+
+        // (a) Sequential submission.
+        let coordinator = service_coordinator(clone_db(&db), 1, true);
+        let mut session = coordinator.session();
+        let start = Instant::now();
+        let mut admitted = 0usize;
+        for q in &queries {
+            if session.submit(SubmitRequest::new(q.clone())).is_ok() {
+                admitted += 1;
+            }
+        }
+        rows.push(Row {
+            extra: Some(admitted as f64),
+            ..Row::new(
+                "fig_service",
+                "sequential submit",
+                n as u64,
+                start.elapsed().as_secs_f64() * 1e3,
+            )
+        });
+
+        // (b) Batched admission: probe-once sequential, then parallel.
+        for (series, threads) in [
+            ("submit_batch (1 thread)", 1),
+            ("submit_batch (parallel)", 0),
+        ] {
+            let coordinator = service_coordinator(clone_db(&db), threads, true);
+            let mut session = coordinator.session();
+            let requests: Vec<SubmitRequest> = queries
+                .iter()
+                .map(|q| SubmitRequest::new(q.clone()))
+                .collect();
+            let start = Instant::now();
+            let results = session.submit_batch(requests);
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            let admitted = results.iter().filter(|r| r.is_ok()).count();
+            rows.push(Row {
+                extra: Some(admitted as f64),
+                ..Row::new("fig_service", series, n as u64, millis)
+            });
+        }
+
+        // (c) Event-stream throughput: batch + flush + drain.
+        let coordinator = service_coordinator(clone_db(&db), 0, true);
+        let events = coordinator.subscribe();
+        let mut session = coordinator.session();
+        let requests: Vec<SubmitRequest> = queries
+            .iter()
+            .map(|q| SubmitRequest::new(q.clone()))
+            .collect();
+        let start = Instant::now();
+        session.submit_batch(requests);
+        let report = coordinator.flush();
+        let received = events.drain().len();
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        rows.push(Row {
+            extra: Some(received as f64),
+            counters: vec![
+                ("answered", report.answered as f64),
+                ("events", received as f64),
+            ],
+            ..Row::new(
+                "fig_service",
+                "event stream (batch+flush+drain)",
+                n as u64,
+                millis,
+            )
+        });
+    }
+
+    // Long-running harness: the service_script churn, sequential vs
+    // batched, at the largest sweep size.
+    if let Some(&n) = cfg.sizes.last() {
+        let script = service_script(
+            &graph,
+            &ServiceConfig {
+                queries: n,
+                burst: cfg.harness_burst,
+                flush_every_bursts: 4,
+                solo_permille: 300,
+                seed: cfg.seed + 1,
+            },
+        );
+        for (series, batched, threads) in [
+            ("harness (sequential)", false, 1),
+            ("harness (batched, parallel)", true, 0),
+        ] {
+            let (millis, counters) =
+                drive_service_harness(clone_db(&db), &script, batched, threads);
+            rows.push(Row {
+                extra: Some(counters.answered),
+                counters: counters.as_row_counters(),
+                ..Row::new("fig_service", series, n as u64, millis)
+            });
+        }
     }
     rows
 }

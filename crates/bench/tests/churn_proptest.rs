@@ -5,6 +5,8 @@
 //! resident in-edges, component registry in sync), must reuse freed
 //! slots instead of growing the slot table, and must stay
 //! observationally identical between sequential and parallel flushes.
+//! Invariant failures surface as typed
+//! [`eq_core::InvariantViolation`]s, rendered into the panic message.
 
 use eq_core::engine::QueryOutcome;
 use eq_core::{CoordinationEngine, EngineConfig, EngineMode, FailReason};
@@ -51,15 +53,17 @@ fn drive(mut engine: CoordinationEngine, ops: &[ChurnOp]) -> (Vec<Option<QueryOu
             }
             ChurnOp::Flush => {
                 engine.flush();
-                engine
-                    .check_invariants()
-                    .expect("resident invariants after flush");
+                engine.check_invariants().unwrap_or_else(
+                    |violation: eq_core::InvariantViolation| {
+                        panic!("resident invariants after flush: {violation} ({violation:?})")
+                    },
+                );
             }
         }
     }
     engine
         .check_invariants()
-        .expect("final resident invariants");
+        .unwrap_or_else(|violation| panic!("final resident invariants: {violation}"));
     let capacity = engine.slot_capacity();
     (
         handles

@@ -1,13 +1,23 @@
-//! One-shot, set-at-a-time coordination over a fixed query set — the full
-//! pipeline of §4 glued together.
+//! One-shot, set-at-a-time coordination over a fixed query set.
+//!
+//! Since the `Coordinator` service redesign, [`coordinate()`] and
+//! [`coordinate_with_config()`] are thin wrappers over a throwaway
+//! [`Coordinator`] session: submit the whole set as one batch, flush
+//! once, classify the terminal statuses. Queries that stay pending
+//! after the single round — no partner, or sidelined by §3.1.1
+//! enforcement — are reported as rejected, which is what "one-shot"
+//! means.
 
-use crate::combine::{CombinedQuery, QueryAnswer};
-use crate::graph::MatchGraph;
-use crate::matching::{self, MatchStats};
+use crate::combine::QueryAnswer;
+use crate::engine::{
+    EngineConfig, EngineMode, FailReason, NoSolutionPolicy, QueryOutcome, QueryStatus,
+};
+use crate::error::CoordinationError;
+use crate::matching::MatchStats;
 use crate::safety::{self, SafetyPolicy};
-use crate::ucs;
+use crate::service::{Coordinator, SubmitRequest};
 use eq_db::{Database, DbError};
-use eq_ir::{EntangledQuery, FastMap, QueryId, ValidationError, VarGen};
+use eq_ir::{EntangledQuery, FastMap, FastSet, QueryId, ValidationError};
 use std::fmt;
 
 /// Why a query did not receive an answer in a coordination round.
@@ -87,7 +97,10 @@ pub enum CoordinateError {
     /// The workload was unsafe and the policy is
     /// [`SafetyPolicy::RejectAll`].
     UnsafeWorkload(Vec<safety::SafetyViolation>),
-    /// A combined query referenced an unknown relation or wrong arity.
+    /// A database-layer error. (Kept for API stability: since the
+    /// engine-backed rewrite, a combined query referencing an unknown
+    /// relation rejects its component's queries with
+    /// [`RejectReason::NoSolution`] instead of aborting the round.)
     Db(DbError),
 }
 
@@ -121,16 +134,22 @@ pub fn coordinate(
 
 /// Coordinates `queries` against `db`.
 ///
-/// Queries keep their ids if distinct and nonzero; otherwise they are
-/// assigned sequential ids (slot order). Variables are renamed apart
-/// internally, so callers may reuse variable numbers across queries.
+/// Queries keep their ids if distinct; otherwise they are assigned
+/// sequential ids (slot order). Variables are renamed apart internally,
+/// so callers may reuse variable numbers across queries.
+///
+/// This is a thin wrapper over a one-shot [`Coordinator`] session: the
+/// whole set is admitted as one batch, a single set-at-a-time flush
+/// runs, and terminal statuses are mapped back to the caller's ids.
+/// Queries left pending by the round are rejected — as
+/// [`RejectReason::Unsafe`] if §3.1.1 enforcement sidelined them, as
+/// [`RejectReason::Unmatched`] otherwise.
 pub fn coordinate_with_config(
     queries: &[EntangledQuery],
     db: &Database,
     config: CoordinateConfig,
 ) -> Result<CoordinationOutcome, CoordinateError> {
     let mut outcome = CoordinationOutcome::default();
-    let gen = VarGen::new();
 
     // Assign ids if the caller didn't.
     let ids_distinct = {
@@ -139,124 +158,116 @@ pub fn coordinate_with_config(
         ids.dedup();
         ids.len() == queries.len()
     };
-
-    // Validate and rename apart.
-    let mut admitted: Vec<EntangledQuery> = Vec::with_capacity(queries.len());
-    for (i, q) in queries.iter().enumerate() {
-        let id = if ids_distinct {
-            q.id
-        } else {
-            QueryId(i as u64)
-        };
-        match q.validate() {
-            Ok(()) => admitted.push(q.rename_apart(&gen).with_id(id)),
-            Err(e) => outcome.rejected.push((id, RejectReason::Invalid(e))),
-        }
-    }
-
-    let graph = MatchGraph::build(admitted);
-
-    // Safety (§3.1.1).
-    let mut alive = vec![true; graph.len()];
-    match config.safety {
-        SafetyPolicy::RejectAll => {
-            let vs = safety::violations(&graph);
-            if !vs.is_empty() {
-                return Err(CoordinateError::UnsafeWorkload(vs));
+    let caller_ids: Vec<QueryId> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if ids_distinct {
+                q.id
+            } else {
+                QueryId(i as u64)
             }
-        }
-        SafetyPolicy::RemoveOffending => {
-            for slot in safety::enforce(&graph, &mut alive) {
-                outcome
-                    .rejected
-                    .push((graph.queries()[slot as usize].id, RejectReason::Unsafe));
-            }
-        }
-    }
+        })
+        .collect();
 
-    // Partition (§4.1.2) and process each component.
-    for component in graph.components() {
-        let live_members: Vec<u32> = component
+    // A throwaway service over a snapshot of the database. The
+    // admission-time safety check stays off: one-shot semantics enforce
+    // §3.1.1 at matching time per the configured policy.
+    let coordinator = Coordinator::new(
+        db.snapshot(),
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            admission_safety_check: false,
+            evaluate_non_ucs: config.evaluate_non_ucs,
+            on_no_solution: NoSolutionPolicy::Reject,
+            flush_threads: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let mut session = coordinator.session();
+    let results = session.submit_batch(
+        queries
             .iter()
-            .copied()
-            .filter(|&m| alive[m as usize])
-            .collect();
-        if live_members.is_empty() {
-            continue;
-        }
-        outcome.component_count += 1;
-        process_component(&graph, &live_members, db, &config, &mut outcome)?;
-    }
-    Ok(outcome)
-}
+            .map(|q| SubmitRequest::new(q.clone()))
+            .collect(),
+    );
 
-fn process_component(
-    graph: &MatchGraph,
-    members: &[u32],
-    db: &Database,
-    config: &CoordinateConfig,
-    outcome: &mut CoordinationOutcome,
-) -> Result<(), CoordinateError> {
-    // UCS (§3.1.2) on the live members.
-    let mut alive_mask = vec![false; graph.len()];
-    for &m in members {
-        alive_mask[m as usize] = true;
-    }
-    if !config.evaluate_non_ucs {
-        let vs = ucs::violations(graph, &alive_mask);
-        if !vs.is_empty() {
-            for &m in members {
+    // Engine ids are internal; map them back to the caller's ids.
+    let mut to_caller: FastMap<QueryId, QueryId> = FastMap::default();
+    let mut handles = Vec::with_capacity(results.len());
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(handle) => {
+                to_caller.insert(handle.id, caller_ids[i]);
+                handles.push(Some(handle));
+            }
+            Err(CoordinationError::Invalid(e)) => {
                 outcome
                     .rejected
-                    .push((graph.queries()[m as usize].id, RejectReason::NonUcs));
+                    .push((caller_ids[i], RejectReason::Invalid(e)));
+                handles.push(None);
             }
-            return Ok(());
+            Err(_) => {
+                // Defensive: with the admission check off the engine
+                // refuses nothing else.
+                outcome.rejected.push((caller_ids[i], RejectReason::Unsafe));
+                handles.push(None);
+            }
         }
     }
 
-    // Matching (§4.1.3–4.1.4).
-    let m = matching::match_component(graph, members);
-    outcome.stats.dequeues += m.stats.dequeues;
-    outcome.stats.mgu_calls += m.stats.mgu_calls;
-    outcome.stats.cleanups += m.stats.cleanups;
-    for &slot in &m.removed {
-        outcome
-            .rejected
-            .push((graph.queries()[slot as usize].id, RejectReason::Unmatched));
-    }
-    if m.survivors.is_empty() {
-        return Ok(());
-    }
-    let Some(global) = m.global else {
-        // §4.2: global unifier does not exist — reject the component.
-        for &slot in &m.survivors {
-            outcome
-                .rejected
-                .push((graph.queries()[slot as usize].id, RejectReason::Unmatched));
+    // Safety (§3.1.1) per the configured policy, before the round runs.
+    let sidelined: FastSet<QueryId> = match config.safety {
+        SafetyPolicy::RejectAll => {
+            let mut violations = coordinator.safety_violations();
+            if !violations.is_empty() {
+                for v in &mut violations {
+                    if let Some(&caller) = to_caller.get(&v.query) {
+                        v.query = caller;
+                    }
+                }
+                return Err(CoordinateError::UnsafeWorkload(violations));
+            }
+            // A safe pool sidelines nothing; skip the enforcement scan.
+            FastSet::default()
         }
-        return Ok(());
+        SafetyPolicy::RemoveOffending => coordinator.safety_sidelined().into_iter().collect(),
     };
 
-    // Combined query (§4.2). All survivors share one choose count of 1
-    // for the core language; the multi-answer extension goes through
-    // `ext`.
-    let combined = CombinedQuery::build(graph, &m.survivors, &global);
-    let solutions = combined.evaluate(db, 1)?;
-    match solutions.into_iter().next() {
-        Some(answers) => {
-            for a in answers {
-                outcome.answers.insert(a.query, a);
+    let report = coordinator.flush();
+    outcome.stats = report.stats;
+    outcome.component_count = report.components;
+
+    // Classify terminal statuses back onto caller ids.
+    for (i, handle) in handles.iter().enumerate() {
+        let Some(handle) = handle else { continue };
+        let caller_id = caller_ids[i];
+        match coordinator.status(handle.id) {
+            Some(QueryStatus::Answered) => {
+                if let Ok(QueryOutcome::Answered(mut answer)) = handle.outcome.try_recv() {
+                    answer.query = caller_id;
+                    outcome.answers.insert(caller_id, answer);
+                }
             }
-        }
-        None => {
-            for &slot in &m.survivors {
-                outcome
-                    .rejected
-                    .push((graph.queries()[slot as usize].id, RejectReason::NoSolution));
+            Some(QueryStatus::Failed(FailReason::Rejected(reason))) => {
+                outcome.rejected.push((caller_id, reason));
+            }
+            Some(QueryStatus::Failed(_)) => {
+                // No staleness or cancellation exists in a one-shot
+                // round; defensive fallback.
+                outcome.rejected.push((caller_id, RejectReason::Unmatched));
+            }
+            Some(QueryStatus::Pending) | None => {
+                let reason = if sidelined.contains(&handle.id) {
+                    RejectReason::Unsafe
+                } else {
+                    RejectReason::Unmatched
+                };
+                outcome.rejected.push((caller_id, reason));
             }
         }
     }
-    Ok(())
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -32,16 +32,19 @@
 
 use crate::combine::{CombinedQuery, QueryAnswer};
 use crate::coordinate::RejectReason;
+use crate::error::InvariantViolation;
 use crate::graph::{Edge, MatchView};
-use crate::index::{AtomRef, ShardedAtomIndex};
+use crate::index::{AtomIndex, AtomRef, ShardedAtomIndex};
 use crate::matching::{self, MatchStats};
 use crate::resident::ResidentGraph;
-use crate::safety;
+use crate::safety::{self, SafetyViolation};
 use crate::ucs;
 use eq_db::Database;
 use eq_ir::{EntangledQuery, FastMap, FastSet, QueryId, ValidationError, VarGen};
+use eq_unify::Unifier;
 use parking_lot::RwLock;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -179,6 +182,25 @@ pub enum SubmitError {
     Unsafe,
 }
 
+/// Per-query submission options, overriding the engine-wide
+/// [`EngineConfig`] knobs for one query. The `Coordinator` service's
+/// `SubmitRequest` builder produces these; engine users can pass them
+/// directly through [`CoordinationEngine::submit_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Absolute deadline: if the query is still pending when this
+    /// instant passes, it is failed as [`FailReason::Stale`] at the next
+    /// staleness sweep — independent of (and in addition to) the
+    /// engine-wide `staleness` bound.
+    pub deadline: Option<Instant>,
+    /// Per-query no-solution policy; `None` uses
+    /// [`EngineConfig::on_no_solution`]. When a matched component's
+    /// combined query has no database solution, members with an
+    /// effective [`NoSolutionPolicy::Reject`] are failed and members
+    /// with [`NoSolutionPolicy::KeepPending`] stay pending for a retry.
+    pub on_no_solution: Option<NoSolutionPolicy>,
+}
+
 /// Summary of one flush (or one incremental trigger).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchReport {
@@ -206,6 +228,45 @@ struct PendingQuery {
     /// (admission-time bookkeeping for the safety check; equals the
     /// resident graph's in-edge count per postcondition).
     pc_satisfiers: Vec<u32>,
+    /// Per-query no-solution policy override (see [`SubmitOptions`]).
+    on_no_solution: Option<NoSolutionPolicy>,
+}
+
+/// A unifiability edge discovered by admission probing before the
+/// submitting query has a slot: `local_atom` indexes into the new
+/// query's head (outgoing) or postcondition list (incoming), `partner`
+/// is an already-resident slot.
+struct ProbedEdge {
+    /// True: new head → partner postcondition; false: partner head →
+    /// new postcondition.
+    outgoing: bool,
+    local_atom: u32,
+    partner: u32,
+    partner_atom: u32,
+    mgu: Unifier,
+}
+
+/// An intra-batch candidate edge discovered by
+/// [`CoordinationEngine::submit_batch`]'s parallel probing phase: the
+/// head of the probe's owner satisfies the postcondition `pc_idx` of
+/// batch position `to` (a position, not a slot — neither endpoint is
+/// admitted yet when the probe runs).
+struct BatchEdge {
+    head_idx: u32,
+    to: usize,
+    pc_idx: u32,
+    mgu: Unifier,
+}
+
+/// Per-query result of the parallel admission-probing phase. Each
+/// `batch_out` entry is consumed (`take`n) exactly once, when the later
+/// of its two endpoints is admitted.
+struct BatchProbe {
+    /// Edges against the pre-batch resident pool.
+    resident: Vec<ProbedEdge>,
+    /// Candidate edges from this query's heads to other batch members'
+    /// postconditions (MGU-verified; admission-filtered later).
+    batch_out: Vec<Option<BatchEdge>>,
 }
 
 /// Immutable view over the engine's resident match state: the slot
@@ -264,10 +325,17 @@ pub struct CoordinationEngine {
     resident: ResidentGraph,
     /// Submission order for staleness sweeps.
     age_queue: VecDeque<(Instant, QueryId)>,
+    /// Per-query deadlines ([`SubmitOptions::deadline`]), earliest
+    /// first. Entries for already-retired queries are skipped lazily.
+    deadlines: BinaryHeap<Reverse<(Instant, QueryId)>>,
     submissions_since_flush: usize,
     /// Database revision seen by the last flush; a change marks every
     /// component dirty (kept-pending components may now be answerable).
     flushed_db_revision: u64,
+    /// When enabled, every terminal transition is also appended here so
+    /// a service layer can push events instead of polling per-query
+    /// handles. `None` (the default) records nothing.
+    outcome_log: Option<Vec<(QueryId, QueryOutcome)>>,
 }
 
 impl CoordinationEngine {
@@ -287,8 +355,36 @@ impl CoordinationEngine {
             pc_index: ShardedAtomIndex::default(),
             resident: ResidentGraph::new(),
             age_queue: VecDeque::new(),
+            deadlines: BinaryHeap::new(),
             submissions_since_flush: 0,
             flushed_db_revision: revision,
+            outcome_log: None,
+        }
+    }
+
+    /// Turns recording of terminal transitions (answer, rejection,
+    /// expiry, cancellation) into an internal log — drained by
+    /// [`CoordinationEngine::drain_outcome_log`] — on or off. The
+    /// `Coordinator` service enables this while it has event
+    /// subscribers and disables it again when the last one hangs up,
+    /// so retirements only pay for outcome clones when somebody is
+    /// listening. Disabling drops any undrained entries.
+    pub fn set_outcome_log(&mut self, enabled: bool) {
+        if enabled {
+            if self.outcome_log.is_none() {
+                self.outcome_log = Some(Vec::new());
+            }
+        } else {
+            self.outcome_log = None;
+        }
+    }
+
+    /// Takes all terminal outcomes recorded since the last drain, in
+    /// retirement order. Empty if the log was never enabled.
+    pub fn drain_outcome_log(&mut self) -> Vec<(QueryId, QueryOutcome)> {
+        match self.outcome_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 
@@ -308,10 +404,21 @@ impl CoordinationEngine {
         self.statuses.get(&id)
     }
 
-    /// Submits a query. Returns a handle delivering the terminal
-    /// outcome; in incremental mode coordination is attempted before
-    /// this returns, so the handle may already hold the outcome.
+    /// Submits a query with default [`SubmitOptions`]. Returns a handle
+    /// delivering the terminal outcome; in incremental mode
+    /// coordination is attempted before this returns, so the handle may
+    /// already hold the outcome.
     pub fn submit(&mut self, query: EntangledQuery) -> Result<QueryHandle, SubmitError> {
+        self.submit_with(query, SubmitOptions::default())
+    }
+
+    /// Submits a query with per-query options (deadline, no-solution
+    /// policy). See [`CoordinationEngine::submit`].
+    pub fn submit_with(
+        &mut self,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+    ) -> Result<QueryHandle, SubmitError> {
         query.validate().map_err(SubmitError::Invalid)?;
         self.expire_stale();
 
@@ -323,94 +430,14 @@ impl CoordinationEngine {
         }
         self.next_id += 1;
 
-        let (tx, rx) = sync_channel(1);
-        let slot = self.allocate_slot();
-        let now = Instant::now();
-
-        // Discover unifiability edges through the sharded atom indexes,
-        // computing each MGU exactly once — the unifier is kept on the
-        // resident edge and reused by every future matching run over
-        // this component.
-        let mut edges: Vec<Edge> = Vec::new();
-        for (ai, atom) in renamed.head.iter().enumerate() {
-            // Existing postconditions this head satisfies.
-            self.pc_index.for_each_candidate(atom, |cand, pc| {
-                if cand.query == slot {
-                    return;
-                }
-                if let Some(mgu) = eq_unify::mgu_atoms(atom, pc) {
-                    edges.push(Edge {
-                        from: slot,
-                        head_idx: ai as u32,
-                        to: cand.query,
-                        pc_idx: cand.atom,
-                        mgu,
-                    });
-                }
-            });
-        }
-        for (ai, atom) in renamed.postconditions.iter().enumerate() {
-            // Existing heads satisfying this postcondition.
-            self.head_index.for_each_candidate(atom, |cand, head| {
-                if cand.query == slot {
-                    return;
-                }
-                if let Some(mgu) = eq_unify::mgu_atoms(head, atom) {
-                    edges.push(Edge {
-                        from: cand.query,
-                        head_idx: cand.atom,
-                        to: slot,
-                        pc_idx: ai as u32,
-                        mgu,
-                    });
-                }
-            });
-        }
-
-        // Satisfier counters follow the discovered edges.
-        let mut pc_satisfiers = vec![0u32; renamed.pc_count()];
+        let probed = self.probe_resident(&renamed);
         let mut partners: FastSet<u32> = FastSet::default();
-        for e in &edges {
-            if e.from == slot {
-                partners.insert(e.to);
-                if let Some(p) = self.slots[e.to as usize].as_mut() {
-                    p.pc_satisfiers[e.pc_idx as usize] += 1;
-                }
-            } else {
-                partners.insert(e.from);
-                pc_satisfiers[e.pc_idx as usize] += 1;
-            }
+        for e in &probed {
+            partners.insert(e.partner);
         }
-
-        // Index the new query's atoms and link it into the resident
-        // graph (merging partner components, marking the result dirty).
-        for (ai, atom) in renamed.head.iter().enumerate() {
-            self.head_index.insert(
-                AtomRef {
-                    query: slot,
-                    atom: ai as u32,
-                },
-                atom,
-            );
-        }
-        for (ai, atom) in renamed.postconditions.iter().enumerate() {
-            self.pc_index.insert(
-                AtomRef {
-                    query: slot,
-                    atom: ai as u32,
-                },
-                atom,
-            );
-        }
-        self.slots[slot as usize] = Some(PendingQuery {
-            query: renamed,
-            sender: tx,
-            pc_satisfiers,
-        });
-        self.resident.link(slot, edges);
-        self.by_id.insert(id, slot);
-        self.statuses.insert(id, QueryStatus::Pending);
-        self.age_queue.push_back((now, id));
+        let slot = self.allocate_slot();
+        let edges = materialize_edges(slot, probed);
+        let handle = self.admit_at(slot, renamed, edges, opts);
 
         match self.config.mode {
             EngineMode::Incremental => {
@@ -442,7 +469,440 @@ impl CoordinationEngine {
             }
         }
 
-        Ok(QueryHandle { id, outcome: rx })
+        Ok(handle)
+    }
+
+    /// Discovers unifiability edges between a (renamed) incoming query
+    /// and the resident pool through the sharded atom indexes, computing
+    /// each MGU exactly once — the unifier is kept on the resident edge
+    /// and reused by every future matching run over its component.
+    /// Read-only: [`CoordinationEngine::submit_batch`] runs this phase
+    /// for many queries in parallel, each probe touching only the
+    /// shards its atoms hash to.
+    fn probe_resident(&self, renamed: &EntangledQuery) -> Vec<ProbedEdge> {
+        let mut probed = Vec::new();
+        for (ai, atom) in renamed.head.iter().enumerate() {
+            // Existing postconditions this head satisfies.
+            self.pc_index.for_each_candidate(atom, |cand, pc| {
+                if let Some(mgu) = eq_unify::mgu_atoms(atom, pc) {
+                    probed.push(ProbedEdge {
+                        outgoing: true,
+                        local_atom: ai as u32,
+                        partner: cand.query,
+                        partner_atom: cand.atom,
+                        mgu,
+                    });
+                }
+            });
+        }
+        for (ai, atom) in renamed.postconditions.iter().enumerate() {
+            // Existing heads satisfying this postcondition.
+            self.head_index.for_each_candidate(atom, |cand, head| {
+                if let Some(mgu) = eq_unify::mgu_atoms(head, atom) {
+                    probed.push(ProbedEdge {
+                        outgoing: false,
+                        local_atom: ai as u32,
+                        partner: cand.query,
+                        partner_atom: cand.atom,
+                        mgu,
+                    });
+                }
+            });
+        }
+        probed
+    }
+
+    /// Installs an admitted query at `slot`: satisfier bookkeeping,
+    /// atom indexing, resident-graph linking (merging partner
+    /// components and marking the result dirty), id/status/staleness
+    /// registration. `edges` must already use real slots at both
+    /// endpoints.
+    fn admit_at(
+        &mut self,
+        slot: u32,
+        renamed: EntangledQuery,
+        edges: Vec<Edge>,
+        opts: SubmitOptions,
+    ) -> QueryHandle {
+        let id = renamed.id;
+        let (tx, rx) = sync_channel(1);
+        let now = Instant::now();
+
+        // Satisfier counters follow the discovered edges.
+        let mut pc_satisfiers = vec![0u32; renamed.pc_count()];
+        for e in &edges {
+            if e.from == slot {
+                if let Some(p) = self.slots[e.to as usize].as_mut() {
+                    p.pc_satisfiers[e.pc_idx as usize] += 1;
+                }
+            } else {
+                pc_satisfiers[e.pc_idx as usize] += 1;
+            }
+        }
+
+        for (ai, atom) in renamed.head.iter().enumerate() {
+            self.head_index.insert(
+                AtomRef {
+                    query: slot,
+                    atom: ai as u32,
+                },
+                atom,
+            );
+        }
+        for (ai, atom) in renamed.postconditions.iter().enumerate() {
+            self.pc_index.insert(
+                AtomRef {
+                    query: slot,
+                    atom: ai as u32,
+                },
+                atom,
+            );
+        }
+        self.slots[slot as usize] = Some(PendingQuery {
+            query: renamed,
+            sender: tx,
+            pc_satisfiers,
+            on_no_solution: opts.on_no_solution,
+        });
+        self.resident.link(slot, edges);
+        self.by_id.insert(id, slot);
+        self.statuses.insert(id, QueryStatus::Pending);
+        self.age_queue.push_back((now, id));
+        if let Some(deadline) = opts.deadline {
+            self.deadlines.push(Reverse((deadline, id)));
+        }
+        QueryHandle { id, outcome: rx }
+    }
+
+    /// Submits a batch of queries, running the expensive admission work
+    /// — index probing and MGU computation against both the resident
+    /// pool and the rest of the batch — **in parallel** on the flush
+    /// worker pool ([`EngineConfig::flush_threads`]; the sharded atom
+    /// indexes make the probes read-disjoint per `(relation, arity)`
+    /// shard). A cheap sequential pass then replays admission in
+    /// submission order, so ids, safety decisions, and linked edges are
+    /// the same as `n` individual [`CoordinationEngine::submit`] calls
+    /// would produce.
+    ///
+    /// Differences from sequential submission, by design:
+    ///
+    /// * evaluation is deferred to the end of the batch — in
+    ///   incremental mode every component the batch dirtied is
+    ///   evaluated once after all admissions (so intra-batch arrivals
+    ///   never race retirements), with components above
+    ///   [`EngineConfig::incremental_partition_limit`] left pending and
+    ///   dirty for an explicit [`CoordinationEngine::flush`] (sequential
+    ///   submission eager-pairs those instead); in set-at-a-time mode
+    ///   the auto-flush threshold is checked once after the batch;
+    /// * the staleness sweep runs once, up front.
+    ///
+    /// With `SetAtATime { batch_size: 0 }`, `submit_batch` followed by
+    /// [`CoordinationEngine::flush`] is observationally equivalent to
+    /// sequential submits followed by `flush` (same admission results,
+    /// same terminal statuses) — property-tested in the bench crate.
+    pub fn submit_batch(
+        &mut self,
+        batch: Vec<(EntangledQuery, SubmitOptions)>,
+    ) -> Vec<Result<QueryHandle, SubmitError>> {
+        self.expire_stale();
+        let n = batch.len();
+
+        // Sequential prepass: validate and rename in submission order,
+        // so fresh variables are drawn exactly as sequential submits
+        // would draw them.
+        let mut opts_v: Vec<SubmitOptions> = Vec::with_capacity(n);
+        let mut prepared: Vec<Result<EntangledQuery, ValidationError>> = Vec::with_capacity(n);
+        for (query, opts) in batch {
+            opts_v.push(opts);
+            match query.validate() {
+                Ok(()) => prepared.push(Ok(query.rename_apart(&self.gen))),
+                Err(e) => prepared.push(Err(e)),
+            }
+        }
+
+        // Batch-local postcondition index: the probe target for
+        // intra-batch edge discovery. Building it is hashing only (no
+        // MGU work); the MGU-heavy probes against it run in phase A.
+        let mut batch_pcs = AtomIndex::new();
+        for (k, prep) in prepared.iter().enumerate() {
+            if let Ok(q) = prep {
+                for (ai, atom) in q.postconditions.iter().enumerate() {
+                    batch_pcs.insert(
+                        AtomRef {
+                            query: k as u32,
+                            atom: ai as u32,
+                        },
+                        atom,
+                    );
+                }
+            }
+        }
+
+        // Phase A (parallel, read-only): per query, discover edges
+        // against the pre-batch resident pool and candidate edges
+        // against the rest of the batch.
+        let mut probes = self.probe_batch(&prepared, &batch_pcs);
+
+        // Incoming intra-batch candidates per target: (source batch
+        // position, index into its batch_out list).
+        let mut batch_in: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (k, probe) in probes.iter().enumerate() {
+            if let Some(p) = probe {
+                for (i, e) in p.batch_out.iter().enumerate() {
+                    if let Some(e) = e {
+                        batch_in[e.to].push((k, i));
+                    }
+                }
+            }
+        }
+
+        // Phase B (sequential, submission order): replay admission —
+        // id assignment, safety decisions against residents + admitted
+        // batch members, slot allocation, linking. All MGUs were
+        // computed in phase A; this pass is counters and hash inserts.
+        let mut results: Vec<Result<QueryHandle, SubmitError>> = Vec::with_capacity(n);
+        let mut admitted_slot: Vec<Option<u32>> = vec![None; n];
+        let mut admitted_count = 0usize;
+        for k in 0..n {
+            // The placeholder is never read back: each entry is
+            // consumed exactly once, in this iteration.
+            let renamed = match std::mem::replace(&mut prepared[k], Err(ValidationError::EmptyHead))
+            {
+                Ok(q) => q,
+                Err(e) => {
+                    results.push(Err(SubmitError::Invalid(e)));
+                    continue;
+                }
+            };
+            let probe = probes[k].take().expect("valid queries were probed");
+
+            if self.config.admission_safety_check
+                && self.batch_is_unsafe(&renamed, &probe, &batch_in[k], &probes, &admitted_slot)
+            {
+                results.push(Err(SubmitError::Unsafe));
+                continue;
+            }
+
+            let id = QueryId(self.next_id);
+            self.next_id += 1;
+            let slot = self.allocate_slot();
+            let mut edges = materialize_edges(slot, probe.resident);
+            // Edges from earlier-admitted batch members into this query.
+            for &(src, i) in &batch_in[k] {
+                let Some(from_slot) = admitted_slot[src] else {
+                    continue;
+                };
+                let e = probes[src]
+                    .as_mut()
+                    .and_then(|p| p.batch_out[i].take())
+                    .expect("intra-batch edge consumed once");
+                edges.push(Edge {
+                    from: from_slot,
+                    head_idx: e.head_idx,
+                    to: slot,
+                    pc_idx: e.pc_idx,
+                    mgu: e.mgu,
+                });
+            }
+            // Edges from this query to earlier-admitted batch members.
+            let mut batch_out = probe.batch_out;
+            for e in batch_out.iter_mut() {
+                let Some(to_slot) = e.as_ref().and_then(|e| admitted_slot[e.to]) else {
+                    continue;
+                };
+                let e = e.take().expect("checked above");
+                edges.push(Edge {
+                    from: slot,
+                    head_idx: e.head_idx,
+                    to: to_slot,
+                    pc_idx: e.pc_idx,
+                    mgu: e.mgu,
+                });
+            }
+            // Remaining candidates target later batch members; they are
+            // consumed from `batch_in` when those members admit.
+            probes[k] = Some(BatchProbe {
+                resident: Vec::new(),
+                batch_out,
+            });
+
+            results.push(Ok(self.admit_at(
+                slot,
+                renamed.with_id(id),
+                edges,
+                opts_v[k],
+            )));
+            admitted_slot[k] = Some(slot);
+            admitted_count += 1;
+        }
+
+        // Evaluation epilogue, once for the whole batch.
+        match self.config.mode {
+            EngineMode::Incremental => {
+                // Batched incremental: evaluate the components the
+                // batch dirtied, respecting the partition limit —
+                // oversized components stay pending *and dirty* (an
+                // explicit flush picks them up) instead of triggering
+                // the Figure-8 giant-cluster blow-up that sequential
+                // submission's eager-pair fallback caps.
+                let limit = self.config.incremental_partition_limit;
+                let groups = self.resident.take_dirty();
+                let (bounded, oversized): (Vec<_>, Vec<_>) =
+                    groups.into_iter().partition(|g| g.len() <= limit);
+                self.process_groups(&bounded);
+                for group in oversized {
+                    if let Some(&slot) = group.first() {
+                        self.resident.mark_dirty(slot);
+                    }
+                }
+            }
+            EngineMode::SetAtATime { batch_size } => {
+                self.submissions_since_flush += admitted_count;
+                if batch_size > 0 && self.submissions_since_flush >= batch_size {
+                    self.flush();
+                }
+            }
+        }
+        results
+    }
+
+    /// Phase A of [`CoordinationEngine::submit_batch`]: probe the
+    /// resident indexes and the batch-local postcondition index for
+    /// every valid query, on the flush worker pool. Read-only over the
+    /// engine; workers claim queries from a shared atomic cursor.
+    fn probe_batch(
+        &self,
+        prepared: &[Result<EntangledQuery, ValidationError>],
+        batch_pcs: &AtomIndex,
+    ) -> Vec<Option<BatchProbe>> {
+        let work: Vec<usize> = prepared
+            .iter()
+            .enumerate()
+            .filter_map(|(k, p)| p.is_ok().then_some(k))
+            .collect();
+        let probe_one = |k: usize| -> BatchProbe {
+            let q = prepared[k].as_ref().expect("work items are valid");
+            let resident = self.probe_resident(q);
+            let mut batch_out = Vec::new();
+            for (ai, atom) in q.head.iter().enumerate() {
+                batch_pcs.for_each_candidate(atom, |cand, pc| {
+                    if cand.query as usize == k {
+                        return; // no self-coordination
+                    }
+                    if let Some(mgu) = eq_unify::mgu_atoms(atom, pc) {
+                        batch_out.push(Some(BatchEdge {
+                            head_idx: ai as u32,
+                            to: cand.query as usize,
+                            pc_idx: cand.atom,
+                            mgu,
+                        }));
+                    }
+                });
+            }
+            BatchProbe {
+                resident,
+                batch_out,
+            }
+        };
+
+        let mut out: Vec<Option<BatchProbe>> = Vec::with_capacity(prepared.len());
+        out.resize_with(prepared.len(), || None);
+        let threads = self.config.effective_flush_threads().min(work.len().max(1));
+        if threads <= 1 {
+            for &k in &work {
+                out[k] = Some(probe_one(k));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let next = &next;
+                        let work = &work;
+                        let probe_one = &probe_one;
+                        scope.spawn(move || {
+                            let mut produced = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&k) = work.get(i) else {
+                                    break;
+                                };
+                                produced.push((k, probe_one(k)));
+                            }
+                            produced
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (k, p) in h.join().expect("admission worker panicked") {
+                        out[k] = Some(p);
+                    }
+                }
+            });
+        }
+        out
+    }
+
+    /// The admission safety check of [`CoordinationEngine::submit_batch`]'s
+    /// sequential pass, equivalent to
+    /// [`CoordinationEngine::check_admission_safety`] run at this
+    /// query's position in submission order: heads of residents and of
+    /// *earlier-admitted* batch members count, with all MGU work
+    /// already done in phase A.
+    fn batch_is_unsafe(
+        &self,
+        renamed: &EntangledQuery,
+        probe: &BatchProbe,
+        incoming: &[(usize, usize)],
+        probes: &[Option<BatchProbe>],
+        admitted_slot: &[Option<u32>],
+    ) -> bool {
+        // Each of the query's postconditions must unify with at most
+        // one live head (residents are all still live during admission;
+        // batch heads count once their owner is admitted).
+        let mut hits = vec![0u32; renamed.pc_count()];
+        for e in &probe.resident {
+            if !e.outgoing {
+                hits[e.local_atom as usize] += 1;
+            }
+        }
+        for &(src, i) in incoming {
+            if admitted_slot[src].is_some() {
+                let e = probes[src]
+                    .as_ref()
+                    .and_then(|p| p.batch_out[i].as_ref())
+                    .expect("unconsumed candidate");
+                hits[e.pc_idx as usize] += 1;
+            }
+        }
+        if hits.iter().any(|&h| h >= 2) {
+            return true;
+        }
+        // Each of the query's heads must not give a live postcondition
+        // a second satisfier. `pc_satisfiers` counters are kept current
+        // by `admit_at` as earlier batch members link in.
+        for e in &probe.resident {
+            if e.outgoing {
+                let owner = self.slots[e.partner as usize]
+                    .as_ref()
+                    .expect("resident slot live during admission");
+                if owner.pc_satisfiers[e.partner_atom as usize] >= 1 {
+                    return true;
+                }
+            }
+        }
+        for e in probe.batch_out.iter().flatten() {
+            let Some(to_slot) = admitted_slot[e.to] else {
+                continue;
+            };
+            let owner = self.slots[to_slot as usize]
+                .as_ref()
+                .expect("admitted batch slot live");
+            if owner.pc_satisfiers[e.pc_idx as usize] >= 1 {
+                return true;
+            }
+        }
+        false
     }
 
     /// Admission safety check (Figure 9): reject the query if admitting
@@ -487,22 +947,35 @@ impl CoordinationEngine {
         Ok(())
     }
 
-    /// Fails and removes every pending query older than the staleness
-    /// bound.
+    /// Fails and removes every pending query older than the engine-wide
+    /// staleness bound, plus every pending query whose per-query
+    /// deadline ([`SubmitOptions::deadline`]) has passed.
     pub fn expire_stale(&mut self) -> usize {
-        let Some(bound) = self.config.staleness else {
-            return 0;
-        };
         let now = Instant::now();
         let mut expired = 0;
-        while let Some(&(t, id)) = self.age_queue.front() {
-            if now.duration_since(t) < bound {
+        // Per-query deadlines, earliest first. Entries for queries that
+        // already retired for other reasons are skipped lazily.
+        while let Some(&Reverse((t, id))) = self.deadlines.peek() {
+            if t > now {
                 break;
             }
-            self.age_queue.pop_front();
+            self.deadlines.pop();
             if let Some(&slot) = self.by_id.get(&id) {
                 self.retire(slot, Err(FailReason::Stale));
                 expired += 1;
+            }
+        }
+        // Engine-wide staleness over the submission-order queue.
+        if let Some(bound) = self.config.staleness {
+            while let Some(&(t, id)) = self.age_queue.front() {
+                if now.duration_since(t) < bound {
+                    break;
+                }
+                self.age_queue.pop_front();
+                if let Some(&slot) = self.by_id.get(&id) {
+                    self.retire(slot, Err(FailReason::Stale));
+                    expired += 1;
+                }
             }
         }
         expired
@@ -600,10 +1073,18 @@ impl CoordinationEngine {
                         return;
                     }
                     None => {
-                        if self.config.on_no_solution == NoSolutionPolicy::Reject {
-                            for &s in &members {
+                        // Per-member no-solution policy: members with
+                        // an effective Reject are failed, KeepPending
+                        // members stay and (if the new query survived)
+                        // the next partner is tried.
+                        let mut new_query_retired = false;
+                        for &s in &members {
+                            if self.effective_no_solution(s) == NoSolutionPolicy::Reject {
                                 self.retire(s, Err(FailReason::Rejected(RejectReason::NoSolution)));
+                                new_query_retired |= s == slot;
                             }
+                        }
+                        if new_query_retired {
                             return;
                         }
                         // KeepPending: try the next partner.
@@ -687,10 +1168,29 @@ impl CoordinationEngine {
                 self.retire(slot, Err(FailReason::Rejected(reason)));
                 report.failed += 1;
             }
+            // A matched component without a database solution: apply
+            // each member's effective no-solution policy — Reject
+            // members fail, KeepPending members stay for a retry when
+            // their component or the database changes.
+            for slot in outcome.no_solution {
+                if self.effective_no_solution(slot) == NoSolutionPolicy::Reject {
+                    self.retire(slot, Err(FailReason::Rejected(RejectReason::NoSolution)));
+                    report.failed += 1;
+                }
+            }
             // Unmatched stay pending.
         }
         report.pending = self.pending_count();
         report
+    }
+
+    /// The no-solution policy in force for a live slot: its per-query
+    /// override, or the engine-wide default.
+    fn effective_no_solution(&self, slot: u32) -> NoSolutionPolicy {
+        self.slots[slot as usize]
+            .as_ref()
+            .and_then(|p| p.on_no_solution)
+            .unwrap_or(self.config.on_no_solution)
     }
 
     fn allocate_slot(&mut self) -> u32 {
@@ -748,6 +1248,9 @@ impl CoordinationEngine {
             ),
         };
         self.statuses.insert(id, status);
+        if let Some(log) = self.outcome_log.as_mut() {
+            log.push((id, message.clone()));
+        }
         let _ = pending.sender.try_send(message);
     }
 
@@ -755,15 +1258,19 @@ impl CoordinationEngine {
     /// debugging: the resident graph is internally consistent, the atom
     /// indexes hold exactly the live slots' atoms (no dangling
     /// [`AtomRef`]s after slot reuse), satisfier counters agree with the
-    /// resident in-edges, and id/slot maps line up.
-    pub fn check_invariants(&self) -> Result<(), String> {
-        self.resident.check_invariants()?;
+    /// resident in-edges, and id/slot maps line up. Violations are
+    /// typed ([`InvariantViolation`]) and fold into
+    /// [`crate::CoordinationError`].
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.resident
+            .check_invariants()
+            .map_err(InvariantViolation::Resident)?;
         let mut live_heads = 0usize;
         let mut live_pcs = 0usize;
         for (slot, entry) in self.slots.iter().enumerate() {
             let Some(p) = entry else { continue };
             if self.by_id.get(&p.query.id) != Some(&(slot as u32)) {
-                return Err(format!("by_id out of sync for slot {slot}"));
+                return Err(InvariantViolation::IdMapMismatch { slot: slot as u32 });
             }
             live_heads += p.query.head.len();
             live_pcs += p.query.postconditions.len();
@@ -773,7 +1280,10 @@ impl CoordinationEngine {
                     atom: ai as u32,
                 };
                 if self.head_index.get(r) != Some(atom) {
-                    return Err(format!("head {slot}/{ai} missing from index"));
+                    return Err(InvariantViolation::MissingHeadAtom {
+                        slot: slot as u32,
+                        atom: ai as u32,
+                    });
                 }
             }
             for (ai, atom) in p.query.postconditions.iter().enumerate() {
@@ -782,7 +1292,10 @@ impl CoordinationEngine {
                     atom: ai as u32,
                 };
                 if self.pc_index.get(r) != Some(atom) {
-                    return Err(format!("pc {slot}/{ai} missing from index"));
+                    return Err(InvariantViolation::MissingPcAtom {
+                        slot: slot as u32,
+                        atom: ai as u32,
+                    });
                 }
             }
             // Satisfier counters equal resident in-edge counts per pc.
@@ -793,28 +1306,97 @@ impl CoordinationEngine {
                 }
             }
             if counts != p.pc_satisfiers {
-                return Err(format!(
-                    "pc_satisfiers out of sync for slot {slot}: {:?} vs in-edges {:?}",
-                    p.pc_satisfiers, counts
-                ));
+                return Err(InvariantViolation::SatisfierDrift {
+                    slot: slot as u32,
+                    counters: p.pc_satisfiers.clone(),
+                    in_edges: counts,
+                });
             }
         }
         if self.head_index.len() != live_heads {
-            return Err(format!(
-                "head index holds {} atoms, live slots have {live_heads}",
-                self.head_index.len()
-            ));
+            return Err(InvariantViolation::IndexSizeMismatch {
+                index: "head",
+                indexed: self.head_index.len(),
+                live: live_heads,
+            });
         }
         if self.pc_index.len() != live_pcs {
-            return Err(format!(
-                "pc index holds {} atoms, live slots have {live_pcs}",
-                self.pc_index.len()
-            ));
+            return Err(InvariantViolation::IndexSizeMismatch {
+                index: "postcondition",
+                indexed: self.pc_index.len(),
+                live: live_pcs,
+            });
         }
-        if self.by_id.len() != self.slots.iter().filter(|s| s.is_some()).count() {
-            return Err("by_id size != live slot count".to_owned());
+        let live = self.slots.iter().filter(|s| s.is_some()).count();
+        if self.by_id.len() != live {
+            return Err(InvariantViolation::IdMapSizeMismatch {
+                ids: self.by_id.len(),
+                live,
+            });
         }
         Ok(())
+    }
+
+    /// The live pending slots grouped into resident components, each
+    /// group sorted, groups ordered by smallest slot. (Groups may be
+    /// coarser than true connectivity while a component split is
+    /// pending resolution; safety analysis is grouping-insensitive.)
+    fn live_component_groups(&self) -> Vec<Vec<u32>> {
+        let snapshot = self.resident.components_snapshot();
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut seen: FastSet<u32> = FastSet::default();
+        let mut roots: Vec<u32> = snapshot.keys().copied().collect();
+        roots.sort_unstable();
+        for slot in roots {
+            if seen.contains(&slot) {
+                continue;
+            }
+            let members = snapshot[&slot].clone();
+            for &m in &members {
+                seen.insert(m);
+            }
+            groups.push(members);
+        }
+        groups
+    }
+
+    /// Scans the pending pool for §3.1.1 safety violations — any
+    /// postcondition with two or more unifying live heads — without
+    /// mutating anything. Used by strict one-shot coordination
+    /// ([`crate::coordinate_with_config`] under
+    /// [`safety::SafetyPolicy::RejectAll`]).
+    pub fn safety_violations(&self) -> Vec<SafetyViolation> {
+        let view = ResidentView {
+            slots: &self.slots,
+            graph: &self.resident,
+        };
+        let mut out = Vec::new();
+        for group in self.live_component_groups() {
+            out.extend(safety::violations_members(&view, &group));
+        }
+        out.sort_by_key(|v| (v.slot, v.pc_idx));
+        out
+    }
+
+    /// The queries that §3.1.1 enforcement would sideline if a flush
+    /// ran now: per component, the removal fixpoint over ambiguous
+    /// postconditions. These queries stay pending through flushes until
+    /// their ambiguity resolves; one-shot coordination reports them as
+    /// `Unsafe`-rejected.
+    pub fn safety_sidelined(&self) -> Vec<QueryId> {
+        let view = ResidentView {
+            slots: &self.slots,
+            graph: &self.resident,
+        };
+        let mut out = Vec::new();
+        for group in self.live_component_groups() {
+            for slot in safety::enforce_members(&view, &group) {
+                if let Some(p) = self.slots[slot as usize].as_ref() {
+                    out.push(p.query.id);
+                }
+            }
+        }
+        out
     }
 
     /// Number of slot positions ever allocated (reuse means this stays
@@ -845,6 +1427,34 @@ impl EngineConfig {
             n => n,
         }
     }
+}
+
+/// Converts probed edges into resident [`Edge`]s once the submitting
+/// query's slot is known, preserving probe order (heads before
+/// postconditions — the order sequential submission links in).
+fn materialize_edges(slot: u32, probed: Vec<ProbedEdge>) -> Vec<Edge> {
+    probed
+        .into_iter()
+        .map(|e| {
+            if e.outgoing {
+                Edge {
+                    from: slot,
+                    head_idx: e.local_atom,
+                    to: e.partner,
+                    pc_idx: e.partner_atom,
+                    mgu: e.mgu,
+                }
+            } else {
+                Edge {
+                    from: e.partner,
+                    head_idx: e.partner_atom,
+                    to: slot,
+                    pc_idx: e.local_atom,
+                    mgu: e.mgu,
+                }
+            }
+        })
+        .collect()
 }
 
 /// Evaluates independent match-graph components (§4.1.2) on a sharded
@@ -900,9 +1510,14 @@ fn sharded_process<V: MatchView + Sync>(
 }
 
 /// Result of processing one component: outcomes keyed by engine slot.
+/// `no_solution` members matched but found no database tuple; the
+/// engine's sequential phase applies each one's no-solution policy
+/// (policies are per-query state, which the read-only component workers
+/// do not see).
 struct ComponentOutcome {
     answered: Vec<(u32, QueryAnswer)>,
     failed: Vec<(u32, RejectReason)>,
+    no_solution: Vec<u32>,
     stats: MatchStats,
 }
 
@@ -915,6 +1530,7 @@ fn process_component<V: MatchView>(
     let mut out = ComponentOutcome {
         answered: Vec::new(),
         failed: Vec::new(),
+        no_solution: Vec::new(),
         stats: MatchStats::default(),
     };
 
@@ -951,12 +1567,9 @@ fn process_component<V: MatchView>(
                 }
             }
             None => {
-                if config.on_no_solution == NoSolutionPolicy::Reject {
-                    for &s in &m.survivors {
-                        out.failed.push((s, RejectReason::NoSolution));
-                    }
-                }
-                // KeepPending: nothing to do.
+                // Policy application happens on the engine's sequential
+                // phase (per-query overrides live in the slot table).
+                out.no_solution = m.survivors.clone();
             }
         },
         Err(e) => {
@@ -1482,6 +2095,213 @@ mod tests {
             "slots: {}",
             engine.slot_capacity()
         );
+    }
+
+    #[test]
+    fn submit_batch_matches_sequential_submits() {
+        // Same queries, one as a batch, one sequentially: identical
+        // admission results and identical statuses after one flush —
+        // with the safety check ON, so intra-batch safety accounting is
+        // exercised (the proptests in the bench crate churn this).
+        let texts: Vec<String> = (0..6)
+            .flat_map(|i| {
+                vec![
+                    format!("{{R(B{i}, ITH)}} R(A{i}, ITH) <- F(x{i}, Paris)"),
+                    format!("{{R(A{i}, ITH)}} R(B{i}, ITH) <- F(y{i}, Paris)"),
+                ]
+            })
+            .chain([
+                // Ambiguous arrivals: a second provider of R(A0, ITH)
+                // and a pc unifying two admitted heads.
+                "{R(A0, ITH)} R(B0, ITH) <- F(z, Paris)".to_owned(),
+                "{R(p, ITH)} R(Solo, ITH) <- F(p, Paris)".to_owned(),
+            ])
+            .collect();
+        let config = EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            admission_safety_check: true,
+            flush_threads: 4,
+            ..Default::default()
+        };
+
+        let mut seq = CoordinationEngine::new(flight_db(), config.clone());
+        let seq_results: Vec<_> = texts.iter().map(|t| seq.submit(q(t))).collect();
+        seq.flush();
+
+        let mut bat = CoordinationEngine::new(flight_db(), config);
+        let bat_results = bat.submit_batch(
+            texts
+                .iter()
+                .map(|t| (q(t), SubmitOptions::default()))
+                .collect(),
+        );
+        bat.flush();
+
+        for (i, (s, b)) in seq_results.iter().zip(&bat_results).enumerate() {
+            match (s, b) {
+                (Ok(hs), Ok(hb)) => {
+                    assert_eq!(hs.id, hb.id, "ids diverge at {i}");
+                    assert_eq!(
+                        seq.status(hs.id),
+                        bat.status(hb.id),
+                        "statuses diverge at {i}"
+                    );
+                }
+                (Err(es), Err(eb)) => assert_eq!(es, eb, "errors diverge at {i}"),
+                other => panic!("admission diverges at {i}: {other:?}"),
+            }
+        }
+        bat.check_invariants().unwrap();
+        seq.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn submit_batch_incremental_evaluates_once_at_the_end() {
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        let results = engine.submit_batch(vec![
+            (
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
+                SubmitOptions::default(),
+            ),
+            (
+                q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"),
+                SubmitOptions::default(),
+            ),
+            (
+                EntangledQuery::new(vec![], vec![], vec![]),
+                SubmitOptions::default(),
+            ),
+        ]);
+        assert!(matches!(results[2], Err(SubmitError::Invalid(_))));
+        for r in &results[..2] {
+            let h = r.as_ref().unwrap();
+            assert!(matches!(
+                h.outcome.try_recv().unwrap(),
+                QueryOutcome::Answered(_)
+            ));
+        }
+        assert_eq!(engine.pending_count(), 0);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn per_query_deadline_expires_only_that_query() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                ..Default::default()
+            },
+        );
+        let doomed = engine
+            .submit_with(
+                q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"),
+                SubmitOptions {
+                    deadline: Some(Instant::now() + Duration::from_millis(1)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let patient = engine
+            .submit(q("{R(Newman, z)} R(Frank, z) <- F(z, Rome)"))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(engine.expire_stale(), 1);
+        assert_eq!(
+            doomed.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(FailReason::Stale)
+        );
+        assert!(patient.outcome.try_recv().is_err());
+        assert_eq!(engine.pending_count(), 1);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn per_query_no_solution_policy_overrides_engine_default() {
+        // Engine default rejects on no-solution; the pair opts into
+        // KeepPending and survives the miss, coordinating after the
+        // database gains an Athens flight.
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                on_no_solution: NoSolutionPolicy::Reject,
+                ..Default::default()
+            },
+        );
+        let opts = SubmitOptions {
+            on_no_solution: Some(NoSolutionPolicy::KeepPending),
+            ..Default::default()
+        };
+        let h1 = engine
+            .submit_with(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Athens)"), opts)
+            .unwrap();
+        let _h2 = engine
+            .submit_with(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)"), opts)
+            .unwrap();
+        assert_eq!(engine.flush().pending, 2);
+        assert!(h1.outcome.try_recv().is_err());
+        engine
+            .db()
+            .write()
+            .insert("F", vec![Value::int(200), Value::str("Athens")])
+            .unwrap();
+        assert_eq!(engine.flush().answered, 2);
+    }
+
+    #[test]
+    fn outcome_log_records_every_terminal_transition() {
+        let mut engine = CoordinationEngine::new(flight_db(), EngineConfig::default());
+        engine.set_outcome_log(true);
+        let h1 = engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        let h2 = engine
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        let lonely = engine
+            .submit(q("{R(Newman, z)} R(Frank, z) <- F(z, Rome)"))
+            .unwrap();
+        engine.cancel(lonely.id);
+        let log = engine.drain_outcome_log();
+        assert_eq!(log.len(), 3);
+        assert!(log
+            .iter()
+            .any(|(id, o)| *id == h1.id && matches!(o, QueryOutcome::Answered(_))));
+        assert!(log
+            .iter()
+            .any(|(id, o)| *id == h2.id && matches!(o, QueryOutcome::Answered(_))));
+        assert!(log
+            .iter()
+            .any(|(id, o)| *id == lonely.id
+                && matches!(o, QueryOutcome::Failed(FailReason::Cancelled))));
+        assert!(engine.drain_outcome_log().is_empty(), "drained");
+    }
+
+    #[test]
+    fn safety_accessors_report_violations_and_sidelined() {
+        let mut engine = CoordinationEngine::new(
+            flight_db(),
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                admission_safety_check: false,
+                ..Default::default()
+            },
+        );
+        engine
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        engine
+            .submit(q("{R(Jerry, y)} R(Elaine, y) <- F(y, Rome)"))
+            .unwrap();
+        let ambiguous = engine
+            .submit(q("{R(f, z)} R(Jerry, z) <- F(z, w), A(z, f)"))
+            .unwrap();
+        let violations = engine.safety_violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].query, ambiguous.id);
+        assert_eq!(violations[0].heads.len(), 2);
+        assert_eq!(engine.safety_sidelined(), vec![ambiguous.id]);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! The unified error hierarchy of the coordination API.
+//!
+//! Before the `Coordinator` service existed, the public surface carried
+//! three disjoint error shapes: [`SubmitError`] from
+//! [`crate::CoordinationEngine::submit`], [`RejectReason`] /
+//! [`FailReason`] as per-query failure payloads, and a stringly
+//! `Result<(), String>` from the invariant checkers.
+//! [`CoordinationError`] folds all of them (plus database and
+//! validation errors) into one typed enum, so service callers match on
+//! a single hierarchy and every legacy shape converts in with `?`.
+
+use crate::coordinate::RejectReason;
+use crate::engine::{FailReason, SubmitError};
+use eq_db::DbError;
+use eq_ir::{QueryId, ValidationError};
+use std::fmt;
+
+/// A structural invariant of the engine's resident state that did not
+/// hold, as reported by
+/// [`crate::CoordinationEngine::check_invariants`]. Each variant names
+/// the piece of state that drifted; [`fmt::Display`] renders the full
+/// diagnostic, so test harnesses can assert on typed variants while
+/// still printing an actionable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// The resident match graph is internally inconsistent (edge slab,
+    /// component registry, or dirty set out of sync); the payload is
+    /// the graph checker's diagnostic.
+    Resident(String),
+    /// `by_id` does not map a live slot's query id back to that slot.
+    IdMapMismatch {
+        /// The slot whose id round-trip failed.
+        slot: u32,
+    },
+    /// A live slot's head atom is missing from the sharded head index
+    /// (dangling or lost `AtomRef` after slot reuse).
+    MissingHeadAtom {
+        /// Owning slot.
+        slot: u32,
+        /// Head atom index within the query.
+        atom: u32,
+    },
+    /// A live slot's postcondition atom is missing from the sharded
+    /// postcondition index.
+    MissingPcAtom {
+        /// Owning slot.
+        slot: u32,
+        /// Postcondition atom index within the query.
+        atom: u32,
+    },
+    /// A slot's admission-time satisfier counters disagree with its
+    /// resident in-edges.
+    SatisfierDrift {
+        /// The slot whose counters drifted.
+        slot: u32,
+        /// The counters held by the pending query.
+        counters: Vec<u32>,
+        /// The per-postcondition in-edge counts of the resident graph.
+        in_edges: Vec<u32>,
+    },
+    /// An atom index holds a different number of atoms than the live
+    /// slots contribute.
+    IndexSizeMismatch {
+        /// `"head"` or `"postcondition"`.
+        index: &'static str,
+        /// Atoms currently indexed.
+        indexed: usize,
+        /// Atoms owned by live slots.
+        live: usize,
+    },
+    /// `by_id` holds a different number of entries than there are live
+    /// slots.
+    IdMapSizeMismatch {
+        /// Entries in `by_id`.
+        ids: usize,
+        /// Live slots.
+        live: usize,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::Resident(msg) => write!(f, "resident graph: {msg}"),
+            InvariantViolation::IdMapMismatch { slot } => {
+                write!(f, "by_id out of sync for slot {slot}")
+            }
+            InvariantViolation::MissingHeadAtom { slot, atom } => {
+                write!(f, "head {slot}/{atom} missing from index")
+            }
+            InvariantViolation::MissingPcAtom { slot, atom } => {
+                write!(f, "pc {slot}/{atom} missing from index")
+            }
+            InvariantViolation::SatisfierDrift {
+                slot,
+                counters,
+                in_edges,
+            } => write!(
+                f,
+                "pc_satisfiers out of sync for slot {slot}: {counters:?} vs in-edges {in_edges:?}"
+            ),
+            InvariantViolation::IndexSizeMismatch {
+                index,
+                indexed,
+                live,
+            } => write!(
+                f,
+                "{index} index holds {indexed} atoms, live slots have {live}"
+            ),
+            InvariantViolation::IdMapSizeMismatch { ids, live } => {
+                write!(f, "by_id holds {ids} entries for {live} live slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// The one error type of the `Coordinator` service API.
+///
+/// Everything the coordination stack can report — submission refusals,
+/// per-query terminal failures, database errors, invariant violations —
+/// converts into this enum, replacing the pre-service split across
+/// [`SubmitError`], [`RejectReason`], [`FailReason`], and
+/// `Result<(), String>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordinationError {
+    /// The query is structurally invalid (empty head, not
+    /// range-restricted, ...); refused at submission.
+    Invalid(ValidationError),
+    /// The admission safety check (§3.1.1 / Figure 9) refused the
+    /// query: admitting it would give some postcondition two or more
+    /// unifying heads.
+    UnsafeAdmission,
+    /// The query was admitted but reached a terminal failure: rejected
+    /// during a round ([`FailReason::Rejected`]), expired
+    /// ([`FailReason::Stale`]), or withdrawn
+    /// ([`FailReason::Cancelled`]).
+    Failed(FailReason),
+    /// The operation named a query id the service does not know (never
+    /// submitted, or already drained from a closed session).
+    UnknownQuery(QueryId),
+    /// The operation (e.g. cancel) targeted a query that already
+    /// reached the enclosed terminal status.
+    AlreadyTerminal(crate::engine::QueryStatus),
+    /// A database-layer error (unknown relation, arity mismatch).
+    Db(DbError),
+    /// An engine structural invariant did not hold.
+    Invariant(InvariantViolation),
+}
+
+impl fmt::Display for CoordinationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinationError::Invalid(e) => write!(f, "invalid query: {e}"),
+            CoordinationError::UnsafeAdmission => {
+                write!(
+                    f,
+                    "admission refused: query would make the pending set unsafe"
+                )
+            }
+            CoordinationError::Failed(FailReason::Rejected(r)) => write!(f, "rejected: {r}"),
+            CoordinationError::Failed(FailReason::Stale) => {
+                write!(
+                    f,
+                    "expired: exceeded its staleness bound without coordinating"
+                )
+            }
+            CoordinationError::Failed(FailReason::Cancelled) => {
+                write!(f, "cancelled by the application")
+            }
+            CoordinationError::UnknownQuery(id) => write!(f, "unknown query {id}"),
+            CoordinationError::AlreadyTerminal(status) => {
+                write!(f, "query already terminal: {status:?}")
+            }
+            CoordinationError::Db(e) => write!(f, "database error: {e}"),
+            CoordinationError::Invariant(v) => write!(f, "invariant violated: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinationError {}
+
+impl From<SubmitError> for CoordinationError {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::Invalid(v) => CoordinationError::Invalid(v),
+            SubmitError::Unsafe => CoordinationError::UnsafeAdmission,
+        }
+    }
+}
+
+impl From<FailReason> for CoordinationError {
+    fn from(r: FailReason) -> Self {
+        CoordinationError::Failed(r)
+    }
+}
+
+impl From<RejectReason> for CoordinationError {
+    fn from(r: RejectReason) -> Self {
+        CoordinationError::Failed(FailReason::Rejected(r))
+    }
+}
+
+impl From<ValidationError> for CoordinationError {
+    fn from(e: ValidationError) -> Self {
+        CoordinationError::Invalid(e)
+    }
+}
+
+impl From<DbError> for CoordinationError {
+    fn from(e: DbError) -> Self {
+        CoordinationError::Db(e)
+    }
+}
+
+impl From<InvariantViolation> for CoordinationError {
+    fn from(v: InvariantViolation) -> Self {
+        CoordinationError::Invariant(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_legacy_shape_converts_in() {
+        let e: CoordinationError = SubmitError::Unsafe.into();
+        assert_eq!(e, CoordinationError::UnsafeAdmission);
+        let e: CoordinationError = FailReason::Stale.into();
+        assert_eq!(e, CoordinationError::Failed(FailReason::Stale));
+        let e: CoordinationError = RejectReason::NoSolution.into();
+        assert_eq!(
+            e,
+            CoordinationError::Failed(FailReason::Rejected(RejectReason::NoSolution))
+        );
+        let e: CoordinationError = DbError::UnknownRelation(eq_ir::Symbol::new("T")).into();
+        assert!(matches!(e, CoordinationError::Db(_)));
+        let e: CoordinationError = InvariantViolation::IdMapMismatch { slot: 3 }.into();
+        assert!(matches!(e, CoordinationError::Invariant(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoordinationError::UnsafeAdmission
+            .to_string()
+            .contains("unsafe"));
+        assert!(CoordinationError::UnknownQuery(QueryId(7))
+            .to_string()
+            .contains('7'));
+        let v = InvariantViolation::SatisfierDrift {
+            slot: 2,
+            counters: vec![1],
+            in_edges: vec![0],
+        };
+        assert!(v.to_string().contains("slot 2"));
+        assert!(CoordinationError::from(v).to_string().contains("invariant"));
+    }
+}

@@ -31,30 +31,38 @@
 //! §2.3 directly (the NP-hard search of Theorem 2.1); it serves as a
 //! correctness oracle for the fast path and as an ablation baseline.
 //!
-//! For one-shot, set-at-a-time coordination over a fixed query set, use
-//! [`coordinate()`]; for a long-running service, use
-//! [`CoordinationEngine`].
+//! The public face of the engine is the [`service`] layer: a clonable
+//! [`Coordinator`] handle with [`Session`]-scoped submissions
+//! ([`SubmitRequest`] builder, batched parallel admission via
+//! [`Session::submit_batch`]), a pushed [`Event`] stream, and the
+//! unified [`CoordinationError`] hierarchy ([`error`]). For one-shot,
+//! set-at-a-time coordination over a fixed query set, [`coordinate()`]
+//! wraps a throwaway `Coordinator` session.
 
 pub mod bruteforce;
 pub mod combine;
 pub mod coordinate;
 pub mod engine;
+pub mod error;
 pub mod ext;
 pub mod graph;
 pub mod index;
 pub mod matching;
 pub mod resident;
 pub mod safety;
+pub mod service;
 pub mod ucs;
 
 pub use combine::{CombinedQuery, QueryAnswer};
 pub use coordinate::{coordinate, coordinate_with_config, CoordinationOutcome, RejectReason};
 pub use engine::{
-    BatchReport, CoordinationEngine, EngineConfig, EngineMode, FailReason, QueryHandle,
-    QueryOutcome, QueryStatus, SubmitError,
+    BatchReport, CoordinationEngine, EngineConfig, EngineMode, FailReason, NoSolutionPolicy,
+    QueryHandle, QueryOutcome, QueryStatus, SubmitError, SubmitOptions,
 };
+pub use error::{CoordinationError, InvariantViolation};
 pub use graph::{Edge, MatchGraph, MatchView};
 pub use index::{AtomIndex, AtomRef, ShardedAtomIndex};
 pub use resident::ResidentGraph;
 pub use safety::{SafetyPolicy, SafetyViolation};
+pub use service::{Coordinator, Event, Events, Session, SubmitRequest};
 pub use ucs::UcsViolation;

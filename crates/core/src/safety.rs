@@ -65,6 +65,41 @@ pub fn violations(graph: &MatchGraph) -> Vec<SafetyViolation> {
     out
 }
 
+/// Member-scoped violation scan over any [`MatchView`]: reports every
+/// member whose postcondition has two or more in-edges from member
+/// heads. The engine uses this over its resident graph to answer "is
+/// the pending pool safe right now?" without building a throwaway
+/// [`MatchGraph`].
+pub fn violations_members<V: MatchView>(graph: &V, members: &[u32]) -> Vec<SafetyViolation> {
+    let member_set: FastSet<u32> = members.iter().copied().collect();
+    let mut out = Vec::new();
+    for &slot in members {
+        let q = graph.query(slot);
+        let pc_count = q.pc_count();
+        if pc_count == 0 {
+            continue;
+        }
+        let mut per_pc: Vec<Vec<(u32, u32)>> = vec![Vec::new(); pc_count];
+        for &eid in graph.in_edges(slot) {
+            let e = graph.edge(eid);
+            if member_set.contains(&e.from) {
+                per_pc[e.pc_idx as usize].push((e.from, e.head_idx));
+            }
+        }
+        for (pc_idx, heads) in per_pc.into_iter().enumerate() {
+            if heads.len() >= 2 {
+                out.push(SafetyViolation {
+                    slot,
+                    query: q.id,
+                    pc_idx: pc_idx as u32,
+                    heads,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Applies the removal strategy of §3.1.1: repeatedly removes queries
 /// having a postcondition that unifies with more than one live head,
 /// until the remaining set is safe. Returns the removed slots.
@@ -179,6 +214,19 @@ mod tests {
         assert_eq!(vs.len(), 1);
         assert_eq!(vs[0].slot, 1);
         assert_eq!(vs[0].heads, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn member_scoped_violations_agree_with_graph_scan() {
+        let g = build(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Jerry, y)} R(Elaine, y) <- F(y, Athens)",
+            "{R(f, z)} R(Jerry, z) <- F(z, w), Friend(Jerry, f)",
+        ]);
+        let all: Vec<u32> = (0..3).collect();
+        assert_eq!(violations_members(&g, &all), violations(&g));
+        // Restricted to the unambiguous pair, the set is safe.
+        assert!(violations_members(&g, &[0, 1]).is_empty());
     }
 
     #[test]

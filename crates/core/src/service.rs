@@ -1,0 +1,811 @@
+//! The `Coordinator` service facade: the paper's D3C middleware as a
+//! long-running *service* API (§5.1) rather than a single-owner
+//! `&mut` engine.
+//!
+//! A [`Coordinator`] is a clonable handle around an internally
+//! synchronized [`CoordinationEngine`]; clones share one engine, so an
+//! application can submit from one place, flush from another, and
+//! observe outcomes from a third. On top of the raw engine it adds:
+//!
+//! * **[`Session`]s** — each session owns the queries submitted through
+//!   it and withdraws the still-pending ones when it is closed or
+//!   dropped, giving connection-scoped cleanup for free (the paper's
+//!   queries live inside client transactions; a dropped connection must
+//!   not leak pending residents);
+//! * **[`SubmitRequest`]** — a per-query builder (`deadline`,
+//!   `staleness`, `on_no_solution`, `tag`) replacing engine-wide
+//!   configuration knobs for per-query concerns, plus
+//!   [`Session::submit_batch`], whose admission probes run in parallel
+//!   across the sharded atom indexes
+//!   ([`CoordinationEngine::submit_batch`]);
+//! * **[`Event`] subscriptions** — terminal outcomes and flush reports
+//!   are *pushed* over std mpsc channels ([`Coordinator::subscribe`]),
+//!   so harnesses and REPLs stop polling `status()` by id;
+//! * **typed errors** — every operation reports
+//!   [`CoordinationError`], the unified hierarchy of
+//!   [`crate::error`].
+//!
+//! One-shot coordination ([`crate::coordinate()`]) is a thin wrapper
+//! over a throwaway `Coordinator` session.
+
+use crate::combine::QueryAnswer;
+use crate::coordinate::RejectReason;
+use crate::engine::{
+    BatchReport, CoordinationEngine, EngineConfig, FailReason, NoSolutionPolicy, QueryHandle,
+    QueryOutcome, QueryStatus, SubmitOptions,
+};
+use crate::error::CoordinationError;
+use crate::safety::SafetyViolation;
+use eq_db::{Database, Tuple};
+use eq_ir::{EntangledQuery, FastMap, QueryId};
+use parking_lot::{Mutex, RwLock};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One query submission, built fluently.
+///
+/// Replaces the per-query knobs that used to hide in [`EngineConfig`]:
+/// a deadline or staleness bound applies to *this* query, a no-solution
+/// policy applies to *this* query's component outcomes, and a tag
+/// travels to the [`Event`]s the query produces.
+///
+/// ```
+/// use eq_core::{Coordinator, EngineConfig, NoSolutionPolicy, SubmitRequest};
+/// use eq_db::Database;
+/// use eq_sql::parse_ir_query;
+/// use std::time::Duration;
+///
+/// let mut db = Database::new();
+/// db.create_table("F", &["fno", "dest"]).unwrap();
+/// let coordinator = Coordinator::new(db, EngineConfig::default());
+/// let mut session = coordinator.session();
+///
+/// let request = SubmitRequest::new(
+///     parse_ir_query("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)").unwrap())
+///     .staleness(Duration::from_secs(30))
+///     .on_no_solution(NoSolutionPolicy::KeepPending)
+///     .tag("kramer-paris");
+/// let handle = session.submit(request).unwrap();
+/// assert_eq!(coordinator.pending_count(), 1);
+/// assert!(handle.outcome.try_recv().is_err()); // waiting for Jerry
+/// ```
+#[derive(Debug)]
+pub struct SubmitRequest {
+    query: EntangledQuery,
+    deadline: Option<Instant>,
+    staleness: Option<Duration>,
+    on_no_solution: Option<NoSolutionPolicy>,
+    tag: Option<String>,
+}
+
+impl SubmitRequest {
+    /// A request with no per-query overrides.
+    pub fn new(query: EntangledQuery) -> Self {
+        SubmitRequest {
+            query,
+            deadline: None,
+            staleness: None,
+            on_no_solution: None,
+            tag: None,
+        }
+    }
+
+    /// Absolute deadline: fail the query as expired if it is still
+    /// pending when `deadline` passes. Takes precedence over
+    /// [`SubmitRequest::staleness`] when both are set.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Relative staleness bound: fail the query as expired if it is
+    /// still pending `bound` after submission (a per-query version of
+    /// [`EngineConfig::staleness`]).
+    pub fn staleness(mut self, bound: Duration) -> Self {
+        self.staleness = Some(bound);
+        self
+    }
+
+    /// What to do with this query when its matched component has no
+    /// database solution (overrides [`EngineConfig::on_no_solution`]).
+    pub fn on_no_solution(mut self, policy: NoSolutionPolicy) -> Self {
+        self.on_no_solution = Some(policy);
+        self
+    }
+
+    /// Opaque application label, echoed on every [`Event`] this query
+    /// produces.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    fn to_options(&self, now: Instant) -> SubmitOptions {
+        SubmitOptions {
+            deadline: self
+                .deadline
+                .or_else(|| self.staleness.map(|bound| now + bound)),
+            on_no_solution: self.on_no_solution,
+        }
+    }
+}
+
+impl From<EntangledQuery> for SubmitRequest {
+    fn from(query: EntangledQuery) -> Self {
+        SubmitRequest::new(query)
+    }
+}
+
+/// A coordination event, pushed to every subscriber
+/// ([`Coordinator::subscribe`]).
+///
+/// Query events carry the submission's tag (if any); every submitted
+/// query produces **exactly one** terminal event — `Answered`,
+/// `Failed`, `Expired`, or `Cancelled` — property-tested against the
+/// engine's final [`QueryStatus`] under churn.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The query coordinated; the answer is attached.
+    Answered {
+        /// The answered query.
+        id: QueryId,
+        /// Its submission tag.
+        tag: Option<String>,
+        /// The coordinated answer.
+        answer: QueryAnswer,
+    },
+    /// The query was rejected during a coordination round.
+    Failed {
+        /// The rejected query.
+        id: QueryId,
+        /// Its submission tag.
+        tag: Option<String>,
+        /// Why it was rejected.
+        reason: RejectReason,
+    },
+    /// The query exceeded its deadline or staleness bound.
+    Expired {
+        /// The expired query.
+        id: QueryId,
+        /// Its submission tag.
+        tag: Option<String>,
+    },
+    /// The query was withdrawn (explicit cancel, or its session
+    /// closed).
+    Cancelled {
+        /// The withdrawn query.
+        id: QueryId,
+        /// Its submission tag.
+        tag: Option<String>,
+    },
+    /// A flush completed; the report summarizes the round.
+    Flushed(BatchReport),
+}
+
+impl Event {
+    /// The query this event concerns (`None` for [`Event::Flushed`]).
+    pub fn id(&self) -> Option<QueryId> {
+        match self {
+            Event::Answered { id, .. }
+            | Event::Failed { id, .. }
+            | Event::Expired { id, .. }
+            | Event::Cancelled { id, .. } => Some(*id),
+            Event::Flushed(_) => None,
+        }
+    }
+
+    /// The submission tag, if the event concerns a tagged query.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            Event::Answered { tag, .. }
+            | Event::Failed { tag, .. }
+            | Event::Expired { tag, .. }
+            | Event::Cancelled { tag, .. } => tag.as_deref(),
+            Event::Flushed(_) => None,
+        }
+    }
+
+    /// True for a query's terminal event (everything except
+    /// [`Event::Flushed`]).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Event::Flushed(_))
+    }
+}
+
+/// A subscription to a [`Coordinator`]'s events.
+///
+/// Events published before the subscription was created are not
+/// replayed. The stream ends (returns `None` forever) once the
+/// coordinator is dropped.
+pub struct Events {
+    rx: Receiver<Event>,
+}
+
+impl Events {
+    /// The next event if one is already queued (non-blocking).
+    pub fn try_next(&self) -> Option<Event> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next event.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<Event> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(e) => Some(e),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Drains every queued event (non-blocking).
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        while let Some(e) = self.try_next() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+struct Inner {
+    engine: CoordinationEngine,
+    subscribers: Vec<Sender<Event>>,
+    tags: FastMap<QueryId, String>,
+}
+
+impl Inner {
+    /// Converts the engine's freshly drained terminal outcomes into
+    /// events and broadcasts them; subscribers whose receiver hung up
+    /// are dropped, and when the last one goes the engine's outcome
+    /// log is switched off (retirements stop paying for outcome
+    /// clones nobody will read). Called after every engine operation,
+    /// while the service lock is held, so event order equals
+    /// retirement order.
+    fn pump(&mut self) {
+        for (id, outcome) in self.engine.drain_outcome_log() {
+            let tag = self.tags.remove(&id);
+            let event = match outcome {
+                QueryOutcome::Answered(answer) => Event::Answered { id, tag, answer },
+                QueryOutcome::Failed(FailReason::Stale) => Event::Expired { id, tag },
+                QueryOutcome::Failed(FailReason::Cancelled) => Event::Cancelled { id, tag },
+                QueryOutcome::Failed(FailReason::Rejected(reason)) => {
+                    Event::Failed { id, tag, reason }
+                }
+            };
+            self.broadcast(event);
+        }
+        if self.subscribers.is_empty() {
+            self.engine.set_outcome_log(false);
+        }
+    }
+
+    fn broadcast(&mut self, event: Event) {
+        self.subscribers.retain(|s| s.send(event.clone()).is_ok());
+    }
+}
+
+/// A clonable handle to a running coordination service.
+///
+/// All clones share one [`CoordinationEngine`] behind a mutex; every
+/// method takes the lock for the duration of one engine operation.
+/// Flush-internal parallelism (per-component workers, batched admission
+/// probing) is unaffected — it happens inside the engine while the lock
+/// is held once.
+#[derive(Clone)]
+pub struct Coordinator {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Coordinator {
+    /// Starts a coordination service over `db`.
+    pub fn new(db: Database, config: EngineConfig) -> Self {
+        Coordinator {
+            inner: Arc::new(Mutex::new(Inner {
+                engine: CoordinationEngine::new(db, config),
+                subscribers: Vec::new(),
+                tags: FastMap::default(),
+            })),
+        }
+    }
+
+    /// Opens a [`Session`]. Queries submitted through the session are
+    /// withdrawn when it is closed or dropped.
+    pub fn session(&self) -> Session {
+        Session {
+            coordinator: self.clone(),
+            ids: Vec::new(),
+            id_set: eq_ir::FastSet::default(),
+            closed: false,
+        }
+    }
+
+    /// Subscribes to the service's [`Event`] stream, starting now
+    /// (outcomes that became terminal before the subscription are not
+    /// replayed; the engine's outcome log is only kept while at least
+    /// one subscriber is listening).
+    pub fn subscribe(&self) -> Events {
+        let (tx, rx) = channel();
+        let mut inner = self.inner.lock();
+        inner.subscribers.push(tx);
+        inner.engine.set_outcome_log(true);
+        Events { rx }
+    }
+
+    /// Runs a set-at-a-time evaluation round over the dirty components
+    /// (see [`CoordinationEngine::flush`]), pushing one terminal event
+    /// per retired query followed by an [`Event::Flushed`] report.
+    pub fn flush(&self) -> BatchReport {
+        let mut inner = self.inner.lock();
+        let report = inner.engine.flush();
+        inner.pump();
+        inner.broadcast(Event::Flushed(report));
+        report
+    }
+
+    /// Sweeps expired queries (engine staleness bound and per-query
+    /// deadlines), pushing their [`Event::Expired`] events. Returns how
+    /// many queries expired.
+    pub fn expire_stale(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let expired = inner.engine.expire_stale();
+        inner.pump();
+        expired
+    }
+
+    /// Withdraws a pending query. Typed refusals: the id was never
+    /// submitted ([`CoordinationError::UnknownQuery`]) or the query
+    /// already reached a terminal status
+    /// ([`CoordinationError::AlreadyTerminal`]).
+    pub fn cancel(&self, id: QueryId) -> Result<(), CoordinationError> {
+        let mut inner = self.inner.lock();
+        if inner.engine.cancel(id) {
+            inner.pump();
+            return Ok(());
+        }
+        match inner.engine.status(id) {
+            Some(status) => Err(CoordinationError::AlreadyTerminal(status.clone())),
+            None => Err(CoordinationError::UnknownQuery(id)),
+        }
+    }
+
+    /// Withdraws every still-pending query in `ids` under **one** lock
+    /// acquisition (session close uses this), pushing their
+    /// [`Event::Cancelled`] events in one pump. Already-terminal and
+    /// unknown ids are skipped. Returns how many were withdrawn.
+    pub fn cancel_all(&self, ids: &[QueryId]) -> usize {
+        let mut inner = self.inner.lock();
+        let mut withdrawn = 0;
+        for &id in ids {
+            if inner.engine.cancel(id) {
+                withdrawn += 1;
+            }
+        }
+        if withdrawn > 0 {
+            inner.pump();
+        }
+        withdrawn
+    }
+
+    /// The status of a query, if known.
+    pub fn status(&self, id: QueryId) -> Option<QueryStatus> {
+        self.inner.lock().engine.status(id).cloned()
+    }
+
+    /// Number of pending queries.
+    pub fn pending_count(&self) -> usize {
+        self.inner.lock().engine.pending_count()
+    }
+
+    /// Shared handle to the service's database; write to it between
+    /// rounds to load or update data (a write re-dirties kept-pending
+    /// components at the next flush).
+    pub fn db(&self) -> Arc<RwLock<Database>> {
+        self.inner.lock().engine.db()
+    }
+
+    /// Bulk-loads rows into a table through the database lock — one
+    /// lock acquisition and one revision bump
+    /// ([`Database::insert_many`]).
+    pub fn load(&self, table: &str, rows: Vec<Tuple>) -> Result<usize, CoordinationError> {
+        let db = self.db();
+        let mut guard = db.write();
+        Ok(guard.insert_many(table, rows)?)
+    }
+
+    /// Structural invariant check, typed
+    /// ([`crate::InvariantViolation`] folded into
+    /// [`CoordinationError`]).
+    pub fn check_invariants(&self) -> Result<(), CoordinationError> {
+        Ok(self.inner.lock().engine.check_invariants()?)
+    }
+
+    /// Current §3.1.1 safety violations in the pending pool (see
+    /// [`CoordinationEngine::safety_violations`]).
+    pub fn safety_violations(&self) -> Vec<SafetyViolation> {
+        self.inner.lock().engine.safety_violations()
+    }
+
+    /// Queries that §3.1.1 enforcement would sideline right now (see
+    /// [`CoordinationEngine::safety_sidelined`]).
+    pub fn safety_sidelined(&self) -> Vec<QueryId> {
+        self.inner.lock().engine.safety_sidelined()
+    }
+
+    fn submit_locked(&self, request: SubmitRequest) -> Result<QueryHandle, CoordinationError> {
+        let mut inner = self.inner.lock();
+        let opts = request.to_options(Instant::now());
+        let result = inner.engine.submit_with(request.query, opts);
+        if let (Ok(handle), Some(tag)) = (&result, request.tag) {
+            inner.tags.insert(handle.id, tag);
+        }
+        inner.pump();
+        Ok(result?)
+    }
+
+    fn submit_batch_locked(
+        &self,
+        requests: Vec<SubmitRequest>,
+    ) -> Vec<Result<QueryHandle, CoordinationError>> {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        let mut tags: Vec<Option<String>> = Vec::with_capacity(requests.len());
+        let batch: Vec<(EntangledQuery, SubmitOptions)> = requests
+            .into_iter()
+            .map(|r| {
+                let opts = r.to_options(now);
+                tags.push(r.tag);
+                (r.query, opts)
+            })
+            .collect();
+        let results = inner.engine.submit_batch(batch);
+        for (result, tag) in results.iter().zip(tags) {
+            if let (Ok(handle), Some(tag)) = (result, tag) {
+                inner.tags.insert(handle.id, tag);
+            }
+        }
+        inner.pump();
+        results
+            .into_iter()
+            .map(|r| r.map_err(CoordinationError::from))
+            .collect()
+    }
+}
+
+/// A group of queries owned by one client of the [`Coordinator`].
+///
+/// Submissions go through the session so the service knows which
+/// pending queries belong to which client; when the session is closed
+/// (or dropped), its still-pending queries are withdrawn and their
+/// subscribers receive [`Event::Cancelled`].
+///
+/// ```
+/// use eq_core::{Coordinator, EngineConfig, EngineMode, SubmitRequest};
+/// use eq_db::Database;
+/// use eq_sql::parse_ir_query;
+///
+/// let mut db = Database::new();
+/// db.create_table("F", &["fno", "dest"]).unwrap();
+/// let coordinator = Coordinator::new(
+///     db,
+///     EngineConfig {
+///         mode: EngineMode::SetAtATime { batch_size: 0 },
+///         ..Default::default()
+///     },
+/// );
+/// {
+///     let mut session = coordinator.session();
+///     session
+///         .submit(SubmitRequest::new(
+///             parse_ir_query("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)").unwrap(),
+///         ))
+///         .unwrap();
+///     assert_eq!(coordinator.pending_count(), 1);
+/// } // session dropped: its pending query is withdrawn
+/// assert_eq!(coordinator.pending_count(), 0);
+/// ```
+pub struct Session {
+    coordinator: Coordinator,
+    ids: Vec<QueryId>,
+    /// Membership mirror of `ids`, so per-query operations don't scan
+    /// the submission history.
+    id_set: eq_ir::FastSet<QueryId>,
+    closed: bool,
+}
+
+impl Session {
+    /// Submits one query. In incremental mode coordination is attempted
+    /// before this returns, so the handle may already hold the outcome
+    /// (and the matching event is already published).
+    pub fn submit(
+        &mut self,
+        request: impl Into<SubmitRequest>,
+    ) -> Result<QueryHandle, CoordinationError> {
+        let handle = self.coordinator.submit_locked(request.into())?;
+        self.ids.push(handle.id);
+        self.id_set.insert(handle.id);
+        Ok(handle)
+    }
+
+    /// Submits a batch, running admission probing in parallel across
+    /// the index shards (see [`CoordinationEngine::submit_batch`]).
+    /// Per-query results are positional; the whole batch is admitted
+    /// under one service lock.
+    pub fn submit_batch(
+        &mut self,
+        requests: Vec<SubmitRequest>,
+    ) -> Vec<Result<QueryHandle, CoordinationError>> {
+        let results = self.coordinator.submit_batch_locked(requests);
+        for handle in results.iter().flatten() {
+            self.ids.push(handle.id);
+            self.id_set.insert(handle.id);
+        }
+        results
+    }
+
+    /// Withdraws one of this session's queries (see
+    /// [`Coordinator::cancel`]).
+    pub fn cancel(&self, id: QueryId) -> Result<(), CoordinationError> {
+        if !self.id_set.contains(&id) {
+            return Err(CoordinationError::UnknownQuery(id));
+        }
+        self.coordinator.cancel(id)
+    }
+
+    /// Ids of every query submitted through this session, in
+    /// submission order.
+    pub fn ids(&self) -> &[QueryId] {
+        &self.ids
+    }
+
+    /// Ids of this session's queries that are still pending.
+    pub fn pending_ids(&self) -> Vec<QueryId> {
+        self.ids
+            .iter()
+            .copied()
+            .filter(|&id| matches!(self.coordinator.status(id), Some(QueryStatus::Pending)))
+            .collect()
+    }
+
+    /// Closes the session, withdrawing its still-pending queries.
+    /// Returns how many were withdrawn. Dropping the session does the
+    /// same.
+    pub fn close(mut self) -> usize {
+        self.close_inner()
+    }
+
+    fn close_inner(&mut self) -> usize {
+        if self.closed {
+            return 0;
+        }
+        self.closed = true;
+        // One lock acquisition and one event pump for the whole
+        // session, however many queries it submitted over its life.
+        self.coordinator.cancel_all(&self.ids)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.close_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_ir::Value;
+    use eq_sql::parse_ir_query;
+
+    fn q(text: &str) -> EntangledQuery {
+        parse_ir_query(text).unwrap()
+    }
+
+    fn flight_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("F", &["fno", "dest"]).unwrap();
+        db.insert_many(
+            "F",
+            vec![
+                vec![Value::int(122), Value::str("Paris")],
+                vec![Value::int(136), Value::str("Rome")],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    fn batch_coordinator(db: Database) -> Coordinator {
+        Coordinator::new(
+            db,
+            EngineConfig {
+                mode: crate::engine::EngineMode::SetAtATime { batch_size: 0 },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn handles_and_events_agree() {
+        let coordinator = batch_coordinator(flight_db());
+        let events = coordinator.subscribe();
+        let mut session = coordinator.session();
+        let h1 = session
+            .submit(
+                SubmitRequest::new(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)")).tag("kramer"),
+            )
+            .unwrap();
+        let _h2 = session
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        let report = coordinator.flush();
+        assert_eq!(report.answered, 2);
+        assert!(matches!(
+            h1.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+        let evs = events.drain();
+        // Two Answered events then the Flushed report.
+        assert_eq!(evs.len(), 3);
+        assert!(evs[0].is_terminal() && evs[1].is_terminal());
+        let kramer = evs.iter().find(|e| e.id() == Some(h1.id)).unwrap();
+        assert_eq!(kramer.tag(), Some("kramer"));
+        assert!(matches!(evs[2], Event::Flushed(r) if r.answered == 2));
+        session.close();
+    }
+
+    #[test]
+    fn session_drop_withdraws_pending_queries() {
+        let coordinator = batch_coordinator(flight_db());
+        let events = coordinator.subscribe();
+        let h = {
+            let mut session = coordinator.session();
+            session
+                .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+                .unwrap()
+        };
+        assert_eq!(coordinator.pending_count(), 0);
+        assert_eq!(
+            h.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(FailReason::Cancelled)
+        );
+        assert!(matches!(
+            events.drain().as_slice(),
+            [Event::Cancelled { .. }]
+        ));
+        coordinator.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cancel_reports_typed_errors() {
+        let coordinator = batch_coordinator(flight_db());
+        let mut session = coordinator.session();
+        let h = session
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        assert!(session.cancel(h.id).is_ok());
+        assert_eq!(
+            coordinator.cancel(h.id),
+            Err(CoordinationError::AlreadyTerminal(QueryStatus::Failed(
+                FailReason::Cancelled
+            )))
+        );
+        assert_eq!(
+            coordinator.cancel(QueryId(999)),
+            Err(CoordinationError::UnknownQuery(QueryId(999)))
+        );
+        assert!(matches!(
+            session.cancel(QueryId(999)),
+            Err(CoordinationError::UnknownQuery(_))
+        ));
+    }
+
+    #[test]
+    fn per_query_deadline_expires_via_service() {
+        let coordinator = batch_coordinator(flight_db());
+        let events = coordinator.subscribe();
+        let mut session = coordinator.session();
+        let h = session
+            .submit(
+                SubmitRequest::new(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+                    .staleness(Duration::from_millis(1))
+                    .tag("doomed"),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(coordinator.expire_stale(), 1);
+        assert_eq!(
+            h.outcome.try_recv().unwrap(),
+            QueryOutcome::Failed(FailReason::Stale)
+        );
+        let evs = events.drain();
+        assert!(
+            matches!(evs.as_slice(), [Event::Expired { tag: Some(t), .. }] if t == "doomed"),
+            "{evs:?}"
+        );
+    }
+
+    #[test]
+    fn submit_batch_through_session() {
+        let coordinator = batch_coordinator(flight_db());
+        let mut session = coordinator.session();
+        let results = session.submit_batch(vec![
+            SubmitRequest::new(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)")),
+            SubmitRequest::new(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)")),
+            SubmitRequest::new(EntangledQuery::new(vec![], vec![], vec![])),
+        ]);
+        assert!(results[0].is_ok() && results[1].is_ok());
+        assert!(matches!(results[2], Err(CoordinationError::Invalid(_))));
+        assert_eq!(coordinator.flush().answered, 2);
+        assert_eq!(session.pending_ids().len(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_engine() {
+        let coordinator = batch_coordinator(flight_db());
+        let other = coordinator.clone();
+        let mut session = coordinator.session();
+        session
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        assert_eq!(other.pending_count(), 1);
+        let worker = {
+            let other = other.clone();
+            std::thread::spawn(move || other.flush())
+        };
+        let report = worker.join().unwrap();
+        assert_eq!(report.pending, 1);
+    }
+
+    #[test]
+    fn load_goes_through_one_revision_bump() {
+        let coordinator = batch_coordinator(flight_db());
+        let before = coordinator.db().read().revision();
+        coordinator
+            .load(
+                "F",
+                vec![
+                    vec![Value::int(200), Value::str("Athens")],
+                    vec![Value::int(201), Value::str("Athens")],
+                ],
+            )
+            .unwrap();
+        assert_eq!(coordinator.db().read().revision(), before + 1);
+        assert!(matches!(
+            coordinator.load("Nope", vec![]),
+            Err(CoordinationError::Db(_))
+        ));
+    }
+
+    #[test]
+    fn events_start_at_subscription_not_at_service_birth() {
+        // No subscriber: outcomes are delivered on handles only (the
+        // engine's outcome log stays off). A later subscriber sees
+        // only what happens after it arrived — no replay.
+        let coordinator = batch_coordinator(flight_db());
+        let mut session = coordinator.session();
+        session
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        session
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        assert_eq!(coordinator.flush().answered, 2);
+
+        let events = coordinator.subscribe();
+        assert!(events.try_next().is_none(), "no replay of old outcomes");
+        let h = session
+            .submit(q("{R(Newman, z)} R(Frank, z) <- F(z, Rome)"))
+            .unwrap();
+        coordinator.cancel(h.id).unwrap();
+        assert!(matches!(
+            events.drain().as_slice(),
+            [Event::Cancelled { .. }]
+        ));
+    }
+
+    #[test]
+    fn coordinator_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Coordinator>();
+        assert_send_sync::<Event>();
+    }
+}

@@ -115,6 +115,38 @@ impl Database {
         Ok(())
     }
 
+    /// Bulk insert with one catalog lookup, one arity validation pass,
+    /// and a **single revision bump** for the whole batch. Loading n
+    /// rows through [`Database::insert`] bumps [`Database::revision`] n
+    /// times and — when the database sits behind the engine's lock —
+    /// costs n lock round trips; `insert_many` is the
+    /// one-lock/one-revision form workload generators and example setup
+    /// code should use. All-or-nothing: if any row has the wrong arity,
+    /// nothing is inserted. Returns the number of rows inserted.
+    pub fn insert_many(&mut self, relation: &str, rows: Vec<Tuple>) -> Result<usize, DbError> {
+        let name = Symbol::new(relation);
+        let table = self
+            .tables
+            .get_mut(&name)
+            .ok_or(DbError::UnknownRelation(name))?;
+        let expected = table.schema().arity();
+        if let Some(bad) = rows.iter().find(|r| r.len() != expected) {
+            return Err(DbError::ArityMismatch {
+                relation: name,
+                expected,
+                got: bad.len(),
+            });
+        }
+        let n = rows.len();
+        for row in rows {
+            table.push(row);
+        }
+        if n > 0 {
+            self.revision += 1;
+        }
+        Ok(n)
+    }
+
     /// Deletes one occurrence of an exact tuple. Returns true if a row
     /// was removed. Row ids stay stable (tombstoned internally).
     pub fn delete(&mut self, relation: &str, row: &[Value]) -> Result<bool, DbError> {
@@ -145,6 +177,24 @@ impl Database {
         }
         self.insert(relation, new)?;
         Ok(true)
+    }
+
+    /// A deep copy of the database (schemas + rows, fresh revision
+    /// counter, tombstones compacted away). The substrate has no
+    /// structural sharing, so this is O(rows); one-shot coordination
+    /// and engine-rebuild flows use it to get an owned database from a
+    /// borrowed one.
+    pub fn snapshot(&self) -> Database {
+        let mut out = Database::new();
+        for table in self.tables.values() {
+            let columns: Vec<&str> = table.schema().columns.iter().map(|c| c.as_str()).collect();
+            let name = table.schema().name;
+            out.create_table(name.as_str(), &columns)
+                .expect("fresh database");
+            out.insert_many(name.as_str(), table.rows().cloned().collect())
+                .expect("same schema");
+        }
+        out
     }
 
     /// Looks up a table by name.
@@ -254,6 +304,44 @@ mod tests {
     }
 
     #[test]
+    fn insert_many_single_revision_bump() {
+        let mut db = Database::new();
+        db.create_table("T", &["a", "b"]).unwrap();
+        let before = db.revision();
+        let n = db
+            .insert_many(
+                "T",
+                vec![
+                    vec![Value::int(1), Value::str("x")],
+                    vec![Value::int(2), Value::str("y")],
+                    vec![Value::int(3), Value::str("z")],
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(db.revision(), before + 1);
+        assert_eq!(db.scan("T").unwrap().len(), 3);
+        // Empty batches don't bump the revision.
+        assert_eq!(db.insert_many("T", vec![]).unwrap(), 0);
+        assert_eq!(db.revision(), before + 1);
+    }
+
+    #[test]
+    fn insert_many_is_all_or_nothing_on_arity_error() {
+        let mut db = Database::new();
+        db.create_table("T", &["a", "b"]).unwrap();
+        let err = db
+            .insert_many(
+                "T",
+                vec![vec![Value::int(1), Value::str("x")], vec![Value::int(2)]],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { got: 1, .. }));
+        assert!(db.scan("T").unwrap().is_empty());
+        assert!(db.insert_many("Nope", vec![]).is_err());
+    }
+
+    #[test]
     fn duplicate_table_rejected() {
         let mut db = Database::new();
         db.create_table("T", &["a"]).unwrap();
@@ -347,6 +435,19 @@ mod tests {
                 vec![Value::int(999), Value::int(0)],
             )
             .unwrap());
+    }
+
+    #[test]
+    fn snapshot_is_deep_and_compacted() {
+        let mut db = Database::new();
+        db.create_table("T", &["a"]).unwrap();
+        db.insert("T", vec![Value::int(1)]).unwrap();
+        db.insert("T", vec![Value::int(2)]).unwrap();
+        db.delete("T", &[Value::int(1)]).unwrap();
+        let copy = db.snapshot();
+        db.insert("T", vec![Value::int(3)]).unwrap();
+        assert_eq!(copy.scan("T").unwrap(), vec![vec![Value::int(2)]]);
+        assert_eq!(db.scan("T").unwrap().len(), 2);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! external crates are replaced by minimal vendored equivalents (see the
 //! "offline-dependency policy" section of the README). This shim covers
 //! exactly the subset of the `parking_lot` 0.12 API the workspace uses
-//! (`RwLock`): lock acquisition never returns a poison `Result` — a
-//! panicked holder propagates the poison as a panic at the next
-//! acquisition, matching `parking_lot`'s abort-on-poison spirit closely
-//! enough for our use. Extend it only alongside a new call site.
+//! (`RwLock` for the engine's shared database, `Mutex` for the
+//! `Coordinator` service handle): lock acquisition never returns a
+//! poison `Result` — a panicked holder propagates the poison as a panic
+//! at the next acquisition, matching `parking_lot`'s abort-on-poison
+//! spirit closely enough for our use. Extend it only alongside a new
+//! call site.
 
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
 
@@ -43,6 +45,36 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     }
 }
 
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Self(std::sync::Mutex::new(t))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().expect("Mutex poisoned")
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +86,15 @@ mod tests {
         *lock.write() += 1;
         assert_eq!(*lock.read(), 2);
         assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let lock = Mutex::new(1);
+        *lock.lock() += 1;
+        assert_eq!(*lock.lock(), 2);
+        assert_eq!(lock.into_inner(), 2);
+        assert_eq!(*Mutex::<u32>::default().lock(), 0);
     }
 
     #[test]

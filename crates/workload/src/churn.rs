@@ -74,38 +74,7 @@ fn reserve(user: Term, dest: Term) -> Atom {
 /// submission that precedes it and is never referenced twice.
 pub fn churn_script(graph: &SocialGraph, cfg: &ChurnConfig) -> Vec<ChurnOp> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    // Build the submission list: pairs + solos, globally shuffled.
-    // `true` marks a solo query (cancellable).
-    let mut submissions: Vec<(EntangledQuery, bool)> = Vec::with_capacity(cfg.queries);
-    let mut next_id = 0u64;
-    let mut solo_serial = 0usize;
-    while submissions.len() < cfg.queries {
-        let solo = rng.gen_range(0..1000) < cfg.solo_permille as usize;
-        if solo || submissions.len() + 2 > cfg.queries {
-            let me = Term::str(&format!("churn_solo_{solo_serial}"));
-            let ghost = Term::str(&format!("churn_ghost_{solo_serial}"));
-            solo_serial += 1;
-            let d = Term::Const(graph.airport_value(rng.gen_range(0..graph.num_airports())));
-            submissions.push((
-                EntangledQuery::new(vec![reserve(me, d)], vec![reserve(ghost, d)], vec![])
-                    .with_id(QueryId(next_id)),
-                true,
-            ));
-            next_id += 1;
-        } else {
-            let (u, v) = graph.random_edge(&mut rng);
-            let dest = graph.airport_value(rng.gen_range(0..graph.num_airports()));
-            for (me, partner) in [(u, v), (v, u)] {
-                submissions.push((
-                    pair_query(graph, me, partner, dest).with_id(QueryId(next_id)),
-                    false,
-                ));
-                next_id += 1;
-            }
-        }
-    }
-    submissions.shuffle(&mut rng);
+    let submissions = generate_submissions(graph, cfg.queries, cfg.solo_permille, &mut rng);
 
     // Interleave: every `flush_every` submissions, cancel the older
     // half of the outstanding solos, then flush.
@@ -135,6 +104,49 @@ pub fn churn_script(graph: &SocialGraph, cfg: &ChurnConfig) -> Vec<ChurnOp> {
     }
     ops.push(ChurnOp::Flush);
     ops
+}
+
+/// Builds the submission stream shared by [`churn_script`] and the
+/// service scripts (`crate::service_script`): coordinating pairs plus
+/// cancellable solo queries, globally shuffled. The second tuple field
+/// marks a solo (cancellable) query. Deterministic in the caller's rng
+/// state.
+pub(crate) fn generate_submissions(
+    graph: &SocialGraph,
+    queries: usize,
+    solo_permille: u32,
+    rng: &mut StdRng,
+) -> Vec<(EntangledQuery, bool)> {
+    let mut submissions: Vec<(EntangledQuery, bool)> = Vec::with_capacity(queries);
+    let mut next_id = 0u64;
+    let mut solo_serial = 0usize;
+    while submissions.len() < queries {
+        let solo = rng.gen_range(0..1000) < solo_permille as usize;
+        if solo || submissions.len() + 2 > queries {
+            let me = Term::str(&format!("churn_solo_{solo_serial}"));
+            let ghost = Term::str(&format!("churn_ghost_{solo_serial}"));
+            solo_serial += 1;
+            let d = Term::Const(graph.airport_value(rng.gen_range(0..graph.num_airports())));
+            submissions.push((
+                EntangledQuery::new(vec![reserve(me, d)], vec![reserve(ghost, d)], vec![])
+                    .with_id(QueryId(next_id)),
+                true,
+            ));
+            next_id += 1;
+        } else {
+            let (u, v) = graph.random_edge(rng);
+            let dest = graph.airport_value(rng.gen_range(0..graph.num_airports()));
+            for (me, partner) in [(u, v), (v, u)] {
+                submissions.push((
+                    pair_query(graph, me, partner, dest).with_id(QueryId(next_id)),
+                    false,
+                ));
+                next_id += 1;
+            }
+        }
+    }
+    submissions.shuffle(rng);
+    submissions
 }
 
 /// Best-case two-way query (§5.3.1): the partner is fully specified.

@@ -22,37 +22,40 @@
 mod churn;
 mod queries;
 pub mod rng;
+mod service;
 mod social;
 
 pub use churn::{churn_script, ChurnConfig, ChurnOp};
 pub use queries::{
-    chains, clique_groups, giant_cluster, no_unify, three_way_triangles, two_way_pairs,
+    chains, clique_groups, giant_cluster, grid_pairs, no_unify, three_way_triangles, two_way_pairs,
     unsafe_arrivals, unsafe_residents, PairStyle,
 };
+pub use service::{service_script, ServiceConfig, ServiceOp};
 pub use social::{SocialGraph, SocialGraphConfig};
 
 use eq_db::Database;
 
 /// Builds the experiment database (`Friends` + `User` tables) from a
-/// social graph. The `Reserve` relation is virtual (an ANSWER relation)
-/// and is *not* a database table.
+/// social graph, bulk-loading each table with one
+/// [`Database::insert_many`] (one revision bump per table). The
+/// `Reserve` relation is virtual (an ANSWER relation) and is *not* a
+/// database table.
 pub fn build_database(graph: &SocialGraph) -> Database {
     let mut db = Database::new();
     db.create_table("Friends", &["name1", "name2"])
         .expect("fresh database");
     db.create_table("User", &["name", "home"])
         .expect("fresh database");
+    let mut users = Vec::with_capacity(graph.num_users());
+    let mut friends = Vec::new();
     for u in 0..graph.num_users() {
-        db.insert("User", vec![graph.user_value(u), graph.hometown_value(u)])
-            .expect("schema arity");
+        users.push(vec![graph.user_value(u), graph.hometown_value(u)]);
         for &v in graph.friends(u) {
-            db.insert(
-                "Friends",
-                vec![graph.user_value(u), graph.user_value(v as usize)],
-            )
-            .expect("schema arity");
+            friends.push(vec![graph.user_value(u), graph.user_value(v as usize)]);
         }
     }
+    db.insert_many("User", users).expect("schema arity");
+    db.insert_many("Friends", friends).expect("schema arity");
     db
 }
 

@@ -249,6 +249,53 @@ pub fn giant_cluster(graph: &SocialGraph, n: usize, seed: u64) -> Vec<EntangledQ
     out
 }
 
+/// Collision-heavy ground pairs for the `fig_service` batch-submission
+/// sweep: pair `p` coordinates on the grid cell
+/// `(A{a}/B{a}, City{d})`, with cells enumerated uniquely over a
+/// `side × side` grid (`side ≈ √(n/2)`), so every *user* name appears
+/// in ~`√(n/2)` queries and every *city* in ~`√(n/2)` queries while
+/// each (user, city) combination stays unique. Consequence: every
+/// index posting list an admission probe can drive is hot, positional
+/// filtering does real work on each probe, and — because no
+/// postcondition ever has a second satisfier — the workload is *safe*,
+/// so the Figure-9 admission check scans full candidate lists with no
+/// early exit. This is the workload where batched admission's
+/// probe-once strategy (safety decided from the same probes that
+/// discover edges) beats sequential submission's scan-per-check, and
+/// where those probes parallelize across index shards.
+pub fn grid_pairs(n: usize, seed: u64) -> Vec<EntangledQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = n / 2;
+    let side = ((pairs as f64).sqrt().ceil() as usize).max(1);
+    let mut out = Vec::with_capacity(n);
+    let mut next_id = 0u64;
+    for p in 0..pairs {
+        let (a, d) = (p % side, p / side);
+        let me = Term::str(&format!("A{a}"));
+        let partner = Term::str(&format!("B{a}"));
+        let city = Term::str(&format!("City{d}"));
+        for (h, pc) in [(me, partner), (partner, me)] {
+            out.push(
+                EntangledQuery::new(vec![reserve(h, city)], vec![reserve(pc, city)], vec![])
+                    .with_id(QueryId(next_id)),
+            );
+            next_id += 1;
+        }
+    }
+    // Odd n: one extra solo query that never coordinates.
+    if out.len() < n {
+        let me = Term::str("grid_solo");
+        let ghost = Term::str("grid_ghost");
+        let city = Term::str("City0");
+        out.push(
+            EntangledQuery::new(vec![reserve(me, city)], vec![reserve(ghost, city)], vec![])
+                .with_id(QueryId(next_id)),
+        );
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
 /// Resident queries for the safety-check stress test (§5.3.5, Figure 9):
 /// `n` queries that cannot coordinate (their postconditions name ghosts)
 /// but whose heads cluster on `hubs` destinations, so that wildcard

@@ -1,0 +1,233 @@
+//! Service scenario generator: scripted traffic for a long-running
+//! `Coordinator` harness.
+//!
+//! Where `crate::churn_script` drives the raw engine one submission at
+//! a time, a *service script* models the traffic shape the paper's
+//! middleware sees in production: clients arrive in **bursts** (the
+//! natural unit for batched parallel admission), abandon requests
+//! between bursts, and the service flushes on a cadence. The same
+//! script can be replayed through sequential `submit` calls and
+//! through `submit_batch`, which is exactly how the `fig_service`
+//! benchmark measures the parallel-admission speedup and how the
+//! equivalence proptests cross-check the two paths.
+//!
+//! Scripts are deterministic in the seed, and the submission stream is
+//! shared with the churn generator: `ServiceConfig { queries, burst: 1,
+//! flush_every_bursts: k, .. }` submits the same queries in the same
+//! order as `ChurnConfig { queries, flush_every: k, .. }` with the same
+//! seed.
+
+use crate::churn::generate_submissions;
+use crate::rng::StdRng;
+use crate::social::SocialGraph;
+use eq_ir::EntangledQuery;
+use std::collections::VecDeque;
+
+/// One operation of a service script.
+#[derive(Clone, Debug)]
+pub enum ServiceOp {
+    /// One arrival burst: submit these queries as a single batch. The
+    /// position of each query among all submitted queries (across all
+    /// bursts) is its *submission index*, which `Cancel` refers to.
+    SubmitBatch(Vec<EntangledQuery>),
+    /// Withdraw the query with this submission index (always a solo
+    /// query that is still pending at this point in the script).
+    Cancel(usize),
+    /// Flush the service (evaluate dirty components).
+    Flush,
+}
+
+/// Shape of a service script.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Total queries submitted across all bursts.
+    pub queries: usize,
+    /// Queries per [`ServiceOp::SubmitBatch`] burst (≥ 1).
+    pub burst: usize,
+    /// A flush (preceded by a wave of cancellations of the oldest solo
+    /// residents) is emitted every this many bursts, and once at the
+    /// end. 0 means a single final flush.
+    pub flush_every_bursts: usize,
+    /// Out of 1000 submissions, how many are non-coordinating solo
+    /// queries (the residents that later get cancelled).
+    pub solo_permille: u32,
+    /// Script seed.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queries: 10_000,
+            burst: 500,
+            flush_every_bursts: 4,
+            solo_permille: 300,
+            seed: 2011,
+        }
+    }
+}
+
+/// Generates a deterministic service script. The returned ops submit
+/// exactly `cfg.queries` queries; every `Cancel` references a solo
+/// submission from an earlier burst and is never emitted twice.
+pub fn service_script(graph: &SocialGraph, cfg: &ServiceConfig) -> Vec<ServiceOp> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let submissions = generate_submissions(graph, cfg.queries, cfg.solo_permille, &mut rng);
+    let burst = cfg.burst.max(1);
+
+    let mut ops = Vec::with_capacity(submissions.len() / burst + submissions.len() / 2 + 2);
+    let mut solo_backlog: VecDeque<usize> = VecDeque::new();
+    let mut bursts_since_flush = 0usize;
+    let mut index = 0usize;
+    let mut submissions = submissions.into_iter().peekable();
+    while submissions.peek().is_some() {
+        let mut queries = Vec::with_capacity(burst);
+        for (query, solo) in submissions.by_ref().take(burst) {
+            if solo {
+                solo_backlog.push_back(index);
+            }
+            queries.push(query);
+            index += 1;
+        }
+        ops.push(ServiceOp::SubmitBatch(queries));
+        bursts_since_flush += 1;
+        if cfg.flush_every_bursts > 0 && bursts_since_flush >= cfg.flush_every_bursts {
+            bursts_since_flush = 0;
+            let to_cancel = solo_backlog.len() / 2;
+            for _ in 0..to_cancel {
+                let victim = solo_backlog.pop_front().expect("backlog non-empty");
+                ops.push(ServiceOp::Cancel(victim));
+            }
+            ops.push(ServiceOp::Flush);
+        }
+    }
+    // Drain: cancel the remaining solos and flush once more.
+    for victim in solo_backlog {
+        ops.push(ServiceOp::Cancel(victim));
+    }
+    ops.push(ServiceOp::Flush);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::SocialGraphConfig;
+    use crate::{churn_script, ChurnConfig, ChurnOp};
+
+    fn small_graph() -> SocialGraph {
+        SocialGraph::generate(&SocialGraphConfig {
+            users: 300,
+            airports: 6,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn script_shape() {
+        let g = small_graph();
+        let cfg = ServiceConfig {
+            queries: 200,
+            burst: 25,
+            flush_every_bursts: 2,
+            solo_permille: 300,
+            seed: 11,
+        };
+        let ops = service_script(&g, &cfg);
+        let submitted: usize = ops
+            .iter()
+            .filter_map(|o| match o {
+                ServiceOp::SubmitBatch(b) => Some(b.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(submitted, 200);
+        let flushes = ops.iter().filter(|o| matches!(o, ServiceOp::Flush)).count();
+        assert!(flushes >= 4, "flushes: {flushes}");
+        assert!(matches!(ops.last(), Some(ServiceOp::Flush)));
+        // Bursts respect the configured size.
+        for op in &ops {
+            if let ServiceOp::SubmitBatch(b) = op {
+                assert!(!b.is_empty() && b.len() <= 25);
+            }
+        }
+    }
+
+    #[test]
+    fn cancels_reference_earlier_solo_submissions_once() {
+        let g = small_graph();
+        let ops = service_script(&g, &ServiceConfig::default());
+        let mut submitted = 0usize;
+        let mut cancelled = std::collections::HashSet::new();
+        for op in &ops {
+            match op {
+                ServiceOp::SubmitBatch(b) => submitted += b.len(),
+                ServiceOp::Cancel(idx) => {
+                    assert!(*idx < submitted, "cancel of a future submission");
+                    assert!(cancelled.insert(*idx), "double cancel of {idx}");
+                }
+                ServiceOp::Flush => {}
+            }
+        }
+        assert!(!cancelled.is_empty(), "default config produces cancels");
+    }
+
+    #[test]
+    fn burst_one_submits_the_same_stream_as_the_churn_script() {
+        let g = small_graph();
+        let service = service_script(
+            &g,
+            &ServiceConfig {
+                queries: 120,
+                burst: 1,
+                flush_every_bursts: 30,
+                solo_permille: 300,
+                seed: 5,
+            },
+        );
+        let churn = churn_script(
+            &g,
+            &ChurnConfig {
+                queries: 120,
+                flush_every: 30,
+                solo_permille: 300,
+                seed: 5,
+            },
+        );
+        let service_queries: Vec<&EntangledQuery> = service
+            .iter()
+            .filter_map(|o| match o {
+                ServiceOp::SubmitBatch(b) => Some(&b[0]),
+                _ => None,
+            })
+            .collect();
+        let churn_queries: Vec<&EntangledQuery> = churn
+            .iter()
+            .filter_map(|o| match o {
+                ChurnOp::Submit(q) => Some(q),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(service_queries, churn_queries);
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let g = small_graph();
+        let cfg = ServiceConfig {
+            queries: 150,
+            ..Default::default()
+        };
+        let a = service_script(&g, &cfg);
+        let b = service_script(&g, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (ServiceOp::SubmitBatch(p), ServiceOp::SubmitBatch(q)) => assert_eq!(p, q),
+                (ServiceOp::Cancel(p), ServiceOp::Cancel(q)) => assert_eq!(p, q),
+                (ServiceOp::Flush, ServiceOp::Flush) => {}
+                _ => panic!("scripts diverge"),
+            }
+        }
+    }
+}

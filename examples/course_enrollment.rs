@@ -17,16 +17,20 @@ fn main() {
     // Course sections: Section(course, slot) where slot is an hour.
     let mut db = Database::new();
     db.create_table("Section", &["course", "slot"]).unwrap();
-    for (course, slot) in [
-        ("Databases", 9),
-        ("Databases", 14),
-        ("Compilers", 10),
-        ("Compilers", 16),
-        ("Ethics", 11),
-    ] {
-        db.insert("Section", vec![Value::str(course), Value::int(slot)])
-            .unwrap();
-    }
+    db.insert_many(
+        "Section",
+        [
+            ("Databases", 9),
+            ("Databases", 14),
+            ("Compilers", 10),
+            ("Compilers", 16),
+            ("Ethics", 11),
+        ]
+        .into_iter()
+        .map(|(course, slot)| vec![Value::str(course), Value::int(slot)])
+        .collect(),
+    )
+    .unwrap();
 
     // Ann and Ben enroll in the same Databases section; the ANSWER
     // relation is Enroll(student, course, slot).

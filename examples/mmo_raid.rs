@@ -11,7 +11,6 @@
 //!
 //! Run with: `cargo run --example mmo_raid`
 
-use entangled_queries::core::engine::QueryOutcome;
 use entangled_queries::prelude::*;
 
 fn main() {
@@ -22,22 +21,27 @@ fn main() {
         .unwrap();
     // Dungeon(name, min_level)
     db.create_table("Dungeon", &["name", "min_level"]).unwrap();
-    for (name, role, level) in [
-        ("Torvald", "tank", 60),
-        ("Mira", "healer", 58),
-        ("Zix", "dps", 61),
-        ("Lowbie", "dps", 12),
-    ] {
-        db.insert(
-            "Character",
-            vec![Value::str(name), Value::str(role), Value::int(level)],
-        )
-        .unwrap();
-    }
-    for (name, min_level) in [("Molten Core", 55), ("Deadmines", 10)] {
-        db.insert("Dungeon", vec![Value::str(name), Value::int(min_level)])
-            .unwrap();
-    }
+    db.insert_many(
+        "Character",
+        [
+            ("Torvald", "tank", 60),
+            ("Mira", "healer", 58),
+            ("Zix", "dps", 61),
+            ("Lowbie", "dps", 12),
+        ]
+        .into_iter()
+        .map(|(n, r, l)| vec![Value::str(n), Value::str(r), Value::int(l)])
+        .collect(),
+    )
+    .unwrap();
+    db.insert_many(
+        "Dungeon",
+        [("Molten Core", 55), ("Deadmines", 10)]
+            .into_iter()
+            .map(|(n, m)| vec![Value::str(n), Value::int(m)])
+            .collect(),
+    )
+    .unwrap();
 
     // -- The entangled queries (IR text format). -----------------------
     // Party is the ANSWER relation: Party(player, role, dungeon).
@@ -70,18 +74,24 @@ fn main() {
     )
     .unwrap();
 
-    // -- Submit asynchronously to a long-running engine. ---------------
-    let mut engine = CoordinationEngine::new(db, EngineConfig::default());
-    let handles = vec![
-        engine.submit(tank).unwrap(),
-        engine.submit(healer).unwrap(),
-        engine.submit(dps).unwrap(),
-    ];
+    // -- Submit asynchronously to a long-running service. --------------
+    // Each player's client is one session; the third arrival completes
+    // the triangle and the answers arrive on the event stream.
+    let coordinator = Coordinator::new(db, EngineConfig::default());
+    let events = coordinator.subscribe();
+    let mut session = coordinator.session();
+    session
+        .submit(SubmitRequest::new(tank).tag("tank"))
+        .unwrap();
+    session
+        .submit(SubmitRequest::new(healer).tag("healer"))
+        .unwrap();
+    session.submit(SubmitRequest::new(dps).tag("dps")).unwrap();
 
     let mut dungeon: Option<Value> = None;
-    for h in handles {
-        match h.outcome.try_recv() {
-            Ok(QueryOutcome::Answered(answer)) => {
+    for event in events.drain() {
+        match event {
+            Event::Answered { answer, .. } => {
                 let who = answer.tuples[0][0];
                 let role = answer.tuples[0][1];
                 let d = answer.tuples[0][2];
@@ -94,7 +104,7 @@ fn main() {
             other => panic!("expected an answer, got {other:?}"),
         }
     }
-    let d = dungeon.unwrap();
+    let d = dungeon.expect("the party assembled");
     // With level constraints in force the party lands in Molten Core:
     // everyone is 55+, and Deadmines would also qualify, but the level
     // constraints rule nothing out there either — the point is that all

@@ -16,15 +16,23 @@ fn main() {
     let mut db = Database::new();
     db.create_table("Parties", &["pid", "pdate"]).unwrap();
     db.create_table("Friend", &["name1", "name2"]).unwrap();
-    db.insert("Parties", vec![Value::int(1), Value::str("Friday")])
-        .unwrap();
-    db.insert("Parties", vec![Value::int(2), Value::str("Friday")])
-        .unwrap();
+    db.insert_many(
+        "Parties",
+        vec![
+            vec![Value::int(1), Value::str("Friday")],
+            vec![Value::int(2), Value::str("Friday")],
+        ],
+    )
+    .unwrap();
     let friends = ["elaine", "kramer", "george", "newman", "bania", "puddy"];
-    for f in friends {
-        db.insert("Friend", vec![Value::str("jerry"), Value::str(f)])
-            .unwrap();
-    }
+    db.insert_many(
+        "Friend",
+        friends
+            .iter()
+            .map(|f| vec![Value::str("jerry"), Value::str(f)])
+            .collect(),
+    )
+    .unwrap();
 
     // Round 1: six friends RSVP. Four pick party 1, two pick party 2.
     let rsvps: Vec<EntangledQuery> = friends

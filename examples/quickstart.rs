@@ -11,28 +11,36 @@ use entangled_queries::prelude::*;
 use entangled_queries::sql::Catalog;
 
 fn main() {
-    // -- The flight database of paper Figure 1(a). --------------------
+    // -- The flight database of paper Figure 1(a), bulk-loaded. --------
     let mut db = Database::new();
     db.create_table("Flights", &["fno", "dest"]).unwrap();
     db.create_table("Airlines", &["fno", "airline"]).unwrap();
-    for (fno, dest) in [
-        (122, "Paris"),
-        (123, "Paris"),
-        (134, "Paris"),
-        (136, "Rome"),
-    ] {
-        db.insert("Flights", vec![Value::int(fno), Value::str(dest)])
-            .unwrap();
-    }
-    for (fno, airline) in [
-        (122, "United"),
-        (123, "United"),
-        (134, "Lufthansa"),
-        (136, "Alitalia"),
-    ] {
-        db.insert("Airlines", vec![Value::int(fno), Value::str(airline)])
-            .unwrap();
-    }
+    db.insert_many(
+        "Flights",
+        [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ]
+        .into_iter()
+        .map(|(fno, dest)| vec![Value::int(fno), Value::str(dest)])
+        .collect(),
+    )
+    .unwrap();
+    db.insert_many(
+        "Airlines",
+        [
+            (122, "United"),
+            (123, "United"),
+            (134, "Lufthansa"),
+            (136, "Alitalia"),
+        ]
+        .into_iter()
+        .map(|(fno, airline)| vec![Value::int(fno), Value::str(airline)])
+        .collect(),
+    )
+    .unwrap();
 
     // -- The entangled queries, in the paper's SQL dialect. -----------
     let mut catalog = Catalog::new();
@@ -62,7 +70,9 @@ fn main() {
     println!("Kramer's query (IR): {kramer}");
     println!("Jerry's query  (IR): {jerry}");
 
-    // -- Coordinated answering (§4). -----------------------------------
+    // -- Coordinated answering (§4): one-shot over a throwaway
+    //    Coordinator session. For a long-running service, see the
+    //    travel_agency example.
     let outcome = coordinate(&[kramer, jerry], &db).expect("coordination runs");
     for answer in outcome.all_answers() {
         let who = &answer.tuples[0][0];

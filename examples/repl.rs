@@ -1,6 +1,8 @@
-//! An interactive entangled-query shell over the D3C engine — the kind
-//! of front end the paper's Figure 5 puts above the coordination
-//! middleware.
+//! An interactive entangled-query shell over the `Coordinator` service
+//! — the kind of front end the paper's Figure 5 puts above the
+//! coordination middleware. Outcomes arrive over the service's event
+//! stream (no polling); queries belong to the shell's session and are
+//! withdrawn when the shell exits.
 //!
 //! Commands (one per line):
 //!
@@ -10,6 +12,9 @@
 //! .mode incremental | batch           switch engine mode
 //! .flush                              set-at-a-time evaluation round
 //! .pending                            number of pending queries
+//! .watch                              drain and print queued events
+//! .cancel <id>                        withdraw a pending query
+//! .deadline <seconds> | off           deadline for subsequent queries
 //! .help                               this text
 //! .quit                               exit
 //! {C} H <- B                          submit a query in IR text form
@@ -20,31 +25,57 @@
 //! printed by `.help`, or pipe a script:
 //! `printf '...' | cargo run --example repl`.
 
-use entangled_queries::core::engine::QueryOutcome;
 use entangled_queries::prelude::*;
 use entangled_queries::sql::Catalog;
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 struct Shell {
-    engine: CoordinationEngine,
+    coordinator: Coordinator,
+    session: Session,
+    events: Events,
     catalog: Catalog,
-    handles: Vec<QueryHandle>,
     incremental: bool,
+    /// Default deadline applied to subsequent submissions.
+    deadline: Option<Duration>,
 }
 
 const DEMO: &str = r#"  .table Flights fno dest
   .insert Flights 122 Paris
   .insert Flights 136 Rome
+  .deadline 30
   {R(Jerry, x)} R(Kramer, x) <- Flights(x, Paris)
   {R(Kramer, y)} R(Jerry, y) <- Flights(y, Paris)
+  .watch
 "#;
 
+fn new_service(db: Database, incremental: bool) -> (Coordinator, Session, Events) {
+    let mode = if incremental {
+        EngineMode::Incremental
+    } else {
+        EngineMode::SetAtATime { batch_size: 0 }
+    };
+    let coordinator = Coordinator::new(
+        db,
+        EngineConfig {
+            mode,
+            ..Default::default()
+        },
+    );
+    let events = coordinator.subscribe();
+    let session = coordinator.session();
+    (coordinator, session, events)
+}
+
 fn main() {
+    let (coordinator, session, events) = new_service(Database::new(), true);
     let mut shell = Shell {
-        engine: CoordinationEngine::new(Database::new(), EngineConfig::default()),
+        coordinator,
+        session,
+        events,
         catalog: Catalog::new(),
-        handles: Vec::new(),
         incremental: true,
+        deadline: None,
     };
     println!("entangled-queries shell — .help for commands");
     let stdin = std::io::stdin();
@@ -61,13 +92,13 @@ fn main() {
         if let Err(msg) = shell.dispatch(line) {
             println!("error: {msg}");
         }
-        shell.drain_outcomes();
+        shell.print_events(false);
         std::io::stdout().flush().ok();
     }
     // Final drain for batch users who forgot to flush.
     if !shell.incremental {
-        shell.engine.flush();
-        shell.drain_outcomes();
+        shell.coordinator.flush();
+        shell.print_events(false);
     }
 }
 
@@ -82,9 +113,12 @@ impl Shell {
         } else {
             parse_ir_query(line).map_err(|e| e.to_string())?
         };
-        let handle = self.engine.submit(query).map_err(|e| format!("{e:?}"))?;
+        let mut request = SubmitRequest::new(query);
+        if let Some(bound) = self.deadline {
+            request = request.staleness(bound);
+        }
+        let handle = self.session.submit(request).map_err(|e| e.to_string())?;
         println!("submitted as {}", handle.id);
-        self.handles.push(handle);
         Ok(())
     }
 
@@ -92,12 +126,15 @@ impl Shell {
         let parts: Vec<&str> = rest.split_whitespace().collect();
         match parts.as_slice() {
             ["help"] => {
-                println!("commands: .table .insert .mode .flush .pending .help .quit");
+                println!(
+                    "commands: .table .insert .mode .flush .pending .watch .cancel \
+                     .deadline .help .quit"
+                );
                 println!("demo script:\n{DEMO}");
                 Ok(())
             }
             ["table", name, cols @ ..] if !cols.is_empty() => {
-                self.engine
+                self.coordinator
                     .db()
                     .write()
                     .create_table(name, cols)
@@ -114,7 +151,7 @@ impl Shell {
                         Err(_) => Value::str(v),
                     })
                     .collect();
-                self.engine
+                self.coordinator
                     .db()
                     .write()
                     .insert(name, row)
@@ -123,19 +160,17 @@ impl Shell {
                 Ok(())
             }
             ["mode", "incremental"] => {
-                self.incremental = true;
-                self.rebuild_engine(EngineMode::Incremental);
+                self.rebuild_service(true);
                 println!("mode: incremental");
                 Ok(())
             }
             ["mode", "batch"] => {
-                self.incremental = false;
-                self.rebuild_engine(EngineMode::SetAtATime { batch_size: 0 });
+                self.rebuild_service(false);
                 println!("mode: set-at-a-time (use .flush)");
                 Ok(())
             }
             ["flush"] => {
-                let report = self.engine.flush();
+                let report = self.coordinator.flush();
                 println!(
                     "flush: {} answered, {} failed, {} pending",
                     report.answered, report.failed, report.pending
@@ -143,55 +178,89 @@ impl Shell {
                 Ok(())
             }
             ["pending"] => {
-                println!("{} pending", self.engine.pending_count());
+                println!("{} pending", self.coordinator.pending_count());
+                Ok(())
+            }
+            ["watch"] => {
+                self.print_events(true);
+                Ok(())
+            }
+            ["cancel", id] => {
+                let id: u64 = id.parse().map_err(|_| format!("bad query id {id:?}"))?;
+                self.coordinator
+                    .cancel(QueryId(id))
+                    .map_err(|e| e.to_string())?;
+                println!("cancelled {}", QueryId(id));
+                Ok(())
+            }
+            ["deadline", "off"] => {
+                self.deadline = None;
+                println!("deadline: off");
+                Ok(())
+            }
+            ["deadline", secs] => {
+                let secs: u64 = secs
+                    .parse()
+                    .map_err(|_| format!("bad deadline {secs:?} (seconds or 'off')"))?;
+                self.deadline = Some(Duration::from_secs(secs));
+                println!("deadline: {secs}s for subsequent queries");
                 Ok(())
             }
             other => Err(format!("unknown command {other:?} — try .help")),
         }
     }
 
-    /// Mode changes rebuild the engine over the same database (pending
-    /// queries do not survive a mode switch; a production system would
-    /// migrate them).
-    fn rebuild_engine(&mut self, mode: EngineMode) {
-        let db = self.engine.db();
-        let snapshot = {
-            let guard = db.read();
-            let mut copy = Database::new();
-            for name in guard.table_names() {
-                let table = guard.table(name).expect("listed");
-                let cols: Vec<&str> = table.schema().columns.iter().map(|c| c.as_str()).collect();
-                copy.create_table(name.as_str(), &cols).ok();
-                for row in table.rows() {
-                    copy.insert(name.as_str(), row.clone()).ok();
-                }
-            }
-            copy
-        };
-        self.engine = CoordinationEngine::new(
-            snapshot,
-            EngineConfig {
-                mode,
-                ..Default::default()
-            },
-        );
-        self.handles.clear();
+    /// Mode changes rebuild the service over a snapshot of the database
+    /// (pending queries do not survive a mode switch; the old session's
+    /// drop withdraws them).
+    fn rebuild_service(&mut self, incremental: bool) {
+        self.incremental = incremental;
+        let snapshot = self.coordinator.db().read().snapshot();
+        let (coordinator, session, events) = new_service(snapshot, incremental);
+        self.coordinator = coordinator;
+        self.session = session;
+        self.events = events;
     }
 
-    fn drain_outcomes(&mut self) {
-        self.handles.retain(|h| match h.outcome.try_recv() {
-            Ok(QueryOutcome::Answered(a)) => {
-                for (rel, tup) in a.relations.iter().zip(&a.tuples) {
-                    let rendered: Vec<String> = tup.iter().map(ToString::to_string).collect();
-                    println!("{} answered: {rel}({})", a.query, rendered.join(", "));
+    /// Prints queued events. Terminal events always print; `verbose`
+    /// additionally prints flush reports and a placeholder when the
+    /// stream is empty (the `.watch` command).
+    fn print_events(&mut self, verbose: bool) {
+        let mut any = false;
+        for event in self.events.drain() {
+            match event {
+                Event::Answered { id, answer, .. } => {
+                    any = true;
+                    for (rel, tup) in answer.relations.iter().zip(&answer.tuples) {
+                        let rendered: Vec<String> = tup.iter().map(ToString::to_string).collect();
+                        println!("{id} answered: {rel}({})", rendered.join(", "));
+                    }
                 }
-                false
+                Event::Failed { id, reason, .. } => {
+                    any = true;
+                    println!("{id} failed: {reason}");
+                }
+                Event::Expired { id, .. } => {
+                    any = true;
+                    println!("{id} expired (deadline)");
+                }
+                Event::Cancelled { id, .. } => {
+                    any = true;
+                    println!("{id} cancelled");
+                }
+                Event::Flushed(report) => {
+                    if verbose {
+                        any = true;
+                        println!(
+                            "flushed: {} answered, {} failed, {} pending",
+                            report.answered, report.failed, report.pending
+                        );
+                    }
+                }
             }
-            Ok(QueryOutcome::Failed(reason)) => {
-                println!("{} failed: {reason:?}", h.id);
-                false
-            }
-            Err(_) => true,
-        });
+        }
+        if verbose && !any {
+            println!("(no events)");
+        }
     }
 }

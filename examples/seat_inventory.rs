@@ -2,29 +2,46 @@
 //! "would include checks for seat availability and other factors". This
 //! example models seat inventory as data: a flight is only a valid
 //! coordination target while it has unassigned seats, and the
-//! application consumes seats after each successful round (the paper's
-//! transaction-integration story, §5.1, approximated by database updates
-//! between rounds).
+//! application consumes seats after each successful round through the
+//! `Coordinator`'s shared database handle (the paper's
+//! transaction-integration story, §5.1, approximated by database
+//! updates between rounds — each write re-dirties kept-pending
+//! components at the next flush).
 //!
 //! Run with: `cargo run --example seat_inventory`
 
-use entangled_queries::core::coordinate;
 use entangled_queries::prelude::*;
 
-/// Books a pair of friends onto a shared flight with two free seats.
-fn book_pair(db: &mut Database, a: &str, b: &str) -> Option<i64> {
+/// Books a pair of friends onto a shared flight with two free seats,
+/// through one service session.
+fn book_pair(coordinator: &Coordinator, events: &Events, a: &str, b: &str) -> Option<i64> {
     // Each traveller needs their own seat: the combined query joins two
     // distinct Seat rows on the same flight. Seat(fno, seatno).
     let qa = parse_ir_query(&format!("{{R(\"{b}\", f)}} R(\"{a}\", f) <- Seat(f, s1)")).unwrap();
     let qb = parse_ir_query(&format!("{{R(\"{a}\", g)}} R(\"{b}\", g) <- Seat(g, s2)")).unwrap();
-    let outcome = coordinate(&[qa, qb], db).unwrap();
-    let answers = outcome.all_answers();
-    if answers.len() != 2 {
-        return None;
-    }
-    let fno = answers[0].tuples[0][1].as_int().unwrap();
+    // KeepPending: a pair that finds no seats stays in the pool (it
+    // would be retried when inventory changes) until its session ends.
+    let mut session = coordinator.session();
+    session.submit_batch(vec![
+        SubmitRequest::new(qa).on_no_solution(NoSolutionPolicy::KeepPending),
+        SubmitRequest::new(qb).on_no_solution(NoSolutionPolicy::KeepPending),
+    ]);
+    coordinator.flush();
 
-    // The application books the seats: consume two Seat rows for fno.
+    let mut fno = None;
+    for event in events.drain() {
+        if let Event::Answered { answer, .. } = event {
+            fno = Some(answer.tuples[0][1].as_int().unwrap());
+        }
+    }
+    // Leaving the scope closes the session: a failed pair's pending
+    // queries are withdrawn rather than lingering in the pool.
+    let fno = fno?;
+
+    // The application books the seats: consume two Seat rows for fno,
+    // through the shared database handle.
+    let db = coordinator.db();
+    let mut db = db.write();
     let seats: Vec<Tuple> = db
         .scan("Seat")
         .unwrap()
@@ -43,28 +60,40 @@ fn main() {
     let mut db = Database::new();
     db.create_table("Seat", &["fno", "seatno"]).unwrap();
     // Flight 122 has 2 seats, flight 123 has 4.
-    for (fno, seat) in [(122, 1), (122, 2), (123, 1), (123, 2), (123, 3), (123, 4)] {
-        db.insert("Seat", vec![Value::int(fno), Value::int(seat)])
-            .unwrap();
-    }
+    db.insert_many(
+        "Seat",
+        [(122, 1), (122, 2), (123, 1), (123, 2), (123, 3), (123, 4)]
+            .into_iter()
+            .map(|(f, s)| vec![Value::int(f), Value::int(s)])
+            .collect(),
+    )
+    .unwrap();
 
-    let f1 = book_pair(&mut db, "jerry", "kramer").expect("seats available");
+    let coordinator = Coordinator::new(
+        db,
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            ..Default::default()
+        },
+    );
+    let events = coordinator.subscribe();
+
+    let f1 = book_pair(&coordinator, &events, "jerry", "kramer").expect("seats available");
     println!("jerry & kramer booked flight {f1}");
 
-    let f2 = book_pair(&mut db, "elaine", "george").expect("seats available");
+    let f2 = book_pair(&coordinator, &events, "elaine", "george").expect("seats available");
     println!("elaine & george booked flight {f2}");
 
-    let f3 = book_pair(&mut db, "newman", "bania").expect("seats available");
+    let f3 = book_pair(&coordinator, &events, "newman", "bania").expect("seats available");
     println!("newman & bania booked flight {f3}");
 
-    // Six seats existed, six were consumed: the fourth pair fails.
-    assert_eq!(db.scan("Seat").unwrap().len(), 0);
-    assert!(book_pair(&mut db, "puddy", "jackie").is_none());
-    println!("puddy & jackie could not book: no seats left ✓");
-
-    // Across the three bookings, both 2-seat and 4-seat flights were
-    // used; each successful pair shared one flight.
-    let mut flights = vec![f1, f2, f3];
-    flights.sort_unstable();
-    println!("flights used: {flights:?}");
+    // Six seats existed, six were consumed: the fourth pair fails, and
+    // its session cleans its queries out of the pool on drop.
+    assert_eq!(
+        book_pair(&coordinator, &events, "puddy", "jackie"),
+        None,
+        "no seats left anywhere"
+    );
+    assert_eq!(coordinator.pending_count(), 0, "failed pair withdrawn");
+    println!("no seats left: fourth pair correctly turned away ✓");
 }

@@ -1,6 +1,8 @@
-//! A travel-agency coordination service built on the D3C engine (§5.1):
-//! asynchronous submissions, set-at-a-time batching, coordination
-//! failure, and staleness.
+//! A travel-agency coordination service built on the `Coordinator`
+//! facade (§5.1): session-scoped asynchronous submissions, per-query
+//! deadlines and tags via the `SubmitRequest` builder, set-at-a-time
+//! batching, coordination failure, and a pushed event stream instead
+//! of polling.
 //!
 //! The scenario follows the paper's evaluation schema —
 //! `Reserve(user, dest)` as the ANSWER relation over a `Friends`/`User`
@@ -8,119 +10,136 @@
 //!
 //! Run with: `cargo run --example travel_agency`
 
-use entangled_queries::core::engine::{FailReason, QueryOutcome};
 use entangled_queries::prelude::*;
 use std::time::Duration;
 
 fn main() {
-    // -- The social database. ------------------------------------------
+    // -- The social database, bulk-loaded. ------------------------------
     let mut db = Database::new();
     db.create_table("Friends", &["name1", "name2"]).unwrap();
     db.create_table("User", &["name", "home"]).unwrap();
-    for (a, b) in [
-        ("jerry", "kramer"),
-        ("kramer", "jerry"),
-        ("elaine", "george"),
-        ("george", "elaine"),
-    ] {
-        db.insert("Friends", vec![Value::str(a), Value::str(b)])
-            .unwrap();
-    }
-    for (name, home) in [
-        ("jerry", "NYC"),
-        ("kramer", "NYC"),
-        ("elaine", "NYC"),
-        ("george", "LAX"), // George moved away: they cannot co-book.
-        ("newman", "NYC"),
-    ] {
-        db.insert("User", vec![Value::str(name), Value::str(home)])
-            .unwrap();
-    }
+    db.insert_many(
+        "Friends",
+        [
+            ("jerry", "kramer"),
+            ("kramer", "jerry"),
+            ("elaine", "george"),
+            ("george", "elaine"),
+        ]
+        .into_iter()
+        .map(|(a, b)| vec![Value::str(a), Value::str(b)])
+        .collect(),
+    )
+    .unwrap();
+    db.insert_many(
+        "User",
+        [
+            ("jerry", "NYC"),
+            ("kramer", "NYC"),
+            ("elaine", "NYC"),
+            ("george", "LAX"), // George moved away: they cannot co-book.
+            ("newman", "NYC"),
+        ]
+        .into_iter()
+        .map(|(n, h)| vec![Value::str(n), Value::str(h)])
+        .collect(),
+    )
+    .unwrap();
 
-    // -- A set-at-a-time engine with a staleness bound. -----------------
-    let mut engine = CoordinationEngine::new(
+    // -- A set-at-a-time coordination service. --------------------------
+    let coordinator = Coordinator::new(
         db,
         EngineConfig {
             mode: EngineMode::SetAtATime { batch_size: 0 },
-            staleness: Some(Duration::from_millis(50)),
             ..Default::default()
         },
     );
+    let events = coordinator.subscribe();
+    let mut session = coordinator.session();
 
+    let query = |text: &str| parse_ir_query(text).unwrap();
     // Jerry & Kramer: same-city friends — will coordinate.
-    let jerry = parse_ir_query(
+    let jerry = query(
         "{Reserve(x, \"PAR\")} Reserve(\"jerry\", \"PAR\") <- \
          Friends(\"jerry\", x), User(\"jerry\", c), User(x, c)",
-    )
-    .unwrap();
-    let kramer = parse_ir_query(
+    );
+    let kramer = query(
         "{Reserve(y, \"PAR\")} Reserve(\"kramer\", \"PAR\") <- \
          Friends(\"kramer\", y), User(\"kramer\", c), User(y, c)",
-    )
-    .unwrap();
+    );
     // Elaine & George: friends in different cities — combined query has
     // no solution, both are rejected.
-    let elaine = parse_ir_query(
+    let elaine = query(
         "{Reserve(x, \"ROM\")} Reserve(\"elaine\", \"ROM\") <- \
          Friends(\"elaine\", x), User(\"elaine\", c), User(x, c)",
-    )
-    .unwrap();
-    let george = parse_ir_query(
+    );
+    let george = query(
         "{Reserve(y, \"ROM\")} Reserve(\"george\", \"ROM\") <- \
          Friends(\"george\", y), User(\"george\", c), User(y, c)",
-    )
-    .unwrap();
-    // Newman waits for a partner who never submits — goes stale.
-    let newman = parse_ir_query(
+    );
+    // Newman waits for a partner who never submits; his per-query
+    // deadline fails him out of the pool.
+    let newman = query(
         "{Reserve(\"ghost\", \"BOS\")} Reserve(\"newman\", \"BOS\") <- \
          User(\"newman\", c)",
-    )
-    .unwrap();
+    );
 
-    let h_jerry = engine.submit(jerry).unwrap();
-    let h_kramer = engine.submit(kramer).unwrap();
-    let h_elaine = engine.submit(elaine).unwrap();
-    let h_george = engine.submit(george).unwrap();
-    let h_newman = engine.submit(newman).unwrap();
+    // Batched submission: admission probes run in parallel across the
+    // index shards. Tags come back on the events.
+    let results = session.submit_batch(vec![
+        SubmitRequest::new(jerry).tag("jerry"),
+        SubmitRequest::new(kramer).tag("kramer"),
+        SubmitRequest::new(elaine).tag("elaine"),
+        SubmitRequest::new(george).tag("george"),
+        SubmitRequest::new(newman)
+            .tag("newman")
+            .staleness(Duration::from_millis(50)),
+    ]);
+    assert!(results.iter().all(Result::is_ok), "all five admitted");
+    assert_eq!(coordinator.pending_count(), 5);
 
     // Nothing is answered until the batch is flushed.
-    assert!(h_jerry.outcome.try_recv().is_err());
-    let report = engine.flush();
+    assert!(events.try_next().is_none());
+    let report = coordinator.flush();
     println!(
         "flush #1: {} answered, {} failed, {} pending across {} components",
         report.answered, report.failed, report.pending, report.components
     );
 
-    match h_jerry.outcome.try_recv().unwrap() {
-        QueryOutcome::Answered(a) => {
-            println!("jerry booked: {:?} -> {:?}", a.tuples[0][0], a.tuples[0][1]);
+    let mut booked = Vec::new();
+    let mut rejected = Vec::new();
+    for event in events.drain() {
+        match event {
+            Event::Answered { tag, answer, .. } => {
+                println!(
+                    "{} booked: {:?} -> {:?}",
+                    tag.as_deref().unwrap_or("?"),
+                    answer.tuples[0][0],
+                    answer.tuples[0][1]
+                );
+                booked.push(tag.unwrap());
+            }
+            Event::Failed { tag, reason, .. } => {
+                println!("{} rejected: {reason}", tag.as_deref().unwrap_or("?"));
+                rejected.push(tag.unwrap());
+            }
+            Event::Flushed(r) => assert_eq!(r.answered, 2),
+            other => panic!("unexpected event {other:?}"),
         }
-        other => panic!("jerry should coordinate, got {other:?}"),
     }
-    assert!(matches!(
-        h_kramer.outcome.try_recv().unwrap(),
-        QueryOutcome::Answered(_)
-    ));
-    // Elaine/George matched syntactically but the database disagrees.
-    assert!(matches!(
-        h_elaine.outcome.try_recv().unwrap(),
-        QueryOutcome::Failed(_)
-    ));
-    assert!(matches!(
-        h_george.outcome.try_recv().unwrap(),
-        QueryOutcome::Failed(_)
-    ));
-    println!("elaine & george rejected: no coordinated solution (different cities)");
+    booked.sort();
+    rejected.sort();
+    assert_eq!(booked, ["jerry", "kramer"]);
+    assert_eq!(rejected, ["elaine", "george"]);
 
-    // Newman's partner never arrives; after the staleness bound he is
-    // failed out of the pending pool.
+    // Newman's partner never arrives; his deadline expires him.
     std::thread::sleep(Duration::from_millis(60));
-    let expired = engine.expire_stale();
-    assert_eq!(expired, 1);
-    assert_eq!(
-        h_newman.outcome.try_recv().unwrap(),
-        QueryOutcome::Failed(FailReason::Stale)
-    );
-    println!("newman went stale after waiting alone ✓");
-    assert_eq!(engine.pending_count(), 0);
+    assert_eq!(coordinator.expire_stale(), 1);
+    match events.try_next() {
+        Some(Event::Expired { tag, .. }) => {
+            println!("{} went stale after waiting alone ✓", tag.unwrap());
+        }
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    assert_eq!(coordinator.pending_count(), 0);
 }

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Full-workspace CI: format check, build, test, lint,
+# Full-workspace CI: format check, build, test, lint, docs-as-errors,
 # workspace-membership assertion, and bench smoke runs (fig6 throughput,
-# fig8 stress, fig_resident churn). Everything runs offline (vendored
-# shims only — see README "Offline-dependency policy").
+# fig8 stress, fig_resident churn, fig_service batched admission).
+# Everything runs offline (vendored shims only — see README
+# "Offline-dependency policy").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/7 cargo fmt --check =="
+echo "== 1/8 cargo fmt --check =="
 cargo fmt --check
 
-echo "== 2/7 workspace membership (cargo metadata) =="
+echo "== 2/8 workspace membership (cargo metadata) =="
 # Parse real package names only (a grep over the raw JSON would also
 # match "name" fields inside dependency tables and pass vacuously).
 names=$(cargo metadata --no-deps --format-version 1 --offline |
@@ -25,20 +26,24 @@ for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
 done
 echo "all $(wc -w <<<"$names" | tr -d ' ') packages present"
 
-echo "== 3/7 cargo build --release =="
+echo "== 3/8 cargo build --release =="
 cargo build --release --offline
 
-echo "== 4/7 cargo test -q =="
+echo "== 4/8 cargo test -q =="
 cargo test -q --offline
 
-echo "== 5/7 cargo clippy --workspace --all-targets =="
+echo "== 5/8 cargo clippy --workspace --all-targets =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== 6/7 fig6 + fig8 bench smoke =="
+echo "== 6/8 cargo doc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "== 7/8 fig6 + fig8 bench smoke =="
 cargo bench -q --offline -p eq_bench --bench fig6_two_way -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
 
-echo "== 7/7 fig_resident churn smoke =="
+echo "== 8/8 fig_resident churn + fig_service admission smoke =="
 cargo bench -q --offline -p eq_bench --bench fig_resident -- --smoke
+cargo bench -q --offline -p eq_bench --bench fig_service -- --smoke
 
 echo "CI green."

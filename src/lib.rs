@@ -9,28 +9,42 @@
 //! * [`unify`] — unifiers and most-general-unifier computation;
 //! * [`db`] — the in-memory relational database substrate;
 //! * [`core`] — safety/UCS checks, the matching algorithm, combined-query
-//!   construction, the resident match graph, and the D3C coordination
-//!   engine (dirty-component flushes over persistent match state);
+//!   construction, the resident match graph, the D3C coordination
+//!   engine (dirty-component flushes over persistent match state), and
+//!   the `Coordinator` service facade (sessions, submit builders,
+//!   event streams, typed errors);
 //! * [`workload`] — the paper's evaluation workload generators plus the
-//!   churn scenario scripts (interleaved submit/flush/cancel).
+//!   churn and service scenario scripts.
 //!
 //! ## Quickstart
 //!
-//! The Kramer/Jerry example from the paper's introduction:
+//! The Kramer/Jerry example from the paper's introduction, against the
+//! `Coordinator` service:
 //!
 //! ```
 //! use entangled_queries::prelude::*;
 //!
-//! // A flight database (paper Figure 1a).
+//! // A flight database (paper Figure 1a), bulk-loaded.
 //! let mut db = Database::new();
 //! db.create_table("Flights", &["fno", "dest"]).unwrap();
 //! db.create_table("Airlines", &["fno", "airline"]).unwrap();
-//! for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
-//!     db.insert("Flights", vec![Value::int(fno), Value::str(dest)]).unwrap();
-//! }
-//! for (fno, al) in [(122, "United"), (123, "United"), (134, "Lufthansa"), (136, "Alitalia")] {
-//!     db.insert("Airlines", vec![Value::int(fno), Value::str(al)]).unwrap();
-//! }
+//! db.insert_many("Flights", vec![
+//!     vec![Value::int(122), Value::str("Paris")],
+//!     vec![Value::int(123), Value::str("Paris")],
+//!     vec![Value::int(134), Value::str("Paris")],
+//!     vec![Value::int(136), Value::str("Rome")],
+//! ]).unwrap();
+//! db.insert_many("Airlines", vec![
+//!     vec![Value::int(122), Value::str("United")],
+//!     vec![Value::int(123), Value::str("United")],
+//!     vec![Value::int(134), Value::str("Lufthansa")],
+//!     vec![Value::int(136), Value::str("Alitalia")],
+//! ]).unwrap();
+//!
+//! // A long-running coordination service; subscribe to its events.
+//! let coordinator = Coordinator::new(db, EngineConfig::default());
+//! let events = coordinator.subscribe();
+//! let mut session = coordinator.session();
 //!
 //! // Kramer: fly to Paris on the same flight as Jerry.
 //! let kramer = parse_ir_query(
@@ -40,14 +54,22 @@
 //!     "{R(\"Kramer\", y)} R(\"Jerry\", y) <- Flights(y, \"Paris\"), Airlines(y, \"United\")"
 //! ).unwrap();
 //!
-//! let outcome = coordinate(&[kramer, jerry], &db).unwrap();
-//! let answers = outcome.all_answers();
-//! assert_eq!(answers.len(), 2);
-//! // Both got the same United flight to Paris (122 or 123).
-//! let fno = answers[0].tuples[0][1];
+//! session.submit(SubmitRequest::new(kramer).tag("kramer")).unwrap();
+//! session.submit(SubmitRequest::new(jerry).tag("jerry")).unwrap();
+//!
+//! // Both coordinated on the same United flight (122 or 123); the
+//! // outcomes were pushed on the event stream.
+//! let answered: Vec<Event> = events.drain();
+//! assert_eq!(answered.len(), 2);
+//! let fno = match &answered[0] {
+//!     Event::Answered { answer, .. } => answer.tuples[0][1],
+//!     other => panic!("expected an answer, got {other:?}"),
+//! };
 //! assert!(fno == Value::int(122) || fno == Value::int(123));
-//! assert_eq!(answers[1].tuples[0][1], fno);
 //! ```
+//!
+//! One-shot coordination over a fixed query set is still available as
+//! [`core::coordinate()`] (a thin wrapper over a throwaway session).
 
 pub use eq_core as core;
 pub use eq_db as db;
@@ -85,9 +107,10 @@ pub fn catalog_for(db: &eq_db::Database) -> eq_sql::Catalog {
 /// Commonly used items, for `use entangled_queries::prelude::*`.
 pub mod prelude {
     pub use eq_core::{
-        coordinate, BatchReport, CoordinationEngine, CoordinationOutcome, EngineConfig, EngineMode,
-        FailReason, QueryAnswer, QueryHandle, QueryOutcome, QueryStatus, ResidentGraph,
-        SafetyViolation,
+        coordinate, BatchReport, CoordinationEngine, CoordinationError, CoordinationOutcome,
+        Coordinator, EngineConfig, EngineMode, Event, Events, FailReason, InvariantViolation,
+        NoSolutionPolicy, QueryAnswer, QueryHandle, QueryOutcome, QueryStatus, RejectReason,
+        ResidentGraph, SafetyViolation, Session, SubmitRequest,
     };
     pub use eq_db::{Database, Tuple};
     pub use eq_ir::{Atom, EntangledQuery, QueryId, Symbol, Term, Value, Var, VarGen};
