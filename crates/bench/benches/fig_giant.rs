@@ -1,0 +1,62 @@
+//! Intra-component evaluation under one giant entangled ring: the
+//! sequential combined join versus the partitioned work-unit path at
+//! several worker counts. The non-timing sweep (with JSON output and
+//! the 100k bounded-event mode) lives in the `fig_giant` bin; this
+//! bench target gives CI a smoke run and developers a stable A/B
+//! timer.
+
+use eq_bench::harness::{smoke_mode, BenchGroup};
+use eq_bench::{clone_db, drive_giant};
+use eq_workload::{giant_component, GiantBody, GiantComponentConfig};
+
+fn main() {
+    let (n, k, threads): (usize, usize, &[usize]) = if smoke_mode() {
+        (500, 6, &[1, 2, 4])
+    } else {
+        (10_000, 12, &[1, 2, 4, 8])
+    };
+    let (chain_db, chain_queries) = giant_component(&GiantComponentConfig {
+        queries: n,
+        friends_per_user: k,
+        body: GiantBody::Chain,
+    });
+    let (tri_db, tri_queries) = giant_component(&GiantComponentConfig {
+        queries: n,
+        friends_per_user: k,
+        body: GiantBody::Triangle,
+    });
+
+    let mut group = BenchGroup::new("fig_giant");
+    group.sample_size(if smoke_mode() { 3 } else { 5 });
+
+    // The pre-intra engine's only option: one combined join over the
+    // whole ring (chain bodies — backtrack-free, so it terminates).
+    // Quadratic atom-selection scan: one sample is plenty at scale.
+    {
+        let mut seq = BenchGroup::new("fig_giant (sequential baseline)");
+        seq.sample_size(1);
+        seq.bench_with_setup(
+            "sequential (one combined join)",
+            n as u64,
+            || clone_db(&chain_db),
+            |db| drive_giant(db, &chain_queries, usize::MAX, 1),
+        );
+    }
+
+    for &t in threads {
+        group.bench_with_setup(
+            &format!("intra chain ({t} threads)"),
+            n as u64,
+            || clone_db(&chain_db),
+            |db| drive_giant(db, &chain_queries, 1, t),
+        );
+    }
+    for &t in threads {
+        group.bench_with_setup(
+            &format!("intra triangle ({t} threads)"),
+            n as u64,
+            || clone_db(&tri_db),
+            |db| drive_giant(db, &tri_queries, 1, t),
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Intra-component parallelism sweep: one giant entangled ring per
+//! point, evaluated sequentially (one combined join) versus through the
+//! engine's partitioned work-unit path at 1/2/4/8 worker threads, on
+//! both ring-body flavors (backtrack-free chains for the head-to-head,
+//! Θ(k²)-per-unit triangles for thread scaling).
+//!
+//! `--sweep` instead runs the Figure-6/8-style 100k-query scale mode:
+//! batched admission + one giant-component flush through the full
+//! service stack, with a bounded `Block` event subscription drained
+//! concurrently — asserting that backpressure loses no terminal event.
+//!
+//! Usage:
+//!   cargo run --release -p eq_bench --bin fig_giant [-- --sizes 2000,10000]
+//!   cargo run --release -p eq_bench --bin fig_giant -- --sweep [--sweep-size 100000]
+//!   cargo run --release -p eq_bench --bin fig_giant -- --smoke   (CI-sized run)
+
+use eq_bench::harness::smoke_mode;
+use eq_bench::{
+    report, run_fig_giant, run_fig_giant_sweep, sizes_from_args, FigGiantConfig,
+    FigGiantSweepConfig,
+};
+use std::path::Path;
+
+fn flag_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let sweep = std::env::args().any(|a| a == "--sweep");
+
+    if sweep {
+        let queries = flag_value("--sweep-size").unwrap_or(if smoke { 20_000 } else { 100_000 });
+        let rows = run_fig_giant_sweep(&FigGiantSweepConfig {
+            queries,
+            friends_per_user: 8,
+            flush_threads: 0,
+            event_capacity: 1024,
+        });
+        report(
+            "Giant-component 100k sweep: batched admission + partitioned flush + bounded events",
+            &rows,
+            Some(Path::new("results/fig_giant_sweep.json")),
+        );
+        return;
+    }
+
+    let (sizes, threads, seq_cap): (Vec<usize>, Vec<usize>, usize) = if smoke {
+        (vec![600], vec![1, 2, 4], 600)
+    } else {
+        (sizes_from_args(&[2_000, 10_000]), vec![1, 2, 4, 8], 10_000)
+    };
+    let rows = run_fig_giant(&FigGiantConfig {
+        sizes,
+        friends_per_user: 12,
+        threads,
+        seq_size_cap: seq_cap,
+    });
+    report(
+        "Intra-component evaluation: sequential combined join vs partitioned work units",
+        &rows,
+        Some(Path::new("results/fig_giant.json")),
+    );
+}

@@ -10,10 +10,14 @@
 //! | 9 | [`run_fig9`] | safety-check overhead against 20k resident queries |
 //!
 //! Beyond the paper's figures, [`run_fig_resident`] measures the
-//! resident match graph against a rebuild-per-flush baseline, and
+//! resident match graph against a rebuild-per-flush baseline,
 //! [`run_fig_service`] measures the `Coordinator` service API —
 //! batched parallel admission versus sequential submission, and
-//! event-stream throughput.
+//! event-stream throughput — and [`run_fig_giant`] measures
+//! intra-component evaluation parallelism on a single giant entangled
+//! ring (one combined join versus partitioned work units at 1/2/4/8
+//! workers, plus the 100k [`run_fig_giant_sweep`] mode over bounded
+//! event subscriptions).
 //!
 //! Absolute numbers differ from the paper (different hardware, MySQL →
 //! in-memory substrate); the claims under reproduction are the *shapes*
@@ -24,9 +28,10 @@ mod runner;
 
 pub use harness::BenchGroup;
 pub use runner::{
-    clone_db, drive_churn_rebuild, drive_churn_resident, drive_service_harness, instrumented_batch,
-    pairwise_edge_count, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_resident, run_fig_service,
-    standard_graph, ChurnCounters, Fig6Config, Fig8Config, Fig9Config, FigResidentConfig,
+    clone_db, drive_churn_rebuild, drive_churn_resident, drive_giant, drive_service_harness,
+    instrumented_batch, pairwise_edge_count, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_giant,
+    run_fig_giant_sweep, run_fig_resident, run_fig_service, standard_graph, ChurnCounters,
+    Fig6Config, Fig8Config, Fig9Config, FigGiantConfig, FigGiantSweepConfig, FigResidentConfig,
     FigServiceConfig, Row, ServiceCounters, SplitTiming,
 };
 

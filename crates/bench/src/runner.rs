@@ -9,9 +9,10 @@ use eq_core::{
 use eq_db::Database;
 use eq_ir::{EntangledQuery, VarGen};
 use eq_workload::{
-    build_database, chains, churn_script, clique_groups, giant_cluster, grid_pairs, no_unify,
-    service_script, three_way_triangles, two_way_pairs, unsafe_arrivals, unsafe_residents,
-    ChurnConfig, ChurnOp, PairStyle, ServiceConfig, ServiceOp, SocialGraph, SocialGraphConfig,
+    build_database, chains, churn_script, clique_groups, giant_cluster, giant_component,
+    grid_pairs, no_unify, service_script, three_way_triangles, two_way_pairs, unsafe_arrivals,
+    unsafe_residents, ChurnConfig, ChurnOp, GiantBody, GiantComponentConfig, PairStyle,
+    ServiceConfig, ServiceOp, SocialGraph, SocialGraphConfig,
 };
 use std::time::Instant;
 
@@ -639,6 +640,14 @@ fn service_coordinator(db: Database, flush_threads: usize, safety: bool) -> Coor
 /// submits otherwise), cancels go through the session, flushes through
 /// the coordinator, and the subscriber drains the stream as it goes.
 /// Returns wall-clock milliseconds and the drive's counters.
+///
+/// The drive is single-threaded (drains only between ops), so the
+/// bounded `Block` subscription is sized to the script's worst case —
+/// one terminal per query plus one report per flush — instead of the
+/// default capacity, which a large flush would overfill with nobody
+/// draining (publisher blocks while holding the service lock:
+/// deadlock). The concurrent-drainer pattern for default-capacity
+/// subscriptions is [`run_fig_giant_sweep`].
 pub fn drive_service_harness(
     db: Database,
     ops: &[ServiceOp],
@@ -646,7 +655,15 @@ pub fn drive_service_harness(
     flush_threads: usize,
 ) -> (f64, ServiceCounters) {
     let coordinator = service_coordinator(db, flush_threads, false);
-    let events = coordinator.subscribe();
+    let event_bound: usize = ops
+        .iter()
+        .map(|op| match op {
+            ServiceOp::SubmitBatch(queries) => queries.len(),
+            ServiceOp::Cancel(_) | ServiceOp::Flush => 1,
+        })
+        .sum::<usize>()
+        + 8;
+    let events = coordinator.subscribe_with(event_bound, eq_core::OverflowPolicy::Block);
     let mut session = coordinator.session();
     let mut ids = Vec::new();
     let mut counters = ServiceCounters::default();
@@ -765,9 +782,13 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
             });
         }
 
-        // (c) Event-stream throughput: batch + flush + drain.
+        // (c) Event-stream throughput: batch + flush + drain. The
+        // drain happens after the flush on this same thread, so the
+        // bounded Block queue must hold the whole round (n terminals +
+        // the report) — the default capacity would deadlock the
+        // publisher at n > 1024 with no concurrent drainer.
         let coordinator = service_coordinator(clone_db(&db), 0, true);
-        let events = coordinator.subscribe();
+        let events = coordinator.subscribe_with(n + 8, eq_core::OverflowPolicy::Block);
         let mut session = coordinator.session();
         let requests: Vec<SubmitRequest> = queries
             .iter()
@@ -820,6 +841,248 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
         }
     }
     rows
+}
+
+/// Configuration for the `fig_giant` intra-component parallelism sweep.
+pub struct FigGiantConfig {
+    /// Ring sizes (queries per single giant component).
+    pub sizes: Vec<usize>,
+    /// Forward ring edges per user (`k`): per-unit triangle cost knob.
+    pub friends_per_user: usize,
+    /// Worker counts for the intra-partitioned series (paper-style
+    /// 1/2/4/8 scaling).
+    pub threads: Vec<usize>,
+    /// Skip the sequential (one combined join) series above this ring
+    /// size — its atom-selection scan is quadratic in the body size, so
+    /// big rings take minutes per sample.
+    pub seq_size_cap: usize,
+}
+
+/// Submits a pre-built giant-ring workload and times the flush that
+/// evaluates its single component. Returns wall-clock milliseconds of
+/// the flush and the flush report (answered counts, intra counters).
+///
+/// Runs on a dedicated big-stack thread: the sequential series joins
+/// the whole 2n-atom combined body in one recursive backtracking
+/// search, whose depth is the atom count — a 10k-query ring would
+/// overflow the default 8 MiB main stack (one more way the
+/// one-combined-join path does not scale; the partitioned path's
+/// recursion depth is bounded by the largest work unit instead).
+pub fn drive_giant(
+    db: Database,
+    queries: &[EntangledQuery],
+    intra_component_threshold: usize,
+    flush_threads: usize,
+) -> (f64, eq_core::BatchReport) {
+    let queries = queries.to_vec();
+    std::thread::Builder::new()
+        .stack_size(512 << 20)
+        .spawn(move || {
+            let mut engine = CoordinationEngine::new(
+                db,
+                EngineConfig {
+                    mode: EngineMode::SetAtATime { batch_size: 0 },
+                    admission_safety_check: false,
+                    on_no_solution: NoSolutionPolicy::Reject,
+                    flush_threads,
+                    intra_component_threshold,
+                    ..Default::default()
+                },
+            );
+            for q in &queries {
+                engine.submit(q.clone()).expect("valid giant-ring query");
+            }
+            let start = Instant::now();
+            let report = engine.flush();
+            (start.elapsed().as_secs_f64() * 1e3, report)
+        })
+        .expect("spawn giant driver")
+        .join()
+        .expect("giant driver panicked")
+}
+
+fn giant_counters(report: &eq_core::BatchReport) -> Vec<(&'static str, f64)> {
+    vec![
+        ("answered", report.answered as f64),
+        ("components", report.components as f64),
+        ("intra_components", report.intra_components as f64),
+        ("intra_units", report.intra_units as f64),
+    ]
+}
+
+/// The `fig_giant` sweep: one giant entangled ring per point, evaluated
+///
+/// * sequentially (one combined join, the pre-intra engine's only
+///   option) on the backtrack-free [`GiantBody::Chain`] flavor;
+/// * intra-partitioned at each worker count, on the same chain input
+///   (identical answers, property-tested) — the headline comparison;
+/// * intra-partitioned on the [`GiantBody::Triangle`] flavor, whose
+///   Θ(k²)-per-unit cost shows thread scaling (the sequential join
+///   cannot run this flavor at all: interleaved backtracking thrash).
+pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &cfg.sizes {
+        let mk = |body: GiantBody| {
+            giant_component(&GiantComponentConfig {
+                queries: n,
+                friends_per_user: cfg.friends_per_user,
+                body,
+            })
+        };
+        let (chain_db, chain_queries) = mk(GiantBody::Chain);
+
+        if n <= cfg.seq_size_cap {
+            let (millis, report) = drive_giant(clone_db(&chain_db), &chain_queries, usize::MAX, 1);
+            assert_eq!(report.answered, n, "sequential ring must coordinate");
+            rows.push(Row {
+                extra: Some(report.answered as f64),
+                counters: giant_counters(&report),
+                ..Row::new(
+                    "fig_giant",
+                    "sequential (one combined join)",
+                    n as u64,
+                    millis,
+                )
+            });
+        }
+
+        for &t in &cfg.threads {
+            let (millis, report) = drive_giant(clone_db(&chain_db), &chain_queries, 1, t);
+            assert_eq!(report.answered, n, "partitioned ring must coordinate");
+            rows.push(Row {
+                extra: Some(report.answered as f64),
+                counters: giant_counters(&report),
+                ..Row::new(
+                    "fig_giant",
+                    format!("intra chain ({t} threads)"),
+                    n as u64,
+                    millis,
+                )
+            });
+        }
+
+        let (tri_db, tri_queries) = mk(GiantBody::Triangle);
+        for &t in &cfg.threads {
+            let (millis, report) = drive_giant(clone_db(&tri_db), &tri_queries, 1, t);
+            assert_eq!(report.answered, n, "triangle ring must coordinate");
+            rows.push(Row {
+                extra: Some(report.answered as f64),
+                counters: giant_counters(&report),
+                ..Row::new(
+                    "fig_giant",
+                    format!("intra triangle ({t} threads)"),
+                    n as u64,
+                    millis,
+                )
+            });
+        }
+    }
+    rows
+}
+
+/// Configuration for the `fig_giant --sweep` mode: a Figure-6/8-style
+/// scale run (default 100k queries in one component) through the full
+/// service stack with a **bounded** event subscription.
+pub struct FigGiantSweepConfig {
+    /// Ring size (paper sweeps top out at 100,000 queries).
+    pub queries: usize,
+    /// Forward ring edges per user.
+    pub friends_per_user: usize,
+    /// Flush worker count (0 = one per hardware thread).
+    pub flush_threads: usize,
+    /// Bounded subscriber capacity ([`eq_core::OverflowPolicy::Block`]).
+    pub event_capacity: usize,
+}
+
+/// Drives the sweep: batched admission of the whole ring, one flush
+/// evaluating the single giant component through the partitioned path,
+/// and a concurrent subscriber draining a bounded `Block` queue.
+/// Asserts the backpressure guarantee the bounded channels exist for:
+/// **every** terminal event arrives (none dropped, none lost) even
+/// though the queue is a fraction of the event volume.
+pub fn run_fig_giant_sweep(cfg: &FigGiantSweepConfig) -> Vec<Row> {
+    let n = cfg.queries;
+    let (db, queries) = giant_component(&GiantComponentConfig {
+        queries: n,
+        friends_per_user: cfg.friends_per_user,
+        body: GiantBody::Chain,
+    });
+    let coordinator = Coordinator::new(
+        db,
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            admission_safety_check: false,
+            on_no_solution: NoSolutionPolicy::Reject,
+            flush_threads: cfg.flush_threads,
+            ..Default::default()
+        },
+    );
+    let events = coordinator.subscribe_with(cfg.event_capacity, eq_core::OverflowPolicy::Block);
+    let drainer = std::thread::spawn(move || {
+        let mut terminals = 0u64;
+        let mut total = 0u64;
+        while let Some(e) = events.next_timeout(std::time::Duration::from_secs(600)) {
+            total += 1;
+            if e.is_terminal() {
+                terminals += 1;
+            }
+            if matches!(e, eq_core::Event::Flushed(_)) {
+                break;
+            }
+        }
+        (terminals, total, events.stats())
+    });
+
+    let mut session = coordinator.session();
+    let start = Instant::now();
+    let results = session.submit_batch(queries.into_iter().map(SubmitRequest::new).collect());
+    let admit_ms = start.elapsed().as_secs_f64() * 1e3;
+    let admitted = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(admitted, n, "whole ring admits");
+
+    let t_flush = Instant::now();
+    let report = coordinator.flush();
+    let flush_ms = t_flush.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.answered, n, "whole ring coordinates");
+
+    let (terminals, total_events, stats) = drainer.join().expect("drainer panicked");
+    assert_eq!(
+        terminals, n as u64,
+        "bounded Block subscriber must receive every terminal event"
+    );
+    assert_eq!(stats.dropped, 0, "Block policy never drops");
+    assert!(!stats.disconnected);
+
+    vec![
+        Row {
+            extra: Some(admitted as f64),
+            ..Row::new("fig_giant", "sweep: batched admission", n as u64, admit_ms)
+        },
+        Row {
+            extra: Some(report.answered as f64),
+            counters: giant_counters(&report),
+            ..Row::new(
+                "fig_giant",
+                "sweep: giant-component flush",
+                n as u64,
+                flush_ms,
+            )
+        },
+        Row {
+            extra: Some(terminals as f64),
+            counters: vec![
+                ("events", total_events as f64),
+                ("dropped", stats.dropped as f64),
+                ("capacity", cfg.event_capacity as f64),
+            ],
+            ..Row::new(
+                "fig_giant",
+                "sweep: bounded event stream",
+                n as u64,
+                admit_ms + flush_ms,
+            )
+        },
+    ]
 }
 
 /// Ablation baseline for the atom index (§4.1.4): edge discovery by

@@ -1,0 +1,132 @@
+//! Property checks for the partitioned intra-component evaluation
+//! path: on giant-ring and generator workloads, an engine that
+//! partitions every component into work units (threshold 1) and
+//! evaluates them on several workers must be **answer-for-answer
+//! identical** to the plain sequential engine (threshold ∞, one
+//! worker) — same terminal statuses, same answer tuples — in both
+//! engine modes (§5.1).
+
+use eq_core::engine::{NoSolutionPolicy, QueryOutcome};
+use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
+use eq_db::Database;
+use eq_ir::{EntangledQuery, QueryId};
+use eq_workload::{
+    giant_component, two_way_pairs, GiantBody, GiantComponentConfig, PairStyle, SocialGraph,
+    SocialGraphConfig,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn graph() -> &'static SocialGraph {
+    static GRAPH: OnceLock<SocialGraph> = OnceLock::new();
+    GRAPH.get_or_init(|| {
+        SocialGraph::generate(&SocialGraphConfig {
+            users: 400,
+            airports: 6,
+            planted_cliques: 60,
+            ..Default::default()
+        })
+    })
+}
+
+/// Drives the same workload through one engine configuration and
+/// returns each query's terminal outcome in submission order (None =
+/// still pending). Chain bodies only for the sequential engine —
+/// triangle rings thrash the one-combined-join evaluator by design.
+fn outcomes(
+    db: Database,
+    queries: &[EntangledQuery],
+    mode: EngineMode,
+    threshold: usize,
+    threads: usize,
+) -> Vec<(QueryId, Option<QueryOutcome>)> {
+    let mut engine = CoordinationEngine::new(
+        db,
+        EngineConfig {
+            mode,
+            admission_safety_check: false,
+            on_no_solution: NoSolutionPolicy::Reject,
+            flush_threads: threads,
+            intra_component_threshold: threshold,
+            // Incremental mode must re-match whole rings, not
+            // eager-pair them.
+            incremental_partition_limit: usize::MAX,
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| engine.submit(q.clone()).unwrap())
+        .collect();
+    if matches!(mode, EngineMode::SetAtATime { .. }) {
+        engine.flush();
+    }
+    engine.check_invariants().unwrap();
+    handles
+        .into_iter()
+        .map(|h| (h.id, h.outcome.try_recv().ok()))
+        .collect()
+}
+
+/// A giant chain ring, optionally sabotaged: `break_at` (when set)
+/// points one query's body anchor at a name absent from the Friends
+/// table, making that work unit unsatisfiable — the whole component
+/// becomes a no-solution case (the empty posting list also means the
+/// sequential join fails at its root, no thrashing).
+fn ring(n: usize, k: usize, break_at: Option<usize>) -> (Database, Vec<EntangledQuery>) {
+    let (db, mut queries) = giant_component(&GiantComponentConfig {
+        queries: n,
+        friends_per_user: k,
+        body: GiantBody::Chain,
+    });
+    if let Some(i) = break_at {
+        let i = i % queries.len();
+        let q = &queries[i];
+        let mut body = q.body.clone();
+        body[0].terms[0] = eq_ir::Term::str("NOBODY");
+        queries[i] =
+            EntangledQuery::new(q.head.clone(), q.postconditions.clone(), body).with_id(q.id);
+    }
+    (db, queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn intra_parallel_equals_sequential_on_giant_rings(
+        n in 6usize..48,
+        k in 1usize..5,
+        threads in 2usize..9,
+        break_at in proptest::option::of(0usize..48),
+        batch in 0usize..2,
+    ) {
+        prop_assume!(n > 4 * k);
+        let (db, queries) = ring(n, k, break_at);
+        let mode = if batch == 1 {
+            EngineMode::SetAtATime { batch_size: 0 }
+        } else {
+            EngineMode::Incremental
+        };
+        let seq = outcomes(db.snapshot(), &queries, mode, usize::MAX, 1);
+        let par = outcomes(db.snapshot(), &queries, mode, 1, threads);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn intra_parallel_equals_sequential_on_generator_workloads(
+        n in 8usize..40,
+        seed in 0u64..1_000,
+        threads in 2usize..9,
+        style in 0usize..2,
+    ) {
+        let style = if style == 1 { PairStyle::Random } else { PairStyle::BestCase };
+        let queries = two_way_pairs(graph(), n, style, seed);
+        prop_assume!(!queries.is_empty());
+        let db = eq_workload::build_database(graph());
+        let mode = EngineMode::SetAtATime { batch_size: 0 };
+        let seq = outcomes(db.snapshot(), &queries, mode, usize::MAX, 1);
+        let par = outcomes(db.snapshot(), &queries, mode, 1, threads);
+        prop_assert_eq!(seq, par);
+    }
+}

@@ -52,25 +52,7 @@ impl CombinedQuery {
     /// [`MatchView`] — a batch-built graph or the engine's resident
     /// graph — borrowing the survivor queries in place.
     pub fn build<V: MatchView>(graph: &V, survivors: &[u32], global: &Unifier) -> Self {
-        let simplify = |atom: &Atom| -> Atom {
-            Atom {
-                relation: atom.relation,
-                terms: atom.terms.iter().map(|&t| global.resolve(t)).collect(),
-            }
-        };
-        let mut body = Vec::new();
-        let mut constraints = Vec::new();
-        let mut heads = Vec::new();
-        for &slot in survivors {
-            let q = graph.query(slot);
-            body.extend(q.body.iter().map(&simplify));
-            constraints.extend(
-                q.constraints
-                    .iter()
-                    .map(|c| c.apply(&|v| Some(global.resolve(Term::Var(v))))),
-            );
-            heads.push((q.id, q.head.iter().map(&simplify).collect()));
-        }
+        let (body, constraints, heads) = simplify_survivors(graph, survivors, global);
         CombinedQuery {
             body,
             constraints,
@@ -92,23 +74,71 @@ impl CombinedQuery {
 
     /// Grounds every survivor's head atoms under one valuation.
     fn distribute(&self, valuation: &Valuation) -> Vec<QueryAnswer> {
-        self.heads
-            .iter()
-            .map(|(qid, atoms)| {
-                let mut relations = Vec::with_capacity(atoms.len());
-                let mut tuples = Vec::with_capacity(atoms.len());
-                for atom in atoms {
-                    relations.push(atom.relation);
-                    tuples.push(ground_atom(atom, valuation));
-                }
-                QueryAnswer {
-                    query: *qid,
-                    relations,
-                    tuples,
-                }
-            })
-            .collect()
+        distribute_heads(&self.heads, valuation)
     }
+}
+
+/// Grounds a list of per-query simplified head atoms under one valuation
+/// of the combined body, yielding one answer per entangled query. Shared
+/// by [`CombinedQuery::evaluate`] and the partitioned intra-component
+/// path ([`crate::intra::evaluate_plan`]), so the two produce answers
+/// through identical distribution code.
+pub(crate) fn distribute_heads(
+    heads: &[(QueryId, Vec<Atom>)],
+    valuation: &Valuation,
+) -> Vec<QueryAnswer> {
+    heads
+        .iter()
+        .map(|(qid, atoms)| {
+            let mut relations = Vec::with_capacity(atoms.len());
+            let mut tuples = Vec::with_capacity(atoms.len());
+            for atom in atoms {
+                relations.push(atom.relation);
+                tuples.push(ground_atom(atom, valuation));
+            }
+            QueryAnswer {
+                query: *qid,
+                relations,
+                tuples,
+            }
+        })
+        .collect()
+}
+
+/// The §4.2 simplification of a matched component's survivors under
+/// the global unifier: concatenated body atoms, concatenated
+/// constraints, and per-survivor simplified heads (every term resolved
+/// to its class constant or representative). The **single** source of
+/// the simplification for both [`CombinedQuery::build`] and the
+/// partitioned intra-component plan ([`crate::intra::plan_component`])
+/// — the intra ≡ sequential answer guarantee requires the two paths to
+/// simplify byte-identically, so there is exactly one implementation.
+#[allow(clippy::type_complexity)]
+pub(crate) fn simplify_survivors<V: MatchView>(
+    graph: &V,
+    survivors: &[u32],
+    global: &Unifier,
+) -> (Vec<Atom>, Vec<Constraint>, Vec<(QueryId, Vec<Atom>)>) {
+    let simplify = |atom: &Atom| -> Atom {
+        Atom {
+            relation: atom.relation,
+            terms: atom.terms.iter().map(|&t| global.resolve(t)).collect(),
+        }
+    };
+    let mut body = Vec::new();
+    let mut constraints = Vec::new();
+    let mut heads = Vec::new();
+    for &slot in survivors {
+        let q = graph.query(slot);
+        body.extend(q.body.iter().map(&simplify));
+        constraints.extend(
+            q.constraints
+                .iter()
+                .map(|c| c.apply(&|v| Some(global.resolve(Term::Var(v))))),
+        );
+        heads.push((q.id, q.head.iter().map(&simplify).collect()));
+    }
+    (body, constraints, heads)
 }
 
 /// Grounds a simplified atom under a valuation of the combined query.

@@ -35,7 +35,9 @@ use crate::coordinate::RejectReason;
 use crate::error::InvariantViolation;
 use crate::graph::{Edge, MatchView};
 use crate::index::{AtomIndex, AtomRef, ShardedAtomIndex};
+use crate::intra;
 use crate::matching::{self, MatchStats};
+use crate::pool;
 use crate::resident::ResidentGraph;
 use crate::safety::{self, SafetyViolation};
 use crate::ucs;
@@ -45,7 +47,6 @@ use eq_unify::Unifier;
 use parking_lot::RwLock;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -110,6 +111,19 @@ pub struct EngineConfig {
     /// partition (reproduces the giant-cluster blow-up of Figure 8 that
     /// motivates set-at-a-time mode).
     pub incremental_partition_limit: usize,
+    /// Components with at least this many members are evaluated through
+    /// the **partitioned intra-component path** ([`crate::intra`]): the
+    /// matching seed phase and the combined query's variable-disjoint
+    /// work units run on the flush worker pool, with a deterministic
+    /// merge that reproduces the sequential answer choice (the two
+    /// paths are property-tested answer-for-answer identical). Smaller
+    /// components evaluate through the plain sequential
+    /// [`CombinedQuery`] path. Set to `usize::MAX` to always evaluate
+    /// sequentially; the partitioned path pays off even at
+    /// `flush_threads: 1` because evaluating k independent joins of
+    /// size n/k sidesteps the whole-body join's quadratic atom-selection
+    /// scan.
+    pub intra_component_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +136,7 @@ impl Default for EngineConfig {
             evaluate_non_ucs: false,
             flush_threads: 1,
             incremental_partition_limit: 64,
+            intra_component_threshold: 128,
         }
     }
 }
@@ -217,6 +232,13 @@ pub struct BatchReport {
     pub failed: usize,
     /// Queries left pending.
     pub pending: usize,
+    /// Components evaluated through the partitioned intra-component
+    /// path ([`EngineConfig::intra_component_threshold`]).
+    pub intra_components: usize,
+    /// Work units dispatched by the partitioned path across those
+    /// components (each unit is one variable-disjoint sub-join of a
+    /// combined query).
+    pub intra_units: usize,
     /// Aggregated matching statistics.
     pub stats: MatchStats,
 }
@@ -807,38 +829,9 @@ impl CoordinationEngine {
 
         let mut out: Vec<Option<BatchProbe>> = Vec::with_capacity(prepared.len());
         out.resize_with(prepared.len(), || None);
-        let threads = self.config.effective_flush_threads().min(work.len().max(1));
-        if threads <= 1 {
-            for &k in &work {
-                out[k] = Some(probe_one(k));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        let next = &next;
-                        let work = &work;
-                        let probe_one = &probe_one;
-                        scope.spawn(move || {
-                            let mut produced = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(&k) = work.get(i) else {
-                                    break;
-                                };
-                                produced.push((k, probe_one(k)));
-                            }
-                            produced
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    for (k, p) in h.join().expect("admission worker panicked") {
-                        out[k] = Some(p);
-                    }
-                }
-            });
+        let threads = self.config.effective_flush_threads();
+        for (k, probe) in pool::parallel_claim(&work, threads, None, probe_one) {
+            out[k] = Some(probe);
         }
         out
     }
@@ -1048,7 +1041,7 @@ impl CoordinationEngine {
                 continue;
             }
             let members = [slot.min(p), slot.max(p)];
-            let (survivors, solutions) = {
+            let (survivors, solution) = {
                 let view = ResidentView {
                     slots: &self.slots,
                     graph: &self.resident,
@@ -1060,12 +1053,15 @@ impl CoordinationEngine {
                 let Some(global) = m.global else {
                     continue;
                 };
-                let combined = CombinedQuery::build(&view, &m.survivors, &global);
                 let db = self.db.read();
-                (m.survivors, combined.evaluate(&db, 1))
+                // Same evaluation code path as flushes and incremental
+                // triggers (sequential here: one pair, submit thread).
+                let (solution, _) =
+                    evaluate_survivors(&view, &m.survivors, &global, &db, &self.config, 1);
+                (m.survivors, solution)
             };
-            match solutions {
-                Ok(sols) => match sols.into_iter().next() {
+            match solution {
+                Ok(first) => match first {
                     Some(answers) => {
                         for (&s, answer) in survivors.iter().zip(answers) {
                             self.retire(s, Ok(answer));
@@ -1138,18 +1134,58 @@ impl CoordinationEngine {
             report.components = pieces.len();
 
             let db = self.db.read();
-            let threads = self
-                .config
-                .effective_flush_threads()
-                .min(pieces.len().max(1));
-            outcomes = if threads > 1 {
-                sharded_process(&view, &pieces, &db, &self.config, threads)
+            let pool = self.config.effective_flush_threads();
+            // Two parallelism regimes, sharing one worker-count budget:
+            // *across* components for the (usually many) small pieces,
+            // *inside* the component for pieces at or above the
+            // intra-component threshold — a giant piece would otherwise
+            // serialize the flush on one worker while the rest idle.
+            let threshold = self.config.intra_component_threshold;
+            let (mut giant_idx, mut small_idx): (Vec<usize>, Vec<usize>) =
+                (0..pieces.len()).partition(|&i| pieces[i].len() >= threshold);
+            // With at least one over-threshold piece per worker,
+            // cross-component sharding beats working inside one piece
+            // at a time: fold the giants into the sharded set (each
+            // still gets the partitioned evaluation algorithmically —
+            // just single-threaded per piece).
+            if giant_idx.len() >= pool {
+                small_idx.append(&mut giant_idx);
+                small_idx.sort_unstable();
+            }
+            let mut slots_out: Vec<Option<ComponentOutcome>> = Vec::with_capacity(pieces.len());
+            slots_out.resize_with(pieces.len(), || None);
+            // Small pieces first (the pool saturates across them), then
+            // each giant piece with the whole pool working inside it —
+            // a giant's sequential phases (matching fixpoint, UCS) must
+            // not idle workers while small pieces wait. The two regimes
+            // run back to back rather than overlapped: overlapping them
+            // would oversubscribe the pool during a giant's parallel
+            // phases.
+            let threads = pool.min(small_idx.len().max(1));
+            if threads > 1 {
+                for (i, outcome) in
+                    sharded_process(&view, &pieces, &small_idx, &db, &self.config, threads)
+                {
+                    slots_out[i] = Some(outcome);
+                }
             } else {
-                pieces
-                    .iter()
-                    .map(|c| process_component(&view, c, &db, &self.config))
-                    .collect()
-            };
+                for &i in &small_idx {
+                    slots_out[i] = Some(process_component(&view, &pieces[i], &db, &self.config, 1));
+                }
+            }
+            for &i in &giant_idx {
+                slots_out[i] = Some(process_component(
+                    &view,
+                    &pieces[i],
+                    &db,
+                    &self.config,
+                    pool,
+                ));
+            }
+            outcomes = slots_out
+                .into_iter()
+                .map(|o| o.expect("every piece processed"))
+                .collect();
         }
 
         // Phase 2 (sequential): deliver outcomes and retire queries.
@@ -1160,6 +1196,10 @@ impl CoordinationEngine {
             report.stats.dequeues += outcome.stats.dequeues;
             report.stats.mgu_calls += outcome.stats.mgu_calls;
             report.stats.cleanups += outcome.stats.cleanups;
+            if outcome.partitioned {
+                report.intra_components += 1;
+                report.intra_units += outcome.intra_units;
+            }
             for (slot, answer) in outcome.answered {
                 self.retire(slot, Ok(answer));
                 report.answered += 1;
@@ -1458,55 +1498,29 @@ fn materialize_edges(slot: u32, probed: Vec<ProbedEdge>) -> Vec<Edge> {
 }
 
 /// Evaluates independent match-graph components (§4.1.2) on a sharded
-/// `std::thread` worker pool. Workers claim components largest-first
-/// from a shared atomic queue — dynamic load balancing matters because
-/// component sizes are heavy-tailed (a giant cluster next to thousands
-/// of pairs under the Figure 8 workloads would starve a static
-/// chunking). Results are merged back in component order, so outcome
-/// delivery is byte-for-byte identical to the sequential path.
+/// `std::thread` worker pool. `indices` selects which entries of
+/// `components` to process (the engine routes at-or-above-threshold
+/// pieces through the intra-component path instead). Workers claim
+/// components largest-first from a shared atomic queue — dynamic load
+/// balancing matters because component sizes are heavy-tailed (a big
+/// piece next to thousands of pairs under the Figure 8 workloads would
+/// starve a static chunking). Results are returned keyed by original
+/// index, so outcome delivery order is byte-for-byte identical to the
+/// sequential path.
 fn sharded_process<V: MatchView + Sync>(
     graph: &V,
     components: &[Vec<u32>],
+    indices: &[usize],
     db: &Database,
     config: &EngineConfig,
     threads: usize,
-) -> Vec<ComponentOutcome> {
+) -> Vec<(usize, ComponentOutcome)> {
     // Claim order: largest components first.
-    let mut order: Vec<usize> = (0..components.len()).collect();
+    let mut order: Vec<usize> = indices.to_vec();
     order.sort_by_key(|&i| std::cmp::Reverse(components[i].len()));
-    let next = AtomicUsize::new(0);
-
-    let mut merged: Vec<Option<ComponentOutcome>> = Vec::with_capacity(components.len());
-    merged.resize_with(components.len(), || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                let order = &order;
-                scope.spawn(move || {
-                    let mut produced = Vec::new();
-                    loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&idx) = order.get(k) else {
-                            break;
-                        };
-                        produced
-                            .push((idx, process_component(graph, &components[idx], db, config)));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for h in handles {
-            for (idx, outcome) in h.join().expect("flush worker panicked") {
-                merged[idx] = Some(outcome);
-            }
-        }
-    });
-    merged
-        .into_iter()
-        .map(|o| o.expect("every claimed component produced an outcome"))
-        .collect()
+    pool::parallel_claim(&order, threads, None, |idx| {
+        process_component(graph, &components[idx], db, config, 1)
+    })
 }
 
 /// Result of processing one component: outcomes keyed by engine slot.
@@ -1519,22 +1533,71 @@ struct ComponentOutcome {
     failed: Vec<(u32, RejectReason)>,
     no_solution: Vec<u32>,
     stats: MatchStats,
+    /// True when the combined query went through the partitioned
+    /// intra-component path.
+    partitioned: bool,
+    /// Work units dispatched by that path (0 on the sequential path).
+    intra_units: usize,
 }
 
-fn process_component<V: MatchView>(
+/// Evaluates a matched component's combined query, routing by size: at
+/// or above [`EngineConfig::intra_component_threshold`] the body is
+/// partitioned into variable-disjoint work units evaluated on up to
+/// `threads` workers ([`intra`]), below it the plain sequential
+/// [`CombinedQuery`] path runs. The two produce identical answers by
+/// construction (see [`intra`]'s module docs); this helper is the **one
+/// evaluation code path** shared by set-at-a-time flushes, incremental
+/// triggers, and the eager-pairing fallback. Returns the first
+/// coordinated solution (one answer per survivor, in survivor order)
+/// and the number of work units dispatched (0 for the sequential path).
+fn evaluate_survivors<V: MatchView>(
+    graph: &V,
+    survivors: &[u32],
+    global: &Unifier,
+    db: &Database,
+    config: &EngineConfig,
+    threads: usize,
+) -> (
+    Result<Option<Vec<QueryAnswer>>, eq_db::DbError>,
+    Option<usize>,
+) {
+    if survivors.len() >= config.intra_component_threshold {
+        let plan = intra::plan_component(graph, survivors, global);
+        let units = plan.units.len();
+        (intra::evaluate_plan(&plan, db, threads), Some(units))
+    } else {
+        let combined = CombinedQuery::build(graph, survivors, global);
+        let result = combined
+            .evaluate(db, 1)
+            .map(|solutions| solutions.into_iter().next());
+        (result, None)
+    }
+}
+
+fn process_component<V: MatchView + Sync>(
     graph: &V,
     members: &[u32],
     db: &Database,
     config: &EngineConfig,
+    threads: usize,
 ) -> ComponentOutcome {
     let mut out = ComponentOutcome {
         answered: Vec::new(),
         failed: Vec::new(),
         no_solution: Vec::new(),
         stats: MatchStats::default(),
+        partitioned: false,
+        intra_units: 0,
     };
 
-    let m = matching::match_component(graph, members);
+    // The matching seed phase parallelizes for at-threshold components
+    // (identical results to the sequential fixpoint; see
+    // [`matching::match_component_threads`]).
+    let m = if members.len() >= config.intra_component_threshold {
+        matching::match_component_threads(graph, members, threads)
+    } else {
+        matching::match_component(graph, members)
+    };
     out.stats = m.stats;
     if m.survivors.is_empty() {
         return out; // everyone stays pending
@@ -1557,21 +1620,23 @@ fn process_component<V: MatchView>(
         return out;
     }
 
-    let combined = CombinedQuery::build(graph, &m.survivors, &global);
-    match combined.evaluate(db, 1) {
-        Ok(solutions) => match solutions.into_iter().next() {
-            Some(answers) => {
-                // `answers` is parallel to `m.survivors`.
-                for (&slot, answer) in m.survivors.iter().zip(answers) {
-                    out.answered.push((slot, answer));
-                }
+    let (solution, units) = evaluate_survivors(graph, &m.survivors, &global, db, config, threads);
+    if let Some(units) = units {
+        out.partitioned = true;
+        out.intra_units = units;
+    }
+    match solution {
+        Ok(Some(answers)) => {
+            // `answers` is parallel to `m.survivors`.
+            for (&slot, answer) in m.survivors.iter().zip(answers) {
+                out.answered.push((slot, answer));
             }
-            None => {
-                // Policy application happens on the engine's sequential
-                // phase (per-query overrides live in the slot table).
-                out.no_solution = m.survivors.clone();
-            }
-        },
+        }
+        Ok(None) => {
+            // Policy application happens on the engine's sequential
+            // phase (per-query overrides live in the slot table).
+            out.no_solution = m.survivors.clone();
+        }
         Err(e) => {
             // Unknown relation / arity error in some body: fail those
             // queries rather than poisoning the component forever.
@@ -2302,6 +2367,89 @@ mod tests {
         assert_eq!(violations[0].query, ambiguous.id);
         assert_eq!(violations[0].heads.len(), 2);
         assert_eq!(engine.safety_sidelined(), vec![ambiguous.id]);
+    }
+
+    #[test]
+    fn intra_partitioned_flush_matches_sequential_evaluation() {
+        // The same workload through three engines: plain sequential
+        // (threshold disabled), partitioned single-threaded, and
+        // partitioned multi-threaded. Answers must be identical tuple
+        // for tuple — the partitioned merge reproduces the sequential
+        // answer choice.
+        let run = |threshold: usize, threads: usize| {
+            let mut engine = CoordinationEngine::new(
+                flight_db(),
+                EngineConfig {
+                    mode: EngineMode::SetAtATime { batch_size: 0 },
+                    flush_threads: threads,
+                    intra_component_threshold: threshold,
+                    ..Default::default()
+                },
+            );
+            let mut handles = Vec::new();
+            // A six-member ring entangled through ground heads, each
+            // with a private-variable body — decomposes into one unit
+            // per member.
+            for i in 0..6 {
+                let me = format!("U{i}");
+                let next = format!("U{}", (i + 1) % 6);
+                handles.push(
+                    engine
+                        .submit(q(&format!(
+                            "{{R({next}, ITH)}} R({me}, ITH) <- F(x{i}, Paris), A(x{i}, United)"
+                        )))
+                        .unwrap(),
+                );
+            }
+            let report = engine.flush();
+            engine.check_invariants().unwrap();
+            let outcomes: Vec<QueryOutcome> = handles
+                .iter()
+                .map(|h| h.outcome.try_recv().unwrap())
+                .collect();
+            (report, outcomes)
+        };
+        let (seq_report, seq) = run(usize::MAX, 1);
+        assert_eq!(seq_report.intra_components, 0);
+        for (threshold, threads) in [(1, 1), (1, 4), (2, 8)] {
+            let (report, outcomes) = run(threshold, threads);
+            assert_eq!(report.answered, seq_report.answered);
+            assert_eq!(report.intra_components, 1);
+            assert!(report.intra_units >= 6, "units: {}", report.intra_units);
+            assert_eq!(outcomes, seq, "threshold={threshold} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn intra_partitioned_no_solution_respects_policies() {
+        // A partitioned component with an unsatisfiable unit: all
+        // members fail under Reject, stay under KeepPending — exactly
+        // like the sequential path.
+        for (policy, expect_pending) in [
+            (NoSolutionPolicy::Reject, 0usize),
+            (NoSolutionPolicy::KeepPending, 2usize),
+        ] {
+            let mut engine = CoordinationEngine::new(
+                flight_db(),
+                EngineConfig {
+                    mode: EngineMode::SetAtATime { batch_size: 0 },
+                    intra_component_threshold: 1,
+                    flush_threads: 4,
+                    on_no_solution: policy,
+                    ..Default::default()
+                },
+            );
+            engine
+                .submit(q("{R(Kramer, ITH)} R(Jerry, ITH) <- F(x, Paris)"))
+                .unwrap();
+            engine
+                .submit(q("{R(Jerry, ITH)} R(Kramer, ITH) <- F(y, Athens)"))
+                .unwrap();
+            let report = engine.flush();
+            assert_eq!(report.answered, 0);
+            assert_eq!(report.pending, expect_pending);
+            assert_eq!(report.intra_components, 1);
+        }
     }
 
     #[test]

@@ -8,6 +8,21 @@
 //! [`CoordinationError`] folds all of them (plus database and
 //! validation errors) into one typed enum, so service callers match on
 //! a single hierarchy and every legacy shape converts in with `?`.
+//!
+//! ```
+//! use eq_core::{Coordinator, CoordinationError, EngineConfig};
+//! use eq_db::Database;
+//! use eq_ir::QueryId;
+//!
+//! let coordinator = Coordinator::new(Database::new(), EngineConfig::default());
+//! // Every refusal is one typed enum — no stringly errors.
+//! match coordinator.cancel(QueryId(42)) {
+//!     Err(CoordinationError::UnknownQuery(id)) => assert_eq!(id, QueryId(42)),
+//!     other => panic!("expected UnknownQuery, got {other:?}"),
+//! }
+//! // Display renders an actionable message for logs.
+//! assert!(CoordinationError::UnsafeAdmission.to_string().contains("unsafe"));
+//! ```
 
 use crate::coordinate::RejectReason;
 use crate::engine::{FailReason, SubmitError};

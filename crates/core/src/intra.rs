@@ -1,0 +1,467 @@
+//! Parallel evaluation *inside* one matched component.
+//!
+//! Per-component parallelism (§4.1.2, `EngineConfig::flush_threads`)
+//! goes idle the moment a workload entangles everything into one giant
+//! component: the paper's coordination semantics force all queries of a
+//! match-graph component to be answered together, so one combined query
+//! serializes the whole flush. This module splits that combined query's
+//! evaluation search space into **work units** that are independent by
+//! construction and can be dispatched on the same worker pool, with a
+//! deterministic merge that reproduces the sequential answer choice.
+//!
+//! # Work-unit extraction
+//!
+//! [`plan_component`] walks the component's survivors over
+//! [`MatchView`] (the engine's resident graph or a batch-built
+//! [`crate::MatchGraph`] — same code path), simplifies every body atom
+//! and constraint under the component's global unifier exactly as
+//! [`crate::CombinedQuery::build`] does, and then partitions the
+//! simplified conjunction by **variable connectivity**: two atoms land
+//! in the same [`WorkUnit`] iff they are linked by a chain of shared
+//! variables (constraints link the units of their variables too). This
+//! is the search-space decomposition the combined query admits after
+//! §4.2 simplification — entangled queries share *answers* through
+//! their heads and postconditions, but their bodies touch disjoint
+//! variables unless the global unifier actually merged them, so a giant
+//! ring of 10,000 pairwise-entangled queries yields thousands of small
+//! independent joins instead of one 30,000-atom join. Fully ground
+//! atoms and constraints (no variables at all after simplification)
+//! become per-plan membership checks.
+//!
+//! # Deterministic merge
+//!
+//! Because the units are variable-disjoint, a valuation of the whole
+//! combined body is exactly one valuation per unit, glued together.
+//! [`evaluate_plan`] evaluates each unit with `LIMIT 1` and merges the
+//! per-unit valuations by unit index. The merged result equals the
+//! *sequential* evaluator's first solution because the evaluator's
+//! greedy join order breaks ties structurally (see
+//! `choose_atom` in `eq_db`): an atom's ordering key depends only on
+//! its own unit's bindings, so the backtracking search over the whole
+//! body explores each unit's assignments in exactly the order the
+//! unit-local search does, and its first full solution is the
+//! composition of the per-unit firsts. The engine property-tests this
+//! equivalence (intra-parallel ≡ sequential, answer for answer) in
+//! both engine modes.
+//!
+//! Components below [`crate::EngineConfig::intra_component_threshold`]
+//! never reach this module — they evaluate through the plain
+//! [`crate::CombinedQuery`] path, which this module's result is
+//! guaranteed (and tested) to agree with.
+
+use crate::combine::{distribute_heads, QueryAnswer};
+use crate::graph::MatchView;
+use crate::pool;
+use eq_db::{Database, DbError, Valuation};
+use eq_ir::{Atom, Constraint, FastMap, QueryId, Var};
+use eq_unify::Unifier;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One independently evaluable piece of a combined query: a maximal
+/// variable-connected sub-conjunction of the simplified body, plus the
+/// constraints over its variables.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    /// Simplified body atoms of this unit (each shares a variable chain
+    /// with every other atom of the unit, and none with any other
+    /// unit).
+    pub atoms: Vec<Atom>,
+    /// Simplified constraints whose variables belong to this unit.
+    pub constraints: Vec<Constraint>,
+}
+
+/// The partitioned evaluation plan for one matched component: work
+/// units, plus the variable-free residue that needs no search.
+#[derive(Clone, Debug)]
+pub struct ComponentPlan {
+    /// Variable-connected work units, in order of first appearance in
+    /// the combined body (survivor order, then body order).
+    pub units: Vec<WorkUnit>,
+    /// Fully ground body atoms: membership checks, no bindings.
+    pub ground_atoms: Vec<Atom>,
+    /// Fully ground constraints: checked once against the empty
+    /// valuation.
+    pub ground_constraints: Vec<Constraint>,
+    /// Per-survivor simplified heads, exactly as
+    /// [`crate::CombinedQuery::build`] produces them.
+    pub heads: Vec<(QueryId, Vec<Atom>)>,
+}
+
+/// Union-find over query variables, used to group atoms into
+/// variable-connected work units.
+#[derive(Default)]
+struct VarUnion {
+    parent: FastMap<Var, Var>,
+}
+
+impl VarUnion {
+    /// Iterative find with full path compression — giant components
+    /// can chain tens of thousands of variables, so no recursion.
+    fn find(&mut self, v: Var) -> Var {
+        let mut root = v;
+        while let Some(&p) = self.parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        self.parent.entry(v).or_insert(v);
+        let mut cur = v;
+        while cur != root {
+            let p = self.parent[&cur];
+            self.parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+
+    fn union(&mut self, a: Var, b: Var) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Builds the partitioned plan for a matched component's survivors and
+/// global unifier, over any [`MatchView`]. The flat concatenation of
+/// `ground_atoms` and every unit's `atoms` is a permutation of the
+/// combined query's body; likewise for constraints; `heads` is
+/// identical to the combined query's.
+pub fn plan_component<V: MatchView>(
+    graph: &V,
+    survivors: &[u32],
+    global: &Unifier,
+) -> ComponentPlan {
+    // One shared simplification with the sequential path — the
+    // answer-equivalence guarantee requires byte-identical inputs.
+    let (atoms, constraints, heads) = crate::combine::simplify_survivors(graph, survivors, global);
+
+    // Variable-connectivity union-find: atoms glue their own variables
+    // together; constraints glue their variables' units together.
+    let mut uf = VarUnion::default();
+    for atom in &atoms {
+        let mut vars = atom.vars();
+        if let Some(first) = vars.next() {
+            for v in vars {
+                uf.union(first, v);
+            }
+        }
+    }
+    for c in &constraints {
+        let mut vars = c.vars();
+        if let Some(first) = vars.next() {
+            for v in vars {
+                uf.union(first, v);
+            }
+        }
+    }
+
+    // Group atoms by their variables' root, units ordered by first
+    // appearance (deterministic: body order).
+    let mut unit_of_root: FastMap<Var, usize> = FastMap::default();
+    let mut units: Vec<WorkUnit> = Vec::new();
+    let mut ground_atoms = Vec::new();
+    for atom in atoms {
+        let first_var = atom.vars().next();
+        match first_var {
+            None => ground_atoms.push(atom),
+            Some(v) => {
+                let root = uf.find(v);
+                let idx = *unit_of_root.entry(root).or_insert_with(|| {
+                    units.push(WorkUnit {
+                        atoms: Vec::new(),
+                        constraints: Vec::new(),
+                    });
+                    units.len() - 1
+                });
+                units[idx].atoms.push(atom);
+            }
+        }
+    }
+    let mut ground_constraints = Vec::new();
+    for c in constraints {
+        let first_var = c.vars().next();
+        match first_var {
+            None => ground_constraints.push(c),
+            Some(v) => {
+                let root = uf.find(v);
+                match unit_of_root.get(&root) {
+                    Some(&idx) => units[idx].constraints.push(c),
+                    // A constraint over variables no body atom binds can
+                    // never become decidable; the sequential evaluator
+                    // passes it provisionally forever, so checking it
+                    // against the empty valuation (undecidable ⇒ pass)
+                    // is equivalent.
+                    None => ground_constraints.push(c),
+                }
+            }
+        }
+    }
+
+    ComponentPlan {
+        units,
+        ground_atoms,
+        ground_constraints,
+        heads,
+    }
+}
+
+/// Outcome of one work unit's `LIMIT 1` evaluation.
+enum UnitResult {
+    /// First valuation of the unit's sub-conjunction.
+    Sat(Valuation),
+    /// The sub-conjunction has no solution: the whole component has
+    /// none.
+    Unsat,
+    /// Not evaluated because another unit already proved `Unsat` (early
+    /// exit); only possible when the overall answer is `None`.
+    Skipped,
+}
+
+/// Evaluates a plan against `db`, dispatching work units on up to
+/// `threads` scoped workers (largest unit first — unit sizes are
+/// heavy-tailed when the global unifier merged some variables).
+///
+/// Returns the component's first coordinated solution — one
+/// [`QueryAnswer`] per survivor, in survivor order — or `None` when any
+/// unit, ground atom, or ground constraint is unsatisfiable. The result
+/// is answer-for-answer identical to
+/// `CombinedQuery::evaluate(db, 1)` on the same survivors, for every
+/// `threads` value (see the module docs for why the merge preserves the
+/// sequential answer choice).
+pub fn evaluate_plan(
+    plan: &ComponentPlan,
+    db: &Database,
+    threads: usize,
+) -> Result<Option<Vec<QueryAnswer>>, DbError> {
+    // Whole-conjunction validation first, exactly like the one-shot
+    // evaluator: an unknown relation anywhere in the body is an error
+    // even if some other unit is unsatisfiable.
+    db.check_atoms(&plan.ground_atoms)?;
+    for unit in &plan.units {
+        db.check_atoms(&unit.atoms)?;
+    }
+
+    let empty = Valuation::default();
+    for c in &plan.ground_constraints {
+        if !c.check(&|v| empty.get(&v).copied()) {
+            return Ok(None);
+        }
+    }
+    for atom in &plan.ground_atoms {
+        let row: Vec<_> = atom
+            .terms
+            .iter()
+            .map(|t| t.as_const().expect("ground atom"))
+            .collect();
+        let present = db.table(atom.relation).is_some_and(|t| t.contains(&row));
+        if !present {
+            return Ok(None);
+        }
+    }
+    if plan.units.is_empty() {
+        return Ok(Some(distribute_heads(&plan.heads, &empty)));
+    }
+
+    // Units largest-first on the shared worker pool; the stop flag
+    // bails out of remaining claims as soon as any unit proves
+    // unsatisfiable — once one unit is `Unsat` the component's answer
+    // is `None` regardless of the rest.
+    let mut order: Vec<usize> = (0..plan.units.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(plan.units[i].atoms.len()));
+    let failed = AtomicBool::new(false);
+    let produced = pool::parallel_claim(&order, threads, Some(&failed), |idx| {
+        let r = evaluate_unit(&plan.units[idx], db);
+        if matches!(r, UnitResult::Unsat) {
+            failed.store(true, Ordering::Relaxed);
+        }
+        r
+    });
+    let mut results: Vec<UnitResult> = Vec::with_capacity(plan.units.len());
+    results.resize_with(plan.units.len(), || UnitResult::Skipped);
+    for (idx, r) in produced {
+        results[idx] = r;
+    }
+
+    let mut merged = Valuation::default();
+    for r in &results {
+        match r {
+            UnitResult::Sat(val) => {
+                // Units are variable-disjoint: plain union.
+                for (&v, &value) in val.iter() {
+                    merged.insert(v, value);
+                }
+            }
+            UnitResult::Unsat | UnitResult::Skipped => return Ok(None),
+        }
+    }
+    Ok(Some(distribute_heads(&plan.heads, &merged)))
+}
+
+fn evaluate_unit(unit: &WorkUnit, db: &Database) -> UnitResult {
+    match db.evaluate_filtered(&unit.atoms, &unit.constraints, 1) {
+        Ok(vals) => match vals.into_iter().next() {
+            Some(v) => UnitResult::Sat(v),
+            None => UnitResult::Unsat,
+        },
+        // Unreachable after the up-front validation (the search itself
+        // cannot fail); treat like an unsatisfiable unit defensively.
+        Err(_) => UnitResult::Unsat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MatchGraph;
+    use crate::matching::match_component;
+    use crate::CombinedQuery;
+    use eq_ir::{EntangledQuery, Value, VarGen};
+    use eq_sql::parse_ir_query;
+
+    fn build(texts: &[&str]) -> MatchGraph {
+        let gen = VarGen::new();
+        let queries: Vec<EntangledQuery> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                parse_ir_query(t)
+                    .unwrap()
+                    .rename_apart(&gen)
+                    .with_id(QueryId(i as u64))
+            })
+            .collect();
+        MatchGraph::build(queries)
+    }
+
+    fn flight_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("F", &["fno", "dest"]).unwrap();
+        db.create_table("A", &["fno", "airline"]).unwrap();
+        for (fno, dest) in [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ] {
+            db.insert("F", vec![Value::int(fno), Value::str(dest)])
+                .unwrap();
+        }
+        for (fno, al) in [(122, "United"), (123, "United"), (134, "Lufthansa")] {
+            db.insert("A", vec![Value::int(fno), Value::str(al)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn plan_for(g: &MatchGraph, members: &[u32]) -> (ComponentPlan, CombinedQuery) {
+        let m = match_component(g, members);
+        let global = m.global.expect("answerable");
+        let plan = plan_component(g, &m.survivors, &global);
+        let cq = CombinedQuery::build(g, &m.survivors, &global);
+        (plan, cq)
+    }
+
+    #[test]
+    fn entangled_pair_with_shared_variable_is_one_unit() {
+        let g = build(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)",
+        ]);
+        let (plan, _) = plan_for(&g, &[0, 1]);
+        // The global unifier merges x and y: all three atoms share one
+        // variable class, so the body is one unit.
+        assert_eq!(plan.units.len(), 1);
+        assert_eq!(plan.units[0].atoms.len(), 3);
+        assert!(plan.ground_atoms.is_empty());
+    }
+
+    #[test]
+    fn disjoint_bodies_split_into_units() {
+        // Two ground-entangled queries whose bodies use private
+        // variables: two independent units.
+        let g = build(&[
+            "{R(Kramer, ITH)} R(Jerry, ITH) <- F(x, Paris)",
+            "{R(Jerry, ITH)} R(Kramer, ITH) <- F(y, Rome)",
+        ]);
+        let (plan, _) = plan_for(&g, &[0, 1]);
+        assert_eq!(plan.units.len(), 2);
+        assert_eq!(plan.units[0].atoms.len(), 1);
+    }
+
+    #[test]
+    fn ground_atoms_become_membership_checks() {
+        let g = build(&[
+            "{R(Kramer, ITH)} R(Jerry, ITH) <- F(122, Paris)",
+            "{R(Jerry, ITH)} R(Kramer, ITH) <- F(136, Rome)",
+        ]);
+        let (plan, cq) = plan_for(&g, &[0, 1]);
+        assert!(plan.units.is_empty());
+        assert_eq!(plan.ground_atoms.len(), 2);
+        let db = flight_db();
+        let par = evaluate_plan(&plan, &db, 4).unwrap();
+        let seq = cq.evaluate(&db, 1).unwrap().into_iter().next();
+        assert_eq!(par, seq);
+        assert!(par.is_some());
+    }
+
+    #[test]
+    fn missing_ground_atom_means_no_solution() {
+        let g = build(&[
+            "{R(Kramer, ITH)} R(Jerry, ITH) <- F(999, Paris)",
+            "{R(Jerry, ITH)} R(Kramer, ITH) <- F(136, Rome)",
+        ]);
+        let (plan, cq) = plan_for(&g, &[0, 1]);
+        let db = flight_db();
+        assert_eq!(evaluate_plan(&plan, &db, 1).unwrap(), None);
+        assert!(cq.evaluate(&db, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partitioned_answers_match_sequential_for_all_thread_counts() {
+        let g = build(&[
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)",
+            // Note: separate component would not share a global; keep
+            // this pair entangled through a second ring.
+        ]);
+        let (plan, cq) = plan_for(&g, &[0, 1]);
+        let db = flight_db();
+        let seq = cq.evaluate(&db, 1).unwrap().into_iter().next();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(evaluate_plan(&plan, &db, threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error_not_a_miss() {
+        let g = build(&[
+            "{R(Kramer, ITH)} R(Jerry, ITH) <- Nope(x)",
+            "{R(Jerry, ITH)} R(Kramer, ITH) <- F(y, Rome)",
+        ]);
+        let (plan, cq) = plan_for(&g, &[0, 1]);
+        let db = flight_db();
+        assert!(evaluate_plan(&plan, &db, 2).is_err());
+        assert!(cq.evaluate(&db, 1).is_err());
+    }
+
+    #[test]
+    fn plan_covers_exactly_the_combined_body() {
+        let g = build(&[
+            "{R(x1) & S(x2)} T(x3) <- D1(x1, x2, x3)",
+            "{T(1)} R(y1) <- D2(y1)",
+            "{T(z1)} S(z2) <- D3(z1, z2)",
+        ]);
+        let (plan, cq) = plan_for(&g, &[0, 1, 2]);
+        let mut plan_atoms: Vec<Atom> = plan.ground_atoms.clone();
+        for u in &plan.units {
+            plan_atoms.extend(u.atoms.iter().cloned());
+        }
+        let mut body = cq.body.clone();
+        plan_atoms.sort();
+        body.sort();
+        assert_eq!(plan_atoms, body);
+        assert_eq!(plan.heads, cq.heads);
+    }
+}

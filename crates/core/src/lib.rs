@@ -19,9 +19,16 @@
 //! 7. [`resident`] — the persistent match graph that survives across
 //!    flushes: slot-keyed edges, incremental component tracking, dirty
 //!    sets;
-//! 8. [`engine`] — the D3C engine of §5.1: asynchronous submission,
+//! 8. [`intra`] — parallel evaluation *inside* one matched component:
+//!    the combined query partitioned into variable-disjoint work units
+//!    with a deterministic merge
+//!    ([`engine::EngineConfig::intra_component_threshold`]);
+//! 9. [`engine`] — the D3C engine of §5.1: asynchronous submission,
 //!    set-at-a-time and incremental modes over resident match state,
-//!    staleness, per-component parallelism.
+//!    staleness, per-component and intra-component parallelism;
+//! 10. [`events`] — bounded per-subscriber event queues with explicit
+//!     overflow policies (block / drop-oldest / disconnect), feeding
+//!     the service layer's push stream.
 //!
 //! Steps 3–6 are written against [`graph::MatchView`], so they run over
 //! a batch-built [`graph::MatchGraph`] and over the engine's resident
@@ -44,10 +51,13 @@ pub mod combine;
 pub mod coordinate;
 pub mod engine;
 pub mod error;
+pub mod events;
 pub mod ext;
 pub mod graph;
 pub mod index;
+pub mod intra;
 pub mod matching;
+mod pool;
 pub mod resident;
 pub mod safety;
 pub mod service;
@@ -60,9 +70,11 @@ pub use engine::{
     QueryHandle, QueryOutcome, QueryStatus, SubmitError, SubmitOptions,
 };
 pub use error::{CoordinationError, InvariantViolation};
+pub use events::{Events, OverflowPolicy, SubscriberStats};
 pub use graph::{Edge, MatchGraph, MatchView};
 pub use index::{AtomIndex, AtomRef, ShardedAtomIndex};
+pub use intra::{ComponentPlan, WorkUnit};
 pub use resident::ResidentGraph;
 pub use safety::{SafetyPolicy, SafetyViolation};
-pub use service::{Coordinator, Event, Events, Session, SubmitRequest};
+pub use service::{Coordinator, Event, Session, SubmitRequest, DEFAULT_EVENT_CAPACITY};
 pub use ucs::UcsViolation;

@@ -19,14 +19,59 @@
 //!   across the sharded atom indexes
 //!   ([`CoordinationEngine::submit_batch`]);
 //! * **[`Event`] subscriptions** — terminal outcomes and flush reports
-//!   are *pushed* over std mpsc channels ([`Coordinator::subscribe`]),
-//!   so harnesses and REPLs stop polling `status()` by id;
+//!   are *pushed* over **bounded** per-subscriber queues
+//!   ([`Coordinator::subscribe`], [`Coordinator::subscribe_with`]) with
+//!   an explicit [`OverflowPolicy`] (block / drop-oldest / disconnect —
+//!   see [`crate::events`]), so harnesses and REPLs stop polling
+//!   `status()` by id and a slow subscriber can no longer buffer an
+//!   unbounded flush in memory;
 //! * **typed errors** — every operation reports
 //!   [`CoordinationError`], the unified hierarchy of
 //!   [`crate::error`].
 //!
 //! One-shot coordination ([`crate::coordinate()`]) is a thin wrapper
 //! over a throwaway `Coordinator` session.
+//!
+//! # Example: a session, a subscriber, a flush
+//!
+//! ```
+//! use eq_core::{Coordinator, EngineConfig, EngineMode, Event, SubmitRequest};
+//! use eq_db::Database;
+//! use eq_ir::Value;
+//! use eq_sql::parse_ir_query;
+//!
+//! let mut db = Database::new();
+//! db.create_table("F", &["fno", "dest"]).unwrap();
+//! db.insert("F", vec![Value::int(122), Value::str("Paris")]).unwrap();
+//!
+//! let coordinator = Coordinator::new(
+//!     db,
+//!     EngineConfig {
+//!         mode: EngineMode::SetAtATime { batch_size: 0 },
+//!         ..Default::default()
+//!     },
+//! );
+//! let events = coordinator.subscribe();
+//! let mut session = coordinator.session();
+//! session
+//!     .submit(SubmitRequest::new(
+//!         parse_ir_query("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)").unwrap(),
+//!     ))
+//!     .unwrap();
+//! session
+//!     .submit(SubmitRequest::new(
+//!         parse_ir_query("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)").unwrap(),
+//!     ))
+//!     .unwrap();
+//!
+//! let report = coordinator.flush();
+//! assert_eq!(report.answered, 2);
+//! // Two terminal events, then the flush report — in that order.
+//! let drained = events.drain();
+//! assert_eq!(drained.len(), 3);
+//! assert!(drained[0].is_terminal() && drained[1].is_terminal());
+//! assert!(matches!(drained[2], Event::Flushed(_)));
+//! ```
 
 use crate::combine::QueryAnswer;
 use crate::coordinate::RejectReason;
@@ -35,13 +80,21 @@ use crate::engine::{
     QueryOutcome, QueryStatus, SubmitOptions,
 };
 use crate::error::CoordinationError;
+use crate::events::{self, EventSender};
 use crate::safety::SafetyViolation;
 use eq_db::{Database, Tuple};
 use eq_ir::{EntangledQuery, FastMap, QueryId};
 use parking_lot::{Mutex, RwLock};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub use crate::events::{Events, OverflowPolicy, SubscriberStats};
+
+/// Queue capacity used by [`Coordinator::subscribe`] (the
+/// [`OverflowPolicy::Block`] default): deep enough that a subscriber
+/// draining at flush granularity never blocks a moderate flush, small
+/// enough to bound memory under a 100k-query sweep.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
 /// One query submission, built fluently.
 ///
@@ -213,52 +266,25 @@ impl Event {
     }
 }
 
-/// A subscription to a [`Coordinator`]'s events.
-///
-/// Events published before the subscription was created are not
-/// replayed. The stream ends (returns `None` forever) once the
-/// coordinator is dropped.
-pub struct Events {
-    rx: Receiver<Event>,
-}
-
-impl Events {
-    /// The next event if one is already queued (non-blocking).
-    pub fn try_next(&self) -> Option<Event> {
-        self.rx.try_recv().ok()
-    }
-
-    /// Blocks up to `timeout` for the next event.
-    pub fn next_timeout(&self, timeout: Duration) -> Option<Event> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(e) => Some(e),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
-        }
-    }
-
-    /// Drains every queued event (non-blocking).
-    pub fn drain(&self) -> Vec<Event> {
-        let mut out = Vec::new();
-        while let Some(e) = self.try_next() {
-            out.push(e);
-        }
-        out
-    }
-}
-
 struct Inner {
     engine: CoordinationEngine,
-    subscribers: Vec<Sender<Event>>,
+    subscribers: Vec<EventSender>,
     tags: FastMap<QueryId, String>,
+    /// Subscriptions that ended from the publisher's side: the receiver
+    /// was dropped mid-stream (e.g. a client thread died during an
+    /// in-flight flush) or an [`OverflowPolicy::Disconnect`] queue
+    /// overflowed. Never silent: observable through
+    /// [`Coordinator::disconnected_subscribers`].
+    disconnected: u64,
 }
 
 impl Inner {
     /// Converts the engine's freshly drained terminal outcomes into
     /// events and broadcasts them; subscribers whose receiver hung up
-    /// are dropped, and when the last one goes the engine's outcome
-    /// log is switched off (retirements stop paying for outcome
-    /// clones nobody will read). Called after every engine operation,
-    /// while the service lock is held, so event order equals
+    /// are pruned (and counted), and when the last one goes the
+    /// engine's outcome log is switched off (retirements stop paying
+    /// for outcome clones nobody will read). Called after every engine
+    /// operation, while the service lock is held, so event order equals
     /// retirement order.
     fn pump(&mut self) {
         for (id, outcome) in self.engine.drain_outcome_log() {
@@ -279,7 +305,15 @@ impl Inner {
     }
 
     fn broadcast(&mut self, event: Event) {
-        self.subscribers.retain(|s| s.send(event.clone()).is_ok());
+        let mut disconnected = 0u64;
+        self.subscribers.retain(|s| match s.send(event.clone()) {
+            Ok(()) => true,
+            Err(_) => {
+                disconnected += 1;
+                false
+            }
+        });
+        self.disconnected += disconnected;
     }
 }
 
@@ -303,6 +337,7 @@ impl Coordinator {
                 engine: CoordinationEngine::new(db, config),
                 subscribers: Vec::new(),
                 tags: FastMap::default(),
+                disconnected: 0,
             })),
         }
     }
@@ -321,13 +356,60 @@ impl Coordinator {
     /// Subscribes to the service's [`Event`] stream, starting now
     /// (outcomes that became terminal before the subscription are not
     /// replayed; the engine's outcome log is only kept while at least
-    /// one subscriber is listening).
+    /// one subscriber is listening). The subscription is a bounded
+    /// queue of [`DEFAULT_EVENT_CAPACITY`] events under
+    /// [`OverflowPolicy::Block`]: a full queue applies backpressure to
+    /// the publisher instead of growing without bound.
+    ///
+    /// **Blocking contract:** events are published while the service
+    /// lock is held, so a full `Block` queue suspends the publishing
+    /// operation (flush, cancel, session close) — and with it every
+    /// other `Coordinator` call — until the subscriber drains. Drain
+    /// from a dedicated thread that does **not** call back into the
+    /// `Coordinator`, or pick a capacity that covers the largest round
+    /// you will publish before draining
+    /// ([`Coordinator::subscribe_with`]); single-threaded consumers
+    /// that drain lazily should prefer [`OverflowPolicy::DropOldest`]
+    /// (evictions are counted, never silent).
     pub fn subscribe(&self) -> Events {
-        let (tx, rx) = channel();
+        self.subscribe_with(DEFAULT_EVENT_CAPACITY, OverflowPolicy::Block)
+    }
+
+    /// [`Coordinator::subscribe`] with an explicit queue bound and
+    /// [`OverflowPolicy`]. No policy loses terminal events *silently*:
+    /// `Block` delivers everything (backpressure), `DropOldest` counts
+    /// every eviction in the subscriber's [`SubscriberStats`], and
+    /// `Disconnect` ends the subscription visibly on overflow (counted
+    /// in [`Coordinator::disconnected_subscribers`]).
+    ///
+    /// ```
+    /// use eq_core::{Coordinator, EngineConfig, OverflowPolicy};
+    /// use eq_db::Database;
+    ///
+    /// let coordinator = Coordinator::new(Database::new(), EngineConfig::default());
+    /// let events = coordinator.subscribe_with(64, OverflowPolicy::DropOldest);
+    /// assert_eq!(events.stats().dropped, 0);
+    /// ```
+    pub fn subscribe_with(&self, capacity: usize, policy: OverflowPolicy) -> Events {
+        let (tx, rx) = events::bounded(capacity, policy);
         let mut inner = self.inner.lock();
         inner.subscribers.push(tx);
         inner.engine.set_outcome_log(true);
-        Events { rx }
+        rx
+    }
+
+    /// Number of live event subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.lock().subscribers.len()
+    }
+
+    /// How many subscriptions ended from the publisher's side — the
+    /// subscriber's receiver was dropped (possibly mid-flush), or its
+    /// [`OverflowPolicy::Disconnect`] queue overflowed. The fan-out
+    /// never panics or stalls on such a subscriber; it prunes it and
+    /// accounts the disconnect here.
+    pub fn disconnected_subscribers(&self) -> u64 {
+        self.inner.lock().disconnected
     }
 
     /// Runs a set-at-a-time evaluation round over the dirty components
@@ -800,6 +882,127 @@ mod tests {
             events.drain().as_slice(),
             [Event::Cancelled { .. }]
         ));
+    }
+
+    #[test]
+    fn flushed_arrives_after_every_terminal_event_under_bounded_channels() {
+        // A tiny Block queue forces the publisher to interleave with a
+        // concurrent drainer; per-subscriber FIFO plus pump-then-report
+        // under one lock must still deliver every terminal event of a
+        // flush *before* that flush's report.
+        let coordinator = batch_coordinator(flight_db());
+        let events = coordinator.subscribe_with(2, OverflowPolicy::Block);
+        let drainer = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(e) = events.next_timeout(Duration::from_secs(10)) {
+                let flushed = matches!(e, Event::Flushed(_));
+                seen.push(e);
+                if flushed {
+                    break;
+                }
+            }
+            seen
+        });
+        let mut session = coordinator.session();
+        let mut expected = Vec::new();
+        for i in 0..8 {
+            let h = session
+                .submit(q(&format!(
+                    "{{R(B{i}, ITH)}} R(A{i}, ITH) <- F(x{i}, Paris)"
+                )))
+                .unwrap();
+            expected.push(h.id);
+            let h = session
+                .submit(q(&format!(
+                    "{{R(A{i}, ITH)}} R(B{i}, ITH) <- F(y{i}, Paris)"
+                )))
+                .unwrap();
+            expected.push(h.id);
+        }
+        let report = coordinator.flush();
+        assert_eq!(report.answered, 16);
+        let seen = drainer.join().unwrap();
+        let flushed_at = seen
+            .iter()
+            .position(|e| matches!(e, Event::Flushed(_)))
+            .expect("flush report delivered");
+        let terminals_before: Vec<QueryId> =
+            seen[..flushed_at].iter().filter_map(|e| e.id()).collect();
+        for id in expected {
+            assert!(
+                terminals_before.contains(&id),
+                "terminal event for {id:?} must precede Flushed"
+            );
+        }
+        assert_eq!(flushed_at, seen.len() - 1, "Flushed is last");
+    }
+
+    #[test]
+    fn dropped_subscriber_mid_flight_is_accounted_not_fatal() {
+        // A subscriber vanishes (receiver dropped) while its session's
+        // queries are still pending; the session close then broadcasts
+        // Cancelled events into the dead subscription. The fan-out must
+        // prune it and account the disconnect — never panic, never
+        // block.
+        let coordinator = batch_coordinator(flight_db());
+        let events = coordinator.subscribe_with(1, OverflowPolicy::Block);
+        let mut session = coordinator.session();
+        for i in 0..4 {
+            session
+                .submit(q(&format!(
+                    "{{R(Ghost{i}, ITH)}} R(Solo{i}, ITH) <- F(x{i}, Paris)"
+                )))
+                .unwrap();
+        }
+        drop(events); // subscriber dies with 4 queries in flight
+        session.close(); // broadcasts 4 Cancelled events
+        assert_eq!(coordinator.disconnected_subscribers(), 1);
+        assert_eq!(coordinator.subscriber_count(), 0);
+        assert_eq!(coordinator.pending_count(), 0);
+        coordinator.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drop_oldest_policy_counts_evictions() {
+        let coordinator = batch_coordinator(flight_db());
+        let events = coordinator.subscribe_with(2, OverflowPolicy::DropOldest);
+        let mut session = coordinator.session();
+        for i in 0..6 {
+            let h = session
+                .submit(q(&format!(
+                    "{{R(Ghost{i}, ITH)}} R(Solo{i}, ITH) <- F(x{i}, Paris)"
+                )))
+                .unwrap();
+            coordinator.cancel(h.id).unwrap();
+        }
+        let stats_before_drain = events.stats();
+        assert_eq!(stats_before_drain.dropped, 4, "evictions are counted");
+        assert_eq!(events.drain().len(), 2);
+        assert!(!events.stats().disconnected);
+        // Published (6) == delivered (2) + dropped (4): nothing silent.
+        let stats = events.stats();
+        assert_eq!(stats.delivered + stats.dropped, 6);
+    }
+
+    #[test]
+    fn disconnect_policy_surfaces_overflow() {
+        let coordinator = batch_coordinator(flight_db());
+        let events = coordinator.subscribe_with(2, OverflowPolicy::Disconnect);
+        let mut session = coordinator.session();
+        for i in 0..5 {
+            let h = session
+                .submit(q(&format!(
+                    "{{R(Ghost{i}, ITH)}} R(Solo{i}, ITH) <- F(x{i}, Paris)"
+                )))
+                .unwrap();
+            coordinator.cancel(h.id).unwrap();
+        }
+        // Third cancel overflowed the queue: subscriber disconnected,
+        // backlog still drainable, publisher accounted it.
+        assert_eq!(coordinator.disconnected_subscribers(), 1);
+        assert_eq!(coordinator.subscriber_count(), 0);
+        assert_eq!(events.drain().len(), 2);
+        assert!(events.stats().disconnected);
     }
 
     #[test]

@@ -260,7 +260,14 @@ impl Database {
         Ok(eval::evaluate(self, atoms, &[], limit))
     }
 
-    fn check_atoms(&self, atoms: &[Atom]) -> Result<(), DbError> {
+    /// Validates that every atom names a known relation with the right
+    /// arity — the same fail-fast pre-check [`Database::evaluate`] runs
+    /// before searching. Public so callers that split a conjunction
+    /// into independently evaluated pieces (the engine's partitioned
+    /// intra-component evaluation) can report validation errors for the
+    /// *whole* conjunction up front, exactly as one-shot evaluation
+    /// would.
+    pub fn check_atoms(&self, atoms: &[Atom]) -> Result<(), DbError> {
         for atom in atoms {
             let table = self
                 .tables

@@ -210,6 +210,16 @@ fn try_row(
 /// Greedy join ordering: pick the atom with the most bound positions;
 /// break ties toward the smaller estimated cardinality (posting list of
 /// its best bound column, or table size when nothing is bound).
+///
+/// Remaining ties are broken *structurally* — by `(relation, terms)`
+/// order — never by position in the worklist. An atom's full key
+/// therefore depends only on the atom itself and the bindings of its own
+/// variables, which makes the chosen join order invariant under
+/// re-grouping of variable-disjoint sub-conjunctions: evaluating a
+/// sub-conjunction alone picks its atoms in exactly the order the whole
+/// query would. The engine's partitioned intra-component evaluation
+/// (`eq_core::intra`) relies on this to reproduce the sequential answer
+/// choice from independently evaluated work units.
 fn choose_atom(db: &Database, remaining: &[&Atom], bindings: &Valuation) -> usize {
     let mut best_idx = 0;
     let mut best_key = (usize::MAX, usize::MAX); // (unbound count, cardinality)
@@ -228,7 +238,7 @@ fn choose_atom(db: &Database, remaining: &[&Atom], bindings: &Valuation) -> usiz
             }
         }
         let key = (unbound, card);
-        if key < best_key {
+        if key < best_key || (key == best_key && **atom < *remaining[best_idx]) {
             best_key = key;
             best_idx = i;
         }

@@ -20,7 +20,7 @@ pub enum Polarity {
 /// Atoms are used for all three parts of an entangled query: head and
 /// postcondition atoms range over ANSWER relations, body atoms over
 /// database relations. The distinction is contextual, not structural.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Atom {
     /// The relation name.
     pub relation: Symbol,

@@ -34,7 +34,12 @@ impl fmt::Display for Var {
 }
 
 /// A term of a relational atom: either a constant or a variable.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Ord` impl is structural (constants before variables, then by
+/// payload); it carries no semantic meaning and exists so deterministic
+/// tie-breaks — e.g. the database evaluator's atom ordering — can be
+/// stated over term structure instead of container positions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A constant value.
     Const(Value),

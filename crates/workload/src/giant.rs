@@ -1,0 +1,245 @@
+//! Giant single-component workload: every query entangled into **one**
+//! match-graph component that actually coordinates.
+//!
+//! The Figure 8 `giant_cluster` workload stresses *matching* on a giant
+//! partition that never closes; this one stresses *evaluation*: `n`
+//! queries form one ring of ground entanglements (query `i`'s
+//! postcondition names query `i+1 mod n`'s head), so the paper's
+//! coordination semantics force all `n` to be answered together through
+//! a single combined query — the worst case for per-component flush
+//! parallelism, and the workload the engine's partitioned
+//! intra-component path (`eq_core::intra`) exists for.
+//!
+//! Each query carries a private-variable body over a synthetic
+//! `Friends` relation, in one of two flavors ([`GiantBody`]):
+//!
+//! ```text
+//! Chain:     {R(G_{i+1}, HUB)}  R(G_i, HUB)  ⊣  Friends(G_i, x) ∧ Friends(x, y)
+//! Triangle:  {R(G_{i+1}, HUB)}  R(G_i, HUB)  ⊣  Friends(G_i, x) ∧ Friends(x, y) ∧ Friends(y, G_i)
+//! ```
+//!
+//! Either way the combined query decomposes into `n` variable-disjoint
+//! work units. The difference is what the *sequential* (one combined
+//! join) evaluator does with them:
+//!
+//! * **`Chain`** bodies never fail a row, so the sequential join is
+//!   backtrack-free and terminates — its cost is the quadratic
+//!   atom-selection scan over the 2n-atom body. Use this flavor to
+//!   *measure* sequential-vs-partitioned on the same input.
+//! * **`Triangle`** bodies are rigged so every triangle search
+//!   succeeds, but only on (roughly) the **last** of its `k²` candidate
+//!   2-paths: user `G_m`'s friends are `G_{m+1} … G_{m+k}` (forward
+//!   ring edges — no triangles among themselves for `n > 3k`), plus one
+//!   *closure* edge `G_{m+2k} → G_m` that completes exactly the longest
+//!   2-path. Each work unit therefore does Θ(k²) indexed row visits —
+//!   real, parallelizable work. Do **not** point the sequential
+//!   evaluator at a triangle ring: chronological backtracking thrashes
+//!   across the interleaved independent sub-searches (a dead end in one
+//!   unit re-enumerates every binding of the units interleaved after
+//!   it), which is exponential in the ring size. The partitioned path
+//!   evaluates each unit in isolation and is immune — that cliff *is*
+//!   the point of this workload.
+//!
+//! The ring is safe (every postcondition has exactly one unifying
+//! head), UCS (one cycle ⇒ one SCC), and fully answerable.
+
+use eq_db::Database;
+use eq_ir::{Atom, EntangledQuery, QueryId, Term, Value, Var};
+
+const RESERVE: &str = "Reserve";
+const FRIENDS: &str = "Friends";
+
+/// Per-query body flavor of the giant ring (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GiantBody {
+    /// Backtrack-free two-atom walk: safe for the sequential evaluator.
+    #[default]
+    Chain,
+    /// Θ(k²)-per-unit triangle search: partitioned evaluation only.
+    Triangle,
+}
+
+/// Configuration for [`giant_component`].
+#[derive(Clone, Copy, Debug)]
+pub struct GiantComponentConfig {
+    /// Ring size: number of entangled queries (all in one component).
+    pub queries: usize,
+    /// Forward ring edges per user (`k`). Under [`GiantBody::Triangle`]
+    /// each work unit's search visits Θ(k²) rows before closing, so
+    /// this knob sets the per-unit evaluation cost. Must satisfy
+    /// `queries > 4·k` so the modular arithmetic cannot create
+    /// accidental early triangles.
+    pub friends_per_user: usize,
+    /// Body flavor (see [`GiantBody`]).
+    pub body: GiantBody,
+}
+
+impl Default for GiantComponentConfig {
+    fn default() -> Self {
+        GiantComponentConfig {
+            queries: 10_000,
+            friends_per_user: 12,
+            body: GiantBody::Chain,
+        }
+    }
+}
+
+fn user(i: usize, n: usize) -> Value {
+    Value::str(&format!("G{}", i % n))
+}
+
+/// Builds the database (the rigged `Friends` graph) and the `n`-query
+/// entangled ring described in the module docs. Queries are returned in
+/// ring order with ids `0..n`; submission order does not matter — any
+/// order yields the same single resident component.
+pub fn giant_component(cfg: &GiantComponentConfig) -> (Database, Vec<EntangledQuery>) {
+    let n = cfg.queries;
+    let k = cfg.friends_per_user;
+    assert!(
+        n > 4 * k,
+        "need queries > 4 * friends_per_user, got {n} vs {k}"
+    );
+
+    let mut db = Database::new();
+    db.create_table(FRIENDS, &["name1", "name2"])
+        .expect("fresh database");
+    // Forward ring edges first (posting-list order matters: the closure
+    // edge must be each user's *last* successor so the triangle search
+    // pays for the full enumeration before succeeding).
+    let mut rows = Vec::with_capacity(n * (k + 1));
+    for m in 0..n {
+        for j in 1..=k {
+            rows.push(vec![user(m, n), user(m + j, n)]);
+        }
+    }
+    for m in 0..n {
+        rows.push(vec![user(m + 2 * k, n), user(m, n)]);
+    }
+    db.insert_many(FRIENDS, rows).expect("schema arity");
+
+    let hub = Term::str("HUB");
+    let queries = (0..n)
+        .map(|i| {
+            let me = Term::Const(user(i, n));
+            let next = Term::Const(user(i + 1, n));
+            let x = Term::Var(Var(0));
+            let y = Term::Var(Var(1));
+            let mut body = vec![
+                Atom::new(FRIENDS, vec![me, x]),
+                Atom::new(FRIENDS, vec![x, y]),
+            ];
+            if cfg.body == GiantBody::Triangle {
+                body.push(Atom::new(FRIENDS, vec![y, me]));
+            }
+            EntangledQuery::new(
+                vec![Atom::new(RESERVE, vec![me, hub])],
+                vec![Atom::new(RESERVE, vec![next, hub])],
+                body,
+            )
+            .with_id(QueryId(i as u64))
+        })
+        .collect();
+    (db, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_ir::VarGen;
+
+    #[test]
+    fn ring_is_one_component_and_every_body_is_satisfiable() {
+        for body in [GiantBody::Chain, GiantBody::Triangle] {
+            let cfg = GiantComponentConfig {
+                queries: 60,
+                friends_per_user: 5,
+                body,
+            };
+            let (db, queries) = giant_component(&cfg);
+            let gen = VarGen::new();
+            let renamed: Vec<EntangledQuery> =
+                queries.iter().map(|q| q.rename_apart(&gen)).collect();
+            let graph = eq_core::MatchGraph::build(renamed);
+            let comps = graph.components();
+            assert_eq!(comps.len(), 1, "ring must be one component ({body:?})");
+            assert_eq!(comps[0].len(), 60);
+            // Every body is satisfiable on its own.
+            for q in &queries {
+                let sols = db.evaluate(&q.body, 1).unwrap();
+                assert_eq!(sols.len(), 1, "body must close for {:?} ({body:?})", q.id);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_ring_coordinates_sequentially() {
+        // Chain bodies are backtrack-free, so even the plain one-shot
+        // sequential evaluation handles the whole ring.
+        let cfg = GiantComponentConfig {
+            queries: 30,
+            friends_per_user: 4,
+            body: GiantBody::Chain,
+        };
+        let (db, queries) = giant_component(&cfg);
+        let outcome = eq_core::coordinate(&queries, &db).unwrap();
+        assert_eq!(outcome.answers.len(), 30, "{:?}", outcome.rejected);
+        assert!(outcome.rejected.is_empty());
+    }
+
+    #[test]
+    fn triangle_ring_coordinates_through_the_partitioned_path() {
+        // Triangle bodies thrash the interleaved sequential join (see
+        // module docs); the intra-component path evaluates each unit in
+        // isolation and answers the whole ring.
+        use eq_core::{CoordinationEngine, EngineConfig, EngineMode, QueryOutcome};
+        let cfg = GiantComponentConfig {
+            queries: 40,
+            friends_per_user: 6,
+            body: GiantBody::Triangle,
+        };
+        let (db, queries) = giant_component(&cfg);
+        let mut engine = CoordinationEngine::new(
+            db,
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                intra_component_threshold: 1,
+                flush_threads: 4,
+                ..Default::default()
+            },
+        );
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| engine.submit(q.clone()).unwrap())
+            .collect();
+        let report = engine.flush();
+        assert_eq!(report.answered, 40);
+        assert_eq!(report.intra_components, 1);
+        assert_eq!(report.intra_units, 40);
+        for h in &handles {
+            assert!(matches!(
+                h.outcome.try_recv().unwrap(),
+                QueryOutcome::Answered(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn triangle_search_pays_for_the_enumeration() {
+        // The per-unit cost knob: the first solution must show up only
+        // after ~k² row visits, not on the first probe.
+        let cfg = GiantComponentConfig {
+            queries: 50,
+            friends_per_user: 8,
+            body: GiantBody::Triangle,
+        };
+        let (db, queries) = giant_component(&cfg);
+        let (sols, stats) = db.evaluate_with_stats(&queries[0].body, 1).unwrap();
+        assert_eq!(sols.len(), 1);
+        let k = cfg.friends_per_user as u64;
+        assert!(
+            stats.rows_considered >= k * (k - 1),
+            "expected ≥ k(k-1) row visits, got {}",
+            stats.rows_considered
+        );
+    }
+}

@@ -20,12 +20,14 @@
 //! ```
 
 mod churn;
+mod giant;
 mod queries;
 pub mod rng;
 mod service;
 mod social;
 
 pub use churn::{churn_script, ChurnConfig, ChurnOp};
+pub use giant::{giant_component, GiantBody, GiantComponentConfig};
 pub use queries::{
     chains, clique_groups, giant_cluster, grid_pairs, no_unify, three_way_triangles, two_way_pairs,
     unsafe_arrivals, unsafe_residents, PairStyle,

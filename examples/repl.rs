@@ -38,6 +38,8 @@ struct Shell {
     incremental: bool,
     /// Default deadline applied to subsequent submissions.
     deadline: Option<Duration>,
+    /// Evictions already reported by `.watch` (DropOldest accounting).
+    dropped_seen: u64,
 }
 
 const DEMO: &str = r#"  .table Flights fno dest
@@ -62,7 +64,11 @@ fn new_service(db: Database, incremental: bool) -> (Coordinator, Session, Events
             ..Default::default()
         },
     );
-    let events = coordinator.subscribe();
+    // The shell drains lazily on its own thread (`.watch`, post-flush),
+    // so a Block subscription could stall a large flush against the
+    // full queue. DropOldest keeps the shell responsive at any scale;
+    // evictions are counted and reported by `.watch`.
+    let events = coordinator.subscribe_with(4096, OverflowPolicy::DropOldest);
     let session = coordinator.session();
     (coordinator, session, events)
 }
@@ -76,6 +82,7 @@ fn main() {
         catalog: Catalog::new(),
         incremental: true,
         deadline: None,
+        dropped_seen: 0,
     };
     println!("entangled-queries shell — .help for commands");
     let stdin = std::io::stdin();
@@ -258,6 +265,14 @@ impl Shell {
                     }
                 }
             }
+        }
+        let dropped = self.events.stats().dropped;
+        if dropped > self.dropped_seen {
+            println!(
+                "(event queue overflowed: {} oldest events evicted since last report)",
+                dropped - self.dropped_seen
+            );
+            self.dropped_seen = dropped;
         }
         if verbose && !any {
             println!("(no events)");

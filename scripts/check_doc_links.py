@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Dead-link check for the markdown docs.
+
+Scans README.md and docs/**/*.md for relative markdown links
+(`[text](path)` and `[text](path#anchor)`) and fails if any target
+file does not exist. External links (http/https/mailto) are skipped —
+CI runs offline. Anchors are checked for same-file links only in the
+cheap way: the heading must appear somewhere in the target file as a
+`#` heading whose slug matches.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+REPO = Path(__file__).resolve().parent.parent
+
+
+def slug(heading: str) -> str:
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s)
+    return s.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    out = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.startswith("#"):
+            out.add(slug(line.lstrip("#")))
+    return out
+
+
+def main() -> int:
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("**/*.md"))
+    errors = []
+    for f in files:
+        text = f.read_text(encoding="utf-8")
+        for m in LINK.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (f.parent / path_part).resolve() if path_part else f
+            if path_part and not resolved.exists():
+                errors.append(f"{f.relative_to(REPO)}: broken link -> {target}")
+                continue
+            if anchor and resolved.suffix == ".md" and resolved.exists():
+                if anchor not in anchors_of(resolved):
+                    errors.append(
+                        f"{f.relative_to(REPO)}: missing anchor -> {target}"
+                    )
+    if errors:
+        print("dead links found:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"doc links ok ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,8 +109,8 @@ pub mod prelude {
     pub use eq_core::{
         coordinate, BatchReport, CoordinationEngine, CoordinationError, CoordinationOutcome,
         Coordinator, EngineConfig, EngineMode, Event, Events, FailReason, InvariantViolation,
-        NoSolutionPolicy, QueryAnswer, QueryHandle, QueryOutcome, QueryStatus, RejectReason,
-        ResidentGraph, SafetyViolation, Session, SubmitRequest,
+        NoSolutionPolicy, OverflowPolicy, QueryAnswer, QueryHandle, QueryOutcome, QueryStatus,
+        RejectReason, ResidentGraph, SafetyViolation, Session, SubmitRequest, SubscriberStats,
     };
     pub use eq_db::{Database, Tuple};
     pub use eq_ir::{Atom, EntangledQuery, QueryId, Symbol, Term, Value, Var, VarGen};
