@@ -25,6 +25,11 @@ fn main() {
         friends_per_user: k,
         body: GiantBody::Triangle,
     });
+    let (shared_db, shared_queries) = giant_component(&GiantComponentConfig {
+        queries: n,
+        friends_per_user: k,
+        body: GiantBody::SharedChain,
+    });
 
     let mut group = BenchGroup::new("fig_giant");
     group.sample_size(if smoke_mode() { 3 } else { 5 });
@@ -39,7 +44,15 @@ fn main() {
             "sequential (one combined join)",
             n as u64,
             || clone_db(&chain_db),
-            |db| drive_giant(db, &chain_queries, usize::MAX, 1),
+            |db| drive_giant(db, &chain_queries, usize::MAX, 1, usize::MAX),
+        );
+        // The shared-variable ring as a single work unit: same
+        // quadratic atom-selection asymptotics, one sample.
+        seq.bench_with_setup(
+            "shared chain (one work unit)",
+            n as u64,
+            || clone_db(&shared_db),
+            |db| drive_giant(db, &shared_queries, 1, 1, usize::MAX),
         );
     }
 
@@ -48,7 +61,7 @@ fn main() {
             &format!("intra chain ({t} threads)"),
             n as u64,
             || clone_db(&chain_db),
-            |db| drive_giant(db, &chain_queries, 1, t),
+            |db| drive_giant(db, &chain_queries, 1, t, usize::MAX),
         );
     }
     for &t in threads {
@@ -56,7 +69,15 @@ fn main() {
             &format!("intra triangle ({t} threads)"),
             n as u64,
             || clone_db(&tri_db),
-            |db| drive_giant(db, &tri_queries, 1, t),
+            |db| drive_giant(db, &tri_queries, 1, t, usize::MAX),
+        );
+    }
+    for &t in threads {
+        group.bench_with_setup(
+            &format!("shared chain, region split ({t} threads)"),
+            n as u64,
+            || clone_db(&shared_db),
+            |db| drive_giant(db, &shared_queries, 1, t, 16),
         );
     }
 }

@@ -6,10 +6,11 @@
 //! run and developers a stable A/B timer.
 
 use eq_bench::harness::{smoke_mode, BenchGroup};
-use eq_bench::{clone_db, drive_service_harness};
+use eq_bench::{clone_db, drive_scale_harness, drive_service_harness};
 use eq_core::{Coordinator, EngineConfig, EngineMode, NoSolutionPolicy, SubmitRequest};
 use eq_workload::{
-    build_database, grid_pairs, service_script, ServiceConfig, SocialGraph, SocialGraphConfig,
+    build_database, grid_pairs, scale_service_script, service_script, ScaleServiceConfig,
+    ServiceConfig, SocialGraph, SocialGraphConfig,
 };
 
 fn coordinator(db: eq_db::Database, flush_threads: usize) -> Coordinator {
@@ -92,6 +93,25 @@ fn main() {
         println!(
             "  [harness n={n}] {millis:.1} ms, answered={} events={} flushes={}",
             counters.answered, counters.events, counters.flushes
+        );
+
+        // The staleness + KeepPending churn script (ROADMAP 100k scale
+        // target; CI smoke scales it down). The drive asserts its exact
+        // outcome accounting — every zero-staleness query expires,
+        // every deferred KeepPending pair coordinates after the Load.
+        let scale = scale_service_script(
+            &graph,
+            &ScaleServiceConfig {
+                queries: n,
+                burst: (n / 16).max(1),
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let (millis, counters) = drive_scale_harness(clone_db(&db), &scale, 0);
+        println!(
+            "  [scale n={n}] {millis:.1} ms, answered={} expired={} flushes={}",
+            counters.answered, counters.expired, counters.flushes
         );
     }
 }

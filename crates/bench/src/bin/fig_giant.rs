@@ -1,17 +1,21 @@
 //! Intra-component parallelism sweep: one giant entangled ring per
 //! point, evaluated sequentially (one combined join) versus through the
 //! engine's partitioned work-unit path at 1/2/4/8 worker threads, on
-//! both ring-body flavors (backtrack-free chains for the head-to-head,
-//! Θ(k²)-per-unit triangles for thread scaling).
+//! all three ring-body flavors (backtrack-free chains for the
+//! head-to-head, Θ(k²)-per-unit triangles for thread scaling, and
+//! shared-variable chains for the biconnected-region split).
 //!
 //! `--sweep` instead runs the Figure-6/8-style 100k-query scale mode:
 //! batched admission + one giant-component flush through the full
 //! service stack, with a bounded `Block` event subscription drained
 //! concurrently — asserting that backpressure loses no terminal event.
+//! `--triangle` / `--shared` pick the sweep's ring-body flavor (the
+//! whole pipeline — including the 2n-atom combined bodies the iterative
+//! evaluator now joins — runs on default-sized stacks).
 //!
 //! Usage:
 //!   cargo run --release -p eq_bench --bin fig_giant [-- --sizes 2000,10000]
-//!   cargo run --release -p eq_bench --bin fig_giant -- --sweep [--sweep-size 100000]
+//!   cargo run --release -p eq_bench --bin fig_giant -- --sweep [--sweep-size 100000] [--triangle | --shared]
 //!   cargo run --release -p eq_bench --bin fig_giant -- --smoke   (CI-sized run)
 
 use eq_bench::harness::smoke_mode;
@@ -19,6 +23,7 @@ use eq_bench::{
     report, run_fig_giant, run_fig_giant_sweep, sizes_from_args, FigGiantConfig,
     FigGiantSweepConfig,
 };
+use eq_workload::GiantBody;
 use std::path::Path;
 
 fn flag_value(name: &str) -> Option<usize> {
@@ -35,11 +40,19 @@ fn main() {
 
     if sweep {
         let queries = flag_value("--sweep-size").unwrap_or(if smoke { 20_000 } else { 100_000 });
+        let body = if std::env::args().any(|a| a == "--triangle") {
+            GiantBody::Triangle
+        } else if std::env::args().any(|a| a == "--shared") {
+            GiantBody::SharedChain
+        } else {
+            GiantBody::Chain
+        };
         let rows = run_fig_giant_sweep(&FigGiantSweepConfig {
             queries,
             friends_per_user: 8,
             flush_threads: 0,
             event_capacity: 1024,
+            body,
         });
         report(
             "Giant-component 100k sweep: batched admission + partitioned flush + bounded events",

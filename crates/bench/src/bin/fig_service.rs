@@ -1,21 +1,31 @@
 //! Service-API sweep: batched parallel admission (`submit_batch`)
 //! versus sequential `submit` over the `Coordinator`, plus
-//! event-stream throughput and a long-running service-script harness.
-//! Rows carry `answered`/`events`/`flushes` counters in the JSON
-//! output; the headline comparison is `submit_batch (parallel)` versus
+//! event-stream throughput, a long-running service-script harness, and
+//! the ROADMAP 100k scale series (staleness + `KeepPending` churn, with
+//! asserted outcome accounting). Rows carry
+//! `answered`/`expired`/`events`/`flushes` counters in the JSON output;
+//! the headline comparison is `submit_batch (parallel)` versus
 //! `sequential submit` at the ≥10k batch sizes.
 //!
-//! Usage: `cargo run --release -p eq_bench --bin fig_service [-- --sizes 1000,10000]`
+//! Usage: `cargo run --release -p eq_bench --bin fig_service [-- --sizes 1000,10000] [--scale-size 100000]`
 
 use eq_bench::{report, run_fig_service, sizes_from_args, FigServiceConfig};
 use std::path::Path;
 
 fn main() {
     let sizes = sizes_from_args(&[1_000, 10_000, 20_000]);
+    let args: Vec<String> = std::env::args().collect();
+    let scale_queries = args
+        .iter()
+        .position(|a| a == "--scale-size")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
     let rows = run_fig_service(&FigServiceConfig {
         sizes,
         users: 10_000,
         harness_burst: 500,
+        scale_queries,
         seed: 2011,
     });
     report(

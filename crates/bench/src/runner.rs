@@ -595,6 +595,9 @@ pub struct FigServiceConfig {
     pub users: usize,
     /// Queries per burst in the long-running harness series.
     pub harness_burst: usize,
+    /// Total queries of the staleness + `KeepPending` scale series
+    /// (the ROADMAP target is 100,000; smoke runs scale it down).
+    pub scale_queries: usize,
     /// Workload seed.
     pub seed: u64,
 }
@@ -604,6 +607,8 @@ pub struct FigServiceConfig {
 pub struct ServiceCounters {
     /// Queries answered.
     pub answered: f64,
+    /// Queries expired (staleness bounds / deadlines).
+    pub expired: f64,
     /// Events received by the subscriber (terminals + flush reports).
     pub events: f64,
     /// Flushes executed.
@@ -615,6 +620,7 @@ impl ServiceCounters {
     pub fn as_row_counters(&self) -> Vec<(&'static str, f64)> {
         vec![
             ("answered", self.answered),
+            ("expired", self.expired),
             ("events", self.events),
             ("flushes", self.flushes),
         ]
@@ -659,7 +665,9 @@ pub fn drive_service_harness(
         .iter()
         .map(|op| match op {
             ServiceOp::SubmitBatch(queries) => queries.len(),
+            ServiceOp::SubmitBatchWith(subs) => subs.len(),
             ServiceOp::Cancel(_) | ServiceOp::Flush => 1,
+            ServiceOp::Load { .. } => 0,
         })
         .sum::<usize>()
         + 8;
@@ -690,8 +698,25 @@ pub fn drive_service_harness(
                     }
                 }
             }
+            ServiceOp::SubmitBatchWith(subs) => {
+                let requests: Vec<SubmitRequest> = subs.iter().map(scale_request).collect();
+                if batched {
+                    for r in session.submit_batch(requests) {
+                        ids.push(r.expect("valid service query").id);
+                    }
+                } else {
+                    for request in requests {
+                        ids.push(session.submit(request).expect("valid service query").id);
+                    }
+                }
+            }
             ServiceOp::Cancel(idx) => {
                 session.cancel(ids[*idx]).expect("pending solo query");
+            }
+            ServiceOp::Load { relation, rows } => {
+                coordinator
+                    .load(relation, rows.clone())
+                    .expect("known relation");
             }
             ServiceOp::Flush => {
                 coordinator.flush();
@@ -700,12 +725,107 @@ pub fn drive_service_harness(
         }
         for event in events.drain() {
             counters.events += 1.0;
-            if matches!(event, eq_core::Event::Answered { .. }) {
-                counters.answered += 1.0;
+            match *event {
+                eq_core::Event::Answered { .. } => counters.answered += 1.0,
+                eq_core::Event::Expired { .. } => counters.expired += 1.0,
+                _ => {}
             }
         }
     }
     let millis = start.elapsed().as_secs_f64() * 1e3;
+    (millis, counters)
+}
+
+/// Turns one scale-script submission into a `SubmitRequest` with its
+/// per-query options.
+fn scale_request(sub: &eq_workload::ScriptSubmission) -> SubmitRequest {
+    let mut request = SubmitRequest::new(sub.query.clone());
+    if let Some(bound) = sub.staleness {
+        request = request.staleness(bound);
+    }
+    if sub.keep_pending {
+        request = request.on_no_solution(NoSolutionPolicy::KeepPending);
+    }
+    request
+}
+
+/// Drives a [`eq_workload::scale_service_script`] — the ROADMAP 100k
+/// scale target:
+/// zero-staleness churn, `KeepPending` pairs blocked on a row that only
+/// arrives via the script's final `Load`, batched admission throughout
+/// — and **asserts** the script's exact outcome accounting: every
+/// expiring query ends `Expired`, every deferred query ends `Answered`
+/// (all on the final flush, after riding every earlier flush as a
+/// clean resident skip).
+pub fn drive_scale_harness(
+    db: Database,
+    script: &eq_workload::ScaleScript,
+    flush_threads: usize,
+) -> (f64, ServiceCounters) {
+    let coordinator = service_coordinator(db, flush_threads, false);
+    let event_bound: usize = script
+        .ops
+        .iter()
+        .map(|op| match op {
+            ServiceOp::SubmitBatchWith(subs) => subs.len(),
+            ServiceOp::SubmitBatch(queries) => queries.len(),
+            ServiceOp::Cancel(_) | ServiceOp::Flush => 1,
+            ServiceOp::Load { .. } => 0,
+        })
+        .sum::<usize>()
+        + 8;
+    let events = coordinator.subscribe_with(event_bound, eq_core::OverflowPolicy::Block);
+    let mut session = coordinator.session();
+    let mut counters = ServiceCounters::default();
+    // (submission id, was a deferred KeepPending member)
+    let mut submitted: Vec<(eq_ir::QueryId, bool)> = Vec::new();
+    let start = Instant::now();
+    for op in &script.ops {
+        match op {
+            ServiceOp::SubmitBatchWith(subs) => {
+                let requests: Vec<SubmitRequest> = subs.iter().map(scale_request).collect();
+                for (sub, r) in subs.iter().zip(session.submit_batch(requests)) {
+                    let handle = r.expect("valid scale query");
+                    submitted.push((handle.id, sub.keep_pending));
+                }
+            }
+            ServiceOp::Load { relation, rows } => {
+                coordinator
+                    .load(relation, rows.clone())
+                    .expect("known relation");
+            }
+            ServiceOp::Flush => {
+                coordinator.flush();
+                counters.flushes += 1.0;
+            }
+            ServiceOp::SubmitBatch(_) | ServiceOp::Cancel(_) => {
+                unreachable!("scale scripts only use SubmitBatchWith/Load/Flush")
+            }
+        }
+        for event in events.drain() {
+            counters.events += 1.0;
+            match *event {
+                eq_core::Event::Answered { .. } => counters.answered += 1.0,
+                eq_core::Event::Expired { .. } => counters.expired += 1.0,
+                _ => {}
+            }
+        }
+    }
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        counters.expired as usize, script.expiring,
+        "every zero-staleness query must expire"
+    );
+    let deferred_answered = submitted
+        .iter()
+        .filter(|&&(id, deferred)| {
+            deferred && matches!(coordinator.status(id), Some(QueryStatus::Answered))
+        })
+        .count();
+    assert_eq!(
+        deferred_answered, script.deferred,
+        "every deferred KeepPending pair must coordinate after the Load"
+    );
     (millis, counters)
 }
 
@@ -840,6 +960,31 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
             });
         }
     }
+
+    // The ROADMAP scale target: staleness + KeepPending churn through
+    // one long-running service (100k queries at full scale). The drive
+    // asserts its outcome accounting — every zero-staleness query
+    // expires, every deferred pair coordinates on the post-Load flush.
+    let scale = eq_workload::scale_service_script(
+        &graph,
+        &eq_workload::ScaleServiceConfig {
+            queries: cfg.scale_queries,
+            burst: cfg.harness_burst.max(1),
+            seed: cfg.seed + 2,
+            ..Default::default()
+        },
+    );
+    let (millis, counters) = drive_scale_harness(clone_db(&db), &scale, 0);
+    rows.push(Row {
+        extra: Some(counters.answered),
+        counters: counters.as_row_counters(),
+        ..Row::new(
+            "fig_service",
+            "staleness + keep-pending churn",
+            cfg.scale_queries as u64,
+            millis,
+        )
+    });
     rows
 }
 
@@ -862,43 +1007,41 @@ pub struct FigGiantConfig {
 /// evaluates its single component. Returns wall-clock milliseconds of
 /// the flush and the flush report (answered counts, intra counters).
 ///
-/// Runs on a dedicated big-stack thread: the sequential series joins
-/// the whole 2n-atom combined body in one recursive backtracking
-/// search, whose depth is the atom count — a 10k-query ring would
-/// overflow the default 8 MiB main stack (one more way the
-/// one-combined-join path does not scale; the partitioned path's
-/// recursion depth is bounded by the largest work unit instead).
+/// Runs inline on the caller's thread. It used to need a dedicated
+/// 512 MiB-stack thread — the sequential series joined the whole
+/// 2n-atom combined body through a *recursive* backtracking search
+/// whose depth was the atom count — but `eq_db`'s evaluator is now an
+/// iterative explicit-frame search with heap-bounded depth, so even the
+/// 100k-atom sweep bodies evaluate on a default stack.
+///
+/// `intra_split_min_atoms` gates shared-variable biconnected-region
+/// splitting inside the partitioned path (`usize::MAX` disables it —
+/// the whole-unit baseline for the `SharedChain` series).
 pub fn drive_giant(
     db: Database,
     queries: &[EntangledQuery],
     intra_component_threshold: usize,
     flush_threads: usize,
+    intra_split_min_atoms: usize,
 ) -> (f64, eq_core::BatchReport) {
-    let queries = queries.to_vec();
-    std::thread::Builder::new()
-        .stack_size(512 << 20)
-        .spawn(move || {
-            let mut engine = CoordinationEngine::new(
-                db,
-                EngineConfig {
-                    mode: EngineMode::SetAtATime { batch_size: 0 },
-                    admission_safety_check: false,
-                    on_no_solution: NoSolutionPolicy::Reject,
-                    flush_threads,
-                    intra_component_threshold,
-                    ..Default::default()
-                },
-            );
-            for q in &queries {
-                engine.submit(q.clone()).expect("valid giant-ring query");
-            }
-            let start = Instant::now();
-            let report = engine.flush();
-            (start.elapsed().as_secs_f64() * 1e3, report)
-        })
-        .expect("spawn giant driver")
-        .join()
-        .expect("giant driver panicked")
+    let mut engine = CoordinationEngine::new(
+        db,
+        EngineConfig {
+            mode: EngineMode::SetAtATime { batch_size: 0 },
+            admission_safety_check: false,
+            on_no_solution: NoSolutionPolicy::Reject,
+            flush_threads,
+            intra_component_threshold,
+            intra_split_min_atoms,
+            ..Default::default()
+        },
+    );
+    for q in queries {
+        engine.submit(q.clone()).expect("valid giant-ring query");
+    }
+    let start = Instant::now();
+    let report = engine.flush();
+    (start.elapsed().as_secs_f64() * 1e3, report)
 }
 
 fn giant_counters(report: &eq_core::BatchReport) -> Vec<(&'static str, f64)> {
@@ -907,6 +1050,8 @@ fn giant_counters(report: &eq_core::BatchReport) -> Vec<(&'static str, f64)> {
         ("components", report.components as f64),
         ("intra_components", report.intra_components as f64),
         ("intra_units", report.intra_units as f64),
+        ("intra_split_units", report.intra_split_units as f64),
+        ("intra_regions", report.intra_regions as f64),
     ]
 }
 
@@ -918,7 +1063,12 @@ fn giant_counters(report: &eq_core::BatchReport) -> Vec<(&'static str, f64)> {
 ///   (identical answers, property-tested) — the headline comparison;
 /// * intra-partitioned on the [`GiantBody::Triangle`] flavor, whose
 ///   Θ(k²)-per-unit cost shows thread scaling (the sequential join
-///   cannot run this flavor at all: interleaved backtracking thrash).
+///   cannot run this flavor at all: interleaved backtracking thrash);
+/// * on the [`GiantBody::SharedChain`] flavor — one variable-connected
+///   work unit — whole (variable-disjoint partitioning finds nothing to
+///   split; quadratic atom-selection scan, so capped like the
+///   sequential series) versus **biconnected-region split** at each
+///   worker count, the series the shared-variable splitter exists for.
 pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
     let mut rows = Vec::new();
     for &n in &cfg.sizes {
@@ -932,7 +1082,13 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
         let (chain_db, chain_queries) = mk(GiantBody::Chain);
 
         if n <= cfg.seq_size_cap {
-            let (millis, report) = drive_giant(clone_db(&chain_db), &chain_queries, usize::MAX, 1);
+            let (millis, report) = drive_giant(
+                clone_db(&chain_db),
+                &chain_queries,
+                usize::MAX,
+                1,
+                usize::MAX,
+            );
             assert_eq!(report.answered, n, "sequential ring must coordinate");
             rows.push(Row {
                 extra: Some(report.answered as f64),
@@ -947,7 +1103,8 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
         }
 
         for &t in &cfg.threads {
-            let (millis, report) = drive_giant(clone_db(&chain_db), &chain_queries, 1, t);
+            let (millis, report) =
+                drive_giant(clone_db(&chain_db), &chain_queries, 1, t, usize::MAX);
             assert_eq!(report.answered, n, "partitioned ring must coordinate");
             rows.push(Row {
                 extra: Some(report.answered as f64),
@@ -963,7 +1120,7 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
 
         let (tri_db, tri_queries) = mk(GiantBody::Triangle);
         for &t in &cfg.threads {
-            let (millis, report) = drive_giant(clone_db(&tri_db), &tri_queries, 1, t);
+            let (millis, report) = drive_giant(clone_db(&tri_db), &tri_queries, 1, t, usize::MAX);
             assert_eq!(report.answered, n, "triangle ring must coordinate");
             rows.push(Row {
                 extra: Some(report.answered as f64),
@@ -971,6 +1128,42 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
                 ..Row::new(
                     "fig_giant",
                     format!("intra triangle ({t} threads)"),
+                    n as u64,
+                    millis,
+                )
+            });
+        }
+
+        let (shared_db, shared_queries) = mk(GiantBody::SharedChain);
+        if n <= cfg.seq_size_cap {
+            // Splitting disabled: the shared-variable body is one work
+            // unit and evaluates whole (same asymptotics as the
+            // sequential combined join — hence the same cap).
+            let (millis, report) =
+                drive_giant(clone_db(&shared_db), &shared_queries, 1, 1, usize::MAX);
+            assert_eq!(report.answered, n, "shared ring must coordinate");
+            assert_eq!(report.intra_regions, 0, "split disabled");
+            rows.push(Row {
+                extra: Some(report.answered as f64),
+                counters: giant_counters(&report),
+                ..Row::new(
+                    "fig_giant",
+                    "shared chain (one work unit)",
+                    n as u64,
+                    millis,
+                )
+            });
+        }
+        for &t in &cfg.threads {
+            let (millis, report) = drive_giant(clone_db(&shared_db), &shared_queries, 1, t, 16);
+            assert_eq!(report.answered, n, "split shared ring must coordinate");
+            assert_eq!(report.intra_regions, n, "one region per chain edge");
+            rows.push(Row {
+                extra: Some(report.answered as f64),
+                counters: giant_counters(&report),
+                ..Row::new(
+                    "fig_giant",
+                    format!("shared chain, region split ({t} threads)"),
                     n as u64,
                     millis,
                 )
@@ -992,6 +1185,11 @@ pub struct FigGiantSweepConfig {
     pub flush_threads: usize,
     /// Bounded subscriber capacity ([`eq_core::OverflowPolicy::Block`]).
     pub event_capacity: usize,
+    /// Ring-body flavor: [`GiantBody::Chain`] (the classic sweep),
+    /// [`GiantBody::Triangle`] (Θ(k²) work per unit — `--triangle`), or
+    /// [`GiantBody::SharedChain`] (one shared-variable unit, split by
+    /// biconnected regions — `--shared`).
+    pub body: GiantBody,
 }
 
 /// Drives the sweep: batched admission of the whole ring, one flush
@@ -1005,7 +1203,7 @@ pub fn run_fig_giant_sweep(cfg: &FigGiantSweepConfig) -> Vec<Row> {
     let (db, queries) = giant_component(&GiantComponentConfig {
         queries: n,
         friends_per_user: cfg.friends_per_user,
-        body: GiantBody::Chain,
+        body: cfg.body,
     });
     let coordinator = Coordinator::new(
         db,
@@ -1026,7 +1224,7 @@ pub fn run_fig_giant_sweep(cfg: &FigGiantSweepConfig) -> Vec<Row> {
             if e.is_terminal() {
                 terminals += 1;
             }
-            if matches!(e, eq_core::Event::Flushed(_)) {
+            if matches!(*e, eq_core::Event::Flushed(_)) {
                 break;
             }
         }
@@ -1053,17 +1251,27 @@ pub fn run_fig_giant_sweep(cfg: &FigGiantSweepConfig) -> Vec<Row> {
     assert_eq!(stats.dropped, 0, "Block policy never drops");
     assert!(!stats.disconnected);
 
+    let flavor = match cfg.body {
+        GiantBody::Chain => "chain",
+        GiantBody::Triangle => "triangle",
+        GiantBody::SharedChain => "shared chain",
+    };
     vec![
         Row {
             extra: Some(admitted as f64),
-            ..Row::new("fig_giant", "sweep: batched admission", n as u64, admit_ms)
+            ..Row::new(
+                "fig_giant",
+                format!("sweep ({flavor}): batched admission"),
+                n as u64,
+                admit_ms,
+            )
         },
         Row {
             extra: Some(report.answered as f64),
             counters: giant_counters(&report),
             ..Row::new(
                 "fig_giant",
-                "sweep: giant-component flush",
+                format!("sweep ({flavor}): giant-component flush"),
                 n as u64,
                 flush_ms,
             )
@@ -1077,7 +1285,7 @@ pub fn run_fig_giant_sweep(cfg: &FigGiantSweepConfig) -> Vec<Row> {
             ],
             ..Row::new(
                 "fig_giant",
-                "sweep: bounded event stream",
+                format!("sweep ({flavor}): bounded event stream"),
                 n as u64,
                 admit_ms + flush_ms,
             )
@@ -1209,6 +1417,28 @@ mod tests {
         let json = crate::rows_to_json(&rows);
         assert!(json.contains("\"counters\""));
         assert!(json.contains("\"skipped_clean\""));
+    }
+
+    #[test]
+    fn scale_harness_accounting_holds_at_small_scale() {
+        let graph = tiny_graph();
+        let db = build_database(&graph);
+        let script = eq_workload::scale_service_script(
+            &graph,
+            &eq_workload::ScaleServiceConfig {
+                queries: 300,
+                burst: 40,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        // The drive itself asserts the outcome accounting (all
+        // zero-staleness queries expired, all deferred pairs answered
+        // after the Load).
+        let (_, counters) = drive_scale_harness(clone_db(&db), &script, 2);
+        assert_eq!(counters.expired as usize, script.expiring);
+        assert!(counters.answered as usize >= script.deferred);
+        assert!(counters.flushes > 0.0);
     }
 
     #[test]

@@ -53,9 +53,9 @@ proptest! {
         // Tiny queue + big flush: the publisher must block on the
         // drainer, not drop or deadlock.
         let drainer = std::thread::spawn(move || {
-            let mut seen: Vec<Event> = Vec::new();
+            let mut seen: Vec<std::sync::Arc<Event>> = Vec::new();
             while let Some(e) = events.next_timeout(std::time::Duration::from_secs(30)) {
-                let stop = matches!(e, Event::Flushed(_));
+                let stop = matches!(*e, Event::Flushed(_));
                 seen.push(e);
                 if stop {
                     break;
@@ -74,7 +74,7 @@ proptest! {
 
         let flushed_at = seen
             .iter()
-            .position(|e| matches!(e, Event::Flushed(_)))
+            .position(|e| matches!(**e, Event::Flushed(_)))
             .expect("flush report arrives");
         prop_assert_eq!(flushed_at, seen.len() - 1, "Flushed is last");
         let terminals: Vec<QueryId> =

@@ -39,6 +39,7 @@ fn outcomes(
     mode: EngineMode,
     threshold: usize,
     threads: usize,
+    split_min: usize,
 ) -> Vec<(QueryId, Option<QueryOutcome>)> {
     let mut engine = CoordinationEngine::new(
         db,
@@ -48,6 +49,7 @@ fn outcomes(
             on_no_solution: NoSolutionPolicy::Reject,
             flush_threads: threads,
             intra_component_threshold: threshold,
+            intra_split_min_atoms: split_min,
             // Incremental mode must re-match whole rings, not
             // eager-pair them.
             incremental_partition_limit: usize::MAX,
@@ -108,9 +110,72 @@ proptest! {
         } else {
             EngineMode::Incremental
         };
-        let seq = outcomes(db.snapshot(), &queries, mode, usize::MAX, 1);
-        let par = outcomes(db.snapshot(), &queries, mode, 1, threads);
+        let seq = outcomes(db.snapshot(), &queries, mode, usize::MAX, 1, usize::MAX);
+        let par = outcomes(db.snapshot(), &queries, mode, 1, threads, usize::MAX);
         prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn region_split_equals_sequential_on_unique_shared_chains(
+        n in 6usize..40,
+        threads in 2usize..9,
+        break_at in proptest::option::of(0usize..40),
+        batch in 0usize..2,
+    ) {
+        // friends_per_user = 1 makes the shared-variable chain's
+        // solution unique, so the biconnected-region split must agree
+        // with the sequential combined join answer-for-answer — and a
+        // sabotaged body turns one region unsatisfiable, which must
+        // fail the whole ring identically in both engines.
+        let (db, mut queries) = giant_component(&GiantComponentConfig {
+            queries: n,
+            friends_per_user: 1,
+            body: GiantBody::SharedChain,
+        });
+        if let Some(i) = break_at {
+            let i = i % queries.len();
+            let q = &queries[i];
+            let mut body = q.body.clone();
+            body[0].terms[0] = eq_ir::Term::str("NOBODY");
+            queries[i] =
+                EntangledQuery::new(q.head.clone(), q.postconditions.clone(), body).with_id(q.id);
+        }
+        let mode = if batch == 1 {
+            EngineMode::SetAtATime { batch_size: 0 }
+        } else {
+            EngineMode::Incremental
+        };
+        let seq = outcomes(db.snapshot(), &queries, mode, usize::MAX, 1, usize::MAX);
+        let split = outcomes(db.snapshot(), &queries, mode, 1, threads, 2);
+        prop_assert_eq!(seq, split);
+    }
+
+    #[test]
+    fn region_split_is_deterministic_across_thread_counts(
+        n in 9usize..36,
+        k in 2usize..5,
+        threads in 2usize..9,
+    ) {
+        // Larger k: many local solutions per region. The split answer
+        // may legitimately differ from the sequential join's first
+        // choice, but it must be identical for every worker count.
+        prop_assume!(n > 4 * k);
+        let (db, queries) = giant_component(&GiantComponentConfig {
+            queries: n,
+            friends_per_user: k,
+            body: GiantBody::SharedChain,
+        });
+        let mode = EngineMode::SetAtATime { batch_size: 0 };
+        let one = outcomes(db.snapshot(), &queries, mode, 1, 1, 2);
+        let many = outcomes(db.snapshot(), &queries, mode, 1, threads, 2);
+        prop_assert_eq!(&one, &many);
+        // And the ring coordinates: every outcome is an answer.
+        for (id, outcome) in &one {
+            prop_assert!(
+                matches!(outcome, Some(QueryOutcome::Answered(_))),
+                "query {:?} did not coordinate", id
+            );
+        }
     }
 
     #[test]
@@ -125,8 +190,8 @@ proptest! {
         prop_assume!(!queries.is_empty());
         let db = eq_workload::build_database(graph());
         let mode = EngineMode::SetAtATime { batch_size: 0 };
-        let seq = outcomes(db.snapshot(), &queries, mode, usize::MAX, 1);
-        let par = outcomes(db.snapshot(), &queries, mode, 1, threads);
+        let seq = outcomes(db.snapshot(), &queries, mode, usize::MAX, 1, usize::MAX);
+        let par = outcomes(db.snapshot(), &queries, mode, 1, threads, usize::MAX);
         prop_assert_eq!(seq, par);
     }
 }

@@ -93,6 +93,10 @@ fn drive(
                     .check_invariants()
                     .unwrap_or_else(|v| panic!("invariant violated after flush: {v}"));
             }
+            // scale_service_script ops, not produced by service_script.
+            ServiceOp::SubmitBatchWith(_) | ServiceOp::Load { .. } => {
+                unreachable!("service_script emits no scale ops")
+            }
         }
     }
     let out = admissions
@@ -125,7 +129,7 @@ proptest! {
         let (outcomes, _session) = drive(&coordinator, &ops, true);
 
         // Tally terminal events per query id.
-        let mut terminal: std::collections::HashMap<QueryId, Vec<Event>> =
+        let mut terminal: std::collections::HashMap<QueryId, Vec<std::sync::Arc<Event>>> =
             std::collections::HashMap::new();
         for event in events.drain() {
             if let Some(id) = event.id() {
@@ -144,19 +148,19 @@ proptest! {
                 ),
                 Some(QueryStatus::Answered) => {
                     prop_assert_eq!(got.len(), 1, "query {} events {:?}", id, got);
-                    prop_assert!(matches!(got[0], Event::Answered { .. }));
+                    prop_assert!(matches!(*got[0], Event::Answered { .. }));
                 }
                 Some(QueryStatus::Failed(FailReason::Cancelled)) => {
                     prop_assert_eq!(got.len(), 1);
-                    prop_assert!(matches!(got[0], Event::Cancelled { .. }));
+                    prop_assert!(matches!(*got[0], Event::Cancelled { .. }));
                 }
                 Some(QueryStatus::Failed(FailReason::Stale)) => {
                     prop_assert_eq!(got.len(), 1);
-                    prop_assert!(matches!(got[0], Event::Expired { .. }));
+                    prop_assert!(matches!(*got[0], Event::Expired { .. }));
                 }
                 Some(QueryStatus::Failed(FailReason::Rejected(_))) => {
                     prop_assert_eq!(got.len(), 1);
-                    prop_assert!(matches!(got[0], Event::Failed { .. }));
+                    prop_assert!(matches!(*got[0], Event::Failed { .. }));
                 }
                 None => prop_assert!(false, "admitted query {} has no status", id),
             }

@@ -124,6 +124,22 @@ pub struct EngineConfig {
     /// size n/k sidesteps the whole-body join's quadratic atom-selection
     /// scan.
     pub intra_component_threshold: usize,
+    /// Work units of the partitioned path with at least this many atoms
+    /// are analyzed for **biconnected-region splitting**
+    /// ([`crate::intra::split_unit`]): when the global unifier chains
+    /// variables *across* bodies, the whole component can collapse into
+    /// one shared-variable work unit, and this second-level split
+    /// decomposes it along articulation variables into regions evaluated
+    /// as independent work items with an exact tree semi-join merge
+    /// (deterministic for every thread count; a solution is found iff
+    /// one exists). Set to `usize::MAX` to never split.
+    pub intra_split_min_atoms: usize,
+    /// Per-region solution-enumeration cap of the split path. A region
+    /// that would exceed it makes its unit fall back to whole-unit
+    /// evaluation — the cap bounds the semi-join's memory, never
+    /// completeness. Clamped to at least 1 (a zero budget would make
+    /// every region look unsatisfiable instead of truncated).
+    pub intra_region_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -137,6 +153,8 @@ impl Default for EngineConfig {
             flush_threads: 1,
             incremental_partition_limit: 64,
             intra_component_threshold: 128,
+            intra_split_min_atoms: 16,
+            intra_region_cap: 4096,
         }
     }
 }
@@ -239,6 +257,13 @@ pub struct BatchReport {
     /// components (each unit is one variable-disjoint sub-join of a
     /// combined query).
     pub intra_units: usize,
+    /// Work units that additionally went through shared-variable
+    /// biconnected-region splitting
+    /// ([`EngineConfig::intra_split_min_atoms`]).
+    pub intra_split_units: usize,
+    /// Biconnected regions dispatched as work items across those split
+    /// units.
+    pub intra_regions: usize,
     /// Aggregated matching statistics.
     pub stats: MatchStats,
 }
@@ -1198,7 +1223,9 @@ impl CoordinationEngine {
             report.stats.cleanups += outcome.stats.cleanups;
             if outcome.partitioned {
                 report.intra_components += 1;
-                report.intra_units += outcome.intra_units;
+                report.intra_units += outcome.intra.units;
+                report.intra_split_units += outcome.intra.split_units;
+                report.intra_regions += outcome.intra.regions;
             }
             for (slot, answer) in outcome.answered {
                 self.retire(slot, Ok(answer));
@@ -1536,8 +1563,9 @@ struct ComponentOutcome {
     /// True when the combined query went through the partitioned
     /// intra-component path.
     partitioned: bool,
-    /// Work units dispatched by that path (0 on the sequential path).
-    intra_units: usize,
+    /// Work-unit / region counters of that path (zeros on the
+    /// sequential path).
+    intra: IntraCounters,
 }
 
 /// Evaluates a matched component's combined query, routing by size: at
@@ -1559,12 +1587,25 @@ fn evaluate_survivors<V: MatchView>(
     threads: usize,
 ) -> (
     Result<Option<Vec<QueryAnswer>>, eq_db::DbError>,
-    Option<usize>,
+    Option<IntraCounters>,
 ) {
     if survivors.len() >= config.intra_component_threshold {
-        let plan = intra::plan_component(graph, survivors, global);
-        let units = plan.units.len();
-        (intra::evaluate_plan(&plan, db, threads), Some(units))
+        let split = intra::SplitOptions {
+            min_atoms: config.intra_split_min_atoms,
+            region_cap: config.intra_region_cap,
+        };
+        let plan = intra::plan_component(graph, survivors, global, &split);
+        let counters = IntraCounters {
+            units: plan.units.len(),
+            split_units: plan.units.iter().filter(|u| u.regions.is_some()).count(),
+            regions: plan
+                .units
+                .iter()
+                .filter_map(|u| u.regions.as_ref())
+                .map(|rp| rp.regions.len())
+                .sum(),
+        };
+        (intra::evaluate_plan(&plan, db, threads), Some(counters))
     } else {
         let combined = CombinedQuery::build(graph, survivors, global);
         let result = combined
@@ -1572,6 +1613,15 @@ fn evaluate_survivors<V: MatchView>(
             .map(|solutions| solutions.into_iter().next());
         (result, None)
     }
+}
+
+/// Work-partitioning counters of one partitioned component evaluation
+/// (folded into [`BatchReport`]).
+#[derive(Clone, Copy, Default)]
+struct IntraCounters {
+    units: usize,
+    split_units: usize,
+    regions: usize,
 }
 
 fn process_component<V: MatchView + Sync>(
@@ -1587,7 +1637,7 @@ fn process_component<V: MatchView + Sync>(
         no_solution: Vec::new(),
         stats: MatchStats::default(),
         partitioned: false,
-        intra_units: 0,
+        intra: IntraCounters::default(),
     };
 
     // The matching seed phase parallelizes for at-threshold components
@@ -1620,10 +1670,11 @@ fn process_component<V: MatchView + Sync>(
         return out;
     }
 
-    let (solution, units) = evaluate_survivors(graph, &m.survivors, &global, db, config, threads);
-    if let Some(units) = units {
+    let (solution, counters) =
+        evaluate_survivors(graph, &m.survivors, &global, db, config, threads);
+    if let Some(counters) = counters {
         out.partitioned = true;
-        out.intra_units = units;
+        out.intra = counters;
     }
     match solution {
         Ok(Some(answers)) => {

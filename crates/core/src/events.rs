@@ -27,6 +27,14 @@
 //! condvars per subscriber (offline-dependency policy: the vendored
 //! `parking_lot` shim has no condvar, and publisher/subscriber pairs
 //! are not contended enough to care).
+//!
+//! Queues carry **`Arc<Event>`**: the publisher materializes each
+//! event once and fan-out to any number of subscribers is a pointer
+//! bump per queue — an `Answered` event's tuples are never deep-cloned
+//! per subscriber, which matters under the service lock (every clone
+//! used to extend the critical section of the flush that published
+//! it). Receivers get the same `Arc<Event>` back; full out-of-lock
+//! dispatch remains a ROADMAP frontier.
 
 use crate::service::Event;
 use std::collections::VecDeque;
@@ -65,7 +73,7 @@ pub struct SubscriberStats {
 }
 
 struct QueueState {
-    queue: VecDeque<Event>,
+    queue: VecDeque<Arc<Event>>,
     delivered: u64,
     dropped: u64,
     /// Set by [`OverflowPolicy::Disconnect`] on overflow: publishers
@@ -99,7 +107,7 @@ impl EventSender {
     /// Publishes one event under this subscription's policy. `Err`
     /// means the subscription is permanently over and the publisher
     /// should prune it (and account the disconnect).
-    pub(crate) fn send(&self, event: Event) -> Result<(), Disconnected> {
+    pub(crate) fn send(&self, event: Arc<Event>) -> Result<(), Disconnected> {
         let mut state = self.shared.state.lock().expect("event queue poisoned");
         loop {
             if state.receiver_gone || state.overflowed {
@@ -159,7 +167,7 @@ pub struct Events {
 
 impl Events {
     /// The next event if one is already queued (non-blocking).
-    pub fn try_next(&self) -> Option<Event> {
+    pub fn try_next(&self) -> Option<Arc<Event>> {
         let mut state = self.shared.state.lock().expect("event queue poisoned");
         Self::pop(&self.shared, &mut state)
     }
@@ -168,7 +176,7 @@ impl Events {
     /// to represent as an `Instant` (e.g. `Duration::MAX`, the natural
     /// "wait forever" idiom) waits without a deadline instead of
     /// panicking on instant overflow.
-    pub fn next_timeout(&self, timeout: Duration) -> Option<Event> {
+    pub fn next_timeout(&self, timeout: Duration) -> Option<Arc<Event>> {
         let deadline = Instant::now().checked_add(timeout);
         let mut state = self.shared.state.lock().expect("event queue poisoned");
         loop {
@@ -204,7 +212,7 @@ impl Events {
     }
 
     /// Drains every queued event (non-blocking).
-    pub fn drain(&self) -> Vec<Event> {
+    pub fn drain(&self) -> Vec<Arc<Event>> {
         let mut state = self.shared.state.lock().expect("event queue poisoned");
         let mut out = Vec::with_capacity(state.queue.len());
         while let Some(e) = Self::pop(&self.shared, &mut state) {
@@ -226,7 +234,7 @@ impl Events {
         }
     }
 
-    fn pop(shared: &Shared, state: &mut QueueState) -> Option<Event> {
+    fn pop(shared: &Shared, state: &mut QueueState) -> Option<Arc<Event>> {
         let e = state.queue.pop_front()?;
         state.delivered += 1;
         shared.not_full.notify_one();
@@ -275,8 +283,8 @@ mod tests {
     use super::*;
     use crate::engine::BatchReport;
 
-    fn flushed() -> Event {
-        Event::Flushed(BatchReport::default())
+    fn flushed() -> Arc<Event> {
+        Arc::new(Event::Flushed(BatchReport::default()))
     }
 
     fn mk(capacity: usize, policy: OverflowPolicy) -> (EventSender, Events) {

@@ -44,6 +44,34 @@
 //! equivalence (intra-parallel ≡ sequential, answer for answer) in
 //! both engine modes.
 //!
+//! # Shared-variable splitting: biconnected regions
+//!
+//! Variable-connectivity partitioning collapses the moment the global
+//! unifier chains variables *across* bodies: a ring of queries whose
+//! postconditions name their neighbours' body variables yields **one**
+//! work unit spanning the whole component, and the flush serializes
+//! again. For such units, [`split_unit`] decomposes the variable graph
+//! (variables as vertices, one clique per atom/constraint over its
+//! variables) into **biconnected regions**: the blocks of the graph,
+//! glued at articulation variables. Because two blocks share at most
+//! one vertex, the block-cut structure is a tree, and the articulation
+//! variables are exactly the join keys between regions.
+//!
+//! Region evaluation is Yannakakis over that tree: every region
+//! enumerates its local solutions independently (**in parallel**, up
+//! to [`SplitOptions::region_cap`] each), then a sequential bottom-up
+//! semi-join keeps, per value of the region's parent articulation
+//! variable, its first locally-enumerated solution that every child
+//! region can extend, and a top-down pass glues the chosen
+//! representatives into one valuation of the unit. The result is
+//! **exact** — a solution is produced iff the unit has one — and
+//! **deterministic** (independent of thread count), but it is the
+//! tree-join's first solution, not necessarily the one the sequential
+//! whole-unit backtracking search would find first; when a unit's
+//! solution is unique the two coincide. A region that hits the
+//! enumeration cap aborts the split and the unit falls back to the
+//! plain sequential evaluation, so the cap never costs completeness.
+//!
 //! Components below [`crate::EngineConfig::intra_component_threshold`]
 //! never reach this module — they evaluate through the plain
 //! [`crate::CombinedQuery`] path, which this module's result is
@@ -53,9 +81,46 @@ use crate::combine::{distribute_heads, QueryAnswer};
 use crate::graph::MatchView;
 use crate::pool;
 use eq_db::{Database, DbError, Valuation};
-use eq_ir::{Atom, Constraint, FastMap, QueryId, Var};
+use eq_ir::{Atom, Constraint, FastMap, QueryId, Value, Var};
 use eq_unify::Unifier;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Knobs for shared-variable work-unit splitting (see the module docs'
+/// "biconnected regions" section). Derived from
+/// [`crate::EngineConfig::intra_split_min_atoms`] and
+/// [`crate::EngineConfig::intra_region_cap`] by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitOptions {
+    /// Units with at least this many atoms are analyzed for
+    /// biconnected-region splitting; smaller units always evaluate
+    /// whole. `usize::MAX` disables splitting entirely.
+    pub min_atoms: usize,
+    /// Per-region solution-enumeration cap for the semi-join phase. A
+    /// region that would exceed it aborts the split and the unit falls
+    /// back to whole-unit evaluation (completeness is never at stake;
+    /// the cap bounds memory).
+    pub region_cap: usize,
+}
+
+impl Default for SplitOptions {
+    fn default() -> Self {
+        SplitOptions {
+            min_atoms: 16,
+            region_cap: 4096,
+        }
+    }
+}
+
+impl SplitOptions {
+    /// Splitting disabled: every unit evaluates whole.
+    pub fn disabled() -> Self {
+        SplitOptions {
+            min_atoms: usize::MAX,
+            ..Default::default()
+        }
+    }
+}
 
 /// One independently evaluable piece of a combined query: a maximal
 /// variable-connected sub-conjunction of the simplified body, plus the
@@ -68,6 +133,40 @@ pub struct WorkUnit {
     pub atoms: Vec<Atom>,
     /// Simplified constraints whose variables belong to this unit.
     pub constraints: Vec<Constraint>,
+    /// Biconnected-region decomposition, present when the unit met
+    /// [`SplitOptions::min_atoms`] and actually decomposes (≥ 2
+    /// regions). `atoms`/`constraints` stay authoritative — the region
+    /// path falls back to them on enumeration overflow.
+    pub regions: Option<RegionPlan>,
+}
+
+/// The biconnected-region decomposition of one shared-variable work
+/// unit: regions tiled over the unit's atoms, arranged in a block-cut
+/// tree whose edges are articulation variables.
+#[derive(Clone, Debug)]
+pub struct RegionPlan {
+    /// Regions in deterministic order (by first atom of the region in
+    /// the unit's body order). Region 0 is the tree root.
+    pub regions: Vec<Region>,
+    /// The [`SplitOptions::region_cap`] in force when the plan was
+    /// built; a region whose enumeration reaches it aborts the split at
+    /// evaluation time.
+    pub region_cap: usize,
+}
+
+/// One biconnected region: a sub-conjunction that overlaps the rest of
+/// its unit in exactly one variable per tree edge.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// The region's atoms, in unit body order.
+    pub atoms: Vec<Atom>,
+    /// Constraints whose variables live in this region.
+    pub constraints: Vec<Constraint>,
+    /// The articulation variable shared with the parent region (`None`
+    /// for the root).
+    pub parent_var: Option<Var>,
+    /// Child regions in the block-cut tree.
+    pub children: Vec<usize>,
 }
 
 /// The partitioned evaluation plan for one matched component: work
@@ -127,11 +226,14 @@ impl VarUnion {
 /// global unifier, over any [`MatchView`]. The flat concatenation of
 /// `ground_atoms` and every unit's `atoms` is a permutation of the
 /// combined query's body; likewise for constraints; `heads` is
-/// identical to the combined query's.
+/// identical to the combined query's. Units meeting
+/// [`SplitOptions::min_atoms`] additionally carry their
+/// biconnected-region decomposition ([`split_unit`]) when one exists.
 pub fn plan_component<V: MatchView>(
     graph: &V,
     survivors: &[u32],
     global: &Unifier,
+    split: &SplitOptions,
 ) -> ComponentPlan {
     // One shared simplification with the sequential path — the
     // answer-equivalence guarantee requires byte-identical inputs.
@@ -172,6 +274,7 @@ pub fn plan_component<V: MatchView>(
                     units.push(WorkUnit {
                         atoms: Vec::new(),
                         constraints: Vec::new(),
+                        regions: None,
                     });
                     units.len() - 1
                 });
@@ -199,12 +302,297 @@ pub fn plan_component<V: MatchView>(
         }
     }
 
+    for unit in &mut units {
+        if unit.atoms.len() >= split.min_atoms {
+            unit.regions = split_unit(unit, split.region_cap);
+        }
+    }
+
     ComponentPlan {
         units,
         ground_atoms,
         ground_constraints,
         heads,
     }
+}
+
+/// Decomposes one variable-connected work unit into biconnected
+/// regions of its variable graph (vertices = the unit's variables, one
+/// clique per atom/constraint over its distinct variables). Returns
+/// `None` when the unit does not decompose — fewer than two blocks
+/// (e.g. a cycle of shared variables, which is 2-connected) — or when a
+/// block holds no atom at all (its only edges came from a
+/// multi-variable *constraint* bridging two atom clusters; such a
+/// constraint spans regions and no region could enforce it, so the
+/// unit evaluates whole).
+///
+/// Guarantees, relied on by [`evaluate_plan`]'s semi-join merge:
+///
+/// * every **multi-variable** atom/constraint lands in exactly one
+///   region (a clique is biconnected, so all of its variables share
+///   one block); **single-variable** atoms and constraints are
+///   *replicated* into every region containing their variable — a
+///   conjunct constrains its variable identically wherever it is
+///   checked, so replication is sound, and it keeps each region
+///   anchored by its most selective atoms;
+/// * two regions overlap in at most one variable (blocks share at most
+///   one vertex — the articulation variable), and [`Region::parent_var`]
+///   edges form the block-cut tree, so every variable's regions are a
+///   connected subtree (the running-intersection property that makes
+///   the tree semi-join exact);
+/// * region order, the tree, and all contents are deterministic
+///   functions of the unit (no hash-iteration order leaks in);
+/// * `region_cap` is at least 1, so an empty region enumeration means
+///   a genuinely unsatisfiable region, never a zero-budget truncation.
+pub fn split_unit(unit: &WorkUnit, region_cap: usize) -> Option<RegionPlan> {
+    // A zero cap would make every region look empty (= unsatisfiable)
+    // instead of truncated; clamp so "no solutions" keeps meaning
+    // exactly that and cap overflow still falls back to whole-unit
+    // evaluation.
+    let region_cap = region_cap.max(1);
+    // Variables in first-occurrence order (atoms, then constraints).
+    let mut var_id: FastMap<Var, usize> = FastMap::default();
+    let mut vars: Vec<Var> = Vec::new();
+    let intern = |v: Var, var_id: &mut FastMap<Var, usize>, vars: &mut Vec<Var>| -> usize {
+        *var_id.entry(v).or_insert_with(|| {
+            vars.push(v);
+            vars.len() - 1
+        })
+    };
+    // Distinct-variable lists per atom / constraint, in order.
+    let mut atom_vars: Vec<Vec<usize>> = Vec::with_capacity(unit.atoms.len());
+    for atom in &unit.atoms {
+        let mut vs: Vec<usize> = Vec::new();
+        for v in atom.vars() {
+            let id = intern(v, &mut var_id, &mut vars);
+            if !vs.contains(&id) {
+                vs.push(id);
+            }
+        }
+        atom_vars.push(vs);
+    }
+    let mut constraint_vars: Vec<Vec<usize>> = Vec::with_capacity(unit.constraints.len());
+    for c in &unit.constraints {
+        let mut vs: Vec<usize> = Vec::new();
+        for v in c.vars() {
+            let id = intern(v, &mut var_id, &mut vars);
+            if !vs.contains(&id) {
+                vs.push(id);
+            }
+        }
+        constraint_vars.push(vs);
+    }
+    let n = vars.len();
+    if n < 2 {
+        return None;
+    }
+
+    // Edges: one clique per multi-variable atom/constraint, dedupped.
+    let mut edge_of: FastMap<(usize, usize), usize> = FastMap::default();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (neighbor, edge id)
+    {
+        let mut add_clique = |vs: &[usize]| {
+            for (i, &a) in vs.iter().enumerate() {
+                for &b in &vs[i + 1..] {
+                    let key = (a.min(b), a.max(b));
+                    if edge_of.contains_key(&key) {
+                        continue;
+                    }
+                    let e = edges.len();
+                    edge_of.insert(key, e);
+                    edges.push(key);
+                    adj[a].push((b, e));
+                    adj[b].push((a, e));
+                }
+            }
+        };
+        for vs in &atom_vars {
+            add_clique(vs);
+        }
+        for vs in &constraint_vars {
+            add_clique(vs);
+        }
+    }
+    if edges.is_empty() {
+        return None;
+    }
+
+    // Iterative Hopcroft–Tarjan: biconnected components as edge sets.
+    const UNSEEN: usize = usize::MAX;
+    let mut disc = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut parent_edge = vec![UNSEEN; n];
+    let mut timer = 0usize;
+    let mut edge_stack: Vec<usize> = Vec::new();
+    let mut edge_block = vec![UNSEEN; edges.len()];
+    let mut block_count = 0usize;
+    disc[0] = timer;
+    low[0] = timer;
+    timer += 1;
+    let mut dfs: Vec<(usize, usize)> = vec![(0, 0)];
+    while let Some(frame) = dfs.last_mut() {
+        let v = frame.0;
+        if frame.1 < adj[v].len() {
+            let (w, e) = adj[v][frame.1];
+            frame.1 += 1;
+            if e == parent_edge[v] {
+                continue;
+            }
+            if disc[w] == UNSEEN {
+                edge_stack.push(e);
+                parent_edge[w] = e;
+                disc[w] = timer;
+                low[w] = timer;
+                timer += 1;
+                dfs.push((w, 0));
+            } else if disc[w] < disc[v] {
+                // Back edge to an ancestor; the reverse direction of an
+                // already-traversed edge (disc[w] > disc[v]) is skipped.
+                edge_stack.push(e);
+                low[v] = low[v].min(disc[w]);
+            }
+        } else {
+            dfs.pop();
+            if let Some(up) = dfs.last() {
+                let u = up.0;
+                low[u] = low[u].min(low[v]);
+                if low[v] >= disc[u] {
+                    // u closes a block: pop edges down to the tree edge
+                    // into v.
+                    let block = block_count;
+                    block_count += 1;
+                    loop {
+                        let e = edge_stack.pop().expect("tree edge on stack");
+                        edge_block[e] = block;
+                        if e == parent_edge[v] {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    debug_assert!(edge_stack.is_empty(), "unit variable graph is connected");
+    if block_count < 2 {
+        return None;
+    }
+
+    // Order blocks deterministically by their first atom in body order,
+    // and map every atom/constraint to its block: multi-variable ones
+    // to the block of their first variable pair, single-variable ones
+    // (and the rare constraint over an articulation variable alone) to
+    // the lowest-ordered block containing the variable.
+    let raw_block = |vs: &[usize]| -> Option<usize> {
+        let key = (vs[0].min(vs[1]), vs[0].max(vs[1]));
+        Some(edge_block[edge_of[&key]])
+    };
+    let mut order_key = vec![usize::MAX; block_count];
+    for (ai, vs) in atom_vars.iter().enumerate() {
+        if vs.len() >= 2 {
+            let b = raw_block(vs).expect("clique edge exists");
+            order_key[b] = order_key[b].min(ai);
+        }
+    }
+    // A block with no atom clique exists iff a multi-variable
+    // *constraint* is the only bridge between two atom clusters. That
+    // constraint would span regions — no single region could enforce
+    // it — so the unit must evaluate whole.
+    if order_key.contains(&usize::MAX) {
+        return None;
+    }
+    let mut by_order: Vec<usize> = (0..block_count).collect();
+    by_order.sort_by_key(|&b| order_key[b]);
+    let mut new_id = vec![0usize; block_count];
+    for (rank, &b) in by_order.iter().enumerate() {
+        new_id[b] = rank;
+    }
+
+    // Region vertex sets (from block edges) and the per-variable block
+    // lists that define articulation variables.
+    let mut region_vars: Vec<Vec<usize>> = vec![Vec::new(); block_count];
+    let mut var_regions: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        let r = new_id[edge_block[e]];
+        for vid in [a, b] {
+            if !var_regions[vid].contains(&r) {
+                var_regions[vid].push(r);
+                region_vars[r].push(vid);
+            }
+        }
+    }
+    for regions in &mut var_regions {
+        regions.sort_unstable();
+    }
+
+    let mut regions: Vec<Region> = (0..block_count)
+        .map(|_| Region {
+            atoms: Vec::new(),
+            constraints: Vec::new(),
+            parent_var: None,
+            children: Vec::new(),
+        })
+        .collect();
+    // Multi-variable atoms/constraints go to their (unique) block.
+    // Single-variable ones are **replicated into every region
+    // containing the variable**: a conjunct constrains its variable
+    // identically wherever it is checked, so replication is sound, and
+    // it keeps every region anchored — a region whose only selective
+    // atom sat across the articulation boundary would otherwise
+    // enumerate an unfiltered cross product and blow the cap.
+    for (ai, vs) in atom_vars.iter().enumerate() {
+        if vs.len() >= 2 {
+            let r = new_id[raw_block(vs).expect("clique edge exists")];
+            regions[r].atoms.push(unit.atoms[ai].clone());
+        } else {
+            for &r in &var_regions[vs[0]] {
+                regions[r].atoms.push(unit.atoms[ai].clone());
+            }
+        }
+    }
+    for (ci, vs) in constraint_vars.iter().enumerate() {
+        if vs.len() >= 2 {
+            let r = new_id[raw_block(vs).expect("clique edge exists")];
+            regions[r].constraints.push(unit.constraints[ci]);
+        } else {
+            for &r in &var_regions[vs[0]] {
+                regions[r].constraints.push(unit.constraints[ci]);
+            }
+        }
+    }
+
+    // Block-cut tree, rooted at region 0: BFS where expansion goes
+    // through articulation variables, so every tree edge carries
+    // exactly the variable its endpoints share.
+    let mut visited = vec![false; block_count];
+    visited[0] = true;
+    let mut queue = VecDeque::from([0usize]);
+    let mut reached = 1usize;
+    while let Some(r) = queue.pop_front() {
+        let mut shared: Vec<usize> = region_vars[r]
+            .iter()
+            .copied()
+            .filter(|&v| var_regions[v].len() > 1)
+            .collect();
+        shared.sort_unstable();
+        for v in shared {
+            for &r2 in &var_regions[v] {
+                if !visited[r2] {
+                    visited[r2] = true;
+                    reached += 1;
+                    regions[r2].parent_var = Some(vars[v]);
+                    regions[r].children.push(r2);
+                    queue.push_back(r2);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(reached, block_count, "block-cut tree spans the unit");
+
+    Some(RegionPlan {
+        regions,
+        region_cap,
+    })
 }
 
 /// Outcome of one work unit's `LIMIT 1` evaluation.
@@ -219,17 +607,39 @@ enum UnitResult {
     Skipped,
 }
 
-/// Evaluates a plan against `db`, dispatching work units on up to
-/// `threads` scoped workers (largest unit first — unit sizes are
-/// heavy-tailed when the global unifier merged some variables).
+/// One claimable piece of a plan's parallel phase: a whole
+/// (unsplit) unit, or one biconnected region of a split unit.
+#[derive(Clone, Copy)]
+enum WorkItem {
+    Unit(usize),
+    Region(usize, usize),
+}
+
+/// Result of one [`WorkItem`].
+enum ItemResult {
+    Unit(UnitResult),
+    /// A region's enumerated solutions (up to the plan's cap; a full
+    /// cap'-worth means possibly truncated and triggers the whole-unit
+    /// fallback).
+    Region(Vec<Valuation>),
+}
+
+/// Evaluates a plan against `db`, dispatching work items — whole
+/// units, or the biconnected regions of split units — on up to
+/// `threads` scoped workers (largest item first; sizes are heavy-tailed
+/// when the global unifier merged some variables).
 ///
 /// Returns the component's first coordinated solution — one
 /// [`QueryAnswer`] per survivor, in survivor order — or `None` when any
-/// unit, ground atom, or ground constraint is unsatisfiable. The result
-/// is answer-for-answer identical to
-/// `CombinedQuery::evaluate(db, 1)` on the same survivors, for every
-/// `threads` value (see the module docs for why the merge preserves the
-/// sequential answer choice).
+/// unit, region, ground atom, or ground constraint is unsatisfiable.
+/// For plans without split units the result is answer-for-answer
+/// identical to `CombinedQuery::evaluate(db, 1)` on the same survivors,
+/// for every `threads` value (see the module docs for why the merge
+/// preserves the sequential answer choice). Split units return the
+/// block-cut tree join's first solution instead — still a solution iff
+/// the sequential path finds one, still deterministic in the plan and
+/// database for every `threads` value, but not necessarily the same
+/// valuation unless the unit's solution is unique.
 pub fn evaluate_plan(
     plan: &ComponentPlan,
     db: &Database,
@@ -264,28 +674,105 @@ pub fn evaluate_plan(
         return Ok(Some(distribute_heads(&plan.heads, &empty)));
     }
 
-    // Units largest-first on the shared worker pool; the stop flag
-    // bails out of remaining claims as soon as any unit proves
-    // unsatisfiable — once one unit is `Unsat` the component's answer
-    // is `None` regardless of the rest.
-    let mut order: Vec<usize> = (0..plan.units.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(plan.units[i].atoms.len()));
-    let failed = AtomicBool::new(false);
-    let produced = pool::parallel_claim(&order, threads, Some(&failed), |idx| {
-        let r = evaluate_unit(&plan.units[idx], db);
-        if matches!(r, UnitResult::Unsat) {
-            failed.store(true, Ordering::Relaxed);
+    // Build the claimable work items: whole units, or — for units
+    // carrying a region decomposition — one item per biconnected
+    // region. Items run largest-first on the shared worker pool; the
+    // stop flag bails out of remaining claims as soon as any unit or
+    // region proves unsatisfiable — a region with zero local solutions
+    // makes its whole unit (hence the component) unsatisfiable.
+    let mut items: Vec<WorkItem> = Vec::new();
+    for (u, unit) in plan.units.iter().enumerate() {
+        match &unit.regions {
+            Some(rp) => items.extend((0..rp.regions.len()).map(|r| WorkItem::Region(u, r))),
+            None => items.push(WorkItem::Unit(u)),
         }
-        r
+    }
+    let item_size = |item: &WorkItem| match *item {
+        WorkItem::Unit(u) => plan.units[u].atoms.len(),
+        WorkItem::Region(u, r) => plan.units[u].regions.as_ref().expect("split unit").regions[r]
+            .atoms
+            .len(),
+    };
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(item_size(&items[i])));
+    let failed = AtomicBool::new(false);
+    let produced = pool::parallel_claim(&order, threads, Some(&failed), |idx| match items[idx] {
+        WorkItem::Unit(u) => {
+            let r = evaluate_unit(&plan.units[u], db);
+            if matches!(r, UnitResult::Unsat) {
+                failed.store(true, Ordering::Relaxed);
+            }
+            ItemResult::Unit(r)
+        }
+        WorkItem::Region(u, r) => {
+            let rp = plan.units[u].regions.as_ref().expect("split unit");
+            let region = &rp.regions[r];
+            let sols = db
+                .evaluate_filtered(&region.atoms, &region.constraints, rp.region_cap)
+                // Unreachable after the up-front whole-unit validation;
+                // treat like an unsatisfiable region defensively.
+                .unwrap_or_default();
+            if sols.is_empty() {
+                failed.store(true, Ordering::Relaxed);
+            }
+            ItemResult::Region(sols)
+        }
     });
-    let mut results: Vec<UnitResult> = Vec::with_capacity(plan.units.len());
-    results.resize_with(plan.units.len(), || UnitResult::Skipped);
+    let mut unit_results: Vec<UnitResult> = Vec::with_capacity(plan.units.len());
+    unit_results.resize_with(plan.units.len(), || UnitResult::Skipped);
+    let mut region_sols: FastMap<(usize, usize), Vec<Valuation>> = FastMap::default();
     for (idx, r) in produced {
-        results[idx] = r;
+        match (items[idx], r) {
+            (WorkItem::Unit(u), ItemResult::Unit(res)) => unit_results[u] = res,
+            (WorkItem::Region(u, r), ItemResult::Region(sols)) => {
+                region_sols.insert((u, r), sols);
+            }
+            _ => unreachable!("item kinds are fixed per index"),
+        }
+    }
+
+    // Sequential merge pass: split units go through the tree semi-join
+    // (falling back to whole-unit evaluation when a region hit the
+    // enumeration cap); an Unsat or Skipped anything means the
+    // component has no solution this round.
+    for (u, unit) in plan.units.iter().enumerate() {
+        let Some(rp) = &unit.regions else { continue };
+        let mut sols: Vec<Vec<Valuation>> = Vec::with_capacity(rp.regions.len());
+        let mut missing = false;
+        let mut truncated = false;
+        for r in 0..rp.regions.len() {
+            match region_sols.remove(&(u, r)) {
+                Some(s) => {
+                    truncated |= s.len() >= rp.region_cap;
+                    sols.push(s);
+                }
+                None => {
+                    // Skipped via the stop flag: something else already
+                    // proved the component unsatisfiable.
+                    missing = true;
+                    break;
+                }
+            }
+        }
+        unit_results[u] = if missing {
+            UnitResult::Skipped
+        } else if sols.iter().any(|s| s.is_empty()) {
+            UnitResult::Unsat
+        } else if truncated {
+            // A region may have overflowed the cap: the semi-join could
+            // miss keys, so evaluate the unit whole (complete, and the
+            // same deterministic path the unsplit plan takes).
+            evaluate_unit(unit, db)
+        } else {
+            match semijoin_merge(rp, &sols) {
+                Some(val) => UnitResult::Sat(val),
+                None => UnitResult::Unsat,
+            }
+        };
     }
 
     let mut merged = Valuation::default();
-    for r in &results {
+    for r in &unit_results {
         match r {
             UnitResult::Sat(val) => {
                 // Units are variable-disjoint: plain union.
@@ -297,6 +784,76 @@ pub fn evaluate_plan(
         }
     }
     Ok(Some(distribute_heads(&plan.heads, &merged)))
+}
+
+/// The exact tree semi-join over a split unit's block-cut tree (see
+/// the module docs): bottom-up, keep per value of each region's parent
+/// articulation variable the first locally-enumerated solution every
+/// child can extend; top-down, glue the chosen representatives.
+/// Returns `None` iff the unit has no solution (given un-truncated
+/// region enumerations).
+fn semijoin_merge(rp: &RegionPlan, sols: &[Vec<Valuation>]) -> Option<Valuation> {
+    let n = rp.regions.len();
+    // Pre-order from the root; processing it in reverse visits children
+    // before parents.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut stack = vec![0usize];
+    while let Some(r) = stack.pop() {
+        order.push(r);
+        stack.extend(&rp.regions[r].children);
+    }
+    debug_assert_eq!(order.len(), n);
+
+    // For non-root regions: parent-variable value → index of the first
+    // extensible local solution. For the root: the index itself.
+    let mut feasible: Vec<FastMap<Value, usize>> = Vec::with_capacity(n);
+    feasible.resize_with(n, FastMap::default);
+    let mut root_choice: Option<usize> = None;
+    for &r in order.iter().rev() {
+        let region = &rp.regions[r];
+        let extensible = |sol: &Valuation| {
+            region.children.iter().all(|&c| {
+                let v = rp.regions[c].parent_var.expect("non-root child");
+                sol.get(&v)
+                    .is_some_and(|value| feasible[c].contains_key(value))
+            })
+        };
+        match region.parent_var {
+            Some(pv) => {
+                let mut map = FastMap::default();
+                for (si, sol) in sols[r].iter().enumerate() {
+                    if !extensible(sol) {
+                        continue;
+                    }
+                    let key = *sol.get(&pv).expect("region atoms bind region vars");
+                    map.entry(key).or_insert(si);
+                }
+                if map.is_empty() {
+                    return None; // no child binding survives: unit unsat
+                }
+                feasible[r] = map;
+            }
+            None => {
+                root_choice = Some(sols[r].iter().position(extensible)?);
+            }
+        }
+    }
+
+    // Top-down reconstruction: every lookup hits by construction.
+    let mut merged = Valuation::default();
+    let mut walk = vec![(0usize, root_choice.expect("checked above"))];
+    while let Some((r, si)) = walk.pop() {
+        let sol = &sols[r][si];
+        for (&v, &value) in sol.iter() {
+            merged.insert(v, value);
+        }
+        for &c in &rp.regions[r].children {
+            let pv = rp.regions[c].parent_var.expect("non-root child");
+            let key = sol.get(&pv).expect("articulation var bound");
+            walk.push((c, feasible[c][key]));
+        }
+    }
+    Some(merged)
 }
 
 fn evaluate_unit(unit: &WorkUnit, db: &Database) -> UnitResult {
@@ -317,7 +874,7 @@ mod tests {
     use crate::graph::MatchGraph;
     use crate::matching::match_component;
     use crate::CombinedQuery;
-    use eq_ir::{EntangledQuery, Value, VarGen};
+    use eq_ir::{EntangledQuery, Term, Value, VarGen};
     use eq_sql::parse_ir_query;
 
     fn build(texts: &[&str]) -> MatchGraph {
@@ -358,7 +915,7 @@ mod tests {
     fn plan_for(g: &MatchGraph, members: &[u32]) -> (ComponentPlan, CombinedQuery) {
         let m = match_component(g, members);
         let global = m.global.expect("answerable");
-        let plan = plan_component(g, &m.survivors, &global);
+        let plan = plan_component(g, &m.survivors, &global, &SplitOptions::default());
         let cq = CombinedQuery::build(g, &m.survivors, &global);
         (plan, cq)
     }
@@ -444,6 +1001,225 @@ mod tests {
         let db = flight_db();
         assert!(evaluate_plan(&plan, &db, 2).is_err());
         assert!(cq.evaluate(&db, 1).is_err());
+    }
+
+    fn raw_unit(atoms: Vec<Atom>) -> WorkUnit {
+        WorkUnit {
+            atoms,
+            constraints: vec![],
+            regions: None,
+        }
+    }
+
+    fn e(a: Term, b: Term) -> Atom {
+        Atom::new("E", vec![a, b])
+    }
+
+    fn vx(i: u32) -> Term {
+        Term::var(Var(i))
+    }
+
+    #[test]
+    fn chain_unit_splits_into_edge_regions() {
+        // x0—x1—x2—x3: every interior variable is an articulation
+        // point, so each edge atom is its own region.
+        let unit = raw_unit(vec![e(vx(0), vx(1)), e(vx(1), vx(2)), e(vx(2), vx(3))]);
+        let rp = split_unit(&unit, 64).expect("chain splits");
+        assert_eq!(rp.regions.len(), 3);
+        // Root is the region of the first atom; children chain off it
+        // keyed by the shared articulation variable.
+        assert_eq!(rp.regions[0].parent_var, None);
+        assert_eq!(rp.regions[1].parent_var, Some(Var(1)));
+        assert_eq!(rp.regions[2].parent_var, Some(Var(2)));
+        assert_eq!(rp.regions[0].children, vec![1]);
+        assert_eq!(rp.regions[1].children, vec![2]);
+        // Every atom lands in exactly one region.
+        let total: usize = rp.regions.iter().map(|r| r.atoms.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn cycle_unit_does_not_split() {
+        // x0—x1—x2—x0 is 2-connected: one block, no articulation vars.
+        let unit = raw_unit(vec![e(vx(0), vx(1)), e(vx(1), vx(2)), e(vx(2), vx(0))]);
+        assert!(split_unit(&unit, 64).is_none());
+    }
+
+    #[test]
+    fn single_variable_atoms_replicate_into_every_region_with_their_var() {
+        let unit = raw_unit(vec![
+            e(vx(0), vx(1)),
+            e(vx(1), vx(2)),
+            Atom::new("E", vec![vx(1), Term::int(7)]), // only var x1
+        ]);
+        let rp = split_unit(&unit, 64).expect("splits at x1");
+        assert_eq!(rp.regions.len(), 2);
+        // x1 is the articulation variable: its single-var atom anchors
+        // *both* regions (replication is sound — same conjunct, same
+        // variable).
+        assert_eq!(rp.regions[0].atoms.len(), 2);
+        assert_eq!(rp.regions[1].atoms.len(), 2);
+    }
+
+    #[test]
+    fn constraint_bridged_clusters_refuse_to_split() {
+        use eq_ir::CmpOp;
+        // Two atom clusters glued only by the constraint x1 < x2: the
+        // bridge block holds no atom, and no single region could
+        // enforce the constraint — the unit must evaluate whole.
+        let unit = WorkUnit {
+            atoms: vec![e(vx(0), vx(1)), e(vx(2), vx(3))],
+            constraints: vec![Constraint::new(vx(1), CmpOp::Lt, vx(2))],
+            regions: None,
+        };
+        assert!(split_unit(&unit, 64).is_none());
+        // A multi-variable constraint *inside* a cluster is fine: its
+        // clique edge coincides with an atom's, so its block is a real
+        // region and the split goes through.
+        let unit = WorkUnit {
+            atoms: vec![e(vx(0), vx(1)), e(vx(1), vx(2))],
+            constraints: vec![Constraint::new(vx(0), CmpOp::Lt, vx(1))],
+            regions: None,
+        };
+        let rp = split_unit(&unit, 64).expect("in-cluster constraint splits");
+        assert_eq!(rp.regions.len(), 2);
+        assert_eq!(rp.regions[0].constraints.len(), 1);
+    }
+
+    #[test]
+    fn zero_region_cap_is_clamped_not_unsat() {
+        // region_cap 0 must not reclassify every region as
+        // unsatisfiable; it clamps to 1, so overflowing regions fall
+        // back to whole-unit evaluation and the answer survives.
+        let db = split_db();
+        let atoms = vec![
+            Atom::new("A", vec![vx(0), vx(1)]),
+            Atom::new("B", vec![vx(0), vx(2)]),
+        ];
+        let mut unit = raw_unit(atoms);
+        unit.regions = split_unit(&unit, 0);
+        let rp = unit.regions.as_ref().expect("still splits");
+        assert_eq!(rp.region_cap, 1);
+        let plan = ComponentPlan {
+            units: vec![unit],
+            ground_atoms: vec![],
+            ground_constraints: vec![],
+            heads: vec![(QueryId(0), vec![Atom::new("H", vec![vx(0)])])],
+        };
+        let answers = evaluate_plan(&plan, &db, 2).unwrap().expect("satisfiable");
+        assert_eq!(answers[0].tuples[0], vec![Value::int(2)]);
+    }
+
+    fn split_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("A", &["x", "y"]).unwrap();
+        db.create_table("B", &["x", "z"]).unwrap();
+        for (x, y) in [(1, 10), (2, 20)] {
+            db.insert("A", vec![Value::int(x), Value::int(y)]).unwrap();
+        }
+        db.insert("B", vec![Value::int(2), Value::int(30)]).unwrap();
+        db
+    }
+
+    /// A plan whose single unit is pre-split, with one head atom that
+    /// exposes the merged valuation as a grounded tuple.
+    fn split_plan(atoms: Vec<Atom>, head_vars: &[u32], cap: usize) -> ComponentPlan {
+        let mut unit = raw_unit(atoms);
+        unit.regions = split_unit(&unit, cap);
+        assert!(unit.regions.is_some(), "test unit must split");
+        let head = Atom::new("H", head_vars.iter().map(|&i| vx(i)).collect::<Vec<_>>());
+        ComponentPlan {
+            units: vec![unit],
+            ground_atoms: vec![],
+            ground_constraints: vec![],
+            heads: vec![(QueryId(0), vec![head])],
+        }
+    }
+
+    #[test]
+    fn semijoin_rejects_locally_first_but_globally_infeasible_choices() {
+        // Region A(x,y) enumerates x=1 first, but region B(x,z) only
+        // admits x=2: the semi-join must pick A's second solution, not
+        // fail or return an inconsistent pair.
+        let db = split_db();
+        let plan = split_plan(
+            vec![
+                Atom::new("A", vec![vx(0), vx(1)]),
+                Atom::new("B", vec![vx(0), vx(2)]),
+            ],
+            &[0, 1, 2],
+            64,
+        );
+        for threads in [1, 2, 4] {
+            let answers = evaluate_plan(&plan, &db, threads)
+                .unwrap()
+                .expect("x=2 is consistent");
+            assert_eq!(
+                answers[0].tuples[0],
+                vec![Value::int(2), Value::int(20), Value::int(30)]
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_exact_on_unsatisfiable_units() {
+        let mut db = split_db();
+        // Remove B's only row: the B region enumerates nothing.
+        db.delete("B", &[Value::int(2), Value::int(30)]).unwrap();
+        let plan = split_plan(
+            vec![
+                Atom::new("A", vec![vx(0), vx(1)]),
+                Atom::new("B", vec![vx(0), vx(2)]),
+            ],
+            &[0],
+            64,
+        );
+        assert_eq!(evaluate_plan(&plan, &db, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn region_cap_overflow_falls_back_to_whole_unit_evaluation() {
+        // Cap 1 < the A region's 2 solutions: the split aborts and the
+        // unit evaluates whole — same first answer as the plain path.
+        let db = split_db();
+        let atoms = vec![
+            Atom::new("A", vec![vx(0), vx(1)]),
+            Atom::new("B", vec![vx(0), vx(2)]),
+        ];
+        let plan = split_plan(atoms.clone(), &[0, 1, 2], 1);
+        let whole = db.evaluate_filtered(&atoms, &[], 1).unwrap();
+        let answers = evaluate_plan(&plan, &db, 2).unwrap().expect("satisfiable");
+        let expect: Vec<Value> = [Var(0), Var(1), Var(2)]
+            .iter()
+            .map(|v| whole[0][v])
+            .collect();
+        assert_eq!(answers[0].tuples[0], expect);
+    }
+
+    #[test]
+    fn long_shared_chain_split_agrees_with_whole_unit_satisfiability() {
+        // E(i, i+1) rows form one path; the 12-atom chain unit splits
+        // into 12 regions whose join admits exactly the path valuation.
+        let mut db = Database::new();
+        db.create_table("E", &["a", "b"]).unwrap();
+        for i in 0..13 {
+            db.insert("E", vec![Value::int(i), Value::int(i + 1)])
+                .unwrap();
+        }
+        let atoms: Vec<Atom> = (0..12).map(|i| e(vx(i), vx(i + 1))).collect();
+        let head_vars: Vec<u32> = (0..13).collect();
+        let plan = split_plan(atoms.clone(), &head_vars, 64);
+        assert_eq!(
+            plan.units[0].regions.as_ref().unwrap().regions.len(),
+            12,
+            "every interior variable is an articulation point"
+        );
+        let whole = db.evaluate_filtered(&atoms, &[], 1).unwrap();
+        let expect: Vec<Value> = (0..13).map(|i| whole[0][&Var(i)]).collect();
+        for threads in [1, 3, 8] {
+            let answers = evaluate_plan(&plan, &db, threads).unwrap().unwrap();
+            assert_eq!(answers[0].tuples[0], expect, "chain solution is unique");
+        }
     }
 
     #[test]

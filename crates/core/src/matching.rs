@@ -8,10 +8,26 @@
 //!    heads);
 //! 2. removes nodes with an unsatisfied postcondition (`INDEGREE(q) <
 //!    PCCOUNT(q)`), cascading the removal to all descendants (CLEANUP);
-//! 3. propagates unifiers along edges with an updates queue until
-//!    fixpoint: `U(child) := MGU(U(parent), U(child))`, enqueueing the
-//!    child when its unifier strictly grew, cleaning it up when the MGU
-//!    fails;
+//! 3. propagates unifiers along edges until fixpoint. The propagation
+//!    has two tiers:
+//!    * the **SCC-condensed fast path**: at the fixpoint, every node of
+//!      a strongly connected component provably carries the same
+//!      unifier — the merge of its SCC's seeds with the unifiers of all
+//!      predecessor SCCs — so the fast path runs one merge pass over
+//!      the condensation DAG in topological order instead of
+//!      re-propagating ever-growing unifiers node by node. On a
+//!      shared-variable entanglement ring (one big SCC whose global
+//!      unifier chains *n* variables) this is the difference between
+//!      O(n) unifier work and the naive fixpoint's O(n³);
+//!    * the **naive worklist fixpoint** (`U(child) := MGU(U(parent),
+//!      U(child))`, enqueue on growth): the exact Algorithm 1 loop,
+//!      used as the fallback whenever the fast path hits *any* MGU
+//!      conflict — conflicts trigger per-node CLEANUP whose outcome
+//!      depends on where the conflict materializes, which only the
+//!      faithful per-node propagation reproduces. The fast path never
+//!      commits a partial result, so the two tiers are observationally
+//!      identical: conflict-free components take the fast path, every
+//!      other component is re-run through the naive loop untouched.
 //! 4. folds the survivors' unifiers into a single global unifier for the
 //!    component (§4.2); if that fails, the whole component is rejected.
 
@@ -31,7 +47,11 @@ pub struct MatchStats {
     pub cleanups: u64,
 }
 
-/// Result of matching one component.
+/// Result of matching one component. (Per-node unifiers are an
+/// internal artifact of the propagation; only the survivors and the
+/// global unifier flow into combined-query construction, and the
+/// SCC-condensed fast path deliberately never materializes n copies of
+/// an n-entry unifier.)
 #[derive(Debug)]
 pub struct ComponentMatch {
     /// Slots that survived matching: every postcondition is satisfied
@@ -39,8 +59,6 @@ pub struct ComponentMatch {
     pub survivors: Vec<u32>,
     /// Slots removed as unanswerable.
     pub removed: Vec<u32>,
-    /// Final per-node unifiers (survivors only).
-    pub unifiers: FastMap<u32, Unifier>,
     /// The component-wide unifier `U = mgu({U(qi)})` of §4.2; `None`
     /// when no survivors remain or when the global MGU does not exist
     /// (in which case the component must be rejected).
@@ -147,7 +165,8 @@ fn seed_member<V: MatchView>(graph: &V, in_component: &FastSet<u32>, m: u32) -> 
 }
 
 /// Steps 2b–4 of Algorithm 1 over precomputed seeds: cascade the doomed
-/// removals, run the propagation fixpoint, fold the global unifier.
+/// removals, run the propagation fixpoint (SCC-condensed fast path,
+/// naive worklist fallback on conflict), fold the global unifier.
 fn finish_match<V: MatchView>(
     graph: &V,
     members: &[u32],
@@ -169,13 +188,27 @@ fn finish_match<V: MatchView>(
     for d in doomed {
         cleanup(graph, d, &mut alive, &mut removed, &mut stats);
     }
-
-    // Step 3: Algorithm 1 — propagate unifiers along edges.
-    let mut queue: VecDeque<u32> = members
+    let live: Vec<u32> = members
         .iter()
         .copied()
         .filter(|m| alive.contains(m))
         .collect();
+
+    // Step 3, fast path: SCC-condensed propagation over the pristine
+    // seeds. Commits only when conflict-free, in which case nothing is
+    // cleaned up and the returned unifier is exactly the step-4 global.
+    if let Some(global) = scc_propagate(graph, &live, &unifiers, &mut stats) {
+        return ComponentMatch {
+            survivors: live,
+            removed,
+            global: Some(global),
+            stats,
+        };
+    }
+
+    // Step 3, fallback: Algorithm 1's per-node worklist — propagate
+    // unifiers along edges, cleaning up on conflict.
+    let mut queue: VecDeque<u32> = live.iter().copied().collect();
     let mut queued: FastSet<u32> = queue.iter().copied().collect();
     while let Some(parent) = queue.pop_front() {
         queued.remove(&parent);
@@ -225,14 +258,91 @@ fn finish_match<V: MatchView>(
         }
     }
 
-    unifiers.retain(|slot, _| alive.contains(slot));
     ComponentMatch {
         survivors,
         removed,
-        unifiers,
         global,
         stats,
     }
+}
+
+/// The SCC-condensed propagation fast path. At the fixpoint of
+/// Algorithm 1's step 3, every node of a strongly connected component
+/// carries the same unifier: the merge of all its SCC's seeds with the
+/// unifiers of all DAG-predecessor SCCs (information flows freely
+/// around a cycle, so SCC members are indistinguishable). This
+/// computes exactly that, one merge pass over the condensation in
+/// topological order, and folds the step-4 global unifier in the same
+/// pass.
+///
+/// Returns `None` on *any* MGU conflict — including one that only the
+/// final global fold would hit — without having touched `seeds`; the
+/// caller then reruns the naive per-node fixpoint, whose
+/// conflict-cleanup semantics (which node is removed depends on where
+/// the conflict materializes) must not be second-guessed here. Also
+/// returns `None` for an empty live set (step 4 defines that as an
+/// unanswerable component, which the fallback reproduces trivially).
+fn scc_propagate<V: MatchView>(
+    graph: &V,
+    live: &[u32],
+    seeds: &FastMap<u32, Unifier>,
+    stats: &mut MatchStats,
+) -> Option<Unifier> {
+    if live.is_empty() {
+        return None;
+    }
+    let scc_of = crate::ucs::scc_ids_members(graph, live);
+    let nscc = scc_of.values().copied().max().map_or(0, |m| m as usize + 1);
+    let mut members_of: Vec<Vec<u32>> = vec![Vec::new(); nscc];
+    for &m in live {
+        members_of[scc_of[&m] as usize].push(m);
+    }
+    // Condensation predecessors. Tarjan ids are assigned at SCC
+    // completion, so every successor SCC has a smaller id than its
+    // predecessors — descending id order is a topological order.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nscc];
+    for &m in live {
+        let from = scc_of[&m] as usize;
+        for &eid in graph.out_edges(m) {
+            let child = graph.edge(eid).to;
+            let Some(&to) = scc_of.get(&child) else {
+                continue; // edge out of the live set
+            };
+            if from != to as usize {
+                preds[to as usize].push(from);
+            }
+        }
+    }
+    let mut scc_unifier: Vec<Option<Unifier>> = Vec::with_capacity(nscc);
+    scc_unifier.resize_with(nscc, || None);
+    let mut global = Unifier::new();
+    for id in (0..nscc).rev() {
+        let mut u = Unifier::new();
+        for &m in &members_of[id] {
+            stats.dequeues += 1;
+            stats.mgu_calls += 1;
+            if u.merge_from(&seeds[&m]).is_err() {
+                return None;
+            }
+        }
+        preds[id].sort_unstable();
+        preds[id].dedup();
+        for &p in &preds[id] {
+            stats.mgu_calls += 1;
+            if u.merge_from(scc_unifier[p].as_ref().expect("topo order"))
+                .is_err()
+            {
+                return None;
+            }
+        }
+        // Fold into the global as we go (step 4, same information).
+        stats.mgu_calls += 1;
+        if global.merge_from(&u).is_err() {
+            return None;
+        }
+        scc_unifier[id] = Some(u);
+    }
+    Some(global)
 }
 
 /// CLEANUP(n) from §4.1.3: removes `n` and all its descendants (via
@@ -480,6 +590,26 @@ mod tests {
         let m = match_component(&g, &[]);
         assert!(m.survivors.is_empty());
         assert!(m.global.is_none());
+    }
+
+    #[test]
+    fn constants_propagate_down_a_dag_chain() {
+        // Three singleton SCCs in a line: q0's ground head binds q1's
+        // variable, and that constant must flow through q1's unifier
+        // into q2's — the cross-SCC leg of the condensed fast path.
+        let g = build(&[
+            "{} A(1) <- D(w)",
+            "{A(u)} B(u) <- D(u)",
+            "{B(z)} C(z) <- D(z)",
+        ]);
+        let m = run_all(&g);
+        assert!(m.is_answerable());
+        assert_eq!(m.survivors, vec![0, 1, 2]);
+        let u = m.global.unwrap();
+        let q1_u = g.queries()[1].head[0].terms[0].as_var().unwrap();
+        let q2_z = g.queries()[2].head[0].terms[0].as_var().unwrap();
+        assert_eq!(u.constant_of(q1_u), Some(Value::int(1)));
+        assert_eq!(u.constant_of(q2_z), Some(Value::int(1)));
     }
 
     #[test]

@@ -67,10 +67,12 @@
 //! let report = coordinator.flush();
 //! assert_eq!(report.answered, 2);
 //! // Two terminal events, then the flush report — in that order.
+//! // Subscribers receive `Arc<Event>`: the service materializes each
+//! // event once and fans it out by pointer.
 //! let drained = events.drain();
 //! assert_eq!(drained.len(), 3);
 //! assert!(drained[0].is_terminal() && drained[1].is_terminal());
-//! assert!(matches!(drained[2], Event::Flushed(_)));
+//! assert!(matches!(*drained[2], Event::Flushed(_)));
 //! ```
 
 use crate::combine::QueryAnswer;
@@ -304,15 +306,22 @@ impl Inner {
         }
     }
 
+    /// Publishes one event to every subscriber. The event is
+    /// materialized **once** behind an `Arc`; per-subscriber delivery is
+    /// a pointer bump into the bounded queue, so fan-out cost under the
+    /// service lock no longer scales with answer payload size times
+    /// subscriber count.
     fn broadcast(&mut self, event: Event) {
+        let event = Arc::new(event);
         let mut disconnected = 0u64;
-        self.subscribers.retain(|s| match s.send(event.clone()) {
-            Ok(()) => true,
-            Err(_) => {
-                disconnected += 1;
-                false
-            }
-        });
+        self.subscribers
+            .retain(|s| match s.send(Arc::clone(&event)) {
+                Ok(()) => true,
+                Err(_) => {
+                    disconnected += 1;
+                    false
+                }
+            });
         self.disconnected += disconnected;
     }
 }
@@ -730,7 +739,7 @@ mod tests {
         assert!(evs[0].is_terminal() && evs[1].is_terminal());
         let kramer = evs.iter().find(|e| e.id() == Some(h1.id)).unwrap();
         assert_eq!(kramer.tag(), Some("kramer"));
-        assert!(matches!(evs[2], Event::Flushed(r) if r.answered == 2));
+        assert!(matches!(*evs[2], Event::Flushed(r) if r.answered == 2));
         session.close();
     }
 
@@ -749,10 +758,8 @@ mod tests {
             h.outcome.try_recv().unwrap(),
             QueryOutcome::Failed(FailReason::Cancelled)
         );
-        assert!(matches!(
-            events.drain().as_slice(),
-            [Event::Cancelled { .. }]
-        ));
+        let evs = events.drain();
+        assert!(matches!(evs.as_slice(), [e] if matches!(**e, Event::Cancelled { .. })));
         coordinator.check_invariants().unwrap();
     }
 
@@ -800,7 +807,7 @@ mod tests {
         );
         let evs = events.drain();
         assert!(
-            matches!(evs.as_slice(), [Event::Expired { tag: Some(t), .. }] if t == "doomed"),
+            matches!(evs.as_slice(), [e] if matches!(&**e, Event::Expired { tag: Some(t), .. } if t == "doomed")),
             "{evs:?}"
         );
     }
@@ -878,10 +885,8 @@ mod tests {
             .submit(q("{R(Newman, z)} R(Frank, z) <- F(z, Rome)"))
             .unwrap();
         coordinator.cancel(h.id).unwrap();
-        assert!(matches!(
-            events.drain().as_slice(),
-            [Event::Cancelled { .. }]
-        ));
+        let evs = events.drain();
+        assert!(matches!(evs.as_slice(), [e] if matches!(**e, Event::Cancelled { .. })));
     }
 
     #[test]
@@ -895,7 +900,7 @@ mod tests {
         let drainer = std::thread::spawn(move || {
             let mut seen = Vec::new();
             while let Some(e) = events.next_timeout(Duration::from_secs(10)) {
-                let flushed = matches!(e, Event::Flushed(_));
+                let flushed = matches!(*e, Event::Flushed(_));
                 seen.push(e);
                 if flushed {
                     break;
@@ -924,7 +929,7 @@ mod tests {
         let seen = drainer.join().unwrap();
         let flushed_at = seen
             .iter()
-            .position(|e| matches!(e, Event::Flushed(_)))
+            .position(|e| matches!(**e, Event::Flushed(_)))
             .expect("flush report delivered");
         let terminals_before: Vec<QueryId> =
             seen[..flushed_at].iter().filter_map(|e| e.id()).collect();

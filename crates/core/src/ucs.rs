@@ -55,8 +55,16 @@ pub fn violations<V: MatchView>(graph: &V, alive: &[bool]) -> Vec<UcsViolation> 
     violations_members(graph, &members)
 }
 
-/// Member-scoped SCC ids: a map from each member slot to its SCC id
-/// (arbitrary, equal within an SCC). Edges to non-members are ignored.
+/// Member-scoped SCC ids: a map from each member slot to its SCC id.
+/// Edges to non-members are ignored.
+///
+/// **Contract** (relied on by `matching`'s SCC-condensed propagation,
+/// and covered by `scc_ids_are_reverse_topological` below): ids are
+/// assigned in Tarjan completion order, so they are
+/// **reverse-topological** — for every edge `u → v` with `u` and `v`
+/// in different SCCs, `id(u) > id(v)`. Any reimplementation must
+/// preserve this (or matching's fast path must compute its own
+/// topological order).
 pub fn scc_ids_members<V: MatchView>(graph: &V, members: &[u32]) -> FastMap<u32, u32> {
     let local: FastMap<u32, u32> = members
         .iter()
@@ -208,6 +216,41 @@ mod tests {
             })
             .collect();
         MatchGraph::build(queries)
+    }
+
+    #[test]
+    fn scc_ids_are_reverse_topological() {
+        // The documented contract of `scc_ids_members`: cross-SCC edges
+        // always point from a larger id to a smaller one. A mixed shape
+        // — a 2-cycle feeding a chain that feeds a 3-cycle, plus a
+        // stray source — exercises several completion orders.
+        let g = build(&[
+            "{R(B, x)} R(A, x) <- F(x)", // 2-cycle {0,1}
+            "{R(A, y)} R(B, y) <- F(y)",
+            "{R(D, z)} R(C, z) <- F(z)", // chain node, fed by A? no — standalone source
+            "{R(E, u)} R(D, u) <- F(u)", // chain: 2 -> 3 -> cycle {4,5,6}
+            "{R(G1, v)} R(E, v) <- F(v)",
+            "{R(G2, w)} R(G1, w) <- F(w)",
+            "{R(E, s)} R(G2, s) <- F(s)",
+        ]);
+        let members: Vec<u32> = (0..7).collect();
+        let scc = scc_ids_members(&g, &members);
+        // Same-cycle nodes share an id; the chain nodes do not.
+        assert_eq!(scc[&0], scc[&1]);
+        assert_eq!(scc[&4], scc[&5]);
+        assert_eq!(scc[&5], scc[&6]);
+        assert_ne!(scc[&2], scc[&3]);
+        for e in g.edges() {
+            let (from, to) = (scc[&e.from], scc[&e.to]);
+            if from != to {
+                assert!(
+                    from > to,
+                    "edge {} -> {} violates reverse-topological ids ({from} <= {to})",
+                    e.from,
+                    e.to
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,25 @@
 //! Conjunctive-query evaluation: greedy atom ordering + indexed
-//! backtracking join.
+//! backtracking join, driven by an **iterative, explicit-frame search**.
+//!
+//! The join used to be a recursive `search` whose depth equaled the
+//! atom count, which put a hard stack bound on combined-query size (a
+//! 10k-query entangled ring produces a 20k-atom body — the bench
+//! runner had to spawn a 512 MiB-stack thread just to evaluate it).
+//! The search now keeps its own stack of [`Frame`]s on the heap — one
+//! frame per joined atom, holding the atom's candidate-row cursor and
+//! the variables its current row bound — so depth is bounded by memory,
+//! not thread stack: a 100k-atom body evaluates on a default 8 MiB
+//! stack.
+//!
+//! The rewrite is a mechanical transformation of the recursion: frames
+//! open with the same greedy [`choose_atom`] pick (structural
+//! tie-break — see its docs; the engine's partitioned intra-component
+//! evaluation depends on it), iterate the same probe-else-scan
+//! candidate order, and unwind with the same worklist restoration, so
+//! answers, answer *order*, and [`EvalStats`] are bit-for-bit those of
+//! the old recursive evaluator. The recursion survives as a
+//! `#[cfg(test)]` oracle (`recursive_reference`) that the property
+//! tests below compare against on random databases and conjunctions.
 
 use crate::database::Database;
 use crate::table::Table;
@@ -46,16 +66,178 @@ pub(crate) fn evaluate(
     }
     let mut bindings = Valuation::default();
     let mut remaining: Vec<&Atom> = atoms.iter().collect();
-    search(
-        db,
-        &mut remaining,
-        constraints,
-        &mut bindings,
-        limit,
-        &mut results,
-        &mut stats,
-    );
+    let mut stack: Vec<Frame> = Vec::with_capacity(atoms.len());
+    stack.push(Frame::open(db, &mut remaining, &bindings, &mut stats));
+
+    while let Some(top) = stack.last_mut() {
+        // Undo whatever the frame's previous candidate row bound (a
+        // no-op on a freshly opened frame), then advance to its next
+        // matching candidate.
+        for v in top.newly_bound.drain(..) {
+            bindings.remove(&v);
+        }
+        let mut matched = false;
+        while let Some(id) = top.cursor.next() {
+            if !top.table.is_live(id) {
+                continue;
+            }
+            stats.rows_considered += 1;
+            let row = top.table.row(id);
+            let mut ok = true;
+            for (term, &value) in top.atom.terms.iter().zip(row.iter()) {
+                match term {
+                    Term::Const(c) => {
+                        if *c != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match bindings.get(v) {
+                        Some(&bound) => {
+                            if bound != value {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            bindings.insert(*v, value);
+                            top.newly_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            if ok && constraints_hold(constraints, &bindings) {
+                if remaining.is_empty() {
+                    // A full valuation: emit it and keep enumerating
+                    // candidates at this deepest frame (exactly the
+                    // recursion's push-then-return-and-undo).
+                    results.push(bindings.clone());
+                    if results.len() >= limit {
+                        return (results, stats);
+                    }
+                } else {
+                    matched = true;
+                    break;
+                }
+            }
+            // Rejected row (or emitted leaf): unbind and try the next
+            // candidate of this same frame.
+            for v in top.newly_bound.drain(..) {
+                bindings.remove(&v);
+            }
+        }
+        if matched {
+            // Descend: open the next frame over the shrunk worklist.
+            let frame = Frame::open(db, &mut remaining, &bindings, &mut stats);
+            stack.push(frame);
+        } else {
+            // Candidates exhausted: restore the atom into the worklist
+            // at its original position (mirroring the recursion's
+            // unwind) and backtrack into the frame below.
+            let frame = stack.pop().expect("non-empty stack");
+            remaining.push(frame.atom);
+            let last = remaining.len() - 1;
+            remaining.swap(frame.pick, last);
+        }
+    }
     (results, stats)
+}
+
+/// Candidate-row iteration state of one [`Frame`]: either the posting
+/// list of the frame atom's most selective bound column, or a full
+/// row-id scan when nothing is bound. Borrowed straight from the table
+/// — the whole search is read-only over the database.
+enum Cursor<'a> {
+    Probe { ids: &'a [u32], pos: usize },
+    Scan { next: u32, bound: u32 },
+}
+
+impl Cursor<'_> {
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            Cursor::Probe { ids, pos } => {
+                let id = *ids.get(*pos)?;
+                *pos += 1;
+                Some(id)
+            }
+            Cursor::Scan { next, bound } => {
+                if next < bound {
+                    let id = *next;
+                    *next += 1;
+                    Some(id)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One level of the explicit-frame backtracking join: the atom chosen
+/// at this depth, where it sat in the worklist (for restoration on
+/// unwind), its candidate cursor, and the variables its current row
+/// bound (undone before the next candidate or on backtrack).
+struct Frame<'a> {
+    atom: &'a Atom,
+    table: &'a Table,
+    pick: usize,
+    cursor: Cursor<'a>,
+    newly_bound: Vec<Var>,
+}
+
+impl<'a> Frame<'a> {
+    /// Picks the next atom greedily ([`choose_atom`]), removes it from
+    /// the worklist, and positions a cursor over its candidate rows —
+    /// the most selective bound column's posting list, or a full scan.
+    /// Stats accounting is identical to the recursive evaluator's.
+    fn open(
+        db: &'a Database,
+        remaining: &mut Vec<&'a Atom>,
+        bindings: &Valuation,
+        stats: &mut EvalStats,
+    ) -> Frame<'a> {
+        let pick = choose_atom(db, remaining, bindings);
+        let atom = remaining.swap_remove(pick);
+        let table = db.table(atom.relation).expect("pre-checked relation");
+
+        // Find the best bound position to drive an index probe.
+        let mut best: Option<(usize, Value, usize)> = None; // (col, value, cardinality)
+        for (col, term) in atom.terms.iter().enumerate() {
+            let value = match term {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => bindings.get(v).copied(),
+            };
+            if let Some(value) = value {
+                let card = table.probe_len(col, value);
+                if best.is_none_or(|(_, _, c)| card < c) {
+                    best = Some((col, value, card));
+                }
+            }
+        }
+        let cursor = match best {
+            Some((col, value, _)) => {
+                stats.index_probes += 1;
+                Cursor::Probe {
+                    ids: table.probe(col, value),
+                    pos: 0,
+                }
+            }
+            None => {
+                stats.full_scans += 1;
+                Cursor::Scan {
+                    next: 0,
+                    bound: table.row_id_bound(),
+                }
+            }
+        };
+        Frame {
+            atom,
+            table,
+            pick,
+            cursor,
+            newly_bound: Vec::new(),
+        }
+    }
 }
 
 /// Checks every constraint decidable under `bindings`; undecidable
@@ -67,143 +249,188 @@ fn constraints_hold(constraints: &[Constraint], bindings: &Valuation) -> bool {
         .all(|c| c.check(&|v| bindings.get(&v).copied()))
 }
 
-/// Recursive backtracking join. `remaining` holds the atoms not yet
-/// joined; each level picks the most-bound atom (greedy ordering), probes
-/// or scans its table, and recurses with extended bindings.
-#[allow(clippy::too_many_arguments)]
-fn search(
-    db: &Database,
-    remaining: &mut Vec<&Atom>,
-    constraints: &[Constraint],
-    bindings: &mut Valuation,
-    limit: usize,
-    results: &mut Vec<Valuation>,
-    stats: &mut EvalStats,
-) {
-    if results.len() >= limit {
-        return;
-    }
-    if remaining.is_empty() {
-        results.push(bindings.clone());
-        return;
-    }
-    let pick = choose_atom(db, remaining, bindings);
-    let atom = remaining.swap_remove(pick);
-    let table = db.table(atom.relation).expect("pre-checked relation");
+/// The original recursive backtracking join, kept **test-only** as the
+/// oracle for the iterative evaluator: property tests assert the two
+/// agree answer-for-answer (same valuations, same order, same stats)
+/// on random databases and conjunctions. Its recursion depth equals
+/// the atom count, which is exactly the stack bound the iterative
+/// rewrite removes — never call it on production-sized bodies.
+#[cfg(test)]
+pub(crate) mod recursive_reference {
+    use super::*;
 
-    // Find the best bound position to drive an index probe.
-    let mut best: Option<(usize, Value, usize)> = None; // (col, value, cardinality)
-    for (col, term) in atom.terms.iter().enumerate() {
-        let value = match term {
-            Term::Const(c) => Some(*c),
-            Term::Var(v) => bindings.get(v).copied(),
-        };
-        if let Some(value) = value {
-            let card = table.probe_len(col, value);
-            if best.is_none_or(|(_, _, c)| card < c) {
-                best = Some((col, value, card));
-            }
+    /// Recursive-evaluator entry with the same contract as
+    /// [`super::evaluate`].
+    pub(crate) fn evaluate(
+        db: &Database,
+        atoms: &[Atom],
+        constraints: &[Constraint],
+        limit: usize,
+    ) -> (Vec<Valuation>, EvalStats) {
+        let mut stats = EvalStats::default();
+        let mut results = Vec::new();
+        if limit == 0 {
+            return (results, stats);
         }
+        if atoms.is_empty() {
+            let empty = Valuation::default();
+            if constraints_hold(constraints, &empty) {
+                results.push(empty);
+            }
+            return (results, stats);
+        }
+        let mut bindings = Valuation::default();
+        let mut remaining: Vec<&Atom> = atoms.iter().collect();
+        search(
+            db,
+            &mut remaining,
+            constraints,
+            &mut bindings,
+            limit,
+            &mut results,
+            &mut stats,
+        );
+        (results, stats)
     }
 
-    match best {
-        Some((col, value, _)) => {
-            stats.index_probes += 1;
-            // The posting list is borrowed from the table; collect ids
-            // first because `try_row` re-borrows.
-            for &id in table.probe(col, value) {
-                if results.len() >= limit {
-                    break;
-                }
-                try_row(
-                    db,
-                    table,
-                    atom,
-                    id,
-                    remaining,
-                    constraints,
-                    bindings,
-                    limit,
-                    results,
-                    stats,
-                );
-            }
+    /// Recursive backtracking join. `remaining` holds the atoms not yet
+    /// joined; each level picks the most-bound atom (greedy ordering),
+    /// probes or scans its table, and recurses with extended bindings.
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        db: &Database,
+        remaining: &mut Vec<&Atom>,
+        constraints: &[Constraint],
+        bindings: &mut Valuation,
+        limit: usize,
+        results: &mut Vec<Valuation>,
+        stats: &mut EvalStats,
+    ) {
+        if results.len() >= limit {
+            return;
         }
-        None => {
-            stats.full_scans += 1;
-            for id in 0..table.row_id_bound() {
-                if results.len() >= limit {
-                    break;
-                }
-                try_row(
-                    db,
-                    table,
-                    atom,
-                    id,
-                    remaining,
-                    constraints,
-                    bindings,
-                    limit,
-                    results,
-                    stats,
-                );
-            }
+        if remaining.is_empty() {
+            results.push(bindings.clone());
+            return;
         }
-    }
-    remaining.push(atom);
-    let last = remaining.len() - 1;
-    remaining.swap(pick, last);
-}
+        let pick = choose_atom(db, remaining, bindings);
+        let atom = remaining.swap_remove(pick);
+        let table = db.table(atom.relation).expect("pre-checked relation");
 
-/// Attempts to match `atom` against row `id`, extending `bindings`; on
-/// success recurses into the remaining atoms, then undoes the extension.
-#[allow(clippy::too_many_arguments)]
-fn try_row(
-    db: &Database,
-    table: &Table,
-    atom: &Atom,
-    id: u32,
-    remaining: &mut Vec<&Atom>,
-    constraints: &[Constraint],
-    bindings: &mut Valuation,
-    limit: usize,
-    results: &mut Vec<Valuation>,
-    stats: &mut EvalStats,
-) {
-    if !table.is_live(id) {
-        return;
-    }
-    stats.rows_considered += 1;
-    let row = table.row(id);
-    let mut newly_bound: Vec<Var> = Vec::new();
-    let mut ok = true;
-    for (term, &value) in atom.terms.iter().zip(row.iter()) {
-        match term {
-            Term::Const(c) => {
-                if *c != value {
-                    ok = false;
-                    break;
+        // Find the best bound position to drive an index probe.
+        let mut best: Option<(usize, Value, usize)> = None; // (col, value, cardinality)
+        for (col, term) in atom.terms.iter().enumerate() {
+            let value = match term {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => bindings.get(v).copied(),
+            };
+            if let Some(value) = value {
+                let card = table.probe_len(col, value);
+                if best.is_none_or(|(_, _, c)| card < c) {
+                    best = Some((col, value, card));
                 }
             }
-            Term::Var(v) => match bindings.get(v) {
-                Some(&bound) => {
-                    if bound != value {
+        }
+
+        match best {
+            Some((col, value, _)) => {
+                stats.index_probes += 1;
+                // The posting list is borrowed from the table; collect ids
+                // first because `try_row` re-borrows.
+                for &id in table.probe(col, value) {
+                    if results.len() >= limit {
+                        break;
+                    }
+                    try_row(
+                        db,
+                        table,
+                        atom,
+                        id,
+                        remaining,
+                        constraints,
+                        bindings,
+                        limit,
+                        results,
+                        stats,
+                    );
+                }
+            }
+            None => {
+                stats.full_scans += 1;
+                for id in 0..table.row_id_bound() {
+                    if results.len() >= limit {
+                        break;
+                    }
+                    try_row(
+                        db,
+                        table,
+                        atom,
+                        id,
+                        remaining,
+                        constraints,
+                        bindings,
+                        limit,
+                        results,
+                        stats,
+                    );
+                }
+            }
+        }
+        remaining.push(atom);
+        let last = remaining.len() - 1;
+        remaining.swap(pick, last);
+    }
+
+    /// Attempts to match `atom` against row `id`, extending `bindings`; on
+    /// success recurses into the remaining atoms, then undoes the extension.
+    #[allow(clippy::too_many_arguments)]
+    fn try_row(
+        db: &Database,
+        table: &Table,
+        atom: &Atom,
+        id: u32,
+        remaining: &mut Vec<&Atom>,
+        constraints: &[Constraint],
+        bindings: &mut Valuation,
+        limit: usize,
+        results: &mut Vec<Valuation>,
+        stats: &mut EvalStats,
+    ) {
+        if !table.is_live(id) {
+            return;
+        }
+        stats.rows_considered += 1;
+        let row = table.row(id);
+        let mut newly_bound: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (term, &value) in atom.terms.iter().zip(row.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if *c != value {
                         ok = false;
                         break;
                     }
                 }
-                None => {
-                    bindings.insert(*v, value);
-                    newly_bound.push(*v);
-                }
-            },
+                Term::Var(v) => match bindings.get(v) {
+                    Some(&bound) => {
+                        if bound != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        bindings.insert(*v, value);
+                        newly_bound.push(*v);
+                    }
+                },
+            }
         }
-    }
-    if ok && constraints_hold(constraints, bindings) {
-        search(db, remaining, constraints, bindings, limit, results, stats);
-    }
-    for v in newly_bound {
-        bindings.remove(&v);
+        if ok && constraints_hold(constraints, bindings) {
+            search(db, remaining, constraints, bindings, limit, results, stats);
+        }
+        for v in newly_bound {
+            bindings.remove(&v);
+        }
     }
 }
 
@@ -453,5 +680,93 @@ mod tests {
             "expected selective-first ordering, considered {}",
             stats.rows_considered
         );
+    }
+}
+
+/// Property tests: the iterative explicit-frame evaluator is
+/// **bit-for-bit** the recursive oracle — same valuations, same answer
+/// order, same [`EvalStats`] — on random databases, conjunctions,
+/// constraints, and limits. This is the equivalence the engine's
+/// "intra ≡ sequential" guarantee now rests on.
+#[cfg(test)]
+mod equivalence_proptests {
+    use super::recursive_reference;
+    use super::*;
+    use proptest::prelude::*;
+
+    const RELS: [&str; 3] = ["P", "Q", "S"];
+    const NUM_VARS: u32 = 4;
+    const DOMAIN: i64 = 4;
+
+    fn arb_term() -> impl Strategy<Value = Term> {
+        prop_oneof![
+            (0..NUM_VARS).prop_map(|i| Term::var(Var(i))),
+            (0..DOMAIN).prop_map(Term::int),
+        ]
+    }
+
+    fn arb_atom() -> impl Strategy<Value = Atom> {
+        (0..RELS.len(), proptest::collection::vec(arb_term(), 2))
+            .prop_map(|(r, terms)| Atom::new(RELS[r], terms))
+    }
+
+    fn arb_constraint() -> impl Strategy<Value = Constraint> {
+        (arb_term(), 0..5usize, arb_term()).prop_map(|(lhs, op, rhs)| {
+            let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Ne][op];
+            Constraint::new(lhs, op, rhs)
+        })
+    }
+
+    #[derive(Clone, Debug)]
+    struct Instance {
+        rows: Vec<(usize, i64, i64)>,
+        atoms: Vec<Atom>,
+        constraints: Vec<Constraint>,
+        limit: usize,
+    }
+
+    fn arb_instance() -> impl Strategy<Value = Instance> {
+        (
+            proptest::collection::vec((0..RELS.len(), 0..DOMAIN, 0..DOMAIN), 0..24),
+            proptest::collection::vec(arb_atom(), 0..5),
+            proptest::collection::vec(arb_constraint(), 0..3),
+            0..6usize,
+        )
+            .prop_map(|(rows, atoms, constraints, limit)| Instance {
+                rows,
+                atoms,
+                constraints,
+                // Exercise both bounded and exhaustive enumeration.
+                limit: if limit == 5 { usize::MAX } else { limit },
+            })
+    }
+
+    fn build_db(inst: &Instance) -> Database {
+        let mut db = Database::new();
+        for rel in RELS {
+            db.create_table(rel, &["a", "b"]).unwrap();
+        }
+        for &(r, a, b) in &inst.rows {
+            db.insert(RELS[r], vec![Value::int(a), Value::int(b)])
+                .unwrap();
+        }
+        db
+    }
+
+    use eq_ir::CmpOp;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn iterative_equals_recursive_oracle(inst in arb_instance()) {
+            let db = build_db(&inst);
+            let (fast, fast_stats) =
+                evaluate(&db, &inst.atoms, &inst.constraints, inst.limit);
+            let (slow, slow_stats) = recursive_reference::evaluate(
+                &db, &inst.atoms, &inst.constraints, inst.limit);
+            prop_assert_eq!(&fast, &slow, "valuations (or their order) diverge");
+            prop_assert_eq!(fast_stats, slow_stats, "evaluator stats diverge");
+        }
     }
 }

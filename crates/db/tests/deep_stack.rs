@@ -1,0 +1,65 @@
+//! Stack-bound regression test for the iterative evaluator.
+//!
+//! The recursive evaluator's depth equaled the atom count, so a
+//! conjunction this deep needed a dedicated big-stack thread (the bench
+//! runner used to spawn one with 512 MiB). The iterative evaluator
+//! keeps its frames on the heap; this test joins a chain whose depth
+//! would blow a ~1 MiB stack through the old recursion (roughly one
+//! `search` + `try_row` frame pair per atom) and must pass even under
+//! `RUST_MIN_STACK=1048576`, which is exactly how `scripts/ci.sh` runs
+//! it — if recursion ever sneaks back into `eq_db::eval`, this test
+//! overflows there instead of deep inside a benchmark.
+
+use eq_db::Database;
+use eq_ir::{Atom, Term, Value, Var};
+
+const DEPTH: usize = 4096;
+
+fn chain_db() -> Database {
+    let mut db = Database::new();
+    db.create_table("Chain", &["from", "to"]).unwrap();
+    db.insert_many(
+        "Chain",
+        (0..DEPTH as i64)
+            .map(|i| vec![Value::int(i), Value::int(i + 1)])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn deep_chain_join_runs_on_a_small_stack() {
+    let db = chain_db();
+    // One atom per chain link, each binding its own variable: the join
+    // is DEPTH levels deep, with exactly one candidate row per level.
+    let atoms: Vec<Atom> = (0..DEPTH)
+        .map(|i| Atom::new("Chain", vec![Term::int(i as i64), Term::var(Var(i as u32))]))
+        .collect();
+    // limit 2 forces the search to exhaust the space (prove uniqueness),
+    // exercising the full unwind path, not just the first descent.
+    let sols = db.evaluate(&atoms, 2).unwrap();
+    assert_eq!(sols.len(), 1);
+    for i in 0..DEPTH {
+        assert_eq!(sols[0][&Var(i as u32)], Value::int(i as i64 + 1));
+    }
+}
+
+#[test]
+fn deep_unsatisfiable_chain_unwinds_without_overflow() {
+    let db = chain_db();
+    // Same chain, but the last link demands a row that does not exist:
+    // the search descends DEPTH frames and backtracks all the way out.
+    let mut atoms: Vec<Atom> = (0..DEPTH)
+        .map(|i| Atom::new("Chain", vec![Term::int(i as i64), Term::var(Var(i as u32))]))
+        .collect();
+    atoms.push(Atom::new(
+        "Chain",
+        vec![
+            Term::var(Var(DEPTH as u32 - 1)),
+            Term::int(-1), // no such successor
+        ],
+    ));
+    let sols = db.evaluate(&atoms, 1).unwrap();
+    assert!(sols.is_empty());
+}

@@ -10,17 +10,19 @@
 //! parallelism, and the workload the engine's partitioned
 //! intra-component path (`eq_core::intra`) exists for.
 //!
-//! Each query carries a private-variable body over a synthetic
-//! `Friends` relation, in one of two flavors ([`GiantBody`]):
+//! Each query carries a body over a synthetic `Friends` relation, in
+//! one of three flavors ([`GiantBody`]):
 //!
 //! ```text
-//! Chain:     {R(G_{i+1}, HUB)}  R(G_i, HUB)  ⊣  Friends(G_i, x) ∧ Friends(x, y)
-//! Triangle:  {R(G_{i+1}, HUB)}  R(G_i, HUB)  ⊣  Friends(G_i, x) ∧ Friends(x, y) ∧ Friends(y, G_i)
+//! Chain:       {R(G_{i+1}, HUB)}  R(G_i, HUB)  ⊣  Friends(G_i, x) ∧ Friends(x, y)
+//! Triangle:    {R(G_{i+1}, HUB)}  R(G_i, HUB)  ⊣  Friends(G_i, x) ∧ Friends(x, y) ∧ Friends(y, G_i)
+//! SharedChain: {R(G_{i+1}, y)}   R(G_i, x)    ⊣  Friends(G_i, x) ∧ Friends(x, y)
 //! ```
 //!
-//! Either way the combined query decomposes into `n` variable-disjoint
-//! work units. The difference is what the *sequential* (one combined
-//! join) evaluator does with them:
+//! `Chain` and `Triangle` bodies use **private** variables, so the
+//! combined query decomposes into `n` variable-disjoint work units. The
+//! difference is what the *sequential* (one combined join) evaluator
+//! does with them:
 //!
 //! * **`Chain`** bodies never fail a row, so the sequential join is
 //!   backtrack-free and terminates — its cost is the quadratic
@@ -40,7 +42,28 @@
 //!   evaluates each unit in isolation and is immune — that cliff *is*
 //!   the point of this workload.
 //!
-//! The ring is safe (every postcondition has exactly one unifying
+//! **`SharedChain`** is the flavor the other two cannot model: its
+//! postcondition names the *body variable* `y`, so matching unifies
+//! query `i`'s `y` with query `i+1`'s head/body variable `x` — each
+//! guest must reserve exactly the value its predecessor's body chose.
+//! After the global unifier runs, the whole `2n`-atom combined body is
+//! **one variable-connected chain** `x_0 — x_1 — … — x_{n-1} — y_{n-1}`
+//! (query `0` anchors the ring with a ground head `R(G_0, HUB)` and
+//! query `n-1` closes it with the matching ground postcondition, so
+//! the variable chain is a path, not a cycle). Variable-disjoint
+//! partitioning (`eq_core::intra`) sees a single work unit and the
+//! flush serializes again; the **biconnected-region split**
+//! (`eq_core::intra::split_unit`) is what decomposes this flavor — every
+//! interior chain variable is an articulation point, so the unit
+//! shatters into `n` two-variable join regions evaluated in parallel
+//! and glued by an exact tree semi-join. With `friends_per_user = 1`
+//! the chain's solution is unique (`x_i = G_{i+1}`), making split and
+//! whole-unit evaluation answer-identical — the property-test
+//! configuration; larger `k` gives each region `Θ(k²)` local solutions,
+//! real per-region work. The `SharedChain` database carries forward
+//! ring edges only (no closure edges).
+//!
+//! All rings are safe (every postcondition has exactly one unifying
 //! head), UCS (one cycle ⇒ one SCC), and fully answerable.
 
 use eq_db::Database;
@@ -57,6 +80,9 @@ pub enum GiantBody {
     Chain,
     /// Θ(k²)-per-unit triangle search: partitioned evaluation only.
     Triangle,
+    /// Postconditions name body variables: the combined body is one
+    /// shared-variable chain, split only by biconnected regions.
+    SharedChain,
 }
 
 /// Configuration for [`giant_component`].
@@ -105,38 +131,66 @@ pub fn giant_component(cfg: &GiantComponentConfig) -> (Database, Vec<EntangledQu
         .expect("fresh database");
     // Forward ring edges first (posting-list order matters: the closure
     // edge must be each user's *last* successor so the triangle search
-    // pays for the full enumeration before succeeding).
+    // pays for the full enumeration before succeeding). SharedChain
+    // carries the forward edges only — `Friends(G_m, G_{m+1})` keeps the
+    // whole chain satisfiable (uniquely so at k = 1), and closure edges
+    // would add nothing but extra per-region solutions.
     let mut rows = Vec::with_capacity(n * (k + 1));
     for m in 0..n {
         for j in 1..=k {
             rows.push(vec![user(m, n), user(m + j, n)]);
         }
     }
-    for m in 0..n {
-        rows.push(vec![user(m + 2 * k, n), user(m, n)]);
+    if cfg.body != GiantBody::SharedChain {
+        for m in 0..n {
+            rows.push(vec![user(m + 2 * k, n), user(m, n)]);
+        }
     }
     db.insert_many(FRIENDS, rows).expect("schema arity");
 
     let hub = Term::str("HUB");
+    let x = Term::Var(Var(0));
+    let y = Term::Var(Var(1));
     let queries = (0..n)
         .map(|i| {
             let me = Term::Const(user(i, n));
             let next = Term::Const(user(i + 1, n));
-            let x = Term::Var(Var(0));
-            let y = Term::Var(Var(1));
             let mut body = vec![
                 Atom::new(FRIENDS, vec![me, x]),
                 Atom::new(FRIENDS, vec![x, y]),
             ];
-            if cfg.body == GiantBody::Triangle {
-                body.push(Atom::new(FRIENDS, vec![y, me]));
-            }
-            EntangledQuery::new(
-                vec![Atom::new(RESERVE, vec![me, hub])],
-                vec![Atom::new(RESERVE, vec![next, hub])],
-                body,
-            )
-            .with_id(QueryId(i as u64))
+            let (head, pc) = match cfg.body {
+                GiantBody::Chain => (
+                    Atom::new(RESERVE, vec![me, hub]),
+                    Atom::new(RESERVE, vec![next, hub]),
+                ),
+                GiantBody::Triangle => {
+                    body.push(Atom::new(FRIENDS, vec![y, me]));
+                    (
+                        Atom::new(RESERVE, vec![me, hub]),
+                        Atom::new(RESERVE, vec![next, hub]),
+                    )
+                }
+                GiantBody::SharedChain => {
+                    // Query 0 anchors with a ground head; query n-1
+                    // closes the entanglement ring with the matching
+                    // ground postcondition. Everyone else reserves its
+                    // own body's x and demands the successor reserve
+                    // this body's y — matching chains the variables.
+                    let head = if i == 0 {
+                        Atom::new(RESERVE, vec![me, hub])
+                    } else {
+                        Atom::new(RESERVE, vec![me, x])
+                    };
+                    let pc = if i == n - 1 {
+                        Atom::new(RESERVE, vec![next, hub])
+                    } else {
+                        Atom::new(RESERVE, vec![next, y])
+                    };
+                    (head, pc)
+                }
+            };
+            EntangledQuery::new(vec![head], vec![pc], body).with_id(QueryId(i as u64))
         })
         .collect();
     (db, queries)
@@ -149,7 +203,11 @@ mod tests {
 
     #[test]
     fn ring_is_one_component_and_every_body_is_satisfiable() {
-        for body in [GiantBody::Chain, GiantBody::Triangle] {
+        for body in [
+            GiantBody::Chain,
+            GiantBody::Triangle,
+            GiantBody::SharedChain,
+        ] {
             let cfg = GiantComponentConfig {
                 queries: 60,
                 friends_per_user: 5,
@@ -221,6 +279,89 @@ mod tests {
                 QueryOutcome::Answered(_)
             ));
         }
+    }
+
+    #[test]
+    fn shared_chain_ring_coordinates_via_region_split() {
+        use eq_core::{CoordinationEngine, EngineConfig, EngineMode, QueryOutcome};
+        let n = 40;
+        let cfg = GiantComponentConfig {
+            queries: n,
+            friends_per_user: 1, // unique chain solution: x_i = G_{i+1}
+            body: GiantBody::SharedChain,
+        };
+        let (db, queries) = giant_component(&cfg);
+        let mut engine = CoordinationEngine::new(
+            db,
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                intra_component_threshold: 1,
+                flush_threads: 4,
+                ..Default::default()
+            },
+        );
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| engine.submit(q.clone()).unwrap())
+            .collect();
+        let report = engine.flush();
+        assert_eq!(report.answered, n);
+        assert_eq!(report.intra_components, 1);
+        // One variable-connected unit, shattered into one region per
+        // chain edge by the biconnected split.
+        assert_eq!(report.intra_units, 1);
+        assert_eq!(report.intra_split_units, 1);
+        assert_eq!(report.intra_regions, n);
+        for (i, h) in handles.iter().enumerate() {
+            let QueryOutcome::Answered(answer) = h.outcome.try_recv().unwrap() else {
+                panic!("query {i} must coordinate");
+            };
+            // k = 1 forces the unique valuation: guest i reserves its
+            // successor (guest 0 anchors on HUB).
+            let expect = if i == 0 {
+                Value::str("HUB")
+            } else {
+                Value::str(&format!("G{}", (i + 1) % n))
+            };
+            assert_eq!(answer.tuples[0][1], expect);
+        }
+    }
+
+    #[test]
+    fn shared_chain_split_matches_unsplit_statuses() {
+        use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
+        // Larger k: per-region solutions multiply, answers may differ
+        // between split and whole-unit evaluation, but satisfiability —
+        // hence every terminal status — must agree.
+        let cfg = GiantComponentConfig {
+            queries: 30,
+            friends_per_user: 4,
+            body: GiantBody::SharedChain,
+        };
+        let (db, queries) = giant_component(&cfg);
+        let run = |split: bool| {
+            let mut engine = CoordinationEngine::new(
+                db.snapshot(),
+                EngineConfig {
+                    mode: EngineMode::SetAtATime { batch_size: 0 },
+                    intra_component_threshold: 1,
+                    intra_split_min_atoms: if split { 2 } else { usize::MAX },
+                    flush_threads: 4,
+                    ..Default::default()
+                },
+            );
+            for q in &queries {
+                engine.submit(q.clone()).unwrap();
+            }
+            engine.flush()
+        };
+        let split = run(true);
+        let whole = run(false);
+        assert_eq!(split.answered, 30);
+        assert_eq!(split.answered, whole.answered);
+        assert_eq!(split.failed, whole.failed);
+        assert_eq!(split.intra_regions, 30);
+        assert_eq!(whole.intra_regions, 0);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub use queries::{
     chains, clique_groups, giant_cluster, grid_pairs, no_unify, three_way_triangles, two_way_pairs,
     unsafe_arrivals, unsafe_residents, PairStyle,
 };
-pub use service::{service_script, ServiceConfig, ServiceOp};
+pub use service::{
+    scale_service_script, service_script, ScaleScript, ScaleServiceConfig, ScriptSubmission,
+    ServiceConfig, ServiceOp,
+};
 pub use social::{SocialGraph, SocialGraphConfig};
 
 use eq_db::Database;

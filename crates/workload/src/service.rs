@@ -18,10 +18,11 @@
 //! seed.
 
 use crate::churn::generate_submissions;
-use crate::rng::StdRng;
+use crate::rng::{Rng, StdRng};
 use crate::social::SocialGraph;
-use eq_ir::EntangledQuery;
+use eq_ir::{Atom, EntangledQuery, QueryId, Term, Value, Var};
 use std::collections::VecDeque;
+use std::time::Duration;
 
 /// One operation of a service script.
 #[derive(Clone, Debug)]
@@ -30,11 +31,50 @@ pub enum ServiceOp {
     /// position of each query among all submitted queries (across all
     /// bursts) is its *submission index*, which `Cancel` refers to.
     SubmitBatch(Vec<EntangledQuery>),
+    /// An arrival burst with per-query service options (staleness
+    /// bounds, no-solution policy) — the [`scale_service_script`]
+    /// flavor. Queries count toward the same submission-index space as
+    /// [`ServiceOp::SubmitBatch`].
+    SubmitBatchWith(Vec<ScriptSubmission>),
     /// Withdraw the query with this submission index (always a solo
     /// query that is still pending at this point in the script).
     Cancel(usize),
+    /// Bulk-load rows into a database table (`Coordinator::load`): one
+    /// revision bump, re-dirtying kept-pending components so the next
+    /// flush retries them.
+    Load {
+        /// Target relation.
+        relation: &'static str,
+        /// Rows to insert.
+        rows: Vec<Vec<Value>>,
+    },
     /// Flush the service (evaluate dirty components).
     Flush,
+}
+
+/// One submission of a [`scale_service_script`], carrying the per-query
+/// service options the driver turns into a `SubmitRequest`.
+#[derive(Clone, Debug)]
+pub struct ScriptSubmission {
+    /// The query to submit.
+    pub query: EntangledQuery,
+    /// Per-query staleness bound (`Duration::ZERO` expires the query at
+    /// the service's next operation).
+    pub staleness: Option<Duration>,
+    /// Submit with `NoSolutionPolicy::KeepPending`: a matched component
+    /// without a database solution leaves the query pending for a retry
+    /// when the database changes.
+    pub keep_pending: bool,
+}
+
+impl ScriptSubmission {
+    fn plain(query: EntangledQuery) -> Self {
+        ScriptSubmission {
+            query,
+            staleness: None,
+            keep_pending: false,
+        }
+    }
 }
 
 /// Shape of a service script.
@@ -109,6 +149,150 @@ pub fn service_script(graph: &SocialGraph, cfg: &ServiceConfig) -> Vec<ServiceOp
     ops
 }
 
+/// Shape of a [`scale_service_script`] — the ROADMAP's 100k scale
+/// target: staleness churn plus `KeepPending` retries through one
+/// long-running service.
+#[derive(Clone, Debug)]
+pub struct ScaleServiceConfig {
+    /// Total queries submitted across all bursts (the target is
+    /// 100,000; smoke runs scale it down).
+    pub queries: usize,
+    /// Queries per burst (submitted through `submit_batch`).
+    pub burst: usize,
+    /// A flush every this many bursts, and once at the end.
+    pub flush_every_bursts: usize,
+    /// Out of 1000 submissions: solo queries submitted with a **zero
+    /// staleness bound** — they churn straight through to `Expired` at
+    /// the service's next operation.
+    pub expiring_permille: u32,
+    /// Out of 1000 submissions: members of **deferred pairs** — ground
+    /// entangled pairs whose bodies need a `User(_, "Limbo")` row that
+    /// is only [`ServiceOp::Load`]ed at the end of the script. They are
+    /// submitted `KeepPending`, ride every flush as clean skips, and
+    /// all coordinate on the final flush after the load.
+    pub deferred_permille: u32,
+    /// Script seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleServiceConfig {
+    fn default() -> Self {
+        ScaleServiceConfig {
+            queries: 100_000,
+            burst: 1000,
+            flush_every_bursts: 4,
+            expiring_permille: 200,
+            deferred_permille: 150,
+            seed: 2011,
+        }
+    }
+}
+
+/// A generated scale script plus the exact outcome counts a driver can
+/// assert against.
+#[derive(Clone, Debug)]
+pub struct ScaleScript {
+    /// The operations, ending with `Load` + `Flush`.
+    pub ops: Vec<ServiceOp>,
+    /// Queries submitted with the zero-staleness bound: every one of
+    /// them must end `Expired`.
+    pub expiring: usize,
+    /// Queries in deferred pairs: every one of them must end
+    /// `Answered`, all on the final flush.
+    pub deferred: usize,
+}
+
+/// The home airport deferred pairs wait on; [`scale_service_script`]'s
+/// final [`ServiceOp::Load`] inserts the single `User` row with this
+/// home.
+const LIMBO: &str = "Limbo";
+
+/// Generates the staleness + `KeepPending` churn script (see
+/// [`ScaleServiceConfig`]). Deterministic in the seed.
+pub fn scale_service_script(graph: &SocialGraph, cfg: &ScaleServiceConfig) -> ScaleScript {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.queries;
+    let mut subs: Vec<ScriptSubmission> = Vec::with_capacity(n);
+    let mut expiring = 0usize;
+    let mut deferred = 0usize;
+    let mut serial = 0usize;
+    while subs.len() < n {
+        let roll = rng.gen_range(0..1000) as u32;
+        if roll < cfg.expiring_permille || subs.len() + 2 > n {
+            // A solo query that can never coordinate, bounded by zero
+            // staleness: it expires at the service's next operation.
+            let me = Term::str(&format!("scale_solo_{serial}"));
+            let ghost = Term::str(&format!("scale_ghost_{serial}"));
+            let d = Term::Const(graph.airport_value(rng.gen_range(0..graph.num_airports())));
+            subs.push(ScriptSubmission {
+                query: EntangledQuery::new(
+                    vec![Atom::new("Reserve", vec![me, d])],
+                    vec![Atom::new("Reserve", vec![ghost, d])],
+                    vec![],
+                )
+                .with_id(QueryId(subs.len() as u64)),
+                staleness: Some(Duration::ZERO),
+                keep_pending: false,
+            });
+            expiring += 1;
+        } else if roll < cfg.expiring_permille + cfg.deferred_permille {
+            // A ground entangled pair blocked on the Limbo row: matched
+            // immediately, no database solution until the final Load.
+            let a = Term::str(&format!("scale_deferred_a_{serial}"));
+            let b = Term::str(&format!("scale_deferred_b_{serial}"));
+            let d = Term::Const(graph.airport_value(rng.gen_range(0..graph.num_airports())));
+            for (me, partner) in [(a, b), (b, a)] {
+                subs.push(ScriptSubmission {
+                    query: EntangledQuery::new(
+                        vec![Atom::new("Reserve", vec![me, d])],
+                        vec![Atom::new("Reserve", vec![partner, d])],
+                        vec![Atom::new("User", vec![Term::var(Var(0)), Term::str(LIMBO)])],
+                    )
+                    .with_id(QueryId(subs.len() as u64)),
+                    staleness: None,
+                    keep_pending: true,
+                });
+                deferred += 1;
+            }
+        } else {
+            // An ordinary coordinating burst pair (same stream shape as
+            // the churn generator's pairs).
+            let pair = generate_submissions(graph, 2, 0, &mut rng);
+            for (query, _) in pair {
+                let id = QueryId(subs.len() as u64);
+                subs.push(ScriptSubmission::plain(query.with_id(id)));
+            }
+        }
+        serial += 1;
+    }
+
+    let burst = cfg.burst.max(1);
+    let mut ops = Vec::with_capacity(subs.len() / burst + subs.len() / burst + 4);
+    let mut bursts_since_flush = 0usize;
+    let mut subs = subs.into_iter().peekable();
+    while subs.peek().is_some() {
+        let chunk: Vec<ScriptSubmission> = subs.by_ref().take(burst).collect();
+        ops.push(ServiceOp::SubmitBatchWith(chunk));
+        bursts_since_flush += 1;
+        if cfg.flush_every_bursts > 0 && bursts_since_flush >= cfg.flush_every_bursts {
+            bursts_since_flush = 0;
+            ops.push(ServiceOp::Flush);
+        }
+    }
+    // The Limbo resident arrives: one revision bump re-dirties every
+    // kept-pending component, and the final flush answers them all.
+    ops.push(ServiceOp::Load {
+        relation: "User",
+        rows: vec![vec![Value::str("limbo_resident"), Value::str(LIMBO)]],
+    });
+    ops.push(ServiceOp::Flush);
+    ScaleScript {
+        ops,
+        expiring,
+        deferred,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +351,7 @@ mod tests {
                     assert!(cancelled.insert(*idx), "double cancel of {idx}");
                 }
                 ServiceOp::Flush => {}
+                other => panic!("service_script emits no scale ops, got {other:?}"),
             }
         }
         assert!(!cancelled.is_empty(), "default config produces cancels");
@@ -209,6 +394,44 @@ mod tests {
             })
             .collect();
         assert_eq!(service_queries, churn_queries);
+    }
+
+    #[test]
+    fn scale_script_accounts_its_stream() {
+        let g = small_graph();
+        let script = scale_service_script(
+            &g,
+            &ScaleServiceConfig {
+                queries: 400,
+                burst: 50,
+                ..Default::default()
+            },
+        );
+        let mut submitted = 0usize;
+        let (mut expiring, mut deferred) = (0usize, 0usize);
+        for op in &script.ops {
+            if let ServiceOp::SubmitBatchWith(batch) = op {
+                submitted += batch.len();
+                for sub in batch {
+                    if sub.staleness == Some(Duration::ZERO) {
+                        expiring += 1;
+                    }
+                    if sub.keep_pending {
+                        deferred += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(submitted, 400);
+        assert_eq!(expiring, script.expiring);
+        assert_eq!(deferred, script.deferred);
+        assert!(script.expiring > 0 && script.deferred > 0);
+        assert_eq!(deferred % 2, 0, "deferred queries come in pairs");
+        // The script ends by loading the Limbo row and flushing once
+        // more — the flush that answers every deferred pair.
+        let len = script.ops.len();
+        assert!(matches!(script.ops[len - 2], ServiceOp::Load { .. }));
+        assert!(matches!(script.ops[len - 1], ServiceOp::Flush));
     }
 
     #[test]

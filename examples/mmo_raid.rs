@@ -90,7 +90,7 @@ fn main() {
 
     let mut dungeon: Option<Value> = None;
     for event in events.drain() {
-        match event {
+        match &*event {
             Event::Answered { answer, .. } => {
                 let who = answer.tuples[0][0];
                 let role = answer.tuples[0][1];

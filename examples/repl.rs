@@ -235,7 +235,7 @@ impl Shell {
     fn print_events(&mut self, verbose: bool) {
         let mut any = false;
         for event in self.events.drain() {
-            match event {
+            match &*event {
                 Event::Answered { id, answer, .. } => {
                     any = true;
                     for (rel, tup) in answer.relations.iter().zip(&answer.tuples) {

@@ -30,7 +30,7 @@ fn book_pair(coordinator: &Coordinator, events: &Events, a: &str, b: &str) -> Op
 
     let mut fno = None;
     for event in events.drain() {
-        if let Event::Answered { answer, .. } = event {
+        if let Event::Answered { answer, .. } = &*event {
             fno = Some(answer.tuples[0][1].as_int().unwrap());
         }
     }

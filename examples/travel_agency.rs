@@ -109,7 +109,7 @@ fn main() {
     let mut booked = Vec::new();
     let mut rejected = Vec::new();
     for event in events.drain() {
-        match event {
+        match &*event {
             Event::Answered { tag, answer, .. } => {
                 println!(
                     "{} booked: {:?} -> {:?}",
@@ -117,11 +117,11 @@ fn main() {
                     answer.tuples[0][0],
                     answer.tuples[0][1]
                 );
-                booked.push(tag.unwrap());
+                booked.push(tag.clone().unwrap());
             }
             Event::Failed { tag, reason, .. } => {
                 println!("{} rejected: {reason}", tag.as_deref().unwrap_or("?"));
-                rejected.push(tag.unwrap());
+                rejected.push(tag.clone().unwrap());
             }
             Event::Flushed(r) => assert_eq!(r.answered, 2),
             other => panic!("unexpected event {other:?}"),
@@ -135,9 +135,9 @@ fn main() {
     // Newman's partner never arrives; his deadline expires him.
     std::thread::sleep(Duration::from_millis(60));
     assert_eq!(coordinator.expire_stale(), 1);
-    match events.try_next() {
+    match events.try_next().as_deref() {
         Some(Event::Expired { tag, .. }) => {
-            println!("{} went stale after waiting alone ✓", tag.unwrap());
+            println!("{} went stale after waiting alone ✓", tag.clone().unwrap());
         }
         other => panic!("expected Expired, got {other:?}"),
     }

@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # Full-workspace CI: format check, build, test (incl. doctests), lint,
-# docs-as-errors, doc-link check, workspace-membership assertion, and
-# bench smoke runs (fig6 throughput, fig8 stress, fig_resident churn,
-# fig_service batched admission, fig_giant intra-component parallelism
-# — whose JSON is published as BENCH_fig_giant.json to record the perf
-# trajectory). Everything runs offline (vendored shims only — see
-# README "Offline-dependency policy").
+# docs-as-errors, doc-link check, workspace-membership assertion, the
+# small-stack evaluator regression (RUST_MIN_STACK), and bench smoke
+# runs (fig6 throughput, fig8 stress, fig_resident churn, fig_service
+# batched admission + staleness/KeepPending churn, fig_giant
+# intra-component parallelism incl. the Triangle and shared-chain
+# region-split series — whose JSON is published as BENCH_fig_giant.json
+# to record the perf trajectory). Everything runs offline (vendored
+# shims only — see README "Offline-dependency policy").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/11 cargo fmt --check =="
+echo "== 1/12 cargo fmt --check =="
 cargo fmt --check
 
-echo "== 2/11 workspace membership (cargo metadata) =="
+echo "== 2/12 workspace membership (cargo metadata) =="
 # Parse real package names only (a grep over the raw JSON would also
 # match "name" fields inside dependency tables and pass vacuously).
 names=$(cargo metadata --no-deps --format-version 1 --offline |
@@ -28,33 +30,39 @@ for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
 done
 echo "all $(wc -w <<<"$names" | tr -d ' ') packages present"
 
-echo "== 3/11 cargo build --release =="
+echo "== 3/12 cargo build --release =="
 cargo build --release --offline
 
-echo "== 4/11 cargo test -q (unit + integration; doctests run in step 5) =="
+echo "== 4/12 cargo test -q (unit + integration; doctests run in step 5) =="
 cargo test -q --offline --lib --bins --tests
 
-echo "== 5/11 cargo test --doc (service/error examples compile and run) =="
+echo "== 5/12 cargo test --doc (service/error examples compile and run) =="
 cargo test -q --doc --offline
 
-echo "== 6/11 cargo clippy --workspace --all-targets =="
+echo "== 6/12 cargo clippy --workspace --all-targets =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== 7/11 cargo doc (warnings are errors) =="
+echo "== 7/12 cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
-echo "== 8/11 docs dead-link check =="
+echo "== 8/12 docs dead-link check =="
 python3 scripts/check_doc_links.py
 
-echo "== 9/11 fig6 + fig8 bench smoke =="
+echo "== 9/12 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
+# The join evaluator is iterative (heap-bounded frames); this deep-chain
+# join would overflow a 1 MiB test-thread stack through the old
+# recursive search. Run it with the stack clamped to prove the bound.
+RUST_MIN_STACK=1048576 cargo test -q --offline -p eq_db --test deep_stack
+
+echo "== 10/12 fig6 + fig8 bench smoke =="
 cargo bench -q --offline -p eq_bench --bench fig6_two_way -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
 
-echo "== 10/11 fig_resident churn + fig_service admission smoke =="
+echo "== 11/12 fig_resident churn + fig_service admission/churn smoke =="
 cargo bench -q --offline -p eq_bench --bench fig_resident -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig_service -- --smoke
 
-echo "== 11/11 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
+echo "== 12/12 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
 cargo bench -q --offline -p eq_bench --bench fig_giant -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_giant -- --smoke
 cp results/fig_giant.json BENCH_fig_giant.json

@@ -58,10 +58,11 @@
 //! session.submit(SubmitRequest::new(jerry).tag("jerry")).unwrap();
 //!
 //! // Both coordinated on the same United flight (122 or 123); the
-//! // outcomes were pushed on the event stream.
-//! let answered: Vec<Event> = events.drain();
+//! // outcomes were pushed on the event stream (as `Arc<Event>` — the
+//! // service materializes each event once and fans it out by pointer).
+//! let answered = events.drain();
 //! assert_eq!(answered.len(), 2);
-//! let fno = match &answered[0] {
+//! let fno = match &*answered[0] {
 //!     Event::Answered { answer, .. } => answer.tuples[0][1],
 //!     other => panic!("expected an answer, got {other:?}"),
 //! };
