@@ -3,28 +3,38 @@
 //! event-stream throughput, a long-running service-script harness, and
 //! the ROADMAP 100k scale series (staleness + `KeepPending` churn, with
 //! asserted outcome accounting). Rows carry
-//! `answered`/`expired`/`events`/`flushes` counters in the JSON output;
-//! the headline comparison is `submit_batch (parallel)` versus
-//! `sequential submit` at the ≥10k batch sizes.
+//! `answered`/`expired`/`events`/`flushes` counters plus the
+//! service-lock hold figures (`lock_hold_ns`/`lock_acquisitions`/
+//! `lock_max_hold_ns`) in the JSON output; the headline comparison is
+//! `submit_batch (parallel)` versus `sequential submit` at the ≥10k
+//! batch sizes.
 //!
-//! Usage: `cargo run --release -p eq_bench --bin fig_service [-- --sizes 1000,10000] [--scale-size 100000]`
+//! Usage:
+//!   cargo run --release -p eq_bench --bin fig_service [-- --sizes 1000,10000] [--scale-size 100000]
+//!   cargo run --release -p eq_bench --bin fig_service -- --smoke   (CI-sized run)
 
+use eq_bench::harness::smoke_mode;
 use eq_bench::{report, run_fig_service, sizes_from_args, FigServiceConfig};
 use std::path::Path;
 
 fn main() {
-    let sizes = sizes_from_args(&[1_000, 10_000, 20_000]);
+    let smoke = smoke_mode();
+    let sizes = if smoke {
+        vec![600]
+    } else {
+        sizes_from_args(&[1_000, 10_000, 20_000])
+    };
     let args: Vec<String> = std::env::args().collect();
     let scale_queries = args
         .iter()
         .position(|a| a == "--scale-size")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-        .unwrap_or(100_000);
+        .unwrap_or(if smoke { 2_000 } else { 100_000 });
     let rows = run_fig_service(&FigServiceConfig {
         sizes,
-        users: 10_000,
-        harness_burst: 500,
+        users: if smoke { 1_000 } else { 10_000 },
+        harness_burst: if smoke { 100 } else { 500 },
         scale_queries,
         seed: 2011,
     });

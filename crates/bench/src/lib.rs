@@ -23,6 +23,8 @@
 //! in-memory substrate); the claims under reproduction are the *shapes*
 //! (linearity, who is faster, where evaluation blows up).
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 mod runner;
 

@@ -613,6 +613,14 @@ pub struct ServiceCounters {
     pub events: f64,
     /// Flushes executed.
     pub flushes: f64,
+    /// Nanoseconds the service lock was held across this drive's
+    /// flushes (sum of the per-flush [`eq_core::BatchReport`] figures).
+    pub lock_hold_ns: f64,
+    /// Service-lock acquisitions over the coordinator's lifetime
+    /// (cumulative snapshot from the last flush report).
+    pub lock_acquisitions: f64,
+    /// Longest single service-lock hold observed, in nanoseconds.
+    pub lock_max_hold_ns: f64,
 }
 
 impl ServiceCounters {
@@ -623,7 +631,20 @@ impl ServiceCounters {
             ("expired", self.expired),
             ("events", self.events),
             ("flushes", self.flushes),
+            ("lock_hold_ns", self.lock_hold_ns),
+            ("lock_acquisitions", self.lock_acquisitions),
+            ("lock_max_hold_ns", self.lock_max_hold_ns),
         ]
+    }
+
+    /// Folds one flush report's lock figures into the running totals:
+    /// per-flush hold time accumulates, the acquisition count and max
+    /// hold are lifetime snapshots (the last report carries the total).
+    fn record_flush(&mut self, report: &eq_core::BatchReport) {
+        self.flushes += 1.0;
+        self.lock_hold_ns += report.lock_hold_ns as f64;
+        self.lock_acquisitions = report.lock_acquisitions as f64;
+        self.lock_max_hold_ns = self.lock_max_hold_ns.max(report.lock_max_hold_ns as f64);
     }
 }
 
@@ -719,8 +740,8 @@ pub fn drive_service_harness(
                     .expect("known relation");
             }
             ServiceOp::Flush => {
-                coordinator.flush();
-                counters.flushes += 1.0;
+                let report = coordinator.flush();
+                counters.record_flush(&report);
             }
         }
         for event in events.drain() {
@@ -795,8 +816,8 @@ pub fn drive_scale_harness(
                     .expect("known relation");
             }
             ServiceOp::Flush => {
-                coordinator.flush();
-                counters.flushes += 1.0;
+                let report = coordinator.flush();
+                counters.record_flush(&report);
             }
             ServiceOp::SubmitBatch(_) | ServiceOp::Cancel(_) => {
                 unreachable!("scale scripts only use SubmitBatchWith/Load/Flush")
@@ -924,6 +945,9 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
             counters: vec![
                 ("answered", report.answered as f64),
                 ("events", received as f64),
+                ("lock_hold_ns", report.lock_hold_ns as f64),
+                ("lock_acquisitions", report.lock_acquisitions as f64),
+                ("lock_max_hold_ns", report.lock_max_hold_ns as f64),
             ],
             ..Row::new(
                 "fig_service",
@@ -1003,9 +1027,10 @@ pub struct FigGiantConfig {
     pub seq_size_cap: usize,
 }
 
-/// Submits a pre-built giant-ring workload and times the flush that
-/// evaluates its single component. Returns wall-clock milliseconds of
-/// the flush and the flush report (answered counts, intra counters).
+/// Submits a pre-built giant-ring workload through a [`Coordinator`]
+/// and times the flush that evaluates its single component. Returns
+/// wall-clock milliseconds of the flush and the flush report (answered
+/// counts, intra counters, service-lock hold figures).
 ///
 /// Runs inline on the caller's thread. It used to need a dedicated
 /// 512 MiB-stack thread — the sequential series joined the whole
@@ -1024,7 +1049,7 @@ pub fn drive_giant(
     flush_threads: usize,
     intra_split_min_atoms: usize,
 ) -> (f64, eq_core::BatchReport) {
-    let mut engine = CoordinationEngine::new(
+    let coordinator = Coordinator::new(
         db,
         EngineConfig {
             mode: EngineMode::SetAtATime { batch_size: 0 },
@@ -1036,11 +1061,12 @@ pub fn drive_giant(
             ..Default::default()
         },
     );
-    for q in queries {
-        engine.submit(q.clone()).expect("valid giant-ring query");
+    let mut session = coordinator.session();
+    for r in session.submit_batch(queries.iter().cloned().map(SubmitRequest::new).collect()) {
+        r.expect("valid giant-ring query");
     }
     let start = Instant::now();
-    let report = engine.flush();
+    let report = coordinator.flush();
     (start.elapsed().as_secs_f64() * 1e3, report)
 }
 
@@ -1052,6 +1078,9 @@ fn giant_counters(report: &eq_core::BatchReport) -> Vec<(&'static str, f64)> {
         ("intra_units", report.intra_units as f64),
         ("intra_split_units", report.intra_split_units as f64),
         ("intra_regions", report.intra_regions as f64),
+        ("lock_hold_ns", report.lock_hold_ns as f64),
+        ("lock_acquisitions", report.lock_acquisitions as f64),
+        ("lock_max_hold_ns", report.lock_max_hold_ns as f64),
     ]
 }
 

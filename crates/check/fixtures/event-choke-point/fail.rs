@@ -1,0 +1,19 @@
+//@ path: crates/core/src/service.rs
+//@ expect: event-choke-point
+// An Event built outside pump/publish_flushed: a second construction
+// site under the service lock is exactly what the out-of-lock dispatch
+// refactor must not have to chase.
+
+pub struct Inner;
+
+impl Inner {
+    fn sneaky_flush(&mut self, report: u64) {
+        self.broadcast(Event::Flushed(report));
+    }
+
+    fn broadcast(&mut self, _event: Event) {}
+}
+
+pub enum Event {
+    Flushed(u64),
+}

@@ -1,0 +1,42 @@
+//@ path: crates/core/src/service.rs
+// Construction confined to the pump/publish_flushed choke point, plus
+// the read-only accessors matching on variants; type *mentions* and
+// cfg(test) constructions never fire.
+
+pub struct Inner;
+
+impl Inner {
+    fn pump(&mut self) {
+        self.broadcast(Event::Answered { id: 1 });
+    }
+
+    fn publish_flushed(&mut self, report: u64) {
+        self.broadcast(Event::Flushed(report));
+    }
+
+    fn broadcast(&mut self, _event: Event) {}
+}
+
+pub enum Event {
+    Answered { id: u64 },
+    Flushed(u64),
+}
+
+impl Event {
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Event::Answered { id } => Some(*id),
+            Event::Flushed(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_build_events() {
+        assert_eq!(Event::Answered { id: 9 }.id(), Some(9));
+    }
+}

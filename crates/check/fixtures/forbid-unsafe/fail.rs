@@ -1,0 +1,10 @@
+//@ path: crates/workload/src/lib.rs
+//@ expect: forbid-unsafe
+// A crate root without #![forbid(unsafe_code)]: the workspace-wide
+// no-unsafe guarantee silently loses a crate.
+
+pub mod scenarios;
+
+pub fn generate() -> u32 {
+    42
+}

@@ -1,0 +1,11 @@
+//@ path: crates/workload/src/lib.rs
+// The attribute present (anywhere in the root, conventionally at the
+// top) satisfies the rule.
+
+#![forbid(unsafe_code)]
+
+pub mod scenarios;
+
+pub fn generate() -> u32 {
+    42
+}

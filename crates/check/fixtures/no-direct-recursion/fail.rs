@@ -1,0 +1,12 @@
+//@ path: crates/core/src/intra.rs
+//@ expect: no-direct-recursion
+// Direct recursion in an iterative-by-contract file: depth becomes a
+// stack bound again, breaking the RUST_MIN_STACK regression guarantee.
+
+pub fn walk(n: u32) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        1 + walk(n - 1)
+    }
+}

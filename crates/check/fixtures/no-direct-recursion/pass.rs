@@ -1,0 +1,29 @@
+//@ path: crates/core/src/intra.rs
+// The iterative rewrite (explicit worklist) plus the recursive oracle
+// kept under cfg(test) — exactly the eval.rs/intra.rs pattern.
+
+pub fn walk(n: u32) -> u32 {
+    let mut depth = 0;
+    let mut k = n;
+    while k > 0 {
+        depth += 1;
+        k -= 1;
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    fn walk_recursive(n: u32) -> u32 {
+        if n == 0 {
+            0
+        } else {
+            1 + walk_recursive(n - 1)
+        }
+    }
+
+    #[test]
+    fn oracle_agrees() {
+        assert_eq!(super::walk(5), walk_recursive(5));
+    }
+}

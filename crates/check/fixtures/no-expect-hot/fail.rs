@@ -1,0 +1,8 @@
+//@ path: crates/db/src/eval.rs
+//@ expect: no-expect-hot
+// A panic path in the join evaluator: an expect in the hot loop turns a
+// corrupted invariant into a crash mid-flush.
+
+pub fn table_of(tables: &[Option<u32>], rel: usize) -> u32 {
+    tables[rel].expect("pre-checked relation")
+}

@@ -1,0 +1,20 @@
+//@ path: crates/db/src/eval.rs
+// The impossible case handled structurally (missing relation joins zero
+// rows); expects in cfg(test) oracles and inside strings are legal.
+
+pub fn table_of(tables: &[Option<u32>], rel: usize) -> u32 {
+    let note = "callers .expect( nothing here";
+    let _ = note;
+    match tables.get(rel).copied().flatten() {
+        Some(t) => t,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn oracle_may_expect() {
+        assert_eq!(Some(3u32).expect("test-only"), 3);
+    }
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/engine.rs
+//@ expect: spawn-confinement
+// A raw thread spawn in non-test engine code: every parallel phase must
+// go through pool::parallel_claim instead.
+
+pub fn rogue_worker() {
+    std::thread::spawn(|| {
+        do_work();
+    });
+}
+
+fn do_work() {}

@@ -1,0 +1,16 @@
+//@ path: crates/core/src/engine.rs
+// Spawning inside a cfg(test) oracle is fine — the rule only binds
+// production code; and "spawn" in comments or strings never matches.
+
+pub fn log_line() -> &'static str {
+    "do not thread::spawn( here" // thread::spawn( in a comment
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn concurrent_probe() {
+        let h = std::thread::spawn(|| 2 + 2);
+        assert_eq!(h.join().unwrap(), 4);
+    }
+}

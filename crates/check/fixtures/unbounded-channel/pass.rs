@@ -1,0 +1,9 @@
+//@ path: crates/core/src/engine.rs
+// Bounded sync_channel is legal everywhere (the engine's per-query
+// outcome handles use capacity-1 rendezvous channels).
+
+pub fn bounded_plumbing() {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(1);
+    tx.send(1).ok();
+    drop(rx);
+}

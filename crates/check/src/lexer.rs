@@ -1,0 +1,348 @@
+//! A small hand-rolled Rust lexer — just enough structure for the rule
+//! engine: identifiers and punctuation with line numbers, with string
+//! literals (plain, raw, byte), character literals, lifetimes, and
+//! comments (line, nested block, doc) skipped entirely. Anything the
+//! rules match on (`.unwrap(`, `thread::spawn`, `Event::Answered {`)
+//! therefore only matches *code*, never a comment or a string.
+//!
+//! The lexer is deliberately lossy: numbers and literal contents carry
+//! no value, and token text is the only payload. It is not a parser —
+//! the structural passes (attribute scanning, `cfg(test)` regions,
+//! enclosing-function tracking) live in [`crate::rules`] on top of this
+//! token stream.
+
+/// One lexed token: an identifier (keywords included) or a single
+/// punctuation character. Multi-character operators arrive as adjacent
+/// symbol tokens (`::` is `:`,`:`), which is all the rules need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    Symbol(char),
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            TokenKind::Symbol(_) => None,
+        }
+    }
+
+    /// True if this token is exactly the symbol `c`.
+    pub fn is_symbol(&self, c: char) -> bool {
+        matches!(&self.kind, TokenKind::Symbol(s) if *s == c)
+    }
+}
+
+/// Lexes `src` into identifier/symbol tokens, skipping trivia.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' | ' ' | '\t' | '\r' => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '"' => self.skip_string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.skip_number(),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(),
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    self.out.push(Token {
+                        kind: TokenKind::Symbol(c),
+                        line,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        // Rust block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Skips a plain (escaped) string literal, cursor on the opening `"`.
+    fn skip_string(&mut self) {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump(); // the escaped character (may be a newline)
+                }
+                '"' => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Skips a raw string body, cursor just past the opening `"`; the
+    /// terminator is `"` followed by `hashes` `#`s.
+    fn skip_raw_string(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            if c == '"' && (1..=hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (character literals, skipped) from
+    /// `'static` (lifetimes, skipped without a closing quote).
+    fn char_or_lifetime(&mut self) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: skip escape, then to closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let mut len = 0;
+                while self
+                    .peek(len)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    len += 1;
+                }
+                let closing = self.peek(len) == Some('\'');
+                for _ in 0..len {
+                    self.bump();
+                }
+                if closing {
+                    self.bump(); // 'x' char literal
+                } // else: lifetime, ident already consumed
+            }
+            Some(_) if self.peek(1) == Some('\'') => {
+                // Punctuation char literal like '(' or '+'.
+                self.bump();
+                self.bump();
+            }
+            _ => {}
+        }
+    }
+
+    fn skip_number(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        // Float continuation: `1.5` but not `0..10` or `x.method()`.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+        }
+    }
+
+    /// An identifier — or a string/char literal behind an `r`/`b`/`br`
+    /// prefix, or a raw identifier `r#name`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut word = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if matches!(word.as_str(), "r" | "b" | "br" | "c" | "cr") {
+            // Raw identifier r#name: emit `name`.
+            if word == "r"
+                && self.peek(0) == Some('#')
+                && self.peek(1).is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                self.bump(); // '#'
+                self.ident_or_prefixed_literal();
+                return;
+            }
+            // Byte char literal b'x'.
+            if word == "b" && self.peek(0) == Some('\'') {
+                self.char_or_lifetime();
+                return;
+            }
+            // (Raw) string literal: optional hashes, then a quote.
+            let mut hashes = 0usize;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                for _ in 0..=hashes {
+                    self.bump(); // hashes + opening quote
+                }
+                if word.contains('r') {
+                    self.skip_raw_string(hashes);
+                } else {
+                    // b"..." — plain escape rules.
+                    self.pos -= 1; // re-position on the quote
+                    self.skip_string();
+                }
+                return;
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::Ident(word),
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r##"
+            // thread::spawn in a comment
+            /* .unwrap() in /* a nested */ block */
+            let s = "call .unwrap() here";
+            let r = r#"raw "quoted" .expect("x")"#;
+            let b = b"bytes .unwrap()";
+            real_code();
+        "##;
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "let", "r", "let", "b", "real_code"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        // Lifetime idents are consumed silently; 'x' is a skipped char.
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        assert_eq!(idents(src), vec!["fn", "f", "x", "str", "char"]);
+        let src2 = "let c = '\\n'; let l: &'static str = s;";
+        assert_eq!(idents(src2), vec!["let", "c", "let", "l", "str", "s"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_trivia() {
+        let src = "a\n/* two\nlines */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn symbols_split_multichar_operators() {
+        let toks = lex("x::y");
+        assert!(toks[1].is_symbol(':') && toks[2].is_symbol(':'));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_sigil() {
+        assert_eq!(idents("r#match + other"), vec!["match", "other"]);
+    }
+
+    #[test]
+    fn numbers_and_floats_are_skipped() {
+        assert_eq!(
+            idents("let x = 1.5e3 + 0xff_u32; a.0"),
+            vec!["let", "x", "a"]
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! CLI for the concurrency-discipline analyzer.
+//!
+//! * `cargo run -p eq_check` — scan the workspace; exit 1 on any
+//!   violation (the `scripts/ci.sh` step).
+//! * `cargo run -p eq_check -- --file <path>...` — check specific
+//!   files; fixtures impersonate real locations via `//@ path:`.
+//! * `cargo run -p eq_check -- --fixtures` — verify every rule's
+//!   must-pass/must-fail fixture pair still behaves.
+//! * `cargo run -p eq_check -- --rules` — list the enforced rules.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = eq_check::workspace_root();
+
+    match args.first().map(String::as_str) {
+        Some("--rules") => {
+            for rule in eq_check::RULES {
+                println!("{:<22} {}", rule.name, rule.summary);
+                for allow in rule.allow {
+                    println!("{:<22}   allowed: {allow}", "");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--fixtures") => match eq_check::run_fixture_suite(&root) {
+            Ok(problems) if problems.is_empty() => {
+                println!(
+                    "eq_check: fixture suite ok ({} rules, one must-pass and \
+                     one must-fail each)",
+                    eq_check::RULES.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(problems) => {
+                for p in &problems {
+                    eprintln!("eq_check fixture problem: {p}");
+                }
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("eq_check: fixture suite I/O error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--file") => {
+            let mut total = 0usize;
+            for path in &args[1..] {
+                match eq_check::check_file(std::path::Path::new(path)) {
+                    Ok(violations) => {
+                        for v in &violations {
+                            println!("{v}");
+                        }
+                        total += violations.len();
+                    }
+                    Err(e) => {
+                        eprintln!("eq_check: cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if total == 0 {
+                println!("eq_check: {} file(s) clean", args.len() - 1);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("eq_check: {total} violation(s)");
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!(
+                "eq_check: unknown argument `{other}` \
+                 (try --rules, --fixtures, or --file <path>...)"
+            );
+            ExitCode::FAILURE
+        }
+        None => match eq_check::check_workspace(&root) {
+            Ok((files, violations)) if violations.is_empty() => {
+                println!(
+                    "eq_check: scanned {files} files under {} roots, {} rules \
+                     — no violations",
+                    eq_check::SCAN_ROOTS.len(),
+                    eq_check::RULES.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok((files, violations)) => {
+                for v in &violations {
+                    println!("{v}");
+                }
+                eprintln!(
+                    "eq_check: {} violation(s) across {files} scanned files",
+                    violations.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("eq_check: workspace scan I/O error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

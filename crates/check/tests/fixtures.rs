@@ -1,0 +1,54 @@
+//! The fixture suite: every rule must fire on its seeded must-fail
+//! source and stay silent on its must-pass twin — so a rule that rots
+//! (lexer drift, allowlist typo) fails `cargo test` before it fails to
+//! guard the engine. The workspace itself must scan clean, which makes
+//! `cargo test -p eq_check` equivalent to the CI `cargo run -p
+//! eq_check` gate.
+
+use eq_check::{check_file, run_fixture_suite, workspace_root, RULES};
+
+#[test]
+fn every_rule_has_a_firing_fail_fixture_and_a_clean_pass_fixture() {
+    let problems = run_fixture_suite(&workspace_root()).expect("fixture I/O");
+    assert!(problems.is_empty(), "{}", problems.join("\n"));
+}
+
+#[test]
+fn fail_fixtures_fire_exactly_their_own_rule() {
+    let root = workspace_root();
+    for rule in RULES {
+        let fail = root
+            .join("crates/check/fixtures")
+            .join(rule.name)
+            .join("fail.rs");
+        let violations = check_file(&fail).expect("fixture I/O");
+        assert!(
+            violations.iter().all(|v| v.rule == rule.name),
+            "{}: unexpected cross-rule violations {violations:?}",
+            rule.name
+        );
+        assert!(
+            !violations.is_empty(),
+            "{}: must-fail fixture did not fire",
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    let (files, violations) = eq_check::check_workspace(&workspace_root()).expect("scan I/O");
+    assert!(
+        files > 30,
+        "scan found only {files} files — roots misconfigured?"
+    );
+    assert!(
+        violations.is_empty(),
+        "workspace violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

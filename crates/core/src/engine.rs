@@ -264,6 +264,19 @@ pub struct BatchReport {
     /// Biconnected regions dispatched as work items across those split
     /// units.
     pub intra_regions: usize,
+    /// Nanoseconds the **service lock** was held by the operation that
+    /// produced this report (engine flush + terminal-event fan-out).
+    /// Stamped by `Coordinator::flush` from inside the critical
+    /// section; 0 when the engine is driven directly, without a
+    /// `Coordinator`. This is the counter ROADMAP frontier 3 (sharded
+    /// coordinator, out-of-lock dispatch) claims its wins against.
+    pub lock_hold_ns: u64,
+    /// Cumulative service-lock acquisitions over the `Coordinator`'s
+    /// lifetime, snapshotted at publish time (0 without a service).
+    pub lock_acquisitions: u64,
+    /// Longest single completed service-lock hold so far, in
+    /// nanoseconds (0 without a service).
+    pub lock_max_hold_ns: u64,
     /// Aggregated matching statistics.
     pub stats: MatchStats,
 }

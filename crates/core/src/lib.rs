@@ -46,6 +46,8 @@
 //! set-at-a-time coordination over a fixed query set, [`coordinate()`]
 //! wraps a throwaway `Coordinator` session.
 
+#![forbid(unsafe_code)]
+
 pub mod bruteforce;
 pub mod combine;
 pub mod coordinate;
@@ -76,5 +78,5 @@ pub use index::{AtomIndex, AtomRef, ShardedAtomIndex};
 pub use intra::{ComponentPlan, WorkUnit};
 pub use resident::ResidentGraph;
 pub use safety::{SafetyPolicy, SafetyViolation};
-pub use service::{Coordinator, Event, Session, SubmitRequest, DEFAULT_EVENT_CAPACITY};
+pub use service::{Coordinator, Event, LockStats, Session, SubmitRequest, DEFAULT_EVENT_CAPACITY};
 pub use ucs::UcsViolation;

@@ -223,7 +223,9 @@ fn finish_match<V: MatchView>(
                 continue;
             }
             stats.mgu_calls += 1;
-            let child_unifier = unifiers.get_mut(&child).unwrap();
+            let Some(child_unifier) = unifiers.get_mut(&child) else {
+                continue; // unreachable: every live member has a seed
+            };
             match child_unifier.merge_from(&parent_unifier) {
                 Ok(true) => {
                     if queued.insert(child) {
@@ -244,17 +246,19 @@ fn finish_match<V: MatchView>(
         .copied()
         .filter(|m| alive.contains(m))
         .collect();
-    let mut global = Some(Unifier::new());
-    if survivors.is_empty() {
-        global = None;
-    } else {
+    let mut global = None;
+    if !survivors.is_empty() {
+        let mut folded = Unifier::new();
+        let mut conflicted = false;
         for &s in &survivors {
             stats.mgu_calls += 1;
-            let g = global.as_mut().unwrap();
-            if g.merge_from(&unifiers[&s]).is_err() {
-                global = None;
+            if folded.merge_from(&unifiers[&s]).is_err() {
+                conflicted = true;
                 break;
             }
+        }
+        if !conflicted {
+            global = Some(folded);
         }
     }
 
@@ -329,9 +333,13 @@ fn scc_propagate<V: MatchView>(
         preds[id].dedup();
         for &p in &preds[id] {
             stats.mgu_calls += 1;
-            if u.merge_from(scc_unifier[p].as_ref().expect("topo order"))
-                .is_err()
-            {
+            let Some(pred_unifier) = scc_unifier[p].as_ref() else {
+                // Unreachable (descending-id order is topological, so
+                // every predecessor was filled first); bailing to the
+                // per-node fallback is the safe degradation.
+                return None;
+            };
+            if u.merge_from(pred_unifier).is_err() {
                 return None;
             }
         }

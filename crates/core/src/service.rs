@@ -87,6 +87,8 @@ use crate::safety::SafetyViolation;
 use eq_db::{Database, Tuple};
 use eq_ir::{EntangledQuery, FastMap, QueryId};
 use parking_lot::{Mutex, RwLock};
+
+pub use parking_lot::LockStats;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -306,6 +308,16 @@ impl Inner {
         }
     }
 
+    /// The single place a [`Event::Flushed`] report enters the stream.
+    /// Together with [`Inner::pump`] these are the only functions that
+    /// construct events while the service lock is held — `eq_check`'s
+    /// `event-choke-point` rule enforces this, so the planned
+    /// out-of-lock dispatch refactor (ROADMAP frontier 3) has exactly
+    /// two call sites to move.
+    fn publish_flushed(&mut self, report: BatchReport) {
+        self.broadcast(Event::Flushed(report));
+    }
+
     /// Publishes one event to every subscriber. The event is
     /// materialized **once** behind an `Arc`; per-subscriber delivery is
     /// a pointer bump into the bounded queue, so fan-out cost under the
@@ -424,12 +436,32 @@ impl Coordinator {
     /// Runs a set-at-a-time evaluation round over the dirty components
     /// (see [`CoordinationEngine::flush`]), pushing one terminal event
     /// per retired query followed by an [`Event::Flushed`] report.
+    ///
+    /// The published report carries the service-lock hold-time counters
+    /// ([`BatchReport::lock_hold_ns`] and friends): `lock_hold_ns` is
+    /// stamped from inside the critical section after the engine flush
+    /// and the terminal-event fan-out, so it measures exactly the time
+    /// this flush pinned every other `Coordinator` call (minus the
+    /// trailing `Flushed` broadcast itself, which cannot observe its
+    /// own cost).
     pub fn flush(&self) -> BatchReport {
         let mut inner = self.inner.lock();
-        let report = inner.engine.flush();
+        let mut report = inner.engine.flush();
         inner.pump();
-        inner.broadcast(Event::Flushed(report));
+        let stats = self.inner.stats();
+        report.lock_acquisitions = stats.acquisitions;
+        report.lock_max_hold_ns = stats.max_hold_ns;
+        report.lock_hold_ns = inner.held_ns();
+        inner.publish_flushed(report);
         report
+    }
+
+    /// Snapshot of the service lock's hold-time counters (completed
+    /// holds only). The same numbers ride on every published
+    /// [`Event::Flushed`] report; this accessor exists for callers that
+    /// want them between flushes.
+    pub fn lock_stats(&self) -> LockStats {
+        self.inner.stats()
     }
 
     /// Sweeps expired queries (engine staleness bound and per-query
@@ -741,6 +773,42 @@ mod tests {
         assert_eq!(kramer.tag(), Some("kramer"));
         assert!(matches!(*evs[2], Event::Flushed(r) if r.answered == 2));
         session.close();
+    }
+
+    #[test]
+    fn flush_report_carries_lock_hold_counters() {
+        let coordinator = batch_coordinator(flight_db());
+        let events = coordinator.subscribe();
+        let mut session = coordinator.session();
+        session
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        session
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        let report = coordinator.flush();
+        // The two submits completed their lock holds before the flush
+        // acquired; the flush's own (in-progress) hold is measured
+        // directly off its guard.
+        assert!(report.lock_acquisitions >= 2);
+        assert!(report.lock_hold_ns > 0);
+        // The published Flushed event carries the identical report.
+        let evs = events.drain();
+        let flushed = evs
+            .iter()
+            .find_map(|e| match **e {
+                Event::Flushed(r) => Some(r),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(flushed, report);
+        // The standalone snapshot is a pure atomic read (it does not
+        // itself take the service lock), so it never runs behind the
+        // report's figure.
+        let stats = coordinator.lock_stats();
+        assert!(stats.acquisitions >= report.lock_acquisitions);
+        assert!(stats.max_hold_ns > 0);
+        assert!(stats.hold_ns >= stats.max_hold_ns);
     }
 
     #[test]

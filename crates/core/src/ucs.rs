@@ -179,7 +179,7 @@ impl<V: MatchView> Tarjan<'_, V> {
                 if let Some(&(parent, _)) = frames.last() {
                     self.low[parent] = self.low[parent].min(self.low[v]);
                 }
-                if self.low[v] == self.index[v].unwrap() {
+                if Some(self.low[v]) == self.index[v] {
                     let id = self.next_scc;
                     self.next_scc += 1;
                     loop {

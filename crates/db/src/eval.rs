@@ -67,7 +67,12 @@ pub(crate) fn evaluate(
     let mut bindings = Valuation::default();
     let mut remaining: Vec<&Atom> = atoms.iter().collect();
     let mut stack: Vec<Frame> = Vec::with_capacity(atoms.len());
-    stack.push(Frame::open(db, &mut remaining, &bindings, &mut stats));
+    let Some(first) = Frame::open(db, &mut remaining, &bindings, &mut stats) else {
+        // A missing relation (pre-checked by the caller, so this is
+        // defensive) joins zero rows: the conjunction has no answers.
+        return (results, stats);
+    };
+    stack.push(first);
 
     while let Some(top) = stack.last_mut() {
         // Undo whatever the frame's previous candidate row bound (a
@@ -128,13 +133,20 @@ pub(crate) fn evaluate(
         }
         if matched {
             // Descend: open the next frame over the shrunk worklist.
-            let frame = Frame::open(db, &mut remaining, &bindings, &mut stats);
+            let Some(frame) = Frame::open(db, &mut remaining, &bindings, &mut stats) else {
+                // Defensive (relations are pre-checked): a missing
+                // relation joins zero rows, and since it is still in
+                // every unexplored branch's worklist no answer can
+                // exist — results is necessarily empty here.
+                return (results, stats);
+            };
             stack.push(frame);
         } else {
             // Candidates exhausted: restore the atom into the worklist
             // at its original position (mirroring the recursion's
-            // unwind) and backtrack into the frame below.
-            let frame = stack.pop().expect("non-empty stack");
+            // unwind) and backtrack into the frame below. The pop
+            // cannot miss (the loop condition saw a top frame).
+            let Some(frame) = stack.pop() else { break };
             remaining.push(frame.atom);
             let last = remaining.len() - 1;
             remaining.swap(frame.pick, last);
@@ -190,15 +202,19 @@ impl<'a> Frame<'a> {
     /// the worklist, and positions a cursor over its candidate rows —
     /// the most selective bound column's posting list, or a full scan.
     /// Stats accounting is identical to the recursive evaluator's.
+    ///
+    /// Returns `None` when the picked atom's relation has no table —
+    /// callers pre-check relations so this is defensive; the worklist
+    /// is left untouched in that case.
     fn open(
         db: &'a Database,
         remaining: &mut Vec<&'a Atom>,
         bindings: &Valuation,
         stats: &mut EvalStats,
-    ) -> Frame<'a> {
+    ) -> Option<Frame<'a>> {
         let pick = choose_atom(db, remaining, bindings);
+        let table = db.table(remaining[pick].relation)?;
         let atom = remaining.swap_remove(pick);
-        let table = db.table(atom.relation).expect("pre-checked relation");
 
         // Find the best bound position to drive an index probe.
         let mut best: Option<(usize, Value, usize)> = None; // (col, value, cardinality)
@@ -230,13 +246,13 @@ impl<'a> Frame<'a> {
                 }
             }
         };
-        Frame {
+        Some(Frame {
             atom,
             table,
             pick,
             cursor,
             newly_bound: Vec::new(),
-        }
+        })
     }
 }
 
@@ -451,7 +467,12 @@ fn choose_atom(db: &Database, remaining: &[&Atom], bindings: &Valuation) -> usiz
     let mut best_idx = 0;
     let mut best_key = (usize::MAX, usize::MAX); // (unbound count, cardinality)
     for (i, atom) in remaining.iter().enumerate() {
-        let table = db.table(atom.relation).expect("pre-checked relation");
+        let Some(table) = db.table(atom.relation) else {
+            // Defensive (relations are pre-checked): a missing relation
+            // joins zero rows — pick it immediately so the caller can
+            // terminate the search without enumerating anything.
+            return i;
+        };
         let mut unbound = 0usize;
         let mut card = table.len();
         for (col, term) in atom.terms.iter().enumerate() {

@@ -20,6 +20,8 @@
 //! conjunctive queries and reproduces the qualitative join blow-up of
 //! Figure 7 when postcondition counts grow.
 
+#![forbid(unsafe_code)]
+
 mod database;
 mod eval;
 mod table;

@@ -16,6 +16,8 @@
 //! data lives behind the global interner so that unification and index
 //! probes compare `u32`s only.
 
+#![forbid(unsafe_code)]
+
 mod atom;
 mod constraint;
 pub mod hash;

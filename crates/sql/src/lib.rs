@@ -17,6 +17,8 @@
 //! Both parsers produce queries with locally-numbered variables starting
 //! at `?0`; the engine renames queries apart at admission.
 
+#![forbid(unsafe_code)]
+
 mod ast;
 mod catalog;
 mod error;

@@ -12,6 +12,8 @@
 //! absent from the forest are implicit singletons, so an empty `Unifier`
 //! imposes no constraints.
 
+#![forbid(unsafe_code)]
+
 mod mgu;
 mod unifier;
 

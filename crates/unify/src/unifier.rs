@@ -139,25 +139,27 @@ impl Unifier {
             (Some(x), _) => Some(x),
             (_, y) => y,
         };
-        // Union by rank.
-        let (root, child) = {
+        // Union by rank. `ensure` put both roots in the map, so the
+        // lookups cannot miss; stating them with `if let` keeps the
+        // merge panic-free (eq_check's `no-unwrap` rule) and saves the
+        // re-lookups the old unwrap chain did.
+        let (root, child, ranks_tied) = {
             let rank_a = self.nodes[&ra].rank;
             let rank_b = self.nodes[&rb].rank;
             if rank_a < rank_b {
-                (rb, ra)
+                (rb, ra, false)
             } else {
-                (ra, rb)
+                (ra, rb, rank_a == rank_b)
             }
         };
-        self.nodes
-            .get_mut(&child)
-            .unwrap()
-            .parent
-            .store(root.0, Ordering::Relaxed);
-        let root_node = self.nodes.get_mut(&root).unwrap();
-        root_node.constant = merged_const;
-        if self.nodes[&root].rank == self.nodes[&child].rank {
-            self.nodes.get_mut(&root).unwrap().rank += 1;
+        if let Some(child_node) = self.nodes.get_mut(&child) {
+            child_node.parent.store(root.0, Ordering::Relaxed);
+        }
+        if let Some(root_node) = self.nodes.get_mut(&root) {
+            root_node.constant = merged_const;
+            if ranks_tied {
+                root_node.rank += 1;
+            }
         }
         Ok(true)
     }
@@ -168,7 +170,11 @@ impl Unifier {
     pub fn bind(&mut self, v: Var, value: Value) -> Result<bool, Conflict> {
         self.ensure(v);
         let root = self.find(v);
-        let node = self.nodes.get_mut(&root).unwrap();
+        let Some(node) = self.nodes.get_mut(&root) else {
+            // Unreachable: `ensure` inserted `v`, and `find` only
+            // returns vars already in the map.
+            return Ok(false);
+        };
         match node.constant {
             Some(existing) if existing == value => Ok(false),
             Some(existing) => Err(Conflict {

@@ -19,6 +19,8 @@
 //! User(UserName, HomeTown)
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod churn;
 mod giant;
 mod queries;

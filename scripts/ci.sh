@@ -1,26 +1,28 @@
 #!/usr/bin/env bash
 # Full-workspace CI: format check, build, test (incl. doctests), lint,
 # docs-as-errors, doc-link check, workspace-membership assertion, the
-# small-stack evaluator regression (RUST_MIN_STACK), and bench smoke
-# runs (fig6 throughput, fig8 stress, fig_resident churn, fig_service
-# batched admission + staleness/KeepPending churn, fig_giant
+# eq_check concurrency-discipline analyzer (workspace scan + fixture
+# suite), the small-stack evaluator regression (RUST_MIN_STACK), and
+# bench smoke runs (fig6 throughput, fig8 stress, fig_resident churn,
+# fig_service batched admission + staleness/KeepPending churn — whose
+# JSON must carry the instrumented-lock hold counters — and fig_giant
 # intra-component parallelism incl. the Triangle and shared-chain
-# region-split series — whose JSON is published as BENCH_fig_giant.json
+# region-split series, whose JSON is published as BENCH_fig_giant.json
 # to record the perf trajectory). Everything runs offline (vendored
 # shims only — see README "Offline-dependency policy").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/12 cargo fmt --check =="
+echo "== 1/13 cargo fmt --check =="
 cargo fmt --check
 
-echo "== 2/12 workspace membership (cargo metadata) =="
+echo "== 2/13 workspace membership (cargo metadata) =="
 # Parse real package names only (a grep over the raw JSON would also
 # match "name" fields inside dependency tables and pass vacuously).
 names=$(cargo metadata --no-deps --format-version 1 --offline |
     python3 -c 'import json,sys; print("\n".join(sorted(p["name"] for p in json.load(sys.stdin)["packages"])))')
 for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
-    entangled_queries parking_lot proptest; do
+    eq_check entangled_queries parking_lot proptest; do
     if ! grep -qx "$pkg" <<<"$names"; then
         echo "FATAL: package '$pkg' missing from the workspace" >&2
         echo "cargo metadata reported:" >&2
@@ -30,39 +32,54 @@ for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
 done
 echo "all $(wc -w <<<"$names" | tr -d ' ') packages present"
 
-echo "== 3/12 cargo build --release =="
+echo "== 3/13 cargo build --release =="
 cargo build --release --offline
 
-echo "== 4/12 cargo test -q (unit + integration; doctests run in step 5) =="
+echo "== 4/13 cargo test -q (unit + integration; doctests run in step 5) =="
 cargo test -q --offline --lib --bins --tests
 
-echo "== 5/12 cargo test --doc (service/error examples compile and run) =="
+echo "== 5/13 cargo test --doc (service/error examples compile and run) =="
 cargo test -q --doc --offline
 
-echo "== 6/12 cargo clippy --workspace --all-targets =="
+echo "== 6/13 cargo clippy --workspace --all-targets =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== 7/12 cargo doc (warnings are errors) =="
+echo "== 7/13 cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
-echo "== 8/12 docs dead-link check =="
+echo "== 8/13 docs dead-link check =="
 python3 scripts/check_doc_links.py
 
-echo "== 9/12 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
+echo "== 9/13 eq_check concurrency-discipline analyzer =="
+# The workspace scan must be clean, and every rule must be proven live
+# by its fixture pair (the must-fail fires exactly its own rule, the
+# must-pass stays silent).
+cargo run -q --offline -p eq_check
+cargo run -q --offline -p eq_check -- --fixtures
+
+echo "== 10/13 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
 # The join evaluator is iterative (heap-bounded frames); this deep-chain
 # join would overflow a 1 MiB test-thread stack through the old
 # recursive search. Run it with the stack clamped to prove the bound.
 RUST_MIN_STACK=1048576 cargo test -q --offline -p eq_db --test deep_stack
 
-echo "== 10/12 fig6 + fig8 bench smoke =="
+echo "== 11/13 fig6 + fig8 bench smoke =="
 cargo bench -q --offline -p eq_bench --bench fig6_two_way -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
 
-echo "== 11/12 fig_resident churn + fig_service admission/churn smoke =="
+echo "== 12/13 fig_resident churn + fig_service admission/churn smoke =="
 cargo bench -q --offline -p eq_bench --bench fig_resident -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig_service -- --smoke
+cargo run -q --release --offline -p eq_bench --bin fig_service -- --smoke
+# The service rows must surface the instrumented-lock hold accounting
+# (BatchReport::lock_hold_ns plumbed from the vendored parking_lot shim).
+if ! grep -q "lock_hold_ns" results/fig_service.json; then
+    echo "FATAL: results/fig_service.json lacks lock_hold_ns counters" >&2
+    exit 1
+fi
+echo "fig_service.json carries lock_hold_ns"
 
-echo "== 12/12 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
+echo "== 13/13 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
 cargo bench -q --offline -p eq_bench --bench fig_giant -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_giant -- --smoke
 cp results/fig_giant.json BENCH_fig_giant.json

@@ -72,6 +72,8 @@
 //! One-shot coordination over a fixed query set is still available as
 //! [`core::coordinate()`] (a thin wrapper over a throwaway session).
 
+#![forbid(unsafe_code)]
+
 pub use eq_core as core;
 pub use eq_db as db;
 pub use eq_ir as ir;
