@@ -7,6 +7,7 @@
 
 use eq_bench::harness::{smoke_mode, BenchGroup};
 use eq_bench::{clone_db, drive_giant};
+use eq_core::EngineConfig;
 use eq_workload::{giant_component, GiantBody, GiantComponentConfig};
 
 fn main() {
@@ -30,6 +31,12 @@ fn main() {
         friends_per_user: k,
         body: GiantBody::SharedChain,
     });
+    let (wide_db, wide_queries) = giant_component(&GiantComponentConfig {
+        queries: n,
+        friends_per_user: k,
+        body: GiantBody::SharedWide,
+    });
+    let crossover = EngineConfig::default().intra_split_crossover;
 
     let mut group = BenchGroup::new("fig_giant");
     group.sample_size(if smoke_mode() { 3 } else { 5 });
@@ -44,7 +51,7 @@ fn main() {
             "sequential (one combined join)",
             n as u64,
             || clone_db(&chain_db),
-            |db| drive_giant(db, &chain_queries, usize::MAX, 1, usize::MAX),
+            |db| drive_giant(db, &chain_queries, usize::MAX, 1, usize::MAX, crossover),
         );
         // The shared-variable ring as a single work unit: same
         // quadratic atom-selection asymptotics, one sample.
@@ -52,7 +59,7 @@ fn main() {
             "shared chain (one work unit)",
             n as u64,
             || clone_db(&shared_db),
-            |db| drive_giant(db, &shared_queries, 1, 1, usize::MAX),
+            |db| drive_giant(db, &shared_queries, 1, 1, usize::MAX, crossover),
         );
     }
 
@@ -61,7 +68,7 @@ fn main() {
             &format!("intra chain ({t} threads)"),
             n as u64,
             || clone_db(&chain_db),
-            |db| drive_giant(db, &chain_queries, 1, t, usize::MAX),
+            |db| drive_giant(db, &chain_queries, 1, t, usize::MAX, crossover),
         );
     }
     for &t in threads {
@@ -69,7 +76,7 @@ fn main() {
             &format!("intra triangle ({t} threads)"),
             n as u64,
             || clone_db(&tri_db),
-            |db| drive_giant(db, &tri_queries, 1, t, usize::MAX),
+            |db| drive_giant(db, &tri_queries, 1, t, usize::MAX, crossover),
         );
     }
     for &t in threads {
@@ -77,7 +84,17 @@ fn main() {
             &format!("shared chain, region split ({t} threads)"),
             n as u64,
             || clone_db(&shared_db),
-            |db| drive_giant(db, &shared_queries, 1, t, 16),
+            |db| drive_giant(db, &shared_queries, 1, t, 16, 0),
+        );
+    }
+    // The streaming stress flavor: Θ(k²) local solutions per pendant
+    // region, witness maps bounded by the articulation domain k.
+    for &t in threads {
+        group.bench_with_setup(
+            &format!("shared wide, region split ({t} threads)"),
+            n as u64,
+            || clone_db(&wide_db),
+            |db| drive_giant(db, &wide_queries, 1, t, 16, 0),
         );
     }
 }

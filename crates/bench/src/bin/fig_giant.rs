@@ -9,13 +9,15 @@
 //! batched admission + one giant-component flush through the full
 //! service stack, with a bounded `Block` event subscription drained
 //! concurrently — asserting that backpressure loses no terminal event.
-//! `--triangle` / `--shared` pick the sweep's ring-body flavor (the
-//! whole pipeline — including the 2n-atom combined bodies the iterative
-//! evaluator now joins — runs on default-sized stacks).
+//! `--triangle` / `--shared` / `--wide` pick the sweep's ring-body
+//! flavor (the whole pipeline — including the 2n-atom combined bodies
+//! the iterative evaluator now joins — runs on default-sized stacks;
+//! `--wide` streams Θ(k²) local solutions per region through witness
+//! maps bounded by the articulation domain).
 //!
 //! Usage:
 //!   cargo run --release -p eq_bench --bin fig_giant [-- --sizes 2000,10000]
-//!   cargo run --release -p eq_bench --bin fig_giant -- --sweep [--sweep-size 100000] [--triangle | --shared]
+//!   cargo run --release -p eq_bench --bin fig_giant -- --sweep [--sweep-size 100000] [--triangle | --shared | --wide]
 //!   cargo run --release -p eq_bench --bin fig_giant -- --smoke   (CI-sized run)
 
 use eq_bench::harness::smoke_mode;
@@ -44,6 +46,8 @@ fn main() {
             GiantBody::Triangle
         } else if std::env::args().any(|a| a == "--shared") {
             GiantBody::SharedChain
+        } else if std::env::args().any(|a| a == "--wide") {
+            GiantBody::SharedWide
         } else {
             GiantBody::Chain
         };

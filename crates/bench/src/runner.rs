@@ -1042,12 +1042,17 @@ pub struct FigGiantConfig {
 /// `intra_split_min_atoms` gates shared-variable biconnected-region
 /// splitting inside the partitioned path (`usize::MAX` disables it —
 /// the whole-unit baseline for the `SharedChain` series).
+/// `intra_split_crossover` is the split-vs-whole crossover gate
+/// (`0` forces every eligible unit to split; pass
+/// `EngineConfig::default().intra_split_crossover` for the production
+/// heuristic).
 pub fn drive_giant(
     db: Database,
     queries: &[EntangledQuery],
     intra_component_threshold: usize,
     flush_threads: usize,
     intra_split_min_atoms: usize,
+    intra_split_crossover: usize,
 ) -> (f64, eq_core::BatchReport) {
     let coordinator = Coordinator::new(
         db,
@@ -1058,6 +1063,7 @@ pub fn drive_giant(
             flush_threads,
             intra_component_threshold,
             intra_split_min_atoms,
+            intra_split_crossover,
             ..Default::default()
         },
     );
@@ -1078,6 +1084,8 @@ fn giant_counters(report: &eq_core::BatchReport) -> Vec<(&'static str, f64)> {
         ("intra_units", report.intra_units as f64),
         ("intra_split_units", report.intra_split_units as f64),
         ("intra_regions", report.intra_regions as f64),
+        ("intra_region_streamed", report.intra_region_streamed as f64),
+        ("intra_witness_peak", report.intra_witness_peak as f64),
         ("lock_hold_ns", report.lock_hold_ns as f64),
         ("lock_acquisitions", report.lock_acquisitions as f64),
         ("lock_max_hold_ns", report.lock_max_hold_ns as f64),
@@ -1097,8 +1105,16 @@ fn giant_counters(report: &eq_core::BatchReport) -> Vec<(&'static str, f64)> {
 ///   work unit — whole (variable-disjoint partitioning finds nothing to
 ///   split; quadratic atom-selection scan, so capped like the
 ///   sequential series) versus **biconnected-region split** at each
-///   worker count, the series the shared-variable splitter exists for.
+///   worker count, the series the shared-variable splitter exists for;
+///   a `default gate` series leaves the crossover heuristic in place
+///   (small rings evaluate whole — the regime where per-region plumbing
+///   costs more than the quadratic scan saves);
+/// * on the [`GiantBody::SharedWide`] flavor, whose Θ(k²)-per-region
+///   local solutions stress the streaming articulation projection (a
+///   materializing evaluator's memory scales with `n·k²`; the witness
+///   maps stay `O(k)` — `intra_witness_peak` in the counters).
 pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
+    let default_crossover = EngineConfig::default().intra_split_crossover;
     let mut rows = Vec::new();
     for &n in &cfg.sizes {
         let mk = |body: GiantBody| {
@@ -1117,6 +1133,7 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
                 usize::MAX,
                 1,
                 usize::MAX,
+                default_crossover,
             );
             assert_eq!(report.answered, n, "sequential ring must coordinate");
             rows.push(Row {
@@ -1132,8 +1149,14 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
         }
 
         for &t in &cfg.threads {
-            let (millis, report) =
-                drive_giant(clone_db(&chain_db), &chain_queries, 1, t, usize::MAX);
+            let (millis, report) = drive_giant(
+                clone_db(&chain_db),
+                &chain_queries,
+                1,
+                t,
+                usize::MAX,
+                default_crossover,
+            );
             assert_eq!(report.answered, n, "partitioned ring must coordinate");
             rows.push(Row {
                 extra: Some(report.answered as f64),
@@ -1149,7 +1172,14 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
 
         let (tri_db, tri_queries) = mk(GiantBody::Triangle);
         for &t in &cfg.threads {
-            let (millis, report) = drive_giant(clone_db(&tri_db), &tri_queries, 1, t, usize::MAX);
+            let (millis, report) = drive_giant(
+                clone_db(&tri_db),
+                &tri_queries,
+                1,
+                t,
+                usize::MAX,
+                default_crossover,
+            );
             assert_eq!(report.answered, n, "triangle ring must coordinate");
             rows.push(Row {
                 extra: Some(report.answered as f64),
@@ -1168,8 +1198,14 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
             // Splitting disabled: the shared-variable body is one work
             // unit and evaluates whole (same asymptotics as the
             // sequential combined join — hence the same cap).
-            let (millis, report) =
-                drive_giant(clone_db(&shared_db), &shared_queries, 1, 1, usize::MAX);
+            let (millis, report) = drive_giant(
+                clone_db(&shared_db),
+                &shared_queries,
+                1,
+                1,
+                usize::MAX,
+                default_crossover,
+            );
             assert_eq!(report.answered, n, "shared ring must coordinate");
             assert_eq!(report.intra_regions, 0, "split disabled");
             rows.push(Row {
@@ -1182,9 +1218,42 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
                     millis,
                 )
             });
+
+            // Split *requested* but the crossover gate left in place:
+            // small rings (atoms² < crossover·regions) evaluate whole —
+            // this series is the regression guard for the regime where
+            // per-region plumbing used to cost more than the quadratic
+            // atom-selection scan it saves.
+            let (millis, report) = drive_giant(
+                clone_db(&shared_db),
+                &shared_queries,
+                1,
+                1,
+                16,
+                default_crossover,
+            );
+            assert_eq!(report.answered, n, "gated shared ring must coordinate");
+            let gate_splits = (2 * n) * (2 * n) >= default_crossover.saturating_mul(n);
+            assert_eq!(
+                report.intra_regions,
+                if gate_splits { n } else { 0 },
+                "crossover gate decision must match the atoms²/regions heuristic"
+            );
+            rows.push(Row {
+                extra: Some(report.answered as f64),
+                counters: giant_counters(&report),
+                ..Row::new(
+                    "fig_giant",
+                    "shared chain, split requested (default gate)",
+                    n as u64,
+                    millis,
+                )
+            });
         }
         for &t in &cfg.threads {
-            let (millis, report) = drive_giant(clone_db(&shared_db), &shared_queries, 1, t, 16);
+            // Crossover 0 forces the split at every size — the series
+            // that isolates region-evaluation cost from the gate.
+            let (millis, report) = drive_giant(clone_db(&shared_db), &shared_queries, 1, t, 16, 0);
             assert_eq!(report.answered, n, "split shared ring must coordinate");
             assert_eq!(report.intra_regions, n, "one region per chain edge");
             rows.push(Row {
@@ -1193,6 +1262,37 @@ pub fn run_fig_giant(cfg: &FigGiantConfig) -> Vec<Row> {
                 ..Row::new(
                     "fig_giant",
                     format!("shared chain, region split ({t} threads)"),
+                    n as u64,
+                    millis,
+                )
+            });
+        }
+
+        // SharedWide: Θ(k²) local solutions per region against an
+        // articulation domain of width k — the streaming projection's
+        // stress flavor. The witness peak in the counters must stay ≤ k
+        // no matter how large the ring grows.
+        let (wide_db, wide_queries) = mk(GiantBody::SharedWide);
+        for &t in &cfg.threads {
+            let (millis, report) = drive_giant(clone_db(&wide_db), &wide_queries, 1, t, 16, 0);
+            assert_eq!(report.answered, n, "wide shared ring must coordinate");
+            assert_eq!(
+                report.intra_regions,
+                2 * n,
+                "one chain region plus one pendant region per query"
+            );
+            assert!(
+                report.intra_witness_peak <= cfg.friends_per_user as u64,
+                "witness peak {} exceeds articulation domain {}",
+                report.intra_witness_peak,
+                cfg.friends_per_user
+            );
+            rows.push(Row {
+                extra: Some(report.answered as f64),
+                counters: giant_counters(&report),
+                ..Row::new(
+                    "fig_giant",
+                    format!("shared wide, region split ({t} threads)"),
                     n as u64,
                     millis,
                 )
@@ -1215,9 +1315,10 @@ pub struct FigGiantSweepConfig {
     /// Bounded subscriber capacity ([`eq_core::OverflowPolicy::Block`]).
     pub event_capacity: usize,
     /// Ring-body flavor: [`GiantBody::Chain`] (the classic sweep),
-    /// [`GiantBody::Triangle`] (Θ(k²) work per unit — `--triangle`), or
+    /// [`GiantBody::Triangle`] (Θ(k²) work per unit — `--triangle`),
     /// [`GiantBody::SharedChain`] (one shared-variable unit, split by
-    /// biconnected regions — `--shared`).
+    /// biconnected regions — `--shared`), or [`GiantBody::SharedWide`]
+    /// (Θ(k²) local solutions per region, streamed — `--wide`).
     pub body: GiantBody,
 }
 
@@ -1284,6 +1385,7 @@ pub fn run_fig_giant_sweep(cfg: &FigGiantSweepConfig) -> Vec<Row> {
         GiantBody::Chain => "chain",
         GiantBody::Triangle => "triangle",
         GiantBody::SharedChain => "shared chain",
+        GiantBody::SharedWide => "shared wide",
     };
     vec![
         Row {

@@ -1,8 +1,9 @@
-//@ path: crates/db/src/eval.rs
+//@ path: crates/core/src/intra.rs
 //@ expect: no-expect-hot
-// A panic path in the join evaluator: an expect in the hot loop turns a
-// corrupted invariant into a crash mid-flush.
+// A panic path in the region evaluator: an expect in the per-region
+// streaming loop turns a corrupted split invariant into a crash
+// mid-flush.
 
-pub fn table_of(tables: &[Option<u32>], rel: usize) -> u32 {
-    tables[rel].expect("pre-checked relation")
+pub fn parent_key(sol: &[Option<u32>], pv: usize) -> u32 {
+    sol[pv].expect("region atoms bind region vars")
 }

@@ -1,14 +1,15 @@
-//@ path: crates/db/src/eval.rs
-// The impossible case handled structurally (missing relation joins zero
-// rows); expects in cfg(test) oracles and inside strings are legal.
+//@ path: crates/core/src/intra.rs
+// The impossible case handled structurally (a solution missing its
+// articulation binding contributes no witness); expects in cfg(test)
+// oracles and inside strings are legal.
 
-pub fn table_of(tables: &[Option<u32>], rel: usize) -> u32 {
+pub fn parent_key(sol: &[Option<u32>], pv: usize) -> Option<u32> {
     let note = "callers .expect( nothing here";
     let _ = note;
-    match tables.get(rel).copied().flatten() {
-        Some(t) => t,
-        None => 0,
-    }
+    let Some(&key) = sol.get(pv) else {
+        return None;
+    };
+    key
 }
 
 #[cfg(test)]

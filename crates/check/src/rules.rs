@@ -65,10 +65,10 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "no-expect-hot",
-        summary: "no .expect() in the evaluator/unifier/matching hot paths \
-                  (eval.rs, unifier.rs, matching.rs); unreachable states are \
-                  handled structurally so a corrupted invariant degrades \
-                  instead of panicking mid-flush",
+        summary: "no .expect() in the evaluator/unifier/matching/region hot \
+                  paths (eval.rs, unifier.rs, matching.rs, intra.rs); \
+                  unreachable states are handled structurally so a corrupted \
+                  invariant degrades instead of panicking mid-flush",
         allow: &[],
     },
     Rule {
@@ -104,6 +104,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/db/src/eval.rs",
     "crates/unify/src/unifier.rs",
     "crates/core/src/matching.rs",
+    "crates/core/src/intra.rs",
 ];
 
 const RECURSION_FILES: &[&str] = &[

@@ -134,12 +134,31 @@ pub struct EngineConfig {
     /// (deterministic for every thread count; a solution is found iff
     /// one exists). Set to `usize::MAX` to never split.
     pub intra_split_min_atoms: usize,
-    /// Per-region solution-enumeration cap of the split path. A region
-    /// that would exceed it makes its unit fall back to whole-unit
-    /// evaluation — the cap bounds the semi-join's memory, never
-    /// completeness. Clamped to at least 1 (a zero budget would make
-    /// every region look unsatisfiable instead of truncated).
+    /// Per-region solution-enumeration cap of the **materialized**
+    /// split path (`intra_split_streaming: false`). A region that would
+    /// exceed it makes its unit fall back to whole-unit evaluation —
+    /// the cap bounds the semi-join's memory, never completeness.
+    /// Clamped to at least 1 (a zero budget would make every region
+    /// look unsatisfiable instead of truncated). The streaming path
+    /// never materializes region solutions and ignores it.
     pub intra_region_cap: usize,
+    /// Work/overhead crossover for the split decision: a unit that
+    /// decomposes into `r` regions actually splits only when
+    /// `atoms² ≥ crossover × r`. Per-region dispatch has a fixed cost
+    /// whole-unit evaluation does not pay, so small shared-variable
+    /// units (≲ 600 chained queries at the default) evaluate faster
+    /// whole; the combined join's quadratic atom-selection scan makes
+    /// splitting win as units grow. `0` splits whenever the unit
+    /// decomposes.
+    pub intra_split_crossover: usize,
+    /// Evaluate split units by **streaming articulation projection**
+    /// (default): regions stream their solutions and retain only
+    /// per-articulation-value witness sets, and the chosen joint answer
+    /// is re-enumerated top-down with pinned articulation values —
+    /// memory proportional to articulation width, not solution count.
+    /// `false` selects the materialized semi-join (kept as the
+    /// property-test oracle; answers are identical).
+    pub intra_split_streaming: bool,
 }
 
 impl Default for EngineConfig {
@@ -155,6 +174,8 @@ impl Default for EngineConfig {
             intra_component_threshold: 128,
             intra_split_min_atoms: 16,
             intra_region_cap: 4096,
+            intra_split_crossover: 4096,
+            intra_split_streaming: true,
         }
     }
 }
@@ -264,6 +285,18 @@ pub struct BatchReport {
     /// Biconnected regions dispatched as work items across those split
     /// units.
     pub intra_regions: usize,
+    /// Region-local solutions consumed by the streaming
+    /// articulation-projection pass across split units (bottom-up
+    /// witness scan + top-down pinned re-enumeration). Grows with the
+    /// solution count; compare with [`BatchReport::intra_witness_peak`]
+    /// to see how little of it was retained.
+    pub intra_region_streamed: u64,
+    /// Peak witness-map size — the most entries any single region's
+    /// articulation-value witness set held — across split units
+    /// (maximum, not sum). Bounded by the articulation-value domain
+    /// width, **not** by region solution counts: this is the streaming
+    /// path's memory guarantee, surfaced as a counter.
+    pub intra_witness_peak: u64,
     /// Nanoseconds the **service lock** was held by the operation that
     /// produced this report (engine flush + terminal-event fan-out).
     /// Stamped by `Coordinator::flush` from inside the critical
@@ -1239,6 +1272,9 @@ impl CoordinationEngine {
                 report.intra_units += outcome.intra.units;
                 report.intra_split_units += outcome.intra.split_units;
                 report.intra_regions += outcome.intra.regions;
+                report.intra_region_streamed += outcome.intra.region_streamed;
+                report.intra_witness_peak =
+                    report.intra_witness_peak.max(outcome.intra.witness_peak);
             }
             for (slot, answer) in outcome.answered {
                 self.retire(slot, Ok(answer));
@@ -1606,9 +1642,11 @@ fn evaluate_survivors<V: MatchView>(
         let split = intra::SplitOptions {
             min_atoms: config.intra_split_min_atoms,
             region_cap: config.intra_region_cap,
+            crossover: config.intra_split_crossover,
+            streaming: config.intra_split_streaming,
         };
         let plan = intra::plan_component(graph, survivors, global, &split);
-        let counters = IntraCounters {
+        let mut counters = IntraCounters {
             units: plan.units.len(),
             split_units: plan.units.iter().filter(|u| u.regions.is_some()).count(),
             regions: plan
@@ -1617,8 +1655,15 @@ fn evaluate_survivors<V: MatchView>(
                 .filter_map(|u| u.regions.as_ref())
                 .map(|rp| rp.regions.len())
                 .sum(),
+            region_streamed: 0,
+            witness_peak: 0,
         };
-        (intra::evaluate_plan(&plan, db, threads), Some(counters))
+        let result = intra::evaluate_plan_with_stats(&plan, db, threads).map(|(answers, stats)| {
+            counters.region_streamed = stats.region_streamed;
+            counters.witness_peak = stats.witness_peak;
+            answers
+        });
+        (result, Some(counters))
     } else {
         let combined = CombinedQuery::build(graph, survivors, global);
         let result = combined
@@ -1635,6 +1680,8 @@ struct IntraCounters {
     units: usize,
     split_units: usize,
     regions: usize,
+    region_streamed: u64,
+    witness_peak: u64,
 }
 
 fn process_component<V: MatchView + Sync>(

@@ -57,20 +57,32 @@
 //! one vertex, the block-cut structure is a tree, and the articulation
 //! variables are exactly the join keys between regions.
 //!
-//! Region evaluation is Yannakakis over that tree: every region
-//! enumerates its local solutions independently (**in parallel**, up
-//! to [`SplitOptions::region_cap`] each), then a sequential bottom-up
-//! semi-join keeps, per value of the region's parent articulation
-//! variable, its first locally-enumerated solution that every child
-//! region can extend, and a top-down pass glues the chosen
-//! representatives into one valuation of the unit. The result is
-//! **exact** — a solution is produced iff the unit has one — and
-//! **deterministic** (independent of thread count), but it is the
-//! tree-join's first solution, not necessarily the one the sequential
-//! whole-unit backtracking search would find first; when a unit's
-//! solution is unique the two coincide. A region that hits the
-//! enumeration cap aborts the split and the unit falls back to the
-//! plain sequential evaluation, so the cap never costs completeness.
+//! Region evaluation is Yannakakis over that tree, run as a
+//! **streaming articulation projection** (the default): bottom-up,
+//! children first, each region *streams* its local solutions through
+//! `eq_db`'s visitor enumeration and retains only a witness set of
+//! parent-articulation values bound by some locally-extensible
+//! solution — memory proportional to the articulation-value domain,
+//! never to the region's solution count; the root region streams until
+//! its first extensible solution. Top-down, the one chosen joint
+//! answer is re-enumerated region by region with the parent
+//! articulation variable *pinned* to the chosen value as an equality
+//! constraint pair, stopping at the first extensible solution — which
+//! is provably the representative the materialized semi-join would
+//! keep, because constraints never influence the evaluator's join
+//! order. The result is **exact** — a solution is produced iff the
+//! unit has one — and **deterministic** (independent of thread count;
+//! the tree walk is sequential within a unit, units run in parallel),
+//! but it is the tree-join's first solution, not necessarily the one
+//! the sequential whole-unit backtracking search would find first;
+//! when a unit's solution is unique the two coincide. The older
+//! **materialized** mode ([`SplitOptions::streaming`]` = false`) —
+//! enumerate up to [`SplitOptions::region_cap`] solutions per region
+//! in parallel, semi-join the sets, fall back to whole-unit evaluation
+//! on cap overflow — is kept as the property-test oracle; streaming
+//! needs no cap and no fallback. Splitting itself is gated by a
+//! work/overhead crossover ([`SplitOptions::crossover`]): small units
+//! evaluate faster whole than through per-region dispatch.
 //!
 //! Components below [`crate::EngineConfig::intra_component_threshold`]
 //! never reach this module — they evaluate through the plain
@@ -81,26 +93,46 @@ use crate::combine::{distribute_heads, QueryAnswer};
 use crate::graph::MatchView;
 use crate::pool;
 use eq_db::{Database, DbError, Valuation};
-use eq_ir::{Atom, Constraint, FastMap, QueryId, Value, Var};
+use eq_ir::{Atom, CmpOp, Constraint, FastMap, FastSet, QueryId, Term, Value, Var};
 use eq_unify::Unifier;
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Knobs for shared-variable work-unit splitting (see the module docs'
 /// "biconnected regions" section). Derived from
-/// [`crate::EngineConfig::intra_split_min_atoms`] and
-/// [`crate::EngineConfig::intra_region_cap`] by the engine.
+/// [`crate::EngineConfig::intra_split_min_atoms`],
+/// [`crate::EngineConfig::intra_region_cap`],
+/// [`crate::EngineConfig::intra_split_crossover`], and
+/// [`crate::EngineConfig::intra_split_streaming`] by the engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SplitOptions {
     /// Units with at least this many atoms are analyzed for
     /// biconnected-region splitting; smaller units always evaluate
     /// whole. `usize::MAX` disables splitting entirely.
     pub min_atoms: usize,
-    /// Per-region solution-enumeration cap for the semi-join phase. A
-    /// region that would exceed it aborts the split and the unit falls
-    /// back to whole-unit evaluation (completeness is never at stake;
-    /// the cap bounds memory).
+    /// Per-region solution-enumeration cap for the **materialized**
+    /// semi-join phase (`streaming: false`). A region that would exceed
+    /// it aborts the split and the unit falls back to whole-unit
+    /// evaluation (completeness is never at stake; the cap bounds
+    /// memory). The streaming path never materializes and ignores it.
     pub region_cap: usize,
+    /// Work/overhead crossover for the split decision: a unit that
+    /// decomposes into `r` regions actually splits only when
+    /// `atoms² ≥ crossover × r`. Region dispatch has a fixed per-region
+    /// cost (plan walk, per-region join setup, witness bookkeeping)
+    /// that whole-unit evaluation does not pay, so small units — where
+    /// the combined join's quadratic atom-selection scan is still cheap
+    /// — evaluate faster whole (measured crossover ≈ n=600..1200 chain
+    /// queries; see the README scaling guide). `0` always splits.
+    pub crossover: usize,
+    /// Evaluate split units by **streaming articulation projection**
+    /// (bottom-up witness maps + top-down pinned re-enumeration; memory
+    /// bounded by articulation-domain width) instead of materializing
+    /// each region's solutions for the semi-join. The materialized path
+    /// is kept as the property-test oracle the streaming path is
+    /// checked against, answer for answer.
+    pub streaming: bool,
 }
 
 impl Default for SplitOptions {
@@ -108,6 +140,8 @@ impl Default for SplitOptions {
         SplitOptions {
             min_atoms: 16,
             region_cap: 4096,
+            crossover: 4096,
+            streaming: true,
         }
     }
 }
@@ -149,9 +183,13 @@ pub struct RegionPlan {
     /// the unit's body order). Region 0 is the tree root.
     pub regions: Vec<Region>,
     /// The [`SplitOptions::region_cap`] in force when the plan was
-    /// built; a region whose enumeration reaches it aborts the split at
-    /// evaluation time.
+    /// built; in materialized mode, a region whose enumeration reaches
+    /// it aborts the split at evaluation time. Ignored when streaming.
     pub region_cap: usize,
+    /// Evaluate by streaming articulation projection (the default)
+    /// instead of the materialized semi-join; see
+    /// [`SplitOptions::streaming`].
+    pub streaming: bool,
 }
 
 /// One biconnected region: a sub-conjunction that overlaps the rest of
@@ -304,7 +342,21 @@ pub fn plan_component<V: MatchView>(
 
     for unit in &mut units {
         if unit.atoms.len() >= split.min_atoms {
-            unit.regions = split_unit(unit, split.region_cap);
+            unit.regions = split_unit(unit, split.region_cap).and_then(|mut rp| {
+                // Work/overhead crossover gate: per-region dispatch has
+                // a fixed cost that whole-unit evaluation doesn't pay,
+                // so small units evaluate faster whole. The unit's
+                // whole-evaluation cost scales with atoms² (the greedy
+                // atom-selection scan alone is quadratic); the split's
+                // overhead scales with the region count.
+                let a = unit.atoms.len();
+                if a.saturating_mul(a) >= split.crossover.saturating_mul(rp.regions.len()) {
+                    rp.streaming = split.streaming;
+                    Some(rp)
+                } else {
+                    None
+                }
+            });
         }
     }
 
@@ -342,8 +394,13 @@ pub fn plan_component<V: MatchView>(
 ///   the tree semi-join exact);
 /// * region order, the tree, and all contents are deterministic
 ///   functions of the unit (no hash-iteration order leaks in);
+/// * every tree-edge articulation variable is **atom-anchored** in both
+///   endpoint regions (bound by every region-local solution, so the
+///   merge can always key on it) — units violating this refuse to
+///   split;
 /// * `region_cap` is at least 1, so an empty region enumeration means
-///   a genuinely unsatisfiable region, never a zero-budget truncation.
+///   a genuinely unsatisfiable region, never a zero-budget truncation
+///   (materialized mode; the streaming path has no cap).
 pub fn split_unit(unit: &WorkUnit, region_cap: usize) -> Option<RegionPlan> {
     // A zero cap would make every region look empty (= unsatisfiable)
     // instead of truncated; clamp so "no solutions" keeps meaning
@@ -459,11 +516,14 @@ pub fn split_unit(unit: &WorkUnit, region_cap: usize) -> Option<RegionPlan> {
                 low[u] = low[u].min(low[v]);
                 if low[v] >= disc[u] {
                     // u closes a block: pop edges down to the tree edge
-                    // into v.
+                    // into v. The tree edge is on the stack by the DFS
+                    // invariant; an empty pop would mean the traversal
+                    // state is corrupt, so refuse the split (sound: the
+                    // unit just evaluates whole).
                     let block = block_count;
                     block_count += 1;
                     loop {
-                        let e = edge_stack.pop().expect("tree edge on stack");
+                        let e = edge_stack.pop()?;
                         edge_block[e] = block;
                         if e == parent_edge[v] {
                             break;
@@ -482,15 +542,19 @@ pub fn split_unit(unit: &WorkUnit, region_cap: usize) -> Option<RegionPlan> {
     // and map every atom/constraint to its block: multi-variable ones
     // to the block of their first variable pair, single-variable ones
     // (and the rare constraint over an articulation variable alone) to
-    // the lowest-ordered block containing the variable.
+    // the lowest-ordered block containing the variable. The clique edge
+    // exists by construction; a miss means the edge bookkeeping is
+    // inconsistent, so `None` — callers refuse the split, which is
+    // always sound.
     let raw_block = |vs: &[usize]| -> Option<usize> {
         let key = (vs[0].min(vs[1]), vs[0].max(vs[1]));
-        Some(edge_block[edge_of[&key]])
+        let e = edge_of.get(&key)?;
+        edge_block.get(*e).copied()
     };
     let mut order_key = vec![usize::MAX; block_count];
     for (ai, vs) in atom_vars.iter().enumerate() {
         if vs.len() >= 2 {
-            let b = raw_block(vs).expect("clique edge exists");
+            let b = raw_block(vs)?;
             order_key[b] = order_key[b].min(ai);
         }
     }
@@ -542,7 +606,7 @@ pub fn split_unit(unit: &WorkUnit, region_cap: usize) -> Option<RegionPlan> {
     // enumerate an unfiltered cross product and blow the cap.
     for (ai, vs) in atom_vars.iter().enumerate() {
         if vs.len() >= 2 {
-            let r = new_id[raw_block(vs).expect("clique edge exists")];
+            let r = new_id[raw_block(vs)?];
             regions[r].atoms.push(unit.atoms[ai].clone());
         } else {
             for &r in &var_regions[vs[0]] {
@@ -552,7 +616,7 @@ pub fn split_unit(unit: &WorkUnit, region_cap: usize) -> Option<RegionPlan> {
     }
     for (ci, vs) in constraint_vars.iter().enumerate() {
         if vs.len() >= 2 {
-            let r = new_id[raw_block(vs).expect("clique edge exists")];
+            let r = new_id[raw_block(vs)?];
             regions[r].constraints.push(unit.constraints[ci]);
         } else {
             for &r in &var_regions[vs[0]] {
@@ -588,10 +652,40 @@ pub fn split_unit(unit: &WorkUnit, region_cap: usize) -> Option<RegionPlan> {
         }
     }
     debug_assert_eq!(reached, block_count, "block-cut tree spans the unit");
+    if reached != block_count {
+        // Disconnected block-cut tree (the unit's variable graph is
+        // connected, so this is defensive): refuse the split.
+        return None;
+    }
+
+    // Anchoring validity: every tree-edge articulation variable must be
+    // bound by an *atom* of both endpoint regions — the merge keys on
+    // the articulation value of each region-local solution, and a
+    // variable a region sees only through a replicated constraint never
+    // binds. (Possible when a variable's only atoms sit across the
+    // boundary and a single-variable constraint carried it into this
+    // region's variable set.) Such units evaluate whole.
+    for region in &regions {
+        let mut anchors: Vec<Var> = Vec::new();
+        if let Some(pv) = region.parent_var {
+            anchors.push(pv);
+        }
+        for &c in &region.children {
+            if let Some(pv) = regions[c].parent_var {
+                anchors.push(pv);
+            }
+        }
+        for v in anchors {
+            if !region.atoms.iter().any(|a| a.vars().any(|av| av == v)) {
+                return None;
+            }
+        }
+    }
 
     Some(RegionPlan {
         regions,
         region_cap,
+        streaming: true,
     })
 }
 
@@ -607,12 +701,16 @@ enum UnitResult {
     Skipped,
 }
 
-/// One claimable piece of a plan's parallel phase: a whole
-/// (unsplit) unit, or one biconnected region of a split unit.
+/// One claimable piece of a plan's parallel phase: a whole (unsplit)
+/// unit, one biconnected region of a materialized-mode split unit, or
+/// one entire streaming-mode split unit (the streaming tree walk is
+/// sequential within a unit — that's what makes it deterministic — so
+/// the unit is the parallelism grain).
 #[derive(Clone, Copy)]
-enum WorkItem {
+enum WorkItem<'a> {
     Unit(usize),
-    Region(usize, usize),
+    Region(usize, usize, &'a RegionPlan),
+    SplitUnit(usize, &'a RegionPlan),
 }
 
 /// Result of one [`WorkItem`].
@@ -620,18 +718,50 @@ enum ItemResult {
     Unit(UnitResult),
     /// A region's enumerated solutions (up to the plan's cap; a full
     /// cap'-worth means possibly truncated and triggers the whole-unit
-    /// fallback).
+    /// fallback). Materialized mode only.
     Region(Vec<Valuation>),
+    /// A streaming split unit's outcome plus its counters: solutions
+    /// streamed through the witness pass, and the peak witness-map
+    /// size (entries in any single region's articulation-value map).
+    Split(UnitResult, u64, u64),
+}
+
+/// Evaluation counters for one plan, surfaced through
+/// `BatchReport::{intra_region_streamed, intra_witness_peak}`: how many
+/// region-local solutions the streaming articulation-projection pass
+/// consumed (bottom-up witness scan + top-down pinned re-enumeration),
+/// and the peak entry count of any single region's witness map — the
+/// retained state, bounded by the articulation-value domain, **not** by
+/// the region's solution count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Region-local solutions consumed by streaming split units.
+    pub region_streamed: u64,
+    /// Peak per-region witness-map entry count across streaming split
+    /// units.
+    pub witness_peak: u64,
+}
+
+/// Evaluates a plan against `db`; see [`evaluate_plan_with_stats`] for
+/// the full contract. This wrapper discards the plan counters.
+pub fn evaluate_plan(
+    plan: &ComponentPlan,
+    db: &Database,
+    threads: usize,
+) -> Result<Option<Vec<QueryAnswer>>, DbError> {
+    evaluate_plan_with_stats(plan, db, threads).map(|(answers, _)| answers)
 }
 
 /// Evaluates a plan against `db`, dispatching work items — whole
-/// units, or the biconnected regions of split units — on up to
-/// `threads` scoped workers (largest item first; sizes are heavy-tailed
-/// when the global unifier merged some variables).
+/// units, streaming split units, or the biconnected regions of
+/// materialized-mode split units — on up to `threads` scoped workers
+/// (largest item first; sizes are heavy-tailed when the global unifier
+/// merged some variables).
 ///
 /// Returns the component's first coordinated solution — one
 /// [`QueryAnswer`] per survivor, in survivor order — or `None` when any
-/// unit, region, ground atom, or ground constraint is unsatisfiable.
+/// unit, region, ground atom, or ground constraint is unsatisfiable,
+/// plus the plan's [`PlanStats`].
 /// For plans without split units the result is answer-for-answer
 /// identical to `CombinedQuery::evaluate(db, 1)` on the same survivors,
 /// for every `threads` value (see the module docs for why the merge
@@ -639,12 +769,15 @@ enum ItemResult {
 /// block-cut tree join's first solution instead — still a solution iff
 /// the sequential path finds one, still deterministic in the plan and
 /// database for every `threads` value, but not necessarily the same
-/// valuation unless the unit's solution is unique.
-pub fn evaluate_plan(
+/// valuation unless the unit's solution is unique. Streaming and
+/// materialized modes agree answer-for-answer (property-tested): the
+/// pinned re-enumeration picks exactly the representative the
+/// materialized semi-join would have kept.
+pub fn evaluate_plan_with_stats(
     plan: &ComponentPlan,
     db: &Database,
     threads: usize,
-) -> Result<Option<Vec<QueryAnswer>>, DbError> {
+) -> Result<(Option<Vec<QueryAnswer>>, PlanStats), DbError> {
     // Whole-conjunction validation first, exactly like the one-shot
     // evaluator: an unknown relation anywhere in the body is an error
     // even if some other unit is unsatisfiable.
@@ -653,45 +786,52 @@ pub fn evaluate_plan(
         db.check_atoms(&unit.atoms)?;
     }
 
+    let mut stats = PlanStats::default();
     let empty = Valuation::default();
     for c in &plan.ground_constraints {
         if !c.check(&|v| empty.get(&v).copied()) {
-            return Ok(None);
+            return Ok((None, stats));
         }
     }
     for atom in &plan.ground_atoms {
-        let row: Vec<_> = atom
-            .terms
-            .iter()
-            .map(|t| t.as_const().expect("ground atom"))
-            .collect();
+        let mut row: Vec<Value> = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            let Some(c) = t.as_const() else {
+                // Defensive: the planner routes only variable-free atoms
+                // here. A variable in a "ground" atom can never match a
+                // membership check, so the component has no solution.
+                return Ok((None, stats));
+            };
+            row.push(c);
+        }
         let present = db.table(atom.relation).is_some_and(|t| t.contains(&row));
         if !present {
-            return Ok(None);
+            return Ok((None, stats));
         }
     }
     if plan.units.is_empty() {
-        return Ok(Some(distribute_heads(&plan.heads, &empty)));
+        return Ok((Some(distribute_heads(&plan.heads, &empty)), stats));
     }
 
-    // Build the claimable work items: whole units, or — for units
-    // carrying a region decomposition — one item per biconnected
-    // region. Items run largest-first on the shared worker pool; the
+    // Build the claimable work items: whole units; one item per
+    // biconnected region for materialized-mode split units; one item
+    // per whole split unit in streaming mode (its internal tree walk is
+    // sequential — determinism — but distinct units still run in
+    // parallel). Items run largest-first on the shared worker pool; the
     // stop flag bails out of remaining claims as soon as any unit or
     // region proves unsatisfiable — a region with zero local solutions
     // makes its whole unit (hence the component) unsatisfiable.
     let mut items: Vec<WorkItem> = Vec::new();
     for (u, unit) in plan.units.iter().enumerate() {
         match &unit.regions {
-            Some(rp) => items.extend((0..rp.regions.len()).map(|r| WorkItem::Region(u, r))),
+            Some(rp) if rp.streaming => items.push(WorkItem::SplitUnit(u, rp)),
+            Some(rp) => items.extend((0..rp.regions.len()).map(|r| WorkItem::Region(u, r, rp))),
             None => items.push(WorkItem::Unit(u)),
         }
     }
     let item_size = |item: &WorkItem| match *item {
-        WorkItem::Unit(u) => plan.units[u].atoms.len(),
-        WorkItem::Region(u, r) => plan.units[u].regions.as_ref().expect("split unit").regions[r]
-            .atoms
-            .len(),
+        WorkItem::Unit(u) | WorkItem::SplitUnit(u, _) => plan.units[u].atoms.len(),
+        WorkItem::Region(_, r, rp) => rp.regions[r].atoms.len(),
     };
     let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(item_size(&items[i])));
@@ -704,8 +844,14 @@ pub fn evaluate_plan(
             }
             ItemResult::Unit(r)
         }
-        WorkItem::Region(u, r) => {
-            let rp = plan.units[u].regions.as_ref().expect("split unit");
+        WorkItem::SplitUnit(_, rp) => {
+            let (r, streamed, peak) = stream_unit(rp, db);
+            if matches!(r, UnitResult::Unsat) {
+                failed.store(true, Ordering::Relaxed);
+            }
+            ItemResult::Split(r, streamed, peak)
+        }
+        WorkItem::Region(_, r, rp) => {
             let region = &rp.regions[r];
             let sols = db
                 .evaluate_filtered(&region.atoms, &region.constraints, rp.region_cap)
@@ -721,22 +867,33 @@ pub fn evaluate_plan(
     let mut unit_results: Vec<UnitResult> = Vec::with_capacity(plan.units.len());
     unit_results.resize_with(plan.units.len(), || UnitResult::Skipped);
     let mut region_sols: FastMap<(usize, usize), Vec<Valuation>> = FastMap::default();
-    for (idx, r) in produced {
-        match (items[idx], r) {
+    for (idx, result) in produced {
+        match (items[idx], result) {
             (WorkItem::Unit(u), ItemResult::Unit(res)) => unit_results[u] = res,
-            (WorkItem::Region(u, r), ItemResult::Region(sols)) => {
+            (WorkItem::SplitUnit(u, _), ItemResult::Split(res, streamed, peak)) => {
+                unit_results[u] = res;
+                stats.region_streamed += streamed;
+                stats.witness_peak = stats.witness_peak.max(peak);
+            }
+            (WorkItem::Region(u, r, _), ItemResult::Region(sols)) => {
                 region_sols.insert((u, r), sols);
             }
-            _ => unreachable!("item kinds are fixed per index"),
+            // Item kinds are fixed per index; a mismatch cannot happen,
+            // and ignoring one degrades to Skipped (= no solution).
+            _ => {}
         }
     }
 
-    // Sequential merge pass: split units go through the tree semi-join
-    // (falling back to whole-unit evaluation when a region hit the
-    // enumeration cap); an Unsat or Skipped anything means the
-    // component has no solution this round.
+    // Sequential merge pass: materialized split units go through the
+    // tree semi-join (falling back to whole-unit evaluation when a
+    // region hit the enumeration cap); streaming units already carry
+    // their result. An Unsat or Skipped anything means the component
+    // has no solution this round.
     for (u, unit) in plan.units.iter().enumerate() {
         let Some(rp) = &unit.regions else { continue };
+        if rp.streaming {
+            continue;
+        }
         let mut sols: Vec<Vec<Valuation>> = Vec::with_capacity(rp.regions.len());
         let mut missing = false;
         let mut truncated = false;
@@ -780,10 +937,203 @@ pub fn evaluate_plan(
                     merged.insert(v, value);
                 }
             }
-            UnitResult::Unsat | UnitResult::Skipped => return Ok(None),
+            UnitResult::Unsat | UnitResult::Skipped => return Ok((None, stats)),
         }
     }
-    Ok(Some(distribute_heads(&plan.heads, &merged)))
+    Ok((Some(distribute_heads(&plan.heads, &merged)), stats))
+}
+
+/// Streaming articulation-projection evaluation of one split unit (the
+/// default mode; see the module docs). **Bottom-up**, children first:
+/// each non-root region streams its local solutions through
+/// [`Database::evaluate_visit`] and retains only a **witness set** of
+/// parent-articulation values bound by some locally-extensible solution
+/// — memory is bounded by the articulation-value domain, never by the
+/// region's solution count, and there is no enumeration cap or
+/// whole-unit fallback. The root streams until its first extensible
+/// solution. **Top-down**, the one chosen joint answer is re-enumerated
+/// region by region: the region query re-runs with its parent
+/// articulation variable *pinned* to the chosen value via a `Ge`/`Le`
+/// constraint pair (the IR has no `Eq` comparator) and stops at its
+/// first extensible solution. Constraints never influence the
+/// evaluator's join order (`choose_atom` inspects only bindings), so
+/// the pinned search enumerates exactly the subsequence of the
+/// region's solutions binding that value, in the region's own order —
+/// its first extensible hit is precisely the representative the
+/// materialized [`semijoin_merge`] keeps, which is why the two modes
+/// agree answer for answer (property-tested).
+///
+/// As a constraint-aware refinement, a child whose witness set kept
+/// exactly one value is **pushed down** into the parent's enumeration
+/// as the same pinned constraint pair, so the join prunes the moment
+/// the articulation variable binds instead of filtering full solutions
+/// at the leaf; multi-value witness sets are not expressible as a
+/// comparison constraint and filter through the extensibility check.
+///
+/// Returns the unit outcome plus counters: region-local solutions
+/// streamed (bottom-up + top-down) and the peak witness-set size.
+fn stream_unit(rp: &RegionPlan, db: &Database) -> (UnitResult, u64, u64) {
+    let n = rp.regions.len();
+    let mut streamed: u64 = 0;
+    let mut peak: u64 = 0;
+    // Pre-order from the root; reverse visit order is children-first.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut stack = vec![0usize];
+    while let Some(r) = stack.pop() {
+        order.push(r);
+        stack.extend(&rp.regions[r].children);
+    }
+    if order.len() != n {
+        // Defensive: split_unit guarantees a spanning tree; a malformed
+        // one cannot be evaluated, so report no solution.
+        return (UnitResult::Unsat, streamed, peak);
+    }
+
+    // Locally extensible = every child's articulation value is in that
+    // child's (already final) witness set.
+    let extensible = |region: &Region, sol: &Valuation, feasible: &[FastSet<Value>]| -> bool {
+        region.children.iter().all(|&c| {
+            let Some(pv) = rp.regions[c].parent_var else {
+                return false;
+            };
+            sol.get(&pv)
+                .is_some_and(|value| feasible[c].contains(value))
+        })
+    };
+    // Singleton push-down (see the doc comment above).
+    let push_down = |region: &Region, feasible: &[FastSet<Value>], out: &mut Vec<Constraint>| {
+        for &c in &region.children {
+            let Some(pv) = rp.regions[c].parent_var else {
+                continue;
+            };
+            if feasible[c].len() == 1 {
+                if let Some(&value) = feasible[c].iter().next() {
+                    out.push(Constraint::new(
+                        Term::var(pv),
+                        CmpOp::Ge,
+                        Term::Const(value),
+                    ));
+                    out.push(Constraint::new(
+                        Term::var(pv),
+                        CmpOp::Le,
+                        Term::Const(value),
+                    ));
+                }
+            }
+        }
+    };
+
+    let mut feasible: Vec<FastSet<Value>> = vec![FastSet::default(); n];
+    let mut root_witness: Option<Valuation> = None;
+    for &r in order.iter().rev() {
+        let region = &rp.regions[r];
+        let mut constraints = region.constraints.clone();
+        push_down(region, &feasible, &mut constraints);
+        match region.parent_var {
+            Some(pv) => {
+                let mut keys: FastSet<Value> = FastSet::default();
+                let res = db.evaluate_visit(&region.atoms, &constraints, |sol| {
+                    streamed += 1;
+                    if let Some(&key) = sol.get(&pv) {
+                        // The extensibility check runs per solution even
+                        // for an unseen key (a later extensible solution
+                        // may carry a key an earlier inextensible one
+                        // did), and is skipped once the key is in — the
+                        // exact key set the materialized semi-join keeps.
+                        if !keys.contains(&key) && extensible(region, sol, &feasible) {
+                            keys.insert(key);
+                        }
+                    }
+                    ControlFlow::Continue(())
+                });
+                if res.is_err() || keys.is_empty() {
+                    // Err is unreachable after the caller's up-front
+                    // validation; either way the unit has no solution
+                    // to offer.
+                    return (UnitResult::Unsat, streamed, peak);
+                }
+                peak = peak.max(keys.len() as u64);
+                feasible[r] = keys;
+            }
+            None => {
+                let mut witness: Option<Valuation> = None;
+                let res = db.evaluate_visit(&region.atoms, &constraints, |sol| {
+                    streamed += 1;
+                    if extensible(region, sol, &feasible) {
+                        witness = Some(sol.clone());
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+                match (res, witness) {
+                    (Ok(_), Some(w)) => root_witness = Some(w),
+                    _ => return (UnitResult::Unsat, streamed, peak),
+                }
+            }
+        }
+    }
+
+    // Top-down: glue the root witness, then re-enumerate each child
+    // region pinned to its chosen articulation value. Every pinned
+    // search hits: the key entered the witness set off an extensible
+    // solution, and child witness sets are final.
+    let Some(root) = root_witness else {
+        // Unreachable: region 0 is always the root and was visited.
+        return (UnitResult::Unsat, streamed, peak);
+    };
+    let push_children =
+        |region: &Region, sol: &Valuation, walk: &mut Vec<(usize, Value)>| -> bool {
+            for &c in &region.children {
+                let Some(pv) = rp.regions[c].parent_var else {
+                    return false;
+                };
+                let Some(&key) = sol.get(&pv) else {
+                    return false;
+                };
+                walk.push((c, key));
+            }
+            true
+        };
+    let mut merged = Valuation::default();
+    for (&v, &value) in root.iter() {
+        merged.insert(v, value);
+    }
+    let mut walk: Vec<(usize, Value)> = Vec::new();
+    if !push_children(&rp.regions[0], &root, &mut walk) {
+        return (UnitResult::Unsat, streamed, peak);
+    }
+    while let Some((r, key)) = walk.pop() {
+        let region = &rp.regions[r];
+        let Some(pv) = region.parent_var else {
+            // Defensive: only non-root regions are walked.
+            return (UnitResult::Unsat, streamed, peak);
+        };
+        let mut constraints = region.constraints.clone();
+        push_down(region, &feasible, &mut constraints);
+        constraints.push(Constraint::new(Term::var(pv), CmpOp::Ge, Term::Const(key)));
+        constraints.push(Constraint::new(Term::var(pv), CmpOp::Le, Term::Const(key)));
+        let mut chosen: Option<Valuation> = None;
+        let res = db.evaluate_visit(&region.atoms, &constraints, |sol| {
+            streamed += 1;
+            if extensible(region, sol, &feasible) {
+                chosen = Some(sol.clone());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        let (Ok(_), Some(sol)) = (res, chosen) else {
+            return (UnitResult::Unsat, streamed, peak);
+        };
+        for (&v, &value) in sol.iter() {
+            merged.insert(v, value);
+        }
+        if !push_children(region, &sol, &mut walk) {
+            return (UnitResult::Unsat, streamed, peak);
+        }
+    }
+    (UnitResult::Sat(merged), streamed, peak)
 }
 
 /// The exact tree semi-join over a split unit's block-cut tree (see
@@ -791,7 +1141,8 @@ pub fn evaluate_plan(
 /// articulation variable the first locally-enumerated solution every
 /// child can extend; top-down, glue the chosen representatives.
 /// Returns `None` iff the unit has no solution (given un-truncated
-/// region enumerations).
+/// region enumerations). Materialized mode only — kept as the oracle
+/// the streaming path ([`stream_unit`]) is property-tested against.
 fn semijoin_merge(rp: &RegionPlan, sols: &[Vec<Valuation>]) -> Option<Valuation> {
     let n = rp.regions.len();
     // Pre-order from the root; processing it in reverse visits children
@@ -813,7 +1164,11 @@ fn semijoin_merge(rp: &RegionPlan, sols: &[Vec<Valuation>]) -> Option<Valuation>
         let region = &rp.regions[r];
         let extensible = |sol: &Valuation| {
             region.children.iter().all(|&c| {
-                let v = rp.regions[c].parent_var.expect("non-root child");
+                // A walked child always has a parent edge; a missing
+                // one means a malformed tree — treat as inextensible.
+                let Some(v) = rp.regions[c].parent_var else {
+                    return false;
+                };
                 sol.get(&v)
                     .is_some_and(|value| feasible[c].contains_key(value))
             })
@@ -825,7 +1180,10 @@ fn semijoin_merge(rp: &RegionPlan, sols: &[Vec<Valuation>]) -> Option<Valuation>
                     if !extensible(sol) {
                         continue;
                     }
-                    let key = *sol.get(&pv).expect("region atoms bind region vars");
+                    // Anchoring (split_unit) guarantees region atoms
+                    // bind the articulation variable; skip defensively
+                    // otherwise.
+                    let Some(&key) = sol.get(&pv) else { continue };
                     map.entry(key).or_insert(si);
                 }
                 if map.is_empty() {
@@ -839,18 +1197,22 @@ fn semijoin_merge(rp: &RegionPlan, sols: &[Vec<Valuation>]) -> Option<Valuation>
         }
     }
 
-    // Top-down reconstruction: every lookup hits by construction.
+    // Top-down reconstruction: every lookup hits by construction (the
+    // `?` arms are defensive against a malformed tree and read "no
+    // solution" rather than panicking).
+    let root_si = root_choice?;
     let mut merged = Valuation::default();
-    let mut walk = vec![(0usize, root_choice.expect("checked above"))];
+    let mut walk = vec![(0usize, root_si)];
     while let Some((r, si)) = walk.pop() {
-        let sol = &sols[r][si];
+        let sol = sols.get(r)?.get(si)?;
         for (&v, &value) in sol.iter() {
             merged.insert(v, value);
         }
         for &c in &rp.regions[r].children {
-            let pv = rp.regions[c].parent_var.expect("non-root child");
-            let key = sol.get(&pv).expect("articulation var bound");
-            walk.push((c, feasible[c][key]));
+            let pv = rp.regions[c].parent_var?;
+            let key = sol.get(&pv)?;
+            let si = *feasible[c].get(key)?;
+            walk.push((c, si));
         }
     }
     Some(merged)
@@ -1088,9 +1450,10 @@ mod tests {
 
     #[test]
     fn zero_region_cap_is_clamped_not_unsat() {
-        // region_cap 0 must not reclassify every region as
-        // unsatisfiable; it clamps to 1, so overflowing regions fall
-        // back to whole-unit evaluation and the answer survives.
+        // Materialized mode: region_cap 0 must not reclassify every
+        // region as unsatisfiable; it clamps to 1, so overflowing
+        // regions fall back to whole-unit evaluation and the answer
+        // survives.
         let db = split_db();
         let atoms = vec![
             Atom::new("A", vec![vx(0), vx(1)]),
@@ -1098,7 +1461,8 @@ mod tests {
         ];
         let mut unit = raw_unit(atoms);
         unit.regions = split_unit(&unit, 0);
-        let rp = unit.regions.as_ref().expect("still splits");
+        let rp = unit.regions.as_mut().expect("still splits");
+        rp.streaming = false;
         assert_eq!(rp.region_cap, 1);
         let plan = ComponentPlan {
             units: vec![unit],
@@ -1123,9 +1487,17 @@ mod tests {
 
     /// A plan whose single unit is pre-split, with one head atom that
     /// exposes the merged valuation as a grounded tuple.
-    fn split_plan(atoms: Vec<Atom>, head_vars: &[u32], cap: usize) -> ComponentPlan {
+    fn split_plan(
+        atoms: Vec<Atom>,
+        head_vars: &[u32],
+        cap: usize,
+        streaming: bool,
+    ) -> ComponentPlan {
         let mut unit = raw_unit(atoms);
-        unit.regions = split_unit(&unit, cap);
+        unit.regions = split_unit(&unit, cap).map(|mut rp| {
+            rp.streaming = streaming;
+            rp
+        });
         assert!(unit.regions.is_some(), "test unit must split");
         let head = Atom::new("H", head_vars.iter().map(|&i| vx(i)).collect::<Vec<_>>());
         ComponentPlan {
@@ -1139,25 +1511,28 @@ mod tests {
     #[test]
     fn semijoin_rejects_locally_first_but_globally_infeasible_choices() {
         // Region A(x,y) enumerates x=1 first, but region B(x,z) only
-        // admits x=2: the semi-join must pick A's second solution, not
-        // fail or return an inconsistent pair.
+        // admits x=2: the merge must pick A's second solution, not
+        // fail or return an inconsistent pair — in both modes.
         let db = split_db();
-        let plan = split_plan(
-            vec![
-                Atom::new("A", vec![vx(0), vx(1)]),
-                Atom::new("B", vec![vx(0), vx(2)]),
-            ],
-            &[0, 1, 2],
-            64,
-        );
-        for threads in [1, 2, 4] {
-            let answers = evaluate_plan(&plan, &db, threads)
-                .unwrap()
-                .expect("x=2 is consistent");
-            assert_eq!(
-                answers[0].tuples[0],
-                vec![Value::int(2), Value::int(20), Value::int(30)]
+        for streaming in [true, false] {
+            let plan = split_plan(
+                vec![
+                    Atom::new("A", vec![vx(0), vx(1)]),
+                    Atom::new("B", vec![vx(0), vx(2)]),
+                ],
+                &[0, 1, 2],
+                64,
+                streaming,
             );
+            for threads in [1, 2, 4] {
+                let answers = evaluate_plan(&plan, &db, threads)
+                    .unwrap()
+                    .expect("x=2 is consistent");
+                assert_eq!(
+                    answers[0].tuples[0],
+                    vec![Value::int(2), Value::int(20), Value::int(30)]
+                );
+            }
         }
     }
 
@@ -1166,27 +1541,31 @@ mod tests {
         let mut db = split_db();
         // Remove B's only row: the B region enumerates nothing.
         db.delete("B", &[Value::int(2), Value::int(30)]).unwrap();
-        let plan = split_plan(
-            vec![
-                Atom::new("A", vec![vx(0), vx(1)]),
-                Atom::new("B", vec![vx(0), vx(2)]),
-            ],
-            &[0],
-            64,
-        );
-        assert_eq!(evaluate_plan(&plan, &db, 2).unwrap(), None);
+        for streaming in [true, false] {
+            let plan = split_plan(
+                vec![
+                    Atom::new("A", vec![vx(0), vx(1)]),
+                    Atom::new("B", vec![vx(0), vx(2)]),
+                ],
+                &[0],
+                64,
+                streaming,
+            );
+            assert_eq!(evaluate_plan(&plan, &db, 2).unwrap(), None);
+        }
     }
 
     #[test]
     fn region_cap_overflow_falls_back_to_whole_unit_evaluation() {
-        // Cap 1 < the A region's 2 solutions: the split aborts and the
-        // unit evaluates whole — same first answer as the plain path.
+        // Materialized mode, cap 1 < the A region's 2 solutions: the
+        // split aborts and the unit evaluates whole — same first answer
+        // as the plain path. (Streaming mode has no cap to overflow.)
         let db = split_db();
         let atoms = vec![
             Atom::new("A", vec![vx(0), vx(1)]),
             Atom::new("B", vec![vx(0), vx(2)]),
         ];
-        let plan = split_plan(atoms.clone(), &[0, 1, 2], 1);
+        let plan = split_plan(atoms.clone(), &[0, 1, 2], 1, false);
         let whole = db.evaluate_filtered(&atoms, &[], 1).unwrap();
         let answers = evaluate_plan(&plan, &db, 2).unwrap().expect("satisfiable");
         let expect: Vec<Value> = [Var(0), Var(1), Var(2)]
@@ -1208,18 +1587,95 @@ mod tests {
         }
         let atoms: Vec<Atom> = (0..12).map(|i| e(vx(i), vx(i + 1))).collect();
         let head_vars: Vec<u32> = (0..13).collect();
-        let plan = split_plan(atoms.clone(), &head_vars, 64);
-        assert_eq!(
-            plan.units[0].regions.as_ref().unwrap().regions.len(),
-            12,
-            "every interior variable is an articulation point"
-        );
         let whole = db.evaluate_filtered(&atoms, &[], 1).unwrap();
         let expect: Vec<Value> = (0..13).map(|i| whole[0][&Var(i)]).collect();
-        for threads in [1, 3, 8] {
-            let answers = evaluate_plan(&plan, &db, threads).unwrap().unwrap();
-            assert_eq!(answers[0].tuples[0], expect, "chain solution is unique");
+        for streaming in [true, false] {
+            let plan = split_plan(atoms.clone(), &head_vars, 64, streaming);
+            assert_eq!(
+                plan.units[0].regions.as_ref().unwrap().regions.len(),
+                12,
+                "every interior variable is an articulation point"
+            );
+            for threads in [1, 3, 8] {
+                let answers = evaluate_plan(&plan, &db, threads).unwrap().unwrap();
+                assert_eq!(answers[0].tuples[0], expect, "chain solution is unique");
+            }
         }
+    }
+
+    #[test]
+    fn streaming_matches_materialized_answer_for_answer() {
+        // Many locally-valid keys per region, several of them globally
+        // consistent: both modes must pick the *same* representative
+        // (the pinned re-enumeration provably reproduces the
+        // materialized semi-join's per-key first choice).
+        let mut db = Database::new();
+        db.create_table("A", &["x", "y"]).unwrap();
+        db.create_table("B", &["x", "z"]).unwrap();
+        for x in 0..6 {
+            for y in 0..3 {
+                db.insert("A", vec![Value::int(x), Value::int(10 * x + y)])
+                    .unwrap();
+            }
+        }
+        for x in [2, 4, 5] {
+            for z in 0..2 {
+                db.insert("B", vec![Value::int(x), Value::int(100 * x + z)])
+                    .unwrap();
+            }
+        }
+        let atoms = vec![
+            Atom::new("A", vec![vx(0), vx(1)]),
+            Atom::new("B", vec![vx(0), vx(2)]),
+        ];
+        let streaming = split_plan(atoms.clone(), &[0, 1, 2], 4096, true);
+        let materialized = split_plan(atoms, &[0, 1, 2], 4096, false);
+        for threads in [1, 2, 4] {
+            let s = evaluate_plan(&streaming, &db, threads).unwrap();
+            let m = evaluate_plan(&materialized, &db, threads).unwrap();
+            assert_eq!(s, m, "modes diverged at {threads} threads");
+            assert!(s.is_some());
+        }
+    }
+
+    #[test]
+    fn witness_peak_is_bounded_by_articulation_domain_not_solution_count() {
+        // Each region holds domain² local solutions (x × private var),
+        // but the witness map keys only on the articulation variable:
+        // peak stays ≤ the domain size while the streamed count shows
+        // the full enumeration volume passing through.
+        const DOMAIN: i64 = 8;
+        let mut db = Database::new();
+        db.create_table("A", &["x", "y"]).unwrap();
+        db.create_table("B", &["x", "z"]).unwrap();
+        for x in 0..DOMAIN {
+            for p in 0..DOMAIN {
+                db.insert("A", vec![Value::int(x), Value::int(10 + p)])
+                    .unwrap();
+                db.insert("B", vec![Value::int(x), Value::int(100 + p)])
+                    .unwrap();
+            }
+        }
+        let atoms = vec![
+            Atom::new("A", vec![vx(0), vx(1)]),
+            Atom::new("B", vec![vx(0), vx(2)]),
+        ];
+        let plan = split_plan(atoms, &[0, 1, 2], 1 << 20, true);
+        let (answers, stats) = evaluate_plan_with_stats(&plan, &db, 2).unwrap();
+        assert!(answers.is_some());
+        assert!(
+            stats.witness_peak > 0 && stats.witness_peak <= DOMAIN as u64,
+            "witness peak {} exceeds articulation domain {}",
+            stats.witness_peak,
+            DOMAIN
+        );
+        // The child region streamed its full DOMAIN² solution set while
+        // retaining at most DOMAIN witness entries.
+        assert!(
+            stats.region_streamed >= (DOMAIN * DOMAIN) as u64,
+            "streamed only {}",
+            stats.region_streamed
+        );
     }
 
     #[test]

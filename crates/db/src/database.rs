@@ -248,6 +248,27 @@ impl Database {
         Ok(eval::evaluate(self, atoms, constraints, limit).0)
     }
 
+    /// Streaming form of [`Database::evaluate_filtered`]: `visit` is
+    /// called once per valuation, in the exact order `evaluate_filtered`
+    /// would collect them, without materializing a result set. Return
+    /// [`ControlFlow::Break`](std::ops::ControlFlow::Break) to stop the
+    /// enumeration early. The borrowed valuation is the search's live
+    /// binding map — clone it to keep a solution.
+    ///
+    /// This is the enumeration primitive behind the engine's
+    /// articulation-projection region merge, which retains only a
+    /// projection of each streamed solution instead of the solution
+    /// set itself.
+    pub fn evaluate_visit(
+        &self,
+        atoms: &[Atom],
+        constraints: &[Constraint],
+        visit: impl FnMut(&Valuation) -> std::ops::ControlFlow<()>,
+    ) -> Result<EvalStats, DbError> {
+        self.check_atoms(atoms)?;
+        Ok(eval::evaluate_visit(self, atoms, constraints, visit))
+    }
+
     /// [`Database::evaluate`] plus evaluator statistics (rows touched,
     /// index probes), used by the Figure 7 harness to report DB time
     /// drivers.

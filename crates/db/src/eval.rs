@@ -20,10 +20,18 @@
 //! the old recursive evaluator. The recursion survives as a
 //! `#[cfg(test)]` oracle (`recursive_reference`) that the property
 //! tests below compare against on random databases and conjunctions.
+//!
+//! The search core is exposed as a **visitor** ([`evaluate_visit`]):
+//! each full valuation is handed to a callback that can stop the
+//! enumeration early (`ControlFlow::Break`), so streaming consumers —
+//! notably `eq_core::intra`'s articulation-projection region merge —
+//! never materialize a solution set. The collecting [`evaluate`] is a
+//! thin wrapper over it.
 
 use crate::database::Database;
 use crate::table::Table;
 use eq_ir::{Atom, Constraint, FastMap, Term, Value, Var};
+use std::ops::ControlFlow;
 
 /// A valuation: an assignment of database values to query variables
 /// (§2.3's "assignment of a value from D to each variable of q").
@@ -43,26 +51,54 @@ pub struct EvalStats {
 
 /// Evaluates `atoms` (a conjunction over database relations) and returns
 /// up to `limit` valuations. Relations and arities are pre-checked by the
-/// caller.
+/// caller. A thin collecting wrapper over [`evaluate_visit`].
 pub(crate) fn evaluate(
     db: &Database,
     atoms: &[Atom],
     constraints: &[Constraint],
     limit: usize,
 ) -> (Vec<Valuation>, EvalStats) {
-    let mut stats = EvalStats::default();
     let mut results = Vec::new();
     if limit == 0 {
-        return (results, stats);
+        // Never enter the search: the recursive oracle's stats for
+        // limit 0 are all-zero, and the bit-for-bit proptest holds the
+        // wrapper to that.
+        return (results, EvalStats::default());
     }
+    let stats = evaluate_visit(db, atoms, constraints, |valuation| {
+        results.push(valuation.clone());
+        if results.len() >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    (results, stats)
+}
+
+/// Streaming enumeration over the iterative frame search: `visit` is
+/// called once per valuation, **in the exact order [`evaluate`] would
+/// collect them**, without materializing a result set. Returning
+/// [`ControlFlow::Break`] stops the search immediately (the stats
+/// reflect only the work done up to that point).
+///
+/// The borrowed valuation is the search's live binding map — callers
+/// that keep a solution must clone it before returning `Continue`.
+pub(crate) fn evaluate_visit(
+    db: &Database,
+    atoms: &[Atom],
+    constraints: &[Constraint],
+    mut visit: impl FnMut(&Valuation) -> ControlFlow<()>,
+) -> EvalStats {
+    let mut stats = EvalStats::default();
     if atoms.is_empty() {
         // The empty conjunction is true under the empty valuation —
         // provided no fully-ground constraint refutes it.
         let empty = Valuation::default();
         if constraints_hold(constraints, &empty) {
-            results.push(empty);
+            let _ = visit(&empty);
         }
-        return (results, stats);
+        return stats;
     }
     let mut bindings = Valuation::default();
     let mut remaining: Vec<&Atom> = atoms.iter().collect();
@@ -70,7 +106,7 @@ pub(crate) fn evaluate(
     let Some(first) = Frame::open(db, &mut remaining, &bindings, &mut stats) else {
         // A missing relation (pre-checked by the caller, so this is
         // defensive) joins zero rows: the conjunction has no answers.
-        return (results, stats);
+        return stats;
     };
     stack.push(first);
 
@@ -116,9 +152,8 @@ pub(crate) fn evaluate(
                     // A full valuation: emit it and keep enumerating
                     // candidates at this deepest frame (exactly the
                     // recursion's push-then-return-and-undo).
-                    results.push(bindings.clone());
-                    if results.len() >= limit {
-                        return (results, stats);
+                    if visit(&bindings).is_break() {
+                        return stats;
                     }
                 } else {
                     matched = true;
@@ -137,8 +172,8 @@ pub(crate) fn evaluate(
                 // Defensive (relations are pre-checked): a missing
                 // relation joins zero rows, and since it is still in
                 // every unexplored branch's worklist no answer can
-                // exist — results is necessarily empty here.
-                return (results, stats);
+                // exist — nothing was emitted before this point.
+                return stats;
             };
             stack.push(frame);
         } else {
@@ -152,7 +187,7 @@ pub(crate) fn evaluate(
             remaining.swap(frame.pick, last);
         }
     }
-    (results, stats)
+    stats
 }
 
 /// Candidate-row iteration state of one [`Frame`]: either the posting

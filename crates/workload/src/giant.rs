@@ -17,6 +17,7 @@
 //! Chain:       {R(G_{i+1}, HUB)}  R(G_i, HUB)  ⊣  Friends(G_i, x) ∧ Friends(x, y)
 //! Triangle:    {R(G_{i+1}, HUB)}  R(G_i, HUB)  ⊣  Friends(G_i, x) ∧ Friends(x, y) ∧ Friends(y, G_i)
 //! SharedChain: {R(G_{i+1}, y)}   R(G_i, x)    ⊣  Friends(G_i, x) ∧ Friends(x, y)
+//! SharedWide:  {R(G_{i+1}, y)}   R(G_i, x)    ⊣  Friends(G_i, x) ∧ Friends(x, y) ∧ Friends(x, z)
 //! ```
 //!
 //! `Chain` and `Triangle` bodies use **private** variables, so the
@@ -63,6 +64,16 @@
 //! real per-region work. The `SharedChain` database carries forward
 //! ring edges only (no closure edges).
 //!
+//! **`SharedWide`** is `SharedChain` plus one **private** widening atom
+//! `Friends(x, z)` per query. `z` never leaves its query, so the
+//! biconnected split hangs a pendant region `{x_i, z_i}` off every
+//! chain variable: per-query local solutions multiply to `Θ(k²)` while
+//! the articulation domain (the values `x_i` can take) stays `k`. This
+//! is the flavor that breaks any evaluator which *materializes*
+//! per-region solution sets — memory scales with `n·k²` — while the
+//! streaming articulation projection retains only `O(k)` witness values
+//! per region. Database rows are identical to `SharedChain`.
+//!
 //! All rings are safe (every postcondition has exactly one unifying
 //! head), UCS (one cycle ⇒ one SCC), and fully answerable.
 
@@ -83,6 +94,10 @@ pub enum GiantBody {
     /// Postconditions name body variables: the combined body is one
     /// shared-variable chain, split only by biconnected regions.
     SharedChain,
+    /// `SharedChain` plus a private `Friends(x, z)` widening atom:
+    /// Θ(k²) local solutions per region against an articulation domain
+    /// of width `k` — the anti-materialization stress flavor.
+    SharedWide,
 }
 
 /// Configuration for [`giant_component`].
@@ -141,7 +156,7 @@ pub fn giant_component(cfg: &GiantComponentConfig) -> (Database, Vec<EntangledQu
             rows.push(vec![user(m, n), user(m + j, n)]);
         }
     }
-    if cfg.body != GiantBody::SharedChain {
+    if matches!(cfg.body, GiantBody::Chain | GiantBody::Triangle) {
         for m in 0..n {
             rows.push(vec![user(m + 2 * k, n), user(m, n)]);
         }
@@ -151,6 +166,7 @@ pub fn giant_component(cfg: &GiantComponentConfig) -> (Database, Vec<EntangledQu
     let hub = Term::str("HUB");
     let x = Term::Var(Var(0));
     let y = Term::Var(Var(1));
+    let z = Term::Var(Var(2));
     let queries = (0..n)
         .map(|i| {
             let me = Term::Const(user(i, n));
@@ -171,7 +187,14 @@ pub fn giant_component(cfg: &GiantComponentConfig) -> (Database, Vec<EntangledQu
                         Atom::new(RESERVE, vec![next, hub]),
                     )
                 }
-                GiantBody::SharedChain => {
+                GiantBody::SharedChain | GiantBody::SharedWide => {
+                    if cfg.body == GiantBody::SharedWide {
+                        // Private widening atom: z stays local to this
+                        // query, so each region's local solution count
+                        // multiplies by k while the articulation domain
+                        // (values of x) does not grow.
+                        body.push(Atom::new(FRIENDS, vec![x, z]));
+                    }
                     // Query 0 anchors with a ground head; query n-1
                     // closes the entanglement ring with the matching
                     // ground postcondition. Everyone else reserves its
@@ -207,6 +230,7 @@ mod tests {
             GiantBody::Chain,
             GiantBody::Triangle,
             GiantBody::SharedChain,
+            GiantBody::SharedWide,
         ] {
             let cfg = GiantComponentConfig {
                 queries: 60,
@@ -296,6 +320,9 @@ mod tests {
             EngineConfig {
                 mode: EngineMode::SetAtATime { batch_size: 0 },
                 intra_component_threshold: 1,
+                // Force the split at this small n (the crossover gate
+                // would otherwise keep an 80-atom unit whole).
+                intra_split_crossover: 0,
                 flush_threads: 4,
                 ..Default::default()
             },
@@ -346,6 +373,7 @@ mod tests {
                     mode: EngineMode::SetAtATime { batch_size: 0 },
                     intra_component_threshold: 1,
                     intra_split_min_atoms: if split { 2 } else { usize::MAX },
+                    intra_split_crossover: 0,
                     flush_threads: 4,
                     ..Default::default()
                 },
@@ -362,6 +390,53 @@ mod tests {
         assert_eq!(split.failed, whole.failed);
         assert_eq!(split.intra_regions, 30);
         assert_eq!(whole.intra_regions, 0);
+    }
+
+    #[test]
+    fn shared_wide_witness_peak_is_bounded_by_articulation_domain() {
+        use eq_core::{CoordinationEngine, EngineConfig, EngineMode};
+        // The anti-materialization flavor: each pendant region carries
+        // Θ(k²) local solutions, but the streaming evaluator retains
+        // only the ≤ k articulation witness values per region.
+        let (n, k) = (30usize, 4usize);
+        let cfg = GiantComponentConfig {
+            queries: n,
+            friends_per_user: k,
+            body: GiantBody::SharedWide,
+        };
+        let (db, queries) = giant_component(&cfg);
+        let mut engine = CoordinationEngine::new(
+            db,
+            EngineConfig {
+                mode: EngineMode::SetAtATime { batch_size: 0 },
+                intra_component_threshold: 1,
+                intra_split_crossover: 0,
+                flush_threads: 4,
+                ..Default::default()
+            },
+        );
+        for q in &queries {
+            engine.submit(q.clone()).unwrap();
+        }
+        let report = engine.flush();
+        assert_eq!(report.answered, n);
+        assert_eq!(report.intra_split_units, 1);
+        // n chain regions plus n pendant {x_i, z_i} regions.
+        assert_eq!(report.intra_regions, 2 * n);
+        // Streaming consumed the quadratic solution volume (every
+        // non-root pendant region streams its full k² local set) …
+        assert!(
+            report.intra_region_streamed >= ((n - 1) * k * k) as u64,
+            "streamed {} < {}",
+            report.intra_region_streamed,
+            (n - 1) * k * k
+        );
+        // … but never held more than the articulation domain.
+        assert!(
+            report.intra_witness_peak >= 1 && report.intra_witness_peak <= k as u64,
+            "witness peak {} out of [1, {k}]",
+            report.intra_witness_peak
+        );
     }
 
     #[test]

@@ -6,17 +6,20 @@
 # bench smoke runs (fig6 throughput, fig8 stress, fig_resident churn,
 # fig_service batched admission + staleness/KeepPending churn — whose
 # JSON must carry the instrumented-lock hold counters — and fig_giant
-# intra-component parallelism incl. the Triangle and shared-chain
-# region-split series, whose JSON is published as BENCH_fig_giant.json
-# to record the perf trajectory). Everything runs offline (vendored
-# shims only — see README "Offline-dependency policy").
+# intra-component parallelism incl. the Triangle, shared-chain and
+# shared-wide region-split series, whose JSON is published as
+# BENCH_fig_giant.json — with the streaming-projection counters — to
+# record the perf trajectory, plus a 10k shared-ring sweep bounded
+# against the old materialized-semi-join baseline). Everything runs
+# offline (vendored shims only — see README "Offline-dependency
+# policy").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/13 cargo fmt --check =="
+echo "== 1/14 cargo fmt --check =="
 cargo fmt --check
 
-echo "== 2/13 workspace membership (cargo metadata) =="
+echo "== 2/14 workspace membership (cargo metadata) =="
 # Parse real package names only (a grep over the raw JSON would also
 # match "name" fields inside dependency tables and pass vacuously).
 names=$(cargo metadata --no-deps --format-version 1 --offline |
@@ -32,42 +35,42 @@ for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
 done
 echo "all $(wc -w <<<"$names" | tr -d ' ') packages present"
 
-echo "== 3/13 cargo build --release =="
+echo "== 3/14 cargo build --release =="
 cargo build --release --offline
 
-echo "== 4/13 cargo test -q (unit + integration; doctests run in step 5) =="
+echo "== 4/14 cargo test -q (unit + integration; doctests run in step 5) =="
 cargo test -q --offline --lib --bins --tests
 
-echo "== 5/13 cargo test --doc (service/error examples compile and run) =="
+echo "== 5/14 cargo test --doc (service/error examples compile and run) =="
 cargo test -q --doc --offline
 
-echo "== 6/13 cargo clippy --workspace --all-targets =="
+echo "== 6/14 cargo clippy --workspace --all-targets =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== 7/13 cargo doc (warnings are errors) =="
+echo "== 7/14 cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
-echo "== 8/13 docs dead-link check =="
+echo "== 8/14 docs dead-link check =="
 python3 scripts/check_doc_links.py
 
-echo "== 9/13 eq_check concurrency-discipline analyzer =="
+echo "== 9/14 eq_check concurrency-discipline analyzer =="
 # The workspace scan must be clean, and every rule must be proven live
 # by its fixture pair (the must-fail fires exactly its own rule, the
 # must-pass stays silent).
 cargo run -q --offline -p eq_check
 cargo run -q --offline -p eq_check -- --fixtures
 
-echo "== 10/13 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
+echo "== 10/14 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
 # The join evaluator is iterative (heap-bounded frames); this deep-chain
 # join would overflow a 1 MiB test-thread stack through the old
 # recursive search. Run it with the stack clamped to prove the bound.
 RUST_MIN_STACK=1048576 cargo test -q --offline -p eq_db --test deep_stack
 
-echo "== 11/13 fig6 + fig8 bench smoke =="
+echo "== 11/14 fig6 + fig8 bench smoke =="
 cargo bench -q --offline -p eq_bench --bench fig6_two_way -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
 
-echo "== 12/13 fig_resident churn + fig_service admission/churn smoke =="
+echo "== 12/14 fig_resident churn + fig_service admission/churn smoke =="
 cargo bench -q --offline -p eq_bench --bench fig_resident -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig_service -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_service -- --smoke
@@ -79,10 +82,35 @@ if ! grep -q "lock_hold_ns" results/fig_service.json; then
 fi
 echo "fig_service.json carries lock_hold_ns"
 
-echo "== 13/13 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
+echo "== 13/14 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
 cargo bench -q --offline -p eq_bench --bench fig_giant -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_giant -- --smoke
 cp results/fig_giant.json BENCH_fig_giant.json
-echo "published BENCH_fig_giant.json ($(wc -c < BENCH_fig_giant.json) bytes)"
+# The streaming articulation projection must surface its counters: the
+# streamed solution volume and the witness-map high-water mark (bounded
+# by the articulation-domain width on the SharedWide series).
+for counter in intra_region_streamed intra_witness_peak; do
+    if ! grep -q "$counter" BENCH_fig_giant.json; then
+        echo "FATAL: BENCH_fig_giant.json lacks the $counter counter" >&2
+        exit 1
+    fi
+done
+echo "published BENCH_fig_giant.json ($(wc -c < BENCH_fig_giant.json) bytes, streaming counters present)"
+
+echo "== 14/14 10k shared-ring sweep: streamed split vs materialized baseline =="
+# The 10k shared-variable ring flushed in ~0.75 s under the materialized
+# semi-join; the streamed split measured ~0.40 s. Bound the flush at 2x
+# the old baseline so a regression back to materialization-scale cost
+# (or worse) fails CI while machine noise does not.
+cargo run -q --release --offline -p eq_bench --bin fig_giant -- --sweep --shared --sweep-size 10000
+python3 - <<'PY'
+import json
+rows = json.load(open("results/fig_giant_sweep.json"))
+flush = [r for r in rows if "giant-component flush" in r["series"]]
+assert flush, "sweep JSON lacks the giant-component flush row"
+ms = flush[0]["millis"]
+assert ms < 1500.0, f"10k shared-ring flush regressed: {ms:.1f} ms (materialized baseline was ~750 ms)"
+print(f"10k shared-ring streamed flush: {ms:.1f} ms (< 1500 ms bound)")
+PY
 
 echo "CI green."
