@@ -1,0 +1,42 @@
+//! Out-of-core storage + durability series: the two-way workload with
+//! the hot `Friends` relation memory-resident versus spilled through
+//! `eq_store`'s paged backend (cache budget 1/10 of the relation), and
+//! the kill-and-recover harness over the `DurableCoordinator` (WAL
+//! only, and checkpoint + WAL tail). The paged rows carry
+//! `page_reads`/`cache_hits`/`evictions`/`resident_bytes_peak`/
+//! `budget_bytes` counters in the JSON output — CI asserts the run
+//! actually faulted pages and never exceeded its budget; the recover
+//! rows assert exactly-once outcome accounting internally (the run
+//! aborts if recovery loses or duplicates an acknowledged query).
+//!
+//! Usage:
+//!   cargo run --release -p eq_bench --bin fig_store [-- --pairs 4000]
+//!   cargo run --release -p eq_bench --bin fig_store -- --smoke   (CI-sized run)
+
+use eq_bench::harness::smoke_mode;
+use eq_bench::{report, run_fig_store, FigStoreConfig};
+use std::path::Path;
+
+fn main() {
+    let smoke = smoke_mode();
+    let args: Vec<String> = std::env::args().collect();
+    let pairs = args
+        .iter()
+        .position(|a| a == "--pairs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 400 } else { 4_000 });
+    let rows = run_fig_store(&FigStoreConfig {
+        users: if smoke { 2_000 } else { 20_000 },
+        pairs,
+        page_bytes: 4096,
+        spill_ratio: 10,
+        durable_queries: if smoke { 200 } else { 2_000 },
+        seed: 2011,
+    });
+    report(
+        "Out-of-core paged storage + crash recovery",
+        &rows,
+        Some(Path::new("results/fig_store.json")),
+    );
+}

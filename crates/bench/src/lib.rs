@@ -30,11 +30,12 @@ mod runner;
 
 pub use harness::BenchGroup;
 pub use runner::{
-    clone_db, drive_churn_rebuild, drive_churn_resident, drive_giant, drive_scale_harness,
-    drive_service_harness, instrumented_batch, pairwise_edge_count, run_fig6, run_fig7, run_fig8,
-    run_fig9, run_fig_giant, run_fig_giant_sweep, run_fig_resident, run_fig_service,
-    standard_graph, ChurnCounters, Fig6Config, Fig8Config, Fig9Config, FigGiantConfig,
-    FigGiantSweepConfig, FigResidentConfig, FigServiceConfig, Row, ServiceCounters, SplitTiming,
+    clone_db, drive_churn_rebuild, drive_churn_resident, drive_giant, drive_kill_recover,
+    drive_scale_harness, drive_service_harness, instrumented_batch, pairwise_edge_count, run_fig6,
+    run_fig7, run_fig8, run_fig9, run_fig_giant, run_fig_giant_sweep, run_fig_resident,
+    run_fig_service, run_fig_store, standard_graph, ChurnCounters, Fig6Config, Fig8Config,
+    Fig9Config, FigGiantConfig, FigGiantSweepConfig, FigResidentConfig, FigServiceConfig,
+    FigStoreConfig, Row, ServiceCounters, SplitTiming,
 };
 
 use std::io::Write as _;

@@ -9,10 +9,10 @@ use eq_core::{
 use eq_db::Database;
 use eq_ir::{EntangledQuery, VarGen};
 use eq_workload::{
-    build_database, chains, churn_script, clique_groups, giant_cluster, giant_component,
-    grid_pairs, no_unify, service_script, three_way_triangles, two_way_pairs, unsafe_arrivals,
-    unsafe_residents, ChurnConfig, ChurnOp, GiantBody, GiantComponentConfig, PairStyle,
-    ServiceConfig, ServiceOp, SocialGraph, SocialGraphConfig,
+    build_database, build_out_of_core_database, chains, churn_script, clique_groups, giant_cluster,
+    giant_component, grid_pairs, no_unify, service_script, three_way_triangles, two_way_pairs,
+    unsafe_arrivals, unsafe_residents, ChurnConfig, ChurnOp, GiantBody, GiantComponentConfig,
+    PairStyle, ServiceConfig, ServiceOp, SocialGraph, SocialGraphConfig,
 };
 use std::time::Instant;
 
@@ -1427,6 +1427,185 @@ pub fn run_fig_giant_sweep(cfg: &FigGiantSweepConfig) -> Vec<Row> {
 /// Ablation baseline for the atom index (§4.1.4): edge discovery by
 /// exhaustive pairwise unification. Returns the number of edges found
 /// (must equal the indexed graph's edge count).
+/// Configuration for the `fig_store` out-of-core + durability series.
+pub struct FigStoreConfig {
+    /// Social graph scale (drives the `Friends` relation size).
+    pub users: usize,
+    /// Two-way entangled pairs per evaluation round.
+    pub pairs: usize,
+    /// Page size of the spilled `Friends` table.
+    pub page_bytes: usize,
+    /// Hot-relation-to-cache-budget ratio (10 = the ISSUE's "hot
+    /// relation at least 10× the budget" regime).
+    pub spill_ratio: usize,
+    /// Queries acknowledged before the simulated kill in the
+    /// kill-and-recover series.
+    pub durable_queries: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// The `fig_store` series: the paper's two-way workload evaluated with
+/// the hot `Friends` relation (a) memory-resident and (b) spilled
+/// through `eq_store`'s paged backend under a cache budget
+/// `1/spill_ratio` of the relation — the paged rows carry the
+/// [`eq_core::BatchReport::io`] counters (`page_reads`, `cache_hits`,
+/// `evictions`, `resident_bytes_peak`) plus the budget, so the JSON
+/// output proves the run was genuinely out-of-core. A final
+/// kill-and-recover row drives a [`eq_core::DurableCoordinator`]
+/// through acknowledge → kill (drop, no checkpoint) → reopen and
+/// **asserts** exactly-once outcome accounting across the restart; its
+/// `millis` is the recovery (reopen) time.
+pub fn run_fig_store(cfg: &FigStoreConfig) -> Vec<Row> {
+    let graph = standard_graph(cfg.users);
+    let queries = two_way_pairs(&graph, cfg.pairs, PairStyle::Random, cfg.seed);
+    let mut rows = Vec::new();
+
+    // (a) In-memory baseline: same workload, io counters all zero.
+    {
+        let coordinator = service_coordinator(build_database(&graph), 1, false);
+        let mut session = coordinator.session();
+        let requests: Vec<SubmitRequest> = queries
+            .iter()
+            .map(|q| SubmitRequest::new(q.clone()))
+            .collect();
+        session.submit_batch(requests);
+        let start = Instant::now();
+        let report = coordinator.flush();
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        rows.push(Row {
+            extra: Some(report.answered as f64),
+            counters: vec![
+                ("answered", report.answered as f64),
+                ("page_reads", report.io.page_reads as f64),
+                ("resident_bytes_peak", report.io.resident_bytes_peak as f64),
+            ],
+            ..Row::new("fig_store", "in-memory baseline", cfg.pairs as u64, millis)
+        });
+    }
+
+    // (b) Out-of-core: `Friends` spilled, budget 1/spill_ratio of it.
+    {
+        let setup = build_out_of_core_database(&graph, cfg.page_bytes, cfg.spill_ratio);
+        assert!(
+            setup.hot_data_bytes >= cfg.spill_ratio * setup.budget_bytes,
+            "hot relation must dwarf the cache budget"
+        );
+        let coordinator = service_coordinator(setup.db, 1, false);
+        let mut session = coordinator.session();
+        let requests: Vec<SubmitRequest> = queries
+            .iter()
+            .map(|q| SubmitRequest::new(q.clone()))
+            .collect();
+        session.submit_batch(requests);
+        let start = Instant::now();
+        let report = coordinator.flush();
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            report.io.resident_bytes_peak as usize <= setup.budget_bytes,
+            "page cache must respect its byte budget"
+        );
+        rows.push(Row {
+            extra: Some(report.answered as f64),
+            counters: vec![
+                ("answered", report.answered as f64),
+                ("page_reads", report.io.page_reads as f64),
+                ("page_writes", report.io.page_writes as f64),
+                ("cache_hits", report.io.cache_hits as f64),
+                ("evictions", report.io.evictions as f64),
+                ("resident_bytes_peak", report.io.resident_bytes_peak as f64),
+                ("budget_bytes", setup.budget_bytes as f64),
+                ("hot_data_bytes", setup.hot_data_bytes as f64),
+            ],
+            ..Row::new("fig_store", "paged (out-of-core)", cfg.pairs as u64, millis)
+        });
+        eq_store::purge_dir(&setup.dir);
+    }
+
+    // (c) Kill-and-recover: acknowledge a mixed history, kill without
+    // checkpointing, reopen, and require the accounting to line up
+    // exactly — then once more from a checkpoint + log tail.
+    rows.push(drive_kill_recover(cfg.durable_queries, cfg.seed, false));
+    rows.push(drive_kill_recover(
+        cfg.durable_queries,
+        cfg.seed ^ 0x9e37,
+        true,
+    ));
+    rows
+}
+
+/// One kill-and-recover drive: submit `n` grid-pair queries through a
+/// [`eq_core::DurableCoordinator`] (flushing halfway, so the history holds both
+/// terminal outcomes and still-pending queries), optionally checkpoint
+/// mid-stream, snapshot the acknowledged accounting, drop the
+/// coordinator without ceremony (the simulated kill — page files and
+/// the WAL's un-checkpointed tail are all that survives), reopen, and
+/// assert the recovered accounting is **identical**: every
+/// acknowledged query exactly once, answered ones with their exact
+/// answers. Returns the row (recovery wall-clock in `millis`).
+pub fn drive_kill_recover(n: usize, seed: u64, checkpoint: bool) -> Row {
+    let dir = eq_store::scratch_dir("fig-store-recover");
+    let config = EngineConfig {
+        mode: EngineMode::SetAtATime { batch_size: 0 },
+        ..Default::default()
+    };
+    let queries = grid_pairs(n, seed);
+    let before = {
+        let dc = eq_core::DurableCoordinator::open(&dir, config.clone())
+            .expect("fresh durable coordinator");
+        let half = queries.len() / 2;
+        for q in &queries[..half] {
+            dc.submit(SubmitRequest::new(q.clone())).expect("admitted");
+        }
+        dc.flush();
+        if checkpoint {
+            dc.checkpoint().expect("checkpoint");
+        }
+        for q in &queries[half..] {
+            dc.submit(SubmitRequest::new(q.clone())).expect("admitted");
+        }
+        dc.accounting()
+    }; // kill: dropped with pending queries and an unflushed WAL tail
+
+    let start = Instant::now();
+    let dc = eq_core::DurableCoordinator::open(&dir, config).expect("recovery");
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    let after = dc.accounting();
+    assert_eq!(
+        before.len(),
+        after.len(),
+        "no acknowledged query lost or duplicated"
+    );
+    for ((id_b, out_b), (id_a, out_a)) in before.iter().zip(&after) {
+        assert_eq!(id_b, id_a, "id accounting must match");
+        assert_eq!(out_b, out_a, "terminal outcomes must match exactly");
+    }
+    let terminal = after.iter().filter(|(_, o)| o.is_some()).count();
+    let pending = after.len() - terminal;
+    // The recovered pool still coordinates: pair up the pending half.
+    let report = dc.flush();
+    eq_store::purge_dir(&dir);
+    Row {
+        extra: Some(after.len() as f64),
+        counters: vec![
+            ("acknowledged", after.len() as f64),
+            ("recovered_terminal", terminal as f64),
+            ("recovered_pending", pending as f64),
+            ("post_recovery_answered", report.answered as f64),
+        ],
+        ..Row::new(
+            "fig_store",
+            if checkpoint {
+                "kill+recover (checkpoint+tail)"
+            } else {
+                "kill+recover (wal only)"
+            },
+            n as u64,
+            millis,
+        )
+    }
+}
+
 pub fn pairwise_edge_count(queries: &[EntangledQuery]) -> usize {
     let mut edges = 0usize;
     for (i, qi) in queries.iter().enumerate() {

@@ -1,0 +1,9 @@
+//@ path: crates/core/src/durable.rs
+//@ expect: io-choke-point
+// Raw file IO in the coordination layer: durability guarantees (fsync
+// discipline, torn-tail truncation, checkpoint rename atomicity) live
+// in eq_store; a stray std::fs write would bypass all of them.
+
+pub fn sneaky_persist(bytes: &[u8]) {
+    std::fs::write("wal.log", bytes).ok();
+}

@@ -1,0 +1,11 @@
+//@ path: crates/store/src/wal.rs
+// The storage crate is the IO choke point: page files, the
+// write-ahead log, and checkpoints all perform their file IO here,
+// so std::fs and the io::Write trait are legal.
+
+use std::fs::File;
+use std::io::Write;
+
+pub fn append(file: &mut File, bytes: &[u8]) -> std::io::Result<()> {
+    file.write_all(bytes)
+}

@@ -46,6 +46,7 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/sql/src",
     "crates/core/src",
     "crates/workload/src",
+    "crates/store/src",
     "crates/bench/src",
     "crates/check/src",
 ];

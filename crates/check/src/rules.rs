@@ -1,6 +1,6 @@
 //! The rule engine: a structural pass over the lexed token stream
-//! (`cfg(test)` regions, enclosing-function tracking) plus the seven
-//! concurrency-discipline rules, each with an explicit per-rule
+//! (`cfg(test)` regions, enclosing-function tracking) plus the eight
+//! concurrency- and IO-discipline rules, each with an explicit per-rule
 //! allowlist. The rules are documented for humans in
 //! `docs/ARCHITECTURE.md` ("Invariants & analysis"); this module is the
 //! machine-readable version.
@@ -92,6 +92,14 @@ pub const RULES: &[Rule] = &[
         ],
     },
     Rule {
+        name: "io-choke-point",
+        summary: "std::fs / std::io::Write are confined to eq_store (the \
+                  durability choke point), eq_check's source scanner, and \
+                  eq_bench's JSON report writer — everything else routes \
+                  page/WAL/checkpoint traffic through eq_store",
+        allow: &["crates/bench/src/lib.rs"],
+    },
+    Rule {
         name: "forbid-unsafe",
         summary: "every workspace crate root carries #![forbid(unsafe_code)]",
         allow: &[],
@@ -116,6 +124,11 @@ const RECURSION_FILES: &[&str] = &[
 /// Crates whose non-test sources must not contain bare `.unwrap()`.
 const NO_UNWRAP_SCOPES: &[&str] = &["crates/core/src/", "crates/db/src/", "crates/unify/src/"];
 
+/// Directories exempt from `io-choke-point` wholesale: the storage
+/// crate *is* the choke point, and the analyzer must read source files
+/// to do its job.
+const IO_CHOKE_EXEMPT_DIRS: &[&str] = &["crates/store/src/", "crates/check/src/"];
+
 /// Crate roots that must carry `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "src/lib.rs",
@@ -125,6 +138,7 @@ pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "crates/sql/src/lib.rs",
     "crates/core/src/lib.rs",
     "crates/workload/src/lib.rs",
+    "crates/store/src/lib.rs",
     "crates/bench/src/lib.rs",
     "crates/check/src/lib.rs",
 ];
@@ -278,6 +292,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
     scan_unwrap_expect(path, &a, &mut out);
     scan_recursion(path, &a, &mut out);
     scan_event_construction(path, &a, &mut out);
+    scan_io(path, &a, &mut out);
     scan_forbid_unsafe(path, &a, &mut out);
 
     out.sort_by(|x, y| (x.line, x.rule).cmp(&(y.line, y.rule)));
@@ -477,6 +492,45 @@ fn scan_event_construction(path: &str, a: &Analysis, out: &mut Vec<Violation>) {
     }
 }
 
+/// The token paths `std::fs` and `io::Write` (which also catches
+/// `std::io::Write`) outside cfg(test) — file IO is confined to the
+/// audited choke points so durability guarantees (fsync discipline,
+/// torn-tail handling, page placement) have exactly one implementation.
+/// `std::fmt::Write` is a different path and stays legal everywhere.
+fn scan_io(path: &str, a: &Analysis, out: &mut Vec<Violation>) {
+    let r = rule("io-choke-point");
+    let exempt = IO_CHOKE_EXEMPT_DIRS
+        .iter()
+        .any(|s| path.starts_with(s) || path.contains(&format!("/{s}")));
+    if exempt || allowed(r, path, None) {
+        return;
+    }
+    for i in 0..a.tokens.len() {
+        if a.in_test[i] {
+            continue;
+        }
+        let segment = |j: usize, name: &str| -> bool {
+            symbol_at(a, j, ':') && symbol_at(a, j + 1, ':') && ident_at(a, j + 2) == Some(name)
+        };
+        let hit = match ident_at(a, i) {
+            Some("std") => segment(i + 1, "fs"),
+            Some("io") => segment(i + 1, "Write"),
+            _ => false,
+        };
+        if hit {
+            out.push(Violation {
+                rule: r.name,
+                path: path.to_owned(),
+                line: a.tokens[i].line,
+                message: "file IO outside the eq_store choke point — route \
+                          page/WAL/checkpoint traffic through eq_store (or \
+                          the bench JSON writer for reports)"
+                    .into(),
+            });
+        }
+    }
+}
+
 /// Crate roots must open with `#![forbid(unsafe_code)]`.
 fn scan_forbid_unsafe(path: &str, a: &Analysis, out: &mut Vec<Violation>) {
     let r = rule("forbid-unsafe");
@@ -595,6 +649,30 @@ mod tests {
         let v = check_source("crates/core/src/service.rs", bad);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "event-choke-point");
+    }
+
+    #[test]
+    fn io_is_confined_to_the_storage_choke_point() {
+        let banned = "fn persist() { std::fs::write(\"x\", b\"y\").ok(); }";
+        let v = check_source("crates/core/src/durable.rs", banned);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "io-choke-point");
+
+        let trait_import = "#![forbid(unsafe_code)]\nuse std::io::Write;\nfn f() {}";
+        let v = check_source("crates/workload/src/out_of_core.rs", trait_import);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "io-choke-point");
+
+        // The choke points themselves, the analyzer, and the bench JSON
+        // writer stay legal; so does fmt::Write anywhere.
+        assert!(check_source("crates/store/src/wal.rs", banned).is_empty());
+        assert!(check_source("crates/check/src/main.rs", banned).is_empty());
+        assert!(check_source("crates/bench/src/lib.rs", trait_import).is_empty());
+        assert!(check_source(
+            "crates/core/src/durable.rs",
+            "use std::fmt::Write;\nfn f() {}"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::pool;
 use crate::resident::ResidentGraph;
 use crate::safety::{self, SafetyViolation};
 use crate::ucs;
-use eq_db::Database;
+use eq_db::{Database, StoreIoStats};
 use eq_ir::{EntangledQuery, FastMap, FastSet, QueryId, ValidationError, VarGen};
 use eq_unify::Unifier;
 use parking_lot::RwLock;
@@ -310,6 +310,12 @@ pub struct BatchReport {
     /// Longest single completed service-lock hold so far, in
     /// nanoseconds (0 without a service).
     pub lock_max_hold_ns: u64,
+    /// Cumulative storage-backend I/O counters summed across the
+    /// database's tables at flush time (all zero for the in-memory
+    /// backend). When relations spill through `eq_store`'s paged
+    /// backend this is where cache traffic — page faults, write-backs,
+    /// hits, evictions, resident peak — surfaces to callers.
+    pub io: StoreIoStats,
     /// Aggregated matching statistics.
     pub stats: MatchStats,
 }
@@ -485,6 +491,20 @@ impl CoordinationEngine {
     /// rounds to load data).
     pub fn db(&self) -> Arc<RwLock<Database>> {
         Arc::clone(&self.db)
+    }
+
+    /// The id the next submission will receive. Recovery reads this to
+    /// persist the id watermark in checkpoints.
+    pub(crate) fn next_query_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Moves the id counter forward (never backward) — recovery replays
+    /// acknowledged submissions under their original ids and then
+    /// restores the watermark so post-recovery submissions never reuse
+    /// an id.
+    pub(crate) fn set_next_query_id(&mut self, next: u64) {
+        self.next_id = self.next_id.max(next);
     }
 
     /// Number of pending queries.
@@ -1070,6 +1090,7 @@ impl CoordinationEngine {
         let groups = self.resident.take_dirty();
         let mut report = self.process_groups(&groups);
         report.skipped_clean = skipped;
+        report.io = self.db.read().io_stats();
         report
     }
 

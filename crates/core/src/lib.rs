@@ -51,6 +51,7 @@
 pub mod bruteforce;
 pub mod combine;
 pub mod coordinate;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod events;
@@ -67,6 +68,7 @@ pub mod ucs;
 
 pub use combine::{CombinedQuery, QueryAnswer};
 pub use coordinate::{coordinate, coordinate_with_config, CoordinationOutcome, RejectReason};
+pub use durable::{DurableCoordinator, DurableError};
 pub use engine::{
     BatchReport, CoordinationEngine, EngineConfig, EngineMode, FailReason, NoSolutionPolicy,
     QueryHandle, QueryOutcome, QueryStatus, SubmitError, SubmitOptions,

@@ -270,6 +270,32 @@ impl Event {
     }
 }
 
+/// The durability hook: a write-ahead recorder consulted inside the
+/// service lock at the two points that define the crash-recovery
+/// contract — after a submission is admitted (before its handle is
+/// released to the caller) and when a terminal outcome is drained
+/// (before it is broadcast). `eq_core::durable` installs a WAL-backed
+/// implementation; the trait stays crate-private so the recording
+/// points cannot be bypassed or reordered from outside.
+pub(crate) trait DurabilitySink: Send {
+    /// An admitted submission: `id` was assigned and the caller is
+    /// about to be handed its handle. Deadlines are deliberately not
+    /// recorded — wall-clock instants don't survive a restart; a
+    /// recovered query re-enters the pool deadline-free.
+    fn record_submit(
+        &mut self,
+        id: QueryId,
+        query: &EntangledQuery,
+        tag: Option<&str>,
+        on_no_solution: Option<NoSolutionPolicy>,
+    );
+    /// A terminal outcome, drained from the engine's outcome log and
+    /// not yet broadcast to subscribers.
+    fn record_outcome(&mut self, id: QueryId, outcome: &QueryOutcome);
+    /// A successful bulk load into `table`.
+    fn record_load(&mut self, table: &str, rows: &[Tuple]);
+}
+
 struct Inner {
     engine: CoordinationEngine,
     subscribers: Vec<EventSender>,
@@ -280,6 +306,11 @@ struct Inner {
     /// overflowed. Never silent: observable through
     /// [`Coordinator::disconnected_subscribers`].
     disconnected: u64,
+    /// Durability recorder, if this service is crash-recoverable
+    /// ([`crate::durable::DurableCoordinator`] installs one). While a
+    /// sink is present the engine's outcome log stays on even with zero
+    /// event subscribers — the sink is an always-on listener.
+    sink: Option<Box<dyn DurabilitySink>>,
 }
 
 impl Inner {
@@ -292,6 +323,12 @@ impl Inner {
     /// retirement order.
     fn pump(&mut self) {
         for (id, outcome) in self.engine.drain_outcome_log() {
+            // Durability before visibility: the outcome reaches the
+            // write-ahead recorder before any subscriber (or the
+            // handle-holder racing the broadcast) can act on it.
+            if let Some(sink) = self.sink.as_mut() {
+                sink.record_outcome(id, &outcome);
+            }
             let tag = self.tags.remove(&id);
             let event = match outcome {
                 QueryOutcome::Answered(answer) => Event::Answered { id, tag, answer },
@@ -303,7 +340,7 @@ impl Inner {
             };
             self.broadcast(event);
         }
-        if self.subscribers.is_empty() {
+        if self.subscribers.is_empty() && self.sink.is_none() {
             self.engine.set_outcome_log(false);
         }
     }
@@ -359,6 +396,7 @@ impl Coordinator {
                 subscribers: Vec::new(),
                 tags: FastMap::default(),
                 disconnected: 0,
+                sink: None,
             })),
         }
     }
@@ -529,9 +567,19 @@ impl Coordinator {
     /// lock acquisition and one revision bump
     /// ([`Database::insert_many`]).
     pub fn load(&self, table: &str, rows: Vec<Tuple>) -> Result<usize, CoordinationError> {
-        let db = self.db();
-        let mut guard = db.write();
-        Ok(guard.insert_many(table, rows)?)
+        let mut inner = self.inner.lock();
+        let logged = inner.sink.is_some().then(|| rows.clone());
+        let inserted = {
+            let db = inner.engine.db();
+            let mut guard = db.write();
+            guard.insert_many(table, rows)?
+        };
+        // Only a load that actually happened is recorded; a refused one
+        // (unknown table, arity mismatch) leaves no trace to replay.
+        if let (Some(sink), Some(rows)) = (inner.sink.as_mut(), logged) {
+            sink.record_load(table, &rows);
+        }
+        Ok(inserted)
     }
 
     /// Structural invariant check, typed
@@ -553,36 +601,70 @@ impl Coordinator {
         self.inner.lock().engine.safety_sidelined()
     }
 
-    fn submit_locked(&self, request: SubmitRequest) -> Result<QueryHandle, CoordinationError> {
+    pub(crate) fn submit_locked(
+        &self,
+        request: SubmitRequest,
+    ) -> Result<QueryHandle, CoordinationError> {
         let mut inner = self.inner.lock();
         let opts = request.to_options(Instant::now());
+        // The sink needs the query after the engine consumes it; pay
+        // for the clone only when durability is on.
+        let logged = inner.sink.is_some().then(|| request.query.clone());
         let result = inner.engine.submit_with(request.query, opts);
-        if let (Ok(handle), Some(tag)) = (&result, request.tag) {
-            inner.tags.insert(handle.id, tag);
+        if let Ok(handle) = &result {
+            if let (Some(sink), Some(query)) = (inner.sink.as_mut(), logged) {
+                sink.record_submit(
+                    handle.id,
+                    &query,
+                    request.tag.as_deref(),
+                    opts.on_no_solution,
+                );
+            }
+            if let Some(tag) = request.tag {
+                inner.tags.insert(handle.id, tag);
+            }
         }
+        // Pump after the submit record: an incremental-mode outcome of
+        // this very submission must land in the log *after* it.
         inner.pump();
         Ok(result?)
     }
 
-    fn submit_batch_locked(
+    pub(crate) fn submit_batch_locked(
         &self,
         requests: Vec<SubmitRequest>,
     ) -> Vec<Result<QueryHandle, CoordinationError>> {
         let mut inner = self.inner.lock();
         let now = Instant::now();
         let mut tags: Vec<Option<String>> = Vec::with_capacity(requests.len());
+        let mut opts_list: Vec<SubmitOptions> = Vec::with_capacity(requests.len());
+        let logged: Option<Vec<EntangledQuery>> = inner
+            .sink
+            .is_some()
+            .then(|| requests.iter().map(|r| r.query.clone()).collect());
         let batch: Vec<(EntangledQuery, SubmitOptions)> = requests
             .into_iter()
             .map(|r| {
                 let opts = r.to_options(now);
                 tags.push(r.tag);
+                opts_list.push(opts);
                 (r.query, opts)
             })
             .collect();
         let results = inner.engine.submit_batch(batch);
-        for (result, tag) in results.iter().zip(tags) {
-            if let (Ok(handle), Some(tag)) = (result, tag) {
-                inner.tags.insert(handle.id, tag);
+        for (i, (result, tag)) in results.iter().zip(tags).enumerate() {
+            if let Ok(handle) = result {
+                if let (Some(sink), Some(queries)) = (inner.sink.as_mut(), logged.as_ref()) {
+                    sink.record_submit(
+                        handle.id,
+                        &queries[i],
+                        tag.as_deref(),
+                        opts_list[i].on_no_solution,
+                    );
+                }
+                if let Some(tag) = tag {
+                    inner.tags.insert(handle.id, tag);
+                }
             }
         }
         inner.pump();
@@ -590,6 +672,53 @@ impl Coordinator {
             .into_iter()
             .map(|r| r.map_err(CoordinationError::from))
             .collect()
+    }
+
+    /// Installs the durability recorder and switches the engine's
+    /// outcome log on for good (the sink counts as a permanent
+    /// listener). One sink per service; called by
+    /// [`crate::durable::DurableCoordinator`] before any submission.
+    pub(crate) fn install_sink(&self, sink: Box<dyn DurabilitySink>) {
+        let mut inner = self.inner.lock();
+        inner.engine.set_outcome_log(true);
+        inner.sink = Some(sink);
+    }
+
+    /// Re-admits a recovered submission under its **original** id,
+    /// bypassing the sink (the WAL already holds this record — logging
+    /// it again would duplicate it on the next replay). Recovery calls
+    /// this in ascending id order, then restores the id watermark past
+    /// the maximum. Does not pump: the caller pumps once after the
+    /// whole replay so recovery-time outcomes are recorded in one
+    /// batch, each after its submission record.
+    pub(crate) fn recover_submit(
+        &self,
+        id: QueryId,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+        tag: Option<String>,
+    ) -> Result<QueryHandle, CoordinationError> {
+        let mut inner = self.inner.lock();
+        inner.engine.set_next_query_id(id.0);
+        let handle = inner.engine.submit_with(query, opts)?;
+        debug_assert_eq!(handle.id, id, "recovery must reproduce the logged id");
+        if let Some(tag) = tag {
+            inner.tags.insert(handle.id, tag);
+        }
+        Ok(handle)
+    }
+
+    /// Drains and records/broadcasts any terminal outcomes produced
+    /// outside the normal operation paths (recovery replay uses this).
+    pub(crate) fn pump_now(&self) {
+        self.inner.lock().pump();
+    }
+
+    /// Runs `f` with the engine under the service lock — checkpointing
+    /// snapshots the database and the id watermark through this, so the
+    /// image is consistent with respect to concurrent operations.
+    pub(crate) fn with_engine<R>(&self, f: impl FnOnce(&mut CoordinationEngine) -> R) -> R {
+        f(&mut self.inner.lock().engine)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The database: a catalog of tables plus the public evaluation API.
 
 use crate::eval::{self, EvalStats, Valuation};
-use crate::table::{Table, TableSchema, Tuple};
+use crate::table::{RowStore, StoreIoStats, Table, TableSchema, Tuple};
 use eq_ir::{Atom, Constraint, FastMap, Symbol, Value};
 use std::fmt;
 
@@ -51,7 +51,10 @@ impl std::error::Error for DbError {}
 /// (§2.3).
 #[derive(Default)]
 pub struct Database {
-    tables: FastMap<Symbol, Table>,
+    /// Relation backends. [`Database::create_table`] installs the
+    /// in-memory [`Table`]; [`Database::attach_table`] accepts any
+    /// [`RowStore`] (notably `eq_store`'s paged backend).
+    tables: FastMap<Symbol, Box<dyn RowStore>>,
     /// Monotone mutation counter; see [`Database::revision`].
     revision: u64,
 }
@@ -69,9 +72,34 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(DbError::DuplicateRelation(name));
         }
-        self.tables.insert(name, Table::new(schema));
+        self.tables.insert(name, Box::new(Table::new(schema)));
         self.revision += 1;
         Ok(())
+    }
+
+    /// Installs an externally built [`RowStore`] backend (a paged
+    /// on-disk table, say) under its schema's relation name. Fails if
+    /// the name is taken. The backend participates in every catalog
+    /// operation — inserts, deletes, scans, evaluation — exactly like a
+    /// table created by [`Database::create_table`].
+    pub fn attach_table(&mut self, table: Box<dyn RowStore>) -> Result<(), DbError> {
+        let name = table.schema().name;
+        if self.tables.contains_key(&name) {
+            return Err(DbError::DuplicateRelation(name));
+        }
+        self.tables.insert(name, table);
+        self.revision += 1;
+        Ok(())
+    }
+
+    /// Sum of the I/O counters of every table backend. In-memory
+    /// tables contribute zeros, so this is non-zero exactly when a
+    /// paged backend has touched its cache. Stamped into
+    /// `BatchReport::io` by the coordination engine's flush.
+    pub fn io_stats(&self) -> StoreIoStats {
+        self.tables
+            .values()
+            .fold(StoreIoStats::default(), |acc, t| acc.merge(t.io_stats()))
     }
 
     /// A counter bumped by every successful mutation (`create_table`,
@@ -181,25 +209,32 @@ impl Database {
 
     /// A deep copy of the database (schemas + rows, fresh revision
     /// counter, tombstones compacted away). The substrate has no
-    /// structural sharing, so this is O(rows); one-shot coordination
-    /// and engine-rebuild flows use it to get an owned database from a
-    /// borrowed one.
+    /// structural sharing, so this is O(rows); one-shot coordination,
+    /// engine-rebuild flows, and durability checkpoints use it to get
+    /// an owned database from a borrowed one.
+    ///
+    /// The copy is a **trusted bulk transfer**: every row already
+    /// passed arity validation when it entered its source table, so the
+    /// snapshot clones schemas and pushes rows straight into fresh
+    /// in-memory tables without re-running the `insert_many` validation
+    /// pass — checkpoints taken every flush must not pay O(rows) of
+    /// re-validation on rows the catalog itself produced. Paged
+    /// backends snapshot to in-memory tables (a snapshot is an owned,
+    /// self-contained image).
     pub fn snapshot(&self) -> Database {
         let mut out = Database::new();
         for table in self.tables.values() {
-            let columns: Vec<&str> = table.schema().columns.iter().map(|c| c.as_str()).collect();
-            let name = table.schema().name;
-            out.create_table(name.as_str(), &columns)
-                .expect("fresh database");
-            out.insert_many(name.as_str(), table.rows().cloned().collect())
-                .expect("same schema");
+            let mut copy = Table::new(table.schema().clone());
+            table.for_each_row(&mut |row| Table::push(&mut copy, row.to_vec()));
+            out.tables.insert(copy.schema().name, Box::new(copy));
+            out.revision += 1;
         }
         out
     }
 
-    /// Looks up a table by name.
-    pub fn table(&self, name: Symbol) -> Option<&Table> {
-        self.tables.get(&name)
+    /// Looks up a table backend by name.
+    pub fn table(&self, name: Symbol) -> Option<&dyn RowStore> {
+        self.tables.get(&name).map(|t| t.as_ref())
     }
 
     /// Names of all tables (unordered).
@@ -221,7 +256,9 @@ impl Database {
             .tables
             .get(&name)
             .ok_or(DbError::UnknownRelation(name))?;
-        Ok(table.rows().cloned().collect())
+        let mut rows = Vec::with_capacity(table.len());
+        table.for_each_row(&mut |row| rows.push(row.to_vec()));
+        Ok(rows)
     }
 
     /// Evaluates a conjunction of atoms over database relations, returning

@@ -29,7 +29,7 @@
 //! thin wrapper over it.
 
 use crate::database::Database;
-use crate::table::Table;
+use crate::table::{RowStore, Tuple};
 use eq_ir::{Atom, Constraint, FastMap, Term, Value, Var};
 use std::ops::ControlFlow;
 
@@ -103,7 +103,13 @@ pub(crate) fn evaluate_visit(
     let mut bindings = Valuation::default();
     let mut remaining: Vec<&Atom> = atoms.iter().collect();
     let mut stack: Vec<Frame> = Vec::with_capacity(atoms.len());
-    let Some(first) = Frame::open(db, &mut remaining, &bindings, &mut stats) else {
+    // Cursors own their posting lists (a paged backend materializes
+    // them per probe); popped frames donate their buffers back to this
+    // pool so steady-state backtracking allocates nothing. One shared
+    // scratch tuple receives each candidate row from the backend.
+    let mut spare_ids: Vec<Vec<u32>> = Vec::new();
+    let mut row_buf: Tuple = Tuple::new();
+    let Some(first) = Frame::open(db, &mut remaining, &bindings, &mut spare_ids, &mut stats) else {
         // A missing relation (pre-checked by the caller, so this is
         // defensive) joins zero rows: the conjunction has no answers.
         return stats;
@@ -119,13 +125,14 @@ pub(crate) fn evaluate_visit(
         }
         let mut matched = false;
         while let Some(id) = top.cursor.next() {
-            if !top.table.is_live(id) {
+            if !top.table.read_row(id, &mut row_buf) {
+                // Tombstone: dead candidates are skipped before they
+                // count as considered (the oracle's is_live gate).
                 continue;
             }
             stats.rows_considered += 1;
-            let row = top.table.row(id);
             let mut ok = true;
-            for (term, &value) in top.atom.terms.iter().zip(row.iter()) {
+            for (term, &value) in top.atom.terms.iter().zip(row_buf.iter()) {
                 match term {
                     Term::Const(c) => {
                         if *c != value {
@@ -168,7 +175,9 @@ pub(crate) fn evaluate_visit(
         }
         if matched {
             // Descend: open the next frame over the shrunk worklist.
-            let Some(frame) = Frame::open(db, &mut remaining, &bindings, &mut stats) else {
+            let Some(frame) =
+                Frame::open(db, &mut remaining, &bindings, &mut spare_ids, &mut stats)
+            else {
                 // Defensive (relations are pre-checked): a missing
                 // relation joins zero rows, and since it is still in
                 // every unexplored branch's worklist no answer can
@@ -182,6 +191,9 @@ pub(crate) fn evaluate_visit(
             // unwind) and backtrack into the frame below. The pop
             // cannot miss (the loop condition saw a top frame).
             let Some(frame) = stack.pop() else { break };
+            if let Cursor::Probe { ids, .. } = frame.cursor {
+                spare_ids.push(ids);
+            }
             remaining.push(frame.atom);
             let last = remaining.len() - 1;
             remaining.swap(frame.pick, last);
@@ -192,14 +204,16 @@ pub(crate) fn evaluate_visit(
 
 /// Candidate-row iteration state of one [`Frame`]: either the posting
 /// list of the frame atom's most selective bound column, or a full
-/// row-id scan when nothing is bound. Borrowed straight from the table
-/// — the whole search is read-only over the database.
-enum Cursor<'a> {
-    Probe { ids: &'a [u32], pos: usize },
+/// row-id scan when nothing is bound. The posting list is **owned** —
+/// a paged backend materializes it per probe (`probe_into`), so the
+/// cursor cannot borrow index internals; the search recycles the
+/// buffers through a pool to stay allocation-free in steady state.
+enum Cursor {
+    Probe { ids: Vec<u32>, pos: usize },
     Scan { next: u32, bound: u32 },
 }
 
-impl Cursor<'_> {
+impl Cursor {
     fn next(&mut self) -> Option<u32> {
         match self {
             Cursor::Probe { ids, pos } => {
@@ -226,9 +240,9 @@ impl Cursor<'_> {
 /// bound (undone before the next candidate or on backtrack).
 struct Frame<'a> {
     atom: &'a Atom,
-    table: &'a Table,
+    table: &'a dyn RowStore,
     pick: usize,
-    cursor: Cursor<'a>,
+    cursor: Cursor,
     newly_bound: Vec<Var>,
 }
 
@@ -245,6 +259,7 @@ impl<'a> Frame<'a> {
         db: &'a Database,
         remaining: &mut Vec<&'a Atom>,
         bindings: &Valuation,
+        spare_ids: &mut Vec<Vec<u32>>,
         stats: &mut EvalStats,
     ) -> Option<Frame<'a>> {
         let pick = choose_atom(db, remaining, bindings);
@@ -268,10 +283,9 @@ impl<'a> Frame<'a> {
         let cursor = match best {
             Some((col, value, _)) => {
                 stats.index_probes += 1;
-                Cursor::Probe {
-                    ids: table.probe(col, value),
-                    pos: 0,
-                }
+                let mut ids = spare_ids.pop().unwrap_or_default();
+                table.probe_into(col, value, &mut ids);
+                Cursor::Probe { ids, pos: 0 }
             }
             None => {
                 stats.full_scans += 1;
@@ -386,9 +400,9 @@ pub(crate) mod recursive_reference {
         match best {
             Some((col, value, _)) => {
                 stats.index_probes += 1;
-                // The posting list is borrowed from the table; collect ids
-                // first because `try_row` re-borrows.
-                for &id in table.probe(col, value) {
+                let mut ids = Vec::new();
+                table.probe_into(col, value, &mut ids);
+                for id in ids {
                     if results.len() >= limit {
                         break;
                     }
@@ -437,7 +451,7 @@ pub(crate) mod recursive_reference {
     #[allow(clippy::too_many_arguments)]
     fn try_row(
         db: &Database,
-        table: &Table,
+        table: &dyn RowStore,
         atom: &Atom,
         id: u32,
         remaining: &mut Vec<&Atom>,
@@ -447,11 +461,11 @@ pub(crate) mod recursive_reference {
         results: &mut Vec<Valuation>,
         stats: &mut EvalStats,
     ) {
-        if !table.is_live(id) {
+        let mut row = Tuple::new();
+        if !table.read_row(id, &mut row) {
             return;
         }
         stats.rows_considered += 1;
-        let row = table.row(id);
         let mut newly_bound: Vec<Var> = Vec::new();
         let mut ok = true;
         for (term, &value) in atom.terms.iter().zip(row.iter()) {

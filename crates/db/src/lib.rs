@@ -28,4 +28,4 @@ mod table;
 
 pub use database::{Database, DbError};
 pub use eval::{EvalStats, Valuation};
-pub use table::{Table, TableSchema, Tuple};
+pub use table::{RowStore, StoreIoStats, Table, TableSchema, Tuple};

@@ -1,10 +1,139 @@
-//! Tables: schema, row storage, per-column hash indexes.
+//! Tables: schema, row storage, per-column hash indexes, and the
+//! [`RowStore`] backend trait the catalog and evaluator run over.
 
 use eq_ir::{FastMap, Symbol, Value};
 use std::fmt;
 
 /// A database tuple.
 pub type Tuple = Vec<Value>;
+
+/// Always-on I/O counters reported by a [`RowStore`] backend.
+///
+/// The in-memory [`Table`] reports all zeros; paged backends (the
+/// `eq_store` crate) count page traffic through their cache. Counters
+/// are cumulative over the store's lifetime. [`StoreIoStats::merge`]
+/// sums per-table stats into a database-wide view; since each paged
+/// table owns its own cache, the summed `resident_bytes_peak` is an
+/// upper bound on simultaneous residency (exact when one table pages).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreIoStats {
+    /// Pages faulted in from the backing file (cache misses that hit disk).
+    pub page_reads: u64,
+    /// Pages written back to the backing file (dirty evictions + flushes).
+    pub page_writes: u64,
+    /// Page requests satisfied by the cache without touching the file.
+    pub cache_hits: u64,
+    /// Frames evicted to stay under the cache's byte budget.
+    pub evictions: u64,
+    /// High-water mark of bytes resident in the page cache.
+    pub resident_bytes_peak: u64,
+}
+
+impl StoreIoStats {
+    /// Element-wise saturating sum of two counter sets.
+    pub fn merge(self, other: StoreIoStats) -> StoreIoStats {
+        StoreIoStats {
+            page_reads: self.page_reads.saturating_add(other.page_reads),
+            page_writes: self.page_writes.saturating_add(other.page_writes),
+            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
+            evictions: self.evictions.saturating_add(other.evictions),
+            resident_bytes_peak: self
+                .resident_bytes_peak
+                .saturating_add(other.resident_bytes_peak),
+        }
+    }
+}
+
+/// Storage backend for one relation: row storage plus a per-column
+/// value index. Extracted from the in-memory [`Table`] so the catalog
+/// ([`Database`](crate::Database)), the evaluator's candidate cursors,
+/// and bulk loading work unchanged over either the in-memory backend or
+/// `eq_store`'s paged on-disk backend.
+///
+/// Contract shared by every backend (what the backend-equivalence
+/// property tests pin down):
+///
+/// * Row ids are assigned densely in insertion order and never reused.
+/// * Deletion tombstones a row in place: ids stay stable, and
+///   [`RowStore::read_row`] returns `false` for dead ids.
+/// * [`RowStore::probe_into`] yields ids in ascending insertion order
+///   (the order index postings are appended) — the evaluator's
+///   answer-order guarantee rests on this.
+/// * Arity is validated by the database layer before `push`/`delete`
+///   reach the backend.
+pub trait RowStore: fmt::Debug + Send + Sync {
+    /// The relation's schema.
+    fn schema(&self) -> &TableSchema;
+
+    /// Number of live rows (tombstones excluded).
+    fn len(&self) -> usize;
+
+    /// Upper bound (exclusive) on row ids; ids below it may be
+    /// tombstones.
+    fn row_id_bound(&self) -> u32;
+
+    /// True if the row id refers to a live (non-tombstoned) row.
+    fn is_live(&self, id: u32) -> bool;
+
+    /// Appends a row. The caller has already validated arity.
+    fn push(&mut self, row: Tuple);
+
+    /// Reads the row with a given id into `out` (clearing it first).
+    /// Returns `false` — leaving `out` in an unspecified state — when
+    /// the id is a tombstone or out of bounds.
+    fn read_row(&self, id: u32, out: &mut Tuple) -> bool;
+
+    /// Replaces `out` with the ids whose column `col` equals `value`,
+    /// in insertion order.
+    fn probe_into(&self, col: usize, value: Value, out: &mut Vec<u32>);
+
+    /// Posting-list length for a probe — the evaluator's cardinality
+    /// estimate when choosing which bound column drives a lookup.
+    fn probe_len(&self, col: usize, value: Value) -> usize;
+
+    /// Deletes the first occurrence of an exact tuple (tombstoning it).
+    /// Returns true if a row was removed.
+    fn delete(&mut self, row: &[Value]) -> bool;
+
+    /// Number of tombstoned (deleted) rows still occupying ids.
+    fn tombstone_count(&self) -> usize;
+
+    /// True if the store has no live rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if an exact tuple is present.
+    fn contains(&self, row: &[Value]) -> bool {
+        if row.len() != self.schema().arity() {
+            return false;
+        }
+        if row.is_empty() {
+            return self.len() > 0;
+        }
+        let mut ids = Vec::new();
+        self.probe_into(0, row[0], &mut ids);
+        let mut buf = Tuple::new();
+        ids.iter()
+            .any(|&id| self.read_row(id, &mut buf) && buf == row)
+    }
+
+    /// Visits every live row in id order.
+    fn for_each_row(&self, f: &mut dyn FnMut(&[Value])) {
+        let mut buf = Tuple::new();
+        for id in 0..self.row_id_bound() {
+            if self.read_row(id, &mut buf) {
+                f(&buf);
+            }
+        }
+    }
+
+    /// The backend's cumulative I/O counters. Purely in-memory backends
+    /// report all zeros.
+    fn io_stats(&self) -> StoreIoStats {
+        StoreIoStats::default()
+    }
+}
 
 /// Schema of one relation: a name and ordered column names.
 #[derive(Clone, PartialEq, Eq)]
@@ -187,6 +316,71 @@ impl Table {
         self.probe(0, row[0])
             .iter()
             .any(|&id| self.rows[id as usize] == row)
+    }
+}
+
+impl RowStore for Table {
+    fn schema(&self) -> &TableSchema {
+        Table::schema(self)
+    }
+
+    fn len(&self) -> usize {
+        Table::len(self)
+    }
+
+    fn row_id_bound(&self) -> u32 {
+        Table::row_id_bound(self)
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        Table::is_live(self, id)
+    }
+
+    fn push(&mut self, row: Tuple) {
+        Table::push(self, row)
+    }
+
+    fn read_row(&self, id: u32, out: &mut Tuple) -> bool {
+        let Some(row) = self.rows.get(id as usize) else {
+            return false;
+        };
+        if !Table::is_live(self, id) {
+            return false;
+        }
+        out.clear();
+        out.extend_from_slice(row);
+        true
+    }
+
+    fn probe_into(&self, col: usize, value: Value, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(Table::probe(self, col, value));
+    }
+
+    fn probe_len(&self, col: usize, value: Value) -> usize {
+        Table::probe_len(self, col, value)
+    }
+
+    fn delete(&mut self, row: &[Value]) -> bool {
+        Table::delete(self, row)
+    }
+
+    fn tombstone_count(&self) -> usize {
+        Table::tombstone_count(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        Table::is_empty(self)
+    }
+
+    fn contains(&self, row: &[Value]) -> bool {
+        Table::contains(self, row)
+    }
+
+    fn for_each_row(&self, f: &mut dyn FnMut(&[Value])) {
+        for row in self.rows() {
+            f(row);
+        }
     }
 }
 

@@ -1,0 +1,369 @@
+//! The pinning page cache: fixed-size pages over one backing file,
+//! a configurable byte budget, CLOCK (second-chance) eviction, and
+//! always-on counters.
+//!
+//! Concurrency model: every page access runs its caller's closure
+//! **under the cache lock** with the frame marked pinned, so a frame
+//! can never be evicted while its bytes are borrowed. Accesses are
+//! short (decode/encode one slot); the store is read-mostly in the
+//! evaluator's inner loop, mirroring the service's coarse-lock
+//! discipline. Closures must not re-enter the same `PageStore`.
+//!
+//! Durability note: page files are **spill**, not a durability story —
+//! crash safety comes from the WAL + checkpoint pair (`eq_store::wal`,
+//! `eq_store::checkpoint`). The cache therefore writes pages back only
+//! on eviction and on [`PageStore::flush_pages`], without fsync.
+
+use crate::error::StoreError;
+use eq_db::StoreIoStats;
+use eq_ir::FastMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Geometry and budget of one [`PageStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageCacheConfig {
+    /// Bytes per page. Defaults to 4 KiB.
+    pub page_bytes: usize,
+    /// Cache byte budget. The effective budget is at least one page
+    /// (the cache must be able to hold the frame it is serving).
+    pub budget_bytes: usize,
+}
+
+impl Default for PageCacheConfig {
+    fn default() -> Self {
+        PageCacheConfig {
+            page_bytes: 4096,
+            budget_bytes: 1 << 20,
+        }
+    }
+}
+
+struct FrameSlot {
+    page: u64,
+    buf: Vec<u8>,
+    dirty: bool,
+    referenced: bool,
+    pinned: bool,
+}
+
+struct CacheInner {
+    file: File,
+    /// Bytes of the file that have actually been written (pages past
+    /// this length fault in as zero-filled fresh pages).
+    file_len: u64,
+    frames: Vec<FrameSlot>,
+    /// page number → frame index for resident pages.
+    map: FastMap<u64, usize>,
+    /// CLOCK hand.
+    hand: usize,
+}
+
+/// A page cache over one backing file.
+pub struct PageStore {
+    page_bytes: usize,
+    /// Maximum resident frames under the byte budget (≥ 1).
+    budget_frames: usize,
+    inner: Mutex<CacheInner>,
+    page_reads: AtomicU64,
+    page_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    evictions: AtomicU64,
+    resident_bytes_peak: AtomicU64,
+}
+
+impl std::fmt::Debug for PageStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PageStore(page_bytes={}, budget_frames={})",
+            self.page_bytes, self.budget_frames
+        )
+    }
+}
+
+impl PageStore {
+    /// Creates (truncating any previous content) a page store over
+    /// `path`.
+    pub fn create(path: &Path, config: PageCacheConfig) -> Result<PageStore, StoreError> {
+        if config.page_bytes == 0 {
+            return Err(StoreError::Corrupt("page size must be non-zero"));
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(PageStore {
+            page_bytes: config.page_bytes,
+            budget_frames: (config.budget_bytes / config.page_bytes).max(1),
+            inner: Mutex::new(CacheInner {
+                file,
+                file_len: 0,
+                frames: Vec::new(),
+                map: FastMap::default(),
+                hand: 0,
+            }),
+            page_reads: AtomicU64::new(0),
+            page_writes: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident_bytes_peak: AtomicU64::new(0),
+        })
+    }
+
+    /// Bytes per page.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> StoreIoStats {
+        StoreIoStats {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes_peak: self.resident_bytes_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // The closure discipline (no panics while holding the lock
+        // beyond caller bugs) makes poisoning recoverable: the cache
+        // state is consistent between operations.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs `f` over the page's bytes (read-only). The frame is pinned
+    /// for the duration of the call.
+    pub fn with_page<R>(&self, page: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R, StoreError> {
+        let mut inner = self.lock();
+        let idx = self.frame_for(&mut inner, page)?;
+        inner.frames[idx].referenced = true;
+        inner.frames[idx].pinned = true;
+        let r = f(&inner.frames[idx].buf);
+        inner.frames[idx].pinned = false;
+        Ok(r)
+    }
+
+    /// Runs `f` over the page's bytes mutably, marking the frame dirty.
+    /// The frame is pinned for the duration of the call.
+    pub fn with_page_mut<R>(
+        &self,
+        page: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, StoreError> {
+        let mut inner = self.lock();
+        let idx = self.frame_for(&mut inner, page)?;
+        inner.frames[idx].referenced = true;
+        inner.frames[idx].dirty = true;
+        inner.frames[idx].pinned = true;
+        let r = f(&mut inner.frames[idx].buf);
+        inner.frames[idx].pinned = false;
+        Ok(r)
+    }
+
+    /// Writes every dirty resident page back to the file.
+    pub fn flush_pages(&self) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let CacheInner {
+            file,
+            frames,
+            file_len,
+            ..
+        } = &mut *inner;
+        for frame in frames.iter_mut().filter(|f| f.dirty) {
+            write_page(file, file_len, self.page_bytes, frame.page, &frame.buf)?;
+            self.page_writes.fetch_add(1, Ordering::Relaxed);
+            frame.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Returns the index of a resident frame holding `page`, faulting
+    /// it in (and evicting under the budget) if needed.
+    fn frame_for(&self, inner: &mut CacheInner, page: u64) -> Result<usize, StoreError> {
+        if let Some(&idx) = inner.map.get(&page) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(idx);
+        }
+        let idx = if inner.frames.len() < self.budget_frames {
+            inner.frames.push(FrameSlot {
+                page,
+                buf: vec![0; self.page_bytes],
+                dirty: false,
+                referenced: false,
+                pinned: false,
+            });
+            let resident = (inner.frames.len() * self.page_bytes) as u64;
+            self.resident_bytes_peak
+                .fetch_max(resident, Ordering::Relaxed);
+            inner.frames.len() - 1
+        } else {
+            let victim = clock_victim(inner);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let CacheInner {
+                file,
+                file_len,
+                frames,
+                map,
+                ..
+            } = &mut *inner;
+            let slot = &mut frames[victim];
+            if slot.dirty {
+                write_page(file, file_len, self.page_bytes, slot.page, &slot.buf)?;
+                self.page_writes.fetch_add(1, Ordering::Relaxed);
+                slot.dirty = false;
+            }
+            map.remove(&slot.page);
+            slot.page = page;
+            slot.referenced = false;
+            victim
+        };
+        // Load the page's content: read it back if it has ever been
+        // written out, zero-fill if it is fresh.
+        let offset = page * self.page_bytes as u64;
+        let CacheInner {
+            file,
+            file_len,
+            frames,
+            map,
+            ..
+        } = &mut *inner;
+        let buf = &mut frames[idx].buf;
+        if offset + self.page_bytes as u64 <= *file_len {
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)?;
+            self.page_reads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            buf.fill(0);
+        }
+        map.insert(page, idx);
+        Ok(idx)
+    }
+}
+
+/// CLOCK second-chance sweep: skip pinned frames, clear referenced
+/// bits, return the first frame that is neither. Terminates because at
+/// most one frame is pinned at a time (the access discipline) and a
+/// full sweep clears every referenced bit.
+fn clock_victim(inner: &mut CacheInner) -> usize {
+    loop {
+        let idx = inner.hand;
+        inner.hand = (inner.hand + 1) % inner.frames.len();
+        let frame = &mut inner.frames[idx];
+        if frame.pinned {
+            continue;
+        }
+        if frame.referenced {
+            frame.referenced = false;
+            continue;
+        }
+        return idx;
+    }
+}
+
+fn write_page(
+    file: &mut File,
+    file_len: &mut u64,
+    page_bytes: usize,
+    page: u64,
+    buf: &[u8],
+) -> Result<(), StoreError> {
+    let offset = page * page_bytes as u64;
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(buf)?;
+    *file_len = (*file_len).max(offset + page_bytes as u64);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(budget_pages: usize) -> (std::path::PathBuf, PageStore) {
+        let dir = crate::scratch_dir("cache-test");
+        let store = PageStore::create(
+            &dir.join("t.pages"),
+            PageCacheConfig {
+                page_bytes: 64,
+                budget_bytes: 64 * budget_pages,
+            },
+        )
+        .unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn pages_round_trip_through_eviction() {
+        let (dir, store) = store(2);
+        for p in 0..6u64 {
+            store.with_page_mut(p, |buf| buf[0] = p as u8 + 1).unwrap();
+        }
+        for p in 0..6u64 {
+            let v = store.with_page(p, |buf| buf[0]).unwrap();
+            assert_eq!(v, p as u8 + 1, "page {p}");
+        }
+        let stats = store.stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.page_reads > 0);
+        assert!(stats.page_writes > 0);
+        assert_eq!(stats.resident_bytes_peak, 128);
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn resident_peak_bounded_by_budget() {
+        let (dir, store) = store(3);
+        for p in 0..32u64 {
+            store.with_page_mut(p, |buf| buf[1] = 7).unwrap();
+        }
+        assert!(store.stats().resident_bytes_peak <= 3 * 64);
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn hits_do_not_touch_the_file() {
+        let (dir, store) = store(4);
+        store.with_page_mut(0, |buf| buf[0] = 1).unwrap();
+        let before = store.stats();
+        for _ in 0..10 {
+            store.with_page(0, |buf| buf[0]).unwrap();
+        }
+        let after = store.stats();
+        assert_eq!(after.page_reads, before.page_reads);
+        assert_eq!(after.cache_hits, before.cache_hits + 10);
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn budget_smaller_than_a_page_still_serves() {
+        let dir = crate::scratch_dir("cache-tiny");
+        let store = PageStore::create(
+            &dir.join("t.pages"),
+            PageCacheConfig {
+                page_bytes: 64,
+                budget_bytes: 1,
+            },
+        )
+        .unwrap();
+        store.with_page_mut(0, |buf| buf[0] = 9).unwrap();
+        store.with_page_mut(1, |buf| buf[0] = 8).unwrap();
+        assert_eq!(store.with_page(0, |buf| buf[0]).unwrap(), 9);
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn flush_pages_persists_without_eviction() {
+        let (dir, store) = store(8);
+        store.with_page_mut(2, |buf| buf[5] = 42).unwrap();
+        store.flush_pages().unwrap();
+        assert!(store.stats().page_writes >= 1);
+        crate::purge_dir(&dir);
+    }
+}

@@ -1,0 +1,106 @@
+//! Checkpoints: a whole-state image written atomically (temp file +
+//! rename), superseding every WAL record written before it.
+//!
+//! File layout: `[8-byte magic][u32 fnv1a(payload) LE][u64 payload_len
+//! LE][payload]`. The payload codec belongs to the caller (`eq_core`'s
+//! durable coordinator encodes tables + pending entanglements + the
+//! outcome log); this module only guarantees the image on disk is
+//! either a complete previous checkpoint or a complete new one.
+
+use crate::error::StoreError;
+use crate::wal::fnv1a;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"EQCHKP01";
+
+/// Writes a checkpoint atomically: the payload goes to `<path>.tmp`
+/// and is renamed over `path` only once fully written.
+pub fn write_checkpoint(path: &Path, payload: &[u8]) -> Result<(), StoreError> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension("ckpt-tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&fnv1a(payload).to_le_bytes())?;
+        file.write_all(&(payload.len() as u64).to_le_bytes())?;
+        file.write_all(payload)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a checkpoint. `Ok(None)` when no checkpoint exists yet;
+/// [`StoreError::Corrupt`] when a file is present but fails
+/// validation (rename-atomicity makes that an outside-interference
+/// signal, not a crash artifact).
+pub fn read_checkpoint(path: &Path) -> Result<Option<Vec<u8>>, StoreError> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() < 20 || &bytes[..8] != MAGIC {
+        return Err(StoreError::Corrupt("checkpoint header"));
+    }
+    let sum = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let len = u64::from_le_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+    ]) as usize;
+    if bytes.len() - 20 != len {
+        return Err(StoreError::Corrupt("checkpoint length"));
+    }
+    let payload = &bytes[20..];
+    if fnv1a(payload) != sum {
+        return Err(StoreError::Corrupt("checkpoint checksum"));
+    }
+    Ok(Some(payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_missing() {
+        let dir = crate::scratch_dir("ckpt-test");
+        let path = dir.join("state.ckpt");
+        assert!(read_checkpoint(&path).unwrap().is_none());
+        write_checkpoint(&path, b"hello durable world").unwrap();
+        assert_eq!(
+            read_checkpoint(&path).unwrap().as_deref(),
+            Some(b"hello durable world".as_slice())
+        );
+        // Overwrite supersedes.
+        write_checkpoint(&path, b"v2").unwrap();
+        assert_eq!(
+            read_checkpoint(&path).unwrap().as_deref(),
+            Some(b"v2".as_slice())
+        );
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = crate::scratch_dir("ckpt-corrupt");
+        let path = dir.join("state.ckpt");
+        write_checkpoint(&path, b"payload-bytes").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StoreError::Corrupt("checkpoint checksum"))
+        ));
+        crate::purge_dir(&dir);
+    }
+}

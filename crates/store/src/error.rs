@@ -1,0 +1,38 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised by the paged store, WAL, and checkpoint codecs.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// A persisted structure failed validation (bad magic, checksum
+    /// mismatch, impossible geometry). The message names the structure.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

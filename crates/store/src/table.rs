@@ -1,0 +1,356 @@
+//! The paged table backend: disk-resident records behind a page cache,
+//! memory-resident per-column index — the EMBANKS split for this
+//! paper's lineage (keep the index structure hot, spill the records).
+//!
+//! Row encoding is fixed-width: `arity × 9` bytes per slot, each cell a
+//! tag byte (`0` = integer, `1` = string) followed by 8 little-endian
+//! payload bytes. Strings are dictionary-encoded against a
+//! memory-resident per-table dictionary of interned symbols, so the
+//! page files never depend on the process-global interner's id
+//! assignment order... they don't need to: page files are **ephemeral
+//! spill** for the current process (durability is the WAL + checkpoint
+//! pair, which persist strings by text).
+
+use crate::cache::{PageCacheConfig, PageStore};
+use crate::error::StoreError;
+use eq_db::{RowStore, StoreIoStats, TableSchema, Tuple};
+use eq_ir::{FastMap, Symbol, Value};
+use std::fmt;
+use std::path::Path;
+
+/// Bytes per encoded cell: 1 tag + 8 payload.
+const CELL_BYTES: usize = 9;
+
+/// A relation whose rows live in fixed-size slotted pages on disk,
+/// served through a budgeted [`PageStore`]. Implements [`RowStore`], so
+/// a `Database` drives it exactly like the in-memory table.
+///
+/// Memory-resident state: the per-column hash indexes (value → row
+/// ids), the liveness bitmap, and the string dictionary. Disk-resident
+/// state: the row payloads.
+pub struct PagedTable {
+    schema: TableSchema,
+    store: PageStore,
+    rows: u32,
+    live: Vec<bool>,
+    tombstones: usize,
+    /// `indexes[col][value]` = row ids having `value` in column `col`.
+    indexes: Vec<FastMap<Value, Vec<u32>>>,
+    /// Dictionary: local string id → symbol (and its inverse).
+    symbols: Vec<Symbol>,
+    symbol_ids: FastMap<Symbol, u64>,
+    rows_per_page: usize,
+    arity: usize,
+}
+
+impl PagedTable {
+    /// Creates an empty paged table whose page file lives under `dir`
+    /// (created if needed) as `<relation>.pages`, truncating any
+    /// previous file.
+    pub fn create(
+        dir: &Path,
+        schema: TableSchema,
+        config: PageCacheConfig,
+    ) -> Result<PagedTable, StoreError> {
+        let arity = schema.arity();
+        let row_bytes = arity * CELL_BYTES;
+        if row_bytes > config.page_bytes {
+            return Err(StoreError::Corrupt("page too small for one row"));
+        }
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.pages", sanitize(schema.name.as_str())));
+        let store = PageStore::create(&path, config)?;
+        let rows_per_page = if arity == 0 {
+            1
+        } else {
+            config.page_bytes / row_bytes
+        };
+        Ok(PagedTable {
+            schema,
+            store,
+            rows: 0,
+            live: Vec::new(),
+            tombstones: 0,
+            indexes: (0..arity).map(|_| FastMap::default()).collect(),
+            symbols: Vec::new(),
+            symbol_ids: FastMap::default(),
+            rows_per_page,
+            arity,
+        })
+    }
+
+    fn slot(&self, id: u32) -> (u64, usize) {
+        let page = (id as usize / self.rows_per_page) as u64;
+        let offset = (id as usize % self.rows_per_page) * self.arity * CELL_BYTES;
+        (page, offset)
+    }
+
+    fn local_symbol(&mut self, s: Symbol) -> u64 {
+        if let Some(&id) = self.symbol_ids.get(&s) {
+            return id;
+        }
+        let id = self.symbols.len() as u64;
+        self.symbols.push(s);
+        self.symbol_ids.insert(s, id);
+        id
+    }
+}
+
+/// Page-file names come from relation names; anything that is not a
+/// plain identifier character becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn le8(bytes: &[u8]) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&bytes[..8]);
+    out
+}
+
+impl RowStore for PagedTable {
+    fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    fn len(&self) -> usize {
+        self.rows as usize - self.tombstones
+    }
+
+    fn row_id_bound(&self) -> u32 {
+        self.rows
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        self.live.get(id as usize).copied().unwrap_or(false)
+    }
+
+    fn push(&mut self, row: Tuple) {
+        debug_assert_eq!(row.len(), self.arity);
+        let id = self.rows;
+        if self.arity > 0 {
+            let mut encoded = vec![0u8; self.arity * CELL_BYTES];
+            for (i, value) in row.iter().enumerate() {
+                let cell = &mut encoded[i * CELL_BYTES..(i + 1) * CELL_BYTES];
+                match value {
+                    Value::Int(x) => {
+                        cell[0] = 0;
+                        cell[1..].copy_from_slice(&x.to_le_bytes());
+                    }
+                    Value::Str(s) => {
+                        let local = self.local_symbol(*s);
+                        cell[0] = 1;
+                        cell[1..].copy_from_slice(&local.to_le_bytes());
+                    }
+                }
+            }
+            let (page, offset) = self.slot(id);
+            self.store
+                .with_page_mut(page, |buf| {
+                    buf[offset..offset + encoded.len()].copy_from_slice(&encoded)
+                })
+                // Spill I/O failure mid-insert leaves no consistent
+                // fallback; surface it loudly rather than serving a
+                // silently truncated relation.
+                .expect("paged table spill write failed");
+        }
+        for (col, value) in row.iter().enumerate() {
+            self.indexes[col].entry(*value).or_default().push(id);
+        }
+        self.live.push(true);
+        self.rows += 1;
+    }
+
+    fn read_row(&self, id: u32, out: &mut Tuple) -> bool {
+        if !self.is_live(id) {
+            return false;
+        }
+        out.clear();
+        if self.arity == 0 {
+            return true;
+        }
+        let (page, offset) = self.slot(id);
+        let decoded = self.store.with_page(page, |buf| {
+            for i in 0..self.arity {
+                let cell = &buf[offset + i * CELL_BYTES..offset + (i + 1) * CELL_BYTES];
+                let payload = le8(&cell[1..]);
+                match cell[0] {
+                    0 => out.push(Value::Int(i64::from_le_bytes(payload))),
+                    _ => {
+                        let local = u64::from_le_bytes(payload) as usize;
+                        let Some(&symbol) = self.symbols.get(local) else {
+                            return false;
+                        };
+                        out.push(Value::Str(symbol));
+                    }
+                }
+            }
+            true
+        });
+        matches!(decoded, Ok(true))
+    }
+
+    fn probe_into(&self, col: usize, value: Value, out: &mut Vec<u32>) {
+        out.clear();
+        if let Some(ids) = self.indexes[col].get(&value) {
+            out.extend_from_slice(ids);
+        }
+    }
+
+    fn probe_len(&self, col: usize, value: Value) -> usize {
+        self.indexes[col].get(&value).map_or(0, Vec::len)
+    }
+
+    fn delete(&mut self, row: &[Value]) -> bool {
+        if row.len() != self.arity || row.is_empty() {
+            return false;
+        }
+        let mut ids = Vec::new();
+        self.probe_into(0, row[0], &mut ids);
+        let mut buf = Tuple::new();
+        let Some(id) = ids
+            .into_iter()
+            .find(|&id| self.read_row(id, &mut buf) && buf == row)
+        else {
+            return false;
+        };
+        for (col, value) in row.iter().enumerate() {
+            if let Some(list) = self.indexes[col].get_mut(value) {
+                list.retain(|&x| x != id);
+            }
+        }
+        self.live[id as usize] = false;
+        self.tombstones += 1;
+        true
+    }
+
+    fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    fn io_stats(&self) -> StoreIoStats {
+        self.store.stats()
+    }
+}
+
+impl fmt::Debug for PagedTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PagedTable({:?}, {} rows, {:?})",
+            self.schema, self.rows, self.store
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_paged(budget_pages: usize) -> (std::path::PathBuf, PagedTable) {
+        let dir = crate::scratch_dir("paged-test");
+        let table = PagedTable::create(
+            &dir,
+            TableSchema::new("T", &["a", "b"]),
+            PageCacheConfig {
+                page_bytes: 64, // 3 rows of arity 2 per page
+                budget_bytes: 64 * budget_pages,
+            },
+        )
+        .unwrap();
+        (dir, table)
+    }
+
+    #[test]
+    fn rows_survive_out_of_core_traffic() {
+        let (dir, mut t) = small_paged(2);
+        for i in 0..100i64 {
+            t.push(vec![Value::int(i), Value::str(&format!("s{}", i % 5))]);
+        }
+        assert_eq!(t.len(), 100);
+        let mut buf = Tuple::new();
+        for i in 0..100u32 {
+            assert!(t.read_row(i, &mut buf), "row {i}");
+            assert_eq!(buf[0], Value::int(i as i64));
+            assert_eq!(buf[1], Value::str(&format!("s{}", i % 5)));
+        }
+        let stats = t.io_stats();
+        assert!(stats.evictions > 0, "traffic should overflow the budget");
+        assert!(stats.page_reads > 0);
+        assert!(stats.resident_bytes_peak <= 2 * 64);
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn probe_and_delete_match_table_semantics() {
+        let (dir, mut t) = small_paged(4);
+        t.push(vec![Value::int(1), Value::str("x")]);
+        t.push(vec![Value::int(2), Value::str("x")]);
+        t.push(vec![Value::int(1), Value::str("y")]);
+        let mut ids = Vec::new();
+        t.probe_into(1, Value::str("x"), &mut ids);
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(t.probe_len(0, Value::int(1)), 2);
+        assert!(t.contains(&[Value::int(1), Value::str("y")]));
+
+        assert!(t.delete(&[Value::int(1), Value::str("x")]));
+        assert!(!t.delete(&[Value::int(1), Value::str("x")]));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.tombstone_count(), 1);
+        assert!(!t.is_live(0));
+        let mut buf = Tuple::new();
+        assert!(!t.read_row(0, &mut buf));
+        t.probe_into(0, Value::int(1), &mut ids);
+        assert_eq!(ids, vec![2]);
+        // Ids stay stable: a fresh push gets the next id, not id 0.
+        t.push(vec![Value::int(9), Value::str("z")]);
+        assert_eq!(t.row_id_bound(), 4);
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn attaches_to_a_database() {
+        use eq_db::Database;
+        let dir = crate::scratch_dir("paged-attach");
+        let mut t = PagedTable::create(
+            &dir,
+            TableSchema::new("Friends", &["a", "b"]),
+            PageCacheConfig::default(),
+        )
+        .unwrap();
+        t.push(vec![Value::str("ann"), Value::str("bob")]);
+        let mut db = Database::new();
+        db.attach_table(Box::new(t)).unwrap();
+        assert!(db.contains("Friends", &[Value::str("ann"), Value::str("bob")]));
+        db.insert("Friends", vec![Value::str("bob"), Value::str("cy")])
+            .unwrap();
+        assert_eq!(db.scan("Friends").unwrap().len(), 2);
+        // Duplicate attach is rejected like create_table.
+        let dup = PagedTable::create(
+            &dir.join("dup"),
+            TableSchema::new("Friends", &["a", "b"]),
+            PageCacheConfig::default(),
+        )
+        .unwrap();
+        assert!(db.attach_table(Box::new(dup)).is_err());
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn rejects_rows_wider_than_a_page() {
+        let dir = crate::scratch_dir("paged-wide");
+        let wide = TableSchema::new("W", &["a", "b", "c", "d"]);
+        let err = PagedTable::create(
+            &dir,
+            wide,
+            PageCacheConfig {
+                page_bytes: 16,
+                budget_bytes: 64,
+            },
+        );
+        assert!(err.is_err());
+        crate::purge_dir(&dir);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property test: a `Database` whose tables live on the paged on-disk
+//! backend is indistinguishable from one on the in-memory backend —
+//! the same insert/delete history yields the same rows, and random
+//! conjunctive queries (with comparison constraints and limits) come
+//! back answer-for-answer equal. The page cache runs under a two-frame
+//! budget so most instances actually fault and evict.
+
+use eq_db::{Database, TableSchema, Valuation};
+use eq_ir::{Atom, CmpOp, Constraint, Term, Value, Var};
+use eq_store::{PageCacheConfig, PagedTable};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const RELS: [(&str, usize); 3] = [("P", 2), ("Q", 2), ("S", 1)];
+const NUM_VARS: u32 = 4;
+const DOMAIN: i64 = 4;
+const NAMES: [&str; 3] = ["ada", "bob", "cyd"];
+const PAGE_BYTES: usize = 64;
+const BUDGET_BYTES: usize = 128;
+
+#[derive(Clone, Debug)]
+struct Instance {
+    /// Rows per relation, parallel to `RELS`.
+    rows: Vec<Vec<Vec<Value>>>,
+    /// `(relation, index)` delete requests; the index picks one of the
+    /// relation's generated rows (modulo its length).
+    deletes: Vec<(usize, usize)>,
+    atoms: Vec<Atom>,
+    constraints: Vec<Constraint>,
+    /// `5` means unlimited.
+    limit: usize,
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0..DOMAIN).prop_map(Value::int),
+        (0..NAMES.len()).prop_map(|i| Value::str(NAMES[i])),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..NUM_VARS).prop_map(|i| Term::var(Var(i))),
+        arb_value().prop_map(Term::Const),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (0..RELS.len()).prop_flat_map(|r| {
+        proptest::collection::vec(arb_term(), RELS[r].1)
+            .prop_map(move |terms| Atom::new(RELS[r].0, terms))
+    })
+}
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    const OPS: [CmpOp; 5] = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Ne];
+    (arb_term(), 0..OPS.len(), arb_term())
+        .prop_map(|(lhs, op, rhs)| Constraint::new(lhs, OPS[op], rhs))
+}
+
+fn arb_rows(arity: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_value(), arity), 0..24)
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        (
+            arb_rows(RELS[0].1),
+            arb_rows(RELS[1].1),
+            arb_rows(RELS[2].1),
+        ),
+        proptest::collection::vec((0..RELS.len(), 0..24usize), 0..6),
+        proptest::collection::vec(arb_atom(), 1..5),
+        proptest::collection::vec(arb_constraint(), 0..3),
+        0..6usize,
+    )
+        .prop_map(|(rows, deletes, atoms, constraints, limit)| Instance {
+            rows: vec![rows.0, rows.1, rows.2],
+            deletes,
+            atoms,
+            constraints,
+            limit,
+        })
+}
+
+/// Builds the same database twice — in-memory tables and paged tables
+/// under a deliberately tiny cache budget — applying an identical
+/// insert-then-delete history to both.
+fn build_pair(inst: &Instance) -> (Database, Database, PathBuf) {
+    let dir = eq_store::scratch_dir("backend-equiv");
+    let mut mem = Database::new();
+    let mut paged = Database::new();
+    for (i, &(name, arity)) in RELS.iter().enumerate() {
+        let cols: Vec<String> = (0..arity).map(|c| format!("c{c}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        mem.create_table(name, &col_refs).unwrap();
+        let table = PagedTable::create(
+            &dir,
+            TableSchema::new(name, &col_refs),
+            PageCacheConfig {
+                page_bytes: PAGE_BYTES,
+                budget_bytes: BUDGET_BYTES,
+            },
+        )
+        .unwrap();
+        paged.attach_table(Box::new(table)).unwrap();
+        for row in &inst.rows[i] {
+            mem.insert(name, row.clone()).unwrap();
+            paged.insert(name, row.clone()).unwrap();
+        }
+    }
+    for &(r, idx) in &inst.deletes {
+        let rows = &inst.rows[r];
+        if rows.is_empty() {
+            continue;
+        }
+        let row = &rows[idx % rows.len()];
+        let hit_mem = mem.delete(RELS[r].0, row).unwrap();
+        let hit_paged = paged.delete(RELS[r].0, row).unwrap();
+        assert_eq!(hit_mem, hit_paged, "delete must hit or miss identically");
+    }
+    (mem, paged, dir)
+}
+
+fn normalize(vals: Vec<Valuation>) -> Vec<Vec<(Var, Value)>> {
+    let mut out: Vec<Vec<(Var, Value)>> = vals
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(Var, Value)> = m.into_iter().collect();
+            v.sort_unstable_by_key(|(var, _)| *var);
+            v
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn paged_backend_matches_in_memory(inst in arb_instance()) {
+        let (mem, paged, dir) = build_pair(&inst);
+
+        // Same visible rows after the same history.
+        for &(name, _) in &RELS {
+            let mut a = mem.scan(name).unwrap();
+            let mut b = paged.scan(name).unwrap();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "scan of {} diverged", name);
+        }
+
+        // Same full answer set for the conjunction.
+        let full_mem = mem
+            .evaluate_filtered(&inst.atoms, &inst.constraints, usize::MAX)
+            .unwrap();
+        let full_paged = paged
+            .evaluate_filtered(&inst.atoms, &inst.constraints, usize::MAX)
+            .unwrap();
+        let full_norm = normalize(full_mem);
+        prop_assert_eq!(&full_norm, &normalize(full_paged));
+
+        // Limited evaluation: identical result count, and every limited
+        // answer is a valid full answer on either backend.
+        let limit = if inst.limit == 5 { usize::MAX } else { inst.limit };
+        let lim_mem = mem
+            .evaluate_filtered(&inst.atoms, &inst.constraints, limit)
+            .unwrap();
+        let lim_paged = paged
+            .evaluate_filtered(&inst.atoms, &inst.constraints, limit)
+            .unwrap();
+        prop_assert_eq!(lim_mem.len(), full_norm.len().min(limit));
+        prop_assert_eq!(lim_paged.len(), full_norm.len().min(limit));
+        for v in normalize(lim_mem).into_iter().chain(normalize(lim_paged)) {
+            prop_assert!(full_norm.contains(&v));
+        }
+
+        // The paged run stayed inside its byte budget.
+        let io = paged.io_stats();
+        prop_assert!(
+            io.resident_bytes_peak as usize <= RELS.len() * BUDGET_BYTES,
+            "resident peak {} over {} budgets of {}",
+            io.resident_bytes_peak,
+            RELS.len(),
+            BUDGET_BYTES
+        );
+
+        eq_store::purge_dir(&dir);
+    }
+}

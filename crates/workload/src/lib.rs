@@ -23,6 +23,7 @@
 
 mod churn;
 mod giant;
+mod out_of_core;
 mod queries;
 pub mod rng;
 mod service;
@@ -30,6 +31,7 @@ mod social;
 
 pub use churn::{churn_script, ChurnConfig, ChurnOp};
 pub use giant::{giant_component, GiantBody, GiantComponentConfig};
+pub use out_of_core::{build_out_of_core_database, OutOfCoreSetup};
 pub use queries::{
     chains, clique_groups, giant_cluster, grid_pairs, no_unify, three_way_triangles, two_way_pairs,
     unsafe_arrivals, unsafe_residents, PairStyle,

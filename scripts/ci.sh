@@ -10,22 +10,24 @@
 # shared-wide region-split series, whose JSON is published as
 # BENCH_fig_giant.json — with the streaming-projection counters — to
 # record the perf trajectory, plus a 10k shared-ring sweep bounded
-# against the old materialized-semi-join baseline). Everything runs
+# against the old materialized-semi-join baseline, and the fig_store
+# out-of-core paging + kill-and-recover smoke, published as
+# BENCH_fig_store.json with budget/fault assertions). Everything runs
 # offline (vendored shims only — see README "Offline-dependency
 # policy").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/14 cargo fmt --check =="
+echo "== 1/15 cargo fmt --check =="
 cargo fmt --check
 
-echo "== 2/14 workspace membership (cargo metadata) =="
+echo "== 2/15 workspace membership (cargo metadata) =="
 # Parse real package names only (a grep over the raw JSON would also
 # match "name" fields inside dependency tables and pass vacuously).
 names=$(cargo metadata --no-deps --format-version 1 --offline |
     python3 -c 'import json,sys; print("\n".join(sorted(p["name"] for p in json.load(sys.stdin)["packages"])))')
-for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
-    eq_check entangled_queries parking_lot proptest; do
+for pkg in eq_ir eq_unify eq_db eq_sql eq_store eq_core eq_workload \
+    eq_bench eq_check entangled_queries parking_lot proptest; do
     if ! grep -qx "$pkg" <<<"$names"; then
         echo "FATAL: package '$pkg' missing from the workspace" >&2
         echo "cargo metadata reported:" >&2
@@ -35,42 +37,42 @@ for pkg in eq_ir eq_unify eq_db eq_sql eq_core eq_workload eq_bench \
 done
 echo "all $(wc -w <<<"$names" | tr -d ' ') packages present"
 
-echo "== 3/14 cargo build --release =="
+echo "== 3/15 cargo build --release =="
 cargo build --release --offline
 
-echo "== 4/14 cargo test -q (unit + integration; doctests run in step 5) =="
+echo "== 4/15 cargo test -q (unit + integration; doctests run in step 5) =="
 cargo test -q --offline --lib --bins --tests
 
-echo "== 5/14 cargo test --doc (service/error examples compile and run) =="
+echo "== 5/15 cargo test --doc (service/error examples compile and run) =="
 cargo test -q --doc --offline
 
-echo "== 6/14 cargo clippy --workspace --all-targets =="
+echo "== 6/15 cargo clippy --workspace --all-targets =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== 7/14 cargo doc (warnings are errors) =="
+echo "== 7/15 cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
-echo "== 8/14 docs dead-link check =="
+echo "== 8/15 docs dead-link check =="
 python3 scripts/check_doc_links.py
 
-echo "== 9/14 eq_check concurrency-discipline analyzer =="
+echo "== 9/15 eq_check concurrency-discipline analyzer =="
 # The workspace scan must be clean, and every rule must be proven live
 # by its fixture pair (the must-fail fires exactly its own rule, the
 # must-pass stays silent).
 cargo run -q --offline -p eq_check
 cargo run -q --offline -p eq_check -- --fixtures
 
-echo "== 10/14 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
+echo "== 10/15 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
 # The join evaluator is iterative (heap-bounded frames); this deep-chain
 # join would overflow a 1 MiB test-thread stack through the old
 # recursive search. Run it with the stack clamped to prove the bound.
 RUST_MIN_STACK=1048576 cargo test -q --offline -p eq_db --test deep_stack
 
-echo "== 11/14 fig6 + fig8 bench smoke =="
+echo "== 11/15 fig6 + fig8 bench smoke =="
 cargo bench -q --offline -p eq_bench --bench fig6_two_way -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
 
-echo "== 12/14 fig_resident churn + fig_service admission/churn smoke =="
+echo "== 12/15 fig_resident churn + fig_service admission/churn smoke =="
 cargo bench -q --offline -p eq_bench --bench fig_resident -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig_service -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_service -- --smoke
@@ -82,7 +84,7 @@ if ! grep -q "lock_hold_ns" results/fig_service.json; then
 fi
 echo "fig_service.json carries lock_hold_ns"
 
-echo "== 13/14 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
+echo "== 13/15 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
 cargo bench -q --offline -p eq_bench --bench fig_giant -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_giant -- --smoke
 cp results/fig_giant.json BENCH_fig_giant.json
@@ -97,7 +99,7 @@ for counter in intra_region_streamed intra_witness_peak; do
 done
 echo "published BENCH_fig_giant.json ($(wc -c < BENCH_fig_giant.json) bytes, streaming counters present)"
 
-echo "== 14/14 10k shared-ring sweep: streamed split vs materialized baseline =="
+echo "== 14/15 10k shared-ring sweep: streamed split vs materialized baseline =="
 # The 10k shared-variable ring flushed in ~0.75 s under the materialized
 # semi-join; the streamed split measured ~0.40 s. Bound the flush at 2x
 # the old baseline so a regression back to materialization-scale cost
@@ -111,6 +113,38 @@ assert flush, "sweep JSON lacks the giant-component flush row"
 ms = flush[0]["millis"]
 assert ms < 1500.0, f"10k shared-ring flush regressed: {ms:.1f} ms (materialized baseline was ~750 ms)"
 print(f"10k shared-ring streamed flush: {ms:.1f} ms (< 1500 ms bound)")
+PY
+
+echo "== 15/15 fig_store out-of-core + kill-and-recover smoke (publishes BENCH_fig_store.json) =="
+# The paged run must actually spill (hot relation >= 10x the cache
+# budget, nonzero page faults) while never exceeding its byte budget,
+# and the kill-and-recover harness must account exactly-once for every
+# acknowledged query (the run aborts internally on loss/duplication;
+# the checks here pin the counters the claim rests on).
+cargo run -q --release --offline -p eq_bench --bin fig_store -- --smoke
+cp results/fig_store.json BENCH_fig_store.json
+python3 - <<'PY'
+import json
+rows = json.load(open("BENCH_fig_store.json"))
+paged = [r for r in rows if r["series"] == "paged (out-of-core)"]
+assert paged, "fig_store JSON lacks the paged (out-of-core) row"
+c = paged[0]["counters"]
+assert c["page_reads"] > 0, "out-of-core run never faulted a page in"
+assert c["hot_data_bytes"] >= 10 * c["budget_bytes"], \
+    f"hot relation not out-of-core: {c['hot_data_bytes']} < 10x {c['budget_bytes']}"
+assert c["resident_bytes_peak"] <= c["budget_bytes"], \
+    f"page cache exceeded its budget: {c['resident_bytes_peak']} > {c['budget_bytes']}"
+recover = [r for r in rows if r["series"].startswith("kill+recover")]
+assert len(recover) == 2, "fig_store JSON lacks both kill+recover rows"
+for r in recover:
+    k = r["counters"]
+    assert k["acknowledged"] > 0
+    assert k["recovered_terminal"] + k["recovered_pending"] == k["acknowledged"], \
+        "recovered accounting does not cover every acknowledged query exactly once"
+print(f"paged: {int(c['page_reads'])} faults, resident peak "
+      f"{int(c['resident_bytes_peak'])} <= budget {int(c['budget_bytes'])}; "
+      f"kill+recover: {int(recover[0]['counters']['acknowledged'])} acknowledged, "
+      f"exactly-once accounting verified")
 PY
 
 echo "CI green."
