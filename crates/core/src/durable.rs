@@ -14,10 +14,15 @@
 //!   `DurabilitySink` hook runs inside the service
 //!   lock at exactly those two points, so WAL order equals
 //!   acknowledgment order;
-//! * [`DurableCoordinator::checkpoint`] writes an atomic whole-state
-//!   image — database contents, pending submissions, the outcome
-//!   ledger, the query-id watermark — and then truncates the log, so
-//!   the log only ever holds the suffix since the last checkpoint;
+//! * every WAL record carries a monotonically increasing **sequence
+//!   number**, and [`DurableCoordinator::checkpoint`] writes an atomic
+//!   whole-state image — database contents, pending submissions, the
+//!   outcome ledger, the query-id watermark, and the sequence-number
+//!   watermark of the records it folds in — then truncates the log, so
+//!   the log only ever holds the suffix since the last checkpoint. A
+//!   kill between the image rename and the truncation is harmless:
+//!   replay skips every record at a sequence number below the image's
+//!   watermark, so nothing is applied twice;
 //! * [`DurableCoordinator::open`] rebuilds state as *checkpoint +
 //!   log replay*: tables are reloaded, still-pending submissions are
 //!   re-admitted under their **original** ids, recorded outcomes are
@@ -517,8 +522,12 @@ enum WalRecord {
     },
 }
 
-fn encode_record(rec: &WalRecord) -> Vec<u8> {
+/// Encodes one record under its sequence number. The number leads the
+/// payload so replay can skip records already folded into a checkpoint
+/// (see [`DurableCoordinator::checkpoint`]).
+fn encode_record(seqno: u64, rec: &WalRecord) -> Vec<u8> {
     let mut out = Vec::new();
+    put_u64(&mut out, seqno);
     match rec {
         WalRecord::CreateTable { name, columns } => {
             out.push(1);
@@ -557,8 +566,9 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
     out
 }
 
-fn decode_record(bytes: &[u8]) -> Result<WalRecord, StoreError> {
+fn decode_record(bytes: &[u8]) -> Result<(u64, WalRecord), StoreError> {
     let mut cur = Cur::new(bytes);
+    let seqno = cur.u64()?;
     let rec = match cur.u8()? {
         1 => {
             let name = cur.str()?;
@@ -598,18 +608,21 @@ fn decode_record(bytes: &[u8]) -> Result<WalRecord, StoreError> {
         _ => return Err(StoreError::Corrupt("wal record tag")),
     };
     cur.finish()?;
-    Ok(rec)
+    Ok((seqno, rec))
 }
 
 // ---------------------------------------------------------------------
 // Checkpoint image
 // ---------------------------------------------------------------------
 
-const CHECKPOINT_VERSION: u32 = 1;
+const CHECKPOINT_VERSION: u32 = 2;
 
 #[derive(Default)]
 struct CheckpointImage {
     next_query_id: u64,
+    /// WAL records with a sequence number below this are folded into
+    /// the image; replay skips them.
+    wal_seqno: u64,
     tables: Vec<(String, Vec<String>, Vec<Tuple>)>,
     pending: Vec<(QueryId, SubmitRecord)>,
     outcomes: Vec<(QueryId, QueryOutcome)>,
@@ -618,12 +631,14 @@ struct CheckpointImage {
 fn encode_checkpoint(
     db: &Database,
     next_query_id: u64,
+    wal_seqno: u64,
     pending: &FastMap<QueryId, SubmitRecord>,
     outcomes: &FastMap<QueryId, QueryOutcome>,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, CHECKPOINT_VERSION);
     put_u64(&mut out, next_query_id);
+    put_u64(&mut out, wal_seqno);
 
     let mut names: Vec<_> = db.table_names().collect();
     names.sort_by_key(|s| s.as_str());
@@ -668,6 +683,7 @@ fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage, StoreError> {
         return Err(StoreError::Corrupt("checkpoint version"));
     }
     let next_query_id = cur.u64()?;
+    let wal_seqno = cur.u64()?;
 
     let n = cur.u32()? as usize;
     let mut tables = Vec::with_capacity(n);
@@ -712,6 +728,7 @@ fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage, StoreError> {
     cur.finish()?;
     Ok(CheckpointImage {
         next_query_id,
+        wal_seqno,
         tables,
         pending,
         outcomes,
@@ -737,6 +754,11 @@ struct SubmitRecord {
 /// the service lock.
 struct DurableState {
     wal: WriteAheadLog,
+    /// Sequence number the next appended record will carry. Appends
+    /// run under this lock, so numbers are strictly increasing in
+    /// acknowledgment order and never reused — checkpoints record the
+    /// watermark of what they fold in.
+    next_seqno: u64,
     pending: FastMap<QueryId, SubmitRecord>,
     outcomes: FastMap<QueryId, QueryOutcome>,
 }
@@ -748,9 +770,10 @@ impl DurableState {
     /// contract — so this panics rather than silently dropping
     /// durability.
     fn append(&mut self, rec: &WalRecord) {
-        if let Err(e) = self.wal.append(&encode_record(rec)) {
+        if let Err(e) = self.wal.append(&encode_record(self.next_seqno, rec)) {
             panic!("write-ahead append failed: {e}");
         }
+        self.next_seqno += 1;
     }
 }
 
@@ -859,10 +882,34 @@ impl DurableCoordinator {
             Some(payload) => decode_checkpoint(&payload)?,
             None => CheckpointImage::default(),
         };
-        let (wal, raw) = WriteAheadLog::open(&dir.join(WAL_FILE))?;
+        let (mut wal, raw) = WriteAheadLog::open(&dir.join(WAL_FILE))?;
         let mut records = Vec::with_capacity(raw.len());
         for bytes in &raw {
             records.push(decode_record(bytes)?);
+        }
+
+        // Skip records the checkpoint already folded in. Normally the
+        // checkpoint truncates the log, but a kill between the image
+        // rename and the truncation leaves the full pre-checkpoint log
+        // behind — replaying it would double-apply loads and re-create
+        // tables. Sequence numbers are append-ordered, so the stale
+        // records are exactly the prefix below the image's watermark.
+        let stale = records
+            .iter()
+            .take_while(|(seqno, _)| *seqno < image.wal_seqno)
+            .count();
+        if stale > 0 {
+            // Finish the interrupted checkpoint's truncation: rewrite
+            // the log as just the surviving suffix, restoring the
+            // "log = suffix since the last checkpoint" invariant.
+            wal.truncate()?;
+            for bytes in &raw[stale..] {
+                wal.append(bytes)?;
+            }
+        }
+        let mut next_seqno = image.wal_seqno;
+        for (seqno, _) in &records[stale..] {
+            next_seqno = next_seqno.max(seqno + 1);
         }
 
         // Checkpoint state, then the log suffix on top of it.
@@ -877,7 +924,7 @@ impl DurableCoordinator {
         let mut pending: FastMap<QueryId, SubmitRecord> = image.pending.into_iter().collect();
         let mut outcomes: FastMap<QueryId, QueryOutcome> = image.outcomes.into_iter().collect();
         let mut watermark = image.next_query_id;
-        for record in records {
+        for (_, record) in records.into_iter().skip(stale) {
             match record {
                 WalRecord::CreateTable { name, columns } => {
                     let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -914,6 +961,7 @@ impl DurableCoordinator {
         let coordinator = Coordinator::new(db, config);
         let state = Arc::new(Mutex::new(DurableState {
             wal,
+            next_seqno,
             pending: pending.clone(),
             outcomes,
         }));
@@ -1005,14 +1053,24 @@ impl DurableCoordinator {
     /// database, pending submissions, outcome ledger, id watermark —
     /// and truncates the WAL it supersedes. Runs under the service
     /// lock, so the image is a consistent cut: no acknowledgment can
-    /// land between the snapshot and the truncation.
+    /// land between the snapshot and the truncation. The image records
+    /// the WAL sequence-number watermark it folds in, so a kill
+    /// between the image rename and the truncation is recovered
+    /// exactly: replay skips the superseded records and `open`
+    /// finishes the truncation.
     pub fn checkpoint(&self) -> Result<(), DurableError> {
         self.coordinator.with_engine(|engine| {
             let next_id = engine.next_query_id();
             let db = engine.db();
             let guard = db.read();
             let mut state = self.state.lock();
-            let payload = encode_checkpoint(&guard, next_id, &state.pending, &state.outcomes);
+            let payload = encode_checkpoint(
+                &guard,
+                next_id,
+                state.next_seqno,
+                &state.pending,
+                &state.outcomes,
+            );
             write_checkpoint(&self.checkpoint_path, &payload)?;
             state.wal.truncate()?;
             Ok(())
@@ -1245,11 +1303,89 @@ mod tests {
                 outcome: QueryOutcome::Failed(FailReason::Rejected(RejectReason::NoSolution)),
             },
         ];
-        for rec in &records {
-            let bytes = encode_record(rec);
-            let back = decode_record(&bytes).unwrap();
-            assert_eq!(encode_record(&back), bytes, "codec must be stable");
+        for (i, rec) in records.iter().enumerate() {
+            let seqno = i as u64 * 3 + 1;
+            let bytes = encode_record(seqno, rec);
+            let (back_seqno, back) = decode_record(&bytes).unwrap();
+            assert_eq!(back_seqno, seqno, "sequence number must round-trip");
+            assert_eq!(
+                encode_record(back_seqno, &back),
+                bytes,
+                "codec must be stable"
+            );
         }
         assert!(decode_record(&[9, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn kill_between_checkpoint_rename_and_wal_truncate_is_harmless() {
+        let dir = eq_store::scratch_dir("durable-ckpt-window");
+        let (answered, lonely) = {
+            let dc = DurableCoordinator::open(&dir, config()).unwrap();
+            seed(&dc);
+            let a = dc
+                .submit(SubmitRequest::new(q(
+                    "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+                )))
+                .unwrap();
+            let b = dc
+                .submit(SubmitRequest::new(q(
+                    "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+                )))
+                .unwrap();
+            assert_eq!(dc.flush().answered, 2);
+            let lonely = dc
+                .submit(SubmitRequest::new(q(
+                    "{R(Newman, z)} R(Frank, z) <- F(z, Rome)",
+                )))
+                .unwrap();
+            // A checkpoint whose process dies right after the image
+            // rename: write the image through the real path, but leave
+            // the superseded WAL exactly as the kill would.
+            dc.coordinator.with_engine(|engine| {
+                let next_id = engine.next_query_id();
+                let db = engine.db();
+                let guard = db.read();
+                let state = dc.state.lock();
+                let payload = encode_checkpoint(
+                    &guard,
+                    next_id,
+                    state.next_seqno,
+                    &state.pending,
+                    &state.outcomes,
+                );
+                write_checkpoint(&dc.checkpoint_path, &payload).unwrap();
+            });
+            assert!(dc.wal_len_bytes() > 0, "pre-checkpoint log must remain");
+            (vec![a.id, b.id], lonely.id)
+        };
+
+        // Reopen must neither fail (CreateTable replay would hit
+        // DuplicateRelation) nor double-apply the checkpointed loads.
+        let dc = DurableCoordinator::open(&dir, config()).unwrap();
+        assert_eq!(
+            dc.coordinator().db().read().scan("F").unwrap().len(),
+            2,
+            "checkpointed rows must not be replayed on top of the image"
+        );
+        for id in answered {
+            assert!(
+                matches!(dc.outcome(id), Some(QueryOutcome::Answered(_))),
+                "{id:?}"
+            );
+        }
+        assert_eq!(dc.pending_ids(), vec![lonely]);
+        assert_eq!(
+            dc.wal_len_bytes(),
+            0,
+            "open finishes the interrupted truncation"
+        );
+        // History keeps accumulating normally afterwards.
+        dc.load("F", vec![vec![Value::int(200), Value::str("Oslo")]])
+            .unwrap();
+        drop(dc);
+        let dc = DurableCoordinator::open(&dir, config()).unwrap();
+        assert_eq!(dc.coordinator().db().read().scan("F").unwrap().len(), 3);
+        eq_store::purge_dir(&dir);
     }
 }

@@ -50,6 +50,28 @@ struct FrameSlot {
     pinned: bool,
 }
 
+/// Pins a frame for the duration of a page access and clears the flag
+/// on drop — including an unwind out of the caller's closure. Without
+/// this, a panicking closure would leave the frame pinned forever
+/// (`lock()` recovers from poisoning), and enough leaked pins would
+/// wedge [`clock_victim`] in an endless sweep.
+struct PinGuard<'a> {
+    frame: &'a mut FrameSlot,
+}
+
+impl<'a> PinGuard<'a> {
+    fn new(frame: &'a mut FrameSlot) -> PinGuard<'a> {
+        frame.pinned = true;
+        PinGuard { frame }
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.frame.pinned = false;
+    }
+}
+
 struct CacheInner {
     file: File,
     /// Bytes of the file that have actually been written (pages past
@@ -133,9 +155,10 @@ impl PageStore {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
-        // The closure discipline (no panics while holding the lock
-        // beyond caller bugs) makes poisoning recoverable: the cache
-        // state is consistent between operations.
+        // Poisoning is recoverable: the only caller code that runs
+        // under the lock is the access closure, and `PinGuard` resets
+        // the pinned flag on unwind, so the cache state is consistent
+        // between operations even after a panicking closure.
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -144,10 +167,11 @@ impl PageStore {
     pub fn with_page<R>(&self, page: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R, StoreError> {
         let mut inner = self.lock();
         let idx = self.frame_for(&mut inner, page)?;
-        inner.frames[idx].referenced = true;
-        inner.frames[idx].pinned = true;
-        let r = f(&inner.frames[idx].buf);
-        inner.frames[idx].pinned = false;
+        let frame = &mut inner.frames[idx];
+        frame.referenced = true;
+        let pin = PinGuard::new(frame);
+        let r = f(&pin.frame.buf);
+        drop(pin);
         Ok(r)
     }
 
@@ -160,11 +184,12 @@ impl PageStore {
     ) -> Result<R, StoreError> {
         let mut inner = self.lock();
         let idx = self.frame_for(&mut inner, page)?;
-        inner.frames[idx].referenced = true;
-        inner.frames[idx].dirty = true;
-        inner.frames[idx].pinned = true;
-        let r = f(&mut inner.frames[idx].buf);
-        inner.frames[idx].pinned = false;
+        let frame = &mut inner.frames[idx];
+        frame.referenced = true;
+        frame.dirty = true;
+        let pin = PinGuard::new(frame);
+        let r = f(&mut pin.frame.buf);
+        drop(pin);
         Ok(r)
     }
 
@@ -355,6 +380,22 @@ mod tests {
         store.with_page_mut(0, |buf| buf[0] = 9).unwrap();
         store.with_page_mut(1, |buf| buf[0] = 8).unwrap();
         assert_eq!(store.with_page(0, |buf| buf[0]).unwrap(), 9);
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn panicking_closure_does_not_leak_a_pin() {
+        let (dir, store) = store(1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.with_page_mut(0, |_| panic!("closure bug")).unwrap();
+        }));
+        assert!(caught.is_err());
+        // With a one-frame budget, every further access must evict the
+        // frame the panicking closure touched — if the pin leaked, the
+        // CLOCK sweep would spin forever here.
+        store.with_page_mut(1, |buf| buf[0] = 2).unwrap();
+        store.with_page_mut(2, |buf| buf[0] = 3).unwrap();
+        assert_eq!(store.with_page(1, |buf| buf[0]).unwrap(), 2);
         crate::purge_dir(&dir);
     }
 

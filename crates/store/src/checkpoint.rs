@@ -33,6 +33,14 @@ pub fn write_checkpoint(path: &Path, payload: &[u8]) -> Result<(), StoreError> {
         file.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    // fsync the directory so the rename itself survives power loss —
+    // without this the image is complete but may not be *reachable*
+    // after a machine crash.
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            File::open(dir)?.sync_all()?;
+        }
+    }
     Ok(())
 }
 

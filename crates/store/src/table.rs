@@ -45,8 +45,8 @@ pub struct PagedTable {
 
 impl PagedTable {
     /// Creates an empty paged table whose page file lives under `dir`
-    /// (created if needed) as `<relation>.pages`, truncating any
-    /// previous file.
+    /// (created if needed) as `<sanitized-relation>-<hash>.pages`,
+    /// truncating any previous file for the same relation.
     pub fn create(
         dir: &Path,
         schema: TableSchema,
@@ -58,7 +58,7 @@ impl PagedTable {
             return Err(StoreError::Corrupt("page too small for one row"));
         }
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.pages", sanitize(schema.name.as_str())));
+        let path = dir.join(page_file_name(schema.name.as_str()));
         let store = PageStore::create(&path, config)?;
         let rows_per_page = if arity == 0 {
             1
@@ -96,12 +96,20 @@ impl PagedTable {
     }
 }
 
-/// Page-file names come from relation names; anything that is not a
-/// plain identifier character becomes `_`.
-fn sanitize(name: &str) -> String {
-    name.chars()
+/// Page-file names come from relation names: anything that is not a
+/// plain identifier character becomes `_`, and an FNV-1a hash of the
+/// raw name is appended so relations that sanitize to the same string
+/// (`a.b` vs `a_b`) never share — and truncate — one backing file.
+fn page_file_name(name: &str) -> String {
+    let sanitized: String = name
+        .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+        .collect();
+    format!(
+        "{}-{:08x}.pages",
+        sanitized,
+        crate::wal::fnv1a(name.as_bytes())
+    )
 }
 
 fn le8(bytes: &[u8]) -> [u8; 8] {
@@ -335,6 +343,35 @@ mod tests {
         )
         .unwrap();
         assert!(db.attach_table(Box::new(dup)).is_err());
+        crate::purge_dir(&dir);
+    }
+
+    #[test]
+    fn name_collisions_after_sanitizing_get_distinct_page_files() {
+        let dir = crate::scratch_dir("paged-collide");
+        // Both names sanitize to `a_b`; the hash suffix must keep the
+        // backing files apart (create truncates, so sharing one file
+        // would wipe the first table's spilled rows). A one-frame
+        // budget forces every row through the file.
+        let config = PageCacheConfig {
+            page_bytes: 64,
+            budget_bytes: 64,
+        };
+        let mut dotted = PagedTable::create(&dir, TableSchema::new("a.b", &["x"]), config).unwrap();
+        for i in 0..20i64 {
+            dotted.push(vec![Value::int(i)]);
+        }
+        let mut under = PagedTable::create(&dir, TableSchema::new("a_b", &["x"]), config).unwrap();
+        for i in 0..20i64 {
+            under.push(vec![Value::int(-i)]);
+        }
+        let mut buf = Tuple::new();
+        for i in 0..20u32 {
+            assert!(dotted.read_row(i, &mut buf), "row {i} lost to truncation");
+            assert_eq!(buf[0], Value::int(i as i64));
+            assert!(under.read_row(i, &mut buf));
+            assert_eq!(buf[0], Value::int(-(i as i64)));
+        }
         crate::purge_dir(&dir);
     }
 

@@ -8,6 +8,16 @@
 //! so the next append starts clean. Everything before a torn tail is
 //! trusted (checksums passed), which is exactly the prefix the writer
 //! had acknowledged.
+//!
+//! # Durability model
+//!
+//! [`WriteAheadLog::append`] is write-through to the OS but does
+//! **not** fsync: an acknowledged record survives a **process kill**
+//! (the tested crash model), not necessarily an OS crash or power
+//! loss. Callers that need machine-crash durability call
+//! [`WriteAheadLog::sync_data`] at their acknowledgment points and pay
+//! the fsync per batch; checkpoints are always fsync'd
+//! (`crate::checkpoint`).
 
 use crate::error::StoreError;
 use std::fs::{File, OpenOptions};
@@ -89,9 +99,9 @@ impl WriteAheadLog {
     }
 
     /// Appends one record. The record is on the OS side of the write
-    /// when this returns — the acknowledgment point for durability
-    /// bookkeeping (page spill and checkpoints carry the heavier
-    /// persistence; see the crate docs).
+    /// when this returns — process-kill durable, not power-loss
+    /// durable (see the module docs; [`WriteAheadLog::sync_data`] is
+    /// the opt-in for the latter).
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
         let mut record = Vec::with_capacity(8 + payload.len());
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -99,6 +109,15 @@ impl WriteAheadLog {
         record.extend_from_slice(payload);
         self.file.write_all(&record)?;
         self.len += record.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes every appended record to stable storage (`fdatasync`).
+    /// Opt-in: appends alone survive a process kill; call this at an
+    /// acknowledgment point when records must also survive an OS crash
+    /// or power loss.
+    pub fn sync_data(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
         Ok(())
     }
 
@@ -131,6 +150,7 @@ mod tests {
             wal.append(b"alpha").unwrap();
             wal.append(b"").unwrap();
             wal.append(b"gamma-record").unwrap();
+            wal.sync_data().unwrap();
         }
         let (_, replayed) = WriteAheadLog::open(&path).unwrap();
         assert_eq!(
