@@ -176,7 +176,7 @@ pub fn instrumented_batch(queries: &[EntangledQuery], db: &Database) -> SplitTim
         let m = matching::match_component(&graph, c);
         if !m.survivors.is_empty() {
             if let Some(global) = m.global {
-                matched.push(CombinedQuery::build(&graph, &m.survivors, &global));
+                matched.push(CombinedQuery::build(&graph, &m.survivors, global));
             }
         }
     }
@@ -1089,6 +1089,10 @@ fn giant_counters(report: &eq_core::BatchReport) -> Vec<(&'static str, f64)> {
         ("lock_hold_ns", report.lock_hold_ns as f64),
         ("lock_acquisitions", report.lock_acquisitions as f64),
         ("lock_max_hold_ns", report.lock_max_hold_ns as f64),
+        ("unify_merges", report.unify_merges as f64),
+        ("unify_rollbacks", report.unify_rollbacks as f64),
+        ("unify_clones", report.unify_clones as f64),
+        ("unify_undo_high_water", report.unify_undo_high_water as f64),
     ]
 }
 

@@ -1,0 +1,13 @@
+//@ path: crates/core/src/matching.rs
+//@ expect: no-unifier-clone
+// A speculative deep-copy of a live unifier on the matching hot path:
+// the undo-log snapshot/rollback discipline exists precisely so edge
+// propagation never clones a binding table before a merge it might
+// have to abandon.
+
+pub fn propagate(parent_unifier: &Unifier, out: &mut Vec<Unifier>) {
+    let speculative = parent_unifier.clone();
+    out.push(speculative);
+}
+
+pub struct Unifier;

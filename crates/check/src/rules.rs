@@ -1,5 +1,5 @@
 //! The rule engine: a structural pass over the lexed token stream
-//! (`cfg(test)` regions, enclosing-function tracking) plus the eight
+//! (`cfg(test)` regions, enclosing-function tracking) plus the nine
 //! concurrency- and IO-discipline rules, each with an explicit per-rule
 //! allowlist. The rules are documented for humans in
 //! `docs/ARCHITECTURE.md` ("Invariants & analysis"); this module is the
@@ -79,6 +79,14 @@ pub const RULES: &[Rule] = &[
         allow: &[],
     },
     Rule {
+        name: "no-unifier-clone",
+        summary: "no Unifier deep-copies in the engine's speculative sites \
+                  (matching.rs, engine.rs, combine.rs, ucs.rs) outside \
+                  cfg(test) oracles — speculation rides undo-log \
+                  snapshot/rollback instead of cloning binding tables",
+        allow: &[],
+    },
+    Rule {
         name: "event-choke-point",
         summary: "no Event construction under the service lock except through \
                   pump/publish_flushed (plus the read-only accessors) — the \
@@ -113,6 +121,18 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/unify/src/unifier.rs",
     "crates/core/src/matching.rs",
     "crates/core/src/intra.rs",
+];
+
+/// Files whose non-test code must not deep-copy a `Unifier` (suffix
+/// match): the speculative sites converted to snapshot/rollback. The
+/// detection is name-based — `.clone()` on a binding whose identifier
+/// is unifier-shaped, or an explicit `Unifier::clone(..)` — so benign
+/// clones of tuples, reports, and survivor lists stay legal.
+const UNIFIER_CLONE_FILES: &[&str] = &[
+    "crates/core/src/matching.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/combine.rs",
+    "crates/core/src/ucs.rs",
 ];
 
 const RECURSION_FILES: &[&str] = &[
@@ -291,6 +311,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
     scan_channel(path, &a, &mut out);
     scan_unwrap_expect(path, &a, &mut out);
     scan_recursion(path, &a, &mut out);
+    scan_unifier_clone(path, &a, &mut out);
     scan_event_construction(path, &a, &mut out);
     scan_io(path, &a, &mut out);
     scan_forbid_unsafe(path, &a, &mut out);
@@ -450,6 +471,48 @@ fn scan_recursion(path: &str, a: &Analysis, out: &mut Vec<Violation>) {
                      contract (heap-bounded depth); keep recursion in \
                      cfg(test) oracles"
                 ),
+            });
+        }
+    }
+}
+
+/// `.clone()` on a unifier-shaped receiver (`unifier`, `global`, `mgu`,
+/// or any `*_unifier` binding) or an explicit `Unifier::clone(..)` in
+/// the converted speculative sites, outside cfg(test). Keeps the
+/// zero-clone hot path honest: speculation must go through
+/// `snapshot()`/`rollback_to()` (or `try_merge_from`), never a deep
+/// copy of the binding table.
+fn scan_unifier_clone(path: &str, a: &Analysis, out: &mut Vec<Violation>) {
+    let r = rule("no-unifier-clone");
+    if !UNIFIER_CLONE_FILES.iter().any(|f| path_matches(path, f)) || allowed(r, path, None) {
+        return;
+    }
+    let unifier_shaped =
+        |name: &str| matches!(name, "unifier" | "global" | "mgu") || name.ends_with("_unifier");
+    for i in 0..a.tokens.len() {
+        if a.in_test[i] {
+            continue;
+        }
+        let Some(name) = ident_at(a, i) else { continue };
+        let method_clone = symbol_at(a, i + 1, '.')
+            && ident_at(a, i + 2) == Some("clone")
+            && symbol_at(a, i + 3, '(')
+            && unifier_shaped(name);
+        let ufcs_clone = name == "Unifier"
+            && symbol_at(a, i + 1, ':')
+            && symbol_at(a, i + 2, ':')
+            && ident_at(a, i + 3) == Some("clone")
+            && call_follows(a, i + 4);
+        if method_clone || ufcs_clone {
+            out.push(Violation {
+                rule: r.name,
+                path: path.to_owned(),
+                line: a.tokens[i].line,
+                message: "Unifier deep-copied on a speculative path; ride an \
+                          undo-log snapshot (snapshot/rollback_to or \
+                          try_merge_from) instead — clones are confined to \
+                          cfg(test) oracles"
+                    .into(),
             });
         }
     }
@@ -649,6 +712,37 @@ mod tests {
         let v = check_source("crates/core/src/service.rs", bad);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "event-choke-point");
+    }
+
+    #[test]
+    fn unifier_clone_is_confined_to_test_oracles() {
+        let banned = "
+            fn speculate(parent_unifier: &Unifier) -> Unifier {
+                let forked = parent_unifier.clone();
+                forked
+            }
+        ";
+        let v = check_source("crates/core/src/matching.rs", banned);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unifier-clone");
+
+        let ufcs = "fn f(global: &Unifier) -> Unifier { Unifier::clone(global) }";
+        let v = check_source("crates/core/src/engine.rs", ufcs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-unifier-clone");
+
+        // Benign clones, cfg(test) oracles, and out-of-scope files are
+        // all legal.
+        let benign = "fn f(report: &BatchReport) -> BatchReport { report.clone() }";
+        assert!(check_source("crates/core/src/engine.rs", benign).is_empty());
+        let oracle = "
+            #[cfg(test)]
+            mod tests {
+                fn fork(global: &Unifier) -> Unifier { global.clone() }
+            }
+        ";
+        assert!(check_source("crates/core/src/combine.rs", oracle).is_empty());
+        assert!(check_source("crates/core/src/intra.rs", banned).is_empty());
     }
 
     #[test]

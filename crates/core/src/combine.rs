@@ -50,14 +50,17 @@ impl CombinedQuery {
     /// Builds the combined query from a matched component's `survivors`
     /// (graph slots) and `global` unifier. Works over any
     /// [`MatchView`] — a batch-built graph or the engine's resident
-    /// graph — borrowing the survivor queries in place.
-    pub fn build<V: MatchView>(graph: &V, survivors: &[u32], global: &Unifier) -> Self {
-        let (body, constraints, heads) = simplify_survivors(graph, survivors, global);
+    /// graph — borrowing the survivor queries in place. Takes the
+    /// global unifier by value: every caller owns it once matching
+    /// finishes, so assembly moves the table instead of cloning it
+    /// (eq_check's `no-unifier-clone` rule watches this file).
+    pub fn build<V: MatchView>(graph: &V, survivors: &[u32], global: Unifier) -> Self {
+        let (body, constraints, heads) = simplify_survivors(graph, survivors, &global);
         CombinedQuery {
             body,
             constraints,
             heads,
-            global: global.clone(),
+            global,
         }
     }
 
@@ -225,7 +228,7 @@ mod tests {
             "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), A(y, United)",
         ]);
         let m = match_component(&g, &[0, 1]);
-        let cq = CombinedQuery::build(&g, &m.survivors, m.global.as_ref().unwrap());
+        let cq = CombinedQuery::build(&g, &m.survivors, m.global.unwrap());
         // Simplified body: F(x,Paris) ∧ F(x,Paris) ∧ A(x,United) over one
         // shared variable.
         assert_eq!(cq.body.len(), 3);
@@ -254,7 +257,7 @@ mod tests {
         ]);
         let m = match_component(&g, &[0, 1]);
         let global = m.global.clone().unwrap();
-        let cq = CombinedQuery::build(&g, &m.survivors, &global);
+        let cq = CombinedQuery::build(&g, &m.survivors, global.clone());
         let db = flight_db();
         let sols = cq.evaluate(&db, 1).unwrap();
         let atoms = answer_atoms(&sols[0]);
@@ -292,7 +295,7 @@ mod tests {
             "{R(Kramer, y)} R(Jerry, y) <- F(y, Athens)",
         ]);
         let m = match_component(&g, &[0, 1]);
-        let cq = CombinedQuery::build(&g, &m.survivors, m.global.as_ref().unwrap());
+        let cq = CombinedQuery::build(&g, &m.survivors, m.global.unwrap());
         let sols = cq.evaluate(&flight_db(), 1).unwrap();
         assert!(sols.is_empty());
     }
@@ -304,7 +307,7 @@ mod tests {
             "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
         ]);
         let m = match_component(&g, &[0, 1]);
-        let cq = CombinedQuery::build(&g, &m.survivors, m.global.as_ref().unwrap());
+        let cq = CombinedQuery::build(&g, &m.survivors, m.global.unwrap());
         let sols = cq.evaluate(&flight_db(), 3).unwrap();
         assert_eq!(sols.len(), 3); // flights 122, 123, 134
                                    // Solutions are distinct flights.
@@ -328,7 +331,7 @@ mod tests {
             "{R(Jerry, ITH)} R(Kramer, ITH) <- Friends(Kramer, Jerry)",
         ]);
         let m = match_component(&g, &[0, 1]);
-        let cq = CombinedQuery::build(&g, &m.survivors, m.global.as_ref().unwrap());
+        let cq = CombinedQuery::build(&g, &m.survivors, m.global.unwrap());
         let sols = cq.evaluate(&db, 1).unwrap();
         assert_eq!(sols.len(), 1);
         assert_eq!(
@@ -347,7 +350,7 @@ mod tests {
             "{T(z1)} S(z2) <- D3(z1, z2)",
         ]);
         let m = match_component(&g, &[0, 1, 2]);
-        let cq = CombinedQuery::build(&g, &m.survivors, m.global.as_ref().unwrap());
+        let cq = CombinedQuery::build(&g, &m.survivors, m.global.unwrap());
         // Head T(x3) simplifies to T(1).
         let t_head = &cq.heads[0].1[0];
         assert_eq!(t_head.terms[0], Term::int(1));

@@ -318,6 +318,23 @@ pub struct BatchReport {
     pub io: StoreIoStats,
     /// Aggregated matching statistics.
     pub stats: MatchStats,
+    /// Unifier `merge_from` folds performed while producing this
+    /// report (seeding, propagation, global folds, probe assembly) —
+    /// the delta of [`eq_unify::ops`]'s process counter across the
+    /// operation.
+    pub unify_merges: u64,
+    /// Unifier snapshots rolled back across the operation: speculation
+    /// rejected in place (SCC fast-path bailouts, failed speculative
+    /// merges) instead of by rebuilding tables.
+    pub unify_rollbacks: u64,
+    /// `Unifier::clone` calls across the operation. The engine's
+    /// matching / admission / combine paths ride snapshots, so this
+    /// must be 0 — ci asserts it on the benchmark counters.
+    pub unify_clones: u64,
+    /// Peak undo-log length (logged writes) observed at any
+    /// snapshot-close so far in this process — the in-place
+    /// speculation footprint that replaced whole-table copies.
+    pub unify_undo_high_water: u64,
 }
 
 struct PendingQuery {
@@ -1149,7 +1166,7 @@ impl CoordinationEngine {
                 // Same evaluation code path as flushes and incremental
                 // triggers (sequential here: one pair, submit thread).
                 let (solution, _) =
-                    evaluate_survivors(&view, &m.survivors, &global, &db, &self.config, 1);
+                    evaluate_survivors(&view, &m.survivors, global, &db, &self.config, 1);
                 (m.survivors, solution)
             };
             match solution {
@@ -1201,6 +1218,10 @@ impl CoordinationEngine {
             report.pending = self.pending_count();
             return report;
         }
+        // Unifier-op accounting: diff the process-global counters
+        // across the whole operation (the worker threads' activity
+        // lands in the same atomics).
+        let unify_before = eq_unify::ops::global();
 
         // Phase 1 (read-only): safety, partition, match, evaluate.
         let pieces: Vec<Vec<u32>>;
@@ -1318,6 +1339,11 @@ impl CoordinationEngine {
             // Unmatched stay pending.
         }
         report.pending = self.pending_count();
+        let unify_delta = eq_unify::ops::global().delta_since(&unify_before);
+        report.unify_merges = unify_delta.merges;
+        report.unify_rollbacks = unify_delta.rollbacks;
+        report.unify_clones = unify_delta.clones;
+        report.unify_undo_high_water = unify_delta.undo_high_water;
         report
     }
 
@@ -1651,7 +1677,7 @@ struct ComponentOutcome {
 fn evaluate_survivors<V: MatchView>(
     graph: &V,
     survivors: &[u32],
-    global: &Unifier,
+    global: Unifier,
     db: &Database,
     config: &EngineConfig,
     threads: usize,
@@ -1666,7 +1692,7 @@ fn evaluate_survivors<V: MatchView>(
             crossover: config.intra_split_crossover,
             streaming: config.intra_split_streaming,
         };
-        let plan = intra::plan_component(graph, survivors, global, &split);
+        let plan = intra::plan_component(graph, survivors, &global, &split);
         let mut counters = IntraCounters {
             units: plan.units.len(),
             split_units: plan.units.iter().filter(|u| u.regions.is_some()).count(),
@@ -1751,8 +1777,7 @@ fn process_component<V: MatchView + Sync>(
         return out;
     }
 
-    let (solution, counters) =
-        evaluate_survivors(graph, &m.survivors, &global, db, config, threads);
+    let (solution, counters) = evaluate_survivors(graph, &m.survivors, global, db, config, threads);
     if let Some(counters) = counters {
         out.partitioned = true;
         out.intra = counters;

@@ -176,7 +176,7 @@ where
             .iter()
             .map(|&s| graph.queries()[s as usize].id)
             .collect();
-        let combined = CombinedQuery::build(&graph, &m.survivors, &global);
+        let combined = CombinedQuery::build(&graph, &m.survivors, global);
         eval(&survivor_ids, &combined, outcome)?;
     }
     Ok(())

@@ -1278,7 +1278,7 @@ mod tests {
         let m = match_component(g, members);
         let global = m.global.expect("answerable");
         let plan = plan_component(g, &m.survivors, &global, &SplitOptions::default());
-        let cq = CombinedQuery::build(g, &m.survivors, &global);
+        let cq = CombinedQuery::build(g, &m.survivors, global.clone());
         (plan, cq)
     }
 

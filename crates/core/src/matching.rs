@@ -33,7 +33,7 @@
 
 use crate::graph::MatchView;
 use eq_ir::{FastMap, FastSet};
-use eq_unify::Unifier;
+use eq_unify::{Snapshot, Unifier};
 use std::collections::VecDeque;
 
 /// Counters for one matching run, reported by the benchmark harness.
@@ -194,10 +194,12 @@ fn finish_match<V: MatchView>(
         .filter(|m| alive.contains(m))
         .collect();
 
-    // Step 3, fast path: SCC-condensed propagation over the pristine
-    // seeds. Commits only when conflict-free, in which case nothing is
-    // cleaned up and the returned unifier is exactly the step-4 global.
-    if let Some(global) = scc_propagate(graph, &live, &unifiers, &mut stats) {
+    // Step 3, fast path: SCC-condensed propagation riding the seeds
+    // in place (each is moved out and speculated on under a snapshot;
+    // a conflict rolls every seed back exactly). Commits only when
+    // conflict-free, in which case nothing is cleaned up and the
+    // returned unifier is exactly the step-4 global.
+    if let Some(global) = scc_propagate(graph, &live, &mut unifiers, &mut stats) {
         return ComponentMatch {
             survivors: live,
             removed,
@@ -216,7 +218,13 @@ fn finish_match<V: MatchView>(
             continue;
         }
         stats.dequeues += 1;
-        let parent_unifier = unifiers[&parent].clone();
+        // Move the parent's unifier out of the map for the fan-out
+        // instead of cloning it — sound because the graph has no
+        // self-edges (`discover_edges_for_pc` skips self-coordination),
+        // so no child lookup can hit the parent's vacated entry.
+        let Some(parent_unifier) = unifiers.remove(&parent) else {
+            continue; // unreachable: every live member has a seed
+        };
         for &eid in graph.out_edges(parent) {
             let child = graph.edge(eid).to;
             if !alive.contains(&child) {
@@ -238,9 +246,15 @@ fn finish_match<V: MatchView>(
                 }
             }
         }
+        unifiers.insert(parent, parent_unifier);
     }
 
-    // Step 4: global unifier over survivors.
+    // Step 4: global unifier over survivors. The fold is clone-free by
+    // construction (a fresh table absorbs each survivor's classes); it
+    // deliberately does NOT move the first survivor's table in, because
+    // the global's representatives — and hence every resolved term in
+    // the combined query — depend on the fold building the forest from
+    // canonical class lists, smallest variable first.
     let survivors: Vec<u32> = members
         .iter()
         .copied()
@@ -280,16 +294,35 @@ fn finish_match<V: MatchView>(
 /// pass.
 ///
 /// Returns `None` on *any* MGU conflict — including one that only the
-/// final global fold would hit — without having touched `seeds`; the
-/// caller then reruns the naive per-node fixpoint, whose
-/// conflict-cleanup semantics (which node is removed depends on where
-/// the conflict materializes) must not be second-guessed here. Also
-/// returns `None` for an empty live set (step 4 defines that as an
+/// final global fold would hit — with `seeds` restored exactly to its
+/// pre-call state; the caller then reruns the naive per-node fixpoint,
+/// whose conflict-cleanup semantics (which node is removed depends on
+/// where the conflict materializes) must not be second-guessed here.
+/// Also returns `None` for an empty live set (step 4 defines that as an
 /// unanswerable component, which the fallback reproduces trivially).
+///
+/// # Speculation discipline
+///
+/// Each SCC *rides* one of its seeds instead of rebuilding an n-entry
+/// unifier: the first member's table is moved out of the seed map, a
+/// snapshot is opened on it, and every other seed / predecessor SCC is
+/// merged into it in place. On success every snapshot is committed
+/// before the ridden tables drop — bookkeeping only (the caller never
+/// reuses the seed map after a fast-path commit), but it samples the
+/// undo high-water counter and keeps the no-open-snapshots invariant
+/// on drop. On conflict every ridden table — including the
+/// half-merged current one — is rolled back to its snapshot and
+/// reinserted, so the fallback sees pristine seeds. This halves the
+/// fast path's peak table count (the old code held every seed *plus* a
+/// rebuilt per-SCC copy) and makes rejection cost the logged writes,
+/// not a rebuild. The global's construction is unchanged: it still
+/// absorbs each SCC unifier's canonical class list in the same order,
+/// so its forest — and hence every downstream representative — is
+/// bit-identical to the pre-riding implementation.
 fn scc_propagate<V: MatchView>(
     graph: &V,
     live: &[u32],
-    seeds: &FastMap<u32, Unifier>,
+    seeds: &mut FastMap<u32, Unifier>,
     stats: &mut MatchStats,
 ) -> Option<Unifier> {
     if live.is_empty() {
@@ -319,38 +352,94 @@ fn scc_propagate<V: MatchView>(
     }
     let mut scc_unifier: Vec<Option<Unifier>> = Vec::with_capacity(nscc);
     scc_unifier.resize_with(nscc, || None);
+    // One (scc id, seed owner, snapshot) entry per committed SCC, kept
+    // so a later conflict can restore every moved seed exactly.
+    let mut marks: Vec<(usize, u32, Snapshot)> = Vec::with_capacity(nscc);
     let mut global = Unifier::new();
     for id in (0..nscc).rev() {
-        let mut u = Unifier::new();
-        for &m in &members_of[id] {
+        // `members_of[id]` is never empty: every id was assigned to at
+        // least one live member.
+        let Some((&first, rest)) = members_of[id].split_first() else {
+            restore_seeds(seeds, &mut scc_unifier, &mut marks, None);
+            return None;
+        };
+        let Some(mut u) = seeds.remove(&first) else {
+            // Unreachable: every live member has a seed.
+            restore_seeds(seeds, &mut scc_unifier, &mut marks, None);
+            return None;
+        };
+        let snap = u.snapshot();
+        stats.dequeues += 1;
+        let mut conflicted = false;
+        for &m in rest {
             stats.dequeues += 1;
             stats.mgu_calls += 1;
             if u.merge_from(&seeds[&m]).is_err() {
-                return None;
+                conflicted = true;
+                break;
             }
         }
-        preds[id].sort_unstable();
-        preds[id].dedup();
-        for &p in &preds[id] {
+        if !conflicted {
+            preds[id].sort_unstable();
+            preds[id].dedup();
+            for &p in &preds[id] {
+                stats.mgu_calls += 1;
+                let Some(pred_unifier) = scc_unifier[p].as_ref() else {
+                    // Unreachable (descending-id order is topological,
+                    // so every predecessor was filled first); bailing
+                    // to the per-node fallback is the safe degradation.
+                    conflicted = true;
+                    break;
+                };
+                if u.merge_from(pred_unifier).is_err() {
+                    conflicted = true;
+                    break;
+                }
+            }
+        }
+        if !conflicted {
+            // Fold into the global as we go (step 4, same information).
             stats.mgu_calls += 1;
-            let Some(pred_unifier) = scc_unifier[p].as_ref() else {
-                // Unreachable (descending-id order is topological, so
-                // every predecessor was filled first); bailing to the
-                // per-node fallback is the safe degradation.
-                return None;
-            };
-            if u.merge_from(pred_unifier).is_err() {
-                return None;
-            }
+            conflicted = global.merge_from(&u).is_err();
         }
-        // Fold into the global as we go (step 4, same information).
-        stats.mgu_calls += 1;
-        if global.merge_from(&u).is_err() {
+        if conflicted {
+            restore_seeds(seeds, &mut scc_unifier, &mut marks, Some((first, u, snap)));
             return None;
         }
+        marks.push((id, first, snap));
         scc_unifier[id] = Some(u);
     }
+    for (id, _owner, snap) in marks.drain(..) {
+        if let Some(u) = scc_unifier[id].as_mut() {
+            let closed = u.commit(snap);
+            debug_assert!(closed.is_ok(), "seed snapshot discipline violated");
+        }
+    }
     Some(global)
+}
+
+/// Unwinds [`scc_propagate`]'s speculation: rolls every ridden seed —
+/// the half-merged `current` one and every committed SCC's — back to
+/// its snapshot and reinserts it under its owner, leaving the seed map
+/// bit-identical to the fast path's entry state.
+fn restore_seeds(
+    seeds: &mut FastMap<u32, Unifier>,
+    scc_unifier: &mut [Option<Unifier>],
+    marks: &mut Vec<(usize, u32, Snapshot)>,
+    current: Option<(u32, Unifier, Snapshot)>,
+) {
+    if let Some((owner, mut u, snap)) = current {
+        let rolled = u.rollback_to(snap);
+        debug_assert!(rolled.is_ok(), "seed snapshot discipline violated");
+        seeds.insert(owner, u);
+    }
+    for (id, owner, snap) in marks.drain(..) {
+        if let Some(mut u) = scc_unifier[id].take() {
+            let rolled = u.rollback_to(snap);
+            debug_assert!(rolled.is_ok(), "seed snapshot discipline violated");
+            seeds.insert(owner, u);
+        }
+    }
 }
 
 /// CLEANUP(n) from §4.1.3: removes `n` and all its descendants (via

@@ -11,14 +11,27 @@
 //! that §4.1.5 analyses. Classes are keyed by [`eq_ir::Var`]; variables
 //! absent from the forest are implicit singletons, so an empty `Unifier`
 //! imposes no constraints.
+//!
+//! Speculation is first-class: [`Unifier::snapshot`] opens an undo-log
+//! window, [`Unifier::rollback_to`] reverts it exactly (forest shape
+//! included) and [`Unifier::commit`] keeps it — so backtracking callers
+//! (matching propagation, admission probes, `mgu` itself) pay for the
+//! writes they make instead of cloning whole tables. The [`ops`] module
+//! counts merges/rollbacks/clones process-wide; the engine's benchmark
+//! reports surface them and ci asserts the hot-path clone count is 0.
 
 #![forbid(unsafe_code)]
 
 mod mgu;
+pub mod ops;
 mod unifier;
 
 pub use mgu::{mgu_atoms, mgu_terms};
-pub use unifier::{Conflict, Unifier};
+pub use unifier::{Conflict, Snapshot, SnapshotError, Unifier};
 
+#[cfg(test)]
+mod differential;
+#[cfg(test)]
+mod oracle;
 #[cfg(test)]
 mod proptests;

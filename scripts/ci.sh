@@ -8,9 +8,12 @@
 # JSON must carry the instrumented-lock hold counters — and fig_giant
 # intra-component parallelism incl. the Triangle, shared-chain and
 # shared-wide region-split series, whose JSON is published as
-# BENCH_fig_giant.json — with the streaming-projection counters — to
-# record the perf trajectory, plus a 10k shared-ring sweep bounded
-# against the old materialized-semi-join baseline, and the fig_store
+# BENCH_fig_giant.json — with the streaming-projection and undo-log
+# unifier counters, clones asserted zero — to record the perf
+# trajectory, plus the differential-oracle proptests for the undo-log
+# unifier, a 10k shared-ring sweep bounded against the old
+# materialized-semi-join baseline, an 800-query shared-ring smoke
+# asserting the undo-log op counters, and the fig_store
 # out-of-core paging + kill-and-recover smoke, published as
 # BENCH_fig_store.json with budget/fault assertions). Everything runs
 # offline (vendored shims only — see README "Offline-dependency
@@ -18,10 +21,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/15 cargo fmt --check =="
+echo "== 1/17 cargo fmt --check =="
 cargo fmt --check
 
-echo "== 2/15 workspace membership (cargo metadata) =="
+echo "== 2/17 workspace membership (cargo metadata) =="
 # Parse real package names only (a grep over the raw JSON would also
 # match "name" fields inside dependency tables and pass vacuously).
 names=$(cargo metadata --no-deps --format-version 1 --offline |
@@ -37,42 +40,50 @@ for pkg in eq_ir eq_unify eq_db eq_sql eq_store eq_core eq_workload \
 done
 echo "all $(wc -w <<<"$names" | tr -d ' ') packages present"
 
-echo "== 3/15 cargo build --release =="
+echo "== 3/17 cargo build --release =="
 cargo build --release --offline
 
-echo "== 4/15 cargo test -q (unit + integration; doctests run in step 5) =="
+echo "== 4/17 cargo test -q (unit + integration; doctests run in step 5) =="
 cargo test -q --offline --lib --bins --tests
 
-echo "== 5/15 cargo test --doc (service/error examples compile and run) =="
+echo "== 5/17 cargo test --doc (service/error examples compile and run) =="
 cargo test -q --doc --offline
 
-echo "== 6/15 cargo clippy --workspace --all-targets =="
+echo "== 6/17 cargo clippy --workspace --all-targets =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== 7/15 cargo doc (warnings are errors) =="
+echo "== 7/17 cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
-echo "== 8/15 docs dead-link check =="
+echo "== 8/17 docs dead-link check =="
 python3 scripts/check_doc_links.py
 
-echo "== 9/15 eq_check concurrency-discipline analyzer =="
+echo "== 9/17 eq_check concurrency-discipline analyzer =="
 # The workspace scan must be clean, and every rule must be proven live
 # by its fixture pair (the must-fail fires exactly its own rule, the
 # must-pass stays silent).
 cargo run -q --offline -p eq_check
 cargo run -q --offline -p eq_check -- --fixtures
 
-echo "== 10/15 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
+echo "== 10/17 differential-oracle proptests (undo-log unifier vs clone oracle) =="
+# The undo-log snapshot/commit/rollback table must stay observationally
+# equivalent to the frozen clone-based oracle through random
+# op/snapshot interleavings (conflicting merges inside nested snapshots
+# included). Step 4 runs these too; this explicit invocation keeps the
+# harness from silently dropping out of the suite.
+cargo test -q --offline -p eq_unify differential
+
+echo "== 11/17 small-stack evaluator regression (RUST_MIN_STACK=1 MiB) =="
 # The join evaluator is iterative (heap-bounded frames); this deep-chain
 # join would overflow a 1 MiB test-thread stack through the old
 # recursive search. Run it with the stack clamped to prove the bound.
 RUST_MIN_STACK=1048576 cargo test -q --offline -p eq_db --test deep_stack
 
-echo "== 11/15 fig6 + fig8 bench smoke =="
+echo "== 12/17 fig6 + fig8 bench smoke =="
 cargo bench -q --offline -p eq_bench --bench fig6_two_way -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
 
-echo "== 12/15 fig_resident churn + fig_service admission/churn smoke =="
+echo "== 13/17 fig_resident churn + fig_service admission/churn smoke =="
 cargo bench -q --offline -p eq_bench --bench fig_resident -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig_service -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_service -- --smoke
@@ -84,22 +95,38 @@ if ! grep -q "lock_hold_ns" results/fig_service.json; then
 fi
 echo "fig_service.json carries lock_hold_ns"
 
-echo "== 13/15 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
+echo "== 14/17 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
 cargo bench -q --offline -p eq_bench --bench fig_giant -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_giant -- --smoke
 cp results/fig_giant.json BENCH_fig_giant.json
-# The streaming articulation projection must surface its counters: the
-# streamed solution volume and the witness-map high-water mark (bounded
-# by the articulation-domain width on the SharedWide series).
-for counter in intra_region_streamed intra_witness_peak; do
+# The streaming articulation projection must surface its counters (the
+# streamed solution volume and the witness-map high-water mark), and the
+# undo-log unifier must surface its op counters (merges, rollbacks,
+# clones, undo high-water).
+for counter in intra_region_streamed intra_witness_peak \
+    unify_merges unify_rollbacks unify_clones unify_undo_high_water; do
     if ! grep -q "$counter" BENCH_fig_giant.json; then
         echo "FATAL: BENCH_fig_giant.json lacks the $counter counter" >&2
         exit 1
     fi
 done
-echo "published BENCH_fig_giant.json ($(wc -c < BENCH_fig_giant.json) bytes, streaming counters present)"
+# The zero-clone claim is measured, not assumed: every flush row must
+# report unify_clones == 0 (speculation rides snapshots, never copies).
+python3 - <<'PY'
+import json
+rows = json.load(open("BENCH_fig_giant.json"))
+checked = 0
+for r in rows:
+    c = r.get("counters") or {}
+    if "unify_clones" in c:
+        checked += 1
+        assert c["unify_clones"] == 0, \
+            f"hot path cloned a Unifier in series {r['series']!r}: {c['unify_clones']}"
+print(f"unify_clones == 0 across all {checked} counter-bearing rows")
+PY
+echo "published BENCH_fig_giant.json ($(wc -c < BENCH_fig_giant.json) bytes, streaming + unify counters present)"
 
-echo "== 14/15 10k shared-ring sweep: streamed split vs materialized baseline =="
+echo "== 15/17 10k shared-ring sweep: streamed split vs materialized baseline =="
 # The 10k shared-variable ring flushed in ~0.75 s under the materialized
 # semi-join; the streamed split measured ~0.40 s. Bound the flush at 2x
 # the old baseline so a regression back to materialization-scale cost
@@ -115,7 +142,31 @@ assert ms < 1500.0, f"10k shared-ring flush regressed: {ms:.1f} ms (materialized
 print(f"10k shared-ring streamed flush: {ms:.1f} ms (< 1500 ms bound)")
 PY
 
-echo "== 15/15 fig_store out-of-core + kill-and-recover smoke (publishes BENCH_fig_store.json) =="
+echo "== 16/17 n=800 shared-ring match+flush smoke (undo-log op counters) =="
+# A small shared-variable ring exercises the snapshot-riding SCC fold
+# and the probe-phase speculation end to end. The flush row's timing and
+# undo-log counters must be present and coherent: merges happened,
+# clones did not, and the undo high-water proves the speculative paths
+# actually ran through the log.
+cargo run -q --release --offline -p eq_bench --bin fig_giant -- --sweep --shared --sweep-size 800
+python3 - <<'PY'
+import json
+rows = json.load(open("results/fig_giant_sweep.json"))
+flush = [r for r in rows if "giant-component flush" in r["series"]]
+assert flush, "sweep JSON lacks the giant-component flush row"
+r = flush[0]
+assert r["millis"] > 0.0, "flush row lacks a timing measurement"
+c = r["counters"]
+assert c["unify_merges"] > 0, "800-ring flush performed no unifier merges"
+assert c["unify_clones"] == 0, f"800-ring flush cloned a Unifier: {c['unify_clones']}"
+assert c["unify_undo_high_water"] > 0, \
+    "800-ring flush never wrote the undo log — speculation is not riding snapshots"
+print(f"800 shared-ring flush: {r['millis']:.1f} ms, "
+      f"{int(c['unify_merges'])} merges, {int(c['unify_rollbacks'])} rollbacks, "
+      f"undo high-water {int(c['unify_undo_high_water'])}, 0 clones")
+PY
+
+echo "== 17/17 fig_store out-of-core + kill-and-recover smoke (publishes BENCH_fig_store.json) =="
 # The paged run must actually spill (hot relation >= 10x the cache
 # budget, nonzero page faults) while never exceeding its byte budget,
 # and the kill-and-recover harness must account exactly-once for every
