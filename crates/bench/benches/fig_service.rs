@@ -108,10 +108,34 @@ fn main() {
                 ..Default::default()
             },
         );
-        let (millis, counters) = drive_scale_harness(clone_db(&db), &scale, 0);
+        let (millis, counters, _) = drive_scale_harness(clone_db(&db), &scale, 0, 1);
         println!(
             "  [scale n={n}] {millis:.1} ms, answered={} expired={} flushes={}",
             counters.answered, counters.expired, counters.flushes
+        );
+
+        // The sharded flavor of the same churn: thousands-of-sessions
+        // traffic over locality groups, driven through 4 engine shards
+        // with out-of-lock dispatch. The interesting figures are the
+        // lock-hold counters (see the fig_service bin / JSON sweep);
+        // here it doubles as a smoke of the sharded admission path.
+        let sharded = scale_service_script(
+            &graph,
+            &ScaleServiceConfig {
+                queries: n,
+                burst: (n / 16).max(1),
+                sessions: (n / 10).max(2),
+                locality_groups: 16,
+                cross_permille: 30,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let (millis, counters, shard_stats) = drive_scale_harness(clone_db(&db), &sharded, 0, 4);
+        let max_hold = shard_stats.iter().map(|s| s.max_hold_ns).max().unwrap_or(0);
+        println!(
+            "  [sharded n={n}] {millis:.1} ms, answered={} dispatch_peak={} max_shard_hold={}ns",
+            counters.answered, counters.dispatch_queue_peak, max_hold
         );
     }
 }

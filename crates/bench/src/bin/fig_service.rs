@@ -1,16 +1,21 @@
 //! Service-API sweep: batched parallel admission (`submit_batch`)
 //! versus sequential `submit` over the `Coordinator`, plus
-//! event-stream throughput, a long-running service-script harness, and
-//! the ROADMAP 100k scale series (staleness + `KeepPending` churn, with
-//! asserted outcome accounting). Rows carry
+//! event-stream throughput, a long-running service-script harness, the
+//! ROADMAP 100k scale series (staleness + `KeepPending` churn, with
+//! asserted outcome accounting), and the **sharded-service** series —
+//! the same churn spread across thousands of client sessions and
+//! answer-relation locality groups, driven single-shard versus 4-shard
+//! in the same run. Rows carry
 //! `answered`/`expired`/`events`/`flushes` counters plus the
 //! service-lock hold figures (`lock_hold_ns`/`lock_acquisitions`/
-//! `lock_max_hold_ns`) in the JSON output; the headline comparison is
+//! `lock_max_hold_ns`/`dispatch_queue_peak`, and per-shard
+//! `shardN_lock_*` on the sharded series); the headline comparisons are
 //! `submit_batch (parallel)` versus `sequential submit` at the ≥10k
-//! batch sizes.
+//! batch sizes, and the sharded series' per-shard lock holds versus the
+//! single-mutex baseline.
 //!
 //! Usage:
-//!   cargo run --release -p eq_bench --bin fig_service [-- --sizes 1000,10000] [--scale-size 100000]
+//!   cargo run --release -p eq_bench --bin fig_service [-- --sizes 1000,10000] [--scale-size 100000] [--sharded-size 1000000]
 //!   cargo run --release -p eq_bench --bin fig_service -- --smoke   (CI-sized run)
 
 use eq_bench::harness::smoke_mode;
@@ -25,17 +30,24 @@ fn main() {
         sizes_from_args(&[1_000, 10_000, 20_000])
     };
     let args: Vec<String> = std::env::args().collect();
-    let scale_queries = args
-        .iter()
-        .position(|a| a == "--scale-size")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if smoke { 2_000 } else { 100_000 });
+    let flag_value = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale_queries = flag_value("--scale-size", if smoke { 2_000 } else { 100_000 });
+    let sharded_queries = flag_value("--sharded-size", if smoke { 2_000 } else { 1_000_000 });
     let rows = run_fig_service(&FigServiceConfig {
         sizes,
         users: if smoke { 1_000 } else { 10_000 },
         harness_burst: if smoke { 100 } else { 500 },
         scale_queries,
+        sharded_queries,
+        scale_sessions: if smoke { 200 } else { 4_000 },
+        locality_groups: if smoke { 16 } else { 64 },
+        cross_permille: 20,
         seed: 2011,
     });
     report(

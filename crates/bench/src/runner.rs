@@ -598,6 +598,19 @@ pub struct FigServiceConfig {
     /// Total queries of the staleness + `KeepPending` scale series
     /// (the ROADMAP target is 100,000; smoke runs scale it down).
     pub scale_queries: usize,
+    /// Total queries of the **sharded** scale series, driven once per
+    /// shard count in the same run (the ROADMAP target is 1,000,000;
+    /// smoke runs scale it down).
+    pub sharded_queries: usize,
+    /// Client sessions the sharded series spreads its traffic across
+    /// (thousands at full scale).
+    pub scale_sessions: usize,
+    /// `(relation, arity)` locality groups of the sharded series — keep
+    /// it even and above the shard count.
+    pub locality_groups: usize,
+    /// Out of 1000 sharded-series submissions, how many are members of
+    /// cross-group (cross-shard rendezvous) pairs.
+    pub cross_permille: u32,
     /// Workload seed.
     pub seed: u64,
 }
@@ -613,14 +626,20 @@ pub struct ServiceCounters {
     pub events: f64,
     /// Flushes executed.
     pub flushes: f64,
-    /// Nanoseconds the service lock was held across this drive's
-    /// flushes (sum of the per-flush [`eq_core::BatchReport`] figures).
+    /// Nanoseconds the service shard locks were held across this
+    /// drive's flushes (sum of the per-flush [`eq_core::BatchReport`]
+    /// figures, summed over shards when the service is sharded).
     pub lock_hold_ns: f64,
-    /// Service-lock acquisitions over the coordinator's lifetime
-    /// (cumulative snapshot from the last flush report).
+    /// Service shard-lock acquisitions over the coordinator's lifetime
+    /// (cumulative snapshot from the last flush report, summed over
+    /// shards).
     pub lock_acquisitions: f64,
-    /// Longest single service-lock hold observed, in nanoseconds.
+    /// Longest single shard-lock hold observed, in nanoseconds (max
+    /// over shards).
     pub lock_max_hold_ns: f64,
+    /// High-water mark of the out-of-lock dispatch queue — the most
+    /// events ever staged awaiting a drain.
+    pub dispatch_queue_peak: f64,
 }
 
 impl ServiceCounters {
@@ -634,6 +653,7 @@ impl ServiceCounters {
             ("lock_hold_ns", self.lock_hold_ns),
             ("lock_acquisitions", self.lock_acquisitions),
             ("lock_max_hold_ns", self.lock_max_hold_ns),
+            ("dispatch_queue_peak", self.dispatch_queue_peak),
         ]
     }
 
@@ -645,10 +665,67 @@ impl ServiceCounters {
         self.lock_hold_ns += report.lock_hold_ns as f64;
         self.lock_acquisitions = report.lock_acquisitions as f64;
         self.lock_max_hold_ns = self.lock_max_hold_ns.max(report.lock_max_hold_ns as f64);
+        self.dispatch_queue_peak = self
+            .dispatch_queue_peak
+            .max(report.dispatch_queue_peak as f64);
     }
 }
 
-fn service_coordinator(db: Database, flush_threads: usize, safety: bool) -> Coordinator {
+/// Fixed counter names for per-shard lock figures ([`Row::counters`]
+/// keys are `&'static str`); shards past the eighth are dropped from
+/// the row, which the sweeps never reach.
+fn shard_counter_names(shard: usize) -> Option<(&'static str, &'static str, &'static str)> {
+    Some(match shard {
+        0 => (
+            "shard0_lock_hold_ns",
+            "shard0_lock_max_hold_ns",
+            "shard0_lock_acquisitions",
+        ),
+        1 => (
+            "shard1_lock_hold_ns",
+            "shard1_lock_max_hold_ns",
+            "shard1_lock_acquisitions",
+        ),
+        2 => (
+            "shard2_lock_hold_ns",
+            "shard2_lock_max_hold_ns",
+            "shard2_lock_acquisitions",
+        ),
+        3 => (
+            "shard3_lock_hold_ns",
+            "shard3_lock_max_hold_ns",
+            "shard3_lock_acquisitions",
+        ),
+        4 => (
+            "shard4_lock_hold_ns",
+            "shard4_lock_max_hold_ns",
+            "shard4_lock_acquisitions",
+        ),
+        5 => (
+            "shard5_lock_hold_ns",
+            "shard5_lock_max_hold_ns",
+            "shard5_lock_acquisitions",
+        ),
+        6 => (
+            "shard6_lock_hold_ns",
+            "shard6_lock_max_hold_ns",
+            "shard6_lock_acquisitions",
+        ),
+        7 => (
+            "shard7_lock_hold_ns",
+            "shard7_lock_max_hold_ns",
+            "shard7_lock_acquisitions",
+        ),
+        _ => return None,
+    })
+}
+
+fn service_coordinator(
+    db: Database,
+    flush_threads: usize,
+    safety: bool,
+    service_shards: usize,
+) -> Coordinator {
     Coordinator::new(
         db,
         EngineConfig {
@@ -656,6 +733,7 @@ fn service_coordinator(db: Database, flush_threads: usize, safety: bool) -> Coor
             admission_safety_check: safety,
             on_no_solution: NoSolutionPolicy::Reject,
             flush_threads,
+            service_shards,
             ..Default::default()
         },
     )
@@ -672,16 +750,17 @@ fn service_coordinator(db: Database, flush_threads: usize, safety: bool) -> Coor
 /// bounded `Block` subscription is sized to the script's worst case —
 /// one terminal per query plus one report per flush — instead of the
 /// default capacity, which a large flush would overfill with nobody
-/// draining (publisher blocks while holding the service lock:
-/// deadlock). The concurrent-drainer pattern for default-capacity
-/// subscriptions is [`run_fig_giant_sweep`].
+/// draining (the drive thread itself becomes the out-of-lock
+/// dispatcher and would wedge on its own full queue — no shard lock
+/// held, but still a self-deadlock). The concurrent-drainer pattern
+/// for default-capacity subscriptions is [`run_fig_giant_sweep`].
 pub fn drive_service_harness(
     db: Database,
     ops: &[ServiceOp],
     batched: bool,
     flush_threads: usize,
 ) -> (f64, ServiceCounters) {
-    let coordinator = service_coordinator(db, flush_threads, false);
+    let coordinator = service_coordinator(db, flush_threads, false, 1);
     let event_bound: usize = ops
         .iter()
         .map(|op| match op {
@@ -778,12 +857,19 @@ fn scale_request(sub: &eq_workload::ScriptSubmission) -> SubmitRequest {
 /// expiring query ends `Expired`, every deferred query ends `Answered`
 /// (all on the final flush, after riding every earlier flush as a
 /// clean resident skip).
+///
+/// Traffic is spread across the script's client sessions (each
+/// submission carries its session index) and the coordinator runs with
+/// `service_shards` engine shards, so a multi-group script mostly takes
+/// the shard-local admission fast path. Besides the wall clock and
+/// counters, returns the per-shard lock statistics for the run.
 pub fn drive_scale_harness(
     db: Database,
     script: &eq_workload::ScaleScript,
     flush_threads: usize,
-) -> (f64, ServiceCounters) {
-    let coordinator = service_coordinator(db, flush_threads, false);
+    service_shards: usize,
+) -> (f64, ServiceCounters, Vec<eq_core::LockStats>) {
+    let coordinator = service_coordinator(db, flush_threads, false, service_shards);
     let event_bound: usize = script
         .ops
         .iter()
@@ -796,7 +882,11 @@ pub fn drive_scale_harness(
         .sum::<usize>()
         + 8;
     let events = coordinator.subscribe_with(event_bound, eq_core::OverflowPolicy::Block);
-    let mut session = coordinator.session();
+    let mut sessions: Vec<eq_core::Session> = (0..script.sessions.max(1))
+        .map(|_| coordinator.session())
+        .collect();
+    // Reused per burst: one bucket of submissions per client session.
+    let mut buckets: Vec<Vec<&eq_workload::ScriptSubmission>> = vec![Vec::new(); sessions.len()];
     let mut counters = ServiceCounters::default();
     // (submission id, was a deferred KeepPending member)
     let mut submitted: Vec<(eq_ir::QueryId, bool)> = Vec::new();
@@ -804,10 +894,20 @@ pub fn drive_scale_harness(
     for op in &script.ops {
         match op {
             ServiceOp::SubmitBatchWith(subs) => {
-                let requests: Vec<SubmitRequest> = subs.iter().map(scale_request).collect();
-                for (sub, r) in subs.iter().zip(session.submit_batch(requests)) {
-                    let handle = r.expect("valid scale query");
-                    submitted.push((handle.id, sub.keep_pending));
+                for sub in subs {
+                    buckets[sub.session].push(sub);
+                }
+                for (session_idx, bucket) in buckets.iter_mut().enumerate() {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let requests: Vec<SubmitRequest> =
+                        bucket.iter().map(|sub| scale_request(sub)).collect();
+                    let results = sessions[session_idx].submit_batch(requests);
+                    for (sub, r) in bucket.drain(..).zip(results) {
+                        let handle = r.expect("valid scale query");
+                        submitted.push((handle.id, sub.keep_pending));
+                    }
                 }
             }
             ServiceOp::Load { relation, rows } => {
@@ -847,7 +947,8 @@ pub fn drive_scale_harness(
         deferred_answered, script.deferred,
         "every deferred KeepPending pair must coordinate after the Load"
     );
-    (millis, counters)
+    let shard_stats = coordinator.shard_lock_stats();
+    (millis, counters, shard_stats)
 }
 
 /// The `fig_service` sweep: batched parallel admission versus
@@ -883,7 +984,7 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
         let queries = grid_pairs(n, cfg.seed);
 
         // (a) Sequential submission.
-        let coordinator = service_coordinator(clone_db(&db), 1, true);
+        let coordinator = service_coordinator(clone_db(&db), 1, true, 1);
         let mut session = coordinator.session();
         let start = Instant::now();
         let mut admitted = 0usize;
@@ -907,7 +1008,7 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
             ("submit_batch (1 thread)", 1),
             ("submit_batch (parallel)", 0),
         ] {
-            let coordinator = service_coordinator(clone_db(&db), threads, true);
+            let coordinator = service_coordinator(clone_db(&db), threads, true, 1);
             let mut session = coordinator.session();
             let requests: Vec<SubmitRequest> = queries
                 .iter()
@@ -928,7 +1029,7 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
         // bounded Block queue must hold the whole round (n terminals +
         // the report) — the default capacity would deadlock the
         // publisher at n > 1024 with no concurrent drainer.
-        let coordinator = service_coordinator(clone_db(&db), 0, true);
+        let coordinator = service_coordinator(clone_db(&db), 0, true, 1);
         let events = coordinator.subscribe_with(n + 8, eq_core::OverflowPolicy::Block);
         let mut session = coordinator.session();
         let requests: Vec<SubmitRequest> = queries
@@ -998,7 +1099,7 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
             ..Default::default()
         },
     );
-    let (millis, counters) = drive_scale_harness(clone_db(&db), &scale, 0);
+    let (millis, counters, _) = drive_scale_harness(clone_db(&db), &scale, 0, 1);
     rows.push(Row {
         extra: Some(counters.answered),
         counters: counters.as_row_counters(),
@@ -1009,6 +1110,50 @@ pub fn run_fig_service(cfg: &FigServiceConfig) -> Vec<Row> {
             millis,
         )
     });
+
+    // The sharded-service series: the same staleness + KeepPending
+    // churn spread across thousands of client sessions and
+    // `locality_groups` answer-relation groups (a configurable permille
+    // of pairs bridge neighbor groups — cross-shard rendezvous). The
+    // script is driven twice in the same run, single-shard versus
+    // 4-shard, so the per-shard lock-hold figures are directly
+    // comparable: the claim is that the hottest shard's cumulative and
+    // worst-case lock holds drop well below the single-mutex baseline,
+    // not a wall-clock win (single-core hosts serialize the shards
+    // anyway).
+    let sharded_script = eq_workload::scale_service_script(
+        &graph,
+        &eq_workload::ScaleServiceConfig {
+            queries: cfg.sharded_queries,
+            burst: cfg.harness_burst.max(1),
+            sessions: cfg.scale_sessions.max(1),
+            locality_groups: cfg.locality_groups.max(1),
+            cross_permille: cfg.cross_permille,
+            seed: cfg.seed + 3,
+            ..Default::default()
+        },
+    );
+    for (series, shards) in [
+        ("sharded churn (1 shard)", 1usize),
+        ("sharded churn (4 shards)", 4usize),
+    ] {
+        let (millis, counters, shard_stats) =
+            drive_scale_harness(clone_db(&db), &sharded_script, 0, shards);
+        let mut row_counters = counters.as_row_counters();
+        row_counters.push(("service_shards", shards as f64));
+        for (shard, stats) in shard_stats.iter().enumerate() {
+            if let Some((hold, max_hold, acquisitions)) = shard_counter_names(shard) {
+                row_counters.push((hold, stats.hold_ns as f64));
+                row_counters.push((max_hold, stats.max_hold_ns as f64));
+                row_counters.push((acquisitions, stats.acquisitions as f64));
+            }
+        }
+        rows.push(Row {
+            extra: Some(counters.answered),
+            counters: row_counters,
+            ..Row::new("fig_service", series, cfg.sharded_queries as u64, millis)
+        });
+    }
     rows
 }
 
@@ -1467,7 +1612,7 @@ pub fn run_fig_store(cfg: &FigStoreConfig) -> Vec<Row> {
 
     // (a) In-memory baseline: same workload, io counters all zero.
     {
-        let coordinator = service_coordinator(build_database(&graph), 1, false);
+        let coordinator = service_coordinator(build_database(&graph), 1, false, 1);
         let mut session = coordinator.session();
         let requests: Vec<SubmitRequest> = queries
             .iter()
@@ -1495,7 +1640,7 @@ pub fn run_fig_store(cfg: &FigStoreConfig) -> Vec<Row> {
             setup.hot_data_bytes >= cfg.spill_ratio * setup.budget_bytes,
             "hot relation must dwarf the cache budget"
         );
-        let coordinator = service_coordinator(setup.db, 1, false);
+        let coordinator = service_coordinator(setup.db, 1, false, 1);
         let mut session = coordinator.session();
         let requests: Vec<SubmitRequest> = queries
             .iter()
@@ -1749,10 +1894,42 @@ mod tests {
         // The drive itself asserts the outcome accounting (all
         // zero-staleness queries expired, all deferred pairs answered
         // after the Load).
-        let (_, counters) = drive_scale_harness(clone_db(&db), &script, 2);
+        let (_, counters, shard_stats) = drive_scale_harness(clone_db(&db), &script, 2, 1);
         assert_eq!(counters.expired as usize, script.expiring);
         assert!(counters.answered as usize >= script.deferred);
         assert!(counters.flushes > 0.0);
+        assert_eq!(shard_stats.len(), 1);
+    }
+
+    #[test]
+    fn sharded_scale_harness_matches_single_shard_accounting() {
+        let graph = tiny_graph();
+        let db = build_database(&graph);
+        let script = eq_workload::scale_service_script(
+            &graph,
+            &eq_workload::ScaleServiceConfig {
+                queries: 400,
+                burst: 50,
+                sessions: 32,
+                locality_groups: 8,
+                cross_permille: 60,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        // The drive asserts the outcome accounting internally; both
+        // shard counts must agree on the aggregate counters.
+        let (_, single, single_stats) = drive_scale_harness(clone_db(&db), &script, 1, 1);
+        let (_, sharded, sharded_stats) = drive_scale_harness(clone_db(&db), &script, 1, 4);
+        assert_eq!(single_stats.len(), 1);
+        assert_eq!(sharded_stats.len(), 4);
+        assert_eq!(single.answered, sharded.answered);
+        assert_eq!(single.expired, sharded.expired);
+        assert_eq!(single.events, sharded.events);
+        // Locality groups spread load: more than one shard lock sees
+        // acquisitions.
+        let active = sharded_stats.iter().filter(|s| s.acquisitions > 0).count();
+        assert!(active > 1, "only {active} shard locks ever acquired");
     }
 
     #[test]

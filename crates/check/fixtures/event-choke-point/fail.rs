@@ -1,17 +1,17 @@
 //@ path: crates/core/src/service.rs
 //@ expect: event-choke-point
-// An Event built outside pump/publish_flushed: a second construction
-// site under the service lock is exactly what the out-of-lock dispatch
-// refactor must not have to chase.
+// An Event built outside stage_outcomes/stage_flushed: a second
+// construction site in a shard critical section is exactly what the
+// out-of-lock dispatch queue must not have to chase.
 
-pub struct Inner;
+pub struct Coordinator;
 
-impl Inner {
-    fn sneaky_flush(&mut self, report: u64) {
-        self.broadcast(Event::Flushed(report));
+impl Coordinator {
+    fn sneaky_flush(&self, report: u64) {
+        self.enqueue(Event::Flushed(report));
     }
 
-    fn broadcast(&mut self, _event: Event) {}
+    fn enqueue(&self, _event: Event) {}
 }
 
 pub enum Event {

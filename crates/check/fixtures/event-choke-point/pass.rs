@@ -1,20 +1,20 @@
 //@ path: crates/core/src/service.rs
-// Construction confined to the pump/publish_flushed choke point, plus
-// the read-only accessors matching on variants; type *mentions* and
-// cfg(test) constructions never fire.
+// Construction confined to the stage_outcomes/stage_flushed staging
+// choke point, plus the read-only accessors matching on variants; type
+// *mentions* and cfg(test) constructions never fire.
 
-pub struct Inner;
+pub struct Coordinator;
 
-impl Inner {
-    fn pump(&mut self) {
-        self.broadcast(Event::Answered { id: 1 });
+impl Coordinator {
+    fn stage_outcomes(&self) {
+        self.enqueue(Event::Answered { id: 1 });
     }
 
-    fn publish_flushed(&mut self, report: u64) {
-        self.broadcast(Event::Flushed(report));
+    fn stage_flushed(&self, report: u64) {
+        self.enqueue(Event::Flushed(report));
     }
 
-    fn broadcast(&mut self, _event: Event) {}
+    fn enqueue(&self, _event: Event) {}
 }
 
 pub enum Event {

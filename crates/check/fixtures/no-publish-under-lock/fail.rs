@@ -1,0 +1,17 @@
+//@ path: crates/core/src/service.rs
+//@ expect: no-publish-under-lock
+// Publishing while the service mutex guard is live: the exact
+// single-slow-subscriber-stalls-every-session regression the dispatch
+// queue exists to prevent.
+
+pub struct Coordinator;
+
+impl Coordinator {
+    fn flush(&self) {
+        let mut inner = self.shard.lock();
+        inner.step();
+        self.broadcast(1);
+    }
+
+    fn broadcast(&self, _event: u64) {}
+}

@@ -1,5 +1,5 @@
 //! The rule engine: a structural pass over the lexed token stream
-//! (`cfg(test)` regions, enclosing-function tracking) plus the nine
+//! (`cfg(test)` regions, enclosing-function tracking) plus the ten
 //! concurrency- and IO-discipline rules, each with an explicit per-rule
 //! allowlist. The rules are documented for humans in
 //! `docs/ARCHITECTURE.md` ("Invariants & analysis"); this module is the
@@ -88,16 +88,25 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "event-choke-point",
-        summary: "no Event construction under the service lock except through \
-                  pump/publish_flushed (plus the read-only accessors) — the \
-                  guard rail for out-of-lock dispatch",
+        summary: "no Event construction in shard critical sections except \
+                  through stage_outcomes/stage_flushed (plus the read-only \
+                  accessors) — every event flows through the ordered dispatch \
+                  queue",
         allow: &[
-            "crates/core/src/service.rs::pump",
-            "crates/core/src/service.rs::publish_flushed",
+            "crates/core/src/service.rs::stage_outcomes",
+            "crates/core/src/service.rs::stage_flushed",
             "crates/core/src/service.rs::id",
             "crates/core/src/service.rs::tag",
             "crates/core/src/service.rs::is_terminal",
         ],
+    },
+    Rule {
+        name: "no-publish-under-lock",
+        summary: "broadcast/pump/publish_flushed must not be called from a \
+                  scope that holds a service mutex guard (.lock()) — events \
+                  are staged under the lock and delivered only after it is \
+                  released (crate::dispatch)",
+        allow: &[],
     },
     Rule {
         name: "io-choke-point",
@@ -134,6 +143,12 @@ const UNIFIER_CLONE_FILES: &[&str] = &[
     "crates/core/src/combine.rs",
     "crates/core/src/ucs.rs",
 ];
+
+/// Files `no-publish-under-lock` applies to (suffix match): the
+/// service facade and the durable wrapper — the two places that both
+/// take service-side mutexes and sit next to the event plumbing.
+const PUBLISH_UNDER_LOCK_FILES: &[&str] =
+    &["crates/core/src/service.rs", "crates/core/src/durable.rs"];
 
 const RECURSION_FILES: &[&str] = &[
     "crates/db/src/eval.rs",
@@ -313,6 +328,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
     scan_recursion(path, &a, &mut out);
     scan_unifier_clone(path, &a, &mut out);
     scan_event_construction(path, &a, &mut out);
+    scan_publish_under_lock(path, &a, &mut out);
     scan_io(path, &a, &mut out);
     scan_forbid_unsafe(path, &a, &mut out);
 
@@ -547,11 +563,70 @@ fn scan_event_construction(path: &str, a: &Analysis, out: &mut Vec<Violation>) {
             rule: r.name,
             path: path.to_owned(),
             line: a.tokens[i].line,
-            message: "Event built outside the pump/publish_flushed choke point \
-                      — all event construction under the service lock must go \
-                      through one site"
+            message: "Event built outside the stage_outcomes/stage_flushed \
+                      choke point — all event construction in shard critical \
+                      sections must go through one staging site"
                 .into(),
         });
+    }
+}
+
+/// A call to one of the publishing identifiers (`broadcast`, `pump`,
+/// `publish_flushed`) from a brace scope in which a `.lock()` guard was
+/// taken and is still live. Conservative by design: a guard is treated
+/// as held until its scope closes (temporaries like
+/// `x.lock().append(..)` extend to the end of the block), which is the
+/// right bias for a rule whose job is keeping subscriber I/O out of
+/// critical sections — staging (`Dispatcher::enqueue`) is what's legal
+/// under a lock, delivery is not.
+fn scan_publish_under_lock(path: &str, a: &Analysis, out: &mut Vec<Violation>) {
+    let r = rule("no-publish-under-lock");
+    if !PUBLISH_UNDER_LOCK_FILES
+        .iter()
+        .any(|f| path_matches(path, f))
+        || allowed(r, path, None)
+    {
+        return;
+    }
+    let banned = |name: &str| matches!(name, "broadcast" | "pump" | "publish_flushed");
+    let mut depth = 0usize;
+    // Brace depths at which a lock guard was created; a guard dies when
+    // its scope closes (depth drops below the recorded value).
+    let mut lock_depths: Vec<usize> = Vec::new();
+    for i in 0..a.tokens.len() {
+        if symbol_at(a, i, '{') {
+            depth += 1;
+        } else if symbol_at(a, i, '}') {
+            depth = depth.saturating_sub(1);
+            lock_depths.retain(|&d| d <= depth);
+        }
+        if a.in_test[i] {
+            continue;
+        }
+        if symbol_at(a, i, '.') && ident_at(a, i + 1) == Some("lock") && symbol_at(a, i + 2, '(') {
+            lock_depths.push(depth);
+        }
+        let Some(name) = ident_at(a, i) else { continue };
+        // Skip definition sites (`fn pump(`): only calls publish.
+        if i > 0 && ident_at(a, i - 1) == Some("fn") {
+            continue;
+        }
+        if banned(name)
+            && call_follows(a, i + 1)
+            && !lock_depths.is_empty()
+            && !allowed(r, path, a.enclosing_fn[i].as_deref())
+        {
+            out.push(Violation {
+                rule: r.name,
+                path: path.to_owned(),
+                line: a.tokens[i].line,
+                message: format!(
+                    "`{name}` called while a mutex guard from .lock() is live \
+                     — stage events on the dispatch queue inside the lock and \
+                     deliver after it is released"
+                ),
+            });
+        }
     }
 }
 
@@ -696,22 +771,64 @@ mod tests {
     #[test]
     fn event_choke_point_honors_function_allowlist() {
         let good = "
-            impl Inner {
-                fn pump(&mut self) { self.broadcast(Event::Expired { id, tag }); }
-                fn publish_flushed(&mut self, r: BatchReport) {
-                    self.broadcast(Event::Flushed(r));
+            impl Coordinator {
+                fn stage_outcomes(&self) { self.enqueue(Event::Expired { id, tag }); }
+                fn stage_flushed(&self, r: BatchReport) {
+                    self.enqueue(Event::Flushed(r));
                 }
             }
         ";
         assert!(check_source("crates/core/src/service.rs", good).is_empty());
         let bad = "
             impl Coordinator {
-                fn sneaky(&self) { self.broadcast(Event::Flushed(r)); }
+                fn sneaky(&self) { self.enqueue(Event::Flushed(r)); }
             }
         ";
         let v = check_source("crates/core/src/service.rs", bad);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "event-choke-point");
+    }
+
+    #[test]
+    fn publish_under_lock_tracks_guard_scopes() {
+        // A publish inside a scope holding a `.lock()` guard fires;
+        // the same call after the guard's scope closed does not.
+        let bad = "
+            impl Coordinator {
+                fn flush(&self) {
+                    let mut inner = self.inner.lock();
+                    inner.step();
+                    self.broadcast(done);
+                }
+            }
+        ";
+        let v = check_source("crates/core/src/service.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-publish-under-lock");
+
+        let good = "
+            impl Coordinator {
+                fn flush(&self) {
+                    {
+                        let mut inner = self.inner.lock();
+                        inner.step();
+                    }
+                    self.broadcast(done);
+                }
+            }
+        ";
+        assert!(check_source("crates/core/src/service.rs", good).is_empty());
+        // Out-of-scope files and cfg(test) regions are exempt; `pump_now`
+        // is a different identifier than the banned `pump`.
+        assert!(check_source("crates/core/src/engine.rs", bad).is_empty());
+        let pump_now = "
+            fn recover(&self) {
+                let state = self.state.lock();
+                drop(state);
+                self.coordinator.pump_now();
+            }
+        ";
+        assert!(check_source("crates/core/src/durable.rs", pump_now).is_empty());
     }
 
     #[test]

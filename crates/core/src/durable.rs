@@ -751,7 +751,7 @@ struct SubmitRecord {
 /// of what it (together with the last checkpoint) proves — which
 /// acknowledged submissions are still pending and which outcomes have
 /// been recorded. Innermost lock: always acquired after (never around)
-/// the service lock.
+/// the service shard locks.
 struct DurableState {
     wal: WriteAheadLog,
     /// Sequence number the next appended record will carry. Appends
@@ -982,7 +982,7 @@ impl DurableCoordinator {
             };
             coordinator.recover_submit(id, rec.query, opts, rec.tag)?;
         }
-        coordinator.with_engine(|engine| engine.set_next_query_id(watermark));
+        coordinator.set_id_watermark(watermark);
         // Outcomes produced by recovery-time coordination (incremental
         // mode) are new history: record and broadcast them now, after
         // every submission record they depend on.
@@ -1006,9 +1006,8 @@ impl DurableCoordinator {
 
     /// Creates a relation, durably.
     pub fn create_table(&self, name: &str, columns: &[&str]) -> Result<(), CoordinationError> {
-        self.coordinator.with_engine(|engine| {
-            let db = engine.db();
-            db.write().create_table(name, columns)?;
+        self.coordinator.with_exclusive(|| {
+            self.coordinator.db().write().create_table(name, columns)?;
             self.state.lock().append(&WalRecord::CreateTable {
                 name: name.to_owned(),
                 columns: columns.iter().map(|c| (*c).to_owned()).collect(),
@@ -1030,7 +1029,7 @@ impl DurableCoordinator {
         &self,
         request: impl Into<SubmitRequest>,
     ) -> Result<QueryHandle, CoordinationError> {
-        self.coordinator.submit_locked(request.into())
+        self.coordinator.submit_request(request.into())
     }
 
     /// Submits a batch durably (see [`crate::Session::submit_batch`]);
@@ -1039,7 +1038,7 @@ impl DurableCoordinator {
         &self,
         requests: Vec<SubmitRequest>,
     ) -> Vec<Result<QueryHandle, CoordinationError>> {
-        self.coordinator.submit_batch_locked(requests)
+        self.coordinator.submit_batch_request(requests)
     }
 
     /// Runs a coordination round (see [`Coordinator::flush`]); every
@@ -1051,17 +1050,18 @@ impl DurableCoordinator {
 
     /// Writes an atomic checkpoint of the whole durable state —
     /// database, pending submissions, outcome ledger, id watermark —
-    /// and truncates the WAL it supersedes. Runs under the service
-    /// lock, so the image is a consistent cut: no acknowledgment can
-    /// land between the snapshot and the truncation. The image records
+    /// and truncates the WAL it supersedes. Runs with every service
+    /// shard locked, so the image is a consistent cut: no
+    /// acknowledgment can land between the snapshot and the
+    /// truncation. The image records
     /// the WAL sequence-number watermark it folds in, so a kill
     /// between the image rename and the truncation is recovered
     /// exactly: replay skips the superseded records and `open`
     /// finishes the truncation.
     pub fn checkpoint(&self) -> Result<(), DurableError> {
-        self.coordinator.with_engine(|engine| {
-            let next_id = engine.next_query_id();
-            let db = engine.db();
+        self.coordinator.with_exclusive(|| {
+            let next_id = self.coordinator.id_watermark();
+            let db = self.coordinator.db();
             let guard = db.read();
             let mut state = self.state.lock();
             let payload = encode_checkpoint(
@@ -1342,9 +1342,9 @@ mod tests {
             // A checkpoint whose process dies right after the image
             // rename: write the image through the real path, but leave
             // the superseded WAL exactly as the kill would.
-            dc.coordinator.with_engine(|engine| {
-                let next_id = engine.next_query_id();
-                let db = engine.db();
+            dc.coordinator.with_exclusive(|| {
+                let next_id = dc.coordinator.id_watermark();
+                let db = dc.coordinator.db();
                 let guard = db.read();
                 let state = dc.state.lock();
                 let payload = encode_checkpoint(

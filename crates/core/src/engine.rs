@@ -47,6 +47,7 @@ use eq_unify::Unifier;
 use parking_lot::RwLock;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -159,6 +160,17 @@ pub struct EngineConfig {
     /// `false` selects the materialized semi-join (kept as the
     /// property-test oracle; answers are identical).
     pub intra_split_streaming: bool,
+    /// Number of independently locked **service shards** the
+    /// `Coordinator` partitions its pending pool into (the engine
+    /// itself ignores this; it is read once at service construction).
+    /// Queries are routed by `(relation, arity)` connectivity — two
+    /// queries whose key sets never intersect can never share a
+    /// match-graph edge, so each connectivity group lives on exactly
+    /// one shard and admission, flushing, and the Figure-9 safety
+    /// check touch only that shard's lock. `1` (the default) keeps
+    /// the classic single-mutex service. Values are clamped to at
+    /// least 1.
+    pub service_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -176,6 +188,7 @@ impl Default for EngineConfig {
             intra_region_cap: 4096,
             intra_split_crossover: 4096,
             intra_split_streaming: true,
+            service_shards: 1,
         }
     }
 }
@@ -297,19 +310,27 @@ pub struct BatchReport {
     /// width, **not** by region solution counts: this is the streaming
     /// path's memory guarantee, surfaced as a counter.
     pub intra_witness_peak: u64,
-    /// Nanoseconds the **service lock** was held by the operation that
-    /// produced this report (engine flush + terminal-event fan-out).
-    /// Stamped by `Coordinator::flush` from inside the critical
-    /// section; 0 when the engine is driven directly, without a
-    /// `Coordinator`. This is the counter ROADMAP frontier 3 (sharded
-    /// coordinator, out-of-lock dispatch) claims its wins against.
+    /// Nanoseconds the **service shard locks** were held by the
+    /// operation that produced this report (engine flush; event
+    /// fan-out is staged inside but delivered outside the critical
+    /// section). Stamped by `Coordinator::flush` — summed across
+    /// shards when the service is sharded; 0 when the engine is driven
+    /// directly, without a `Coordinator`. Per-shard figures are on
+    /// `Coordinator::shard_lock_stats()`.
     pub lock_hold_ns: u64,
-    /// Cumulative service-lock acquisitions over the `Coordinator`'s
-    /// lifetime, snapshotted at publish time (0 without a service).
+    /// Cumulative service shard-lock acquisitions over the
+    /// `Coordinator`'s lifetime (summed across shards), snapshotted at
+    /// publish time (0 without a service).
     pub lock_acquisitions: u64,
     /// Longest single completed service-lock hold so far, in
-    /// nanoseconds (0 without a service).
+    /// nanoseconds (0 without a service). With a sharded service this
+    /// is the maximum over the per-shard locks.
     pub lock_max_hold_ns: u64,
+    /// High-water mark of the service's out-of-lock dispatch queue —
+    /// the most events that were ever staged (under a shard lock)
+    /// awaiting the post-release drain — over the `Coordinator`'s
+    /// lifetime, snapshotted at publish time (0 without a service).
+    pub dispatch_queue_peak: u64,
     /// Cumulative storage-backend I/O counters summed across the
     /// database's tables at flush time (all zero for the in-memory
     /// backend). When relations spill through `eq_store`'s paged
@@ -346,6 +367,28 @@ struct PendingQuery {
     pc_satisfiers: Vec<u32>,
     /// Per-query no-solution policy override (see [`SubmitOptions`]).
     on_no_solution: Option<NoSolutionPolicy>,
+    /// Mirror of the deadline heap entry, so shard migration can carry
+    /// the deadline to the destination engine (heap entries don't
+    /// travel; the donor's are skipped lazily).
+    deadline: Option<Instant>,
+    /// Original submission instant — preserved across shard migration
+    /// so the staleness sweep ages a migrated query from its real
+    /// arrival, not from the merge.
+    submitted_at: Instant,
+}
+
+/// A pending query lifted out of one engine for re-admission in
+/// another — the service's shard-merge migration path. Carries
+/// everything retirement would have destroyed (the live outcome
+/// sender, per-query policy, deadline, submission instant) but no
+/// outcome: the query stays pending across the move.
+pub(crate) struct MigratedQuery {
+    pub(crate) id: QueryId,
+    pub(crate) query: EntangledQuery,
+    pub(crate) sender: SyncSender<QueryOutcome>,
+    pub(crate) on_no_solution: Option<NoSolutionPolicy>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) submitted_at: Instant,
 }
 
 /// A unifiability edge discovered by admission probing before the
@@ -457,10 +500,17 @@ pub struct CoordinationEngine {
 impl CoordinationEngine {
     /// Creates an engine over a database.
     pub fn new(db: Database, config: EngineConfig) -> Self {
-        let revision = db.revision();
+        Self::with_shared_db(Arc::new(RwLock::new(db)), config)
+    }
+
+    /// Creates an engine over an already-shared database handle — the
+    /// sharded `Coordinator` gives each engine shard the same database
+    /// while every other piece of engine state stays shard-private.
+    pub(crate) fn with_shared_db(db: Arc<RwLock<Database>>, config: EngineConfig) -> Self {
+        let revision = db.read().revision();
         CoordinationEngine {
             config,
-            db: Arc::new(RwLock::new(db)),
+            db,
             gen: VarGen::new(),
             next_id: 1,
             slots: Vec::new(),
@@ -510,18 +560,17 @@ impl CoordinationEngine {
         Arc::clone(&self.db)
     }
 
-    /// The id the next submission will receive. Recovery reads this to
-    /// persist the id watermark in checkpoints.
-    pub(crate) fn next_query_id(&self) -> u64 {
-        self.next_id
-    }
-
-    /// Moves the id counter forward (never backward) — recovery replays
-    /// acknowledged submissions under their original ids and then
-    /// restores the watermark so post-recovery submissions never reuse
-    /// an id.
-    pub(crate) fn set_next_query_id(&mut self, next: u64) {
-        self.next_id = self.next_id.max(next);
+    /// Allocates the next query id: from the shared service counter
+    /// when one is given, else from the engine-local sequence. The
+    /// local watermark follows the shared counter so mixed driving and
+    /// checkpointing stay coherent.
+    fn draw_id(&mut self, source: Option<&AtomicU64>) -> QueryId {
+        let raw = match source {
+            Some(counter) => counter.fetch_add(1, Ordering::Relaxed),
+            None => self.next_id,
+        };
+        self.next_id = self.next_id.max(raw + 1);
+        QueryId(raw)
     }
 
     /// Number of pending queries.
@@ -549,16 +598,33 @@ impl CoordinationEngine {
         query: EntangledQuery,
         opts: SubmitOptions,
     ) -> Result<QueryHandle, SubmitError> {
+        self.submit_with_source(query, opts, None)
+    }
+
+    /// [`CoordinationEngine::submit_with`] drawing the query id from an
+    /// optional shared counter instead of the engine-local one — the
+    /// sharded `Coordinator` routes submissions to independently locked
+    /// engines but keeps one global id sequence. The id is consumed
+    /// only after validation and the admission safety check succeed
+    /// (both are id-agnostic), so successful submissions draw exactly
+    /// one id in either mode and the sequence matches single-shard
+    /// submission bit for bit.
+    pub(crate) fn submit_with_source(
+        &mut self,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+        source: Option<&AtomicU64>,
+    ) -> Result<QueryHandle, SubmitError> {
         query.validate().map_err(SubmitError::Invalid)?;
         self.expire_stale();
 
-        let id = QueryId(self.next_id);
-        let renamed = query.rename_apart(&self.gen).with_id(id);
+        let renamed = query.rename_apart(&self.gen);
 
         if self.config.admission_safety_check {
             self.check_admission_safety(&renamed)?;
         }
-        self.next_id += 1;
+        let id = self.draw_id(source);
+        let renamed = renamed.with_id(id);
 
         let probed = self.probe_resident(&renamed);
         let mut partners: FastSet<u32> = FastSet::default();
@@ -656,7 +722,35 @@ impl CoordinationEngine {
     ) -> QueryHandle {
         let id = renamed.id;
         let (tx, rx) = sync_channel(1);
-        let now = Instant::now();
+        self.admit_slot(
+            slot,
+            renamed,
+            edges,
+            tx,
+            opts.on_no_solution,
+            opts.deadline,
+            Instant::now(),
+        );
+        QueryHandle { id, outcome: rx }
+    }
+
+    /// [`CoordinationEngine::admit_at`] with an externally supplied
+    /// outcome channel and timestamps — shared by fresh admission
+    /// (which creates the channel) and shard migration (which must
+    /// preserve the original one along with the query's real
+    /// submission instant and deadline).
+    #[allow(clippy::too_many_arguments)]
+    fn admit_slot(
+        &mut self,
+        slot: u32,
+        renamed: EntangledQuery,
+        edges: Vec<Edge>,
+        sender: SyncSender<QueryOutcome>,
+        on_no_solution: Option<NoSolutionPolicy>,
+        deadline: Option<Instant>,
+        submitted_at: Instant,
+    ) {
+        let id = renamed.id;
 
         // Satisfier counters follow the discovered edges.
         let mut pc_satisfiers = vec![0u32; renamed.pc_count()];
@@ -690,18 +784,122 @@ impl CoordinationEngine {
         }
         self.slots[slot as usize] = Some(PendingQuery {
             query: renamed,
-            sender: tx,
+            sender,
             pc_satisfiers,
-            on_no_solution: opts.on_no_solution,
+            on_no_solution,
+            deadline,
+            submitted_at,
         });
         self.resident.link(slot, edges);
         self.by_id.insert(id, slot);
         self.statuses.insert(id, QueryStatus::Pending);
-        self.age_queue.push_back((now, id));
-        if let Some(deadline) = opts.deadline {
+        self.age_queue.push_back((submitted_at, id));
+        if let Some(deadline) = deadline {
             self.deadlines.push(Reverse((deadline, id)));
         }
-        QueryHandle { id, outcome: rx }
+    }
+
+    /// Removes every pending query matching `pred` from this engine
+    /// without retiring it — no outcome is delivered, no terminal
+    /// status is recorded — and returns the queries (ascending by id)
+    /// for re-admission elsewhere. This is the donor half of the
+    /// service's shard-merge migration. Stale age-queue and
+    /// deadline-heap entries stay behind and are skipped lazily, like
+    /// any other retirement's.
+    pub(crate) fn extract_pending(
+        &mut self,
+        mut pred: impl FnMut(&EntangledQuery) -> bool,
+    ) -> Vec<MigratedQuery> {
+        let victims: Vec<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, entry)| entry.as_ref().filter(|p| pred(&p.query)).map(|_| s as u32))
+            .collect();
+        let mut out = Vec::with_capacity(victims.len());
+        for slot in victims {
+            let pending = self.slots[slot as usize].take().expect("victim slot live");
+            let id = pending.query.id;
+            self.by_id.remove(&id);
+            // The Pending status entry travels with the query; the
+            // destination re-inserts it on admission.
+            self.statuses.remove(&id);
+            for &eid in self.resident.out_edges(slot) {
+                let e = self.resident.edge(eid);
+                if let Some(p) = self.slots[e.to as usize].as_mut() {
+                    let c = &mut p.pc_satisfiers[e.pc_idx as usize];
+                    *c = c.saturating_sub(1);
+                }
+            }
+            for (ai, atom) in pending.query.head.iter().enumerate() {
+                self.head_index.remove(
+                    AtomRef {
+                        query: slot,
+                        atom: ai as u32,
+                    },
+                    atom,
+                );
+            }
+            for (ai, atom) in pending.query.postconditions.iter().enumerate() {
+                self.pc_index.remove(
+                    AtomRef {
+                        query: slot,
+                        atom: ai as u32,
+                    },
+                    atom,
+                );
+            }
+            self.resident.unlink(slot);
+            self.free_slots.push(slot);
+            out.push(MigratedQuery {
+                id,
+                query: pending.query,
+                sender: pending.sender,
+                on_no_solution: pending.on_no_solution,
+                deadline: pending.deadline,
+                submitted_at: pending.submitted_at,
+            });
+        }
+        out.sort_by_key(|m| m.id);
+        out
+    }
+
+    /// Re-admits a migrated query under its original id, outcome
+    /// channel, deadline, and submission instant. The query is renamed
+    /// apart against *this* engine's variable generator (the donor's
+    /// names could collide here) and re-probed against the resident
+    /// pool; no safety re-check runs — the query passed Figure-9 on
+    /// admission, and merging previously disjoint connectivity groups
+    /// cannot create new head/postcondition competition between them
+    /// (disjoint key sets admit no new unifiable pairs). No evaluation
+    /// is triggered; linking marks the component dirty, so the
+    /// submission that caused the merge (or the next flush) picks it
+    /// up. Callers re-admitting a batch must call
+    /// [`CoordinationEngine::resort_age_queue`] afterwards.
+    pub(crate) fn admit_migrated(&mut self, m: MigratedQuery) {
+        let renamed = m.query.rename_apart(&self.gen).with_id(m.id);
+        let probed = self.probe_resident(&renamed);
+        let slot = self.allocate_slot();
+        let edges = materialize_edges(slot, probed);
+        self.admit_slot(
+            slot,
+            renamed,
+            edges,
+            m.sender,
+            m.on_no_solution,
+            m.deadline,
+            m.submitted_at,
+        );
+    }
+
+    /// Restores the age queue's monotone-time invariant after migrated
+    /// re-admissions pushed older submission instants at the back
+    /// (the staleness sweep pops from the front and assumes ascending
+    /// timestamps).
+    pub(crate) fn resort_age_queue(&mut self) {
+        let mut entries: Vec<(Instant, QueryId)> = self.age_queue.drain(..).collect();
+        entries.sort();
+        self.age_queue.extend(entries);
     }
 
     /// Submits a batch of queries, running the expensive admission work
@@ -733,6 +931,17 @@ impl CoordinationEngine {
     pub fn submit_batch(
         &mut self,
         batch: Vec<(EntangledQuery, SubmitOptions)>,
+    ) -> Vec<Result<QueryHandle, SubmitError>> {
+        self.submit_batch_with_source(batch, None)
+    }
+
+    /// [`CoordinationEngine::submit_batch`] drawing ids from an
+    /// optional shared counter — see
+    /// [`CoordinationEngine::submit_with_source`].
+    pub(crate) fn submit_batch_with_source(
+        &mut self,
+        batch: Vec<(EntangledQuery, SubmitOptions)>,
+        source: Option<&AtomicU64>,
     ) -> Vec<Result<QueryHandle, SubmitError>> {
         self.expire_stale();
         let n = batch.len();
@@ -813,8 +1022,7 @@ impl CoordinationEngine {
                 continue;
             }
 
-            let id = QueryId(self.next_id);
-            self.next_id += 1;
+            let id = self.draw_id(source);
             let slot = self.allocate_slot();
             let mut edges = materialize_edges(slot, probe.resident);
             // Edges from earlier-admitted batch members into this query.

@@ -30,11 +30,17 @@
 //!
 //! Queues carry **`Arc<Event>`**: the publisher materializes each
 //! event once and fan-out to any number of subscribers is a pointer
-//! bump per queue — an `Answered` event's tuples are never deep-cloned
-//! per subscriber, which matters under the service lock (every clone
-//! used to extend the critical section of the flush that published
-//! it). Receivers get the same `Arc<Event>` back; full out-of-lock
-//! dispatch remains a ROADMAP frontier.
+//! bump per queue, and receivers get the same `Arc<Event>` back.
+//!
+//! Delivery is **out-of-lock**: events are only *staged* (on the
+//! coordinator's ordered dispatch queue) while a service shard lock is
+//! held; the fan-out into these subscriber queues runs after every
+//! shard lock is released (`crate::dispatch`). A `Block` subscriber
+//! that never drains therefore stalls only the dispatcher thread
+//! currently delivering — never a shard lock, and never another
+//! session's submit or flush. The blocking contract on
+//! [`crate::Coordinator::subscribe_with`] spells out what a stalled
+//! subscriber can and cannot hold up.
 
 use crate::service::Event;
 use std::collections::VecDeque;

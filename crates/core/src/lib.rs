@@ -51,6 +51,7 @@
 pub mod bruteforce;
 pub mod combine;
 pub mod coordinate;
+mod dispatch;
 pub mod durable;
 pub mod engine;
 pub mod error;

@@ -2,10 +2,11 @@
 //! long-running *service* API (§5.1) rather than a single-owner
 //! `&mut` engine.
 //!
-//! A [`Coordinator`] is a clonable handle around an internally
-//! synchronized [`CoordinationEngine`]; clones share one engine, so an
-//! application can submit from one place, flush from another, and
-//! observe outcomes from a third. On top of the raw engine it adds:
+//! A [`Coordinator`] is a clonable handle around a **sharded** pool of
+//! internally synchronized [`CoordinationEngine`]s; clones share the
+//! service, so an application can submit from one place, flush from
+//! another, and observe outcomes from a third. On top of the raw
+//! engine it adds:
 //!
 //! * **[`Session`]s** — each session owns the queries submitted through
 //!   it and withdraws the still-pending ones when it is closed or
@@ -22,9 +23,18 @@
 //!   are *pushed* over **bounded** per-subscriber queues
 //!   ([`Coordinator::subscribe`], [`Coordinator::subscribe_with`]) with
 //!   an explicit [`OverflowPolicy`] (block / drop-oldest / disconnect —
-//!   see [`crate::events`]), so harnesses and REPLs stop polling
-//!   `status()` by id and a slow subscriber can no longer buffer an
-//!   unbounded flush in memory;
+//!   see [`crate::events`]). Delivery is **out-of-lock**: events are
+//!   staged on an ordered dispatch queue inside the shard critical
+//!   section that produced them and fanned out only after every
+//!   service lock is released (`crate::dispatch`), so a slow
+//!   subscriber can stall at most the dispatching thread, never
+//!   admission;
+//! * **service sharding** — with [`EngineConfig::service_shards`] > 1,
+//!   pending queries are partitioned by `(relation, arity)`
+//!   connectivity across independently locked engine shards (see
+//!   `Router` below); a submission touching only one connectivity group
+//!   contends only on that group's shard lock, and the rare query
+//!   bridging two groups takes a rendezvous path that merges them;
 //! * **typed errors** — every operation reports
 //!   [`CoordinationError`], the unified hierarchy of
 //!   [`crate::error`].
@@ -77,18 +87,19 @@
 
 use crate::combine::QueryAnswer;
 use crate::coordinate::RejectReason;
+use crate::dispatch::Dispatcher;
 use crate::engine::{
     BatchReport, CoordinationEngine, EngineConfig, FailReason, NoSolutionPolicy, QueryHandle,
     QueryOutcome, QueryStatus, SubmitOptions,
 };
 use crate::error::CoordinationError;
-use crate::events::{self, EventSender};
 use crate::safety::SafetyViolation;
 use eq_db::{Database, Tuple};
-use eq_ir::{EntangledQuery, FastMap, QueryId};
-use parking_lot::{Mutex, RwLock};
+use eq_ir::{Atom, EntangledQuery, FastMap, QueryId};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 pub use parking_lot::LockStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -271,12 +282,13 @@ impl Event {
 }
 
 /// The durability hook: a write-ahead recorder consulted inside the
-/// service lock at the two points that define the crash-recovery
-/// contract — after a submission is admitted (before its handle is
-/// released to the caller) and when a terminal outcome is drained
-/// (before it is broadcast). `eq_core::durable` installs a WAL-backed
-/// implementation; the trait stays crate-private so the recording
-/// points cannot be bypassed or reordered from outside.
+/// owning shard's critical section at the two points that define the
+/// crash-recovery contract — after a submission is admitted (before
+/// its handle is released to the caller) and when a terminal outcome
+/// is drained (before its event is staged for dispatch).
+/// `eq_core::durable` installs a WAL-backed implementation; the trait
+/// stays crate-private so the recording points cannot be bypassed or
+/// reordered from outside.
 pub(crate) trait DurabilitySink: Send {
     /// An admitted submission: `id` was assigned and the caller is
     /// about to be handed its handle. Deadlines are deliberately not
@@ -290,114 +302,268 @@ pub(crate) trait DurabilitySink: Send {
         on_no_solution: Option<NoSolutionPolicy>,
     );
     /// A terminal outcome, drained from the engine's outcome log and
-    /// not yet broadcast to subscribers.
+    /// not yet staged for broadcast.
     fn record_outcome(&mut self, id: QueryId, outcome: &QueryOutcome);
     /// A successful bulk load into `table`.
     fn record_load(&mut self, table: &str, rows: &[Tuple]);
 }
 
-struct Inner {
+/// One engine shard: a slice of the pending pool behind its own lock.
+/// Queries are routed here by `(relation, arity)` connectivity (see
+/// [`Router`]), so every match-graph edge — and the Figure-9 admission
+/// safety check that polices edges — is shard-local by construction.
+struct ShardInner {
     engine: CoordinationEngine,
-    subscribers: Vec<EventSender>,
     tags: FastMap<QueryId, String>,
-    /// Subscriptions that ended from the publisher's side: the receiver
-    /// was dropped mid-stream (e.g. a client thread died during an
-    /// in-flight flush) or an [`OverflowPolicy::Disconnect`] queue
-    /// overflowed. Never silent: observable through
-    /// [`Coordinator::disconnected_subscribers`].
-    disconnected: u64,
-    /// Durability recorder, if this service is crash-recoverable
-    /// ([`crate::durable::DurableCoordinator`] installs one). While a
-    /// sink is present the engine's outcome log stays on even with zero
-    /// event subscribers — the sink is an always-on listener.
-    sink: Option<Box<dyn DurabilitySink>>,
 }
 
-impl Inner {
-    /// Converts the engine's freshly drained terminal outcomes into
-    /// events and broadcasts them; subscribers whose receiver hung up
-    /// are pruned (and counted), and when the last one goes the
-    /// engine's outcome log is switched off (retirements stop paying
-    /// for outcome clones nobody will read). Called after every engine
-    /// operation, while the service lock is held, so event order equals
-    /// retirement order.
-    fn pump(&mut self) {
-        for (id, outcome) in self.engine.drain_outcome_log() {
-            // Durability before visibility: the outcome reaches the
-            // write-ahead recorder before any subscriber (or the
-            // handle-holder racing the broadcast) can act on it.
-            if let Some(sink) = self.sink.as_mut() {
-                sink.record_outcome(id, &outcome);
+/// Sentinel shard for a union-find group that has not been placed yet.
+const UNASSIGNED: u32 = u32::MAX;
+
+/// Routes queries to engine shards by `(relation, arity)` connectivity.
+///
+/// Two entangled queries can share a match-graph edge only if a head
+/// of one unifies with a postcondition of the other — which requires
+/// the same relation symbol and arity. A union-find over the
+/// `(relation, arity)` keys of every admitted query's head and
+/// postcondition atoms therefore *over-approximates* match-graph
+/// connectivity: queries whose key sets ended up in different groups
+/// are provably edge-free, so homing each group on one shard keeps
+/// every possible edge — and the Figure-9 admission safety check that
+/// polices edges — shard-local. Over-merging (a query bridging groups
+/// that never actually coordinate) only costs parallelism, never
+/// correctness.
+///
+/// A submission whose keys all resolve to one placed group takes the
+/// read-locked fast path straight to that group's shard. Anything else
+/// — unknown keys, a group not yet placed, or keys spanning groups —
+/// takes the write path: groups merge, and if the merged group spans
+/// shards the rendezvous migrates every losing shard's members to the
+/// winner ([`Coordinator`]'s `route_and_migrate`).
+struct Router {
+    /// `(relation, arity)` key → union-find slot.
+    index: FastMap<u64, u32>,
+    parent: Vec<u32>,
+    /// Shard owning each group; valid at root slots, [`UNASSIGNED`]
+    /// until the group is first placed.
+    shard: Vec<u32>,
+    /// Key groups homed per shard (placement heuristic for new
+    /// groups).
+    load: Vec<u32>,
+}
+
+/// One write-path routing decision: the shard to admit on, the merged
+/// group's union-find root, and the shards whose members of that group
+/// must migrate to `shard`.
+struct Route {
+    shard: usize,
+    root: u32,
+    losers: Vec<usize>,
+}
+
+impl Router {
+    fn new(shards: usize) -> Self {
+        Router {
+            index: FastMap::default(),
+            parent: Vec::new(),
+            shard: Vec::new(),
+            load: vec![0; shards],
+        }
+    }
+
+    /// The routing key of one answer-relation atom. `Symbol` is
+    /// interned, so `(relation, arity)` packs collision-free into a
+    /// `u64` — atoms unify only when relation and arity agree, which
+    /// is exactly what makes the key a sound connectivity
+    /// over-approximation.
+    fn key(atom: &Atom) -> u64 {
+        ((atom.relation.index() as u64) << 32) | atom.terms.len() as u64
+    }
+
+    /// Sorted, deduplicated routing keys of a query's head and
+    /// postcondition atoms (body atoms name database relations and
+    /// never form match edges).
+    fn query_keys(query: &EntangledQuery) -> Vec<u64> {
+        let mut keys: Vec<u64> = query
+            .head
+            .iter()
+            .chain(query.postconditions.iter())
+            .map(Self::key)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    fn intern(&mut self, key: u64) -> u32 {
+        if let Some(&slot) = self.index.get(&key) {
+            return slot;
+        }
+        let slot = self.parent.len() as u32;
+        self.parent.push(slot);
+        self.shard.push(UNASSIGNED);
+        self.index.insert(key, slot);
+        slot
+    }
+
+    /// Non-compressing find, usable under a read guard (chains grow by
+    /// one hop per merge and merges are rare; the write path re-roots
+    /// directly).
+    fn find(&self, mut slot: u32) -> u32 {
+        while self.parent[slot as usize] != slot {
+            slot = self.parent[slot as usize];
+        }
+        slot
+    }
+
+    /// Root of the group owning `query`, if its keys are interned. All
+    /// of an admitted query's keys are in one group (an admission
+    /// invariant the write path maintains), so the first head atom's
+    /// key decides.
+    fn root_of(&self, query: &EntangledQuery) -> Option<u32> {
+        let key = Self::key(&query.head[0]);
+        self.index.get(&key).map(|&slot| self.find(slot))
+    }
+
+    /// Read-path resolution: the placed shard every key agrees on, or
+    /// `None` if any key is unknown, the keys span groups, or the
+    /// group is unplaced — all of which take the write path.
+    fn resolve(&self, keys: &[u64]) -> Option<usize> {
+        let mut root: Option<u32> = None;
+        for key in keys {
+            let slot = *self.index.get(key)?;
+            let r = self.find(slot);
+            match root {
+                None => root = Some(r),
+                Some(r0) if r0 == r => {}
+                Some(_) => return None,
             }
-            let tag = self.tags.remove(&id);
-            let event = match outcome {
-                QueryOutcome::Answered(answer) => Event::Answered { id, tag, answer },
-                QueryOutcome::Failed(FailReason::Stale) => Event::Expired { id, tag },
-                QueryOutcome::Failed(FailReason::Cancelled) => Event::Cancelled { id, tag },
-                QueryOutcome::Failed(FailReason::Rejected(reason)) => {
-                    Event::Failed { id, tag, reason }
-                }
-            };
-            self.broadcast(event);
         }
-        if self.subscribers.is_empty() && self.sink.is_none() {
-            self.engine.set_outcome_log(false);
-        }
+        let shard = self.shard[root? as usize];
+        (shard != UNASSIGNED).then_some(shard as usize)
     }
 
-    /// The single place a [`Event::Flushed`] report enters the stream.
-    /// Together with [`Inner::pump`] these are the only functions that
-    /// construct events while the service lock is held — `eq_check`'s
-    /// `event-choke-point` rule enforces this, so the planned
-    /// out-of-lock dispatch refactor (ROADMAP frontier 3) has exactly
-    /// two call sites to move.
-    fn publish_flushed(&mut self, report: BatchReport) {
-        self.broadcast(Event::Flushed(report));
-    }
-
-    /// Publishes one event to every subscriber. The event is
-    /// materialized **once** behind an `Arc`; per-subscriber delivery is
-    /// a pointer bump into the bounded queue, so fan-out cost under the
-    /// service lock no longer scales with answer payload size times
-    /// subscriber count.
-    fn broadcast(&mut self, event: Event) {
-        let event = Arc::new(event);
-        let mut disconnected = 0u64;
-        self.subscribers
-            .retain(|s| match s.send(Arc::clone(&event)) {
-                Ok(()) => true,
-                Err(_) => {
-                    disconnected += 1;
-                    false
+    /// Write-path routing: interns unknown keys, merges every group
+    /// the key set touches into one, places the merged group — on the
+    /// least-loaded shard if none was placed yet, else on the
+    /// least-loaded *involved* shard, ties to the lowest index (the
+    /// deterministic rendezvous winner; preferring the lowest index
+    /// unconditionally would pile every merged group onto shard 0) —
+    /// and names the shards that now owe a migration.
+    fn route(&mut self, keys: &[u64]) -> Route {
+        let slots: Vec<u32> = keys.iter().map(|&k| self.intern(k)).collect();
+        let mut roots: Vec<u32> = slots.iter().map(|&s| self.find(s)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let mut involved: Vec<u32> = roots
+            .iter()
+            .map(|&r| self.shard[r as usize])
+            .filter(|&s| s != UNASSIGNED)
+            .collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let target = if involved.is_empty() {
+            let mut best = 0usize;
+            for (s, &l) in self.load.iter().enumerate() {
+                if l < self.load[best] {
+                    best = s;
                 }
-            });
-        self.disconnected += disconnected;
+            }
+            best as u32
+        } else {
+            *involved
+                .iter()
+                .min_by_key(|&&s| (self.load[s as usize], s))
+                .expect("non-empty involved set")
+        };
+        let winner_root = roots[0];
+        for &r in &roots {
+            let owner = self.shard[r as usize];
+            if owner != UNASSIGNED {
+                self.load[owner as usize] -= 1;
+            }
+            self.parent[r as usize] = winner_root;
+        }
+        self.shard[winner_root as usize] = target;
+        self.load[target as usize] += 1;
+        Route {
+            shard: target as usize,
+            root: winner_root,
+            losers: involved
+                .into_iter()
+                .filter(|&s| s != target)
+                .map(|s| s as usize)
+                .collect(),
+        }
     }
+}
+
+/// Everything the `Coordinator` clones share. Lock order (debug builds
+/// validate it through the instrumented `parking_lot` shim): `router`
+/// → shard locks in ascending index → database lock → `sink` →
+/// whatever the sink locks internally.
+struct ServiceShared {
+    shards: Vec<Mutex<ShardInner>>,
+    /// Connectivity router. Shard-local admission holds a read guard
+    /// across the shard operation; only group merges (and their
+    /// migrations) serialize on the write side.
+    router: RwLock<Router>,
+    dispatcher: Dispatcher,
+    /// The database, shared by every engine shard.
+    db: Arc<RwLock<Database>>,
+    /// Global id counter. Every shard draws from it and a submission
+    /// consumes an id only on successful admission, so the sequence is
+    /// identical to single-shard submission and recovery reads one
+    /// watermark.
+    next_id: AtomicU64,
+    /// Durability recorder, behind its own (leaf) lock so the
+    /// recording points stay inside the producing shard's critical
+    /// section without a global service lock.
+    sink: Mutex<Option<Box<dyn DurabilitySink>>>,
+    /// Lock-free mirror of `sink.is_some()` — submission fast paths
+    /// consult it to decide whether to clone the query for logging.
+    has_sink: AtomicBool,
 }
 
 /// A clonable handle to a running coordination service.
 ///
-/// All clones share one [`CoordinationEngine`] behind a mutex; every
-/// method takes the lock for the duration of one engine operation.
-/// Flush-internal parallelism (per-component workers, batched admission
-/// probing) is unaffected — it happens inside the engine while the lock
-/// is held once.
+/// All clones share one pool of [`CoordinationEngine`] shards
+/// ([`EngineConfig::service_shards`]; one shard — the default — is the
+/// classic single-mutex service). Every method locks only the shard(s)
+/// an operation touches, and event fan-out happens *after* those locks
+/// are released (see `crate::dispatch`). Flush-internal parallelism
+/// (per-component workers, batched admission probing) is unaffected —
+/// it happens inside an engine while its shard lock is held once.
 #[derive(Clone)]
 pub struct Coordinator {
-    inner: Arc<Mutex<Inner>>,
+    shared: Arc<ServiceShared>,
 }
 
 impl Coordinator {
-    /// Starts a coordination service over `db`.
+    /// Starts a coordination service over `db` with
+    /// [`EngineConfig::service_shards`] engine shards (clamped to at
+    /// least 1).
     pub fn new(db: Database, config: EngineConfig) -> Self {
+        let shard_count = config.service_shards.max(1);
+        let db = Arc::new(RwLock::new(db));
+        let shards = (0..shard_count)
+            .map(|_| {
+                Mutex::new(ShardInner {
+                    engine: CoordinationEngine::with_shared_db(Arc::clone(&db), config.clone()),
+                    tags: FastMap::default(),
+                })
+            })
+            .collect();
         Coordinator {
-            inner: Arc::new(Mutex::new(Inner {
-                engine: CoordinationEngine::new(db, config),
-                subscribers: Vec::new(),
-                tags: FastMap::default(),
-                disconnected: 0,
-                sink: None,
-            })),
+            shared: Arc::new(ServiceShared {
+                shards,
+                router: RwLock::new(Router::new(shard_count)),
+                dispatcher: Dispatcher::new(),
+                db,
+                next_id: AtomicU64::new(1),
+                sink: Mutex::new(None),
+                has_sink: AtomicBool::new(false),
+            }),
         }
     }
 
@@ -414,30 +580,35 @@ impl Coordinator {
 
     /// Subscribes to the service's [`Event`] stream, starting now
     /// (outcomes that became terminal before the subscription are not
-    /// replayed; the engine's outcome log is only kept while at least
-    /// one subscriber is listening). The subscription is a bounded
-    /// queue of [`DEFAULT_EVENT_CAPACITY`] events under
+    /// replayed; the engines' outcome logs are only kept while at
+    /// least one subscriber is listening). The subscription is a
+    /// bounded queue of [`DEFAULT_EVENT_CAPACITY`] events under
     /// [`OverflowPolicy::Block`]: a full queue applies backpressure to
-    /// the publisher instead of growing without bound.
+    /// the dispatcher instead of growing without bound.
     ///
-    /// **Blocking contract:** events are published while the service
-    /// lock is held, so a full `Block` queue suspends the publishing
-    /// operation (flush, cancel, session close) — and with it every
-    /// other `Coordinator` call — until the subscriber drains. Drain
-    /// from a dedicated thread that does **not** call back into the
-    /// `Coordinator`, or pick a capacity that covers the largest round
-    /// you will publish before draining
-    /// ([`Coordinator::subscribe_with`]); single-threaded consumers
-    /// that drain lazily should prefer [`OverflowPolicy::DropOldest`]
-    /// (evictions are counted, never silent).
+    /// **Blocking contract:** events are dispatched *after* every
+    /// service lock is released, so a full `Block` queue suspends only
+    /// the thread that is currently draining the dispatch queue —
+    /// other sessions keep submitting, flushing, and cancelling, with
+    /// their events staged for whenever the dispatcher resumes. The
+    /// suspended thread is whichever `Coordinator` call happened to
+    /// pick up dispatch duty, so that *caller* still waits on the
+    /// subscriber: drain from a dedicated thread that does **not**
+    /// call back into the `Coordinator`, pick a capacity that covers
+    /// the largest round you publish before draining
+    /// ([`Coordinator::subscribe_with`]), or — for single-threaded
+    /// consumers that drain lazily — prefer
+    /// [`OverflowPolicy::DropOldest`] (evictions are counted, never
+    /// silent).
     pub fn subscribe(&self) -> Events {
         self.subscribe_with(DEFAULT_EVENT_CAPACITY, OverflowPolicy::Block)
     }
 
     /// [`Coordinator::subscribe`] with an explicit queue bound and
     /// [`OverflowPolicy`]. No policy loses terminal events *silently*:
-    /// `Block` delivers everything (backpressure), `DropOldest` counts
-    /// every eviction in the subscriber's [`SubscriberStats`], and
+    /// `Block` delivers everything (backpressure on the dispatching
+    /// thread, never on a shard lock), `DropOldest` counts every
+    /// eviction in the subscriber's [`SubscriberStats`], and
     /// `Disconnect` ends the subscription visibly on overflow (counted
     /// in [`Coordinator::disconnected_subscribers`]).
     ///
@@ -450,16 +621,16 @@ impl Coordinator {
     /// assert_eq!(events.stats().dropped, 0);
     /// ```
     pub fn subscribe_with(&self, capacity: usize, policy: OverflowPolicy) -> Events {
-        let (tx, rx) = events::bounded(capacity, policy);
-        let mut inner = self.inner.lock();
-        inner.subscribers.push(tx);
-        inner.engine.set_outcome_log(true);
+        let rx = self.shared.dispatcher.subscribe(capacity, policy);
+        for shard in &self.shared.shards {
+            shard.lock().engine.set_outcome_log(true);
+        }
         rx
     }
 
     /// Number of live event subscriptions.
     pub fn subscriber_count(&self) -> usize {
-        self.inner.lock().subscribers.len()
+        self.shared.dispatcher.subscriber_count()
     }
 
     /// How many subscriptions ended from the publisher's side — the
@@ -468,47 +639,93 @@ impl Coordinator {
     /// never panics or stalls on such a subscriber; it prunes it and
     /// accounts the disconnect here.
     pub fn disconnected_subscribers(&self) -> u64 {
-        self.inner.lock().disconnected
+        self.shared.dispatcher.disconnected()
     }
 
     /// Runs a set-at-a-time evaluation round over the dirty components
-    /// (see [`CoordinationEngine::flush`]), pushing one terminal event
-    /// per retired query followed by an [`Event::Flushed`] report.
+    /// of every shard (see [`CoordinationEngine::flush`]), staging one
+    /// terminal event per retired query followed by an
+    /// [`Event::Flushed`] report and dispatching them after all shard
+    /// locks are released.
     ///
-    /// The published report carries the service-lock hold-time counters
-    /// ([`BatchReport::lock_hold_ns`] and friends): `lock_hold_ns` is
-    /// stamped from inside the critical section after the engine flush
-    /// and the terminal-event fan-out, so it measures exactly the time
-    /// this flush pinned every other `Coordinator` call (minus the
-    /// trailing `Flushed` broadcast itself, which cannot observe its
-    /// own cost).
+    /// The published report carries the service-lock hold-time
+    /// counters: [`BatchReport::lock_hold_ns`] sums each shard's
+    /// critical section for *this* flush (engine flush + event
+    /// staging, measured off the live guards),
+    /// [`BatchReport::lock_max_hold_ns`] /
+    /// [`BatchReport::lock_acquisitions`] aggregate the shard locks'
+    /// lifetime counters (max / sum), and
+    /// [`BatchReport::dispatch_queue_peak`] snapshots the out-of-lock
+    /// dispatch queue's high-water mark.
     pub fn flush(&self) -> BatchReport {
-        let mut inner = self.inner.lock();
-        let mut report = inner.engine.flush();
-        inner.pump();
-        let stats = self.inner.stats();
+        let mut report = BatchReport::default();
+        {
+            let _router = self.scan_guard();
+            for shard in &self.shared.shards {
+                let mut inner = shard.lock();
+                let shard_report = inner.engine.flush();
+                self.stage_outcomes(&mut inner);
+                let held = inner.held_ns();
+                merge_reports(&mut report, shard_report);
+                report.lock_hold_ns += held;
+            }
+        }
+        let stats = self.lock_stats();
         report.lock_acquisitions = stats.acquisitions;
         report.lock_max_hold_ns = stats.max_hold_ns;
-        report.lock_hold_ns = inner.held_ns();
-        inner.publish_flushed(report);
+        report.dispatch_queue_peak = self.shared.dispatcher.queue_peak();
+        self.stage_flushed(report);
+        self.shared.dispatcher.drain();
         report
     }
 
-    /// Snapshot of the service lock's hold-time counters (completed
-    /// holds only). The same numbers ride on every published
-    /// [`Event::Flushed`] report; this accessor exists for callers that
-    /// want them between flushes.
+    /// Snapshot of the shard locks' hold-time counters, aggregated
+    /// across shards (acquisitions and hold time summed, max hold
+    /// maxed; completed holds only). The same numbers ride on every
+    /// published [`Event::Flushed`] report; per-shard figures are
+    /// available from [`Coordinator::shard_lock_stats`].
     pub fn lock_stats(&self) -> LockStats {
-        self.inner.stats()
+        let mut out = LockStats::default();
+        for shard in &self.shared.shards {
+            let s = shard.stats();
+            out.acquisitions += s.acquisitions;
+            out.hold_ns += s.hold_ns;
+            out.max_hold_ns = out.max_hold_ns.max(s.max_hold_ns);
+        }
+        out
+    }
+
+    /// Number of engine shards ([`EngineConfig::service_shards`]).
+    pub fn service_shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Per-shard lock hold counters, indexed by shard.
+    pub fn shard_lock_stats(&self) -> Vec<LockStats> {
+        self.shared.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// High-water mark of the out-of-lock dispatch queue — the most
+    /// events ever staged awaiting a drain (see
+    /// [`BatchReport::dispatch_queue_peak`]).
+    pub fn dispatch_queue_peak(&self) -> u64 {
+        self.shared.dispatcher.queue_peak()
     }
 
     /// Sweeps expired queries (engine staleness bound and per-query
-    /// deadlines), pushing their [`Event::Expired`] events. Returns how
-    /// many queries expired.
+    /// deadlines) on every shard, staging their [`Event::Expired`]
+    /// events. Returns how many queries expired.
     pub fn expire_stale(&self) -> usize {
-        let mut inner = self.inner.lock();
-        let expired = inner.engine.expire_stale();
-        inner.pump();
+        let mut expired = 0;
+        {
+            let _router = self.scan_guard();
+            for shard in &self.shared.shards {
+                let mut inner = shard.lock();
+                expired += inner.engine.expire_stale();
+                self.stage_outcomes(&mut inner);
+            }
+        }
+        self.shared.dispatcher.drain();
         expired
     }
 
@@ -517,130 +734,418 @@ impl Coordinator {
     /// already reached a terminal status
     /// ([`CoordinationError::AlreadyTerminal`]).
     pub fn cancel(&self, id: QueryId) -> Result<(), CoordinationError> {
-        let mut inner = self.inner.lock();
-        if inner.engine.cancel(id) {
-            inner.pump();
-            return Ok(());
+        let result = self.cancel_routed(id);
+        self.shared.dispatcher.drain();
+        result
+    }
+
+    fn cancel_routed(&self, id: QueryId) -> Result<(), CoordinationError> {
+        let _router = self.scan_guard();
+        let mut terminal: Option<QueryStatus> = None;
+        for shard in &self.shared.shards {
+            let mut inner = shard.lock();
+            if inner.engine.cancel(id) {
+                self.stage_outcomes(&mut inner);
+                return Ok(());
+            }
+            if terminal.is_none() {
+                terminal = inner.engine.status(id).cloned();
+            }
         }
-        match inner.engine.status(id) {
-            Some(status) => Err(CoordinationError::AlreadyTerminal(status.clone())),
+        match terminal {
+            Some(status) => Err(CoordinationError::AlreadyTerminal(status)),
             None => Err(CoordinationError::UnknownQuery(id)),
         }
     }
 
     /// Withdraws every still-pending query in `ids` under **one** lock
-    /// acquisition (session close uses this), pushing their
-    /// [`Event::Cancelled`] events in one pump. Already-terminal and
-    /// unknown ids are skipped. Returns how many were withdrawn.
+    /// acquisition per shard (session close uses this), staging their
+    /// [`Event::Cancelled`] events and dispatching once at the end.
+    /// Already-terminal and unknown ids are skipped. Returns how many
+    /// were withdrawn.
     pub fn cancel_all(&self, ids: &[QueryId]) -> usize {
-        let mut inner = self.inner.lock();
         let mut withdrawn = 0;
-        for &id in ids {
-            if inner.engine.cancel(id) {
-                withdrawn += 1;
+        {
+            let _router = self.scan_guard();
+            for shard in &self.shared.shards {
+                let mut inner = shard.lock();
+                let mut local = 0;
+                for &id in ids {
+                    if inner.engine.cancel(id) {
+                        local += 1;
+                    }
+                }
+                if local > 0 {
+                    self.stage_outcomes(&mut inner);
+                }
+                withdrawn += local;
             }
         }
         if withdrawn > 0 {
-            inner.pump();
+            self.shared.dispatcher.drain();
         }
         withdrawn
     }
 
     /// The status of a query, if known.
     pub fn status(&self, id: QueryId) -> Option<QueryStatus> {
-        self.inner.lock().engine.status(id).cloned()
+        let _router = self.scan_guard();
+        for shard in &self.shared.shards {
+            if let Some(status) = shard.lock().engine.status(id).cloned() {
+                return Some(status);
+            }
+        }
+        None
     }
 
-    /// Number of pending queries.
+    /// Number of pending queries across all shards.
     pub fn pending_count(&self) -> usize {
-        self.inner.lock().engine.pending_count()
+        let _router = self.scan_guard();
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.lock().engine.pending_count())
+            .sum()
     }
 
     /// Shared handle to the service's database; write to it between
     /// rounds to load or update data (a write re-dirties kept-pending
     /// components at the next flush).
     pub fn db(&self) -> Arc<RwLock<Database>> {
-        self.inner.lock().engine.db()
+        Arc::clone(&self.shared.db)
     }
 
     /// Bulk-loads rows into a table through the database lock — one
     /// lock acquisition and one revision bump
     /// ([`Database::insert_many`]).
     pub fn load(&self, table: &str, rows: Vec<Tuple>) -> Result<usize, CoordinationError> {
-        let mut inner = self.inner.lock();
-        let logged = inner.sink.is_some().then(|| rows.clone());
-        let inserted = {
-            let db = inner.engine.db();
-            let mut guard = db.write();
-            guard.insert_many(table, rows)?
-        };
+        let logged = self
+            .shared
+            .has_sink
+            .load(Ordering::Relaxed)
+            .then(|| rows.clone());
+        let inserted = self.shared.db.write().insert_many(table, rows)?;
         // Only a load that actually happened is recorded; a refused one
         // (unknown table, arity mismatch) leaves no trace to replay.
-        if let (Some(sink), Some(rows)) = (inner.sink.as_mut(), logged) {
-            sink.record_load(table, &rows);
+        if let Some(rows) = logged {
+            if let Some(sink) = self.shared.sink.lock().as_mut() {
+                sink.record_load(table, &rows);
+            }
         }
         Ok(inserted)
     }
 
-    /// Structural invariant check, typed
+    /// Structural invariant check over every shard, typed
     /// ([`crate::InvariantViolation`] folded into
     /// [`CoordinationError`]).
     pub fn check_invariants(&self) -> Result<(), CoordinationError> {
-        Ok(self.inner.lock().engine.check_invariants()?)
+        let _router = self.scan_guard();
+        for shard in &self.shared.shards {
+            shard.lock().engine.check_invariants()?;
+        }
+        Ok(())
     }
 
     /// Current §3.1.1 safety violations in the pending pool (see
     /// [`CoordinationEngine::safety_violations`]).
     pub fn safety_violations(&self) -> Vec<SafetyViolation> {
-        self.inner.lock().engine.safety_violations()
+        let _router = self.scan_guard();
+        self.shared
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().engine.safety_violations())
+            .collect()
     }
 
     /// Queries that §3.1.1 enforcement would sideline right now (see
     /// [`CoordinationEngine::safety_sidelined`]).
     pub fn safety_sidelined(&self) -> Vec<QueryId> {
-        self.inner.lock().engine.safety_sidelined()
+        let _router = self.scan_guard();
+        self.shared
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().engine.safety_sidelined())
+            .collect()
     }
 
-    pub(crate) fn submit_locked(
+    /// Router read guard held across scan/shard-lock sections so a
+    /// concurrent group merge (router write + migration) cannot move a
+    /// query between shards mid-scan. `None` with a single shard —
+    /// there is nothing to route.
+    fn scan_guard(&self) -> Option<RwLockReadGuard<'_, Router>> {
+        (self.shared.shards.len() > 1).then(|| self.shared.router.read())
+    }
+
+    /// Converts a shard's freshly drained terminal outcomes into
+    /// events and **stages** them on the dispatch queue, recording
+    /// each in the durability sink first (durability before
+    /// visibility). Runs inside the shard's critical section so stage
+    /// order equals retirement order — but performs no subscriber I/O:
+    /// delivery happens in the dispatcher's drain, after every lock is
+    /// released. This and [`Coordinator::stage_flushed`] are the only
+    /// functions that construct events (`eq_check`'s
+    /// `event-choke-point` rule), and nothing publishes under a lock
+    /// (`no-publish-under-lock`).
+    fn stage_outcomes(&self, inner: &mut ShardInner) {
+        let outcomes = inner.engine.drain_outcome_log();
+        if !outcomes.is_empty() {
+            let mut sink = self.shared.sink.lock();
+            for (id, outcome) in outcomes {
+                if let Some(sink) = sink.as_mut() {
+                    sink.record_outcome(id, &outcome);
+                }
+                let tag = inner.tags.remove(&id);
+                let event = match outcome {
+                    QueryOutcome::Answered(answer) => Event::Answered { id, tag, answer },
+                    QueryOutcome::Failed(FailReason::Stale) => Event::Expired { id, tag },
+                    QueryOutcome::Failed(FailReason::Cancelled) => Event::Cancelled { id, tag },
+                    QueryOutcome::Failed(FailReason::Rejected(reason)) => {
+                        Event::Failed { id, tag, reason }
+                    }
+                };
+                self.shared.dispatcher.enqueue(event);
+            }
+        }
+        if self.shared.dispatcher.subscriber_count() == 0
+            && !self.shared.has_sink.load(Ordering::Relaxed)
+        {
+            inner.engine.set_outcome_log(false);
+        }
+    }
+
+    /// The single place a [`Event::Flushed`] report is staged.
+    fn stage_flushed(&self, report: BatchReport) {
+        self.shared.dispatcher.enqueue(Event::Flushed(report));
+    }
+
+    pub(crate) fn submit_request(
         &self,
         request: SubmitRequest,
     ) -> Result<QueryHandle, CoordinationError> {
-        let mut inner = self.inner.lock();
         let opts = request.to_options(Instant::now());
+        let result = self.submit_routed(request.query, opts, request.tag, true);
+        self.shared.dispatcher.drain();
+        result
+    }
+
+    /// Routes one submission to its shard and admits it there. The
+    /// fast path resolves the query's keys under the router read lock
+    /// and holds that guard across the shard operation; unknown keys
+    /// or a group-spanning query take the write path, where groups
+    /// merge and losing shards migrate.
+    fn submit_routed(
+        &self,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+        tag: Option<String>,
+        record: bool,
+    ) -> Result<QueryHandle, CoordinationError> {
+        if self.shared.shards.len() == 1 {
+            let mut inner = self.shared.shards[0].lock();
+            return self.admit_in(&mut inner, query, opts, tag, record);
+        }
+        let keys = Router::query_keys(&query);
+        {
+            let router = self.shared.router.read();
+            if let Some(shard) = router.resolve(&keys) {
+                let mut inner = self.shared.shards[shard].lock();
+                return self.admit_in(&mut inner, query, opts, tag, record);
+            }
+        }
+        let mut router = self.shared.router.write();
+        let shard = self.route_and_migrate(&mut router, &keys);
+        let mut inner = self.shared.shards[shard].lock();
+        self.admit_in(&mut inner, query, opts, tag, record)
+    }
+
+    /// Write-path routing: merges the key groups, and — when the
+    /// merged group spans shards — migrates its pending queries from
+    /// every losing shard into the winner. The rendezvous takes the
+    /// involved shard locks in **ascending index order** (the debug
+    /// lock-order graph validates the discipline): extract under each
+    /// loser's lock, re-admit under the winner's, carrying outcome
+    /// channels, tags, deadlines, and submission instants unchanged.
+    /// Returns the shard to admit on. Caller holds the router write
+    /// guard, which keeps fast-path readers out until placement is
+    /// consistent again.
+    fn route_and_migrate(&self, router: &mut Router, keys: &[u64]) -> usize {
+        let route = router.route(keys);
+        if route.losers.is_empty() {
+            return route.shard;
+        }
+        let mut order: Vec<usize> = route.losers.clone();
+        order.push(route.shard);
+        order.sort_unstable();
+        let snapshot: &Router = router;
+        let mut guards: Vec<(usize, _)> = order
+            .iter()
+            .map(|&i| (i, self.shared.shards[i].lock()))
+            .collect();
+        let mut migrated = Vec::new();
+        let mut moved_tags: Vec<(QueryId, String)> = Vec::new();
+        for (idx, guard) in guards.iter_mut() {
+            if *idx == route.shard {
+                continue;
+            }
+            let lifted = guard
+                .engine
+                .extract_pending(|q| snapshot.root_of(q) == Some(route.root));
+            for m in &lifted {
+                if let Some(tag) = guard.tags.remove(&m.id) {
+                    moved_tags.push((m.id, tag));
+                }
+            }
+            migrated.extend(lifted);
+        }
+        migrated.sort_by_key(|m| m.id);
+        let winner = guards
+            .iter_mut()
+            .find(|(i, _)| *i == route.shard)
+            .expect("winner shard locked");
+        for m in migrated {
+            winner.1.engine.admit_migrated(m);
+        }
+        winner.1.engine.resort_age_queue();
+        for (id, tag) in moved_tags {
+            winner.1.tags.insert(id, tag);
+        }
+        route.shard
+    }
+
+    /// Admission under a held shard guard: draw the id from the global
+    /// counter, record to the durability sink (inside the shard's
+    /// critical section, before the handle escapes — the
+    /// record-before-visibility contract), register the tag, and stage
+    /// any outcomes this submission produced (incremental mode
+    /// coordinates inline).
+    fn admit_in(
+        &self,
+        inner: &mut ShardInner,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+        tag: Option<String>,
+        record: bool,
+    ) -> Result<QueryHandle, CoordinationError> {
         // The sink needs the query after the engine consumes it; pay
         // for the clone only when durability is on.
-        let logged = inner.sink.is_some().then(|| request.query.clone());
-        let result = inner.engine.submit_with(request.query, opts);
+        let logged =
+            (record && self.shared.has_sink.load(Ordering::Relaxed)).then(|| query.clone());
+        let result = inner
+            .engine
+            .submit_with_source(query, opts, Some(&self.shared.next_id));
         if let Ok(handle) = &result {
-            if let (Some(sink), Some(query)) = (inner.sink.as_mut(), logged) {
-                sink.record_submit(
-                    handle.id,
-                    &query,
-                    request.tag.as_deref(),
-                    opts.on_no_solution,
-                );
+            if let Some(query) = logged {
+                if let Some(sink) = self.shared.sink.lock().as_mut() {
+                    sink.record_submit(handle.id, &query, tag.as_deref(), opts.on_no_solution);
+                }
             }
-            if let Some(tag) = request.tag {
+            if let Some(tag) = tag {
                 inner.tags.insert(handle.id, tag);
             }
         }
-        // Pump after the submit record: an incremental-mode outcome of
+        // Stage after the submit record: an incremental-mode outcome of
         // this very submission must land in the log *after* it.
-        inner.pump();
-        Ok(result?)
+        self.stage_outcomes(inner);
+        result.map_err(CoordinationError::from)
     }
 
-    pub(crate) fn submit_batch_locked(
+    pub(crate) fn submit_batch_request(
         &self,
         requests: Vec<SubmitRequest>,
     ) -> Vec<Result<QueryHandle, CoordinationError>> {
-        let mut inner = self.inner.lock();
+        let results = self.submit_batch_routed(requests);
+        self.shared.dispatcher.drain();
+        results
+    }
+
+    fn submit_batch_routed(
+        &self,
+        requests: Vec<SubmitRequest>,
+    ) -> Vec<Result<QueryHandle, CoordinationError>> {
         let now = Instant::now();
+        if self.shared.shards.len() == 1 {
+            let mut inner = self.shared.shards[0].lock();
+            return self.admit_batch_in(&mut inner, requests, now);
+        }
+        // Sharded: route the whole batch under the router write lock
+        // (merges between batch members included), then admit each
+        // maximal run of consecutive same-shard requests as one engine
+        // batch. Runs execute in submission order, so the shared id
+        // counter hands out the same ids a sequential replay would,
+        // and cross-run edges on one shard are found by the resident
+        // probe (earlier runs are resident by then). Requests on
+        // different shards are provably edge-free (different key
+        // groups), so per-shard admission loses no coordination.
+        let mut router = self.shared.router.write();
+        for request in &requests {
+            let keys = Router::query_keys(&request.query);
+            if router.resolve(&keys).is_none() {
+                self.route_and_migrate(&mut router, &keys);
+            }
+        }
+        // Final placement per request: a later merge in the routing
+        // pass may have moved a group routed earlier.
+        let shards: Vec<usize> = requests
+            .iter()
+            .map(|r| {
+                router
+                    .resolve(&Router::query_keys(&r.query))
+                    .expect("every batch key group was routed above")
+            })
+            .collect();
+        let n = requests.len();
+        let mut out: Vec<Option<Result<QueryHandle, CoordinationError>>> =
+            (0..n).map(|_| None).collect();
+        let mut run: Vec<(usize, SubmitRequest)> = Vec::new();
+        for (i, request) in requests.into_iter().enumerate() {
+            if let Some(&(j, _)) = run.first() {
+                if shards[j] != shards[i] {
+                    self.admit_run(&mut run, &shards, &mut out, now);
+                }
+            }
+            run.push((i, request));
+        }
+        self.admit_run(&mut run, &shards, &mut out, now);
+        out.into_iter()
+            .map(|r| r.expect("every request admitted in some run"))
+            .collect()
+    }
+
+    /// Admits one same-shard run of a routed batch and scatters the
+    /// results back to their positions.
+    fn admit_run(
+        &self,
+        run: &mut Vec<(usize, SubmitRequest)>,
+        shards: &[usize],
+        out: &mut [Option<Result<QueryHandle, CoordinationError>>],
+        now: Instant,
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        let shard = shards[run[0].0];
+        let (positions, batch): (Vec<usize>, Vec<SubmitRequest>) = run.drain(..).unzip();
+        let mut inner = self.shared.shards[shard].lock();
+        let results = self.admit_batch_in(&mut inner, batch, now);
+        for (pos, result) in positions.into_iter().zip(results) {
+            out[pos] = Some(result);
+        }
+    }
+
+    /// Batch admission under a held shard guard — the batched
+    /// counterpart of [`Coordinator::admit_in`].
+    fn admit_batch_in(
+        &self,
+        inner: &mut ShardInner,
+        requests: Vec<SubmitRequest>,
+        now: Instant,
+    ) -> Vec<Result<QueryHandle, CoordinationError>> {
         let mut tags: Vec<Option<String>> = Vec::with_capacity(requests.len());
         let mut opts_list: Vec<SubmitOptions> = Vec::with_capacity(requests.len());
-        let logged: Option<Vec<EntangledQuery>> = inner
-            .sink
-            .is_some()
+        let logged: Option<Vec<EntangledQuery>> = self
+            .shared
+            .has_sink
+            .load(Ordering::Relaxed)
             .then(|| requests.iter().map(|r| r.query.clone()).collect());
         let batch: Vec<(EntangledQuery, SubmitOptions)> = requests
             .into_iter()
@@ -651,46 +1156,55 @@ impl Coordinator {
                 (r.query, opts)
             })
             .collect();
-        let results = inner.engine.submit_batch(batch);
-        for (i, (result, tag)) in results.iter().zip(tags).enumerate() {
-            if let Ok(handle) = result {
-                if let (Some(sink), Some(queries)) = (inner.sink.as_mut(), logged.as_ref()) {
-                    sink.record_submit(
-                        handle.id,
-                        &queries[i],
-                        tag.as_deref(),
-                        opts_list[i].on_no_solution,
-                    );
-                }
-                if let Some(tag) = tag {
-                    inner.tags.insert(handle.id, tag);
+        let results = inner
+            .engine
+            .submit_batch_with_source(batch, Some(&self.shared.next_id));
+        {
+            let mut sink = self.shared.sink.lock();
+            for (i, (result, tag)) in results.iter().zip(tags).enumerate() {
+                if let Ok(handle) = result {
+                    if let (Some(sink), Some(queries)) = (sink.as_mut(), logged.as_ref()) {
+                        sink.record_submit(
+                            handle.id,
+                            &queries[i],
+                            tag.as_deref(),
+                            opts_list[i].on_no_solution,
+                        );
+                    }
+                    if let Some(tag) = tag {
+                        inner.tags.insert(handle.id, tag);
+                    }
                 }
             }
         }
-        inner.pump();
+        self.stage_outcomes(inner);
         results
             .into_iter()
             .map(|r| r.map_err(CoordinationError::from))
             .collect()
     }
 
-    /// Installs the durability recorder and switches the engine's
-    /// outcome log on for good (the sink counts as a permanent
+    /// Installs the durability recorder and switches every engine
+    /// shard's outcome log on for good (the sink counts as a permanent
     /// listener). One sink per service; called by
     /// [`crate::durable::DurableCoordinator`] before any submission.
     pub(crate) fn install_sink(&self, sink: Box<dyn DurabilitySink>) {
-        let mut inner = self.inner.lock();
-        inner.engine.set_outcome_log(true);
-        inner.sink = Some(sink);
+        *self.shared.sink.lock() = Some(sink);
+        self.shared.has_sink.store(true, Ordering::Relaxed);
+        for shard in &self.shared.shards {
+            shard.lock().engine.set_outcome_log(true);
+        }
     }
 
     /// Re-admits a recovered submission under its **original** id,
     /// bypassing the sink (the WAL already holds this record — logging
     /// it again would duplicate it on the next replay). Recovery calls
-    /// this in ascending id order, then restores the id watermark past
-    /// the maximum. Does not pump: the caller pumps once after the
-    /// whole replay so recovery-time outcomes are recorded in one
-    /// batch, each after its submission record.
+    /// this in ascending id order — the global counter is bumped to
+    /// each id before the draw, so replay reproduces the logged ids
+    /// even across terminal-outcome gaps — and then restores the
+    /// watermark past the maximum. Does not dispatch: the caller pumps
+    /// once after the whole replay so recovery-time outcomes are
+    /// recorded in one batch, each after its submission record.
     pub(crate) fn recover_submit(
         &self,
         id: QueryId,
@@ -698,28 +1212,75 @@ impl Coordinator {
         opts: SubmitOptions,
         tag: Option<String>,
     ) -> Result<QueryHandle, CoordinationError> {
-        let mut inner = self.inner.lock();
-        inner.engine.set_next_query_id(id.0);
-        let handle = inner.engine.submit_with(query, opts)?;
+        self.shared.next_id.fetch_max(id.0, Ordering::Relaxed);
+        let handle = self.submit_routed(query, opts, tag, false)?;
         debug_assert_eq!(handle.id, id, "recovery must reproduce the logged id");
-        if let Some(tag) = tag {
-            inner.tags.insert(handle.id, tag);
-        }
         Ok(handle)
     }
 
-    /// Drains and records/broadcasts any terminal outcomes produced
+    /// Drains, records, and dispatches any terminal outcomes produced
     /// outside the normal operation paths (recovery replay uses this).
     pub(crate) fn pump_now(&self) {
-        self.inner.lock().pump();
+        {
+            let _router = self.scan_guard();
+            for shard in &self.shared.shards {
+                let mut inner = shard.lock();
+                self.stage_outcomes(&mut inner);
+            }
+        }
+        self.shared.dispatcher.drain();
     }
 
-    /// Runs `f` with the engine under the service lock — checkpointing
-    /// snapshots the database and the id watermark through this, so the
-    /// image is consistent with respect to concurrent operations.
-    pub(crate) fn with_engine<R>(&self, f: impl FnOnce(&mut CoordinationEngine) -> R) -> R {
-        f(&mut self.inner.lock().engine)
+    /// Runs `f` with every shard locked in ascending index order — a
+    /// consistent cut across the whole service. Checkpointing and
+    /// durable schema changes snapshot the database, the WAL state,
+    /// and the id watermark through this so no acknowledgment can land
+    /// inside the cut.
+    pub(crate) fn with_exclusive<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guards: Vec<_> = self.shared.shards.iter().map(|s| s.lock()).collect();
+        f()
     }
+
+    /// The id the next submission will draw. Recovery persists this in
+    /// checkpoints.
+    pub(crate) fn id_watermark(&self) -> u64 {
+        self.shared.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Moves the global id counter forward (never backward) — recovery
+    /// replays acknowledged submissions under their original ids and
+    /// then restores the watermark so post-recovery submissions never
+    /// reuse an id.
+    pub(crate) fn set_id_watermark(&self, next: u64) {
+        self.shared.next_id.fetch_max(next, Ordering::Relaxed);
+    }
+}
+
+/// Accumulates per-shard flush reports into one service-wide report.
+/// Counts sum; high-water marks max; the I/O snapshot is taken from
+/// the latest shard (the database — and its cumulative I/O counters —
+/// is shared service-wide, so the last snapshot supersedes the
+/// others). Lock counters are stamped by the caller.
+fn merge_reports(into: &mut BatchReport, from: BatchReport) {
+    into.components += from.components;
+    into.skipped_clean += from.skipped_clean;
+    into.answered += from.answered;
+    into.failed += from.failed;
+    into.pending += from.pending;
+    into.intra_components += from.intra_components;
+    into.intra_units += from.intra_units;
+    into.intra_split_units += from.intra_split_units;
+    into.intra_regions += from.intra_regions;
+    into.intra_region_streamed += from.intra_region_streamed;
+    into.intra_witness_peak = into.intra_witness_peak.max(from.intra_witness_peak);
+    into.io = from.io;
+    into.stats.dequeues += from.stats.dequeues;
+    into.stats.mgu_calls += from.stats.mgu_calls;
+    into.stats.cleanups += from.stats.cleanups;
+    into.unify_merges += from.unify_merges;
+    into.unify_rollbacks += from.unify_rollbacks;
+    into.unify_clones += from.unify_clones;
+    into.unify_undo_high_water = into.unify_undo_high_water.max(from.unify_undo_high_water);
 }
 
 /// A group of queries owned by one client of the [`Coordinator`].
@@ -771,7 +1332,7 @@ impl Session {
         &mut self,
         request: impl Into<SubmitRequest>,
     ) -> Result<QueryHandle, CoordinationError> {
-        let handle = self.coordinator.submit_locked(request.into())?;
+        let handle = self.coordinator.submit_request(request.into())?;
         self.ids.push(handle.id);
         self.id_set.insert(handle.id);
         Ok(handle)
@@ -779,13 +1340,13 @@ impl Session {
 
     /// Submits a batch, running admission probing in parallel across
     /// the index shards (see [`CoordinationEngine::submit_batch`]).
-    /// Per-query results are positional; the whole batch is admitted
-    /// under one service lock.
+    /// Per-query results are positional; each engine shard admits its
+    /// run of the batch under one lock acquisition.
     pub fn submit_batch(
         &mut self,
         requests: Vec<SubmitRequest>,
     ) -> Vec<Result<QueryHandle, CoordinationError>> {
-        let results = self.coordinator.submit_batch_locked(requests);
+        let results = self.coordinator.submit_batch_request(requests);
         for handle in results.iter().flatten() {
             self.ids.push(handle.id);
             self.id_set.insert(handle.id);
@@ -829,8 +1390,9 @@ impl Session {
             return 0;
         }
         self.closed = true;
-        // One lock acquisition and one event pump for the whole
-        // session, however many queries it submitted over its life.
+        // One lock acquisition per shard and one dispatch for the
+        // whole session, however many queries it submitted over its
+        // life.
         self.coordinator.cancel_all(&self.ids)
     }
 }
@@ -932,7 +1494,7 @@ mod tests {
             .unwrap();
         assert_eq!(flushed, report);
         // The standalone snapshot is a pure atomic read (it does not
-        // itself take the service lock), so it never runs behind the
+        // itself take a shard lock), so it never runs behind the
         // report's figure.
         let stats = coordinator.lock_stats();
         assert!(stats.acquisitions >= report.lock_acquisitions);
@@ -1088,10 +1650,10 @@ mod tests {
 
     #[test]
     fn flushed_arrives_after_every_terminal_event_under_bounded_channels() {
-        // A tiny Block queue forces the publisher to interleave with a
-        // concurrent drainer; per-subscriber FIFO plus pump-then-report
-        // under one lock must still deliver every terminal event of a
-        // flush *before* that flush's report.
+        // A tiny Block queue forces the dispatcher to interleave with a
+        // concurrent drainer; FIFO dispatch plus stage-then-report
+        // ordering must still deliver every terminal event of a flush
+        // *before* that flush's report.
         let coordinator = batch_coordinator(flight_db());
         let events = coordinator.subscribe_with(2, OverflowPolicy::Block);
         let drainer = std::thread::spawn(move || {
@@ -1142,7 +1704,7 @@ mod tests {
     #[test]
     fn dropped_subscriber_mid_flight_is_accounted_not_fatal() {
         // A subscriber vanishes (receiver dropped) while its session's
-        // queries are still pending; the session close then broadcasts
+        // queries are still pending; the session close then dispatches
         // Cancelled events into the dead subscription. The fan-out must
         // prune it and account the disconnect — never panic, never
         // block.
@@ -1157,7 +1719,7 @@ mod tests {
                 .unwrap();
         }
         drop(events); // subscriber dies with 4 queries in flight
-        session.close(); // broadcasts 4 Cancelled events
+        session.close(); // dispatches 4 Cancelled events
         assert_eq!(coordinator.disconnected_subscribers(), 1);
         assert_eq!(coordinator.subscriber_count(), 0);
         assert_eq!(coordinator.pending_count(), 0);
@@ -1205,6 +1767,166 @@ mod tests {
         assert_eq!(coordinator.subscriber_count(), 0);
         assert_eq!(events.drain().len(), 2);
         assert!(events.stats().disconnected);
+    }
+
+    #[test]
+    fn stalled_block_subscriber_does_not_stall_unrelated_sessions() {
+        // A Block subscriber with a full queue and no drainer suspends
+        // only the thread that became the dispatcher. Pre-dispatch,
+        // the publisher blocked while holding the service lock, so
+        // every other session froze with it — this is the regression
+        // the out-of-lock dispatch queue exists to prevent.
+        let coordinator = batch_coordinator(flight_db());
+        let stalled = coordinator.subscribe_with(1, OverflowPolicy::Block);
+        let victim = {
+            let coordinator = coordinator.clone();
+            std::thread::spawn(move || {
+                let mut session = coordinator.session();
+                // Three Cancelled events against capacity 1: the first
+                // fills the queue, the second wedges this thread inside
+                // the dispatcher's drain (no locks held).
+                for i in 0..3 {
+                    let h = session
+                        .submit(q(&format!(
+                            "{{R(Stall{i}, ITH)}} R(Whoa{i}, ITH) <- F(x{i}, Paris)"
+                        )))
+                        .unwrap();
+                    coordinator.cancel(h.id).unwrap();
+                }
+            })
+        };
+        // Give the victim time to wedge in the dispatcher.
+        std::thread::sleep(Duration::from_millis(50));
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let worker = {
+            let coordinator = coordinator.clone();
+            std::thread::spawn(move || {
+                let mut session = coordinator.session();
+                session
+                    .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+                    .unwrap();
+                session
+                    .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+                    .unwrap();
+                done_tx.send(coordinator.flush().answered).unwrap();
+            })
+        };
+        let answered = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("unrelated session must not block on the stalled subscriber");
+        assert_eq!(answered, 2);
+        worker.join().unwrap();
+        // The victim is still parked on the full queue; dropping the
+        // receiver disconnects it and lets the dispatcher finish.
+        drop(stalled);
+        victim.join().unwrap();
+        assert_eq!(coordinator.disconnected_subscribers(), 1);
+    }
+
+    #[test]
+    fn sharded_service_coordinates_within_and_across_groups() {
+        let coordinator = Coordinator::new(
+            flight_db(),
+            EngineConfig {
+                mode: crate::engine::EngineMode::SetAtATime { batch_size: 0 },
+                service_shards: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(coordinator.service_shard_count(), 4);
+        let events = coordinator.subscribe();
+        let mut session = coordinator.session();
+        // Two disjoint relation groups land on different shards; each
+        // coordinates internally.
+        session
+            .submit(q("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"))
+            .unwrap();
+        session
+            .submit(q("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)"))
+            .unwrap();
+        session
+            .submit(q("{S(George, u)} S(Elaine, u) <- F(u, Rome)"))
+            .unwrap();
+        session
+            .submit(q("{S(Elaine, v)} S(George, v) <- F(v, Rome)"))
+            .unwrap();
+        let report = coordinator.flush();
+        assert_eq!(report.answered, 4);
+        coordinator.check_invariants().unwrap();
+        // A pair of queries spanning both groups forces a rendezvous:
+        // the R and S groups merge onto one shard and the cross-group
+        // pair still coordinates.
+        let h1 = session
+            .submit(q("{S(Newman, w)} R(Newman, w) <- F(w, Paris)"))
+            .unwrap();
+        let h2 = session
+            .submit(q("{R(Newman, z)} S(Newman, z) <- F(z, Paris)"))
+            .unwrap();
+        let report = coordinator.flush();
+        assert_eq!(
+            report.answered, 2,
+            "cross-group pair coordinates after the merge"
+        );
+        assert!(matches!(
+            h1.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+        assert!(matches!(
+            h2.outcome.try_recv().unwrap(),
+            QueryOutcome::Answered(_)
+        ));
+        coordinator.check_invariants().unwrap();
+        let evs = events.drain();
+        assert_eq!(evs.iter().filter(|e| e.is_terminal()).count(), 6);
+    }
+
+    #[test]
+    fn rendezvous_migrates_pending_queries_with_tags() {
+        // Pending queries physically move between shards when their
+        // groups merge: outcome channels, tags, and coordination all
+        // survive the migration.
+        let coordinator = Coordinator::new(
+            flight_db(),
+            EngineConfig {
+                mode: crate::engine::EngineMode::SetAtATime { batch_size: 0 },
+                service_shards: 2,
+                ..Default::default()
+            },
+        );
+        let events = coordinator.subscribe();
+        let mut session = coordinator.session();
+        // Four-cycle across two relation groups: R-group q1/q4 heads
+        // satisfy q3/q1 postconditions, S-group q2/q3 close the loop.
+        let h1 = session
+            .submit(q("{R(Beta, x)} R(Alpha, x) <- F(x, Paris)"))
+            .unwrap();
+        let h2 = session
+            .submit(SubmitRequest::new(q("{S(Delta, u)} S(Gamma, u) <- F(u, Paris)")).tag("moved"))
+            .unwrap();
+        assert_eq!(coordinator.pending_count(), 2);
+        // q3 bridges the groups (head in S, postcondition in R): the
+        // router merges them and the losing shard's pending query
+        // (q2) migrates.
+        let h3 = session
+            .submit(q("{R(Alpha, y)} S(Delta, y) <- F(y, Paris)"))
+            .unwrap();
+        let h4 = session
+            .submit(q("{S(Gamma, z)} R(Beta, z) <- F(z, Paris)"))
+            .unwrap();
+        let report = coordinator.flush();
+        assert_eq!(report.answered, 4, "the merged four-cycle coordinates");
+        for h in [h1, h2, h3, h4] {
+            assert!(matches!(
+                h.outcome.try_recv().unwrap(),
+                QueryOutcome::Answered(_)
+            ));
+        }
+        coordinator.check_invariants().unwrap();
+        assert_eq!(coordinator.pending_count(), 0);
+        // The migrated query's tag traveled with it.
+        let evs = events.drain();
+        let moved = evs.iter().find(|e| e.tag() == Some("moved")).unwrap();
+        assert!(matches!(**moved, Event::Answered { .. }));
     }
 
     #[test]

@@ -166,6 +166,7 @@ mod order {
 // ---------------------------------------------------------------------------
 
 pub struct RwLock<T: ?Sized> {
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     id: u64,
     counters: Counters,
     inner: std::sync::RwLock<T>,
@@ -303,6 +304,7 @@ impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
 // ---------------------------------------------------------------------------
 
 pub struct Mutex<T: ?Sized> {
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     id: u64,
     counters: Counters,
     inner: std::sync::Mutex<T>,

@@ -151,13 +151,29 @@ pub(crate) fn generate_submissions(
 
 /// Best-case two-way query (§5.3.1): the partner is fully specified.
 fn pair_query(graph: &SocialGraph, me: u32, partner: u32, dest: Value) -> EntangledQuery {
+    pair_query_in(graph, me, partner, dest, "Reserve", "Reserve")
+}
+
+/// [`pair_query`] with explicit answer-relation names for the head and
+/// the postcondition — the locality-group flavor the sharded service
+/// scripts use: same relation on both sides keeps the pair inside one
+/// `(relation, arity)` connectivity group, different relations bridge
+/// two groups (a cross-shard rendezvous in a sharded service).
+pub(crate) fn pair_query_in(
+    graph: &SocialGraph,
+    me: u32,
+    partner: u32,
+    dest: Value,
+    head_relation: &str,
+    post_relation: &str,
+) -> EntangledQuery {
     let m = Term::Const(graph.user_value(me as usize));
     let p = Term::Const(graph.user_value(partner as usize));
     let d = Term::Const(dest);
     let c = Term::Var(Var(0));
     EntangledQuery::new(
-        vec![reserve(m, d)],
-        vec![reserve(p, d)],
+        vec![Atom::new(head_relation, vec![m, d])],
+        vec![Atom::new(post_relation, vec![p, d])],
         vec![
             Atom::new("Friends", vec![m, p]),
             Atom::new("User", vec![m, c]),

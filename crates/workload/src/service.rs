@@ -17,7 +17,7 @@
 //! order as `ChurnConfig { queries, flush_every: k, .. }` with the same
 //! seed.
 
-use crate::churn::generate_submissions;
+use crate::churn::{generate_submissions, pair_query_in};
 use crate::rng::{Rng, StdRng};
 use crate::social::SocialGraph;
 use eq_ir::{Atom, EntangledQuery, QueryId, Term, Value, Var};
@@ -65,6 +65,11 @@ pub struct ScriptSubmission {
     /// without a database solution leaves the query pending for a retry
     /// when the database changes.
     pub keep_pending: bool,
+    /// Client session this submission belongs to (a `Coordinator`
+    /// session in the driver). Scripts generated with
+    /// [`ScaleServiceConfig::sessions`] `== 1` put everything in
+    /// session 0.
+    pub session: usize,
 }
 
 impl ScriptSubmission {
@@ -73,6 +78,7 @@ impl ScriptSubmission {
             query,
             staleness: None,
             keep_pending: false,
+            session: 0,
         }
     }
 }
@@ -171,6 +177,24 @@ pub struct ScaleServiceConfig {
     /// submitted `KeepPending`, ride every flush as clean skips, and
     /// all coordinate on the final flush after the load.
     pub deferred_permille: u32,
+    /// Client sessions the traffic is spread across (each submission
+    /// carries its [`ScriptSubmission::session`]). 1 (the default)
+    /// reproduces the single-session stream byte-for-byte.
+    pub sessions: usize,
+    /// `(relation, arity)` connectivity groups: group `g` answers on
+    /// relation `Reserve{g}` (plain `Reserve` when 1, the default), and
+    /// a session's traffic stays in group `session % locality_groups`.
+    /// With a sharded `Coordinator` each group routes to one service
+    /// shard, so most admissions take the shard-local fast path. Use
+    /// more groups than shards and keep the count even.
+    pub locality_groups: usize,
+    /// Out of 1000 submissions: members of **cross-group pairs** whose
+    /// head and postcondition bridge groups `g` and `g ^ 1` — the
+    /// cross-shard rendezvous traffic. Pairing is XOR so merges stay
+    /// bounded to neighbor groups instead of transitively collapsing
+    /// every group onto one shard. Ignored (treated as ordinary pairs)
+    /// when `sessions` and `locality_groups` are both 1.
+    pub cross_permille: u32,
     /// Script seed.
     pub seed: u64,
 }
@@ -183,6 +207,9 @@ impl Default for ScaleServiceConfig {
             flush_every_bursts: 4,
             expiring_permille: 200,
             deferred_permille: 150,
+            sessions: 1,
+            locality_groups: 1,
+            cross_permille: 0,
             seed: 2011,
         }
     }
@@ -200,6 +227,12 @@ pub struct ScaleScript {
     /// Queries in deferred pairs: every one of them must end
     /// `Answered`, all on the final flush.
     pub deferred: usize,
+    /// Queries in cross-group pairs (bridging `Reserve{g}` and
+    /// `Reserve{g ^ 1}`).
+    pub cross: usize,
+    /// Client sessions the script's submissions span (`session` fields
+    /// are in `0..sessions`); drivers size their session pool from it.
+    pub sessions: usize,
 }
 
 /// The home airport deferred pairs wait on; [`scale_service_script`]'s
@@ -212,11 +245,32 @@ const LIMBO: &str = "Limbo";
 pub fn scale_service_script(graph: &SocialGraph, cfg: &ScaleServiceConfig) -> ScaleScript {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n = cfg.queries;
+    let sessions = cfg.sessions.max(1);
+    let groups = cfg.locality_groups.max(1);
+    // The single-session, single-group configuration must reproduce the
+    // historical stream byte-for-byte, so every sharding-only rng draw
+    // is gated on this flag.
+    let sharded = sessions > 1 || groups > 1;
+    let relation_of = |g: usize| -> String {
+        if groups == 1 {
+            "Reserve".to_string()
+        } else {
+            format!("Reserve{g}")
+        }
+    };
     let mut subs: Vec<ScriptSubmission> = Vec::with_capacity(n);
     let mut expiring = 0usize;
     let mut deferred = 0usize;
+    let mut cross = 0usize;
     let mut serial = 0usize;
     while subs.len() < n {
+        let session = if sharded {
+            rng.gen_range(0..sessions)
+        } else {
+            0
+        };
+        let group = session % groups;
+        let rel = relation_of(group);
         let roll = rng.gen_range(0..1000) as u32;
         if roll < cfg.expiring_permille || subs.len() + 2 > n {
             // A solo query that can never coordinate, bounded by zero
@@ -226,13 +280,14 @@ pub fn scale_service_script(graph: &SocialGraph, cfg: &ScaleServiceConfig) -> Sc
             let d = Term::Const(graph.airport_value(rng.gen_range(0..graph.num_airports())));
             subs.push(ScriptSubmission {
                 query: EntangledQuery::new(
-                    vec![Atom::new("Reserve", vec![me, d])],
-                    vec![Atom::new("Reserve", vec![ghost, d])],
+                    vec![Atom::new(rel.as_str(), vec![me, d])],
+                    vec![Atom::new(rel.as_str(), vec![ghost, d])],
                     vec![],
                 )
                 .with_id(QueryId(subs.len() as u64)),
                 staleness: Some(Duration::ZERO),
                 keep_pending: false,
+                session,
             });
             expiring += 1;
         } else if roll < cfg.expiring_permille + cfg.deferred_permille {
@@ -244,15 +299,48 @@ pub fn scale_service_script(graph: &SocialGraph, cfg: &ScaleServiceConfig) -> Sc
             for (me, partner) in [(a, b), (b, a)] {
                 subs.push(ScriptSubmission {
                     query: EntangledQuery::new(
-                        vec![Atom::new("Reserve", vec![me, d])],
-                        vec![Atom::new("Reserve", vec![partner, d])],
+                        vec![Atom::new(rel.as_str(), vec![me, d])],
+                        vec![Atom::new(rel.as_str(), vec![partner, d])],
                         vec![Atom::new("User", vec![Term::var(Var(0)), Term::str(LIMBO)])],
                     )
                     .with_id(QueryId(subs.len() as u64)),
                     staleness: None,
                     keep_pending: true,
+                    session,
                 });
                 deferred += 1;
+            }
+        } else if sharded
+            && roll < cfg.expiring_permille + cfg.deferred_permille + cfg.cross_permille
+        {
+            // A cross-group pair: the two halves answer on the XOR
+            // neighbor's relation, forcing a cross-shard rendezvous in a
+            // sharded service (and, lastingly, a merged routing group).
+            let partner_group = (group ^ 1).min(groups - 1);
+            let rel_b = relation_of(partner_group);
+            let (u, v) = graph.random_edge(&mut rng);
+            let dest = graph.airport_value(rng.gen_range(0..graph.num_airports()));
+            for (me, partner, head_rel, post_rel) in [(u, v, &rel, &rel_b), (v, u, &rel_b, &rel)] {
+                let id = QueryId(subs.len() as u64);
+                let query = pair_query_in(graph, me, partner, dest, head_rel, post_rel).with_id(id);
+                subs.push(ScriptSubmission {
+                    session,
+                    ..ScriptSubmission::plain(query)
+                });
+                cross += 1;
+            }
+        } else if sharded {
+            // An ordinary coordinating pair, shard-local: both halves
+            // answer on the session's group relation.
+            let (u, v) = graph.random_edge(&mut rng);
+            let dest = graph.airport_value(rng.gen_range(0..graph.num_airports()));
+            for (me, partner) in [(u, v), (v, u)] {
+                let id = QueryId(subs.len() as u64);
+                let query = pair_query_in(graph, me, partner, dest, &rel, &rel).with_id(id);
+                subs.push(ScriptSubmission {
+                    session,
+                    ..ScriptSubmission::plain(query)
+                });
             }
         } else {
             // An ordinary coordinating burst pair (same stream shape as
@@ -290,6 +378,8 @@ pub fn scale_service_script(graph: &SocialGraph, cfg: &ScaleServiceConfig) -> Sc
         ops,
         expiring,
         deferred,
+        cross,
+        sessions,
     }
 }
 
@@ -432,6 +522,94 @@ mod tests {
         let len = script.ops.len();
         assert!(matches!(script.ops[len - 2], ServiceOp::Load { .. }));
         assert!(matches!(script.ops[len - 1], ServiceOp::Flush));
+    }
+
+    #[test]
+    fn sharded_scale_script_spreads_sessions_and_groups() {
+        let g = small_graph();
+        let cfg = ScaleServiceConfig {
+            queries: 600,
+            burst: 50,
+            sessions: 40,
+            locality_groups: 8,
+            cross_permille: 100,
+            ..Default::default()
+        };
+        let script = scale_service_script(&g, &cfg);
+        let mut sessions_seen = std::collections::HashSet::new();
+        let mut relations_seen = std::collections::HashSet::new();
+        let mut submitted = 0usize;
+        let mut cross = 0usize;
+        for op in &script.ops {
+            if let ServiceOp::SubmitBatchWith(batch) = op {
+                for sub in batch {
+                    submitted += 1;
+                    assert!(sub.session < 40, "session out of range: {}", sub.session);
+                    sessions_seen.insert(sub.session);
+                    let group = sub.session % 8;
+                    let head = &sub.query.head[0];
+                    let post = &sub.query.postconditions[0];
+                    let head_rel = head.relation.as_str().to_string();
+                    let post_rel = post.relation.as_str().to_string();
+                    relations_seen.insert(head_rel.clone());
+                    // A submission's head answers on its session group's
+                    // relation (cross halves may answer on the XOR
+                    // neighbor), and any bridge stays within {g, g ^ 1}.
+                    let local = format!("Reserve{group}");
+                    let neighbor = format!("Reserve{}", group ^ 1);
+                    assert!(
+                        head_rel == local || head_rel == neighbor,
+                        "head {head_rel} outside session group {group}"
+                    );
+                    if head_rel != post_rel {
+                        cross += 1;
+                        assert!(
+                            (head_rel == local && post_rel == neighbor)
+                                || (head_rel == neighbor && post_rel == local),
+                            "cross pair bridges non-neighbors: {head_rel} / {post_rel}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(submitted, 600);
+        assert_eq!(script.sessions, 40);
+        assert!(
+            sessions_seen.len() > 10,
+            "sessions used: {}",
+            sessions_seen.len()
+        );
+        assert_eq!(
+            relations_seen.len(),
+            8,
+            "all groups appear: {relations_seen:?}"
+        );
+        assert_eq!(cross, script.cross);
+        assert!(script.cross > 0 && script.cross.is_multiple_of(2));
+        assert!(script.expiring > 0 && script.deferred > 0);
+    }
+
+    #[test]
+    fn default_scale_config_is_single_session_single_group() {
+        let g = small_graph();
+        let script = scale_service_script(
+            &g,
+            &ScaleServiceConfig {
+                queries: 200,
+                burst: 50,
+                ..Default::default()
+            },
+        );
+        assert_eq!(script.sessions, 1);
+        assert_eq!(script.cross, 0);
+        for op in &script.ops {
+            if let ServiceOp::SubmitBatchWith(batch) = op {
+                for sub in batch {
+                    assert_eq!(sub.session, 0);
+                    assert_eq!(sub.query.head[0].relation.as_str(), "Reserve");
+                }
+            }
+        }
     }
 
     #[test]

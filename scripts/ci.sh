@@ -4,8 +4,11 @@
 # eq_check concurrency-discipline analyzer (workspace scan + fixture
 # suite), the small-stack evaluator regression (RUST_MIN_STACK), and
 # bench smoke runs (fig6 throughput, fig8 stress, fig_resident churn,
-# fig_service batched admission + staleness/KeepPending churn — whose
-# JSON must carry the instrumented-lock hold counters — and fig_giant
+# fig_service batched admission + staleness/KeepPending churn + the
+# sharded-service series — published as BENCH_fig_service.json, whose
+# rows must carry the instrumented per-shard lock hold counters and
+# show the 4-shard locks strictly cooler than the single-mutex
+# baseline — and fig_giant
 # intra-component parallelism incl. the Triangle, shared-chain and
 # shared-wide region-split series, whose JSON is published as
 # BENCH_fig_giant.json — with the streaming-projection and undo-log
@@ -83,17 +86,56 @@ echo "== 12/17 fig6 + fig8 bench smoke =="
 cargo bench -q --offline -p eq_bench --bench fig6_two_way -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig8_stress -- --smoke
 
-echo "== 13/17 fig_resident churn + fig_service admission/churn smoke =="
+echo "== 13/17 fig_resident churn + fig_service admission/churn/sharded smoke (publishes BENCH_fig_service.json) =="
 cargo bench -q --offline -p eq_bench --bench fig_resident -- --smoke
 cargo bench -q --offline -p eq_bench --bench fig_service -- --smoke
 cargo run -q --release --offline -p eq_bench --bin fig_service -- --smoke
+cp results/fig_service.json BENCH_fig_service.json
 # The service rows must surface the instrumented-lock hold accounting
 # (BatchReport::lock_hold_ns plumbed from the vendored parking_lot shim).
-if ! grep -q "lock_hold_ns" results/fig_service.json; then
-    echo "FATAL: results/fig_service.json lacks lock_hold_ns counters" >&2
+if ! grep -q "lock_hold_ns" BENCH_fig_service.json; then
+    echo "FATAL: BENCH_fig_service.json lacks lock_hold_ns counters" >&2
     exit 1
 fi
-echo "fig_service.json carries lock_hold_ns"
+# The sharded churn series drives the same multi-session script through
+# a 1-shard and a 4-shard service in one run. Sharding must be
+# observationally transparent (identical outcome accounting), surface
+# the per-shard lock counters and the dispatch-queue high-water mark,
+# and actually cool the locks: the 4-shard worst single hold and
+# hottest per-shard cumulative hold must be strictly below the
+# single-mutex baseline's.
+python3 - <<'PY'
+import json
+rows = json.load(open("BENCH_fig_service.json"))
+by_series = {r["series"]: r for r in rows}
+one = by_series.get("sharded churn (1 shard)")
+four = by_series.get("sharded churn (4 shards)")
+assert one and four, "fig_service JSON lacks the sharded churn rows"
+c1, c4 = one["counters"], four["counters"]
+assert c1["service_shards"] == 1 and c4["service_shards"] == 4
+for c in (c1, c4):
+    assert "dispatch_queue_peak" in c, "sharded row lacks dispatch_queue_peak"
+for s in range(4):
+    for name in (f"shard{s}_lock_hold_ns", f"shard{s}_lock_max_hold_ns",
+                 f"shard{s}_lock_acquisitions"):
+        assert name in c4, f"4-shard row lacks the {name} counter"
+for key in ("answered", "expired", "events"):
+    assert c1[key] == c4[key], \
+        f"sharding changed observable accounting: {key} {c1[key]} vs {c4[key]}"
+assert c4["lock_max_hold_ns"] < c1["lock_max_hold_ns"], \
+    (f"4-shard worst lock hold not below single-mutex baseline: "
+     f"{c4['lock_max_hold_ns']:.0f} >= {c1['lock_max_hold_ns']:.0f} ns")
+hot4 = max(c4[f"shard{s}_lock_hold_ns"] for s in range(4))
+assert hot4 < c1["shard0_lock_hold_ns"], \
+    (f"4-shard hottest shard's cumulative hold not below single-mutex "
+     f"baseline: {hot4:.0f} >= {c1['shard0_lock_hold_ns']:.0f} ns")
+print(f"sharded churn: {int(c1['answered'])} answered / {int(c1['expired'])} "
+      f"expired identically at 1 and 4 shards; max hold "
+      f"{c1['lock_max_hold_ns']/1e6:.2f} ms -> {c4['lock_max_hold_ns']/1e6:.2f} ms, "
+      f"hottest cumulative hold {c1['shard0_lock_hold_ns']/1e6:.2f} ms -> "
+      f"{hot4/1e6:.2f} ms, dispatch queue peak {int(c4['dispatch_queue_peak'])}")
+PY
+echo "published BENCH_fig_service.json ($(wc -c < BENCH_fig_service.json) bytes, per-shard lock + dispatch counters asserted)"
 
 echo "== 14/17 fig_giant intra-component smoke (publishes BENCH_fig_giant.json) =="
 cargo bench -q --offline -p eq_bench --bench fig_giant -- --smoke
